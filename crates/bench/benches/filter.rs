@@ -1,0 +1,49 @@
+//! FTV filter microbenches: PathTrie build cost and candidate throughput as
+//! the feature size L grows (the space/filtering-power trade-off behind
+//! Experiment II).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_index::{FeatureConfig, PathTrie};
+use gc_workload::{extract_query, molecule_dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_filter(c: &mut Criterion) {
+    let dataset = molecule_dataset(100, 1234);
+    let mut rng = StdRng::seed_from_u64(5);
+    let queries: Vec<_> =
+        (0..20).map(|i| extract_query(&dataset[i % dataset.len()], 8, &mut rng).unwrap()).collect();
+
+    let mut group = c.benchmark_group("path_trie");
+    group.sample_size(15).measurement_time(Duration::from_secs(2));
+
+    for &l in &[1usize, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("build", l), &l, |b, &l| {
+            b.iter(|| PathTrie::build(std::hint::black_box(&dataset), FeatureConfig::with_max_len(l)))
+        });
+        let trie = PathTrie::build(&dataset, FeatureConfig::with_max_len(l));
+        group.bench_with_input(BenchmarkId::new("filter", l), &l, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &queries {
+                    total += trie.candidates(std::hint::black_box(q)).count();
+                }
+                total
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("super_filter", l), &l, |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &queries {
+                    total += trie.super_candidates(std::hint::black_box(q)).count();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter);
+criterion_main!(benches);

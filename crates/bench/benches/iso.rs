@@ -1,0 +1,72 @@
+//! Verifier microbenches: VF2 vs Ullmann (the two bundled SI engines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_workload::{extract_query, molecule_dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_engines(c: &mut Criterion) {
+    let dataset = molecule_dataset(20, 909);
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    for &qsize in &[4usize, 8, 12] {
+        let queries: Vec<_> = (0..10)
+            .map(|i| extract_query(&dataset[i % dataset.len()], qsize, &mut rng).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("vf2", qsize), &qsize, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    for g in &dataset {
+                        if gc_iso::vf2::exists(std::hint::black_box(q), g) {
+                            hits += 1;
+                        }
+                    }
+                }
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ullmann", qsize), &qsize, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    for g in &dataset {
+                        if gc_iso::ullmann::exists(std::hint::black_box(q), g) {
+                            hits += 1;
+                        }
+                    }
+                }
+                hits
+            })
+        });
+        // Ablation: VF2 without the neighbour-signature pruning.
+        group.bench_with_input(BenchmarkId::new("vf2_nosig", qsize), &qsize, |b, _| {
+            let opts = gc_iso::vf2::Options { neighbor_signatures: false };
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    for g in &dataset {
+                        let (found, _) = gc_iso::vf2::enumerate_with_options(
+                            std::hint::black_box(q),
+                            g,
+                            None,
+                            opts,
+                            &mut |_| gc_iso::vf2::Control::Stop,
+                        );
+                        if found.is_yes() {
+                            hits += 1;
+                        }
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

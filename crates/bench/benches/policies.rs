@@ -1,0 +1,53 @@
+//! Replacement-policy bookkeeping overhead: on_hit updates and victim
+//! selection at various cache sizes. Policy work must stay negligible next
+//! to sub-iso testing; this bench keeps it honest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_core::{HitCredit, HitKind, Policy, PolicyKind, ReplacementPolicy};
+use std::time::Duration;
+
+fn filled_policy(kind: PolicyKind, n: usize) -> Policy {
+    let mut p = Policy::new(kind);
+    for e in 0..n as u32 {
+        p.on_insert(e, e as u64);
+        // Give entries varied utilities so rankings are non-trivial.
+        let credit = HitCredit {
+            kind: HitKind::CachedInQuery,
+            tests_saved: (e as u64 * 7) % 101,
+            cost_saved: ((e as u64 * 13) % 97) as f64,
+        };
+        p.on_hit(e, &credit, 1000 + e as u64);
+    }
+    p
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy");
+    group.sample_size(30).measurement_time(Duration::from_secs(1));
+
+    for kind in PolicyKind::all() {
+        for &n in &[100usize, 1000, 10_000] {
+            let mut p = filled_policy(kind, n);
+            group.bench_with_input(
+                BenchmarkId::new(format!("victims/{kind}"), n),
+                &n,
+                |b, _| b.iter(|| std::hint::black_box(p.victims(10)).len()),
+            );
+        }
+    }
+
+    let mut p = filled_policy(PolicyKind::Hd, 10_000);
+    let credit =
+        HitCredit { kind: HitKind::QueryInCached, tests_saved: 5, cost_saved: 42.0 };
+    group.bench_function("on_hit/HD/10000", |b| {
+        let mut e = 0u32;
+        b.iter(|| {
+            e = (e + 1) % 10_000;
+            p.on_hit(std::hint::black_box(e), &credit, 99);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Experiment I (paper §3.1.I): Competition Among Various Policies.
+//!
+//! Claim to reproduce: *different cache replacement policies take the lead
+//! depending on workload and dataset characteristics; HD performs better or
+//! on par with the best alternative* ("When in doubt, use the HD
+//! replacement policy").
+//!
+//! Grid: {molecule-like, Erdős–Rényi, scale-free} datasets ×
+//! {uniform, Zipf, drift} workloads × {LRU, POP, PIN, PINC, HD}.
+//! Metric: speedup in avg sub-iso tests and avg query time vs Method M
+//! (FTV) alone.
+
+use gc_bench::{print_table, run_base, run_cached, write_artifact};
+use gc_core::{CacheConfig, PolicyKind};
+use gc_method::{Dataset, FtvMethod};
+use gc_workload::random::{ba_dataset, er_dataset};
+use gc_workload::{molecule_dataset, Workload, WorkloadKind, WorkloadSpec};
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct Cell {
+    dataset: String,
+    workload: String,
+    policy: String,
+    test_speedup: f64,
+    time_speedup: f64,
+    hit_ratio: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n_queries = if quick { 400 } else { 2000 };
+
+    let datasets: Vec<(&str, Arc<Dataset>)> = vec![
+        ("molecules", Arc::new(Dataset::new(molecule_dataset(300, 2018)))),
+        ("erdos-renyi", Arc::new(Dataset::new(er_dataset(150, 25, 0.12, 4, 2018)))),
+        ("scale-free", Arc::new(Dataset::new(ba_dataset(150, 30, 2, 4, 2018)))),
+    ];
+    let workloads: Vec<(&str, WorkloadKind)> = vec![
+        ("uniform", WorkloadKind::Uniform),
+        ("zipf(1.2)", WorkloadKind::Zipf { skew: 1.2 }),
+        ("drift", WorkloadKind::Drift { chain_len: 4, repeat_prob: 0.3 }),
+    ];
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut hd_wins_or_ties = 0usize;
+    let mut combos = 0usize;
+
+    for (ds_name, dataset) in &datasets {
+        for (wl_name, wl_kind) in &workloads {
+            let spec = WorkloadSpec {
+                n_queries,
+                pool_size: 150,
+                kind: wl_kind.clone(),
+                min_edges: 4,
+                max_edges: 12,
+                seed: 7,
+                ..WorkloadSpec::default()
+            };
+            let workload = Workload::generate(dataset.graphs(), &spec);
+            let base = run_base(dataset, &FtvMethod::build(dataset, 2), &workload);
+            let config = CacheConfig { capacity: 25, window_size: 10, ..CacheConfig::default() };
+
+            let mut best_speedup = 0.0f64;
+            let mut hd_speedup = 0.0f64;
+            for policy in PolicyKind::all() {
+                let out = run_cached(
+                    dataset,
+                    Box::new(FtvMethod::build(dataset, 2)),
+                    policy,
+                    &config,
+                    &workload,
+                    &base,
+                );
+                best_speedup = best_speedup.max(out.test_speedup);
+                if policy == PolicyKind::Hd {
+                    hd_speedup = out.test_speedup;
+                }
+                rows.push(vec![
+                    ds_name.to_string(),
+                    wl_name.to_string(),
+                    out.policy.clone(),
+                    format!("{:.2}x", out.test_speedup),
+                    format!("{:.2}x", out.time_speedup),
+                    format!("{:.0}%", 100.0 * out.hit_ratio),
+                ]);
+                cells.push(Cell {
+                    dataset: ds_name.to_string(),
+                    workload: wl_name.to_string(),
+                    policy: out.policy,
+                    test_speedup: out.test_speedup,
+                    time_speedup: out.time_speedup,
+                    hit_ratio: out.hit_ratio,
+                });
+            }
+            combos += 1;
+            if hd_speedup >= 0.95 * best_speedup {
+                hd_wins_or_ties += 1;
+            }
+        }
+    }
+
+    println!("=== Experiment I: Competition Among Various Policies ===");
+    println!("(speedup = avg Method M / avg GC-over-M; {n_queries} queries per combo)\n");
+    print_table(
+        &["dataset", "workload", "policy", "test-speedup", "time-speedup", "hit%"],
+        &rows,
+    );
+    println!(
+        "\ntakeaway check: HD best-or-on-par (within 5% of the best) in {hd_wins_or_ties}/{combos} combos"
+    );
+    match write_artifact("exp1_policies", &cells) {
+        Ok(p) => println!("artifact: {}", p.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+}

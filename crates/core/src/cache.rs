@@ -1,0 +1,202 @@
+//! Cache Manager: storage of cached queries and their lookup structures.
+
+use crate::entry::{CacheEntry, EntryId, EntryStats};
+use gc_graph::{BitSet, Graph};
+use gc_index::{FeatureConfig, QueryIndex};
+use gc_method::QueryKind;
+use std::collections::HashMap;
+
+/// Owns the cached entries, the WL-fingerprint table (exact-match hits) and
+/// the containment [`QueryIndex`] (sub/super-case hits).
+///
+/// Entry ids are slab slots: dense, reused after eviction.
+#[derive(Debug)]
+pub struct CacheManager {
+    slots: Vec<Option<CacheEntry>>,
+    free: Vec<EntryId>,
+    by_fingerprint: HashMap<u64, Vec<EntryId>>,
+    index: QueryIndex,
+    live: usize,
+}
+
+impl CacheManager {
+    /// New empty cache whose query index uses `cfg`.
+    pub fn new(cfg: FeatureConfig) -> Self {
+        CacheManager {
+            slots: Vec::new(),
+            free: Vec::new(),
+            by_fingerprint: HashMap::new(),
+            index: QueryIndex::new(cfg),
+            live: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// `true` iff no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Access an entry; `None` for evicted/unknown ids.
+    pub fn get(&self, id: EntryId) -> Option<&CacheEntry> {
+        self.slots.get(id as usize).and_then(Option::as_ref)
+    }
+
+    /// Mutable access to an entry (Statistics Manager updates).
+    pub fn get_mut(&mut self, id: EntryId) -> Option<&mut CacheEntry> {
+        self.slots.get_mut(id as usize).and_then(Option::as_mut)
+    }
+
+    /// The containment index over cached queries.
+    pub fn index(&self) -> &QueryIndex {
+        &self.index
+    }
+
+    /// Iterate over live entries in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.slots.iter().filter_map(Option::as_ref)
+    }
+
+    /// Ids of live entries in slot order.
+    pub fn ids(&self) -> Vec<EntryId> {
+        self.iter().map(|e| e.id).collect()
+    }
+
+    /// Entries whose fingerprint equals `fp` (exact-match bucket; confirm
+    /// with isomorphism).
+    pub fn fingerprint_bucket(&self, fp: u64) -> &[EntryId] {
+        self.by_fingerprint.get(&fp).map_or(&[], Vec::as_slice)
+    }
+
+    /// Insert a new entry; returns its id.
+    pub fn insert(
+        &mut self,
+        graph: Graph,
+        kind: QueryKind,
+        answer: BitSet,
+        base_tests: u64,
+        base_cost: u64,
+        now: u64,
+    ) -> EntryId {
+        let fingerprint = gc_graph::hash::fingerprint(&graph);
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as EntryId
+            }
+        };
+        self.index.insert(id, &graph);
+        self.by_fingerprint.entry(fingerprint).or_default().push(id);
+        self.slots[id as usize] = Some(CacheEntry {
+            id,
+            graph,
+            kind,
+            answer,
+            fingerprint,
+            base_tests,
+            base_cost,
+            stats: EntryStats { inserted_at: now, last_used: now, ..EntryStats::default() },
+        });
+        self.live += 1;
+        id
+    }
+
+    /// Remove an entry; returns it if it was live.
+    pub fn remove(&mut self, id: EntryId) -> Option<CacheEntry> {
+        let entry = self.slots.get_mut(id as usize)?.take()?;
+        self.live -= 1;
+        self.free.push(id);
+        self.index.remove(id);
+        if let Some(bucket) = self.by_fingerprint.get_mut(&entry.fingerprint) {
+            bucket.retain(|&e| e != id);
+            if bucket.is_empty() {
+                self.by_fingerprint.remove(&entry.fingerprint);
+            }
+        }
+        Some(entry)
+    }
+
+    /// Approximate heap bytes of all cached entries plus lookup structures —
+    /// the "GC memory" side of Experiment II.
+    pub fn memory_bytes(&self) -> usize {
+        let entries: usize = self.iter().map(CacheEntry::memory_bytes).sum();
+        entries + self.index.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    fn insert_simple(cm: &mut CacheManager, labels: &[u32]) -> EntryId {
+        let graph = g(labels, &[]);
+        cm.insert(graph, QueryKind::Subgraph, BitSet::new(4), 4, 10, 0)
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut cm = CacheManager::new(FeatureConfig::default());
+        let a = insert_simple(&mut cm, &[0]);
+        let b = insert_simple(&mut cm, &[1]);
+        assert_eq!(cm.len(), 2);
+        assert_eq!(cm.get(a).unwrap().id, a);
+        let removed = cm.remove(a).unwrap();
+        assert_eq!(removed.id, a);
+        assert!(cm.get(a).is_none());
+        assert_eq!(cm.len(), 1);
+        assert!(cm.remove(a).is_none());
+        assert_eq!(cm.get(b).unwrap().graph.label(0), Label(1));
+    }
+
+    #[test]
+    fn slot_reuse() {
+        let mut cm = CacheManager::new(FeatureConfig::default());
+        let a = insert_simple(&mut cm, &[0]);
+        cm.remove(a);
+        let c = insert_simple(&mut cm, &[2]);
+        assert_eq!(c, a, "slab must reuse freed slot");
+        assert_eq!(cm.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_buckets_track_entries() {
+        let mut cm = CacheManager::new(FeatureConfig::default());
+        let graph = g(&[0, 1], &[(0, 1)]);
+        let fp = gc_graph::hash::fingerprint(&graph);
+        let id = cm.insert(graph, QueryKind::Subgraph, BitSet::new(2), 1, 1, 0);
+        assert_eq!(cm.fingerprint_bucket(fp), &[id]);
+        cm.remove(id);
+        assert!(cm.fingerprint_bucket(fp).is_empty());
+    }
+
+    #[test]
+    fn index_stays_in_sync() {
+        let mut cm = CacheManager::new(FeatureConfig::default());
+        let id = cm.insert(g(&[0, 1], &[(0, 1)]), QueryKind::Subgraph, BitSet::new(2), 1, 1, 0);
+        let qf = cm.index().features_of(&g(&[0, 1], &[(0, 1)]));
+        assert_eq!(cm.index().sub_case_candidates(&qf), vec![id]);
+        cm.remove(id);
+        assert!(cm.index().sub_case_candidates(&qf).is_empty());
+    }
+
+    #[test]
+    fn iteration_and_memory() {
+        let mut cm = CacheManager::new(FeatureConfig::default());
+        insert_simple(&mut cm, &[0]);
+        insert_simple(&mut cm, &[1]);
+        assert_eq!(cm.iter().count(), 2);
+        assert_eq!(cm.ids().len(), 2);
+        assert!(cm.memory_bytes() > 0);
+    }
+}

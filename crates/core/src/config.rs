@@ -1,0 +1,115 @@
+//! Cache configuration.
+
+use gc_index::FeatureConfig;
+use gc_method::Engine;
+
+/// Tunables of a [`crate::GraphCache`] instance.
+///
+/// Defaults follow the demo deployment (paper §3: cache of 50 executed
+/// queries, window batches of 10) with budgets sized so cache probing can
+/// never dominate query time.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Maximum number of cached queries.
+    pub capacity: usize,
+    /// Admission window size: executed queries are buffered and admitted in
+    /// batches of this many (Window Manager).
+    pub window_size: usize,
+    /// Maximum sub-case hit candidates to *verify* per query (budget knob of
+    /// DESIGN.md §6).
+    pub max_sub_checks: usize,
+    /// Maximum super-case hit candidates to verify per query.
+    pub max_super_checks: usize,
+    /// Step budget per hit-candidate verification; exceeding it counts as
+    /// "no hit" (sound — only savings are lost).
+    pub probe_budget: u64,
+    /// Feature configuration of the query index (containment probes).
+    pub feature_config: FeatureConfig,
+    /// Verifier engine.
+    pub engine: Engine,
+    /// Worker threads for candidate verification (1 = sequential).
+    pub threads: usize,
+    /// Admission filter: only cache queries whose execution performed at
+    /// least this many sub-iso tests (cheap queries cannot repay their cache
+    /// slot).
+    pub min_admit_tests: usize,
+    /// Minimum candidate-set size to dispatch verification to the worker
+    /// pool; smaller sets run inline (channel round-trips would outweigh
+    /// the work). Only relevant when `threads > 1`.
+    pub parallel_threshold: usize,
+    /// Optional byte budget for the cache (entries + index). When set,
+    /// replacement sweeps also evict until the footprint fits — the memory
+    /// side of the kernel's "resource management (memory and threads)". The
+    /// entry-count `capacity` still applies independently.
+    pub max_bytes: Option<usize>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 50,
+            window_size: 10,
+            max_sub_checks: 64,
+            max_super_checks: 64,
+            probe_budget: 100_000,
+            feature_config: FeatureConfig::default(),
+            engine: Engine::Vf2,
+            threads: 1,
+            min_admit_tests: 1,
+            parallel_threshold: 8,
+            max_bytes: None,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Config with the given entry capacity, other knobs at defaults.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CacheConfig { capacity, ..Default::default() }
+    }
+
+    /// Validate invariants (positive capacity and window, nonzero budgets).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.capacity == 0 {
+            return Err("capacity must be > 0".into());
+        }
+        if self.window_size == 0 {
+            return Err("window_size must be > 0".into());
+        }
+        if self.probe_budget == 0 {
+            return Err("probe_budget must be > 0".into());
+        }
+        if self.threads == 0 {
+            return Err("threads must be > 0".into());
+        }
+        if self.max_bytes == Some(0) {
+            return Err("max_bytes must be > 0 when set".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(CacheConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CacheConfig { capacity: 0, ..CacheConfig::default() }.validate().is_err());
+        assert!(CacheConfig { window_size: 0, ..CacheConfig::default() }.validate().is_err());
+        assert!(CacheConfig { threads: 0, ..CacheConfig::default() }.validate().is_err());
+        assert!(CacheConfig { probe_budget: 0, ..CacheConfig::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn with_capacity_sets_capacity() {
+        let c = CacheConfig::with_capacity(123);
+        assert_eq!(c.capacity, 123);
+        assert_eq!(c.window_size, CacheConfig::default().window_size);
+    }
+}

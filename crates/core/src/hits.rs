@@ -1,0 +1,248 @@
+//! Sub/Super Case Processors: detect cache hits for a new query.
+//!
+//! Terminology (fixed by the demo's Fig. 3, stated for *subgraph* queries):
+//!
+//! * **sub case** — the new query `g` is a subgraph of a cached query `h`
+//!   (`g ⊑ h`, [`Relation::QueryInCached`]);
+//! * **super case** — a cached query `h` is a subgraph of `g` (`h ⊑ g`,
+//!   [`Relation::CachedInQuery`]).
+//!
+//! Which relation yields definite answers and which yields pruning depends
+//! on the query kind; that mapping lives in [`crate::pruner`]. This module
+//! only *finds and verifies* the relationships, under budgets so that cache
+//! probing can never dominate query time.
+
+use crate::cache::CacheManager;
+use crate::config::CacheConfig;
+use crate::entry::EntryId;
+use gc_graph::Graph;
+use gc_iso::Found;
+use gc_method::QueryKind;
+
+/// Structural relation of a verified hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `query ⊑ cached` — the demo's *sub case* (`H` in Fig. 3).
+    QueryInCached,
+    /// `cached ⊑ query` — the demo's *super case* (`H'` in Fig. 3).
+    CachedInQuery,
+}
+
+/// One verified cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hit {
+    /// The cached entry.
+    pub entry: EntryId,
+    /// How it relates to the new query.
+    pub relation: Relation,
+}
+
+/// All hits found for one query, plus probing costs.
+#[derive(Debug, Clone, Default)]
+pub struct CacheHits {
+    /// Exact-match entry, if any.
+    pub exact: Option<EntryId>,
+    /// Verified sub-case hits (`query ⊑ cached`).
+    pub sub: Vec<EntryId>,
+    /// Verified super-case hits (`cached ⊑ query`).
+    pub super_: Vec<EntryId>,
+    /// Sub-iso tests spent probing (cache overhead, counted into the
+    /// speedup denominator).
+    pub probe_tests: u64,
+    /// Verifier steps spent probing.
+    pub probe_steps: u64,
+}
+
+impl CacheHits {
+    /// All non-exact hits with their relations.
+    pub fn iter(&self) -> impl Iterator<Item = Hit> + '_ {
+        self.sub
+            .iter()
+            .map(|&e| Hit { entry: e, relation: Relation::QueryInCached })
+            .chain(self.super_.iter().map(|&e| Hit { entry: e, relation: Relation::CachedInQuery }))
+    }
+
+    /// Total number of verified (non-exact) hits.
+    pub fn count(&self) -> usize {
+        self.sub.len() + self.super_.len()
+    }
+}
+
+/// Find the exact-match entry for `query`, if cached (same kind).
+pub fn find_exact(cache: &CacheManager, query: &Graph, kind: QueryKind) -> Option<EntryId> {
+    let fp = gc_graph::hash::fingerprint(query);
+    cache
+        .fingerprint_bucket(fp)
+        .iter()
+        .copied()
+        .find(|&id| {
+            let e = cache.get(id).expect("bucket holds live entries");
+            e.kind == kind && gc_iso::iso::are_isomorphic(&e.graph, query)
+        })
+}
+
+/// Probe the cache for sub-case and super-case hits of `query`.
+///
+/// Candidates come from the containment [`gc_index::QueryIndex`]; each is
+/// confirmed with a budgeted sub-iso test. Verification order favours the
+/// most *useful* entries first (largest answer sets for sub-case hits —
+/// they yield more definite answers for subgraph queries; smallest answer
+/// sets for super-case hits — they prune more), so the per-query check caps
+/// (`max_sub_checks` / `max_super_checks`) spend their budget where it pays.
+/// For supergraph queries the utility direction flips with the semantics;
+/// ordering is adjusted accordingly.
+pub fn probe(
+    cache: &CacheManager,
+    cfg: &CacheConfig,
+    query: &Graph,
+    kind: QueryKind,
+) -> CacheHits {
+    let mut hits = CacheHits { exact: find_exact(cache, query, kind), ..CacheHits::default() };
+    if hits.exact.is_some() {
+        return hits;
+    }
+    let qf = cache.index().features_of(query);
+
+    // --- sub case: query ⊑ cached ---------------------------------------
+    let mut sub_cands: Vec<EntryId> = cache
+        .index()
+        .sub_case_candidates(&qf)
+        .into_iter()
+        .filter(|&id| cache.get(id).is_some_and(|e| e.kind == kind))
+        .collect();
+    // Utility ordering (see doc comment): for subgraph queries a sub-case
+    // hit contributes `answer` as definite answers -> prefer large answers.
+    // For supergraph queries it contributes pruning -> prefer small answers.
+    match kind {
+        QueryKind::Subgraph => sub_cands.sort_by_key(|&id| {
+            std::cmp::Reverse(cache.get(id).map_or(0, |e| e.answer.count()))
+        }),
+        QueryKind::Supergraph => {
+            sub_cands.sort_by_key(|&id| cache.get(id).map_or(usize::MAX, |e| e.answer.count()))
+        }
+    }
+    for id in sub_cands.into_iter().take(cfg.max_sub_checks) {
+        let e = cache.get(id).expect("candidate ids are live");
+        hits.probe_tests += 1;
+        let (found, steps) = cfg.engine.verify_budgeted(query, &e.graph, cfg.probe_budget);
+        hits.probe_steps += steps;
+        if found == Found::Yes {
+            hits.sub.push(id);
+        }
+    }
+
+    // --- super case: cached ⊑ query --------------------------------------
+    let mut super_cands: Vec<EntryId> = cache
+        .index()
+        .super_case_candidates(&qf)
+        .into_iter()
+        .filter(|&id| cache.get(id).is_some_and(|e| e.kind == kind))
+        .collect();
+    match kind {
+        QueryKind::Subgraph => super_cands
+            .sort_by_key(|&id| cache.get(id).map_or(usize::MAX, |e| e.answer.count())),
+        QueryKind::Supergraph => super_cands.sort_by_key(|&id| {
+            std::cmp::Reverse(cache.get(id).map_or(0, |e| e.answer.count()))
+        }),
+    }
+    for id in super_cands.into_iter().take(cfg.max_super_checks) {
+        let e = cache.get(id).expect("candidate ids are live");
+        hits.probe_tests += 1;
+        let (found, steps) = cfg.engine.verify_budgeted(&e.graph, query, cfg.probe_budget);
+        hits.probe_steps += steps;
+        if found == Found::Yes {
+            hits.super_.push(id);
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, BitSet, Label};
+    use gc_index::FeatureConfig;
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    fn cache_with(entries: &[(Graph, QueryKind)]) -> CacheManager {
+        let mut cm = CacheManager::new(FeatureConfig::with_max_len(2));
+        for (graph, kind) in entries {
+            cm.insert(graph.clone(), *kind, BitSet::new(8), 8, 100, 0);
+        }
+        cm
+    }
+
+    #[test]
+    fn exact_match_found_and_kind_respected() {
+        let q = g(&[0, 1], &[(0, 1)]);
+        let cm = cache_with(&[(q.clone(), QueryKind::Subgraph)]);
+        assert!(find_exact(&cm, &q, QueryKind::Subgraph).is_some());
+        assert!(find_exact(&cm, &q, QueryKind::Supergraph).is_none());
+        // A permuted isomorphic presentation still matches.
+        let q2 = g(&[1, 0], &[(0, 1)]);
+        assert!(find_exact(&cm, &q2, QueryKind::Subgraph).is_some());
+    }
+
+    #[test]
+    fn probe_finds_both_cases() {
+        // cached: edge 0-1 (will be h ⊑ g) and 4-cycle containing the path
+        // (will be g ⊑ h).
+        let edge = g(&[0, 1], &[(0, 1)]);
+        let square = g(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let cm = cache_with(&[
+            (edge, QueryKind::Subgraph),
+            (square, QueryKind::Subgraph),
+        ]);
+        let q = g(&[0, 1, 0], &[(0, 1), (1, 2)]); // path 0-1-0
+        let hits = probe(&cm, &CacheConfig::default(), &q, QueryKind::Subgraph);
+        assert!(hits.exact.is_none());
+        assert_eq!(hits.sub, vec![1], "q is inside the square");
+        assert_eq!(hits.super_, vec![0], "edge is inside q");
+        assert!(hits.probe_tests >= 2);
+        assert_eq!(hits.count(), 2);
+    }
+
+    #[test]
+    fn exact_hit_short_circuits_probing() {
+        let q = g(&[0, 1], &[(0, 1)]);
+        let cm = cache_with(&[(q.clone(), QueryKind::Subgraph)]);
+        let hits = probe(&cm, &CacheConfig::default(), &q, QueryKind::Subgraph);
+        assert!(hits.exact.is_some());
+        assert_eq!(hits.probe_tests, 0);
+        assert!(hits.sub.is_empty() && hits.super_.is_empty());
+    }
+
+    #[test]
+    fn kind_mismatch_is_not_a_hit() {
+        let edge = g(&[0, 1], &[(0, 1)]);
+        let cm = cache_with(&[(edge, QueryKind::Supergraph)]);
+        let q = g(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let hits = probe(&cm, &CacheConfig::default(), &q, QueryKind::Subgraph);
+        assert_eq!(hits.count(), 0);
+    }
+
+    #[test]
+    fn check_caps_limit_probing() {
+        let mut entries = Vec::new();
+        for _ in 0..10 {
+            entries.push((g(&[0, 1], &[(0, 1)]), QueryKind::Subgraph));
+        }
+        // 10 identical cached edges; cap super checks at 3.
+        let cm = {
+            let mut cm = CacheManager::new(FeatureConfig::with_max_len(2));
+            for (graph, kind) in &entries {
+                cm.insert(graph.clone(), *kind, BitSet::new(8), 8, 100, 0);
+            }
+            cm
+        };
+        let q = g(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let cfg = CacheConfig { max_super_checks: 3, max_sub_checks: 2, ..CacheConfig::default() };
+        let hits = probe(&cm, &cfg, &q, QueryKind::Subgraph);
+        assert!(hits.super_.len() <= 3);
+        assert!(hits.probe_tests <= 5);
+    }
+}

@@ -1,0 +1,54 @@
+//! # gc-core — the GraphCache kernel
+//!
+//! This crate implements the paper's Kernel subsystem (Fig. 1):
+//!
+//! * [`GraphCache`] — the Query Processing Runtime: for each incoming query
+//!   it runs Method M's filter, probes the cache for exact / sub-case /
+//!   super-case hits, prunes the candidate set with cached answers, verifies
+//!   the remainder, and maintains the cache;
+//! * [`CacheManager`] — storage of cached queries, their answer bitsets, the
+//!   fingerprint table for exact-match detection, and the
+//!   [`gc_index::QueryIndex`] for containment probes;
+//! * [`ReplacementPolicy`] + [`Policy`] — the paper's replacement policies
+//!   LRU, POP, PIN, PINC and HD behind the extension trait of Fig. 2(d);
+//! * [`WindowManager`](window::WindowManager) — batched admission control;
+//! * [`StatsMonitor`] — the Statistics Monitor/Manager pair: global counters
+//!   and per-query [`QueryReport`]s for the Demonstrator.
+//!
+//! ## Correctness
+//!
+//! GraphCache returns *exactly* the answer set Method M alone would return
+//! (no false positives/negatives — paper §1, "Problem (2)"). This invariant
+//! is enforced by integration tests and a property test comparing against
+//! [`gc_method::execute_base`] on randomized workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod cost;
+mod entry;
+mod hits;
+pub mod parallel;
+mod policy;
+pub mod policy_ext;
+mod pruner;
+mod report;
+mod stats;
+pub mod window;
+
+pub use cost::CostModel;
+pub use parallel::{verify_candidates, VerifyPool};
+
+pub use cache::CacheManager;
+pub use config::CacheConfig;
+pub use entry::{CacheEntry, EntryId, EntryStats};
+pub use hits::{CacheHits, Hit, Relation};
+pub use policy::{HitCredit, HitKind, Policy, PolicyKind, ReplacementPolicy};
+pub use pruner::{prune, Pruned};
+pub use report::QueryReport;
+pub use stats::{GlobalStats, StatsMonitor};
+
+mod runtime;
+pub use runtime::GraphCache;

@@ -1,0 +1,366 @@
+//! Parallel candidate verification.
+//!
+//! The paper's kernel discusses resource management over memory *and
+//! threads*; verification of the reduced candidate set `C` is embarrassingly
+//! parallel (read-only dataset, read-only query). Two execution modes:
+//!
+//! * [`verify_candidates`] — scoped threads spawned per call; zero standing
+//!   resources, fine for occasional heavyweight queries;
+//! * [`VerifyPool`] — a persistent worker pool fed over channels; the
+//!   runtime uses this when `threads > 1` so the per-query spawn cost
+//!   (hundreds of microseconds) cannot eat the savings on cheap queries.
+//!
+//! Results merge deterministically regardless of scheduling.
+
+use crossbeam::channel::{unbounded, Sender};
+use gc_graph::{BitSet, Graph};
+use gc_method::{Dataset, Engine, QueryKind};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Verify every graph in `to_verify`, returning the survivors `R` and the
+/// total verifier steps.
+///
+/// With `threads == 1` runs inline (no spawn overhead); otherwise splits the
+/// candidate list into contiguous chunks, one per worker.
+pub fn verify_candidates(
+    dataset: &Dataset,
+    engine: Engine,
+    query: &Graph,
+    kind: QueryKind,
+    to_verify: &BitSet,
+    threads: usize,
+) -> (BitSet, u64) {
+    let ids: Vec<usize> = to_verify.to_vec();
+    let mut answer = dataset.empty_set();
+    let mut steps = 0u64;
+
+    if threads <= 1 || ids.len() < 2 {
+        for &gid in &ids {
+            let (ok, s) = verify_one(dataset, engine, query, kind, gid);
+            steps += s;
+            if ok {
+                answer.insert(gid);
+            }
+        }
+        return (answer, steps);
+    }
+
+    let workers = threads.min(ids.len());
+    let chunk = ids.len().div_ceil(workers);
+    let results: Vec<(Vec<usize>, u64)> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = ids
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    let mut local_steps = 0u64;
+                    for &gid in slice {
+                        let (ok, s) = verify_one(dataset, engine, query, kind, gid);
+                        local_steps += s;
+                        if ok {
+                            local.push(gid);
+                        }
+                    }
+                    (local, local_steps)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("verifier worker panicked")).collect()
+    })
+    .expect("crossbeam scope failed");
+
+    for (local, local_steps) in results {
+        steps += local_steps;
+        for gid in local {
+            answer.insert(gid);
+        }
+    }
+    (answer, steps)
+}
+
+#[inline]
+fn verify_one(
+    dataset: &Dataset,
+    engine: Engine,
+    query: &Graph,
+    kind: QueryKind,
+    gid: usize,
+) -> (bool, u64) {
+    let target = dataset.graph(gid as u32);
+    match kind {
+        QueryKind::Subgraph => engine.verify(query, target),
+        QueryKind::Supergraph => engine.verify(target, query),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    fn dataset() -> Dataset {
+        Dataset::new(vec![
+            g(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]),
+            g(&[3, 3], &[(0, 1)]),
+            g(&[0, 1], &[(0, 1)]),
+            g(&[1, 0, 1], &[(0, 1), (1, 2)]),
+        ])
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let ds = dataset();
+        let q = g(&[0, 1], &[(0, 1)]);
+        let all = ds.all_graphs();
+        let (seq, seq_steps) =
+            verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &all, 1);
+        for t in [2, 3, 8] {
+            let (par, par_steps) =
+                verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &all, t);
+            assert_eq!(seq, par, "threads={t}");
+            assert_eq!(seq_steps, par_steps, "steps must be deterministic, threads={t}");
+        }
+        assert_eq!(seq.to_vec(), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn respects_candidate_subset() {
+        let ds = dataset();
+        let q = g(&[0, 1], &[(0, 1)]);
+        let only = BitSet::from_indices(ds.len(), [2usize, 3]);
+        let (ans, _) = verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &only, 2);
+        assert_eq!(ans.to_vec(), vec![3]);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let ds = dataset();
+        let q = g(&[0], &[]);
+        let none = ds.empty_set();
+        let (ans, steps) = verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &none, 4);
+        assert!(ans.is_empty());
+        assert_eq!(steps, 0);
+    }
+
+    #[test]
+    fn supergraph_direction() {
+        let ds = dataset();
+        let q = g(&[0, 1, 2, 0], &[(0, 1), (1, 2), (0, 3)]);
+        let all = ds.all_graphs();
+        let (ans, _) = verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Supergraph, &all, 2);
+        assert_eq!(ans.to_vec(), vec![0, 3]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Persistent worker pool
+// ---------------------------------------------------------------------------
+
+struct Job {
+    dataset: Arc<Dataset>,
+    query: Arc<Graph>,
+    kind: QueryKind,
+    engine: Engine,
+    ids: Vec<usize>,
+    reply: Sender<(Vec<usize>, u64)>,
+}
+
+/// A persistent pool of verification workers.
+///
+/// Workers live for the pool's lifetime; each job carries its inputs by
+/// `Arc`, so no per-call thread spawning or scoping is needed. Dropping the
+/// pool closes the job channel and joins the workers.
+pub struct VerifyPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    size: usize,
+}
+
+impl VerifyPool {
+    /// Spawn `size` workers (at least 1).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (tx, rx) = unbounded::<Job>();
+        let workers = (0..size)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("gc-verify-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            let mut local = Vec::new();
+                            let mut steps = 0u64;
+                            for gid in job.ids {
+                                let target = job.dataset.graph(gid as u32);
+                                let (ok, s) = match job.kind {
+                                    QueryKind::Subgraph => job.engine.verify(&job.query, target),
+                                    QueryKind::Supergraph => job.engine.verify(target, &job.query),
+                                };
+                                steps += s;
+                                if ok {
+                                    local.push(gid);
+                                }
+                            }
+                            // Receiver may have given up; ignore send errors.
+                            let _ = job.reply.send((local, steps));
+                        }
+                    })
+                    .expect("spawn verification worker")
+            })
+            .collect();
+        VerifyPool { tx: Some(tx), workers, size }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Verify `to_verify` against the dataset, returning survivors and total
+    /// verifier steps. Deterministic: the result is independent of worker
+    /// scheduling.
+    pub fn verify(
+        &self,
+        dataset: &Arc<Dataset>,
+        engine: Engine,
+        query: &Graph,
+        kind: QueryKind,
+        to_verify: &BitSet,
+    ) -> (BitSet, u64) {
+        let ids: Vec<usize> = to_verify.to_vec();
+        let mut answer = dataset.empty_set();
+        let mut steps = 0u64;
+        if ids.len() < 2 {
+            for &gid in &ids {
+                let (ok, s) = verify_one(dataset, engine, query, kind, gid);
+                steps += s;
+                if ok {
+                    answer.insert(gid);
+                }
+            }
+            return (answer, steps);
+        }
+        let tx = self.tx.as_ref().expect("pool is live");
+        let query = Arc::new(query.clone());
+        let (reply_tx, reply_rx) = unbounded();
+        // Oversplit ~2x for load balance under skewed verify costs.
+        let chunks = (2 * self.size).min(ids.len());
+        let chunk_len = ids.len().div_ceil(chunks);
+        let mut sent = 0usize;
+        for slice in ids.chunks(chunk_len) {
+            tx.send(Job {
+                dataset: dataset.clone(),
+                query: query.clone(),
+                kind,
+                engine,
+                ids: slice.to_vec(),
+                reply: reply_tx.clone(),
+            })
+            .expect("workers are alive while the pool exists");
+            sent += 1;
+        }
+        drop(reply_tx);
+        for _ in 0..sent {
+            let (local, local_steps) = reply_rx.recv().expect("worker replies");
+            steps += local_steps;
+            for gid in local {
+                answer.insert(gid);
+            }
+        }
+        (answer, steps)
+    }
+}
+
+impl Drop for VerifyPool {
+    fn drop(&mut self) {
+        self.tx.take(); // close the channel; workers drain and exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for VerifyPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifyPool").field("size", &self.size).finish()
+    }
+}
+
+#[cfg(test)]
+mod pool_tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    fn dataset() -> Arc<Dataset> {
+        Arc::new(Dataset::new(vec![
+            g(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]),
+            g(&[3, 3], &[(0, 1)]),
+            g(&[0, 1], &[(0, 1)]),
+            g(&[1, 0, 1], &[(0, 1), (1, 2)]),
+        ]))
+    }
+
+    #[test]
+    fn pool_matches_sequential() {
+        let ds = dataset();
+        let q = g(&[0, 1], &[(0, 1)]);
+        let all = ds.all_graphs();
+        let (seq, seq_steps) =
+            verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &all, 1);
+        for size in [1usize, 2, 4] {
+            let pool = VerifyPool::new(size);
+            let (par, par_steps) = pool.verify(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &all);
+            assert_eq!(seq, par, "pool size {size}");
+            assert_eq!(seq_steps, par_steps);
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_calls() {
+        let ds = dataset();
+        let pool = VerifyPool::new(3);
+        let q1 = g(&[0, 1], &[(0, 1)]);
+        let q2 = g(&[3], &[]);
+        let all = ds.all_graphs();
+        for _ in 0..50 {
+            let (a, _) = pool.verify(&ds, Engine::Vf2, &q1, QueryKind::Subgraph, &all);
+            assert_eq!(a.to_vec(), vec![0, 1, 3, 4]);
+            let (b, _) = pool.verify(&ds, Engine::Vf2, &q2, QueryKind::Subgraph, &all);
+            assert_eq!(b.to_vec(), vec![2]);
+        }
+    }
+
+    #[test]
+    fn pool_empty_and_singleton_candidates() {
+        let ds = dataset();
+        let pool = VerifyPool::new(2);
+        let q = g(&[0, 1], &[(0, 1)]);
+        let none = ds.empty_set();
+        let (a, s) = pool.verify(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &none);
+        assert!(a.is_empty());
+        assert_eq!(s, 0);
+        let one = BitSet::from_indices(ds.len(), [3usize]);
+        let (b, _) = pool.verify(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &one);
+        assert_eq!(b.to_vec(), vec![3]);
+    }
+
+    #[test]
+    fn dropping_pool_joins_workers() {
+        let pool = VerifyPool::new(4);
+        assert_eq!(pool.size(), 4);
+        drop(pool); // must not hang
+    }
+}

@@ -1,0 +1,168 @@
+//! Candidate Set Pruner: turn cache hits into savings.
+//!
+//! Implements the demo's Fig. 3 pipeline as bitset algebra. For a query `g`
+//! of kind `k` with Method-M candidate set `C_M` and verified hits:
+//!
+//! * hits whose cached answer is a **subset** of `A(g)` contribute definite
+//!   answers `S` (skip verification, Fig. 3(c));
+//! * hits whose cached answer is a **superset** of `A(g)` restrict the
+//!   candidate set (their complements are the definite non-answers `S'`,
+//!   Fig. 3(d));
+//! * the reduced verification set is `C = (C_M ∩ ⋂ supersets) \ S`
+//!   (Fig. 3(f)).
+//!
+//! The relation → role mapping depends on the query kind:
+//!
+//! | relation                  | subgraph query        | supergraph query      |
+//! |---------------------------|-----------------------|-----------------------|
+//! | `query ⊑ cached` (sub)    | `A(h) ⊆ A(g)`: S      | `A(g) ⊆ A(h)`: prune  |
+//! | `cached ⊑ query` (super)  | `A(g) ⊆ A(h)`: prune  | `A(h) ⊆ A(g)`: S      |
+
+use crate::hits::Relation;
+use gc_graph::BitSet;
+use gc_method::QueryKind;
+
+/// Result of pruning `C_M` with cache hits.
+#[derive(Debug, Clone)]
+pub struct Pruned {
+    /// `S` — definite answers (never verified).
+    pub definite: BitSet,
+    /// `C` — the reduced set that still needs verification.
+    pub to_verify: BitSet,
+    /// `|C_M|` for reporting.
+    pub cm_size: usize,
+    /// Number of candidates removed (`|C_M| − |C|`), the per-query savings
+    /// in sub-iso tests.
+    pub saved: usize,
+}
+
+/// Apply hit answers to the Method-M candidate set.
+///
+/// `hits` pairs each verified hit's relation with the cached answer bitset.
+pub fn prune(cm: &BitSet, hits: &[(Relation, &BitSet)], kind: QueryKind) -> Pruned {
+    let cm_size = cm.count();
+    let mut definite = BitSet::new(cm.universe());
+    let mut keep = cm.clone();
+
+    for &(rel, answer) in hits {
+        let gives_definite = matches!(
+            (kind, rel),
+            (QueryKind::Subgraph, Relation::QueryInCached)
+                | (QueryKind::Supergraph, Relation::CachedInQuery)
+        );
+        if gives_definite {
+            definite.union_with(answer);
+        } else {
+            keep.intersect_with(answer);
+        }
+    }
+
+    // Definite answers are answers regardless of C_M; but anything the
+    // pruning hits exclude cannot be an answer, and S is always a subset of
+    // the true answer set, which is a subset of every pruning superset —
+    // so S ∩ keep == S whenever the cached answers are consistent.
+    let mut to_verify = keep;
+    to_verify.difference_with(&definite);
+    let saved = cm_size - to_verify.count();
+    Pruned { definite, to_verify, cm_size, saved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(universe: usize, idx: &[usize]) -> BitSet {
+        BitSet::from_indices(universe, idx.iter().copied())
+    }
+
+    #[test]
+    fn subgraph_query_sub_case_gives_definite() {
+        let cm = bs(10, &[0, 1, 2, 3, 4]);
+        let cached_answer = bs(10, &[2, 3]);
+        let p = prune(&cm, &[(Relation::QueryInCached, &cached_answer)], QueryKind::Subgraph);
+        assert_eq!(p.definite.to_vec(), vec![2, 3]);
+        assert_eq!(p.to_verify.to_vec(), vec![0, 1, 4]);
+        assert_eq!(p.cm_size, 5);
+        assert_eq!(p.saved, 2);
+    }
+
+    #[test]
+    fn subgraph_query_super_case_prunes() {
+        let cm = bs(10, &[0, 1, 2, 3, 4]);
+        let cached_answer = bs(10, &[1, 2, 7]);
+        let p = prune(&cm, &[(Relation::CachedInQuery, &cached_answer)], QueryKind::Subgraph);
+        assert!(p.definite.is_empty());
+        assert_eq!(p.to_verify.to_vec(), vec![1, 2]);
+        assert_eq!(p.saved, 3);
+    }
+
+    #[test]
+    fn combined_hits_match_fig3_pipeline() {
+        // Mimic the Query Journey: C_M of 5, one sub hit delivering {4},
+        // one super hit keeping {0, 1, 4}.
+        let cm = bs(8, &[0, 1, 2, 3, 4]);
+        let sub_answer = bs(8, &[4]);
+        let super_answer = bs(8, &[0, 1, 4, 6]);
+        let p = prune(
+            &cm,
+            &[
+                (Relation::QueryInCached, &sub_answer),
+                (Relation::CachedInQuery, &super_answer),
+            ],
+            QueryKind::Subgraph,
+        );
+        assert_eq!(p.definite.to_vec(), vec![4]);
+        assert_eq!(p.to_verify.to_vec(), vec![0, 1]);
+        assert_eq!(p.saved, 3);
+    }
+
+    #[test]
+    fn supergraph_query_roles_flip() {
+        let cm = bs(10, &[0, 1, 2, 3]);
+        let ans = bs(10, &[1, 2]);
+        // cached ⊑ query gives definite answers for supergraph queries.
+        let p = prune(&cm, &[(Relation::CachedInQuery, &ans)], QueryKind::Supergraph);
+        assert_eq!(p.definite.to_vec(), vec![1, 2]);
+        // query ⊑ cached prunes.
+        let p2 = prune(&cm, &[(Relation::QueryInCached, &ans)], QueryKind::Supergraph);
+        assert!(p2.definite.is_empty());
+        assert_eq!(p2.to_verify.to_vec(), vec![1, 2]);
+    }
+
+    #[test]
+    fn no_hits_is_identity() {
+        let cm = bs(6, &[0, 3, 5]);
+        let p = prune(&cm, &[], QueryKind::Subgraph);
+        assert_eq!(p.to_verify, cm);
+        assert!(p.definite.is_empty());
+        assert_eq!(p.saved, 0);
+    }
+
+    #[test]
+    fn multiple_pruning_hits_intersect() {
+        let cm = bs(10, &[0, 1, 2, 3, 4, 5]);
+        let a1 = bs(10, &[0, 1, 2, 3]);
+        let a2 = bs(10, &[2, 3, 4]);
+        let p = prune(
+            &cm,
+            &[(Relation::CachedInQuery, &a1), (Relation::CachedInQuery, &a2)],
+            QueryKind::Subgraph,
+        );
+        assert_eq!(p.to_verify.to_vec(), vec![2, 3]);
+        assert_eq!(p.saved, 4);
+    }
+
+    #[test]
+    fn multiple_definite_hits_union() {
+        let cm = bs(10, &[0, 1, 2, 3, 4, 5]);
+        let a1 = bs(10, &[0]);
+        let a2 = bs(10, &[4, 5]);
+        let p = prune(
+            &cm,
+            &[(Relation::QueryInCached, &a1), (Relation::QueryInCached, &a2)],
+            QueryKind::Subgraph,
+        );
+        assert_eq!(p.definite.to_vec(), vec![0, 4, 5]);
+        assert_eq!(p.to_verify.to_vec(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Statistics Monitor / Manager.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Aggregate operational metrics of a cache instance (paper Fig. 1:
+/// Statistics Monitor feeding the Demonstrator's Sub-Iso Testing / Query
+/// Time panels).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GlobalStats {
+    /// Queries processed.
+    pub queries: u64,
+    /// Queries with at least one hit of any kind.
+    pub hit_queries: u64,
+    /// Exact-match hits.
+    pub exact_hits: u64,
+    /// Queries with at least one sub-case hit (query ⊑ cached).
+    pub queries_with_sub_hits: u64,
+    /// Queries with at least one super-case hit (cached ⊑ query).
+    pub queries_with_super_hits: u64,
+    /// Individual sub-case hits across all queries.
+    pub sub_hits: u64,
+    /// Individual super-case hits across all queries.
+    pub super_hits: u64,
+    /// Sub-iso tests executed against *dataset graphs* (Σ |C| over queries).
+    pub tests_executed: u64,
+    /// Sub-iso tests executed against *cached queries* while probing for
+    /// hits (cache overhead).
+    pub probe_tests: u64,
+    /// Sub-iso tests saved relative to Method M alone (Σ (|C_M| − |C|)).
+    pub tests_saved: u64,
+    /// Verifier steps spent on dataset-graph verification.
+    pub verify_steps: u64,
+    /// Verifier steps spent probing the cache.
+    pub probe_steps: u64,
+    /// Entries admitted.
+    pub admitted: u64,
+    /// Entries evicted.
+    pub evicted: u64,
+    /// Queries rejected by the admission filter.
+    pub admission_rejected: u64,
+    /// Total wall-clock time inside `query()`.
+    pub total_time: Duration,
+}
+
+impl GlobalStats {
+    /// Fraction of queries that enjoyed at least one cache hit.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.hit_queries as f64 / self.queries as f64
+        }
+    }
+
+    /// Average sub-iso tests per query, *including* cache-probe tests —
+    /// the cache must repay its own overhead.
+    pub fn avg_tests_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            (self.tests_executed + self.probe_tests) as f64 / self.queries as f64
+        }
+    }
+
+    /// Average wall-clock time per query.
+    pub fn avg_time_per_query(&self) -> Duration {
+        if self.queries == 0 {
+            Duration::ZERO
+        } else {
+            self.total_time / self.queries as u32
+        }
+    }
+}
+
+/// Thread-safe wrapper around [`GlobalStats`] — the Statistics Monitor.
+///
+/// Cloning shares the underlying counters (`Arc`).
+#[derive(Debug, Clone, Default)]
+pub struct StatsMonitor {
+    inner: Arc<Mutex<GlobalStats>>,
+}
+
+impl StatsMonitor {
+    /// New monitor with zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply a mutation under the lock.
+    pub fn update(&self, f: impl FnOnce(&mut GlobalStats)) {
+        f(&mut self.inner.lock());
+    }
+
+    /// Snapshot the current counters.
+    pub fn snapshot(&self) -> GlobalStats {
+        self.inner.lock().clone()
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        *self.inner.lock() = GlobalStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_averages() {
+        let mut s = GlobalStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.avg_tests_per_query(), 0.0);
+        assert_eq!(s.avg_time_per_query(), Duration::ZERO);
+        s.queries = 10;
+        s.hit_queries = 4;
+        s.tests_executed = 90;
+        s.probe_tests = 10;
+        s.total_time = Duration::from_millis(100);
+        assert!((s.hit_ratio() - 0.4).abs() < 1e-12);
+        assert!((s.avg_tests_per_query() - 10.0).abs() < 1e-12);
+        assert_eq!(s.avg_time_per_query(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn monitor_shares_state() {
+        let m = StatsMonitor::new();
+        let m2 = m.clone();
+        m.update(|s| s.queries += 5);
+        m2.update(|s| s.queries += 5);
+        assert_eq!(m.snapshot().queries, 10);
+        m.reset();
+        assert_eq!(m2.snapshot().queries, 0);
+    }
+}

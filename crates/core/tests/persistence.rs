@@ -1,0 +1,103 @@
+//! Cache persistence: export entries, reload them in a new session, and keep
+//! serving exact answers with immediate hits.
+
+use gc_core::{CacheConfig, CacheEntry, GraphCache, PolicyKind};
+use gc_method::{Dataset, SiMethod};
+use gc_workload::{molecule_dataset, Workload, WorkloadKind, WorkloadSpec};
+use std::sync::Arc;
+
+fn session(dataset: &Arc<Dataset>) -> GraphCache {
+    GraphCache::with_policy(
+        dataset.clone(),
+        Box::new(SiMethod),
+        PolicyKind::Hd,
+        CacheConfig { capacity: 20, window_size: 2, ..CacheConfig::default() },
+    )
+    .unwrap()
+}
+
+fn workload(dataset: &Arc<Dataset>) -> Workload {
+    let spec = WorkloadSpec {
+        n_queries: 40,
+        pool_size: 15,
+        kind: WorkloadKind::Zipf { skew: 1.0 },
+        seed: 17,
+        ..WorkloadSpec::default()
+    };
+    Workload::generate(dataset.graphs(), &spec)
+}
+
+#[test]
+fn export_import_roundtrip_preserves_hits() {
+    let dataset = Arc::new(Dataset::new(molecule_dataset(25, 404)));
+    let w = workload(&dataset);
+
+    let mut first = session(&dataset);
+    for wq in &w.queries {
+        first.query(&wq.graph, wq.kind);
+    }
+    let exported = first.export_entries();
+    assert!(!exported.is_empty());
+
+    // Serialize through JSON like an application persisting to disk.
+    let json = serde_json::to_string(&exported).unwrap();
+    let reloaded: Vec<CacheEntry> = serde_json::from_str(&json).unwrap();
+
+    let mut second = session(&dataset);
+    let imported = second.import_entries(reloaded).unwrap();
+    assert_eq!(imported, exported.len());
+    assert_eq!(second.len(), exported.len());
+
+    // The very first queries of the new session are already exact hits.
+    let mut exact_hits = 0;
+    for wq in w.queries.iter().take(10) {
+        let r1 = second.query(&wq.graph, wq.kind);
+        let r2 = first.query(&wq.graph, wq.kind);
+        assert_eq!(r1.answer, r2.answer, "warm-start answers must match");
+        exact_hits += u64::from(r1.exact_hit);
+    }
+    assert!(exact_hits > 0, "warm-started cache must hit immediately");
+}
+
+#[test]
+fn import_rejects_foreign_universe() {
+    let dataset_a = Arc::new(Dataset::new(molecule_dataset(25, 1)));
+    let dataset_b = Arc::new(Dataset::new(molecule_dataset(10, 2)));
+    let w = workload(&dataset_a);
+    let mut a = session(&dataset_a);
+    for wq in &w.queries {
+        a.query(&wq.graph, wq.kind);
+    }
+    let mut b = session(&dataset_b);
+    assert!(b.import_entries(a.export_entries()).is_err());
+    assert!(b.is_empty());
+}
+
+#[test]
+fn import_dedups_and_respects_capacity() {
+    let dataset = Arc::new(Dataset::new(molecule_dataset(25, 3)));
+    let w = workload(&dataset);
+    let mut a = session(&dataset);
+    for wq in &w.queries {
+        a.query(&wq.graph, wq.kind);
+    }
+    let exported = a.export_entries();
+
+    let mut b = session(&dataset);
+    b.import_entries(exported.clone()).unwrap();
+    // Importing again adds nothing (exact duplicates skipped).
+    let second_round = b.import_entries(exported.clone()).unwrap();
+    assert_eq!(second_round, 0);
+    assert!(b.len() <= 20, "capacity respected after import");
+
+    // Importing into a tiny cache trims to capacity.
+    let mut tiny = GraphCache::with_policy(
+        dataset.clone(),
+        Box::new(SiMethod),
+        PolicyKind::Lru,
+        CacheConfig { capacity: 3, window_size: 1, ..CacheConfig::default() },
+    )
+    .unwrap();
+    tiny.import_entries(exported).unwrap();
+    assert!(tiny.len() <= 3);
+}

@@ -1,0 +1,128 @@
+//! Plain-text rendering toolkit.
+
+use gc_graph::BitSet;
+
+/// Render a universe of ids `0..n` as a grid, marking members of `set` with
+/// `#` and non-members with `·` (the demo's dark-blue-bar figures, Fig. 3).
+pub fn id_grid(set: &BitSet, per_row: usize) -> String {
+    let n = set.universe();
+    let per_row = per_row.max(1);
+    let mut out = String::new();
+    for row_start in (0..n).step_by(per_row) {
+        out.push_str(&format!("{row_start:>4} "));
+        for i in row_start..(row_start + per_row).min(n) {
+            out.push(if set.contains(i) { '#' } else { '·' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Horizontal bar chart: one row per `(label, value)`, scaled to `width`.
+pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
+    let max = rows.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in rows {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {}{} {value:.3}\n",
+            "█".repeat(bar_len),
+            " ".repeat(width.saturating_sub(bar_len)),
+        ));
+    }
+    out
+}
+
+/// Fixed-width table with a header row and a separator.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!("{cell:<w$}  ", w = widths[i]));
+        }
+        line.trim_end().to_owned() + "\n"
+    };
+    out.push_str(&fmt_row(headers.iter().map(|s| s.to_string()).collect(), &widths));
+    out.push_str(&format!("{}\n", "-".repeat(widths.iter().sum::<usize>() + 2 * ncols)));
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+    }
+    out
+}
+
+/// Compact set rendering: `{1, 4, 7} (3)`.
+pub fn set_summary(set: &BitSet, max_items: usize) -> String {
+    let items = set.to_vec();
+    let shown: Vec<String> = items.iter().take(max_items).map(|i| i.to_string()).collect();
+    let ellipsis = if items.len() > max_items { ", …" } else { "" };
+    format!("{{{}{}}} ({})", shown.join(", "), ellipsis, items.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_marks_members() {
+        let s = BitSet::from_indices(12, [0usize, 5, 11]);
+        let g = id_grid(&s, 6);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].ends_with("#····#"));
+        assert!(lines[1].ends_with("·····#"));
+    }
+
+    #[test]
+    fn bars_scale() {
+        let rows = vec![("a".to_owned(), 2.0), ("bb".to_owned(), 1.0)];
+        let out = bar_chart(&rows, 10);
+        assert!(out.contains("██████████"));
+        assert!(out.contains("█████ "));
+        assert!(out.contains("2.000"));
+    }
+
+    #[test]
+    fn bars_handle_zero() {
+        let rows = vec![("x".to_owned(), 0.0)];
+        let out = bar_chart(&rows, 10);
+        assert!(out.contains("0.000"));
+    }
+
+    #[test]
+    fn tables_align() {
+        let out = table(
+            &["policy", "speedup"],
+            &[
+                vec!["LRU".into(), "1.2".into()],
+                vec!["PINC".into(), "2.4".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("policy"));
+        assert!(lines[2].starts_with("LRU"));
+    }
+
+    #[test]
+    fn set_summaries_truncate() {
+        let s = BitSet::from_indices(100, 0..50usize);
+        let txt = set_summary(&s, 3);
+        assert!(txt.starts_with("{0, 1, 2, …}"));
+        assert!(txt.ends_with("(50)"));
+        let empty = BitSet::new(5);
+        assert_eq!(set_summary(&empty, 3), "{} (0)");
+    }
+}

@@ -1,0 +1,203 @@
+//! `gc` — command-line front-end to the GraphCache demonstrator.
+//!
+//! Subcommands:
+//!
+//! ```text
+//! gc generate --out ds.tve [--count 100] [--seed 42] [--model molecules|er|ba]
+//! gc run      --dataset ds.tve [--queries 300] [--workload zipf|uniform|drift]
+//!             [--policy HD] [--capacity 50] [--feature-size 2] [--dev]
+//! gc journey  --dataset ds.tve [--seed 7]
+//! gc compare  --dataset ds.tve [--queries 300] [--workload zipf]
+//! ```
+//!
+//! Datasets are plain `t/v/e` text files (the AIDS/gSpan format), so real
+//! datasets drop in directly.
+
+use gc_core::{CacheConfig, GraphCache, PolicyKind};
+use gc_demo::{developer_monitor, end_user_monitor, run_query_journey, run_workload_comparison};
+use gc_method::{Dataset, FtvMethod, QueryKind};
+use gc_workload::random::{ba_dataset, er_dataset};
+use gc_workload::{molecule_dataset, nested_chain, Workload, WorkloadKind, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            eprintln!("unexpected argument {:?}", args[i]);
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn get<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    flags.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn load_dataset(flags: &HashMap<String, String>) -> Result<Arc<Dataset>, String> {
+    let path = flags.get("dataset").ok_or("missing --dataset <file.tve>")?;
+    let graphs = gc_graph::io::load_dataset(path).map_err(|e| e.to_string())?;
+    if graphs.is_empty() {
+        return Err(format!("{path}: empty dataset"));
+    }
+    Ok(Arc::new(Dataset::new(graphs)))
+}
+
+fn workload_kind(name: &str) -> Result<WorkloadKind, String> {
+    match name {
+        "uniform" => Ok(WorkloadKind::Uniform),
+        "zipf" => Ok(WorkloadKind::Zipf { skew: 1.2 }),
+        "drift" => Ok(WorkloadKind::Drift { chain_len: 4, repeat_prob: 0.3 }),
+        other => Err(format!("unknown workload {other:?} (uniform|zipf|drift)")),
+    }
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let out = flags.get("out").ok_or("missing --out <file.tve>")?;
+    let count: usize = get(flags, "count", 100);
+    let seed: u64 = get(flags, "seed", 42);
+    let model = flags.get("model").map(String::as_str).unwrap_or("molecules");
+    let graphs = match model {
+        "molecules" => molecule_dataset(count, seed),
+        "er" => er_dataset(count, 25, 0.12, 4, seed),
+        "ba" => ba_dataset(count, 30, 2, 4, seed),
+        other => return Err(format!("unknown model {other:?} (molecules|er|ba)")),
+    };
+    std::fs::write(out, gc_graph::io::dataset_to_string(&graphs)).map_err(|e| e.to_string())?;
+    println!("wrote {count} {model} graphs to {out}");
+    Ok(())
+}
+
+fn build_cache(
+    dataset: &Arc<Dataset>,
+    flags: &HashMap<String, String>,
+) -> Result<GraphCache, String> {
+    let policy: PolicyKind = flags
+        .get("policy")
+        .map(|p| p.parse())
+        .transpose()?
+        .unwrap_or(PolicyKind::Hd);
+    let capacity: usize = get(flags, "capacity", 50);
+    let feature_size: usize = get(flags, "feature-size", 2);
+    GraphCache::with_policy(
+        dataset.clone(),
+        Box::new(FtvMethod::build(dataset, feature_size)),
+        policy,
+        CacheConfig { capacity, window_size: get(flags, "window", 10), ..CacheConfig::default() },
+    )
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let mut gc = build_cache(&dataset, flags)?;
+    let spec = WorkloadSpec {
+        n_queries: get(flags, "queries", 300),
+        pool_size: get(flags, "pool", 100),
+        kind: workload_kind(flags.get("workload").map(String::as_str).unwrap_or("zipf"))?,
+        seed: get(flags, "seed", 7),
+        ..WorkloadSpec::default()
+    };
+    let workload = Workload::generate(dataset.graphs(), &spec);
+    for wq in &workload.queries {
+        gc.query(&wq.graph, wq.kind);
+    }
+    println!("{}", end_user_monitor(&gc));
+    if flags.contains_key("dev") {
+        println!("{}", developer_monitor(&gc, get(flags, "top", 15)));
+    }
+    Ok(())
+}
+
+fn cmd_journey(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let mut gc = build_cache(&dataset, flags)?;
+    let seed: u64 = get(flags, "seed", 7);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let chain = nested_chain(dataset.graph(0), &[3, 5, 8, 12], &mut rng);
+    if chain.len() < 4 {
+        return Err("dataset graph 0 is too small to stage a journey".into());
+    }
+    for (i, q) in chain.iter().enumerate() {
+        if i != 2 {
+            gc.query(q, QueryKind::Subgraph);
+        }
+    }
+    let journey = run_query_journey(&mut gc, &chain[2], QueryKind::Subgraph);
+    println!("{}", journey.rendering);
+    Ok(())
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let spec = WorkloadSpec {
+        n_queries: get(flags, "queries", 300),
+        pool_size: get(flags, "pool", 150),
+        kind: workload_kind(flags.get("workload").map(String::as_str).unwrap_or("zipf"))?,
+        seed: get(flags, "seed", 7),
+        ..WorkloadSpec::default()
+    };
+    let workload = Workload::generate(dataset.graphs(), &spec);
+    let feature_size: usize = get(flags, "feature-size", 2);
+    let config = CacheConfig {
+        capacity: get(flags, "capacity", 25),
+        window_size: get(flags, "window", 10),
+        ..CacheConfig::default()
+    };
+    let cmp = run_workload_comparison(
+        &dataset,
+        &|| Box::new(FtvMethod::build(&dataset, feature_size)),
+        &config,
+        &workload,
+    );
+    println!("{}", cmp.render());
+    println!("winner: {}", cmp.winner());
+    Ok(())
+}
+
+const USAGE: &str = "usage: gc <generate|run|journey|compare> [--flag value]...
+  gc generate --out ds.tve [--count N] [--seed S] [--model molecules|er|ba]
+  gc run      --dataset ds.tve [--queries N] [--workload zipf|uniform|drift]
+              [--policy LRU|POP|PIN|PINC|HD] [--capacity N] [--feature-size L] [--dev]
+  gc journey  --dataset ds.tve [--seed S]
+  gc compare  --dataset ds.tve [--queries N] [--workload ...] [--capacity N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "run" => cmd_run(&flags),
+        "journey" => cmd_journey(&flags),
+        "compare" => cmd_compare(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Dashboard Manager: the End-User Monitor and Developer Monitor.
+//!
+//! The paper's Dashboard Manager (Fig. 1) serves two audiences: end-users
+//! get digested performance panels (Sub-Iso Testing, Query Time, Cache
+//! Replacement); developers get introspection into the cache's internals.
+//! Both render here as plain text from a live [`GraphCache`].
+
+use crate::ascii;
+use gc_core::GraphCache;
+
+/// End-User Monitor: the three Demonstrator panels (paper §2) — sub-iso
+/// testing, query time, and cache replacement — from the cache's global
+/// statistics.
+pub fn end_user_monitor(gc: &GraphCache) -> String {
+    let s = gc.stats();
+    let mut out = String::new();
+    out.push_str("=== End-User Monitor ===\n");
+    out.push_str(&format!(
+        "deployment: method {}, policy {}, {} / {} cache entries\n\n",
+        gc.method_name(),
+        gc.policy_name(),
+        gc.len(),
+        gc.config().capacity
+    ));
+    out.push_str("[Sub-Iso Testing]\n");
+    out.push_str(&format!("  queries processed      : {}\n", s.queries));
+    out.push_str(&format!(
+        "  tests executed         : {} against data graphs, {} probing the cache\n",
+        s.tests_executed, s.probe_tests
+    ));
+    out.push_str(&format!("  tests saved            : {}\n", s.tests_saved));
+    out.push_str(&format!("  avg tests per query    : {:.2}\n\n", s.avg_tests_per_query()));
+    out.push_str("[Query Time]\n");
+    out.push_str(&format!(
+        "  total / avg            : {:.1} ms / {:.3} ms\n\n",
+        s.total_time.as_secs_f64() * 1e3,
+        s.avg_time_per_query().as_secs_f64() * 1e3
+    ));
+    out.push_str("[Cache Replacement]\n");
+    out.push_str(&format!(
+        "  hit ratio              : {:.1}% ({} exact, {} sub-case, {} super-case hits)\n",
+        100.0 * s.hit_ratio(),
+        s.exact_hits,
+        s.sub_hits,
+        s.super_hits
+    ));
+    out.push_str(&format!(
+        "  admitted / evicted     : {} / {} (window {}, {} rejected by admission)\n",
+        s.admitted,
+        s.evicted,
+        gc.config().window_size,
+        s.admission_rejected
+    ));
+    out.push_str(&format!("  cache memory           : {} KiB\n", gc.memory_bytes() / 1024));
+    out
+}
+
+/// Developer Monitor: per-entry utility table (the data the replacement
+/// policies rank by), top `limit` entries by total hits.
+pub fn developer_monitor(gc: &GraphCache, limit: usize) -> String {
+    let mut entries: Vec<_> = gc.cache().iter().collect();
+    entries.sort_by_key(|e| std::cmp::Reverse(e.stats.total_hits()));
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .take(limit)
+        .map(|e| {
+            vec![
+                e.id.to_string(),
+                e.kind.to_string(),
+                format!("{}v/{}e", e.graph.vertex_count(), e.graph.edge_count()),
+                e.answer.count().to_string(),
+                e.stats.exact_hits.to_string(),
+                e.stats.sub_hits.to_string(),
+                e.stats.super_hits.to_string(),
+                e.stats.tests_saved.to_string(),
+                format!("{:.0}", e.stats.cost_saved),
+                e.stats.last_used.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = String::new();
+    out.push_str("=== Developer Monitor: cached entries by utility ===\n");
+    out.push_str(&ascii::table(
+        &["id", "kind", "size", "|A|", "exact", "sub", "super", "tests_saved", "cost_saved", "last_used"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "({} of {} entries shown; extend gc_core::ReplacementPolicy to rank them differently)\n",
+        rows.len(),
+        gc.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_core::{CacheConfig, PolicyKind};
+    use gc_method::{Dataset, QueryKind, SiMethod};
+    use gc_workload::{molecule_dataset, Workload, WorkloadKind, WorkloadSpec};
+    use std::sync::Arc;
+
+    fn warmed() -> GraphCache {
+        let dataset = Arc::new(Dataset::new(molecule_dataset(15, 21)));
+        let mut gc = GraphCache::with_policy(
+            dataset.clone(),
+            Box::new(SiMethod),
+            PolicyKind::Hd,
+            CacheConfig { capacity: 8, window_size: 2, ..CacheConfig::default() },
+        )
+        .unwrap();
+        let spec = WorkloadSpec {
+            n_queries: 30,
+            pool_size: 10,
+            kind: WorkloadKind::Zipf { skew: 1.2 },
+            seed: 4,
+            ..WorkloadSpec::default()
+        };
+        for wq in &Workload::generate(dataset.graphs(), &spec).queries {
+            gc.query(&wq.graph, QueryKind::Subgraph);
+        }
+        gc
+    }
+
+    #[test]
+    fn end_user_panels_present() {
+        let gc = warmed();
+        let txt = end_user_monitor(&gc);
+        for section in ["[Sub-Iso Testing]", "[Query Time]", "[Cache Replacement]"] {
+            assert!(txt.contains(section), "missing {section}");
+        }
+        assert!(txt.contains("hit ratio"));
+    }
+
+    #[test]
+    fn developer_table_lists_entries() {
+        let gc = warmed();
+        let txt = developer_monitor(&gc, 5);
+        assert!(txt.contains("tests_saved"));
+        // Table rows bounded by limit.
+        let data_lines = txt.lines().filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit())).count();
+        assert!(data_lines <= 5);
+        assert!(data_lines >= 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Scenario II: The Workload Run (paper §3.2, Fig. 2(b,c)).
+//!
+//! Runs the same workload through one GraphCache instance per replacement
+//! policy (all over the same Method M), tracking per-query hit percentages
+//! and which entries each policy evicts, then renders the side-by-side
+//! comparison the demo shows — different policies evict different graphs,
+//! with different resulting speedups.
+
+use crate::ascii;
+use gc_core::{CacheConfig, EntryId, GlobalStats, GraphCache, PolicyKind};
+use gc_method::{execute_base, Dataset, Method};
+use gc_workload::Workload;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Outcome of one policy's run over the workload.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Final cache statistics.
+    pub stats: GlobalStats,
+    /// Entry ids evicted, in eviction order.
+    pub evicted: Vec<EntryId>,
+    /// Entry ids resident at the end.
+    pub resident: Vec<EntryId>,
+    /// Per-query cache-hit flags (for the hit-percentage timeline).
+    pub hit_timeline: Vec<bool>,
+    /// Per-query hit percentage: verified hits over cached entries at the
+    /// time of the query (the demo's "number of cache-hits over the number
+    /// of cached graphs").
+    pub hit_pct_timeline: Vec<f64>,
+    /// Speedup in average sub-iso tests vs the base method (probe tests
+    /// charged to the cache).
+    pub test_speedup: f64,
+    /// Speedup in average query time vs the base method.
+    pub time_speedup: f64,
+}
+
+/// The full comparison across policies.
+#[derive(Debug, Clone)]
+pub struct WorkloadComparison {
+    /// One outcome per policy, in [`PolicyKind::all`] order.
+    pub outcomes: Vec<PolicyOutcome>,
+    /// Average sub-iso tests per query of the base method.
+    pub base_avg_tests: f64,
+    /// Average query time of the base method.
+    pub base_avg_time: Duration,
+}
+
+/// Run `workload` under every bundled policy over caches built by
+/// `make_method` (one fresh Method M per policy so indices are unshared),
+/// and also through the base method alone for the speedup denominator.
+pub fn run_workload_comparison(
+    dataset: &Arc<Dataset>,
+    make_method: &dyn Fn() -> Box<dyn Method>,
+    config: &CacheConfig,
+    workload: &Workload,
+) -> WorkloadComparison {
+    // Base method side (the speedup denominator... numerator in the paper's
+    // ratio: speedup = base avg / GC avg).
+    let base_method = make_method();
+    let mut base_tests = 0u64;
+    let mut base_time = Duration::ZERO;
+    for wq in &workload.queries {
+        let run = execute_base(dataset, base_method.as_ref(), config.engine, &wq.graph, wq.kind);
+        base_tests += run.sub_iso_tests as u64;
+        base_time += run.elapsed;
+    }
+    let n = workload.len().max(1) as f64;
+    let base_avg_tests = base_tests as f64 / n;
+    let base_avg_time = base_time.div_f64(n);
+
+    let outcomes = PolicyKind::all()
+        .into_iter()
+        .map(|policy| {
+            let mut gc = GraphCache::with_policy(
+                dataset.clone(),
+                make_method(),
+                policy,
+                config.clone(),
+            )
+            .expect("valid config");
+            let mut evicted = Vec::new();
+            let mut hit_timeline = Vec::with_capacity(workload.len());
+            let mut hit_pct_timeline = Vec::with_capacity(workload.len());
+            for wq in &workload.queries {
+                let cached = gc.len().max(1);
+                let r = gc.query(&wq.graph, wq.kind);
+                evicted.extend(r.evicted.iter().copied());
+                hit_timeline.push(r.any_hit());
+                let hits = r.sub_hits.len() + r.super_hits.len() + usize::from(r.exact_hit);
+                hit_pct_timeline.push(100.0 * hits as f64 / cached as f64);
+            }
+            let stats = gc.stats();
+            let gc_avg_tests = stats.avg_tests_per_query();
+            let gc_avg_time = stats.avg_time_per_query();
+            PolicyOutcome {
+                policy,
+                evicted,
+                resident: gc.cache().ids(),
+                hit_timeline,
+                hit_pct_timeline,
+                test_speedup: if gc_avg_tests > 0.0 { base_avg_tests / gc_avg_tests } else { base_avg_tests },
+                time_speedup: if gc_avg_time > Duration::ZERO {
+                    base_avg_time.as_secs_f64() / gc_avg_time.as_secs_f64()
+                } else {
+                    f64::INFINITY
+                },
+                stats,
+            }
+        })
+        .collect();
+
+    WorkloadComparison { outcomes, base_avg_tests, base_avg_time }
+}
+
+impl WorkloadComparison {
+    /// Render the Fig. 2(b,c)-style comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== The Workload Run: policy comparison ===\n");
+        out.push_str(&format!(
+            "base method: {:.2} sub-iso tests/query, {:.3} ms/query\n\n",
+            self.base_avg_tests,
+            self.base_avg_time.as_secs_f64() * 1e3
+        ));
+        let rows: Vec<Vec<String>> = self
+            .outcomes
+            .iter()
+            .map(|o| {
+                vec![
+                    o.policy.to_string(),
+                    format!("{:.1}%", 100.0 * o.stats.hit_ratio()),
+                    format!("{:.2}", o.stats.avg_tests_per_query()),
+                    format!("{:.2}x", o.test_speedup),
+                    format!("{:.2}x", o.time_speedup),
+                    format!("{}", o.stats.evicted),
+                    crate::ascii_ids(&o.evicted, 10),
+                ]
+            })
+            .collect();
+        out.push_str(&ascii::table(
+            &["policy", "hit%", "tests/q", "test-speedup", "time-speedup", "#evicted", "evicted ids"],
+            &rows,
+        ));
+        out.push('\n');
+        let bars: Vec<(String, f64)> = self
+            .outcomes
+            .iter()
+            .map(|o| (o.policy.to_string(), o.test_speedup))
+            .collect();
+        out.push_str("test-speedup by policy:\n");
+        out.push_str(&ascii::bar_chart(&bars, 40));
+        out
+    }
+
+    /// Sparkline-style rendering of one policy's hit-percentage timeline,
+    /// bucketed into `buckets` workload phases (Scenario II: "upon each
+    /// executed query, users can view sub/super case cache hit in
+    /// percentage").
+    pub fn render_timeline(&self, policy: PolicyKind, buckets: usize) -> String {
+        let Some(o) = self.outcomes.iter().find(|o| o.policy == policy) else {
+            return format!("no outcome for policy {policy}\n");
+        };
+        let n = o.hit_pct_timeline.len();
+        if n == 0 || buckets == 0 {
+            return String::new();
+        }
+        let per = n.div_ceil(buckets);
+        let rows: Vec<(String, f64)> = o
+            .hit_pct_timeline
+            .chunks(per)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let avg = chunk.iter().sum::<f64>() / chunk.len() as f64;
+                (format!("queries {:>4}-{:<4}", i * per + 1, i * per + chunk.len()), avg)
+            })
+            .collect();
+        format!("hit % of cached entries over time ({policy}):\n{}", ascii::bar_chart(&rows, 30))
+    }
+
+    /// The best-performing policy by test speedup.
+    pub fn winner(&self) -> PolicyKind {
+        self.outcomes
+            .iter()
+            .max_by(|a, b| a.test_speedup.partial_cmp(&b.test_speedup).expect("no NaN"))
+            .expect("non-empty outcomes")
+            .policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_method::SiMethod;
+    use gc_workload::{molecule_dataset, WorkloadKind, WorkloadSpec};
+
+    #[test]
+    fn comparison_covers_all_policies() {
+        let dataset = Arc::new(Dataset::new(molecule_dataset(15, 41)));
+        let spec = WorkloadSpec {
+            n_queries: 30,
+            pool_size: 8,
+            kind: WorkloadKind::Zipf { skew: 1.2 },
+            seed: 5,
+            ..WorkloadSpec::default()
+        };
+        let w = Workload::generate(dataset.graphs(), &spec);
+        let cfg = CacheConfig { capacity: 6, window_size: 2, ..CacheConfig::default() };
+        let cmp = run_workload_comparison(&dataset, &|| Box::new(SiMethod), &cfg, &w);
+        assert_eq!(cmp.outcomes.len(), 5);
+        for o in &cmp.outcomes {
+            assert_eq!(o.hit_timeline.len(), 30);
+            assert_eq!(o.stats.queries, 30);
+        }
+        let txt = cmp.render();
+        for p in ["LRU", "POP", "PIN", "PINC", "HD"] {
+            assert!(txt.contains(p), "missing {p} in rendering");
+        }
+        // Hits must exist on a skewed workload with a warm cache.
+        assert!(cmp.outcomes.iter().any(|o| o.stats.hit_queries > 0));
+        let _ = cmp.winner();
+    }
+}

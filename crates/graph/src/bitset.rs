@@ -1,0 +1,295 @@
+//! Fixed-universe bitset used for answer sets and candidate sets.
+//!
+//! GraphCache stores each cached query's answer set as a bitset over dataset
+//! graph ids, and the Candidate Set Pruner is pure bitset algebra
+//! (`C = (C_M ∩ ⋂ A(h')) \ S`). A dedicated implementation keeps the hot
+//! operations branch-light and avoids an external dependency.
+
+use serde::{Deserialize, Serialize};
+
+const BITS: usize = 64;
+
+/// A fixed-capacity bitset over the universe `0..len`.
+///
+/// All binary operations require both operands to share the same universe
+/// size and panic otherwise: mixing answer sets of different datasets is a
+/// logic error we want to catch loudly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitSet {
+    len: usize,
+    blocks: Vec<u64>,
+}
+
+impl BitSet {
+    /// Empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet { len, blocks: vec![0; len.div_ceil(BITS)] }
+    }
+
+    /// Full set over the universe `0..len`.
+    pub fn full(len: usize) -> Self {
+        let mut s = BitSet { len, blocks: vec![!0u64; len.div_ceil(BITS)] };
+        s.trim_tail();
+        s
+    }
+
+    /// Build from an iterator of member indices.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= len`.
+    pub fn from_indices(len: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = BitSet::new(len);
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// `true` iff no members.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    /// Panics if `i >= universe`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of universe {}", self.len);
+        self.blocks[i / BITS] & (1u64 << (i % BITS)) != 0
+    }
+
+    /// Insert `i`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of universe {}", self.len);
+        let block = &mut self.blocks[i / BITS];
+        let mask = 1u64 << (i % BITS);
+        let newly = *block & mask == 0;
+        *block |= mask;
+        newly
+    }
+
+    /// Remove `i`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "index {i} out of universe {}", self.len);
+        let block = &mut self.blocks[i / BITS];
+        let mask = 1u64 << (i % BITS);
+        let was = *block & mask != 0;
+        *block &= !mask;
+        was
+    }
+
+    /// Remove all members.
+    pub fn clear(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = 0);
+    }
+
+    /// `self ∪= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        self.check(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// `self ∩= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        self.check(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// `self \= other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        self.check(other);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= !b;
+        }
+    }
+
+    /// `true` iff `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.check(other);
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & !b == 0)
+    }
+
+    /// `true` iff the sets share no member.
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.check(other);
+        self.blocks.iter().zip(&other.blocks).all(|(a, b)| a & b == 0)
+    }
+
+    /// `|self ∩ other|` without materialising the intersection.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        self.check(other);
+        self.blocks.iter().zip(&other.blocks).map(|(a, b)| (a & b).count_ones() as usize).sum()
+    }
+
+    /// Iterator over member indices in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { blocks: &self.blocks, block_idx: 0, current: self.blocks.first().copied().unwrap_or(0) }
+    }
+
+    /// Collect members into a `Vec<usize>` (ascending).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Approximate heap footprint in bytes (memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.blocks.len() * std::mem::size_of::<u64>()
+    }
+
+    #[inline]
+    fn check(&self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset universe mismatch: {} vs {}", self.len, other.len);
+    }
+
+    fn trim_tail(&mut self) {
+        let rem = self.len % BITS;
+        if rem != 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over the members of a [`BitSet`].
+pub struct Iter<'a> {
+    blocks: &'a [u64],
+    block_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.block_idx * BITS + bit);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.blocks.len() {
+                return None;
+            }
+            self.current = self.blocks[self.block_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(129));
+        assert!(!s.contains(128));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.to_vec(), vec![0, 129]);
+    }
+
+    #[test]
+    fn full_respects_universe() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        let e = BitSet::full(0);
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_indices(100, [1, 2, 3, 50, 99]);
+        let b = BitSet::from_indices(100, [2, 3, 4, 99]);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 2, 3, 4, 50, 99]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![2, 3, 99]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![1, 50]);
+
+        assert!(i.is_subset(&a));
+        assert!(i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+        assert_eq!(a.intersection_count(&b), 3);
+        assert!(!a.is_disjoint(&b));
+        assert!(d.is_disjoint(&i));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn universe_mismatch_panics() {
+        let mut a = BitSet::new(10);
+        let b = BitSet::new(11);
+        a.union_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn out_of_range_panics() {
+        let mut a = BitSet::new(10);
+        a.insert(10);
+    }
+
+    #[test]
+    fn iter_matches_contains() {
+        let members = [0usize, 63, 64, 65, 127, 128, 199];
+        let s = BitSet::from_indices(200, members);
+        assert_eq!(s.to_vec(), members.to_vec());
+        for m in members {
+            assert!(s.contains(m));
+        }
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = BitSet::from_indices(20, [5, 6]);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.count(), 0);
+    }
+}

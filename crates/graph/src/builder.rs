@@ -1,0 +1,192 @@
+//! Mutable builder producing immutable [`Graph`]s.
+
+use crate::{Graph, GraphError, Label, Result, VertexId};
+
+/// Incremental builder for [`Graph`].
+///
+/// Vertices receive dense ids in insertion order; edges are validated
+/// (endpoints must exist, no self-loops, no duplicates) and normalised to
+/// `u < v`. [`GraphBuilder::build`] sorts adjacency lists and freezes the
+/// graph.
+///
+/// ```
+/// use gc_graph::{GraphBuilder, Label};
+/// let mut b = GraphBuilder::new();
+/// let u = b.add_vertex(Label(0));
+/// let v = b.add_vertex(Label(1));
+/// b.add_edge(u, v).unwrap();
+/// let g = b.build();
+/// assert_eq!(g.vertex_count(), 2);
+/// assert!(g.has_edge(u, v));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    labels: Vec<Label>,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Create an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a builder with reserved capacity.
+    pub fn with_capacity(vertices: usize, edges: usize) -> Self {
+        GraphBuilder { labels: Vec::with_capacity(vertices), edges: Vec::with_capacity(edges) }
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add a vertex with the given label; returns its dense id.
+    pub fn add_vertex(&mut self, label: Label) -> VertexId {
+        let id = self.labels.len() as VertexId;
+        self.labels.push(label);
+        id
+    }
+
+    /// Add an undirected edge.
+    ///
+    /// Errors on unknown endpoints, self-loops, and duplicate edges.
+    /// Duplicate detection is `O(edges)` in the worst case but the builder is
+    /// only used at load/generation time, never on a query hot path.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<()> {
+        let n = self.labels.len() as u32;
+        if u >= n {
+            return Err(GraphError::UnknownVertex { vertex: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::UnknownVertex { vertex: v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        let e = (u.min(v), u.max(v));
+        if self.edges.contains(&e) {
+            return Err(GraphError::DuplicateEdge { u: e.0, v: e.1 });
+        }
+        self.edges.push(e);
+        Ok(())
+    }
+
+    /// Add an edge, silently ignoring duplicates (still errors on unknown
+    /// endpoints and self-loops). Convenient for random generators.
+    pub fn add_edge_dedup(&mut self, u: VertexId, v: VertexId) -> Result<bool> {
+        match self.add_edge(u, v) {
+            Ok(()) => Ok(true),
+            Err(GraphError::DuplicateEdge { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// `true` iff the (normalised) edge is already present.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let e = (u.min(v), u.max(v));
+        self.edges.contains(&e)
+    }
+
+    /// Freeze into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.labels.len();
+        let mut edges = self.edges;
+        edges.sort_unstable();
+
+        let mut degree = vec![0u32; n];
+        for &(u, v) in &edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        let mut neighbors = vec![0 as VertexId; 2 * edges.len()];
+        for &(u, v) in &edges {
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        for v in 0..n {
+            neighbors[offsets[v] as usize..offsets[v + 1] as usize].sort_unstable();
+        }
+        Graph::from_parts(self.labels, offsets, neighbors, edges)
+    }
+}
+
+/// Build a graph from explicit parts; convenient in tests and generators.
+///
+/// `edges` may be in any order/orientation; duplicates are an error.
+pub fn graph_from_parts(labels: &[Label], edges: &[(VertexId, VertexId)]) -> Result<Graph> {
+    let mut b = GraphBuilder::with_capacity(labels.len(), edges.len());
+    for &l in labels {
+        b.add_vertex(l);
+    }
+    for &(u, v) in edges {
+        b.add_edge(u, v)?;
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(Label(0));
+        let v = b.add_vertex(Label(0));
+        assert_eq!(b.add_edge(u, 7), Err(GraphError::UnknownVertex { vertex: 7, n: 2 }));
+        assert_eq!(b.add_edge(u, u), Err(GraphError::SelfLoop { vertex: 0 }));
+        b.add_edge(u, v).unwrap();
+        assert_eq!(b.add_edge(v, u), Err(GraphError::DuplicateEdge { u: 0, v: 1 }));
+    }
+
+    #[test]
+    fn dedup_variant() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex(Label(0));
+        let v = b.add_vertex(Label(0));
+        assert!(b.add_edge_dedup(u, v).unwrap());
+        assert!(!b.add_edge_dedup(v, u).unwrap());
+        assert!(b.add_edge_dedup(u, u).is_err());
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..5 {
+            b.add_vertex(Label(0));
+        }
+        for &(u, v) in &[(0u32, 4u32), (0, 2), (0, 1), (0, 3)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.degree(0), 4);
+    }
+
+    #[test]
+    fn from_parts_helper() {
+        let g = graph_from_parts(&[Label(0), Label(1), Label(2)], &[(2, 0), (1, 2)]).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(1, 2));
+        assert!(graph_from_parts(&[Label(0)], &[(0, 0)]).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for graph construction and parsing.
+
+use std::fmt;
+
+/// Errors produced while building or parsing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a vertex id that was never declared.
+    UnknownVertex {
+        /// The offending vertex id.
+        vertex: u32,
+        /// Number of vertices declared so far.
+        n: u32,
+    },
+    /// A self-loop `(v, v)` was supplied; the model is simple graphs.
+    SelfLoop {
+        /// The vertex with the loop.
+        vertex: u32,
+    },
+    /// The same undirected edge was supplied twice.
+    DuplicateEdge {
+        /// Smaller endpoint.
+        u: u32,
+        /// Larger endpoint.
+        v: u32,
+    },
+    /// Text-format parse error with a 1-based line number.
+    Parse {
+        /// 1-based line where the error occurred.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownVertex { vertex, n } => {
+                write!(f, "edge references vertex {vertex} but only {n} vertices exist")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed (simple graphs only)")
+            }
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate undirected edge ({u}, {v})")
+            }
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

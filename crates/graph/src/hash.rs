@@ -1,0 +1,175 @@
+//! Weisfeiler–Lehman fingerprints and hashing utilities.
+//!
+//! The cache needs a fast way to detect *exact-match* hits: two isomorphic
+//! query graphs must map to the same bucket. We use the 1-dimensional
+//! Weisfeiler–Lehman colour refinement: vertex colours start from labels and
+//! are iteratively refined with the multiset of neighbour colours. The sorted
+//! multiset of final colours (plus `n` and `m`) hashes into a 64-bit
+//! fingerprint.
+//!
+//! WL fingerprints are *isomorphism-invariant* (isomorphic graphs always get
+//! equal fingerprints) but not complete: rare non-isomorphic graphs can
+//! collide, so exact-match lookups confirm with a proper isomorphism test
+//! (see `gc-iso`). This mirrors the canonical-labelling + verification split
+//! the papers describe.
+
+use crate::{Graph, VertexId};
+
+/// Number of WL refinement rounds. Three rounds distinguish all graphs that
+/// show up in practice at query sizes (≤ a few dozen vertices); collisions
+/// are caught downstream by the isomorphism check.
+pub const WL_ROUNDS: usize = 3;
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Mix two 64-bit values, order-sensitively.
+///
+/// Deliberately non-commutative and non-cancelling: `a` enters through a
+/// multiplication, `b` through `splitmix64`, so `mix(x, y) != mix(y, x)` in
+/// general and `mix(x, x)` does not collapse to a constant (a plain
+/// `S(a ^ S(b))` construction does both, which made WL refinement degenerate).
+#[inline]
+pub fn mix(a: u64, b: u64) -> u64 {
+    splitmix64(a.wrapping_mul(0xA24BAED4963EE407).wrapping_add(splitmix64(b)))
+}
+
+/// Hash an ordered sequence of u64 values.
+pub fn hash_seq(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut acc = 0x243F6A8885A308D3u64; // pi digits; arbitrary fixed seed
+    for v in values {
+        acc = mix(acc, v);
+    }
+    acc
+}
+
+/// One WL refinement round: `colors[v] <- H(colors[v], sorted neighbour colors)`.
+fn wl_round(g: &Graph, colors: &[u64], next: &mut Vec<u64>, scratch: &mut Vec<u64>) {
+    next.clear();
+    for v in g.vertices() {
+        scratch.clear();
+        scratch.extend(g.neighbors(v).iter().map(|&w| colors[w as usize]));
+        scratch.sort_unstable();
+        let mut acc = splitmix64(colors[v as usize]);
+        for &c in scratch.iter() {
+            acc = mix(acc, c);
+        }
+        next.push(acc);
+    }
+}
+
+/// Final WL colours after [`WL_ROUNDS`] rounds, indexed by vertex.
+pub fn wl_colors(g: &Graph) -> Vec<u64> {
+    wl_colors_rounds(g, WL_ROUNDS)
+}
+
+/// WL colours after a custom number of rounds.
+pub fn wl_colors_rounds(g: &Graph, rounds: usize) -> Vec<u64> {
+    let mut colors: Vec<u64> =
+        g.vertices().map(|v| splitmix64(g.label(v).0 as u64 ^ 0xC0FFEE)).collect();
+    let mut next = Vec::with_capacity(colors.len());
+    let mut scratch = Vec::new();
+    for _ in 0..rounds {
+        wl_round(g, &colors, &mut next, &mut scratch);
+        std::mem::swap(&mut colors, &mut next);
+    }
+    colors
+}
+
+/// Isomorphism-invariant 64-bit fingerprint of a graph.
+///
+/// Equal for isomorphic graphs; collisions between non-isomorphic graphs are
+/// possible (use an isomorphism test to confirm).
+pub fn fingerprint(g: &Graph) -> u64 {
+    let mut colors = wl_colors(g);
+    colors.sort_unstable();
+    let header = mix(g.vertex_count() as u64, g.edge_count() as u64);
+    mix(header, hash_seq(colors))
+}
+
+/// A vertex ordering by (WL colour, degree, id) — deterministic across
+/// isomorphic presentations *up to colour ties*; used to seed search orders.
+pub fn wl_vertex_order(g: &Graph) -> Vec<VertexId> {
+    let colors = wl_colors(g);
+    let mut order: Vec<VertexId> = g.vertices().collect();
+    order.sort_by_key(|&v| (colors[v as usize], std::cmp::Reverse(g.degree(v)), v));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_parts;
+    use crate::Label;
+
+    fn relabel(labels: &[u32], edges: &[(u32, u32)], perm: &[u32]) -> Graph {
+        // Apply vertex permutation: vertex i becomes perm[i].
+        let n = labels.len();
+        let mut new_labels = vec![Label(0); n];
+        for (i, &l) in labels.iter().enumerate() {
+            new_labels[perm[i] as usize] = Label(l);
+        }
+        let new_edges: Vec<(u32, u32)> =
+            edges.iter().map(|&(u, v)| (perm[u as usize], perm[v as usize])).collect();
+        graph_from_parts(&new_labels, &new_edges).unwrap()
+    }
+
+    #[test]
+    fn isomorphic_graphs_same_fingerprint() {
+        let labels = [0u32, 1, 0, 2, 1];
+        let edges = [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)];
+        let g1 = relabel(&labels, &edges, &[0, 1, 2, 3, 4]);
+        let g2 = relabel(&labels, &edges, &[4, 2, 0, 1, 3]);
+        let g3 = relabel(&labels, &edges, &[1, 3, 4, 0, 2]);
+        assert_eq!(fingerprint(&g1), fingerprint(&g2));
+        assert_eq!(fingerprint(&g1), fingerprint(&g3));
+    }
+
+    #[test]
+    fn different_labels_different_fingerprint() {
+        let edges = [(0u32, 1u32)];
+        let g1 = graph_from_parts(&[Label(0), Label(1)], &edges).unwrap();
+        let g2 = graph_from_parts(&[Label(0), Label(2)], &edges).unwrap();
+        assert_ne!(fingerprint(&g1), fingerprint(&g2));
+    }
+
+    #[test]
+    fn different_structure_different_fingerprint() {
+        // Path P4 vs star S3, same labels and same degree *sum*.
+        let p4 = graph_from_parts(
+            &[Label(0); 4],
+            &[(0, 1), (1, 2), (2, 3)],
+        )
+        .unwrap();
+        let s3 = graph_from_parts(
+            &[Label(0); 4],
+            &[(0, 1), (0, 2), (0, 3)],
+        )
+        .unwrap();
+        assert_ne!(fingerprint(&p4), fingerprint(&s3));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = graph_from_parts(&[], &[]).unwrap();
+        let s = graph_from_parts(&[Label(7)], &[]).unwrap();
+        assert_ne!(fingerprint(&e), fingerprint(&s));
+    }
+
+    #[test]
+    fn wl_order_is_permutation() {
+        let g = graph_from_parts(
+            &[Label(0), Label(1), Label(0), Label(1)],
+            &[(0, 1), (1, 2), (2, 3)],
+        )
+        .unwrap();
+        let mut order = wl_vertex_order(&g);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+}

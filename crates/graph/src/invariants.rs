@@ -1,0 +1,132 @@
+//! Cheap necessary conditions for subgraph containment.
+//!
+//! Before running an (exponential) sub-iso test `q ⊑ G`, GraphCache's
+//! processors check O(n)-computable invariants that must hold whenever a
+//! non-induced subgraph embedding exists:
+//!
+//! * `n(q) ≤ n(G)`, `m(q) ≤ m(G)`;
+//! * label histogram of `q` is dominated by that of `G`;
+//! * the sorted degree sequence of `q` is dominated element-wise by `G`'s
+//!   (after aligning largest-to-largest) — a weaker but useful filter.
+//!
+//! These are *sound* (never reject a true containment) and are verified to be
+//! so by property tests against the VF2 engine in `gc-iso`.
+
+use crate::Graph;
+
+/// Summary of a graph used for repeated containment pre-checks.
+///
+/// Build once per cached query / dataset graph; `O(n + m)` space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphSummary {
+    /// Vertex count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// `hist[l]` = #vertices with label `l` (length = max label + 1).
+    pub label_hist: Vec<u32>,
+    /// Degree sequence sorted descending.
+    pub degrees_desc: Vec<u32>,
+}
+
+impl GraphSummary {
+    /// Compute the summary of `g`.
+    pub fn of(g: &Graph) -> Self {
+        let mut degrees_desc: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+        degrees_desc.sort_unstable_by(|a, b| b.cmp(a));
+        GraphSummary {
+            n: g.vertex_count(),
+            m: g.edge_count(),
+            label_hist: g.label_histogram(),
+            degrees_desc,
+        }
+    }
+
+    /// `true` iff `self` *may* be contained in `other` (non-induced).
+    ///
+    /// Returns `false` only when containment is impossible.
+    pub fn may_embed_into(&self, other: &GraphSummary) -> bool {
+        if self.n > other.n || self.m > other.m {
+            return false;
+        }
+        // Label-histogram domination.
+        if self.label_hist.len() > other.label_hist.len() {
+            // self uses a label other never has.
+            if self.label_hist[other.label_hist.len()..].iter().any(|&c| c > 0) {
+                return false;
+            }
+        }
+        for (l, &c) in self.label_hist.iter().enumerate() {
+            if c > other.label_hist.get(l).copied().unwrap_or(0) {
+                return false;
+            }
+        }
+        // Degree-sequence domination: the i-th largest degree of the pattern
+        // cannot exceed the i-th largest of the target (each pattern vertex
+        // needs an image with at least its degree; match greedily).
+        for (i, &d) in self.degrees_desc.iter().enumerate() {
+            if d > other.degrees_desc.get(i).copied().unwrap_or(0) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Convenience: run the pre-check directly on two graphs (allocates two
+/// summaries; prefer caching [`GraphSummary`] values on hot paths).
+pub fn may_embed(pattern: &Graph, target: &Graph) -> bool {
+    GraphSummary::of(pattern).may_embed_into(&GraphSummary::of(target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_parts;
+    use crate::Label;
+
+    fn triangle() -> Graph {
+        graph_from_parts(&[Label(0), Label(0), Label(0)], &[(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    fn path2() -> Graph {
+        graph_from_parts(&[Label(0), Label(0)], &[(0, 1)]).unwrap()
+    }
+
+    #[test]
+    fn smaller_into_larger() {
+        assert!(may_embed(&path2(), &triangle()));
+        assert!(!may_embed(&triangle(), &path2()));
+    }
+
+    #[test]
+    fn label_domination() {
+        let q = graph_from_parts(&[Label(5)], &[]).unwrap();
+        let g = triangle(); // labels all 0
+        assert!(!may_embed(&q, &g));
+        let g2 = graph_from_parts(&[Label(5), Label(0)], &[(0, 1)]).unwrap();
+        assert!(may_embed(&q, &g2));
+    }
+
+    #[test]
+    fn degree_sequence_filter() {
+        // Star with centre degree 3 cannot embed into a path of 4 (max degree 2).
+        let star = graph_from_parts(&[Label(0); 4], &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        let path = graph_from_parts(&[Label(0); 4], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(!may_embed(&star, &path));
+        assert!(may_embed(&path2(), &star));
+    }
+
+    #[test]
+    fn reflexive() {
+        let t = triangle();
+        assert!(may_embed(&t, &t));
+    }
+
+    #[test]
+    fn empty_pattern_embeds_everywhere() {
+        let e = graph_from_parts(&[], &[]).unwrap();
+        assert!(may_embed(&e, &triangle()));
+        assert!(may_embed(&e, &e));
+    }
+}

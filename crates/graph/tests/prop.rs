@@ -1,0 +1,107 @@
+//! Property tests for the graph substrate: bitset algebra laws, builder/IO
+//! roundtrips, and WL-fingerprint invariance.
+
+use gc_graph::{BitSet, Graph, GraphBuilder, Label};
+use proptest::prelude::*;
+
+fn arb_bitset(universe: usize) -> impl Strategy<Value = BitSet> {
+    proptest::collection::vec(any::<bool>(), universe).prop_map(move |bits| {
+        BitSet::from_indices(universe, bits.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i))
+    })
+}
+
+fn arb_graph(max_n: usize, max_label: u32) -> impl Strategy<Value = Graph> {
+    (0..=max_n).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..=max_label, n);
+        let edges = if n >= 2 {
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(2 * n)).boxed()
+        } else {
+            Just(Vec::new()).boxed()
+        };
+        (labels, edges).prop_map(|(ls, es)| {
+            let mut b = GraphBuilder::new();
+            for l in ls {
+                b.add_vertex(Label(l));
+            }
+            for (u, v) in es {
+                if u != v {
+                    let _ = b.add_edge_dedup(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn bitset_union_intersection_laws(
+        a in arb_bitset(100),
+        b in arb_bitset(100),
+    ) {
+        // |A ∪ B| + |A ∩ B| = |A| + |B|
+        let mut u = a.clone();
+        u.union_with(&b);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        prop_assert_eq!(u.count() + i.count(), a.count() + b.count());
+        // A \ B is disjoint from B and A = (A \ B) ∪ (A ∩ B)
+        let mut d = a.clone();
+        d.difference_with(&b);
+        prop_assert!(d.is_disjoint(&b));
+        let mut rebuilt = d.clone();
+        rebuilt.union_with(&i);
+        prop_assert_eq!(&rebuilt, &a);
+        // subset relations
+        prop_assert!(i.is_subset(&a));
+        prop_assert!(a.is_subset(&u));
+        prop_assert_eq!(a.intersection_count(&b), i.count());
+    }
+
+    #[test]
+    fn bitset_iter_roundtrip(a in arb_bitset(200)) {
+        let items = a.to_vec();
+        let rebuilt = BitSet::from_indices(200, items.iter().copied());
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn io_roundtrip(graphs in proptest::collection::vec(arb_graph(8, 4), 0..6)) {
+        let text = gc_graph::io::dataset_to_string(&graphs);
+        let back = gc_graph::io::parse_dataset(&text).unwrap();
+        prop_assert_eq!(graphs, back);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_sorted(g in arb_graph(10, 3)) {
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+            for &w in ns {
+                prop_assert!(g.neighbors(w).contains(&v), "symmetry");
+                prop_assert!(g.has_edge(v, w) && g.has_edge(w, v));
+            }
+        }
+        // handshake lemma
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn summary_matches_graph(g in arb_graph(10, 3)) {
+        let s = gc_graph::invariants::GraphSummary::of(&g);
+        prop_assert_eq!(s.n, g.vertex_count());
+        prop_assert_eq!(s.m, g.edge_count());
+        prop_assert_eq!(&s.label_hist, &g.label_histogram());
+        prop_assert!(s.degrees_desc.windows(2).all(|w| w[0] >= w[1]));
+        // may_embed_into is reflexive.
+        prop_assert!(s.may_embed_into(&s));
+    }
+
+    #[test]
+    fn fingerprint_deterministic(g in arb_graph(8, 3)) {
+        prop_assert_eq!(gc_graph::hash::fingerprint(&g), gc_graph::hash::fingerprint(&g.clone()));
+    }
+}

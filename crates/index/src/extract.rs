@@ -1,0 +1,273 @@
+//! Labelled-path feature extraction.
+//!
+//! A *feature* is the label sequence of a simple path (no repeated vertices)
+//! with at most `max_len` edges. Paths are enumerated in both directions from
+//! every start vertex — consistently for data graphs and query graphs, so
+//! occurrence counts remain comparable. Count domination is a *sound* filter
+//! for non-induced subgraph isomorphism: an embedding maps each simple path
+//! of the pattern to a distinct simple path of the target with the same label
+//! sequence, injectively, hence `count_q(f) ≤ count_G(f)` for every feature
+//! `f` of the query.
+//!
+//! For the inverted indices we identify a feature by a 64-bit hash of its
+//! label sequence ([`FeatureVec`]). Hash grouping preserves soundness: merged
+//! counts of dominated features remain dominated.
+
+use gc_graph::hash::hash_seq;
+use gc_graph::{Graph, Label, VertexId};
+
+/// Configuration of path-feature extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureConfig {
+    /// Maximum path length in edges (0 = single-vertex features only).
+    /// The paper's "feature size"; GraphGrepSX defaults to 4, our Experiment
+    /// II compares `max_len` vs `max_len + 1`.
+    pub max_len: usize,
+    /// Safety valve: stop enumerating after this many path occurrences per
+    /// graph (dense pathological graphs only; molecule-like data never hits
+    /// it). Truncation is applied to *data and query alike only at the same
+    /// config*, so an index built with a given config stays sound for queries
+    /// extracted with the same config as long as the cap is not reached; a
+    /// reached cap is reported by [`enumerate_label_paths`] via its return
+    /// flag so callers can fall back to no filtering.
+    pub max_paths: usize,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig { max_len: 3, max_paths: 1_000_000 }
+    }
+}
+
+impl FeatureConfig {
+    /// Config with the given maximum path length (edges).
+    pub fn with_max_len(max_len: usize) -> Self {
+        FeatureConfig { max_len, ..Default::default() }
+    }
+}
+
+/// Enumerate the label sequences of all simple paths with `0..=cfg.max_len`
+/// edges, from every start vertex, in both directions.
+///
+/// Returns `(paths, truncated)`; when `truncated` is true the enumeration hit
+/// `cfg.max_paths` and the result is partial (callers must then treat the
+/// graph as unfilterable).
+pub fn enumerate_label_paths(g: &Graph, cfg: &FeatureConfig) -> (Vec<Vec<Label>>, bool) {
+    let mut out = Vec::new();
+    let mut truncated = false;
+    let mut on_path = vec![false; g.vertex_count()];
+    let mut path_labels: Vec<Label> = Vec::with_capacity(cfg.max_len + 1);
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        g: &Graph,
+        v: VertexId,
+        remaining: usize,
+        on_path: &mut [bool],
+        path_labels: &mut Vec<Label>,
+        out: &mut Vec<Vec<Label>>,
+        cap: usize,
+        truncated: &mut bool,
+    ) {
+        if *truncated {
+            return;
+        }
+        path_labels.push(g.label(v));
+        on_path[v as usize] = true;
+        if out.len() >= cap {
+            *truncated = true;
+        } else {
+            out.push(path_labels.clone());
+            if remaining > 0 {
+                for &w in g.neighbors(v) {
+                    if !on_path[w as usize] {
+                        dfs(g, w, remaining - 1, on_path, path_labels, out, cap, truncated);
+                    }
+                }
+            }
+        }
+        on_path[v as usize] = false;
+        path_labels.pop();
+    }
+
+    for v in g.vertices() {
+        dfs(g, v, cfg.max_len, &mut on_path, &mut path_labels, &mut out, cfg.max_paths, &mut truncated);
+        if truncated {
+            break;
+        }
+    }
+    (out, truncated)
+}
+
+/// A graph's feature multiset, represented as `(feature_hash, count)` pairs
+/// sorted by hash.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FeatureVec {
+    items: Vec<(u64, u32)>,
+    truncated: bool,
+}
+
+impl FeatureVec {
+    /// The `(hash, count)` pairs, sorted ascending by hash.
+    pub fn items(&self) -> &[(u64, u32)] {
+        &self.items
+    }
+
+    /// Number of distinct features.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff no features (the empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total occurrence count over all features.
+    pub fn total_count(&self) -> u64 {
+        self.items.iter().map(|&(_, c)| c as u64).sum()
+    }
+
+    /// `true` when path enumeration was truncated; domination answers are
+    /// then unreliable and callers must skip filtering.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Count for a feature hash (0 when absent).
+    pub fn count(&self, hash: u64) -> u32 {
+        match self.items.binary_search_by_key(&hash, |&(h, _)| h) {
+            Ok(i) => self.items[i].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// `true` iff `self`'s counts dominate `other`'s on every feature of
+    /// `other` (i.e. `other` may be contained in `self`).
+    pub fn dominates(&self, other: &FeatureVec) -> bool {
+        other.items.iter().all(|&(h, c)| self.count(h) >= c)
+    }
+
+    /// Approximate heap bytes (for index-size accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.items.len() * std::mem::size_of::<(u64, u32)>()
+    }
+}
+
+/// Hash a label sequence canonically: a path read forward and backward is
+/// the same physical feature, so we hash the lexicographically smaller of
+/// the two readings.
+pub fn feature_hash(labels: &[Label]) -> u64 {
+    let forward = labels.iter().map(|l| l.0 as u64);
+    let rev_smaller = {
+        let fw: Vec<u32> = labels.iter().map(|l| l.0).collect();
+        let mut bw = fw.clone();
+        bw.reverse();
+        bw < fw
+    };
+    if rev_smaller {
+        hash_seq(labels.iter().rev().map(|l| l.0 as u64))
+    } else {
+        hash_seq(forward)
+    }
+}
+
+/// Extract the [`FeatureVec`] of a graph under `cfg`.
+pub fn feature_vec(g: &Graph, cfg: &FeatureConfig) -> FeatureVec {
+    let (paths, truncated) = enumerate_label_paths(g, cfg);
+    let mut hashes: Vec<u64> = paths.iter().map(|p| feature_hash(p)).collect();
+    hashes.sort_unstable();
+    let mut items: Vec<(u64, u32)> = Vec::new();
+    for h in hashes {
+        match items.last_mut() {
+            Some((lh, c)) if *lh == h => *c += 1,
+            _ => items.push((h, 1)),
+        }
+    }
+    FeatureVec { items, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::graph_from_parts;
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    #[test]
+    fn single_edge_paths() {
+        let e = g(&[0, 1], &[(0, 1)]);
+        let (paths, trunc) = enumerate_label_paths(&e, &FeatureConfig::with_max_len(1));
+        assert!(!trunc);
+        // 2 single-vertex paths + the edge in both directions.
+        assert_eq!(paths.len(), 4);
+    }
+
+    #[test]
+    fn max_len_zero_gives_label_histogram() {
+        let t = g(&[0, 0, 5], &[(0, 1), (1, 2)]);
+        let fv = feature_vec(&t, &FeatureConfig::with_max_len(0));
+        assert_eq!(fv.len(), 2); // labels {0, 5}
+        assert_eq!(fv.total_count(), 3);
+    }
+
+    #[test]
+    fn forward_backward_same_hash() {
+        let a = [Label(1), Label(2), Label(3)];
+        let b = [Label(3), Label(2), Label(1)];
+        assert_eq!(feature_hash(&a), feature_hash(&b));
+        let c = [Label(1), Label(3), Label(2)];
+        assert_ne!(feature_hash(&a), feature_hash(&c));
+    }
+
+    #[test]
+    fn domination_on_subgraph() {
+        let cfg = FeatureConfig::with_max_len(3);
+        let path = g(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let tri = g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let f_path = feature_vec(&path, &cfg);
+        let f_tri = feature_vec(&tri, &cfg);
+        assert!(f_tri.dominates(&f_path));
+        assert!(!f_path.dominates(&f_tri));
+        assert!(f_tri.dominates(&f_tri));
+    }
+
+    #[test]
+    fn empty_graph_dominated_by_all() {
+        let cfg = FeatureConfig::default();
+        let e = feature_vec(&g(&[], &[]), &cfg);
+        let x = feature_vec(&g(&[0], &[]), &cfg);
+        assert!(x.dominates(&e));
+        assert!(e.dominates(&e));
+        assert!(!e.dominates(&x));
+    }
+
+    #[test]
+    fn truncation_flag() {
+        // A clique blows up path counts quickly.
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                edges.push((u, v));
+            }
+        }
+        let k8 = g(&[0; 8], &edges);
+        let cfg = FeatureConfig { max_len: 6, max_paths: 100 };
+        let fv = feature_vec(&k8, &cfg);
+        assert!(fv.truncated());
+    }
+
+    #[test]
+    fn counts_are_exact_on_path_graph() {
+        // P3 labelled 0-1-2: features of len<=1: [0],[1],[2],[0,1],[1,2]
+        // each edge counted twice (two directions) but canonical hash merges
+        // them into one feature with count 2.
+        let p = g(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let fv = feature_vec(&p, &FeatureConfig::with_max_len(1));
+        assert_eq!(fv.len(), 5);
+        assert_eq!(fv.total_count(), 7); // 3 vertices + 2 edges * 2 dirs
+    }
+}

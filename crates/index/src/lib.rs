@@ -1,0 +1,39 @@
+//! # gc-index — feature indices for GraphCache
+//!
+//! Two index families power GraphCache:
+//!
+//! 1. **FTV dataset index** ([`PathTrie`]): the "Filter" of Method M
+//!    (paper Fig. 1), modelled on GraphGrepSX (the paper's reference \[1\]):
+//!    all labelled simple paths of up to `L` edges of each dataset graph are
+//!    stored in a suffix-trie-like structure with per-graph occurrence
+//!    counts. A query's candidate set is every graph whose counts dominate
+//!    the query's counts on all query features. `L` is the *feature size*
+//!    knob of the paper's Experiment II ("Speedup versus Overhead").
+//!    [`TreeIndex`] provides the alternative *tree*-feature family (the
+//!    paper's "a path, tree or subgraph"), trading enumeration cost for
+//!    discriminative power.
+//!
+//! 2. **Dynamic query index** ([`QueryIndex`]): the structure behind the
+//!    Sub/Super Case Processors, modelled on iGQ (the paper's reference
+//!    \[10\]): an inverted index over *cached query graphs* supporting both
+//!    containment directions — "which cached queries may contain the new
+//!    query g?" (sub-case candidates) and "which cached queries may be
+//!    contained in g?" (super-case candidates) — with insertion and removal
+//!    as the cache admits and evicts entries.
+//!
+//! Both filters are **sound**: they may return false candidates (removed by
+//! sub-iso verification downstream) but never drop a true one. This is
+//! property-tested against the VF2 engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod extract;
+mod query_index;
+mod tree;
+mod trie;
+
+pub use extract::{enumerate_label_paths, feature_vec, FeatureConfig, FeatureVec};
+pub use query_index::{EntryId, QueryIndex};
+pub use tree::{enumerate_tree_codes, TreeConfig, TreeIndex};
+pub use trie::PathTrie;

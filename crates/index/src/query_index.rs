@@ -1,0 +1,305 @@
+//! Dynamic, bidirectional containment index over cached query graphs.
+//!
+//! This is the data structure behind GraphCache's Sub/Super Case Processors
+//! (paper Fig. 1), in the spirit of iGQ \[10\]: an inverted index from
+//! feature hash to `(entry, count)` postings over the *currently cached*
+//! queries, supporting insert (admission) and remove (eviction).
+//!
+//! For a new query `g` with feature vector `F(g)`:
+//!
+//! * **sub-case candidates** — cached entries `h` that *may contain* `g`
+//!   (`g ⊑ h` possible): every feature of `g` must appear in `h` with at
+//!   least `g`'s count;
+//! * **super-case candidates** — cached entries `h` *possibly contained in*
+//!   `g` (`h ⊑ g`): every feature of `h` must appear in `g` with at least
+//!   `h`'s count, checked without touching `h`'s features via the
+//!   `Σ min(cnt_h(f), cnt_g(f)) = total(h)` identity over `g`'s features.
+//!
+//! Both are sound overapproximations; the processors verify candidates with
+//! the SI engine.
+
+use crate::extract::{feature_vec, FeatureConfig, FeatureVec};
+use gc_graph::Graph;
+use std::collections::HashMap;
+
+/// Identifier of an entry in the cache (assigned by the caller).
+pub type EntryId = u32;
+
+#[derive(Debug, Default)]
+struct Slot {
+    features: FeatureVec,
+}
+
+/// Inverted feature index over cached query graphs.
+#[derive(Debug)]
+pub struct QueryIndex {
+    cfg: FeatureConfig,
+    posting: HashMap<u64, Vec<(EntryId, u32)>>,
+    slots: HashMap<EntryId, Slot>,
+    /// Entries whose extraction was truncated: always candidates in both
+    /// directions (soundness).
+    unfiltered: Vec<EntryId>,
+}
+
+impl QueryIndex {
+    /// New empty index with feature config `cfg`.
+    pub fn new(cfg: FeatureConfig) -> Self {
+        QueryIndex { cfg, posting: HashMap::new(), slots: HashMap::new(), unfiltered: Vec::new() }
+    }
+
+    /// The feature configuration.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.cfg
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.slots.len() + self.unfiltered.len()
+    }
+
+    /// `true` iff no entries are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extract the feature vector of a query under this index's config.
+    /// Exposed so the runtime can reuse it across sub/super probes.
+    pub fn features_of(&self, g: &Graph) -> FeatureVec {
+        feature_vec(g, &self.cfg)
+    }
+
+    /// Index a cached query graph under `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is already present (cache ids are unique by
+    /// construction; a duplicate indicates a bookkeeping bug upstream).
+    pub fn insert(&mut self, id: EntryId, g: &Graph) {
+        let fv = self.features_of(g);
+        self.insert_features(id, fv);
+    }
+
+    /// Index a cached query by a precomputed feature vector (must have been
+    /// produced by [`QueryIndex::features_of`] on the same config).
+    pub fn insert_features(&mut self, id: EntryId, fv: FeatureVec) {
+        assert!(
+            !self.slots.contains_key(&id) && !self.unfiltered.contains(&id),
+            "duplicate entry id {id}"
+        );
+        if fv.truncated() {
+            self.unfiltered.push(id);
+            return;
+        }
+        for &(h, c) in fv.items() {
+            self.posting.entry(h).or_default().push((id, c));
+        }
+        self.slots.insert(id, Slot { features: fv });
+    }
+
+    /// Remove an entry (cache eviction). Unknown ids are ignored.
+    pub fn remove(&mut self, id: EntryId) {
+        if let Some(pos) = self.unfiltered.iter().position(|&e| e == id) {
+            self.unfiltered.swap_remove(pos);
+            return;
+        }
+        let Some(slot) = self.slots.remove(&id) else { return };
+        for &(h, _) in slot.features.items() {
+            if let Some(list) = self.posting.get_mut(&h) {
+                if let Some(pos) = list.iter().position(|&(e, _)| e == id) {
+                    list.swap_remove(pos);
+                }
+                if list.is_empty() {
+                    self.posting.remove(&h);
+                }
+            }
+        }
+    }
+
+    /// Cached entries that may *contain* the query (`g ⊑ h` candidates).
+    ///
+    /// `qf` must come from [`QueryIndex::features_of`].
+    pub fn sub_case_candidates(&self, qf: &FeatureVec) -> Vec<EntryId> {
+        let mut out: Vec<EntryId> = self.unfiltered.clone();
+        if qf.truncated() {
+            // Unfilterable query: every entry is a candidate.
+            out.extend(self.slots.keys().copied());
+            out.sort_unstable();
+            return out;
+        }
+        if qf.is_empty() {
+            // The empty query is contained in everything.
+            out.extend(self.slots.keys().copied());
+            out.sort_unstable();
+            return out;
+        }
+        // acc[e] = number of query features satisfied by e.
+        let mut acc: HashMap<EntryId, u32> = HashMap::new();
+        let needed = qf.len() as u32;
+        for (i, &(h, qc)) in qf.items().iter().enumerate() {
+            let Some(list) = self.posting.get(&h) else { return out };
+            if i == 0 {
+                for &(e, c) in list {
+                    if c >= qc {
+                        acc.insert(e, 1);
+                    }
+                }
+            } else {
+                for &(e, c) in list {
+                    if c >= qc {
+                        if let Some(a) = acc.get_mut(&e) {
+                            // Feature hashes are unique within qf, so each
+                            // feature increments at most once per entry.
+                            *a += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out.extend(acc.iter().filter(|&(_, &a)| a == needed).map(|(&e, _)| e));
+        out.sort_unstable();
+        out
+    }
+
+    /// Cached entries possibly *contained in* the query (`h ⊑ g` candidates).
+    pub fn super_case_candidates(&self, qf: &FeatureVec) -> Vec<EntryId> {
+        let mut out: Vec<EntryId> = self.unfiltered.clone();
+        if qf.truncated() {
+            out.extend(self.slots.keys().copied());
+            out.sort_unstable();
+            return out;
+        }
+        // matched[e] = Σ_{f ∈ qf} min(cnt_e(f), cnt_q(f)); e qualifies iff
+        // matched[e] == total(e). Entries with no features (empty graphs)
+        // qualify trivially.
+        let mut matched: HashMap<EntryId, u64> = HashMap::new();
+        for &(h, qc) in qf.items() {
+            if let Some(list) = self.posting.get(&h) {
+                for &(e, c) in list {
+                    *matched.entry(e).or_insert(0) += c.min(qc) as u64;
+                }
+            }
+        }
+        for (&e, slot) in &self.slots {
+            let total = slot.features.total_count();
+            if total == 0 || matched.get(&e).copied().unwrap_or(0) == total {
+                out.push(e);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Approximate heap footprint in bytes (for the "GC memory is ~1% of the
+    /// FTV index" comparison of Experiment II).
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.unfiltered.capacity() * std::mem::size_of::<EntryId>();
+        for list in self.posting.values() {
+            bytes += list.capacity() * std::mem::size_of::<(EntryId, u32)>()
+                + std::mem::size_of::<u64>();
+        }
+        for slot in self.slots.values() {
+            bytes += slot.features.memory_bytes();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    fn idx() -> (QueryIndex, Vec<Graph>) {
+        let cfg = FeatureConfig::with_max_len(2);
+        let cached = vec![
+            g(&[0, 1], &[(0, 1)]),                    // 0: edge 0-1
+            g(&[0, 1, 2], &[(0, 1), (1, 2)]),          // 1: path 0-1-2
+            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]),  // 2: triangle
+            g(&[7], &[]),                              // 3: isolated 7
+        ];
+        let mut qi = QueryIndex::new(cfg);
+        for (i, c) in cached.iter().enumerate() {
+            qi.insert(i as EntryId, c);
+        }
+        (qi, cached)
+    }
+
+    #[test]
+    fn sub_case_finds_supergraphs() {
+        let (qi, cached) = idx();
+        // New query = edge 0-1: contained in entries 0, 1, 2.
+        let qf = qi.features_of(&g(&[0, 1], &[(0, 1)]));
+        let cands = qi.sub_case_candidates(&qf);
+        for (e, c) in cached.iter().enumerate() {
+            let truly = gc_iso::vf2::exists(&g(&[0, 1], &[(0, 1)]), c);
+            if truly {
+                assert!(cands.contains(&(e as EntryId)), "missing true sub-case {e}");
+            }
+        }
+        assert!(cands.contains(&0) && cands.contains(&1) && cands.contains(&2));
+        assert!(!cands.contains(&3));
+    }
+
+    #[test]
+    fn super_case_finds_subgraphs() {
+        let (qi, _) = idx();
+        // New query = triangle 0,1,0 with a pendant 2: entries 0 and 2 are
+        // contained in it; entry 1 (path 0-1-2) is too.
+        let q = g(&[0, 1, 0, 2], &[(0, 1), (1, 2), (0, 2), (1, 3)]);
+        let qf = qi.features_of(&q);
+        let cands = qi.super_case_candidates(&qf);
+        assert!(cands.contains(&0));
+        assert!(cands.contains(&2));
+        assert!(!cands.contains(&3)); // label 7 nowhere in q
+    }
+
+    #[test]
+    fn remove_unindexes() {
+        let (mut qi, _) = idx();
+        assert_eq!(qi.len(), 4);
+        qi.remove(2);
+        assert_eq!(qi.len(), 3);
+        let qf = qi.features_of(&g(&[0, 1], &[(0, 1)]));
+        let cands = qi.sub_case_candidates(&qf);
+        assert!(!cands.contains(&2));
+        // Removing twice (or unknown ids) is a no-op.
+        qi.remove(2);
+        qi.remove(99);
+        assert_eq!(qi.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate entry id")]
+    fn duplicate_insert_panics() {
+        let (mut qi, _) = idx();
+        qi.insert(0, &g(&[0], &[]));
+    }
+
+    #[test]
+    fn empty_query_semantics() {
+        let (qi, _) = idx();
+        let qf = qi.features_of(&g(&[], &[]));
+        // Empty query is a subgraph of every cached entry...
+        assert_eq!(qi.sub_case_candidates(&qf).len(), 4);
+        // ...and only contains cached entries that are themselves empty.
+        assert!(qi.super_case_candidates(&qf).is_empty());
+    }
+
+    #[test]
+    fn empty_cached_entry_always_super_candidate() {
+        let mut qi = QueryIndex::new(FeatureConfig::default());
+        qi.insert(0, &g(&[], &[]));
+        let qf = qi.features_of(&g(&[5], &[]));
+        assert_eq!(qi.super_case_candidates(&qf), vec![0]);
+    }
+
+    #[test]
+    fn memory_accounting_positive() {
+        let (qi, _) = idx();
+        assert!(qi.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Tree-feature extraction and the tree-feature FTV index.
+//!
+//! GraphGrepSX indexes *paths*; other FTV systems index *trees* or general
+//! subgraphs ("feature is the sub-structure of graph, e.g., a path, tree or
+//! subgraph" — paper §3.1). This module provides the tree option:
+//!
+//! * a *tree feature* is (the canonical form of) a subtree of the graph with
+//!   at most `max_edges` edges — enumerated as connected acyclic edge
+//!   subsets, canonised with an AHU-style hash rooted at the tree centre;
+//! * occurrence counts dominate under non-induced embeddings by the same
+//!   injectivity argument as paths (each subtree of the query maps to a
+//!   distinct label-isomorphic subtree of the target), so count-domination
+//!   filtering is sound in both containment directions.
+//!
+//! Trees have higher discriminative power than paths of the same size but
+//! cost more to enumerate — exactly the trade-off axis of Experiment II.
+
+use gc_graph::hash::{hash_seq, mix};
+use gc_graph::{BitSet, Graph, GraphId, VertexId};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of tree-feature extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeConfig {
+    /// Maximum subtree size in edges (0 = single-vertex features).
+    pub max_edges: usize,
+    /// Safety valve on enumerated subtree occurrences per graph.
+    pub max_trees: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_edges: 3, max_trees: 500_000 }
+    }
+}
+
+impl TreeConfig {
+    /// Config with the given maximum subtree size (edges).
+    pub fn with_max_edges(max_edges: usize) -> Self {
+        TreeConfig { max_edges, ..Default::default() }
+    }
+}
+
+/// Enumerate the canonical hashes of all subtrees with `0..=max_edges`
+/// edges. Returns one hash per subtree *occurrence* (distinct edge set),
+/// plus a truncation flag.
+pub fn enumerate_tree_codes(g: &Graph, cfg: &TreeConfig) -> (Vec<u64>, bool) {
+    let mut out: Vec<u64> = Vec::new();
+    let mut truncated = false;
+
+    // 0-edge trees: single vertices.
+    for v in g.vertices() {
+        out.push(mix(0xA11CE, g.label(v).0 as u64));
+    }
+    if cfg.max_edges == 0 || g.edge_count() == 0 {
+        return (out, truncated);
+    }
+
+    // Grow connected acyclic edge sets; dedup by sorted edge list.
+    let mut seen: HashSet<Vec<(VertexId, VertexId)>> = HashSet::new();
+    let mut stack: Vec<Vec<(VertexId, VertexId)>> = Vec::new();
+    for e in g.edges() {
+        stack.push(vec![e]);
+    }
+    while let Some(edges) = stack.pop() {
+        let mut key = edges.clone();
+        key.sort_unstable();
+        if !seen.insert(key) {
+            continue;
+        }
+        if seen.len() > cfg.max_trees {
+            truncated = true;
+            break;
+        }
+        out.push(ahu_hash(g, &edges));
+        if edges.len() >= cfg.max_edges {
+            continue;
+        }
+        // Extend by one incident edge that adds a NEW vertex (keeps the
+        // subgraph acyclic and connected).
+        let verts: HashSet<VertexId> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+        for &v in &verts {
+            for &w in g.neighbors(v) {
+                if !verts.contains(&w) {
+                    let mut next = edges.clone();
+                    next.push((v.min(w), v.max(w)));
+                    stack.push(next);
+                }
+            }
+        }
+    }
+    (out, truncated)
+}
+
+/// AHU-style canonical hash of the tree given by `edges` (labels from `g`).
+/// Rooted at the tree centre; for bicentral trees the two rootings are
+/// mixed order-insensitively.
+fn ahu_hash(g: &Graph, edges: &[(VertexId, VertexId)]) -> u64 {
+    let mut adj: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+    for &(u, v) in edges {
+        adj.entry(u).or_default().push(v);
+        adj.entry(v).or_default().push(u);
+    }
+    let centers = tree_centers(&adj);
+    let h1 = rooted_hash(g, &adj, centers[0], None);
+    if centers.len() == 1 {
+        mix(0x7EE, h1)
+    } else {
+        let h2 = rooted_hash(g, &adj, centers[1], None);
+        // Order-insensitive combination of the two centre rootings.
+        mix(0x7EE, h1.min(h2).wrapping_add(h1.max(h2).rotate_left(17)))
+    }
+}
+
+fn tree_centers(adj: &HashMap<VertexId, Vec<VertexId>>) -> Vec<VertexId> {
+    let mut degree: HashMap<VertexId, usize> =
+        adj.iter().map(|(&v, ns)| (v, ns.len())).collect();
+    let mut remaining: HashSet<VertexId> = adj.keys().copied().collect();
+    let mut leaves: Vec<VertexId> =
+        degree.iter().filter(|&(_, &d)| d <= 1).map(|(&v, _)| v).collect();
+    while remaining.len() > 2 {
+        let mut next_leaves = Vec::new();
+        for &leaf in &leaves {
+            remaining.remove(&leaf);
+            for &n in &adj[&leaf] {
+                if remaining.contains(&n) {
+                    let d = degree.get_mut(&n).expect("neighbour tracked");
+                    *d -= 1;
+                    if *d == 1 {
+                        next_leaves.push(n);
+                    }
+                }
+            }
+        }
+        leaves = next_leaves;
+    }
+    let mut centers: Vec<VertexId> = remaining.into_iter().collect();
+    centers.sort_unstable();
+    centers
+}
+
+fn rooted_hash(
+    g: &Graph,
+    adj: &HashMap<VertexId, Vec<VertexId>>,
+    v: VertexId,
+    parent: Option<VertexId>,
+) -> u64 {
+    let mut child_hashes: Vec<u64> = adj[&v]
+        .iter()
+        .filter(|&&w| Some(w) != parent)
+        .map(|&w| rooted_hash(g, adj, w, Some(v)))
+        .collect();
+    child_hashes.sort_unstable();
+    let base = mix(0x5AB1E, g.label(v).0 as u64);
+    mix(base, hash_seq(child_hashes))
+}
+
+#[derive(Debug, Default)]
+struct Postings(Vec<(GraphId, u32)>);
+
+/// Tree-feature FTV index: canonical-subtree hash → per-graph counts.
+#[derive(Debug)]
+pub struct TreeIndex {
+    cfg: TreeConfig,
+    postings: HashMap<u64, Postings>,
+    totals: Vec<u64>,
+    dataset_size: usize,
+    unfiltered: Vec<GraphId>,
+}
+
+impl TreeIndex {
+    /// Build over `dataset`.
+    pub fn build(dataset: &[Graph], cfg: TreeConfig) -> Self {
+        let mut idx = TreeIndex {
+            cfg,
+            postings: HashMap::new(),
+            totals: vec![0; dataset.len()],
+            dataset_size: dataset.len(),
+            unfiltered: Vec::new(),
+        };
+        for (gid, g) in dataset.iter().enumerate() {
+            let (codes, truncated) = enumerate_tree_codes(g, &cfg);
+            if truncated {
+                idx.unfiltered.push(gid as GraphId);
+                continue;
+            }
+            idx.totals[gid] = codes.len() as u64;
+            let mut counts: HashMap<u64, u32> = HashMap::new();
+            for c in codes {
+                *counts.entry(c).or_insert(0) += 1;
+            }
+            for (code, count) in counts {
+                idx.postings.entry(code).or_default().0.push((gid as GraphId, count));
+            }
+        }
+        idx
+    }
+
+    /// The feature configuration.
+    pub fn config(&self) -> &TreeConfig {
+        &self.cfg
+    }
+
+    /// Candidate set for a subgraph query (sound overapproximation).
+    pub fn candidates(&self, query: &Graph) -> BitSet {
+        let (codes, truncated) = enumerate_tree_codes(query, &self.cfg);
+        if truncated {
+            return BitSet::full(self.dataset_size);
+        }
+        let mut required: HashMap<u64, u32> = HashMap::new();
+        for c in codes {
+            *required.entry(c).or_insert(0) += 1;
+        }
+        let mut cands = BitSet::full(self.dataset_size);
+        let mut scratch = BitSet::new(self.dataset_size);
+        // Most selective first.
+        let mut reqs: Vec<(u64, u32)> = required.into_iter().collect();
+        reqs.sort_by_key(|&(code, _)| self.postings.get(&code).map_or(0, |p| p.0.len()));
+        for (code, need) in reqs {
+            let Some(list) = self.postings.get(&code) else {
+                return BitSet::from_indices(
+                    self.dataset_size,
+                    self.unfiltered.iter().map(|&g| g as usize),
+                );
+            };
+            scratch.clear();
+            for &(gid, c) in &list.0 {
+                if c >= need {
+                    scratch.insert(gid as usize);
+                }
+            }
+            cands.intersect_with(&scratch);
+            if cands.is_empty() {
+                break;
+            }
+        }
+        for &g in &self.unfiltered {
+            cands.insert(g as usize);
+        }
+        cands
+    }
+
+    /// Candidate set for a supergraph query via the Σmin identity.
+    pub fn super_candidates(&self, query: &Graph) -> BitSet {
+        let (codes, truncated) = enumerate_tree_codes(query, &self.cfg);
+        if truncated {
+            return BitSet::full(self.dataset_size);
+        }
+        let mut qcounts: HashMap<u64, u32> = HashMap::new();
+        for c in codes {
+            *qcounts.entry(c).or_insert(0) += 1;
+        }
+        let mut matched = vec![0u64; self.dataset_size];
+        for (code, qc) in qcounts {
+            if let Some(list) = self.postings.get(&code) {
+                for &(gid, c) in &list.0 {
+                    matched[gid as usize] += c.min(qc) as u64;
+                }
+            }
+        }
+        let mut out = BitSet::new(self.dataset_size);
+        for (gid, (&m, &t)) in matched.iter().zip(&self.totals).enumerate() {
+            if m == t {
+                out.insert(gid);
+            }
+        }
+        for &g in &self.unfiltered {
+            out.insert(g as usize);
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.totals.capacity() * std::mem::size_of::<u64>()
+            + self.unfiltered.capacity() * std::mem::size_of::<GraphId>();
+        for p in self.postings.values() {
+            bytes += p.0.capacity() * std::mem::size_of::<(GraphId, u32)>()
+                + std::mem::size_of::<u64>();
+        }
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    #[test]
+    fn star_and_path_have_different_codes() {
+        // Same label multiset and edge count, different shape: tree features
+        // distinguish them where length-2 path features cannot fully.
+        let star = g(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        let path = g(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3)]);
+        let cfg = TreeConfig::with_max_edges(3);
+        let (mut cs, _) = enumerate_tree_codes(&star, &cfg);
+        let (mut cp, _) = enumerate_tree_codes(&path, &cfg);
+        cs.sort_unstable();
+        cp.sort_unstable();
+        // Same vertex/edge features, but the 2- and 3-edge subtrees differ
+        // (S3 vs P4 and their counts), so the multisets must differ.
+        assert_ne!(cs, cp);
+        // And the full star's own code never occurs in the path.
+        let star_code = *enumerate_tree_codes(&star, &TreeConfig::with_max_edges(3))
+            .0
+            .iter()
+            .find(|c| !cp.contains(c))
+            .expect("some star code must be absent from the path");
+        assert!(!cp.contains(&star_code));
+    }
+
+    #[test]
+    fn codes_are_isomorphism_invariant() {
+        let a = g(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let b = g(&[2, 1, 0], &[(0, 1), (1, 2)]); // same path reversed
+        let cfg = TreeConfig::with_max_edges(2);
+        let (mut ca, _) = enumerate_tree_codes(&a, &cfg);
+        let (mut cb, _) = enumerate_tree_codes(&b, &cfg);
+        ca.sort_unstable();
+        cb.sort_unstable();
+        assert_eq!(ca, cb);
+    }
+
+    fn small_dataset() -> Vec<Graph> {
+        vec![
+            g(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]),
+            g(&[3, 3], &[(0, 1)]),
+            g(&[0, 1], &[(0, 1)]),
+            g(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]),
+        ]
+    }
+
+    #[test]
+    fn filter_is_sound_vs_vf2() {
+        let ds = small_dataset();
+        let idx = TreeIndex::build(&ds, TreeConfig::with_max_edges(3));
+        let queries = [
+            g(&[0, 1], &[(0, 1)]),
+            g(&[0, 0, 0], &[(0, 1), (0, 2)]),
+            g(&[1], &[]),
+            g(&[0, 1, 0], &[(0, 1), (1, 2)]),
+        ];
+        for q in &queries {
+            let c = idx.candidates(q);
+            for (gid, dg) in ds.iter().enumerate() {
+                if gc_iso::vf2::exists(q, dg) {
+                    assert!(c.contains(gid), "tree filter dropped true answer {gid}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn super_filter_is_sound_vs_vf2() {
+        let ds = small_dataset();
+        let idx = TreeIndex::build(&ds, TreeConfig::with_max_edges(3));
+        let q = g(&[0, 1, 0, 2], &[(0, 1), (1, 2), (0, 2), (1, 3)]);
+        let c = idx.super_candidates(&q);
+        for (gid, dg) in ds.iter().enumerate() {
+            if gc_iso::vf2::exists(dg, &q) {
+                assert!(c.contains(gid), "tree super filter dropped {gid}");
+            }
+        }
+    }
+
+    #[test]
+    fn star_query_filters_paths_out() {
+        let ds = small_dataset();
+        let idx = TreeIndex::build(&ds, TreeConfig::with_max_edges(3));
+        // 3-star of label 0 fits only in graph 4.
+        let q = g(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        let c = idx.candidates(&q);
+        assert_eq!(c.to_vec(), vec![4]);
+    }
+
+    #[test]
+    fn memory_grows_with_size() {
+        let ds = small_dataset();
+        let small = TreeIndex::build(&ds, TreeConfig::with_max_edges(1));
+        let large = TreeIndex::build(&ds, TreeConfig::with_max_edges(4));
+        assert!(large.memory_bytes() >= small.memory_bytes());
+    }
+
+    #[test]
+    fn truncation_keeps_graph_unfiltered() {
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                edges.push((u, v));
+            }
+        }
+        let clique = g(&[0; 8], &edges);
+        let ds = vec![clique, g(&[1], &[])];
+        let idx = TreeIndex::build(&ds, TreeConfig { max_edges: 5, max_trees: 50 });
+        let q = g(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        assert!(idx.candidates(&q).contains(0));
+    }
+}

@@ -1,0 +1,385 @@
+//! GraphGrepSX-style suffix trie over labelled paths — the FTV dataset index.
+//!
+//! Each node of the trie corresponds to a label sequence (the path from the
+//! root); a node stores a posting list `(graph_id, occurrence_count)` sorted
+//! by graph id. Filtering walks the trie once per query feature and
+//! intersects the graphs whose counts dominate the query's.
+//!
+//! The trie is built once over the (static) dataset; its
+//! [`memory_bytes`](PathTrie::memory_bytes) drives the space side of the
+//! paper's Experiment II.
+
+use crate::extract::{enumerate_label_paths, FeatureConfig};
+use gc_graph::{BitSet, Graph, GraphId, Label};
+
+#[derive(Debug, Default)]
+struct Node {
+    /// Child edges sorted by label for binary search.
+    children: Vec<(Label, u32)>,
+    /// `(graph, count)` sorted by graph id.
+    postings: Vec<(GraphId, u32)>,
+}
+
+/// The FTV dataset index: a trie of labelled simple paths up to a maximum
+/// length, with per-graph occurrence counts.
+#[derive(Debug)]
+pub struct PathTrie {
+    cfg: FeatureConfig,
+    nodes: Vec<Node>,
+    dataset_size: usize,
+    /// Per-graph total path-occurrence counts (for supergraph-query
+    /// filtering via the Σmin identity).
+    totals: Vec<u64>,
+    /// Graphs whose path enumeration was truncated; they are always
+    /// candidates (soundness over filtering power).
+    unfiltered: Vec<GraphId>,
+}
+
+impl PathTrie {
+    /// Build the index over `dataset` with feature config `cfg`.
+    pub fn build(dataset: &[Graph], cfg: FeatureConfig) -> Self {
+        let mut trie = PathTrie {
+            cfg,
+            nodes: vec![Node::default()],
+            dataset_size: dataset.len(),
+            totals: vec![0; dataset.len()],
+            unfiltered: Vec::new(),
+        };
+        for (gid, g) in dataset.iter().enumerate() {
+            trie.insert_graph(gid as GraphId, g);
+        }
+        trie
+    }
+
+    /// The feature configuration the index was built with.
+    pub fn config(&self) -> &FeatureConfig {
+        &self.cfg
+    }
+
+    /// Number of indexed graphs.
+    pub fn dataset_size(&self) -> usize {
+        self.dataset_size
+    }
+
+    /// Number of trie nodes (root included).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn insert_graph(&mut self, gid: GraphId, g: &Graph) {
+        let (paths, truncated) = enumerate_label_paths(g, &self.cfg);
+        if truncated {
+            self.unfiltered.push(gid);
+            return;
+        }
+        self.totals[gid as usize] = paths.len() as u64;
+        for path in &paths {
+            let node = self.walk_insert(path);
+            match self.nodes[node].postings.last_mut() {
+                Some((last_gid, c)) if *last_gid == gid => *c += 1,
+                _ => self.nodes[node].postings.push((gid, 1)),
+            }
+        }
+    }
+
+    fn walk_insert(&mut self, labels: &[Label]) -> usize {
+        let mut cur = 0usize;
+        for &l in labels {
+            cur = match self.nodes[cur].children.binary_search_by_key(&l, |&(cl, _)| cl) {
+                Ok(i) => self.nodes[cur].children[i].1 as usize,
+                Err(i) => {
+                    let id = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    self.nodes[cur].children.insert(i, (l, id));
+                    id as usize
+                }
+            };
+        }
+        cur
+    }
+
+    fn walk(&self, labels: &[Label]) -> Option<usize> {
+        let mut cur = 0usize;
+        for &l in labels {
+            match self.nodes[cur].children.binary_search_by_key(&l, |&(cl, _)| cl) {
+                Ok(i) => cur = self.nodes[cur].children[i].1 as usize,
+                Err(_) => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Occurrence count of the exact label path `labels` in graph `gid`.
+    pub fn count(&self, labels: &[Label], gid: GraphId) -> u32 {
+        self.walk(labels)
+            .and_then(|n| {
+                self.nodes[n].postings.binary_search_by_key(&gid, |&(g, _)| g).ok().map(|i| {
+                    self.nodes[n].postings[i].1
+                })
+            })
+            .unwrap_or(0)
+    }
+
+    /// Compute the candidate set `C_M` for a subgraph query: every dataset
+    /// graph whose per-feature counts dominate the query's.
+    ///
+    /// Sound: the true answer set is always a subset of the result.
+    pub fn candidates(&self, query: &Graph) -> BitSet {
+        let (qpaths, qtrunc) = enumerate_label_paths(query, &self.cfg);
+        if qtrunc {
+            // Cannot filter safely; everything is a candidate.
+            return BitSet::full(self.dataset_size);
+        }
+        // Aggregate query features: trie node -> required count. (Forward and
+        // backward readings of a path reach *different* trie nodes; counts
+        // are per-direction on both sides, so domination still holds.)
+        let mut required: Vec<(usize, u32)> = Vec::with_capacity(qpaths.len());
+        for p in &qpaths {
+            match self.walk(p) {
+                Some(n) => required.push((n, 1)),
+                None => {
+                    // Query has a path no dataset graph contains (beyond the
+                    // truncated ones).
+                    return BitSet::from_indices(
+                        self.dataset_size,
+                        self.unfiltered.iter().map(|&g| g as usize),
+                    );
+                }
+            }
+        }
+        required.sort_unstable();
+        let mut merged: Vec<(usize, u32)> = Vec::new();
+        for (n, c) in required {
+            match merged.last_mut() {
+                Some((ln, lc)) if *ln == n => *lc += c,
+                _ => merged.push((n, c)),
+            }
+        }
+        // Intersect, most selective (shortest posting list) first.
+        merged.sort_unstable_by_key(|&(n, _)| self.nodes[n].postings.len());
+        let mut cands = BitSet::full(self.dataset_size);
+        let mut scratch = BitSet::new(self.dataset_size);
+        for (n, req) in merged {
+            scratch.clear();
+            for &(gid, c) in &self.nodes[n].postings {
+                if c >= req {
+                    scratch.insert(gid as usize);
+                }
+            }
+            cands.intersect_with(&scratch);
+            if cands.is_empty() {
+                break;
+            }
+        }
+        for &g in &self.unfiltered {
+            cands.insert(g as usize);
+        }
+        cands
+    }
+
+    /// Candidate set for a **supergraph** query: dataset graphs possibly
+    /// *contained in* `query`. A graph qualifies when every one of its own
+    /// path features appears in the query with at least the graph's count,
+    /// checked via `Σ_f∈query min(cnt_G(f), cnt_q(f)) == total(G)` so the
+    /// graphs' feature sets never need re-enumeration.
+    ///
+    /// Sound: the true answer set (`{G : G ⊑ q}`) is a subset of the result.
+    pub fn super_candidates(&self, query: &Graph) -> BitSet {
+        let (qpaths, qtrunc) = enumerate_label_paths(query, &self.cfg);
+        if qtrunc {
+            return BitSet::full(self.dataset_size);
+        }
+        // Aggregate query paths per trie node (see `candidates`).
+        let mut required: Vec<usize> = qpaths.iter().filter_map(|p| self.walk(p)).collect();
+        required.sort_unstable();
+        let mut matched = vec![0u64; self.dataset_size];
+        let mut i = 0;
+        while i < required.len() {
+            let n = required[i];
+            let mut qc = 0u32;
+            while i < required.len() && required[i] == n {
+                qc += 1;
+                i += 1;
+            }
+            for &(gid, c) in &self.nodes[n].postings {
+                matched[gid as usize] += c.min(qc) as u64;
+            }
+        }
+        let mut out = BitSet::new(self.dataset_size);
+        for (gid, (&m, &t)) in matched.iter().zip(&self.totals).enumerate() {
+            if m == t {
+                out.insert(gid);
+            }
+        }
+        for &g in &self.unfiltered {
+            out.insert(g as usize);
+        }
+        out
+    }
+
+    /// Approximate heap footprint in bytes — the "space requirement" of the
+    /// FTV index in Experiment II.
+    pub fn memory_bytes(&self) -> usize {
+        let mut bytes = self.nodes.capacity() * std::mem::size_of::<Node>();
+        for n in &self.nodes {
+            bytes += n.children.capacity() * std::mem::size_of::<(Label, u32)>();
+            bytes += n.postings.capacity() * std::mem::size_of::<(GraphId, u32)>();
+        }
+        bytes
+            + self.unfiltered.capacity() * std::mem::size_of::<GraphId>()
+            + self.totals.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::graph_from_parts;
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    fn small_dataset() -> Vec<Graph> {
+        vec![
+            g(&[0, 1, 2], &[(0, 1), (1, 2)]),             // path 0-1-2
+            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]),      // triangle 0,1,0
+            g(&[3, 3], &[(0, 1)]),                         // edge 3-3
+            g(&[0, 1], &[(0, 1)]),                         // edge 0-1
+        ]
+    }
+
+    #[test]
+    fn exact_match_filtering() {
+        let ds = small_dataset();
+        let trie = PathTrie::build(&ds, FeatureConfig::with_max_len(2));
+        // Query: single edge 0-1. Graphs 0, 1, 3 contain it.
+        let q = g(&[0, 1], &[(0, 1)]);
+        let c = trie.candidates(&q);
+        assert_eq!(c.to_vec(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn missing_feature_empties_candidates() {
+        let ds = small_dataset();
+        let trie = PathTrie::build(&ds, FeatureConfig::with_max_len(2));
+        let q = g(&[9], &[]);
+        assert!(trie.candidates(&q).is_empty());
+    }
+
+    #[test]
+    fn count_domination_filters() {
+        // Query with two 0-1 edges requires count >= the query's own.
+        let ds = small_dataset();
+        let trie = PathTrie::build(&ds, FeatureConfig::with_max_len(2));
+        let q = g(&[0, 1, 0], &[(0, 1), (1, 2)]); // path 0-1-0
+        let c = trie.candidates(&q);
+        // Graph 1 (triangle 0,1,0) contains path 0-1-0; graph 0 is 0-1-2 and
+        // does not; graph 3 has only one 0-1 edge.
+        assert_eq!(c.to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn filter_is_sound_vs_vf2() {
+        let ds = small_dataset();
+        let trie = PathTrie::build(&ds, FeatureConfig::with_max_len(3));
+        let queries = [
+            g(&[0, 1], &[(0, 1)]),
+            g(&[1], &[]),
+            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]),
+            g(&[3, 3], &[(0, 1)]),
+        ];
+        for q in &queries {
+            let c = trie.candidates(q);
+            for (gid, dg) in ds.iter().enumerate() {
+                if gc_iso::vf2::exists(q, dg) {
+                    assert!(c.contains(gid), "filter dropped true answer {gid}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_lookup() {
+        let ds = small_dataset();
+        let trie = PathTrie::build(&ds, FeatureConfig::with_max_len(2));
+        // Edge 0-1 occurs twice (two directions) in graph 3... as the
+        // directed readings 0->1 and 1->0 land on different nodes, each
+        // counted once.
+        assert_eq!(trie.count(&[Label(0), Label(1)], 3), 1);
+        assert_eq!(trie.count(&[Label(1), Label(0)], 3), 1);
+        assert_eq!(trie.count(&[Label(9)], 3), 0);
+    }
+
+    #[test]
+    fn empty_query_matches_all() {
+        let ds = small_dataset();
+        let trie = PathTrie::build(&ds, FeatureConfig::with_max_len(2));
+        let q = g(&[], &[]);
+        assert_eq!(trie.candidates(&q).count(), ds.len());
+    }
+
+    #[test]
+    fn truncated_data_graph_is_always_candidate() {
+        let mut edges = Vec::new();
+        for u in 0..9u32 {
+            for v in (u + 1)..9 {
+                edges.push((u, v));
+            }
+        }
+        let clique = g(&[0; 9], &edges);
+        let ds = vec![clique, g(&[1], &[])];
+        let cfg = FeatureConfig { max_len: 6, max_paths: 50 };
+        let trie = PathTrie::build(&ds, cfg);
+        // Query that the clique *does* contain but whose features were lost.
+        let q = g(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let c = trie.candidates(&q);
+        assert!(c.contains(0), "truncated graph must stay a candidate");
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn super_candidates_filtering() {
+        let ds = small_dataset();
+        let trie = PathTrie::build(&ds, FeatureConfig::with_max_len(2));
+        // Supergraph query: triangle 0,1,0 with pendant 2 contains graphs 1
+        // (triangle) and 3 (edge 0-1), and graph 0 (path 0-1-2).
+        let q = g(&[0, 1, 0, 2], &[(0, 1), (1, 2), (0, 2), (1, 3)]);
+        let c = trie.super_candidates(&q);
+        for (gid, dg) in ds.iter().enumerate() {
+            if gc_iso::vf2::exists(dg, &q) {
+                assert!(c.contains(gid), "super filter dropped true answer {gid}");
+            }
+        }
+        assert!(!c.contains(2)); // graph 2 is the 3-3 edge; label 3 nowhere in q
+    }
+
+    #[test]
+    fn super_candidates_sound_small() {
+        let ds = small_dataset();
+        let trie = PathTrie::build(&ds, FeatureConfig::with_max_len(3));
+        let queries = [
+            g(&[0, 1], &[(0, 1)]),
+            g(&[0, 1, 2, 0], &[(0, 1), (1, 2), (1, 3)]),
+            g(&[3, 3, 3], &[(0, 1), (1, 2)]),
+        ];
+        for q in &queries {
+            let c = trie.super_candidates(q);
+            for (gid, dg) in ds.iter().enumerate() {
+                if gc_iso::vf2::exists(dg, q) {
+                    assert!(c.contains(gid));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_feature_size() {
+        let ds = small_dataset();
+        let t2 = PathTrie::build(&ds, FeatureConfig::with_max_len(2));
+        let t4 = PathTrie::build(&ds, FeatureConfig::with_max_len(4));
+        assert!(t4.memory_bytes() >= t2.memory_bytes());
+        assert!(t4.node_count() >= t2.node_count());
+    }
+}

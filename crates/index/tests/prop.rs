@@ -1,0 +1,210 @@
+//! Property tests: both index families are sound overapproximations.
+
+use gc_index::{FeatureConfig, PathTrie, QueryIndex};
+use gc_graph::{Graph, Label};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize, max_label: u32) -> impl Strategy<Value = Graph> {
+    (0..=max_n).prop_flat_map(move |n| {
+        let labels = proptest::collection::vec(0..=max_label, n);
+        let edges = if n >= 2 {
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(2 * n)).boxed()
+        } else {
+            Just(Vec::new()).boxed()
+        };
+        (labels, edges).prop_map(|(ls, es)| {
+            let mut b = gc_graph::GraphBuilder::new();
+            for l in ls {
+                b.add_vertex(Label(l));
+            }
+            for (u, v) in es {
+                if u != v {
+                    let _ = b.add_edge_dedup(u, v);
+                }
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn path_trie_filter_is_sound(
+        dataset in proptest::collection::vec(arb_graph(6, 2), 1..8),
+        query in arb_graph(4, 2),
+        max_len in 0usize..4,
+    ) {
+        let trie = PathTrie::build(&dataset, FeatureConfig::with_max_len(max_len));
+        let cands = trie.candidates(&query);
+        for (gid, g) in dataset.iter().enumerate() {
+            if gc_iso::vf2::exists(&query, g) {
+                prop_assert!(cands.contains(gid), "FTV filter dropped true answer {gid}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_trie_super_filter_is_sound(
+        dataset in proptest::collection::vec(arb_graph(5, 2), 1..8),
+        query in arb_graph(7, 2),
+        max_len in 0usize..4,
+    ) {
+        let trie = PathTrie::build(&dataset, FeatureConfig::with_max_len(max_len));
+        let cands = trie.super_candidates(&query);
+        for (gid, g) in dataset.iter().enumerate() {
+            if gc_iso::vf2::exists(g, &query) {
+                prop_assert!(cands.contains(gid), "super filter dropped true answer {gid}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_index_sub_case_is_sound(
+        cached in proptest::collection::vec(arb_graph(5, 2), 1..8),
+        query in arb_graph(4, 2),
+        max_len in 0usize..3,
+    ) {
+        let mut qi = QueryIndex::new(FeatureConfig::with_max_len(max_len));
+        for (i, c) in cached.iter().enumerate() {
+            qi.insert(i as u32, c);
+        }
+        let qf = qi.features_of(&query);
+        let cands = qi.sub_case_candidates(&qf);
+        for (i, c) in cached.iter().enumerate() {
+            if gc_iso::vf2::exists(&query, c) {
+                prop_assert!(
+                    cands.contains(&(i as u32)),
+                    "sub-case candidates dropped true supergraph {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_index_super_case_is_sound(
+        cached in proptest::collection::vec(arb_graph(5, 2), 1..8),
+        query in arb_graph(6, 2),
+        max_len in 0usize..3,
+    ) {
+        let mut qi = QueryIndex::new(FeatureConfig::with_max_len(max_len));
+        for (i, c) in cached.iter().enumerate() {
+            qi.insert(i as u32, c);
+        }
+        let qf = qi.features_of(&query);
+        let cands = qi.super_case_candidates(&qf);
+        for (i, c) in cached.iter().enumerate() {
+            if gc_iso::vf2::exists(c, &query) {
+                prop_assert!(
+                    cands.contains(&(i as u32)),
+                    "super-case candidates dropped true subgraph {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn query_index_insert_remove_roundtrip(
+        cached in proptest::collection::vec(arb_graph(5, 2), 2..8),
+        query in arb_graph(4, 2),
+    ) {
+        // Removing and re-inserting an entry leaves candidate sets unchanged.
+        let cfg = FeatureConfig::with_max_len(2);
+        let mut qi = QueryIndex::new(cfg);
+        for (i, c) in cached.iter().enumerate() {
+            qi.insert(i as u32, c);
+        }
+        let qf = qi.features_of(&query);
+        let before_sub = qi.sub_case_candidates(&qf);
+        let before_super = qi.super_case_candidates(&qf);
+
+        qi.remove(0);
+        qi.insert(0, &cached[0]);
+
+        prop_assert_eq!(before_sub, qi.sub_case_candidates(&qf));
+        prop_assert_eq!(before_super, qi.super_case_candidates(&qf));
+    }
+
+    #[test]
+    fn feature_vec_domination_is_sound(
+        p in arb_graph(4, 2),
+        t in arb_graph(6, 2),
+        max_len in 0usize..4,
+    ) {
+        let cfg = FeatureConfig::with_max_len(max_len);
+        if gc_iso::vf2::exists(&p, &t) {
+            let fp = gc_index::feature_vec(&p, &cfg);
+            let ft = gc_index::feature_vec(&t, &cfg);
+            prop_assert!(ft.dominates(&fp), "containment without feature domination");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn tree_index_filter_is_sound(
+        dataset in proptest::collection::vec(arb_graph(6, 2), 1..7),
+        query in arb_graph(4, 2),
+        max_edges in 0usize..4,
+    ) {
+        let idx = gc_index::TreeIndex::build(
+            &dataset,
+            gc_index::TreeConfig::with_max_edges(max_edges),
+        );
+        let cands = idx.candidates(&query);
+        for (gid, g) in dataset.iter().enumerate() {
+            if gc_iso::vf2::exists(&query, g) {
+                prop_assert!(cands.contains(gid), "tree filter dropped true answer {gid}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_index_super_filter_is_sound(
+        dataset in proptest::collection::vec(arb_graph(5, 2), 1..7),
+        query in arb_graph(7, 2),
+        max_edges in 0usize..4,
+    ) {
+        let idx = gc_index::TreeIndex::build(
+            &dataset,
+            gc_index::TreeConfig::with_max_edges(max_edges),
+        );
+        let cands = idx.super_candidates(&query);
+        for (gid, g) in dataset.iter().enumerate() {
+            if gc_iso::vf2::exists(g, &query) {
+                prop_assert!(cands.contains(gid), "tree super filter dropped {gid}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_codes_isomorphism_invariant(
+        t in arb_graph(6, 3),
+        seed in any::<u64>(),
+    ) {
+        // Permute t; canonical tree-code multisets must match.
+        let n = t.vertex_count();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        let mut s = seed | 1;
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            perm.swap(i, j);
+        }
+        let mut labels = vec![Label(0); n];
+        for v in 0..n {
+            labels[perm[v] as usize] = t.label(v as u32);
+        }
+        let edges: Vec<(u32, u32)> = t.edges().map(|(u, v)| (perm[u as usize], perm[v as usize])).collect();
+        let t2 = gc_graph::graph_from_parts(&labels, &edges).unwrap();
+        let cfg = gc_index::TreeConfig::with_max_edges(3);
+        let (mut a, _) = gc_index::enumerate_tree_codes(&t, &cfg);
+        let (mut b, _) = gc_index::enumerate_tree_codes(&t2, &cfg);
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+}

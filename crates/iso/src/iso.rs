@@ -1,0 +1,76 @@
+//! Exact graph-isomorphism testing (for exact-match cache hits).
+//!
+//! GraphCache detects exact-match hits by WL fingerprint (see
+//! [`gc_graph::hash`]) and confirms with this test, so fingerprint collisions
+//! can never produce a wrong answer.
+//!
+//! For graphs with equal vertex and edge counts, a label-preserving
+//! *non-induced* embedding is automatically bijective and edge-surjective,
+//! hence an isomorphism — so the check reduces to one sub-iso test after the
+//! cheap cardinality comparisons.
+
+use crate::vf2;
+use gc_graph::Graph;
+
+/// `true` iff `a` and `b` are isomorphic labelled graphs.
+pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
+    if a.vertex_count() != b.vertex_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    if a.label_histogram() != b.label_histogram() {
+        return false;
+    }
+    // Equal n and m: any embedding a -> b is a bijection mapping all m edges
+    // of a onto distinct edges of b, i.e. onto all of b's edges.
+    vf2::exists(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    #[test]
+    fn permuted_graphs_are_isomorphic() {
+        let a = g(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let b = g(&[2, 1, 0], &[(0, 1), (1, 2)]); // reversed path
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn structure_mismatch() {
+        let path = g(&[0; 4], &[(0, 1), (1, 2), (2, 3)]);
+        let star = g(&[0; 4], &[(0, 1), (0, 2), (0, 3)]);
+        assert!(!are_isomorphic(&path, &star));
+    }
+
+    #[test]
+    fn label_mismatch() {
+        let a = g(&[0, 1], &[(0, 1)]);
+        let b = g(&[0, 2], &[(0, 1)]);
+        assert!(!are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn size_mismatch() {
+        let a = g(&[0, 0], &[(0, 1)]);
+        let b = g(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        assert!(!are_isomorphic(&a, &b));
+        // proper subgraph with same n but fewer edges
+        let c = g(&[0, 0, 0], &[(0, 1)]);
+        assert!(!are_isomorphic(&b, &c));
+    }
+
+    #[test]
+    fn reflexive_and_empty() {
+        let a = g(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        assert!(are_isomorphic(&a, &a));
+        let e = g(&[], &[]);
+        assert!(are_isomorphic(&e, &e));
+    }
+}

@@ -1,0 +1,139 @@
+//! Connectivity-driven search order for backtracking matchers.
+
+use gc_graph::{Graph, VertexId};
+
+/// Compute a pattern-vertex visit order for backtracking search.
+///
+/// Properties:
+/// * the first vertex of each connected component maximises
+///   (label rarity, degree) — rare, highly-connected vertices fail fast;
+/// * every later vertex within a component is adjacent to an already-ordered
+///   vertex, so candidate sets can be generated from matched neighbours
+///   instead of scanning the whole target;
+/// * `label_freq`, when given, holds the label frequencies *of the target*
+///   (index = label), steering the start vertex towards globally rare labels.
+pub fn search_order(pattern: &Graph, label_freq: Option<&[u32]>) -> Vec<VertexId> {
+    let n = pattern.vertex_count();
+    let mut order = Vec::with_capacity(n);
+    if n == 0 {
+        return order;
+    }
+
+    let freq_of = |v: VertexId| -> u64 {
+        let l = pattern.label(v).0 as usize;
+        match label_freq {
+            Some(f) => f.get(l).copied().unwrap_or(0) as u64,
+            // Without target stats, approximate rarity by the pattern's own
+            // label histogram (computed lazily below).
+            None => 0,
+        }
+    };
+    let own_hist = pattern.label_histogram();
+    let own_freq = |v: VertexId| own_hist[pattern.label(v).0 as usize] as u64;
+
+    let mut placed = vec![false; n];
+    // connections[v] = number of already-ordered neighbours of v.
+    let mut connections = vec![0u32; n];
+
+    for _ in 0..n {
+        // Select the best next vertex: prefer connected-to-placed, then rare
+        // label, then high degree, then low id for determinism.
+        let mut best: Option<VertexId> = None;
+        for v in pattern.vertices() {
+            if placed[v as usize] {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    let key = |u: VertexId| {
+                        (
+                            connections[u as usize],                    // more connections first
+                            std::cmp::Reverse(freq_of(u)),              // rarer target label first
+                            std::cmp::Reverse(own_freq(u)),             // rarer pattern label first
+                            pattern.degree(u) as u32,                   // higher degree first
+                            std::cmp::Reverse(u),                       // lower id first
+                        )
+                    };
+                    key(v) > key(b)
+                }
+            };
+            if better {
+                best = Some(v);
+            }
+        }
+        let v = best.expect("at least one unplaced vertex remains");
+        placed[v as usize] = true;
+        order.push(v);
+        for &w in pattern.neighbors(v) {
+            if !placed[w as usize] {
+                connections[w as usize] += 1;
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    #[test]
+    fn order_is_permutation() {
+        let g = graph_from_parts(
+            &[Label(0), Label(1), Label(0), Label(2)],
+            &[(0, 1), (1, 2), (2, 3)],
+        )
+        .unwrap();
+        let mut o = search_order(&g, None);
+        o.sort_unstable();
+        assert_eq!(o, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn connected_prefix_property() {
+        // In a connected pattern, every vertex after the first must touch an
+        // earlier one.
+        let g = graph_from_parts(
+            &[Label(0); 6],
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)],
+        )
+        .unwrap();
+        let o = search_order(&g, None);
+        for (i, &v) in o.iter().enumerate().skip(1) {
+            let touches = g.neighbors(v).iter().any(|w| o[..i].contains(w));
+            assert!(touches, "vertex {v} at position {i} not connected to prefix");
+        }
+    }
+
+    #[test]
+    fn rare_target_label_goes_first() {
+        // Vertex 2 has label 9 which is rare in the target stats.
+        let g = graph_from_parts(
+            &[Label(0), Label(0), Label(9)],
+            &[(0, 1), (1, 2)],
+        )
+        .unwrap();
+        let mut freq = vec![1000u32; 10];
+        freq[9] = 1;
+        let o = search_order(&g, Some(&freq));
+        assert_eq!(o[0], 2);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = graph_from_parts(&[], &[]).unwrap();
+        assert!(search_order(&e, None).is_empty());
+        let s = graph_from_parts(&[Label(3)], &[]).unwrap();
+        assert_eq!(search_order(&s, None), vec![0]);
+    }
+
+    #[test]
+    fn disconnected_pattern_covers_all_components() {
+        let g = graph_from_parts(&[Label(0), Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let mut o = search_order(&g, None);
+        o.sort_unstable();
+        assert_eq!(o, vec![0, 1, 2]);
+    }
+}

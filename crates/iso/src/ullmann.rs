@@ -1,0 +1,339 @@
+//! Ullmann's subgraph-isomorphism algorithm with bitset domains.
+//!
+//! Kept as an independently-implemented baseline: the test suite cross-checks
+//! it against [`crate::vf2`] on randomized inputs, and the benches compare
+//! their verify latency (the classic "SI algorithms" axis of the paper's
+//! related work).
+
+use crate::{Found, SearchStats};
+use gc_graph::invariants::GraphSummary;
+use gc_graph::{Graph, VertexId};
+
+/// Per-pattern-vertex candidate domain, one bit per target vertex.
+#[derive(Clone)]
+struct Domains {
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Domains {
+    fn new(pn: usize, tn: usize) -> Self {
+        let words_per_row = tn.div_ceil(64);
+        Domains { words_per_row, bits: vec![0; pn * words_per_row] }
+    }
+
+    #[inline]
+    fn row(&self, u: usize) -> &[u64] {
+        &self.bits[u * self.words_per_row..(u + 1) * self.words_per_row]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, u: usize) -> &mut [u64] {
+        &mut self.bits[u * self.words_per_row..(u + 1) * self.words_per_row]
+    }
+
+    #[inline]
+    fn set(&mut self, u: usize, v: usize) {
+        self.row_mut(u)[v / 64] |= 1u64 << (v % 64);
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, u: usize, v: usize) {
+        self.row_mut(u)[v / 64] &= !(1u64 << (v % 64));
+    }
+
+    fn count(&self, u: usize) -> u32 {
+        self.row(u).iter().map(|w| w.count_ones()).sum()
+    }
+
+    fn is_empty_row(&self, u: usize) -> bool {
+        self.row(u).iter().all(|&w| w == 0)
+    }
+
+    fn iter_row(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.row(u).iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+struct Search<'a> {
+    p: &'a Graph,
+    t: &'a Graph,
+    assigned: Vec<Option<VertexId>>,
+    used: Vec<bool>,
+    steps: u64,
+    budget: u64,
+}
+
+impl Search<'_> {
+    /// Ullmann refinement: remove v from dom(u) when some neighbour u' of u
+    /// has no candidate adjacent to v. Iterate to fixpoint. Returns false if
+    /// a domain wiped out.
+    fn refine(&mut self, dom: &mut Domains) -> bool {
+        let pn = self.p.vertex_count();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for u in 0..pn {
+                if self.assigned[u].is_some() {
+                    continue;
+                }
+                // Collect removals first to avoid aliasing dom while scanning.
+                let mut removals: Vec<usize> = Vec::new();
+                for v in dom.iter_row(u) {
+                    let ok = self.p.neighbors(u as VertexId).iter().all(|&w| {
+                        match self.assigned[w as usize] {
+                            Some(img) => self.t.has_edge(v as VertexId, img),
+                            None => dom
+                                .iter_row(w as usize)
+                                .any(|cand| self.t.has_edge(v as VertexId, cand as VertexId)),
+                        }
+                    });
+                    if !ok {
+                        removals.push(v);
+                    }
+                }
+                for v in removals.drain(..) {
+                    dom.clear_bit(u, v);
+                    changed = true;
+                }
+                if dom.is_empty_row(u) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn search(&mut self, dom: &Domains, depth: usize) -> Result<bool, ()> {
+        let pn = self.p.vertex_count();
+        if depth == pn {
+            return Ok(true);
+        }
+        // Most-constrained-variable: unassigned pattern vertex with the
+        // smallest domain.
+        let u = (0..pn)
+            .filter(|&u| self.assigned[u].is_none())
+            .min_by_key(|&u| dom.count(u))
+            .expect("depth < pn implies an unassigned vertex");
+
+        let candidates: Vec<usize> = dom.iter_row(u).collect();
+        for v in candidates {
+            self.steps += 1;
+            if self.steps > self.budget {
+                return Err(());
+            }
+            if self.used[v] {
+                continue;
+            }
+            self.assigned[u] = Some(v as VertexId);
+            self.used[v] = true;
+
+            let mut next = dom.clone();
+            // v is taken: remove from all other rows; fix u's row to {v}.
+            for w in 0..pn {
+                if w != u {
+                    next.clear_bit(w, v);
+                }
+            }
+            for x in next.iter_row(u).collect::<Vec<_>>() {
+                if x != v {
+                    next.clear_bit(u, x);
+                }
+            }
+
+            let feasible = self.refine(&mut next);
+            if feasible {
+                match self.search(&next, depth + 1) {
+                    Ok(true) => {
+                        self.assigned[u] = None;
+                        self.used[v] = false;
+                        return Ok(true);
+                    }
+                    Ok(false) => {}
+                    Err(()) => {
+                        self.assigned[u] = None;
+                        self.used[v] = false;
+                        return Err(());
+                    }
+                }
+            }
+            self.assigned[u] = None;
+            self.used[v] = false;
+        }
+        Ok(false)
+    }
+}
+
+/// Existence test with an optional step budget.
+pub fn exists_budgeted(pattern: &Graph, target: &Graph, budget: Option<u64>) -> Found {
+    if pattern.vertex_count() == 0 {
+        return Found::Yes;
+    }
+    if !GraphSummary::of(pattern).may_embed_into(&GraphSummary::of(target)) {
+        return Found::No;
+    }
+    let pn = pattern.vertex_count();
+    let tn = target.vertex_count();
+    let mut dom = Domains::new(pn, tn);
+    for u in 0..pn {
+        for v in 0..tn {
+            if pattern.label(u as VertexId) == target.label(v as VertexId)
+                && target.degree(v as VertexId) >= pattern.degree(u as VertexId)
+            {
+                dom.set(u, v);
+            }
+        }
+        if dom.is_empty_row(u) {
+            return Found::No;
+        }
+    }
+    let mut search = Search {
+        p: pattern,
+        t: target,
+        assigned: vec![None; pn],
+        used: vec![false; tn],
+        steps: 0,
+        budget: budget.unwrap_or(u64::MAX),
+    };
+    if !search.refine(&mut dom) {
+        return Found::No;
+    }
+    match search.search(&dom, 0) {
+        Ok(true) => Found::Yes,
+        Ok(false) => Found::No,
+        Err(()) => Found::Unknown,
+    }
+}
+
+/// Unbudgeted existence test.
+pub fn exists(pattern: &Graph, target: &Graph) -> bool {
+    exists_budgeted(pattern, target, None).is_yes()
+}
+
+/// Existence test reporting step statistics.
+pub fn exists_with_stats(
+    pattern: &Graph,
+    target: &Graph,
+    budget: Option<u64>,
+) -> (Found, SearchStats) {
+    // The Search struct is internal; re-run bookkeeping here to keep the
+    // public surface minimal.
+    if pattern.vertex_count() == 0 {
+        return (Found::Yes, SearchStats { steps: 0, embeddings: 1 });
+    }
+    if !GraphSummary::of(pattern).may_embed_into(&GraphSummary::of(target)) {
+        return (Found::No, SearchStats::default());
+    }
+    let pn = pattern.vertex_count();
+    let tn = target.vertex_count();
+    let mut dom = Domains::new(pn, tn);
+    for u in 0..pn {
+        for v in 0..tn {
+            if pattern.label(u as VertexId) == target.label(v as VertexId)
+                && target.degree(v as VertexId) >= pattern.degree(u as VertexId)
+            {
+                dom.set(u, v);
+            }
+        }
+        if dom.is_empty_row(u) {
+            return (Found::No, SearchStats::default());
+        }
+    }
+    let mut search = Search {
+        p: pattern,
+        t: target,
+        assigned: vec![None; pn],
+        used: vec![false; tn],
+        steps: 0,
+        budget: budget.unwrap_or(u64::MAX),
+    };
+    if !search.refine(&mut dom) {
+        return (Found::No, SearchStats::default());
+    }
+    let out = match search.search(&dom, 0) {
+        Ok(true) => Found::Yes,
+        Ok(false) => Found::No,
+        Err(()) => Found::Unknown,
+    };
+    let emb = u64::from(out == Found::Yes);
+    (out, SearchStats { steps: search.steps, embeddings: emb })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    #[test]
+    fn triangle_in_k4_not_in_tree() {
+        let tri = g(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let k4 = g(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let tree = g(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        assert!(exists(&tri, &k4));
+        assert!(!exists(&tri, &tree));
+    }
+
+    #[test]
+    fn labels_respected() {
+        let p = g(&[1, 2], &[(0, 1)]);
+        assert!(exists(&p, &g(&[2, 1, 3], &[(0, 1), (1, 2)])));
+        assert!(!exists(&p, &g(&[1, 1, 3], &[(0, 1), (1, 2)])));
+    }
+
+    #[test]
+    fn self_containment_and_empty() {
+        let x = g(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        assert!(exists(&x, &x));
+        assert!(exists(&g(&[], &[]), &x));
+    }
+
+    #[test]
+    fn disconnected_pattern_injective() {
+        let p2 = g(&[0, 0], &[]);
+        assert!(!exists(&p2, &g(&[0, 1], &[])));
+        assert!(exists(&p2, &g(&[0, 0], &[])));
+    }
+
+    #[test]
+    fn budget_unknown() {
+        let p = g(&[0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut edges = Vec::new();
+        for u in 0..9u32 {
+            for v in (u + 1)..9 {
+                edges.push((u, v));
+            }
+        }
+        let t = g(&[0; 9], &edges);
+        assert_eq!(exists_budgeted(&p, &t, Some(1)), Found::Unknown);
+        assert_eq!(exists_budgeted(&p, &t, None), Found::Yes);
+    }
+
+    #[test]
+    fn agrees_with_vf2_on_small_cases() {
+        let cases = [
+            (g(&[0, 0, 0], &[(0, 1), (1, 2)]), g(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)])),
+            (g(&[0, 1], &[(0, 1)]), g(&[1, 0, 1], &[(0, 1), (1, 2)])),
+            (g(&[3], &[]), g(&[0, 1, 2], &[(0, 1)])),
+            (g(&[0, 0, 1, 1], &[(0, 2), (1, 3), (2, 3)]), g(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)])),
+        ];
+        for (p, t) in &cases {
+            assert_eq!(exists(p, t), crate::vf2::exists(p, t), "p={p:?} t={t:?}");
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! VF2-style backtracking search for non-induced labelled subgraph
+//! isomorphism.
+//!
+//! This is the Verifier implementation referenced as \[3\] (Cordella et al.)
+//! by the paper. The search maps pattern vertices to target vertices along a
+//! connectivity-driven order (see [`crate::search_order`]), generating
+//! candidates from the images of already-matched neighbours and pruning with
+//! label equality and degree feasibility.
+
+use crate::{Found, SearchStats};
+use gc_graph::invariants::GraphSummary;
+use gc_graph::{Graph, VertexId};
+
+const UNMAPPED: u32 = u32::MAX;
+
+/// Search options (ablation knobs; defaults are the production setting).
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Prune candidate pairs whose neighbour-label signature cannot
+    /// dominate the pattern vertex's (packed 8-bucket counts; sound for
+    /// non-induced matching). Default on.
+    pub neighbor_signatures: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { neighbor_signatures: true }
+    }
+}
+
+/// Packed neighbour-label signature: 8 byte-wide saturating buckets
+/// (label mod 8 -> count capped at 255). An embedding maps the neighbours of
+/// a pattern vertex injectively, label-preservingly into the neighbours of
+/// its image, so bucket-wise domination is a necessary condition even with
+/// labels merged mod 8.
+fn signatures(g: &Graph) -> Vec<u64> {
+    g.vertices()
+        .map(|v| {
+            let mut sig = 0u64;
+            for &w in g.neighbors(v) {
+                let shift = ((g.label(w).0 as usize) % 8) * 8;
+                let bucket = (sig >> shift) & 0xFF;
+                if bucket < 0xFF {
+                    sig += 1u64 << shift;
+                }
+            }
+            sig
+        })
+        .collect()
+}
+
+#[inline]
+fn sig_dominates(target: u64, pattern: u64) -> bool {
+    // Byte-wise >= for all 8 buckets.
+    for i in 0..8 {
+        let shift = i * 8;
+        if (target >> shift) & 0xFF < (pattern >> shift) & 0xFF {
+            return false;
+        }
+    }
+    true
+}
+
+/// Control returned by enumeration callbacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Keep enumerating embeddings.
+    Continue,
+    /// Stop the search now.
+    Stop,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flow {
+    Continue,
+    Stop,
+    Budget,
+}
+
+struct State<'a> {
+    p: &'a Graph,
+    t: &'a Graph,
+    order: &'a [VertexId],
+    /// pattern vertex -> target vertex (UNMAPPED if free)
+    mapping: Vec<u32>,
+    used: Vec<bool>,
+    /// Packed neighbour-label signatures (empty when disabled).
+    p_sig: Vec<u64>,
+    t_sig: Vec<u64>,
+    steps: u64,
+    budget: u64,
+    embeddings: u64,
+}
+
+impl<'a> State<'a> {
+    fn new(
+        p: &'a Graph,
+        t: &'a Graph,
+        order: &'a [VertexId],
+        budget: Option<u64>,
+        opts: Options,
+    ) -> Self {
+        let (p_sig, t_sig) = if opts.neighbor_signatures {
+            (signatures(p), signatures(t))
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        State {
+            p,
+            t,
+            order,
+            mapping: vec![UNMAPPED; p.vertex_count()],
+            used: vec![false; t.vertex_count()],
+            p_sig,
+            t_sig,
+            steps: 0,
+            budget: budget.unwrap_or(u64::MAX),
+            embeddings: 0,
+        }
+    }
+
+    #[inline]
+    fn feasible(&self, u: VertexId, v: VertexId) -> bool {
+        if self.used[v as usize] || self.p.label(u) != self.t.label(v) {
+            return false;
+        }
+        if self.t.degree(v) < self.p.degree(u) {
+            return false;
+        }
+        if !self.p_sig.is_empty()
+            && !sig_dominates(self.t_sig[v as usize], self.p_sig[u as usize])
+        {
+            return false;
+        }
+        // Every already-matched neighbour of u must map to a neighbour of v.
+        for &w in self.p.neighbors(u) {
+            let img = self.mapping[w as usize];
+            if img != UNMAPPED && !self.t.has_edge(v, img) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn search(&mut self, depth: usize, cb: &mut dyn FnMut(&[u32]) -> Control) -> Flow {
+        if depth == self.order.len() {
+            self.embeddings += 1;
+            return match cb(&self.mapping) {
+                Control::Continue => Flow::Continue,
+                Control::Stop => Flow::Stop,
+            };
+        }
+        let u = self.order[depth];
+
+        // Candidate generation: restrict to neighbours of the matched
+        // neighbour whose image has the smallest degree; fall back to a scan
+        // of all target vertices when u starts a new component.
+        let mut anchor: Option<VertexId> = None; // image in target
+        for &w in self.p.neighbors(u) {
+            let img = self.mapping[w as usize];
+            if img != UNMAPPED
+                && anchor.is_none_or(|a| self.t.degree(img) < self.t.degree(a))
+            {
+                anchor = Some(img);
+            }
+        }
+
+        match anchor {
+            Some(a) => {
+                // Split borrows: iterate a copied neighbour list would
+                // allocate; instead index into the slice by position.
+                let deg = self.t.degree(a);
+                for i in 0..deg {
+                    let v = self.t.neighbors(a)[i];
+                    let flow = self.try_pair(depth, u, v, cb);
+                    if flow != Flow::Continue {
+                        return flow;
+                    }
+                }
+            }
+            None => {
+                for v in self.t.vertices() {
+                    let flow = self.try_pair(depth, u, v, cb);
+                    if flow != Flow::Continue {
+                        return flow;
+                    }
+                }
+            }
+        }
+        Flow::Continue
+    }
+
+    #[inline]
+    fn try_pair(
+        &mut self,
+        depth: usize,
+        u: VertexId,
+        v: VertexId,
+        cb: &mut dyn FnMut(&[u32]) -> Control,
+    ) -> Flow {
+        self.steps += 1;
+        if self.steps > self.budget {
+            return Flow::Budget;
+        }
+        if !self.feasible(u, v) {
+            return Flow::Continue;
+        }
+        self.mapping[u as usize] = v;
+        self.used[v as usize] = true;
+        let flow = self.search(depth + 1, cb);
+        self.mapping[u as usize] = UNMAPPED;
+        self.used[v as usize] = false;
+        flow
+    }
+}
+
+/// Run the search, invoking `cb` for each embedding found.
+///
+/// `cb` receives the mapping array (`mapping[pattern_vertex] = target_vertex`)
+/// and can stop the search early. Returns the outcome and search statistics.
+pub fn enumerate(
+    pattern: &Graph,
+    target: &Graph,
+    budget: Option<u64>,
+    cb: &mut dyn FnMut(&[u32]) -> Control,
+) -> (Found, SearchStats) {
+    enumerate_with_options(pattern, target, budget, Options::default(), cb)
+}
+
+/// [`enumerate`] with explicit [`Options`] (ablation entry point).
+pub fn enumerate_with_options(
+    pattern: &Graph,
+    target: &Graph,
+    budget: Option<u64>,
+    opts: Options,
+    cb: &mut dyn FnMut(&[u32]) -> Control,
+) -> (Found, SearchStats) {
+    // Trivial cases: the empty pattern embeds everywhere.
+    if pattern.vertex_count() == 0 {
+        let stats = SearchStats { steps: 0, embeddings: 1 };
+        cb(&[]);
+        return (Found::Yes, stats);
+    }
+    if !GraphSummary::of(pattern).may_embed_into(&GraphSummary::of(target)) {
+        return (Found::No, SearchStats::default());
+    }
+    let freq = target.label_histogram();
+    let order = crate::search_order(pattern, Some(&freq));
+    let mut state = State::new(pattern, target, &order, budget, opts);
+    let mut found = false;
+    let mut wrapped = |m: &[u32]| {
+        found = true;
+        cb(m)
+    };
+    let flow = state.search(0, &mut wrapped);
+    let stats = SearchStats { steps: state.steps, embeddings: state.embeddings };
+    let outcome = match (flow, found) {
+        (Flow::Budget, false) => Found::Unknown,
+        (_, true) => Found::Yes,
+        (_, false) => Found::No,
+    };
+    (outcome, stats)
+}
+
+/// Existence test with an optional step budget.
+pub fn exists_budgeted(pattern: &Graph, target: &Graph, budget: Option<u64>) -> Found {
+    enumerate(pattern, target, budget, &mut |_| Control::Stop).0
+}
+
+/// Unbudgeted existence test.
+pub fn exists(pattern: &Graph, target: &Graph) -> bool {
+    exists_budgeted(pattern, target, None).is_yes()
+}
+
+/// Existence test that also reports search statistics (for PINC-style cost
+/// accounting in the cache).
+pub fn exists_with_stats(
+    pattern: &Graph,
+    target: &Graph,
+    budget: Option<u64>,
+) -> (Found, SearchStats) {
+    enumerate(pattern, target, budget, &mut |_| Control::Stop)
+}
+
+/// Count all embeddings (automorphism-distinct mappings).
+pub fn count_embeddings(pattern: &Graph, target: &Graph, budget: Option<u64>) -> (u64, Found) {
+    let (outcome, stats) = enumerate(pattern, target, budget, &mut |_| Control::Continue);
+    (stats.embeddings, outcome)
+}
+
+/// Collect the first `limit` embeddings as mapping vectors.
+pub fn find_embeddings(pattern: &Graph, target: &Graph, limit: usize) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    enumerate(pattern, target, None, &mut |m| {
+        out.push(m.to_vec());
+        if out.len() >= limit {
+            Control::Stop
+        } else {
+            Control::Continue
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    #[test]
+    fn triangle_in_k4() {
+        let tri = g(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let k4 = g(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert!(exists(&tri, &k4));
+        // 4 choose 3 triangles * 3! automorphic mappings = 24 embeddings.
+        assert_eq!(count_embeddings(&tri, &k4, None).0, 24);
+    }
+
+    #[test]
+    fn triangle_not_in_tree() {
+        let tri = g(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        let tree = g(&[0, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        assert!(!exists(&tri, &tree));
+    }
+
+    #[test]
+    fn labels_must_match() {
+        let p = g(&[1, 2], &[(0, 1)]);
+        let t_ok = g(&[2, 1, 3], &[(0, 1), (1, 2)]);
+        let t_no = g(&[1, 1, 3], &[(0, 1), (1, 2)]);
+        assert!(exists(&p, &t_ok));
+        assert!(!exists(&p, &t_no));
+    }
+
+    #[test]
+    fn non_induced_semantics() {
+        // P3 (path on 3) embeds into a triangle non-induced even though the
+        // endpoints are adjacent in the target.
+        let p3 = g(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let tri = g(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]);
+        assert!(exists(&p3, &tri));
+    }
+
+    #[test]
+    fn every_graph_contains_itself() {
+        let x = g(&[0, 1, 2, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(exists(&x, &x));
+    }
+
+    #[test]
+    fn empty_pattern_embeds() {
+        let e = g(&[], &[]);
+        let t = g(&[0], &[]);
+        assert!(exists(&e, &t));
+        assert!(exists(&e, &e));
+    }
+
+    #[test]
+    fn pattern_larger_than_target() {
+        let p = g(&[0, 0], &[(0, 1)]);
+        let t = g(&[0], &[]);
+        assert!(!exists(&p, &t));
+    }
+
+    #[test]
+    fn disconnected_pattern() {
+        let p = g(&[0, 1], &[]); // two isolated vertices, labels 0 and 1
+        let t = g(&[1, 0], &[(0, 1)]);
+        assert!(exists(&p, &t));
+        let t2 = g(&[0, 0], &[(0, 1)]);
+        assert!(!exists(&p, &t2));
+        // Injectivity across components: two isolated 0-labelled vertices
+        // need two distinct images.
+        let p2 = g(&[0, 0], &[]);
+        let t3 = g(&[0, 1], &[]);
+        assert!(!exists(&p2, &t3));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        // A hard-ish instance with tiny budget.
+        let p = g(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let mut edges = Vec::new();
+        for u in 0..10u32 {
+            for v in (u + 1)..10 {
+                edges.push((u, v));
+            }
+        }
+        let t = g(&[0; 10], &edges);
+        assert_eq!(exists_budgeted(&p, &t, Some(1)), Found::Unknown);
+        assert_eq!(exists_budgeted(&p, &t, None), Found::Yes);
+    }
+
+    #[test]
+    fn embeddings_are_valid() {
+        let p = g(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let t = g(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let embs = find_embeddings(&p, &t, 100);
+        assert!(!embs.is_empty());
+        for m in &embs {
+            // label-preserving
+            for pv in p.vertices() {
+                assert_eq!(p.label(pv), t.label(m[pv as usize]));
+            }
+            // injective
+            let mut imgs = m.clone();
+            imgs.sort_unstable();
+            imgs.dedup();
+            assert_eq!(imgs.len(), m.len());
+            // edge-preserving
+            for (u, v) in p.edges() {
+                assert!(t.has_edge(m[u as usize], m[v as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn count_path_in_cycle() {
+        // P2 (one edge, both labels 0) in C4: 4 edges * 2 orientations = 8.
+        let p2 = g(&[0, 0], &[(0, 1)]);
+        let c4 = g(&[0, 0, 0, 0], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(count_embeddings(&p2, &c4, None).0, 8);
+    }
+
+    #[test]
+    fn stats_steps_nonzero() {
+        let p = g(&[0, 0], &[(0, 1)]);
+        let t = g(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let (f, stats) = exists_with_stats(&p, &t, None);
+        assert_eq!(f, Found::Yes);
+        assert!(stats.steps > 0);
+    }
+}

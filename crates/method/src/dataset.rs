@@ -1,0 +1,119 @@
+//! The immutable dataset of data graphs.
+
+use gc_graph::invariants::GraphSummary;
+use gc_graph::{BitSet, Graph, GraphId};
+
+/// A loaded collection of data graphs with precomputed per-graph summaries.
+///
+/// The dataset is immutable for the lifetime of a cache instance (the paper's
+/// Dataset Graphs component); graph ids are dense `0..len`.
+#[derive(Debug)]
+pub struct Dataset {
+    graphs: Vec<Graph>,
+    summaries: Vec<GraphSummary>,
+    label_freq: Vec<u32>,
+}
+
+impl Dataset {
+    /// Wrap a vector of graphs.
+    pub fn new(graphs: Vec<Graph>) -> Self {
+        let summaries = graphs.iter().map(GraphSummary::of).collect();
+        let max_label =
+            graphs.iter().filter_map(|g| g.max_label()).map(|l| l.0).max().map_or(0, |m| m as usize + 1);
+        let mut label_freq = vec![0u32; max_label];
+        for g in &graphs {
+            for v in g.vertices() {
+                label_freq[g.label(v).0 as usize] += 1;
+            }
+        }
+        Dataset { graphs, summaries, label_freq }
+    }
+
+    /// Number of graphs.
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// `true` iff the dataset holds no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Access a graph by id.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range.
+    pub fn graph(&self, id: GraphId) -> &Graph {
+        &self.graphs[id as usize]
+    }
+
+    /// Precomputed invariants summary of graph `id`.
+    pub fn summary(&self, id: GraphId) -> &GraphSummary {
+        &self.summaries[id as usize]
+    }
+
+    /// All graphs in id order.
+    pub fn graphs(&self) -> &[Graph] {
+        &self.graphs
+    }
+
+    /// Global label frequency across the dataset (index = label value);
+    /// steers matcher search orders toward rare labels.
+    pub fn label_freq(&self) -> &[u32] {
+        &self.label_freq
+    }
+
+    /// A fresh full candidate bitset over this dataset's universe.
+    pub fn all_graphs(&self) -> BitSet {
+        BitSet::full(self.len())
+    }
+
+    /// A fresh empty bitset over this dataset's universe.
+    pub fn empty_set(&self) -> BitSet {
+        BitSet::new(self.len())
+    }
+
+    /// Total approximate memory of the raw graphs.
+    pub fn memory_bytes(&self) -> usize {
+        self.graphs.iter().map(Graph::memory_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    fn ds() -> Dataset {
+        Dataset::new(vec![
+            graph_from_parts(&[Label(0), Label(1)], &[(0, 1)]).unwrap(),
+            graph_from_parts(&[Label(1), Label(1), Label(2)], &[(0, 1), (1, 2)]).unwrap(),
+        ])
+    }
+
+    #[test]
+    fn accessors() {
+        let d = ds();
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.graph(0).vertex_count(), 2);
+        assert_eq!(d.summary(1).n, 3);
+        assert_eq!(d.label_freq(), &[1, 3, 1]);
+    }
+
+    #[test]
+    fn universe_sets() {
+        let d = ds();
+        assert_eq!(d.all_graphs().count(), 2);
+        assert_eq!(d.empty_set().count(), 0);
+        assert_eq!(d.all_graphs().universe(), 2);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.label_freq().len(), 0);
+        assert_eq!(d.all_graphs().count(), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The Verifier: which sub-iso engine performs verification.
+
+use gc_graph::Graph;
+use gc_iso::Found;
+
+/// Selects the sub-iso implementation used for verification and for
+/// confirming cache hits. Step counts feed the cost-aware replacement
+/// policies (PINC/HD).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// VF2-style backtracking (production default; paper reference \[3\]).
+    #[default]
+    Vf2,
+    /// Ullmann with bitset domains (baseline / cross-check).
+    Ullmann,
+}
+
+impl Engine {
+    /// Engine name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Vf2 => "vf2",
+            Engine::Ullmann => "ullmann",
+        }
+    }
+
+    /// Exact containment test `pattern ⊑ target`, returning the decision and
+    /// the number of search steps spent (the cost unit used by PINC).
+    pub fn verify(self, pattern: &Graph, target: &Graph) -> (bool, u64) {
+        let (found, stats) = match self {
+            Engine::Vf2 => gc_iso::vf2::exists_with_stats(pattern, target, None),
+            Engine::Ullmann => gc_iso::ullmann::exists_with_stats(pattern, target, None),
+        };
+        debug_assert_ne!(found, Found::Unknown, "unbudgeted search cannot be Unknown");
+        (found.is_yes(), stats.steps)
+    }
+
+    /// Budgeted containment test (used by the Sub/Super Case Processors so a
+    /// pathological hit-check can never dominate query time). Returns
+    /// [`Found::Unknown`] when the budget ran out; callers must treat that as
+    /// "not a hit" (sound: skipping a hit only loses savings, never
+    /// correctness).
+    pub fn verify_budgeted(self, pattern: &Graph, target: &Graph, budget: u64) -> (Found, u64) {
+        let (found, stats) = match self {
+            Engine::Vf2 => gc_iso::vf2::exists_with_stats(pattern, target, Some(budget)),
+            Engine::Ullmann => gc_iso::ullmann::exists_with_stats(pattern, target, Some(budget)),
+        };
+        (found, stats.steps)
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    #[test]
+    fn both_engines_verify() {
+        let p = g(&[0, 1], &[(0, 1)]);
+        let t = g(&[1, 0, 1], &[(0, 1), (1, 2)]);
+        for e in [Engine::Vf2, Engine::Ullmann] {
+            let (yes, steps) = e.verify(&p, &t);
+            assert!(yes, "{e}");
+            assert!(steps > 0, "{e}");
+            let (no, _) = e.verify(&g(&[5], &[]), &t);
+            assert!(!no, "{e}");
+        }
+    }
+
+    #[test]
+    fn budgeted_unknown() {
+        let p = g(&[0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut edges = Vec::new();
+        for u in 0..9u32 {
+            for v in (u + 1)..9 {
+                edges.push((u, v));
+            }
+        }
+        let t = g(&[0; 9], &edges);
+        for e in [Engine::Vf2, Engine::Ullmann] {
+            let (f, _) = e.verify_budgeted(&p, &t, 1);
+            assert_eq!(f, Found::Unknown, "{e}");
+        }
+    }
+}

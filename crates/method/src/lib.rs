@@ -1,0 +1,84 @@
+//! # gc-method — the "Method M" abstraction of GraphCache
+//!
+//! GraphCache is a cache layered *over* an existing query-processing method
+//! (paper Fig. 1: "Method M could incorporate any FTV or SI method"). This
+//! crate defines that pluggable surface:
+//!
+//! * [`Dataset`] — the immutable collection of data graphs queries run over;
+//! * [`QueryKind`] — subgraph vs supergraph queries;
+//! * [`Method`] — the filter stage contract: given a query, produce the
+//!   candidate set `C_M`;
+//! * [`SiMethod`] — a plain SI method: no filtering, every graph is a
+//!   candidate (the Verifier's own invariant pre-checks still apply);
+//! * [`SigMethod`] — invariant-summary filtering (no index), a third
+//!   filtering regime between SI and FTV;
+//! * [`FtvMethod`] — filter-then-verify over the [`gc_index::PathTrie`]
+//!   (GraphGrepSX-style), with the feature size `L` as its knob;
+//! * [`Engine`] — the Verifier: which sub-iso implementation performs
+//!   verification, with step accounting for cost-aware cache policies;
+//! * [`execute_base`] — run a query with Method M alone (no cache); the
+//!   baseline side of every speedup the Demonstrator reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod base;
+mod dataset;
+mod engine;
+mod ftv;
+mod ftv_tree;
+mod si;
+mod sig;
+
+pub use base::{execute_base, BaseRun};
+pub use dataset::Dataset;
+pub use engine::Engine;
+pub use ftv::FtvMethod;
+pub use ftv_tree::FtvTreeMethod;
+pub use si::SiMethod;
+pub use sig::SigMethod;
+
+use gc_graph::{BitSet, Graph};
+
+/// The two query types GraphCache serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum QueryKind {
+    /// Return dataset graphs that **contain** the query (`q ⊑ G`).
+    Subgraph,
+    /// Return dataset graphs **contained in** the query (`G ⊑ q`).
+    Supergraph,
+}
+
+impl QueryKind {
+    /// Short name for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryKind::Subgraph => "sub",
+            QueryKind::Supergraph => "super",
+        }
+    }
+}
+
+impl std::fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The filter stage of a base query-processing method.
+///
+/// Contract: the returned candidate set must be **sound** — it contains the
+/// full true answer set for (`query`, `kind`). The verification stage (the
+/// [`Engine`]) then removes false candidates. GraphCache layers its semantic
+/// cache on top of any implementation of this trait.
+pub trait Method: Send + Sync {
+    /// Method name for dashboards and experiment reports.
+    fn name(&self) -> String;
+
+    /// Compute the candidate set `C_M` for a query.
+    fn filter(&self, dataset: &Dataset, query: &Graph, kind: QueryKind) -> BitSet;
+
+    /// Bytes of index memory the method holds (0 for index-free methods).
+    /// Experiment II compares this with the cache's footprint.
+    fn index_memory_bytes(&self) -> usize;
+}

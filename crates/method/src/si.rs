@@ -1,0 +1,48 @@
+//! Plain SI method: no filter stage.
+
+use crate::{Dataset, Method, QueryKind};
+use gc_graph::{BitSet, Graph};
+
+/// A bare subgraph-isomorphism method: every dataset graph is a candidate
+/// and must be verified. This is the weakest Method M the paper considers
+/// ("SI algorithms" category) and the one over which the cache shows the
+/// largest savings.
+///
+/// Cheap per-graph invariant pre-checks (size, labels, degrees) run inside
+/// the verifier itself, mirroring what practical SI implementations do.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SiMethod;
+
+impl Method for SiMethod {
+    fn name(&self) -> String {
+        "si".to_owned()
+    }
+
+    fn filter(&self, dataset: &Dataset, _query: &Graph, _kind: QueryKind) -> BitSet {
+        dataset.all_graphs()
+    }
+
+    fn index_memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    #[test]
+    fn all_graphs_are_candidates() {
+        let ds = Dataset::new(vec![
+            graph_from_parts(&[Label(0)], &[]).unwrap(),
+            graph_from_parts(&[Label(1)], &[]).unwrap(),
+        ]);
+        let q = graph_from_parts(&[Label(0)], &[]).unwrap();
+        let m = SiMethod;
+        assert_eq!(m.filter(&ds, &q, QueryKind::Subgraph).count(), 2);
+        assert_eq!(m.filter(&ds, &q, QueryKind::Supergraph).count(), 2);
+        assert_eq!(m.index_memory_bytes(), 0);
+        assert_eq!(m.name(), "si");
+    }
+}

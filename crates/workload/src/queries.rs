@@ -1,0 +1,240 @@
+//! Query extraction from data graphs.
+//!
+//! The "established principle" for generating query workloads over
+//! transaction graph datasets (used by GraphGrepSX, gIndex, iGQ, GraphCache
+//! alike) is: pick a data graph, take a random connected subgraph with a
+//! target number of edges. Queries produced this way are guaranteed
+//! non-empty answers (they are contained in at least their source graph).
+//!
+//! [`nested_chain`] additionally produces ⊑-chains of queries (each a
+//! subgraph of the next), which is how sub/supergraph relationships between
+//! *workload* queries arise — the phenomenon GraphCache exploits (paper §1:
+//! biochemical queries "range from simple molecules … to complex proteins",
+//! social queries "start off broad and become narrower").
+
+use gc_graph::{Graph, GraphBuilder, VertexId};
+use rand::Rng;
+
+/// Edge-count range for extracted queries.
+#[derive(Debug, Clone, Copy)]
+pub struct QuerySizer {
+    /// Minimum edges.
+    pub min_edges: usize,
+    /// Maximum edges.
+    pub max_edges: usize,
+}
+
+impl Default for QuerySizer {
+    fn default() -> Self {
+        QuerySizer { min_edges: 3, max_edges: 12 }
+    }
+}
+
+/// Extract a random connected subgraph of `source` with about
+/// `target_edges` edges (fewer if the graph is smaller), via a random
+/// edge-growth walk: start from a random edge, repeatedly add a random
+/// incident edge of the current vertex set.
+///
+/// Returns `None` when `source` has no edges.
+pub fn extract_query(source: &Graph, target_edges: usize, rng: &mut impl Rng) -> Option<Graph> {
+    if source.edge_count() == 0 || target_edges == 0 {
+        return None;
+    }
+    let edges: Vec<(VertexId, VertexId)> = source.edges().collect();
+    let (su, sv) = edges[rng.gen_range(0..edges.len())];
+    let mut in_set = vec![false; source.vertex_count()];
+    let mut vertices: Vec<VertexId> = Vec::new();
+    let mut chosen: Vec<(VertexId, VertexId)> = Vec::new();
+    let push_vertex = |v: VertexId, in_set: &mut Vec<bool>, vertices: &mut Vec<VertexId>| {
+        if !in_set[v as usize] {
+            in_set[v as usize] = true;
+            vertices.push(v);
+        }
+    };
+    push_vertex(su, &mut in_set, &mut vertices);
+    push_vertex(sv, &mut in_set, &mut vertices);
+    chosen.push((su, sv));
+
+    while chosen.len() < target_edges {
+        // Collect frontier edges: incident to the vertex set, not chosen yet.
+        let mut frontier: Vec<(VertexId, VertexId)> = Vec::new();
+        for &v in &vertices {
+            for &w in source.neighbors(v) {
+                let e = (v.min(w), v.max(w));
+                if !chosen.contains(&e) {
+                    frontier.push(e);
+                }
+            }
+        }
+        if frontier.is_empty() {
+            break;
+        }
+        let e = frontier[rng.gen_range(0..frontier.len())];
+        chosen.push(e);
+        push_vertex(e.0, &mut in_set, &mut vertices);
+        push_vertex(e.1, &mut in_set, &mut vertices);
+    }
+    Some(induce(source, &vertices, &chosen))
+}
+
+/// Build the query graph from selected vertices/edges of `source`,
+/// relabelling vertices densely.
+fn induce(source: &Graph, vertices: &[VertexId], edges: &[(VertexId, VertexId)]) -> Graph {
+    let mut remap = vec![u32::MAX; source.vertex_count()];
+    let mut b = GraphBuilder::with_capacity(vertices.len(), edges.len());
+    for (i, &v) in vertices.iter().enumerate() {
+        remap[v as usize] = i as u32;
+        b.add_vertex(source.label(v));
+    }
+    for &(u, v) in edges {
+        b.add_edge(remap[u as usize], remap[v as usize]).expect("edges are distinct");
+    }
+    b.build()
+}
+
+/// Produce a chain of queries `q1 ⊑ q2 ⊑ … ⊑ qk` extracted from `source`,
+/// with edge counts given by `sizes` (ascending). The chain is built by
+/// extracting the largest query, then repeatedly pruning *leaf-ish* edges
+/// while keeping connectivity, so every prefix is a genuine subgraph.
+///
+/// Returns an empty vec when the source has no edges or `sizes` is empty.
+pub fn nested_chain(source: &Graph, sizes: &[usize], rng: &mut impl Rng) -> Vec<Graph> {
+    let Some(&largest) = sizes.iter().max() else { return Vec::new() };
+    let Some(big) = extract_query(source, largest, rng) else { return Vec::new() };
+    let mut sorted: Vec<usize> = sizes.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a)); // descending
+    let mut out: Vec<Graph> = Vec::with_capacity(sorted.len());
+
+    let mut current = big;
+    for &target in &sorted {
+        while current.edge_count() > target {
+            match shrink_once(&current, rng) {
+                Some(smaller) => current = smaller,
+                None => break,
+            }
+        }
+        out.push(current.clone());
+    }
+    out.reverse(); // ascending sizes: q1 ⊑ q2 ⊑ ...
+    out
+}
+
+/// Remove one removable edge (an edge whose removal keeps the remaining
+/// edge-induced graph connected), dropping isolated vertices.
+fn shrink_once(g: &Graph, rng: &mut impl Rng) -> Option<Graph> {
+    let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+    if edges.len() <= 1 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    // Random rotation for variety; try every edge if needed.
+    let start = rng.gen_range(0..order.len());
+    order.rotate_left(start);
+    for &i in &order {
+        let mut kept: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges.len() - 1);
+        kept.extend(edges.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &e)| e));
+        if edge_induced_connected(g, &kept) {
+            let mut vertices: Vec<VertexId> = kept.iter().flat_map(|&(u, v)| [u, v]).collect();
+            vertices.sort_unstable();
+            vertices.dedup();
+            return Some(induce(g, &vertices, &kept));
+        }
+    }
+    None
+}
+
+fn edge_induced_connected(g: &Graph, edges: &[(VertexId, VertexId)]) -> bool {
+    if edges.is_empty() {
+        return true;
+    }
+    let mut adj: std::collections::HashMap<VertexId, Vec<VertexId>> =
+        std::collections::HashMap::new();
+    for &(u, v) in edges {
+        adj.entry(u).or_default().push(v);
+        adj.entry(v).or_default().push(u);
+    }
+    let n = adj.len();
+    let start = edges[0].0;
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![start];
+    seen.insert(start);
+    while let Some(v) = stack.pop() {
+        for &w in adj.get(&v).map_or(&Vec::new(), |x| x) {
+            if seen.insert(w) {
+                stack.push(w);
+            }
+        }
+    }
+    seen.len() == n && g.vertex_count() > 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecules::molecule_dataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn extracted_queries_are_connected_subgraphs() {
+        let ds = molecule_dataset(10, 21);
+        let mut rng = StdRng::seed_from_u64(5);
+        for g in &ds {
+            let q = extract_query(g, 6, &mut rng).unwrap();
+            assert!(q.is_connected());
+            assert!(q.edge_count() <= 6 && q.edge_count() >= 1);
+            assert!(gc_iso::vf2::exists(&q, g), "query must embed into its source");
+        }
+    }
+
+    #[test]
+    fn target_larger_than_graph_caps_at_graph() {
+        let ds = molecule_dataset(3, 77);
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = &ds[0];
+        let q = extract_query(g, 10_000, &mut rng).unwrap();
+        assert_eq!(q.edge_count(), g.edge_count());
+        assert!(gc_iso::vf2::exists(&q, g));
+    }
+
+    #[test]
+    fn no_edges_no_query() {
+        let g = gc_graph::graph_from_parts(&[gc_graph::Label(0)], &[]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(extract_query(&g, 3, &mut rng).is_none());
+        assert!(extract_query(&g, 0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn nested_chains_are_nested() {
+        let ds = molecule_dataset(5, 33);
+        let mut rng = StdRng::seed_from_u64(8);
+        for g in &ds {
+            let chain = nested_chain(g, &[2, 5, 9], &mut rng);
+            assert_eq!(chain.len(), 3);
+            for w in chain.windows(2) {
+                assert!(
+                    gc_iso::vf2::exists(&w[0], &w[1]),
+                    "chain must be ⊑-ordered: {} -> {} edges",
+                    w[0].edge_count(),
+                    w[1].edge_count()
+                );
+            }
+            for q in &chain {
+                assert!(q.is_connected());
+                assert!(gc_iso::vf2::exists(q, g));
+            }
+        }
+    }
+
+    #[test]
+    fn chain_sizes_respected_when_possible() {
+        let ds = molecule_dataset(1, 99);
+        let mut rng = StdRng::seed_from_u64(1);
+        let chain = nested_chain(&ds[0], &[2, 4, 8], &mut rng);
+        assert!(chain[0].edge_count() <= 2 + 1);
+        assert!(chain[2].edge_count() <= 8);
+        assert!(chain[0].edge_count() <= chain[1].edge_count());
+        assert!(chain[1].edge_count() <= chain[2].edge_count());
+    }
+}

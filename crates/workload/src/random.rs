@@ -1,0 +1,124 @@
+//! Classic random-graph models with uniform labels.
+//!
+//! Experiment I varies *dataset characteristics*; besides the molecule-like
+//! generator these two standard models cover the dense/uniform and
+//! heavy-tailed regimes.
+
+use gc_graph::{Graph, GraphBuilder, Label, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)` with labels drawn uniformly from `0..labels`.
+pub fn erdos_renyi(n: usize, p: f64, labels: u32, rng: &mut impl Rng) -> Graph {
+    assert!(labels > 0, "need at least one label");
+    let mut b = GraphBuilder::with_capacity(n, (p * (n * n) as f64 / 2.0) as usize);
+    for _ in 0..n {
+        b.add_vertex(Label(rng.gen_range(0..labels)));
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(p) {
+                b.add_edge(u as VertexId, v as VertexId).expect("fresh pair");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert-style preferential attachment: each new vertex attaches
+/// `m` edges to existing vertices with probability proportional to degree,
+/// producing a heavy-tailed degree distribution.
+pub fn barabasi_albert(n: usize, m: usize, labels: u32, rng: &mut impl Rng) -> Graph {
+    assert!(labels > 0 && m >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n * m);
+    for _ in 0..n {
+        b.add_vertex(Label(rng.gen_range(0..labels)));
+    }
+    if n <= 1 {
+        return b.build();
+    }
+    // Repeated-endpoint list: sampling an element uniformly is sampling a
+    // vertex proportional to degree (+1 smoothing so isolated starts count).
+    let mut endpoints: Vec<VertexId> = vec![0];
+    for v in 1..n {
+        let mut attached = 0usize;
+        let mut guard = 0usize;
+        while attached < m.min(v) && guard < 32 * m {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if t != v as VertexId && b.add_edge_dedup(v as VertexId, t).expect("valid ids") {
+                endpoints.push(t);
+                endpoints.push(v as VertexId);
+                attached += 1;
+            }
+        }
+        if attached == 0 {
+            // Guarantee connectivity.
+            let t = rng.gen_range(0..v) as VertexId;
+            let _ = b.add_edge_dedup(v as VertexId, t);
+            endpoints.push(t);
+            endpoints.push(v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Dataset of `count` ER graphs (deterministic per seed).
+pub fn er_dataset(count: usize, n: usize, p: f64, labels: u32, seed: u64) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| erdos_renyi(n, p, labels, &mut rng)).collect()
+}
+
+/// Dataset of `count` BA graphs (deterministic per seed).
+pub fn ba_dataset(count: usize, n: usize, m: usize, labels: u32, seed: u64) -> Vec<Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| barabasi_albert(n, m, labels, &mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_basic_properties() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = erdos_renyi(30, 0.2, 4, &mut rng);
+        assert_eq!(g.vertex_count(), 30);
+        let expected = 0.2 * (30.0 * 29.0 / 2.0);
+        let m = g.edge_count() as f64;
+        assert!(m > expected * 0.4 && m < expected * 1.8, "edges {m} vs expected {expected}");
+        assert!(g.vertices().all(|v| g.label(v).0 < 4));
+    }
+
+    #[test]
+    fn er_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty = erdos_renyi(10, 0.0, 2, &mut rng);
+        assert_eq!(empty.edge_count(), 0);
+        let full = erdos_renyi(10, 1.0, 2, &mut rng);
+        assert_eq!(full.edge_count(), 45);
+    }
+
+    #[test]
+    fn ba_is_connected_and_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = barabasi_albert(200, 2, 3, &mut rng);
+        assert!(g.is_connected());
+        // Heavy tail: max degree well above the mean.
+        assert!(g.max_degree() as f64 > 3.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn datasets_deterministic() {
+        assert_eq!(er_dataset(3, 10, 0.3, 2, 1), er_dataset(3, 10, 0.3, 2, 1));
+        assert_eq!(ba_dataset(3, 20, 2, 2, 1), ba_dataset(3, 20, 2, 2, 1));
+        assert_ne!(ba_dataset(3, 20, 2, 2, 1), ba_dataset(3, 20, 2, 2, 2));
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(erdos_renyi(0, 0.5, 1, &mut rng).vertex_count(), 0);
+        assert_eq!(barabasi_albert(1, 2, 1, &mut rng).vertex_count(), 1);
+    }
+}

@@ -1,0 +1,340 @@
+//! Workload synthesizers.
+//!
+//! A *workload* is an ordered stream of (query graph, kind) pairs. Three
+//! families cover the regimes the paper's evaluation varies:
+//!
+//! * **Uniform** — queries drawn uniformly from a pool ("queries are
+//!   uniformly selected from a pattern pool", §3.2 Scenario II);
+//! * **Zipf** — skewed repetition: a few popular queries recur often (the
+//!   regime where exact-match and POP shine);
+//! * **Drift** — session chains `q1 ⊑ q2 ⊑ …` emitted together, modelling
+//!   queries that start broad and narrow down (§1) — the regime where
+//!   sub/super-case hits dominate.
+//!
+//! Workloads serialize with serde so experiments can persist their exact
+//! inputs.
+
+use crate::queries::{extract_query, nested_chain, QuerySizer};
+use crate::zipf::Zipf;
+use gc_graph::Graph;
+use gc_method::QueryKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Shape of a generated workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Uniform draws from the query pool.
+    Uniform,
+    /// Zipf-skewed draws (exponent `skew`; 0 = uniform, ~1–1.5 realistic).
+    Zipf {
+        /// Zipf exponent.
+        skew: f64,
+    },
+    /// Nested ⊑-chains of length `chain_len`, interleaved with repeats.
+    Drift {
+        /// Queries per chain (ascending sizes).
+        chain_len: usize,
+        /// Probability of re-emitting a recent query instead of advancing.
+        repeat_prob: f64,
+    },
+}
+
+/// Parameters to generate a [`Workload`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of queries to emit.
+    pub n_queries: usize,
+    /// Workload family.
+    pub kind: WorkloadKind,
+    /// Pool size for Uniform/Zipf families.
+    pub pool_size: usize,
+    /// Edge-count range of extracted queries.
+    pub min_edges: usize,
+    /// Maximum edges of extracted queries.
+    pub max_edges: usize,
+    /// Fraction of supergraph queries (0.0 = all subgraph queries).
+    pub supergraph_fraction: f64,
+    /// RNG seed (workloads are deterministic given dataset + spec).
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            n_queries: 100,
+            kind: WorkloadKind::Zipf { skew: 1.0 },
+            pool_size: 50,
+            min_edges: 3,
+            max_edges: 12,
+            supergraph_fraction: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// One workload item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadQuery {
+    /// The query graph.
+    pub graph: Graph,
+    /// Subgraph or supergraph query.
+    pub kind: QueryKind,
+}
+
+/// An ordered stream of queries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The queries in execution order.
+    pub queries: Vec<WorkloadQuery>,
+    /// The spec that generated it (provenance).
+    pub spec: WorkloadSpec,
+}
+
+impl Workload {
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `true` iff there are no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Generate a workload over `dataset` according to `spec`.
+    ///
+    /// # Panics
+    /// Panics if the dataset has no graph with edges (no queries can be
+    /// extracted) while `n_queries > 0`.
+    pub fn generate(dataset: &[Graph], spec: &WorkloadSpec) -> Workload {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let sizer = QuerySizer { min_edges: spec.min_edges, max_edges: spec.max_edges };
+        let queries = match &spec.kind {
+            WorkloadKind::Uniform => pool_driven(dataset, spec, &sizer, None, &mut rng),
+            WorkloadKind::Zipf { skew } => {
+                pool_driven(dataset, spec, &sizer, Some(*skew), &mut rng)
+            }
+            WorkloadKind::Drift { chain_len, repeat_prob } => {
+                drift(dataset, spec, &sizer, *chain_len, *repeat_prob, &mut rng)
+            }
+        };
+        Workload { queries, spec: spec.clone() }
+    }
+}
+
+fn pick_kind(spec: &WorkloadSpec, rng: &mut impl Rng) -> QueryKind {
+    if spec.supergraph_fraction > 0.0 && rng.gen_bool(spec.supergraph_fraction.clamp(0.0, 1.0)) {
+        QueryKind::Supergraph
+    } else {
+        QueryKind::Subgraph
+    }
+}
+
+/// Extract one query appropriate for `kind`: subgraph queries are small
+/// patterns; supergraph queries are whole data graphs (so their answer sets
+/// are non-trivial — a small pattern rarely *contains* any data graph).
+fn one_query(
+    dataset: &[Graph],
+    sizer: &QuerySizer,
+    kind: QueryKind,
+    rng: &mut impl Rng,
+) -> Option<Graph> {
+    for _ in 0..64 {
+        let source = &dataset[rng.gen_range(0..dataset.len())];
+        match kind {
+            QueryKind::Subgraph => {
+                let target = rng.gen_range(sizer.min_edges..=sizer.max_edges);
+                if let Some(q) = extract_query(source, target, rng) {
+                    return Some(q);
+                }
+            }
+            QueryKind::Supergraph => {
+                if source.edge_count() > 0 {
+                    return Some(source.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
+fn pool_driven(
+    dataset: &[Graph],
+    spec: &WorkloadSpec,
+    sizer: &QuerySizer,
+    skew: Option<f64>,
+    rng: &mut impl Rng,
+) -> Vec<WorkloadQuery> {
+    if spec.n_queries == 0 {
+        return Vec::new();
+    }
+    assert!(
+        dataset.iter().any(|g| g.edge_count() > 0),
+        "cannot extract queries from an edgeless dataset"
+    );
+    let pool_size = spec.pool_size.max(1);
+    let pool: Vec<WorkloadQuery> = (0..pool_size)
+        .map(|_| {
+            let kind = pick_kind(spec, rng);
+            let graph = one_query(dataset, sizer, kind, rng)
+                .expect("dataset has edges; extraction retries cover empty graphs");
+            WorkloadQuery { graph, kind }
+        })
+        .collect();
+    let zipf = skew.map(|s| Zipf::new(pool.len(), s));
+    (0..spec.n_queries)
+        .map(|_| {
+            let idx = match &zipf {
+                Some(z) => z.sample(rng),
+                None => rng.gen_range(0..pool.len()),
+            };
+            pool[idx].clone()
+        })
+        .collect()
+}
+
+fn drift(
+    dataset: &[Graph],
+    spec: &WorkloadSpec,
+    sizer: &QuerySizer,
+    chain_len: usize,
+    repeat_prob: f64,
+    rng: &mut impl Rng,
+) -> Vec<WorkloadQuery> {
+    if spec.n_queries == 0 {
+        return Vec::new();
+    }
+    assert!(
+        dataset.iter().any(|g| g.edge_count() > 0),
+        "cannot extract queries from an edgeless dataset"
+    );
+    let chain_len = chain_len.max(2);
+    let mut out: Vec<WorkloadQuery> = Vec::with_capacity(spec.n_queries);
+    let mut recent: Vec<WorkloadQuery> = Vec::new();
+
+    while out.len() < spec.n_queries {
+        if !recent.is_empty() && rng.gen_bool(repeat_prob.clamp(0.0, 0.95)) {
+            out.push(recent[rng.gen_range(0..recent.len())].clone());
+            continue;
+        }
+        // New session: a ⊑-chain of ascending sizes from one source graph.
+        let kind = pick_kind(spec, rng);
+        let source = &dataset[rng.gen_range(0..dataset.len())];
+        let sizes: Vec<usize> = (0..chain_len)
+            .map(|i| {
+                let span = sizer.max_edges.saturating_sub(sizer.min_edges).max(1);
+                sizer.min_edges + (i * span) / (chain_len - 1).max(1)
+            })
+            .collect();
+        let chain = nested_chain(source, &sizes, rng);
+        if chain.is_empty() {
+            continue;
+        }
+        for q in chain {
+            out.push(WorkloadQuery { graph: q, kind });
+            if out.len() >= spec.n_queries {
+                break;
+            }
+        }
+        let start = out.len().saturating_sub(chain_len);
+        recent = out[start..].to_vec();
+        if recent.len() > 4 * chain_len {
+            recent.drain(..chain_len);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::molecules::molecule_dataset;
+
+    fn spec(kind: WorkloadKind) -> WorkloadSpec {
+        WorkloadSpec { n_queries: 40, kind, pool_size: 10, seed: 5, ..WorkloadSpec::default() }
+    }
+
+    #[test]
+    fn uniform_workload_generates_n() {
+        let ds = molecule_dataset(10, 1);
+        let w = Workload::generate(&ds, &spec(WorkloadKind::Uniform));
+        assert_eq!(w.len(), 40);
+        assert!(w.queries.iter().all(|q| q.kind == QueryKind::Subgraph));
+        assert!(w.queries.iter().all(|q| q.graph.is_connected()));
+    }
+
+    #[test]
+    fn zipf_workload_repeats_popular() {
+        let ds = molecule_dataset(10, 2);
+        let mut s = spec(WorkloadKind::Zipf { skew: 1.5 });
+        s.n_queries = 200;
+        let w = Workload::generate(&ds, &s);
+        // Count occurrences by fingerprint: the top query should repeat a lot.
+        let mut counts = std::collections::HashMap::new();
+        for q in &w.queries {
+            *counts.entry(gc_graph::hash::fingerprint(&q.graph)).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        assert!(max > 20, "zipf should repeat the head query: max={max}");
+    }
+
+    #[test]
+    fn drift_workload_contains_chains() {
+        let ds = molecule_dataset(10, 3);
+        let s = spec(WorkloadKind::Drift { chain_len: 3, repeat_prob: 0.2 });
+        let w = Workload::generate(&ds, &s);
+        assert_eq!(w.len(), 40);
+        // At least one adjacent pair must be a strict ⊑ relationship.
+        let mut nested_pairs = 0;
+        for pair in w.queries.windows(2) {
+            if pair[0].graph.edge_count() < pair[1].graph.edge_count()
+                && gc_iso::vf2::exists(&pair[0].graph, &pair[1].graph)
+            {
+                nested_pairs += 1;
+            }
+        }
+        assert!(nested_pairs > 5, "drift chains must appear: {nested_pairs}");
+    }
+
+    #[test]
+    fn supergraph_fraction_respected() {
+        let ds = molecule_dataset(10, 4);
+        let mut s = spec(WorkloadKind::Uniform);
+        s.supergraph_fraction = 1.0;
+        let w = Workload::generate(&ds, &s);
+        assert!(w.queries.iter().all(|q| q.kind == QueryKind::Supergraph));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = molecule_dataset(10, 5);
+        let s = spec(WorkloadKind::Zipf { skew: 1.0 });
+        let a = Workload::generate(&ds, &s);
+        let b = Workload::generate(&ds, &s);
+        assert_eq!(a, b);
+        let mut s2 = s.clone();
+        s2.seed += 1;
+        assert_ne!(a, Workload::generate(&ds, &s2));
+    }
+
+    #[test]
+    fn zero_queries_ok() {
+        let ds = molecule_dataset(2, 6);
+        let mut s = spec(WorkloadKind::Uniform);
+        s.n_queries = 0;
+        assert!(Workload::generate(&ds, &s).is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let ds = molecule_dataset(4, 7);
+        let mut s = spec(WorkloadKind::Drift { chain_len: 3, repeat_prob: 0.3 });
+        s.n_queries = 10;
+        let w = Workload::generate(&ds, &s);
+        let json = serde_json::to_string(&w).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(w, back);
+    }
+}

@@ -1,0 +1,107 @@
+//! Zipf-distributed sampling over `0..n`.
+//!
+//! Workload skew is the main knob of the paper's evaluation: repeated and
+//! related queries are what a cache exploits. The sampler precomputes the
+//! cumulative distribution and draws with binary search, O(log n) per
+//! sample.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..n` with exponent `s ≥ 0`
+/// (`s = 0` is uniform; larger `s` is more skewed).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw a rank in `0..n` (rank 0 is the most likely).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let x: f64 = rng.gen();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&x).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(z: &Zipf, draws: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = vec![0usize; z.n()];
+        for _ in 0..draws {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let h = histogram(&z, 100_000, 1);
+        for &c in &h {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_large() {
+        let z = Zipf::new(10, 1.5);
+        let h = histogram(&z, 100_000, 2);
+        // Expected head ratio for s=1.5 is 2^1.5 ≈ 2.83.
+        assert!(h[0] > 2 * h[1].max(1), "rank 0 dominates: {h:?}");
+        assert!(h[0] > 10 * h[9].max(1));
+    }
+
+    #[test]
+    fn all_ranks_in_range() {
+        let z = Zipf::new(3, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn singleton_support() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty support")]
+    fn empty_support_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Scenario II — The Workload Run (paper §3.2, Fig. 2(b,c)).
+//!
+//! Runs one workload through GraphCache under every bundled replacement
+//! policy (LRU, POP, PIN, PINC, HD) over the same Method M, then renders the
+//! comparison: hit rates, per-policy evictions (different policies evict
+//! different graphs — the point of Fig. 2(c)) and speedups versus the base
+//! method.
+//!
+//! Pass a workload family as an argument: `uniform`, `zipf`, or `drift`
+//! (default `zipf`), mirroring "users could either choose one [workload] or
+//! create a new workload".
+//!
+//! ```sh
+//! cargo run --release --example workload_run -- drift
+//! ```
+
+use graphcache::demo::run_workload_comparison;
+use graphcache::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let family = std::env::args().nth(1).unwrap_or_else(|| "zipf".to_owned());
+    let kind = match family.as_str() {
+        "uniform" => WorkloadKind::Uniform,
+        "zipf" => WorkloadKind::Zipf { skew: 1.2 },
+        "drift" => WorkloadKind::Drift { chain_len: 4, repeat_prob: 0.3 },
+        other => {
+            eprintln!("unknown workload family {other:?}; use uniform|zipf|drift");
+            std::process::exit(2);
+        }
+    };
+
+    let dataset = Arc::new(Dataset::new(molecule_dataset(100, 77)));
+    let spec = WorkloadSpec {
+        n_queries: 400,
+        pool_size: 150,
+        kind,
+        min_edges: 4,
+        max_edges: 14,
+        seed: 13,
+        ..WorkloadSpec::default()
+    };
+    let workload = Workload::generate(dataset.graphs(), &spec);
+    println!(
+        "workload: {} queries ({family}), dataset {} graphs\n",
+        workload.len(),
+        dataset.len()
+    );
+
+    // Capacity deliberately below the working set so the policies must
+    // actually choose victims (the point of Fig. 2(c)).
+    let config = CacheConfig { capacity: 25, window_size: 10, ..CacheConfig::default() };
+    let cmp = run_workload_comparison(
+        &dataset,
+        &|| Box::new(FtvMethod::build(&dataset, 2)),
+        &config,
+        &workload,
+    );
+    println!("{}", cmp.render());
+    println!("{}", cmp.render_timeline(PolicyKind::Hd, 8));
+    println!("winner on this workload: {}", cmp.winner());
+}
