@@ -20,7 +20,9 @@ fn bench_filter(c: &mut Criterion) {
 
     for &l in &[1usize, 2, 3, 4] {
         group.bench_with_input(BenchmarkId::new("build", l), &l, |b, &l| {
-            b.iter(|| PathTrie::build(std::hint::black_box(&dataset), FeatureConfig::with_max_len(l)))
+            b.iter(|| {
+                PathTrie::build(std::hint::black_box(&dataset), FeatureConfig::with_max_len(l))
+            })
         });
         let trie = PathTrie::build(&dataset, FeatureConfig::with_max_len(l));
         group.bench_with_input(BenchmarkId::new("filter", l), &l, |b, _| {

@@ -28,17 +28,14 @@ fn bench_policies(c: &mut Criterion) {
     for kind in PolicyKind::all() {
         for &n in &[100usize, 1000, 10_000] {
             let mut p = filled_policy(kind, n);
-            group.bench_with_input(
-                BenchmarkId::new(format!("victims/{kind}"), n),
-                &n,
-                |b, _| b.iter(|| std::hint::black_box(p.victims(10)).len()),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("victims/{kind}"), n), &n, |b, _| {
+                b.iter(|| std::hint::black_box(p.victims(10)).len())
+            });
         }
     }
 
     let mut p = filled_policy(PolicyKind::Hd, 10_000);
-    let credit =
-        HitCredit { kind: HitKind::QueryInCached, tests_saved: 5, cost_saved: 42.0 };
+    let credit = HitCredit { kind: HitKind::QueryInCached, tests_saved: 5, cost_saved: 42.0 };
     group.bench_function("on_hit/HD/10000", |b| {
         let mut e = 0u32;
         b.iter(|| {

@@ -104,10 +104,7 @@ fn main() {
 
     println!("=== Experiment I: Competition Among Various Policies ===");
     println!("(speedup = avg Method M / avg GC-over-M; {n_queries} queries per combo)\n");
-    print_table(
-        &["dataset", "workload", "policy", "test-speedup", "time-speedup", "hit%"],
-        &rows,
-    );
+    print_table(&["dataset", "workload", "policy", "test-speedup", "time-speedup", "hit%"], &rows);
     println!(
         "\ntakeaway check: HD best-or-on-par (within 5% of the best) in {hd_wins_or_ties}/{combos} combos"
     );

@@ -146,7 +146,9 @@ fn main() {
     );
     println!(
         "measured     : L+1 gives {:+.1}% time at {:.2}x space; GC gives {:.2}x at {:.1}% space.",
-        result.time_change_pct, result.space_ratio, result.gc_time_speedup,
+        result.time_change_pct,
+        result.space_ratio,
+        result.gc_time_speedup,
         result.gc_memory_vs_index_pct
     );
     match write_artifact("exp2_speedup_overhead", &result) {

@@ -34,10 +34,8 @@ struct JourneyNumbers {
 fn main() {
     // Label-homogeneous molecules so Method M's filter keeps a large C_M
     // (the paper's example keeps 75 of 100 graphs).
-    let params = MoleculeParams {
-        label_weights: vec![(0, 0.85), (1, 0.15)],
-        ..MoleculeParams::default()
-    };
+    let params =
+        MoleculeParams { label_weights: vec![(0, 0.85), (1, 0.15)], ..MoleculeParams::default() };
     let dataset = Arc::new(Dataset::new(molecule_dataset_with(100, &params, 1812)));
     let mut gc = GraphCache::with_policy(
         dataset.clone(),

@@ -103,10 +103,7 @@ fn main() {
         "\ndistinct eviction sets across the 5 policies: {} (paper: \"different graphs are cached out in different caches\")",
         unique.len()
     );
-    assert!(
-        unique.len() >= 2,
-        "at least two policies must evict different sets on this workload"
-    );
+    assert!(unique.len() >= 2, "at least two policies must evict different sets on this workload");
     match write_artifact("exp4_replacement_view", &views) {
         Ok(p) => println!("artifact: {}", p.display()),
         Err(e) => eprintln!("artifact write failed: {e}"),

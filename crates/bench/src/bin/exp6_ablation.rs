@@ -93,7 +93,11 @@ fn main() {
         let cfg = CacheConfig { window_size: window, ..tight.clone() };
         let (speedup, hit) =
             run_with_policy(&dataset, PolicyKind::Hd.make(), &cfg, &workload, &base);
-        rows.push(vec![window.to_string(), format!("{speedup:.2}x"), format!("{:.0}%", 100.0 * hit)]);
+        rows.push(vec![
+            window.to_string(),
+            format!("{speedup:.2}x"),
+            format!("{:.0}%", 100.0 * hit),
+        ]);
         rows_json.push(AblationRow {
             axis: "window".into(),
             variant: window.to_string(),

@@ -9,6 +9,7 @@
 //! | `exp3_query_journey` | Fig. 3 pipeline anatomy |
 //! | `exp4_replacement_view` | Fig. 2(c) eviction views |
 //! | `exp5_scalability` | §1/§2 speedup scaling sweeps |
+//! | `exp7_concurrency` | concurrent-client throughput of `SharedGraphCache` |
 //!
 //! Criterion microbenches live in `benches/`. This library holds the shared
 //! measurement plumbing so every experiment reports the paper's metrics the
@@ -67,7 +68,11 @@ pub fn run_base(dataset: &Arc<Dataset>, method: &dyn Method, workload: &Workload
         time += r.elapsed;
     }
     let n = workload.len().max(1) as f64;
-    BaseAggregate { avg_tests: tests as f64 / n, avg_time_s: time.as_secs_f64() / n, queries: workload.len() }
+    BaseAggregate {
+        avg_tests: tests as f64 / n,
+        avg_time_s: time.as_secs_f64() / n,
+        queries: workload.len(),
+    }
 }
 
 /// Run the workload through GraphCache with the given policy.

@@ -42,6 +42,13 @@ pub struct CacheConfig {
     /// side of the kernel's "resource management (memory and threads)". The
     /// entry-count `capacity` still applies independently.
     pub max_bytes: Option<usize>,
+    /// Shard count of the concurrent front-end
+    /// ([`crate::SharedGraphCache`]): cache state is split into this many
+    /// independently-locked shards (queries are routed by graph
+    /// fingerprint). More shards → less write contention, slightly more
+    /// probe fan-out. Ignored by the sequential [`crate::GraphCache`].
+    /// Must be in `1..=256`.
+    pub shards: usize,
 }
 
 impl Default for CacheConfig {
@@ -58,6 +65,7 @@ impl Default for CacheConfig {
             min_admit_tests: 1,
             parallel_threshold: 8,
             max_bytes: None,
+            shards: 8,
         }
     }
 }
@@ -85,6 +93,9 @@ impl CacheConfig {
         if self.max_bytes == Some(0) {
             return Err("max_bytes must be > 0 when set".into());
         }
+        if self.shards == 0 || self.shards > 256 {
+            return Err("shards must be in 1..=256".into());
+        }
         Ok(())
     }
 }
@@ -104,6 +115,9 @@ mod tests {
         assert!(CacheConfig { window_size: 0, ..CacheConfig::default() }.validate().is_err());
         assert!(CacheConfig { threads: 0, ..CacheConfig::default() }.validate().is_err());
         assert!(CacheConfig { probe_budget: 0, ..CacheConfig::default() }.validate().is_err());
+        assert!(CacheConfig { shards: 0, ..CacheConfig::default() }.validate().is_err());
+        assert!(CacheConfig { shards: 257, ..CacheConfig::default() }.validate().is_err());
+        assert!(CacheConfig { shards: 256, ..CacheConfig::default() }.validate().is_ok());
     }
 
     #[test]

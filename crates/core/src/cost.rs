@@ -6,18 +6,27 @@
 //! moving average of observed verifier steps, seeded with a size heuristic
 //! (`n + m`) before the first observation — larger graphs cost more to
 //! verify, which is exactly the signal PINC exploits and PIN ignores.
+//!
+//! Estimates live in atomics so observation needs only `&self`: the
+//! sequential runtime and the concurrent [`crate::SharedGraphCache`] share
+//! one implementation. Under concurrent observation the EWMA update is a
+//! load/compute/store and two racing updates may drop one sample — benign
+//! for a smoothed heuristic that only ranks eviction candidates, and worth
+//! not paying a lock for on every verified candidate.
 
 use gc_graph::BitSet;
 use gc_method::Dataset;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// EWMA smoothing factor: responsive but stable.
 const ALPHA: f64 = 0.3;
 
 /// Per-dataset-graph verification cost estimates (verifier steps).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CostModel {
-    est: Vec<f64>,
-    observed: Vec<bool>,
+    /// `f64` bit patterns, updated racily-but-benignly (see module docs).
+    est: Vec<AtomicU64>,
+    observed: Vec<AtomicBool>,
 }
 
 impl CostModel {
@@ -26,30 +35,44 @@ impl CostModel {
         let est = dataset
             .graphs()
             .iter()
-            .map(|g| (g.vertex_count() + g.edge_count()) as f64)
+            .map(|g| AtomicU64::new(((g.vertex_count() + g.edge_count()) as f64).to_bits()))
             .collect();
-        CostModel { observed: vec![false; dataset.len()], est }
+        CostModel { observed: (0..dataset.len()).map(|_| AtomicBool::new(false)).collect(), est }
     }
 
     /// Record the measured steps of verifying graph `gid`.
-    pub fn observe(&mut self, gid: usize, steps: u64) {
+    pub fn observe(&self, gid: usize, steps: u64) {
         let s = steps as f64;
-        if self.observed[gid] {
-            self.est[gid] = ALPHA * s + (1.0 - ALPHA) * self.est[gid];
+        let next = if self.observed[gid].swap(true, Ordering::Relaxed) {
+            let current = f64::from_bits(self.est[gid].load(Ordering::Relaxed));
+            ALPHA * s + (1.0 - ALPHA) * current
         } else {
-            self.est[gid] = s;
-            self.observed[gid] = true;
-        }
+            s
+        };
+        self.est[gid].store(next.to_bits(), Ordering::Relaxed);
     }
 
     /// Estimated cost of verifying graph `gid`.
     pub fn estimate(&self, gid: usize) -> f64 {
-        self.est[gid]
+        f64::from_bits(self.est[gid].load(Ordering::Relaxed))
     }
 
     /// Σ estimates over a set of graphs (the cost a hit saved).
     pub fn sum_over(&self, set: &BitSet) -> f64 {
-        set.iter().map(|g| self.est[g]).sum()
+        set.iter().map(|g| self.estimate(g)).sum()
+    }
+}
+
+impl Clone for CostModel {
+    fn clone(&self) -> Self {
+        CostModel {
+            est: self.est.iter().map(|a| AtomicU64::new(a.load(Ordering::Relaxed))).collect(),
+            observed: self
+                .observed
+                .iter()
+                .map(|a| AtomicBool::new(a.load(Ordering::Relaxed)))
+                .collect(),
+        }
     }
 }
 
@@ -73,7 +96,7 @@ mod tests {
 
     #[test]
     fn observation_replaces_then_smooths() {
-        let mut m = CostModel::new(&ds());
+        let m = CostModel::new(&ds());
         m.observe(0, 100);
         assert!((m.estimate(0) - 100.0).abs() < 1e-9);
         m.observe(0, 0);
@@ -82,12 +105,22 @@ mod tests {
 
     #[test]
     fn sum_over_sets() {
-        let mut m = CostModel::new(&ds());
+        let m = CostModel::new(&ds());
         m.observe(0, 10);
         m.observe(1, 30);
         let all = BitSet::from_indices(2, [0usize, 1]);
         assert!((m.sum_over(&all) - 40.0).abs() < 1e-9);
         let none = BitSet::new(2);
         assert_eq!(m.sum_over(&none), 0.0);
+    }
+
+    #[test]
+    fn clone_is_a_snapshot() {
+        let m = CostModel::new(&ds());
+        m.observe(0, 10);
+        let snap = m.clone();
+        m.observe(0, 1000);
+        assert!((snap.estimate(0) - 10.0).abs() < 1e-9);
+        assert!(snap.estimate(0) < m.estimate(0));
     }
 }

@@ -1,26 +1,46 @@
 //! # gc-core — the GraphCache kernel
 //!
-//! This crate implements the paper's Kernel subsystem (Fig. 1):
+//! This crate implements the paper's Kernel subsystem (Fig. 1) as a
+//! **staged query pipeline** with two front-ends:
 //!
-//! * [`GraphCache`] — the Query Processing Runtime: for each incoming query
-//!   it runs Method M's filter, probes the cache for exact / sub-case /
-//!   super-case hits, prunes the candidate set with cached answers, verifies
-//!   the remainder, and maintains the cache;
+//! * [`pipeline`] — the five explicit stages every query passes through
+//!   (Fig. 3): [`pipeline::filter`] computes Method M's candidate set
+//!   `C_M`; [`pipeline::probe`] finds exact / sub-case / super-case cache
+//!   hits; [`pipeline::prune`] turns hit answers into definite answers and
+//!   a reduced candidate set; [`pipeline::verify`] runs exact sub-iso
+//!   testing (inline or pooled); [`pipeline::admit`] credits hits, admits
+//!   the query and runs the batched replacement sweep. A
+//!   [`pipeline::PipelineCtx`] carries one query through the stages;
+//! * [`GraphCache`] — the sequential Query Processing Runtime: a thin
+//!   `&mut self` composition of the stages over directly-owned state;
+//! * [`SharedGraphCache`] — the concurrent front-end: the same stages over
+//!   *sharded* state behind `parking_lot::RwLock`s, `&self` queries from
+//!   any number of threads, lock-free statistics, and verification batched
+//!   onto the process-wide [`parallel::global_pool`].
+//!
+//! Supporting components:
+//!
 //! * [`CacheManager`] — storage of cached queries, their answer bitsets, the
 //!   fingerprint table for exact-match detection, and the
 //!   [`gc_index::QueryIndex`] for containment probes;
 //! * [`ReplacementPolicy`] + [`Policy`] — the paper's replacement policies
-//!   LRU, POP, PIN, PINC and HD behind the extension trait of Fig. 2(d);
+//!   LRU, POP, PIN, PINC and HD behind the extension trait of Fig. 2(d)
+//!   (plus [`policy_ext`]'s GDS / arithmetic-HD / Random);
 //! * [`WindowManager`](window::WindowManager) — batched admission control;
-//! * [`StatsMonitor`] — the Statistics Monitor/Manager pair: global counters
-//!   and per-query [`QueryReport`]s for the Demonstrator.
+//! * [`StatsMonitor`] — the Statistics Monitor/Manager pair: atomic global
+//!   counters (no lock on the query path) and per-query [`QueryReport`]s
+//!   for the Demonstrator;
+//! * [`CostModel`] — atomic per-graph verification-cost EWMA feeding the
+//!   cost-aware policies.
 //!
 //! ## Correctness
 //!
 //! GraphCache returns *exactly* the answer set Method M alone would return
 //! (no false positives/negatives — paper §1, "Problem (2)"). This invariant
-//! is enforced by integration tests and a property test comparing against
-//! [`gc_method::execute_base`] on randomized workloads.
+//! is enforced by integration tests and property tests comparing against
+//! [`gc_method::execute_base`] on randomized workloads — including
+//! [`SharedGraphCache`] under multi-threaded interleavings (`tests/prop.rs`
+//! at the workspace root).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,26 +49,40 @@ mod cache;
 mod config;
 mod cost;
 mod entry;
-mod hits;
 pub mod parallel;
+pub mod pipeline;
 mod policy;
 pub mod policy_ext;
-mod pruner;
 mod report;
+mod shared;
 mod stats;
 pub mod window;
 
 pub use cost::CostModel;
-pub use parallel::{verify_candidates, VerifyPool};
+pub use parallel::{global_pool, verify_candidates, VerifyPool};
 
 pub use cache::CacheManager;
 pub use config::CacheConfig;
 pub use entry::{CacheEntry, EntryId, EntryStats};
-pub use hits::{CacheHits, Hit, Relation};
+pub use pipeline::probe::{find_exact, probe, CacheHits, Hit, Relation};
+pub use pipeline::prune::{prune, Pruned};
+pub use pipeline::PipelineCtx;
 pub use policy::{HitCredit, HitKind, Policy, PolicyKind, ReplacementPolicy};
-pub use pruner::{prune, Pruned};
 pub use report::QueryReport;
+pub use shared::SharedGraphCache;
 pub use stats::{GlobalStats, StatsMonitor};
 
 mod runtime;
 pub use runtime::GraphCache;
+
+/// Backwards-compatible alias of the probe stage's hit-detection module
+/// (pre-pipeline layout); prefer [`pipeline::probe`].
+pub mod hits {
+    pub use crate::pipeline::probe::{find_exact, probe, CacheHits, Hit, Relation};
+}
+
+/// Backwards-compatible alias of the prune stage (pre-pipeline layout);
+/// prefer [`pipeline::prune`].
+pub mod pruner {
+    pub use crate::pipeline::prune::{prune, Pruned};
+}

@@ -2,27 +2,34 @@
 //!
 //! The paper's kernel discusses resource management over memory *and
 //! threads*; verification of the reduced candidate set `C` is embarrassingly
-//! parallel (read-only dataset, read-only query). Two execution modes:
+//! parallel (read-only dataset, read-only query). Three execution modes:
 //!
 //! * [`verify_candidates`] — scoped threads spawned per call; zero standing
 //!   resources, fine for occasional heavyweight queries;
-//! * [`VerifyPool`] — a persistent worker pool fed over channels; the
-//!   runtime uses this when `threads > 1` so the per-query spawn cost
-//!   (hundreds of microseconds) cannot eat the savings on cheap queries.
+//! * [`VerifyPool`] — a persistent worker pool fed over an MPMC job queue;
+//!   per-instance pools are used by the sequential runtime when
+//!   `threads > 1` so the per-query spawn cost (hundreds of microseconds)
+//!   cannot eat the savings on cheap queries;
+//! * [`global_pool`] — the **process-wide** pool shared by every
+//!   [`crate::SharedGraphCache`]: concurrent queries from many client
+//!   threads batch their verification work onto one fixed set of workers
+//!   sized to the machine, so `N clients × M workers` cannot oversubscribe
+//!   the CPU.
 //!
 //! Results merge deterministically regardless of scheduling.
 
-use crossbeam::channel::{unbounded, Sender};
 use gc_graph::{BitSet, Graph};
 use gc_method::{Dataset, Engine, QueryKind};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
 /// Verify every graph in `to_verify`, returning the survivors `R` and the
 /// total verifier steps.
 ///
 /// With `threads == 1` runs inline (no spawn overhead); otherwise splits the
-/// candidate list into contiguous chunks, one per worker.
+/// candidate list into contiguous chunks, one per scoped worker thread.
 pub fn verify_candidates(
     dataset: &Dataset,
     engine: Engine,
@@ -48,11 +55,11 @@ pub fn verify_candidates(
 
     let workers = threads.min(ids.len());
     let chunk = ids.len().div_ceil(workers);
-    let results: Vec<(Vec<usize>, u64)> = crossbeam::scope(|scope| {
+    let results: Vec<(Vec<usize>, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = ids
             .chunks(chunk)
             .map(|slice| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = Vec::new();
                     let mut local_steps = 0u64;
                     for &gid in slice {
@@ -67,8 +74,7 @@ pub fn verify_candidates(
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("verifier worker panicked")).collect()
-    })
-    .expect("crossbeam scope failed");
+    });
 
     for (local, local_steps) in results {
         steps += local_steps;
@@ -160,8 +166,57 @@ mod tests {
 }
 
 // ---------------------------------------------------------------------------
-// Persistent worker pool
+// MPMC job queue (std-only): many query threads enqueue, pool workers drain.
 // ---------------------------------------------------------------------------
+
+struct JobQueue<T> {
+    queue: Mutex<Option<VecDeque<T>>>,
+    ready: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    fn new() -> Self {
+        JobQueue { queue: Mutex::new(Some(VecDeque::new())), ready: Condvar::new() }
+    }
+
+    /// Push a job; returns `false` if the queue is closed.
+    fn push(&self, job: T) -> bool {
+        let mut guard = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_mut() {
+            Some(q) => {
+                q.push_back(job);
+                drop(guard);
+                self.ready.notify_one();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Pop a job, blocking; `None` once closed and drained.
+    fn pop(&self) -> Option<T> {
+        let mut guard = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match guard.as_mut() {
+                Some(q) => {
+                    if let Some(job) = q.pop_front() {
+                        return Some(job);
+                    }
+                }
+                None => return None,
+            }
+            guard = self.ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the queue: wake all workers; outstanding jobs are dropped.
+    fn close(&self) {
+        let mut guard = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        *guard = None;
+        drop(guard);
+        self.ready.notify_all();
+    }
+}
 
 struct Job {
     dataset: Arc<Dataset>,
@@ -169,16 +224,20 @@ struct Job {
     kind: QueryKind,
     engine: Engine,
     ids: Vec<usize>,
-    reply: Sender<(Vec<usize>, u64)>,
+    reply: mpsc::Sender<(Vec<usize>, u64)>,
 }
 
 /// A persistent pool of verification workers.
 ///
 /// Workers live for the pool's lifetime; each job carries its inputs by
-/// `Arc`, so no per-call thread spawning or scoping is needed. Dropping the
-/// pool closes the job channel and joins the workers.
+/// `Arc`, so no per-call thread spawning or scoping is needed. The job queue
+/// is multi-producer: any number of threads may call
+/// [`VerifyPool::verify`] concurrently and their chunks interleave on the
+/// same workers (how [`crate::SharedGraphCache`] batches verification work
+/// across concurrent queries). Dropping the pool closes the queue and joins
+/// the workers.
 pub struct VerifyPool {
-    tx: Option<Sender<Job>>,
+    jobs: Arc<JobQueue<Job>>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
 }
@@ -187,35 +246,54 @@ impl VerifyPool {
     /// Spawn `size` workers (at least 1).
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
-        let (tx, rx) = unbounded::<Job>();
+        let jobs: Arc<JobQueue<Job>> = Arc::new(JobQueue::new());
         let workers = (0..size)
             .map(|i| {
-                let rx = rx.clone();
+                let jobs = Arc::clone(&jobs);
                 std::thread::Builder::new()
                     .name(format!("gc-verify-{i}"))
                     .spawn(move || {
-                        while let Ok(job) = rx.recv() {
-                            let mut local = Vec::new();
-                            let mut steps = 0u64;
-                            for gid in job.ids {
-                                let target = job.dataset.graph(gid as u32);
-                                let (ok, s) = match job.kind {
-                                    QueryKind::Subgraph => job.engine.verify(&job.query, target),
-                                    QueryKind::Supergraph => job.engine.verify(target, &job.query),
-                                };
-                                steps += s;
-                                if ok {
-                                    local.push(gid);
-                                }
+                        while let Some(job) = jobs.pop() {
+                            // Confine a panicking verification to its own
+                            // job: the job's reply sender is dropped without
+                            // a send, so only the requesting query fails
+                            // (its recv errors with a message) — the worker
+                            // lives on to serve other queries. Without this,
+                            // one poisoned graph would silently kill
+                            // global_pool() workers until every query in
+                            // the process hung on recv().
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let mut local = Vec::new();
+                                    let mut steps = 0u64;
+                                    for &gid in &job.ids {
+                                        let target = job.dataset.graph(gid as u32);
+                                        let (ok, s) = match job.kind {
+                                            QueryKind::Subgraph => {
+                                                job.engine.verify(&job.query, target)
+                                            }
+                                            QueryKind::Supergraph => {
+                                                job.engine.verify(target, &job.query)
+                                            }
+                                        };
+                                        steps += s;
+                                        if ok {
+                                            local.push(gid);
+                                        }
+                                    }
+                                    (local, steps)
+                                }));
+                            if let Ok(outcome) = result {
+                                // Receiver may have given up; ignore send
+                                // errors.
+                                let _ = job.reply.send(outcome);
                             }
-                            // Receiver may have given up; ignore send errors.
-                            let _ = job.reply.send((local, steps));
                         }
                     })
                     .expect("spawn verification worker")
             })
             .collect();
-        VerifyPool { tx: Some(tx), workers, size }
+        VerifyPool { jobs, workers, size }
     }
 
     /// Number of workers.
@@ -247,28 +325,29 @@ impl VerifyPool {
             }
             return (answer, steps);
         }
-        let tx = self.tx.as_ref().expect("pool is live");
         let query = Arc::new(query.clone());
-        let (reply_tx, reply_rx) = unbounded();
+        let (reply_tx, reply_rx) = mpsc::channel();
         // Oversplit ~2x for load balance under skewed verify costs.
         let chunks = (2 * self.size).min(ids.len());
         let chunk_len = ids.len().div_ceil(chunks);
         let mut sent = 0usize;
         for slice in ids.chunks(chunk_len) {
-            tx.send(Job {
+            let pushed = self.jobs.push(Job {
                 dataset: dataset.clone(),
                 query: query.clone(),
                 kind,
                 engine,
                 ids: slice.to_vec(),
                 reply: reply_tx.clone(),
-            })
-            .expect("workers are alive while the pool exists");
+            });
+            assert!(pushed, "workers are alive while the pool exists");
             sent += 1;
         }
         drop(reply_tx);
         for _ in 0..sent {
-            let (local, local_steps) = reply_rx.recv().expect("worker replies");
+            let (local, local_steps) = reply_rx
+                .recv()
+                .expect("a verification job panicked in the worker pool (see worker backtrace)");
             steps += local_steps;
             for gid in local {
                 answer.insert(gid);
@@ -280,7 +359,7 @@ impl VerifyPool {
 
 impl Drop for VerifyPool {
     fn drop(&mut self) {
-        self.tx.take(); // close the channel; workers drain and exit
+        self.jobs.close(); // wake the workers; they drain and exit
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -291,6 +370,21 @@ impl std::fmt::Debug for VerifyPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("VerifyPool").field("size", &self.size).finish()
     }
+}
+
+/// The process-wide verification pool, shared by every
+/// [`crate::SharedGraphCache`] (and available to applications).
+///
+/// Lazily spawned on first use, sized to the machine's available
+/// parallelism, and alive for the rest of the process. Centralizing the
+/// workers means any number of concurrent caches and client threads share
+/// one CPU-sized verification backend instead of multiplying pools.
+pub fn global_pool() -> &'static VerifyPool {
+    static POOL: OnceLock<VerifyPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let size = std::thread::available_parallelism().map_or(2, |n| n.get());
+        VerifyPool::new(size)
+    })
 }
 
 #[cfg(test)]
@@ -362,5 +456,37 @@ mod pool_tests {
         let pool = VerifyPool::new(4);
         assert_eq!(pool.size(), 4);
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn concurrent_producers_share_the_pool() {
+        let ds = dataset();
+        let pool = VerifyPool::new(2);
+        let q = g(&[0, 1], &[(0, 1)]);
+        let all = ds.all_graphs();
+        let (expect, _) = verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &all, 1);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (pool, ds, q, all, expect) = (&pool, &ds, &q, &all, &expect);
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        let (got, _) = pool.verify(ds, Engine::Vf2, q, QueryKind::Subgraph, all);
+                        assert_eq!(&got, expect);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_works() {
+        let ds = dataset();
+        let q = g(&[0, 1], &[(0, 1)]);
+        let all = ds.all_graphs();
+        let p1 = global_pool() as *const VerifyPool;
+        let p2 = global_pool() as *const VerifyPool;
+        assert_eq!(p1, p2, "global pool must be a singleton");
+        let (got, _) = global_pool().verify(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &all);
+        assert_eq!(got.to_vec(), vec![0, 1, 3, 4]);
     }
 }

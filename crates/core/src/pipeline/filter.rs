@@ -1,0 +1,33 @@
+//! Stage 1 — **Filter**: Method M's candidate set `C_M` (Fig. 3(b)).
+//!
+//! The thinnest stage by design: GraphCache is a cache layered *over* an
+//! existing filter-then-verify method, and this stage is exactly that
+//! method's filter. It takes no cache locks and mutates no cache state, so
+//! any number of concurrent queries can run it at once.
+
+use crate::pipeline::PipelineCtx;
+use gc_method::{Dataset, Method};
+
+/// Run Method M's filter for the query in `ctx`, storing `C_M`.
+pub fn run(ctx: &mut PipelineCtx<'_>, method: &dyn Method, dataset: &Dataset) {
+    ctx.cm = method.filter(dataset, ctx.query, ctx.kind);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+    use gc_method::{QueryKind, SiMethod};
+
+    #[test]
+    fn filter_fills_cm() {
+        let g0 = graph_from_parts(&[Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let g1 = graph_from_parts(&[Label(2)], &[]).unwrap();
+        let dataset = Dataset::new(vec![g0, g1]);
+        let q = graph_from_parts(&[Label(0)], &[]).unwrap();
+        let mut ctx = PipelineCtx::new(&q, QueryKind::Subgraph, 1, dataset.len());
+        run(&mut ctx, &SiMethod, &dataset);
+        // SI does no filtering: every dataset graph is a candidate.
+        assert_eq!(ctx.cm.count(), dataset.len());
+    }
+}

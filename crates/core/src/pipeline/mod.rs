@@ -1,0 +1,259 @@
+//! The staged query pipeline — the paper's kernel (Fig. 1/Fig. 3) as five
+//! explicit stages:
+//!
+//! ```text
+//!  query ──▶ filter ──▶ probe ──▶ prune ──▶ verify ──▶ admit ──▶ report
+//!            (C_M)      (H,H')    (S,C)      (R)      (window)
+//! ```
+//!
+//! * [`filter`] — Method M's candidate set `C_M` (lock-free);
+//! * [`probe`] — Sub/Super Case Processors: find cache hits, snapshot their
+//!   answers (read access to cache state);
+//! * [`prune`] — bitset algebra turning hits into definite answers `S` and
+//!   the reduced verification set `C` (pure);
+//! * [`verify`] — exact sub-iso testing of `C`, inline or on a worker pool
+//!   (lock-free);
+//! * [`admit`] — hit crediting, admission, batched replacement (write
+//!   access to cache state).
+//!
+//! A [`PipelineCtx`] carries one query through the stages, accumulating each
+//! stage's product. The stages take their dependencies (cache manager,
+//! policy, pools) as explicit arguments rather than through `GraphCache`, so
+//! the same stage code serves both front-ends:
+//!
+//! * [`crate::GraphCache`] — sequential composition, `&mut self`, state
+//!   borrowed directly;
+//! * [`crate::SharedGraphCache`] — concurrent composition, `&self`, cache
+//!   state sharded behind `parking_lot::RwLock` with probes under read
+//!   locks and admission under short write sections.
+
+pub mod admit;
+pub mod filter;
+pub mod probe;
+pub mod prune;
+pub mod verify;
+
+use crate::pipeline::admit::AdmitOutcome;
+use crate::pipeline::probe::{CacheHits, Relation};
+use crate::pipeline::prune::Pruned;
+use crate::report::QueryReport;
+use crate::stats::GlobalStats;
+use gc_graph::{BitSet, Graph};
+use gc_method::QueryKind;
+use std::time::{Duration, Instant};
+
+/// Carries one query through the pipeline stages.
+///
+/// Constructed at query entry; each stage reads its inputs from and writes
+/// its product into the context. After the last stage,
+/// [`PipelineCtx::stats_delta`] and [`PipelineCtx::into_report`] turn the
+/// accumulated products into the Statistics Monitor delta and the
+/// Demonstrator's [`QueryReport`].
+#[derive(Debug)]
+pub struct PipelineCtx<'q> {
+    /// The query graph.
+    pub query: &'q Graph,
+    /// Subgraph or supergraph semantics.
+    pub kind: QueryKind,
+    /// Logical admission time (query sequence number).
+    pub now: u64,
+    /// Wall-clock entry time.
+    pub start: Instant,
+    /// Stage 1 product: Method M's candidate set `C_M`.
+    pub cm: BitSet,
+    /// Stage 2 product: verified cache hits.
+    pub hits: CacheHits,
+    /// Stage 2 product: answer snapshots aligned with `hits.iter()` order
+    /// in the sequential runtime (the sharded front-end stores them in
+    /// probe-discovery order; only [`prune`], which is order-insensitive,
+    /// consumes them from the context).
+    pub hit_answers: Vec<(Relation, BitSet)>,
+    /// Stage 3 product: definite answers `S` and reduced set `C`.
+    pub pruned: Pruned,
+    /// Stage 4 product: verification survivors `R`.
+    pub survivors: BitSet,
+    /// Stage 4 product: verifier steps spent on dataset graphs.
+    pub verify_steps: u64,
+}
+
+impl<'q> PipelineCtx<'q> {
+    /// Fresh context for one query over a dataset of `universe` graphs.
+    pub fn new(query: &'q Graph, kind: QueryKind, now: u64, universe: usize) -> Self {
+        PipelineCtx {
+            query,
+            kind,
+            now,
+            start: Instant::now(),
+            cm: BitSet::new(universe),
+            hits: CacheHits::default(),
+            hit_answers: Vec::new(),
+            pruned: Pruned::empty(universe),
+            survivors: BitSet::new(universe),
+            verify_steps: 0,
+        }
+    }
+
+    /// The final answer `A = R ∪ S` (Fig. 3(h)).
+    pub fn answer(&self) -> BitSet {
+        let mut answer = self.survivors.clone();
+        answer.union_with(&self.pruned.definite);
+        answer
+    }
+
+    /// The Statistics Monitor delta for this (non-exact) query.
+    pub fn stats_delta(&self, outcome: &AdmitOutcome, elapsed: Duration) -> GlobalStats {
+        GlobalStats {
+            queries: 1,
+            hit_queries: u64::from(self.hits.exact.is_some() || self.hits.count() > 0),
+            queries_with_sub_hits: u64::from(!self.hits.sub.is_empty()),
+            queries_with_super_hits: u64::from(!self.hits.super_.is_empty()),
+            sub_hits: self.hits.sub.len() as u64,
+            super_hits: self.hits.super_.len() as u64,
+            tests_executed: self.pruned.to_verify.count() as u64,
+            probe_tests: self.hits.probe_tests,
+            tests_saved: self.pruned.saved as u64,
+            verify_steps: self.verify_steps,
+            probe_steps: self.hits.probe_steps,
+            admitted: u64::from(outcome.admitted.is_some()),
+            evicted: outcome.evicted.len() as u64,
+            admission_rejected: u64::from(outcome.rejected),
+            total_time: elapsed,
+            ..GlobalStats::default()
+        }
+    }
+
+    /// Assemble the per-query report (Fig. 3 anatomy) after the last stage.
+    ///
+    /// `answer` is the [`PipelineCtx::answer`] value the caller already
+    /// materialized for the admit stage — passed in so the full-universe
+    /// union is computed exactly once per query.
+    pub fn into_report(
+        self,
+        answer: BitSet,
+        outcome: AdmitOutcome,
+        elapsed: Duration,
+    ) -> QueryReport {
+        let verified_count = self.pruned.to_verify.count();
+        let survivors_count = self.survivors.count();
+        debug_assert_eq!(answer, self.answer(), "caller must pass this ctx's own answer");
+        QueryReport {
+            answer,
+            cm_set: self.cm,
+            definite_set: self.pruned.definite.clone(),
+            verified_set: self.pruned.to_verify.clone(),
+            survivors_set: self.survivors,
+            kind: self.kind,
+            exact_hit: false,
+            sub_hits: self.hits.sub,
+            super_hits: self.hits.super_,
+            cm_size: self.pruned.cm_size,
+            definite: self.pruned.definite.count(),
+            verified: verified_count,
+            survivors: survivors_count,
+            sub_iso_tests: verified_count as u64,
+            probe_tests: self.hits.probe_tests,
+            verify_steps: self.verify_steps,
+            probe_steps: self.hits.probe_steps,
+            admitted: outcome.admitted,
+            evicted: outcome.evicted,
+            elapsed,
+        }
+    }
+}
+
+/// Build the report for an exact-match hit (the fast path skips the
+/// pipeline entirely, Fig. 3's "traditional cache hit").
+pub fn exact_report(
+    answer: BitSet,
+    kind: QueryKind,
+    base_tests: u64,
+    elapsed: Duration,
+) -> QueryReport {
+    let universe = answer.universe();
+    QueryReport {
+        answer,
+        cm_set: BitSet::new(universe),
+        definite_set: BitSet::new(universe),
+        verified_set: BitSet::new(universe),
+        survivors_set: BitSet::new(universe),
+        kind,
+        exact_hit: true,
+        sub_hits: Vec::new(),
+        super_hits: Vec::new(),
+        cm_size: base_tests as usize,
+        definite: 0,
+        verified: 0,
+        survivors: 0,
+        sub_iso_tests: 0,
+        probe_tests: 0,
+        verify_steps: 0,
+        probe_steps: 0,
+        admitted: None,
+        evicted: Vec::new(),
+        elapsed,
+    }
+}
+
+/// The Statistics Monitor delta for an exact-match hit.
+pub fn exact_stats_delta(base_tests: u64, elapsed: Duration) -> GlobalStats {
+    GlobalStats {
+        queries: 1,
+        hit_queries: 1,
+        exact_hits: 1,
+        tests_saved: base_tests,
+        total_time: elapsed,
+        ..GlobalStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    #[test]
+    fn ctx_report_algebra() {
+        let q = graph_from_parts(&[Label(0)], &[]).unwrap();
+        let mut ctx = PipelineCtx::new(&q, QueryKind::Subgraph, 1, 8);
+        ctx.cm = BitSet::from_indices(8, [0usize, 1, 2, 3]);
+        ctx.pruned = Pruned {
+            definite: BitSet::from_indices(8, [3usize]),
+            to_verify: BitSet::from_indices(8, [0usize, 1]),
+            cm_size: 4,
+            saved: 2,
+        };
+        ctx.survivors = BitSet::from_indices(8, [1usize]);
+        ctx.verify_steps = 42;
+        assert_eq!(ctx.answer().to_vec(), vec![1, 3]);
+        let delta = ctx.stats_delta(&AdmitOutcome::default(), Duration::from_millis(1));
+        assert_eq!(delta.queries, 1);
+        assert_eq!(delta.tests_executed, 2);
+        assert_eq!(delta.tests_saved, 2);
+        assert_eq!(delta.verify_steps, 42);
+        let answer = ctx.answer();
+        let report = ctx.into_report(
+            answer,
+            AdmitOutcome { admitted: Some(7), evicted: vec![1, 2], rejected: false },
+            Duration::from_millis(1),
+        );
+        assert_eq!(report.answer.to_vec(), vec![1, 3]);
+        assert_eq!(report.verified, 2);
+        assert_eq!(report.survivors, 1);
+        assert_eq!(report.admitted, Some(7));
+        assert_eq!(report.evicted, vec![1, 2]);
+        assert!(!report.exact_hit);
+    }
+
+    #[test]
+    fn exact_report_shape() {
+        let answer = BitSet::from_indices(5, [2usize]);
+        let r = exact_report(answer, QueryKind::Subgraph, 9, Duration::ZERO);
+        assert!(r.exact_hit);
+        assert_eq!(r.cm_size, 9);
+        assert_eq!(r.sub_iso_tests, 0);
+        assert_eq!(r.answer.to_vec(), vec![2]);
+        let d = exact_stats_delta(9, Duration::ZERO);
+        assert_eq!(d.exact_hits, 1);
+        assert_eq!(d.tests_saved, 9);
+    }
+}

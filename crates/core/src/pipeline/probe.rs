@@ -1,6 +1,7 @@
-//! Sub/Super Case Processors: detect cache hits for a new query.
+//! Stage 2 — **Probe**: the Sub/Super Case Processors (Fig. 3(a), 3(e)).
 //!
-//! Terminology (fixed by the demo's Fig. 3, stated for *subgraph* queries):
+//! Detects cache hits for a new query. Terminology (fixed by the demo's
+//! Fig. 3, stated for *subgraph* queries):
 //!
 //! * **sub case** — the new query `g` is a subgraph of a cached query `h`
 //!   (`g ⊑ h`, [`Relation::QueryInCached`]);
@@ -8,14 +9,20 @@
 //!   [`Relation::CachedInQuery`]).
 //!
 //! Which relation yields definite answers and which yields pruning depends
-//! on the query kind; that mapping lives in [`crate::pruner`]. This module
-//! only *finds and verifies* the relationships, under budgets so that cache
-//! probing can never dominate query time.
+//! on the query kind; that mapping lives in [`crate::pipeline::prune`]. This
+//! stage only *finds and verifies* the relationships, under budgets so that
+//! cache probing can never dominate query time.
+//!
+//! The stage snapshots (clones) each hit's answer set while the cache is
+//! borrowed, so everything downstream of probing works on owned data — this
+//! is what lets [`crate::SharedGraphCache`] drop its shard read locks before
+//! the (expensive) verify stage runs.
 
 use crate::cache::CacheManager;
 use crate::config::CacheConfig;
 use crate::entry::EntryId;
-use gc_graph::Graph;
+use crate::pipeline::PipelineCtx;
+use gc_graph::{BitSet, Graph};
 use gc_iso::Found;
 use gc_method::QueryKind;
 
@@ -54,7 +61,7 @@ pub struct CacheHits {
 }
 
 impl CacheHits {
-    /// All non-exact hits with their relations.
+    /// All non-exact hits with their relations (subs first, then supers).
     pub fn iter(&self) -> impl Iterator<Item = Hit> + '_ {
         self.sub
             .iter()
@@ -66,22 +73,38 @@ impl CacheHits {
     pub fn count(&self) -> usize {
         self.sub.len() + self.super_.len()
     }
+
+    /// Absorb another probe result (used by the sharded front-end to merge
+    /// per-shard hits; entry-id namespaces are the caller's concern).
+    pub fn merge(&mut self, other: CacheHits) {
+        self.exact = self.exact.or(other.exact);
+        self.sub.extend(other.sub);
+        self.super_.extend(other.super_);
+        self.probe_tests += other.probe_tests;
+        self.probe_steps += other.probe_steps;
+    }
 }
 
 /// Find the exact-match entry for `query`, if cached (same kind).
 pub fn find_exact(cache: &CacheManager, query: &Graph, kind: QueryKind) -> Option<EntryId> {
     let fp = gc_graph::hash::fingerprint(query);
-    cache
-        .fingerprint_bucket(fp)
-        .iter()
-        .copied()
-        .find(|&id| {
-            let e = cache.get(id).expect("bucket holds live entries");
-            e.kind == kind && gc_iso::iso::are_isomorphic(&e.graph, query)
-        })
+    cache.fingerprint_bucket(fp).iter().copied().find(|&id| {
+        let e = cache.get(id).expect("bucket holds live entries");
+        e.kind == kind && gc_iso::iso::are_isomorphic(&e.graph, query)
+    })
 }
 
-/// Probe the cache for sub-case and super-case hits of `query`.
+/// Probe the cache for sub-case and super-case hits of `query`, exact-match
+/// check included (the sequential entry point; kept for tests and
+/// dashboards).
+pub fn probe(cache: &CacheManager, cfg: &CacheConfig, query: &Graph, kind: QueryKind) -> CacheHits {
+    if let Some(exact) = find_exact(cache, query, kind) {
+        return CacheHits { exact: Some(exact), ..CacheHits::default() };
+    }
+    probe_cases(cache, cfg, query, kind)
+}
+
+/// Probe for sub/super-case hits only (no exact-match check).
 ///
 /// Candidates come from the containment [`gc_index::QueryIndex`]; each is
 /// confirmed with a budgeted sub-iso test. Verification order favours the
@@ -91,16 +114,16 @@ pub fn find_exact(cache: &CacheManager, query: &Graph, kind: QueryKind) -> Optio
 /// (`max_sub_checks` / `max_super_checks`) spend their budget where it pays.
 /// For supergraph queries the utility direction flips with the semantics;
 /// ordering is adjusted accordingly.
-pub fn probe(
+///
+/// The sharded front-end calls this per shard (exact hits can only live in
+/// the query's fingerprint home shard, which is checked separately).
+pub fn probe_cases(
     cache: &CacheManager,
     cfg: &CacheConfig,
     query: &Graph,
     kind: QueryKind,
 ) -> CacheHits {
-    let mut hits = CacheHits { exact: find_exact(cache, query, kind), ..CacheHits::default() };
-    if hits.exact.is_some() {
-        return hits;
-    }
+    let mut hits = CacheHits::default();
     let qf = cache.index().features_of(query);
 
     // --- sub case: query ⊑ cached ---------------------------------------
@@ -114,9 +137,8 @@ pub fn probe(
     // hit contributes `answer` as definite answers -> prefer large answers.
     // For supergraph queries it contributes pruning -> prefer small answers.
     match kind {
-        QueryKind::Subgraph => sub_cands.sort_by_key(|&id| {
-            std::cmp::Reverse(cache.get(id).map_or(0, |e| e.answer.count()))
-        }),
+        QueryKind::Subgraph => sub_cands
+            .sort_by_key(|&id| std::cmp::Reverse(cache.get(id).map_or(0, |e| e.answer.count()))),
         QueryKind::Supergraph => {
             sub_cands.sort_by_key(|&id| cache.get(id).map_or(usize::MAX, |e| e.answer.count()))
         }
@@ -139,11 +161,11 @@ pub fn probe(
         .filter(|&id| cache.get(id).is_some_and(|e| e.kind == kind))
         .collect();
     match kind {
-        QueryKind::Subgraph => super_cands
-            .sort_by_key(|&id| cache.get(id).map_or(usize::MAX, |e| e.answer.count())),
-        QueryKind::Supergraph => super_cands.sort_by_key(|&id| {
-            std::cmp::Reverse(cache.get(id).map_or(0, |e| e.answer.count()))
-        }),
+        QueryKind::Subgraph => {
+            super_cands.sort_by_key(|&id| cache.get(id).map_or(usize::MAX, |e| e.answer.count()))
+        }
+        QueryKind::Supergraph => super_cands
+            .sort_by_key(|&id| std::cmp::Reverse(cache.get(id).map_or(0, |e| e.answer.count()))),
     }
     for id in super_cands.into_iter().take(cfg.max_super_checks) {
         let e = cache.get(id).expect("candidate ids are live");
@@ -155,6 +177,25 @@ pub fn probe(
         }
     }
     hits
+}
+
+/// Snapshot the answer sets of `hits` (in [`CacheHits::iter`] order) while
+/// the cache is still borrowed.
+pub fn snapshot_answers(cache: &CacheManager, hits: &CacheHits) -> Vec<(Relation, BitSet)> {
+    hits.iter()
+        .map(|h| {
+            let e = cache.get(h.entry).expect("hit ids are live under the borrow");
+            (h.relation, e.answer.clone())
+        })
+        .collect()
+}
+
+/// Run the probe stage over a single (unsharded) cache manager: find hits
+/// and snapshot their answers into `ctx`.
+pub fn run(ctx: &mut PipelineCtx<'_>, cache: &CacheManager, cfg: &CacheConfig) {
+    let hits = probe_cases(cache, cfg, ctx.query, ctx.kind);
+    ctx.hit_answers = snapshot_answers(cache, &hits);
+    ctx.hits = hits;
 }
 
 #[cfg(test)]
@@ -193,10 +234,7 @@ mod tests {
         // (will be g ⊑ h).
         let edge = g(&[0, 1], &[(0, 1)]);
         let square = g(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
-        let cm = cache_with(&[
-            (edge, QueryKind::Subgraph),
-            (square, QueryKind::Subgraph),
-        ]);
+        let cm = cache_with(&[(edge, QueryKind::Subgraph), (square, QueryKind::Subgraph)]);
         let q = g(&[0, 1, 0], &[(0, 1), (1, 2)]); // path 0-1-0
         let hits = probe(&cm, &CacheConfig::default(), &q, QueryKind::Subgraph);
         assert!(hits.exact.is_none());
@@ -244,5 +282,46 @@ mod tests {
         let hits = probe(&cm, &cfg, &q, QueryKind::Subgraph);
         assert!(hits.super_.len() <= 3);
         assert!(hits.probe_tests <= 5);
+    }
+
+    #[test]
+    fn snapshots_align_with_iter_order() {
+        let edge = g(&[0, 1], &[(0, 1)]);
+        let square = g(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut cm = CacheManager::new(FeatureConfig::with_max_len(2));
+        cm.insert(edge, QueryKind::Subgraph, BitSet::from_indices(8, [1usize]), 8, 100, 0);
+        cm.insert(square, QueryKind::Subgraph, BitSet::from_indices(8, [2usize]), 8, 100, 0);
+        let q = g(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let hits = probe(&cm, &CacheConfig::default(), &q, QueryKind::Subgraph);
+        let snaps = snapshot_answers(&cm, &hits);
+        assert_eq!(snaps.len(), hits.count());
+        for (hit, (rel, answer)) in hits.iter().zip(&snaps) {
+            assert_eq!(hit.relation, *rel);
+            assert_eq!(&cm.get(hit.entry).unwrap().answer, answer);
+        }
+    }
+
+    #[test]
+    fn merge_combines_shard_results() {
+        let mut a = CacheHits {
+            sub: vec![1],
+            super_: vec![2],
+            probe_tests: 3,
+            probe_steps: 10,
+            ..CacheHits::default()
+        };
+        let b = CacheHits {
+            sub: vec![7],
+            super_: vec![],
+            probe_tests: 1,
+            probe_steps: 5,
+            ..CacheHits::default()
+        };
+        a.merge(b);
+        assert_eq!(a.sub, vec![1, 7]);
+        assert_eq!(a.super_, vec![2]);
+        assert_eq!(a.probe_tests, 4);
+        assert_eq!(a.probe_steps, 15);
+        assert_eq!(a.count(), 3);
     }
 }

@@ -1,4 +1,5 @@
-//! Candidate Set Pruner: turn cache hits into savings.
+//! Stage 3 — **Prune**: turn cache hits into savings (Fig. 3(c), 3(d),
+//! 3(f)).
 //!
 //! Implements the demo's Fig. 3 pipeline as bitset algebra. For a query `g`
 //! of kind `k` with Method-M candidate set `C_M` and verified hits:
@@ -17,8 +18,12 @@
 //! |---------------------------|-----------------------|-----------------------|
 //! | `query ⊑ cached` (sub)    | `A(h) ⊆ A(g)`: S      | `A(g) ⊆ A(h)`: prune  |
 //! | `cached ⊑ query` (super)  | `A(g) ⊆ A(h)`: prune  | `A(h) ⊆ A(g)`: S      |
+//!
+//! This stage is pure bitset algebra over the answer snapshots the probe
+//! stage collected — no cache access, no locks.
 
-use crate::hits::Relation;
+use crate::pipeline::probe::Relation;
+use crate::pipeline::PipelineCtx;
 use gc_graph::BitSet;
 use gc_method::QueryKind;
 
@@ -36,6 +41,28 @@ pub struct Pruned {
     pub saved: usize,
 }
 
+impl Pruned {
+    /// Identity pruning over an empty candidate set (ctx initial state).
+    pub fn empty(universe: usize) -> Self {
+        Pruned {
+            definite: BitSet::new(universe),
+            to_verify: BitSet::new(universe),
+            cm_size: 0,
+            saved: 0,
+        }
+    }
+}
+
+/// Does a hit of `rel` contribute definite answers (vs pruning) for queries
+/// of `kind`? (The table in the module docs.)
+pub fn gives_definite(kind: QueryKind, rel: Relation) -> bool {
+    matches!(
+        (kind, rel),
+        (QueryKind::Subgraph, Relation::QueryInCached)
+            | (QueryKind::Supergraph, Relation::CachedInQuery)
+    )
+}
+
 /// Apply hit answers to the Method-M candidate set.
 ///
 /// `hits` pairs each verified hit's relation with the cached answer bitset.
@@ -45,12 +72,7 @@ pub fn prune(cm: &BitSet, hits: &[(Relation, &BitSet)], kind: QueryKind) -> Prun
     let mut keep = cm.clone();
 
     for &(rel, answer) in hits {
-        let gives_definite = matches!(
-            (kind, rel),
-            (QueryKind::Subgraph, Relation::QueryInCached)
-                | (QueryKind::Supergraph, Relation::CachedInQuery)
-        );
-        if gives_definite {
+        if gives_definite(kind, rel) {
             definite.union_with(answer);
         } else {
             keep.intersect_with(answer);
@@ -65,6 +87,13 @@ pub fn prune(cm: &BitSet, hits: &[(Relation, &BitSet)], kind: QueryKind) -> Prun
     to_verify.difference_with(&definite);
     let saved = cm_size - to_verify.count();
     Pruned { definite, to_verify, cm_size, saved }
+}
+
+/// Run the prune stage over the snapshots in `ctx`.
+pub fn run(ctx: &mut PipelineCtx<'_>) {
+    let refs: Vec<(Relation, &BitSet)> =
+        ctx.hit_answers.iter().map(|(rel, answer)| (*rel, answer)).collect();
+    ctx.pruned = prune(&ctx.cm, &refs, ctx.kind);
 }
 
 #[cfg(test)]
@@ -105,10 +134,7 @@ mod tests {
         let super_answer = bs(8, &[0, 1, 4, 6]);
         let p = prune(
             &cm,
-            &[
-                (Relation::QueryInCached, &sub_answer),
-                (Relation::CachedInQuery, &super_answer),
-            ],
+            &[(Relation::QueryInCached, &sub_answer), (Relation::CachedInQuery, &super_answer)],
             QueryKind::Subgraph,
         );
         assert_eq!(p.definite.to_vec(), vec![4]);

@@ -1,0 +1,127 @@
+//! Stage 4 — **Verify**: exact sub-iso testing of the reduced candidate set
+//! `C` (Fig. 3(g)).
+//!
+//! The expensive stage. Dispatches to a [`VerifyPool`] when the candidate
+//! set is big enough to amortize the hand-off (the sequential runtime uses
+//! its per-instance pool; [`crate::SharedGraphCache`] passes the
+//! process-wide [`crate::parallel::global_pool`], batching verification work
+//! from all concurrent queries onto one CPU-sized worker set), and runs
+//! inline otherwise. Also feeds the observed per-graph verification costs
+//! into the [`CostModel`] that PINC/HD rank by.
+
+use crate::config::CacheConfig;
+use crate::cost::CostModel;
+use crate::parallel::{self, VerifyPool};
+use crate::pipeline::PipelineCtx;
+use gc_method::Dataset;
+use std::sync::Arc;
+
+/// Run verification for the reduced set in `ctx`, storing survivors `R` and
+/// the verifier step count.
+///
+/// `pool`: worker pool to consider; the stage still runs inline when the
+/// candidate count is below `cfg.parallel_threshold` (channel round-trips
+/// would outweigh the work).
+pub fn run(
+    ctx: &mut PipelineCtx<'_>,
+    dataset: &Arc<Dataset>,
+    cfg: &CacheConfig,
+    pool: Option<&VerifyPool>,
+) {
+    let use_pool = pool.filter(|_| ctx.pruned.to_verify.count() >= cfg.parallel_threshold);
+    let (survivors, verify_steps) = match use_pool {
+        Some(pool) => pool.verify(dataset, cfg.engine, ctx.query, ctx.kind, &ctx.pruned.to_verify),
+        None => parallel::verify_candidates(
+            dataset,
+            cfg.engine,
+            ctx.query,
+            ctx.kind,
+            &ctx.pruned.to_verify,
+            1,
+        ),
+    };
+    ctx.survivors = survivors;
+    ctx.verify_steps = verify_steps;
+}
+
+/// Feed the cost model with this query's observations: each verified graph
+/// is charged the query's mean per-test step count (individual per-graph
+/// timings are not available from the batched verifiers).
+pub fn observe_costs(ctx: &PipelineCtx<'_>, cost: &CostModel) {
+    let verified = ctx.pruned.to_verify.count() as u64;
+    if verified == 0 {
+        return;
+    }
+    let per_test = ctx.verify_steps / verified;
+    for gid in ctx.pruned.to_verify.iter() {
+        cost.observe(gid, per_test);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::prune::Pruned;
+    use gc_graph::{graph_from_parts, BitSet, Label};
+    use gc_method::QueryKind;
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> gc_graph::Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    fn dataset() -> Arc<Dataset> {
+        Arc::new(Dataset::new(vec![
+            g(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]),
+            g(&[3, 3], &[(0, 1)]),
+            g(&[0, 1], &[(0, 1)]),
+        ]))
+    }
+
+    #[test]
+    fn inline_and_pooled_agree() {
+        let ds = dataset();
+        let q = g(&[0, 1], &[(0, 1)]);
+        let cfg = CacheConfig { parallel_threshold: 0, ..CacheConfig::default() };
+        let pool = VerifyPool::new(2);
+
+        let mut inline_ctx = PipelineCtx::new(&q, QueryKind::Subgraph, 1, ds.len());
+        inline_ctx.pruned = Pruned {
+            to_verify: ds.all_graphs(),
+            definite: BitSet::new(ds.len()),
+            cm_size: ds.len(),
+            saved: 0,
+        };
+        let mut pooled_ctx = PipelineCtx::new(&q, QueryKind::Subgraph, 1, ds.len());
+        pooled_ctx.pruned = inline_ctx.pruned.clone();
+
+        run(&mut inline_ctx, &ds, &cfg, None);
+        run(&mut pooled_ctx, &ds, &cfg, Some(&pool));
+        assert_eq!(inline_ctx.survivors, pooled_ctx.survivors);
+        assert_eq!(inline_ctx.verify_steps, pooled_ctx.verify_steps);
+        assert_eq!(inline_ctx.survivors.to_vec(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn costs_observed_for_verified_graphs() {
+        let ds = dataset();
+        let q = g(&[0, 1], &[(0, 1)]);
+        let cfg = CacheConfig::default();
+        let mut ctx = PipelineCtx::new(&q, QueryKind::Subgraph, 1, ds.len());
+        ctx.pruned = Pruned {
+            to_verify: BitSet::from_indices(ds.len(), [0usize, 1]),
+            definite: BitSet::new(ds.len()),
+            cm_size: 2,
+            saved: 0,
+        };
+        run(&mut ctx, &ds, &cfg, None);
+        assert!(ctx.verify_steps > 0);
+        let cost = CostModel::new(&ds);
+        let before = cost.estimate(0);
+        observe_costs(&ctx, &cost);
+        // Estimates for the verified graphs moved to the observed mean.
+        assert_ne!(cost.estimate(0), before);
+        assert!((cost.estimate(0) - cost.estimate(1)).abs() < 1e-9);
+    }
+}

@@ -168,10 +168,7 @@ impl Policy {
         let mut entries: Vec<(&EntryId, &Score)> = self.scores.iter().collect();
         // Deterministic: tie-break by last_used then id.
         entries.sort_by(|(ia, sa), (ib, sb)| {
-            key(sa)
-                .cmp(&key(sb))
-                .then(sa.last_used.cmp(&sb.last_used))
-                .then(ia.cmp(ib))
+            key(sa).cmp(&key(sb)).then(sa.last_used.cmp(&sb.last_used)).then(ia.cmp(ib))
         });
         entries.into_iter().take(x).map(|(&e, _)| e).collect()
     }

@@ -73,8 +73,11 @@ impl ReplacementPolicy for GdsPolicy {
     }
 
     fn victims(&mut self, x: usize) -> Vec<EntryId> {
-        let mut ids: Vec<(EntryId, f64)> = self.state.iter().map(|(&e, &(h, _, _))| (e, h)).collect();
-        ids.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+        let mut ids: Vec<(EntryId, f64)> =
+            self.state.iter().map(|(&e, &(h, _, _))| (e, h)).collect();
+        ids.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
         ids.into_iter().take(x).map(|(e, _)| e).collect()
     }
 }
@@ -223,7 +226,7 @@ mod tests {
         p.on_hit(1, &credit(100, 0.0), 4); // all PIN
         p.on_hit(2, &credit(0, 100.0), 5); // all PINC
         p.on_hit(3, &credit(60, 60.0), 6); // balanced
-        // Entry 3 scores 0.6 + 0.6 = 1.2 > entries 1, 2 at 1.0.
+                                           // Entry 3 scores 0.6 + 0.6 = 1.2 > entries 1, 2 at 1.0.
         let v = p.victims(3);
         assert_eq!(v[2], 3, "balanced entry is most protected");
     }

@@ -1,17 +1,24 @@
-//! The Query Processing Runtime: GraphCache itself.
+//! The sequential Query Processing Runtime: GraphCache itself.
+//!
+//! Since the pipeline refactor this file is a *thin composition* over the
+//! stage modules in [`crate::pipeline`] — each stage lives in its own module
+//! (`filter`, `probe`, `prune`, `verify`, `admit`) and
+//! [`GraphCache::query`] just wires them together over this instance's
+//! state. The concurrent front-end ([`crate::SharedGraphCache`]) composes
+//! the same stages over sharded, lock-protected state.
 
 use crate::cache::CacheManager;
 use crate::config::CacheConfig;
 use crate::cost::CostModel;
 use crate::entry::{CacheEntry, EntryId};
-use crate::hits::{self, Relation};
-use crate::policy::{HitCredit, HitKind, ReplacementPolicy};
-use crate::pruner::prune;
+use crate::pipeline::admit::{self, AdmitLimits};
+use crate::pipeline::{self, filter, probe, prune, verify, PipelineCtx};
+use crate::policy::ReplacementPolicy;
 use crate::report::QueryReport;
 use crate::stats::{GlobalStats, StatsMonitor};
 use crate::window::WindowManager;
-use crate::{parallel, PolicyKind};
-use gc_graph::{BitSet, Graph};
+use crate::PolicyKind;
+use gc_graph::Graph;
 use gc_method::{Dataset, Method, QueryKind};
 use std::sync::Arc;
 use std::time::Instant;
@@ -89,127 +96,54 @@ impl GraphCache {
 
     /// Process one query; returns the exact answer set plus the full
     /// Query-Journey anatomy (Fig. 3).
+    ///
+    /// Thin sequential composition of the pipeline stages; see
+    /// [`crate::pipeline`] for what each stage does.
     pub fn query(&mut self, query: &Graph, kind: QueryKind) -> QueryReport {
         let start = Instant::now();
         self.clock += 1;
         let now = self.clock;
 
         // ---- exact-match fast path (traditional cache hit) ---------------
-        if let Some(id) = hits::find_exact(&self.cache, query, kind) {
+        if let Some(id) = probe::find_exact(&self.cache, query, kind) {
             return self.serve_exact(id, kind, now, start);
         }
 
-        // ---- Method M filter: C_M (Fig. 3(b)) -----------------------------
-        let cm = self.method.filter(&self.dataset, query, kind);
+        let mut ctx = PipelineCtx::new(query, kind, now, self.dataset.len());
+        filter::run(&mut ctx, self.method.as_ref(), &self.dataset);
+        probe::run(&mut ctx, &self.cache, &self.config);
+        prune::run(&mut ctx);
+        verify::run(&mut ctx, &self.dataset, &self.config, self.pool.as_ref());
+        verify::observe_costs(&ctx, &self.cost);
 
-        // ---- Sub/Super Case Processors (Fig. 3(a), 3(e)) ------------------
-        let found = hits::probe(&self.cache, &self.config, query, kind);
-
-        // ---- Candidate Set Pruner (Fig. 3(c), 3(d), 3(f)) -----------------
-        let pruned = {
-            let hit_answers: Vec<(Relation, &BitSet)> = found
-                .iter()
-                .map(|h| {
-                    let e = self.cache.get(h.entry).expect("hit ids are live");
-                    (h.relation, &e.answer)
-                })
-                .collect();
-            prune(&cm, &hit_answers, kind)
-        };
-
-        // ---- Verification of the reduced set C (Fig. 3(g)) ----------------
-        let use_pool = self
-            .pool
-            .as_ref()
-            .filter(|_| pruned.to_verify.count() >= self.config.parallel_threshold);
-        let (survivors, verify_steps) = match use_pool {
-            Some(pool) => pool.verify(&self.dataset, self.config.engine, query, kind, &pruned.to_verify),
-            None => parallel::verify_candidates(
-                &self.dataset,
-                self.config.engine,
-                query,
-                kind,
-                &pruned.to_verify,
-                1,
-            ),
-        };
-        let survivors_count = survivors.count();
-        // Feed the cost model with this query's observations.
-        if survivors_count > 0 || !pruned.to_verify.is_empty() {
-            let verified = pruned.to_verify.count().max(1) as u64;
-            let per_test = verify_steps / verified;
-            for gid in pruned.to_verify.iter() {
-                self.cost.observe(gid, per_test);
-            }
-        }
-
-        // ---- Final answer A = R ∪ S (Fig. 3(h)) ---------------------------
-        let survivors_set = survivors.clone();
-        let mut answer = survivors;
-        answer.union_with(&pruned.definite);
-
-        // ---- Credit hits (Statistics Manager + policy) --------------------
-        self.credit_hits(&found, &cm, kind, now);
-
-        // ---- Admission (Window Manager) -----------------------------------
-        let verified_count = pruned.to_verify.count();
-        let (admitted_batch, evicted) = self.admit(
+        admit::credit_hits(
+            &mut self.cache,
+            self.policy.as_mut(),
+            &self.cost,
+            &ctx.cm,
+            kind,
+            now,
+            &ctx.hits,
+            &ctx.hit_answers,
+        );
+        let answer = ctx.answer();
+        let outcome = admit::run(
+            &mut self.cache,
+            self.policy.as_mut(),
+            &mut self.window,
+            &self.config,
+            AdmitLimits::from_config(&self.config),
             query,
             kind,
             &answer,
-            pruned.cm_size as u64,
-            verify_steps,
+            ctx.pruned.cm_size as u64,
+            ctx.verify_steps,
             now,
         );
 
-        // ---- Bookkeeping ---------------------------------------------------
         let elapsed = start.elapsed();
-        let any_hit = found.exact.is_some() || found.count() > 0;
-        self.stats.update(|s| {
-            s.queries += 1;
-            if any_hit {
-                s.hit_queries += 1;
-            }
-            if !found.sub.is_empty() {
-                s.queries_with_sub_hits += 1;
-            }
-            if !found.super_.is_empty() {
-                s.queries_with_super_hits += 1;
-            }
-            s.sub_hits += found.sub.len() as u64;
-            s.super_hits += found.super_.len() as u64;
-            s.tests_executed += verified_count as u64;
-            s.probe_tests += found.probe_tests;
-            s.tests_saved += pruned.saved as u64;
-            s.verify_steps += verify_steps;
-            s.probe_steps += found.probe_steps;
-            s.admitted += admitted_batch.len() as u64;
-            s.evicted += evicted.len() as u64;
-            s.total_time += elapsed;
-        });
-
-        QueryReport {
-            answer,
-            cm_set: cm.clone(),
-            definite_set: pruned.definite.clone(),
-            verified_set: pruned.to_verify.clone(),
-            survivors_set,
-            kind,
-            exact_hit: false,
-            sub_hits: found.sub,
-            super_hits: found.super_,
-            cm_size: pruned.cm_size,
-            definite: pruned.definite.count(),
-            verified: verified_count,
-            survivors: survivors_count,
-            sub_iso_tests: verified_count as u64,
-            probe_tests: found.probe_tests,
-            verify_steps,
-            probe_steps: found.probe_steps,
-            admitted: admitted_batch.last().copied(),
-            evicted,
-            elapsed,
-        }
+        self.stats.add(&ctx.stats_delta(&outcome, elapsed));
+        ctx.into_report(answer, outcome, elapsed)
     }
 
     fn serve_exact(
@@ -219,158 +153,12 @@ impl GraphCache {
         now: u64,
         start: Instant,
     ) -> QueryReport {
-        let (answer, base_tests, base_cost) = {
-            let e = self.cache.get_mut(id).expect("exact hit is live");
-            e.stats.exact_hits += 1;
-            e.stats.last_used = now;
-            e.stats.tests_saved += e.base_tests;
-            e.stats.cost_saved += e.base_cost as f64;
-            (e.answer.clone(), e.base_tests, e.base_cost)
-        };
-        self.policy.on_hit(
-            id,
-            &HitCredit {
-                kind: HitKind::Exact,
-                tests_saved: base_tests,
-                cost_saved: base_cost as f64,
-            },
-            now,
-        );
+        let (answer, base_tests, _base_cost) =
+            admit::serve_exact(&mut self.cache, self.policy.as_mut(), id, now)
+                .expect("exact hit is live in the sequential runtime");
         let elapsed = start.elapsed();
-        self.stats.update(|s| {
-            s.queries += 1;
-            s.hit_queries += 1;
-            s.exact_hits += 1;
-            s.tests_saved += base_tests;
-            s.total_time += elapsed;
-        });
-        let universe = answer.universe();
-        QueryReport {
-            answer,
-            cm_set: gc_graph::BitSet::new(universe),
-            definite_set: gc_graph::BitSet::new(universe),
-            verified_set: gc_graph::BitSet::new(universe),
-            survivors_set: gc_graph::BitSet::new(universe),
-            kind,
-            exact_hit: true,
-            sub_hits: Vec::new(),
-            super_hits: Vec::new(),
-            cm_size: base_tests as usize,
-            definite: 0,
-            verified: 0,
-            survivors: 0,
-            sub_iso_tests: 0,
-            probe_tests: 0,
-            verify_steps: 0,
-            probe_steps: 0,
-            admitted: None,
-            evicted: Vec::new(),
-            elapsed,
-        }
-    }
-
-    /// Attribute per-hit savings to entries (paper: "each cache hit shall
-    /// evoke various numbers of savings in sub-iso testing").
-    fn credit_hits(
-        &mut self,
-        found: &crate::hits::CacheHits,
-        cm: &BitSet,
-        kind: QueryKind,
-        now: u64,
-    ) {
-        let mut credits: Vec<(EntryId, HitCredit)> = Vec::with_capacity(found.count());
-        for h in found.iter() {
-            let e = self.cache.get(h.entry).expect("hit ids are live");
-            let gives_definite = matches!(
-                (kind, h.relation),
-                (QueryKind::Subgraph, Relation::QueryInCached)
-                    | (QueryKind::Supergraph, Relation::CachedInQuery)
-            );
-            // Tests this hit alone would have saved, and their estimated cost.
-            let (tests_saved, cost_saved) = if gives_definite {
-                let mut saved = e.answer.clone();
-                saved.intersect_with(cm);
-                (saved.count() as u64, self.cost.sum_over(&saved))
-            } else {
-                let mut removed = cm.clone();
-                removed.difference_with(&e.answer);
-                (removed.count() as u64, self.cost.sum_over(&removed))
-            };
-            let hit_kind = match h.relation {
-                Relation::QueryInCached => HitKind::QueryInCached,
-                Relation::CachedInQuery => HitKind::CachedInQuery,
-            };
-            credits.push((
-                h.entry,
-                HitCredit { kind: hit_kind, tests_saved, cost_saved },
-            ));
-        }
-        for (id, credit) in credits {
-            let e = self.cache.get_mut(id).expect("hit ids are live");
-            e.stats.last_used = now;
-            e.stats.tests_saved += credit.tests_saved;
-            e.stats.cost_saved += credit.cost_saved;
-            match credit.kind {
-                HitKind::Exact => e.stats.exact_hits += 1,
-                HitKind::QueryInCached => e.stats.sub_hits += 1,
-                HitKind::CachedInQuery => e.stats.super_hits += 1,
-            }
-            self.policy.on_hit(id, &credit, now);
-        }
-    }
-
-    /// Admit the executed query immediately; run the batched replacement
-    /// sweep when the admission window closes.
-    fn admit(
-        &mut self,
-        query: &Graph,
-        kind: QueryKind,
-        answer: &BitSet,
-        base_tests: u64,
-        base_cost: u64,
-        now: u64,
-    ) -> (Vec<EntryId>, Vec<EntryId>) {
-        if (base_tests as usize) < self.config.min_admit_tests {
-            self.stats.update(|s| s.admission_rejected += 1);
-            return (Vec::new(), Vec::new());
-        }
-        let id = self.cache.insert(
-            query.clone(),
-            kind,
-            answer.clone(),
-            base_tests,
-            base_cost,
-            now,
-        );
-        let bytes = self.cache.get(id).expect("just inserted").memory_bytes();
-        self.policy.on_insert_sized(id, now, bytes);
-        let mut evicted = Vec::new();
-        if self.window.on_admit() {
-            let excess = self.cache.len().saturating_sub(self.config.capacity);
-            if excess > 0 {
-                for victim in self.policy.victims(excess) {
-                    if self.cache.remove(victim).is_some() {
-                        self.policy.on_evict(victim);
-                        evicted.push(victim);
-                    }
-                }
-            }
-            // Byte budget: keep evicting least-useful entries until the
-            // footprint fits (never evicting the just-admitted entry's whole
-            // cache away: stop at one entry).
-            if let Some(max_bytes) = self.config.max_bytes {
-                while self.cache.len() > 1 && self.cache.memory_bytes() > max_bytes {
-                    let Some(victim) = self.policy.victims(1).first().copied() else { break };
-                    if self.cache.remove(victim).is_some() {
-                        self.policy.on_evict(victim);
-                        evicted.push(victim);
-                    } else {
-                        break;
-                    }
-                }
-            }
-        }
-        (vec![id], evicted)
+        self.stats.add(&pipeline::exact_stats_delta(base_tests, elapsed));
+        pipeline::exact_report(answer, kind, base_tests, elapsed)
     }
 
     // ---- persistence --------------------------------------------------------
@@ -409,7 +197,7 @@ impl GraphCache {
                     self.dataset.len()
                 ));
             }
-            if hits::find_exact(&self.cache, &e.graph, e.kind).is_some() {
+            if probe::find_exact(&self.cache, &e.graph, e.kind).is_some() {
                 continue;
             }
             let id = self.cache.insert(e.graph, e.kind, e.answer, e.base_tests, e.base_cost, now);
@@ -428,7 +216,7 @@ impl GraphCache {
                 }
             }
         }
-        self.stats.update(|s| s.admitted += imported as u64);
+        self.stats.add(&GlobalStats { admitted: imported as u64, ..GlobalStats::default() });
         Ok(imported)
     }
 

@@ -1,0 +1,551 @@
+//! The concurrent, sharded front-end: [`SharedGraphCache`].
+//!
+//! [`crate::GraphCache`] is exclusively borrowed per query (`&mut self`),
+//! which caps a deployment at one in-flight query per cache. This front-end
+//! serves the same staged pipeline through `&self` so any number of client
+//! threads can query one cache concurrently:
+//!
+//! * **sharding** — cache state is split into [`CacheConfig::shards`]
+//!   independent shards, each `(CacheManager, WindowManager)` behind a
+//!   `parking_lot::RwLock` plus its own replacement-policy instance behind a
+//!   `Mutex`. A query graph's WL fingerprint picks its *home shard*
+//!   (admission and exact-match lookups touch only that shard; fingerprints
+//!   are isomorphism-invariant, so an exact duplicate always routes home);
+//! * **read-mostly probing** — the filter / probe / prune / verify stages
+//!   take only shard *read* locks (and hold them just long enough to
+//!   snapshot hit answers); write locks are taken for the two short
+//!   sections that mutate state: hit crediting and admission/eviction;
+//! * **lock-free accounting** — [`StatsMonitor`] and [`CostModel`] are
+//!   atomics-based, so statistics and cost observations never serialize
+//!   queries;
+//! * **shared verification** — heavyweight candidate verification is
+//!   dispatched to the process-wide [`crate::parallel::global_pool`], which
+//!   batches work from all concurrent queries onto one CPU-sized worker
+//!   set.
+//!
+//! ## Correctness under concurrency
+//!
+//! GraphCache's central invariant — answers are *exactly* those of Method M
+//! alone (paper §1, Problem (2)) — holds under any interleaving, because the
+//! cache only ever (a) serves a previously-verified exact answer set, or
+//! (b) prunes/augments the candidate set with answer snapshots taken under
+//! a read lock, each of which is itself an exact answer set. Entries
+//! evicted between probing and crediting merely lose a utility update
+//! (credits are dropped for dead entries; see [`crate::pipeline::admit`]).
+//! The answer-set equivalence with the sequential runtime is
+//! property-tested in `tests/prop.rs` across all bundled policies.
+//!
+//! ## Entry-id namespaces
+//!
+//! Each shard numbers its entries independently. Ids in reports
+//! ([`QueryReport::sub_hits`], evictions, …) are *encoded* as
+//! `shard << 24 | local` so they stay unique cache-wide; use
+//! [`SharedGraphCache::decode_entry_id`] to recover the shard and local id.
+
+use crate::cache::CacheManager;
+use crate::config::CacheConfig;
+use crate::cost::CostModel;
+use crate::entry::EntryId;
+use crate::pipeline::admit::{self, AdmitLimits, AdmitOutcome};
+use crate::pipeline::probe::CacheHits;
+use crate::pipeline::{self, filter, probe, prune, verify, PipelineCtx};
+use crate::policy::ReplacementPolicy;
+use crate::report::QueryReport;
+use crate::stats::{GlobalStats, StatsMonitor};
+use crate::window::WindowManager;
+use crate::PolicyKind;
+use gc_graph::Graph;
+use gc_method::{Dataset, Method, QueryKind};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Bits of an encoded entry id that hold the shard-local id.
+const LOCAL_BITS: u32 = 24;
+/// Mask of the shard-local id.
+const LOCAL_MASK: EntryId = (1 << LOCAL_BITS) - 1;
+
+/// One shard's probe result: `(shard index, shard-local hits, range of the
+/// hits' answer snapshots inside `PipelineCtx::hit_answers`)`.
+type ShardProbe = (usize, CacheHits, std::ops::Range<usize>);
+
+/// State a shard protects with one RwLock: entries + admission window.
+struct ShardState {
+    cache: CacheManager,
+    window: WindowManager,
+}
+
+/// One shard: lockable state plus its replacement policy.
+///
+/// The policy sits in its own `Mutex` (instead of inside the `RwLock`)
+/// because `ReplacementPolicy` implementations are `Send` but not required
+/// to be `Sync`; the policy is only ever touched while also holding the
+/// shard's write lock, so the extra mutex is uncontended.
+struct Shard {
+    state: RwLock<ShardState>,
+    policy: Mutex<Box<dyn ReplacementPolicy>>,
+}
+
+/// A concurrently-usable GraphCache: same pipeline, `&self` queries,
+/// byte-identical answers to the sequential runtime.
+///
+/// ```
+/// use gc_core::{CacheConfig, PolicyKind, SharedGraphCache};
+/// use gc_method::{Dataset, QueryKind, SiMethod};
+/// use gc_graph::{graph_from_parts, Label};
+/// use std::sync::Arc;
+///
+/// let dataset = Arc::new(Dataset::new(vec![
+///     graph_from_parts(&[Label(0), Label(1)], &[(0, 1)]).unwrap(),
+///     graph_from_parts(&[Label(2)], &[]).unwrap(),
+/// ]));
+/// let gc = SharedGraphCache::with_policy(
+///     dataset,
+///     Box::new(SiMethod),
+///     PolicyKind::Hd,
+///     CacheConfig::default(),
+/// ).unwrap();
+///
+/// let q = graph_from_parts(&[Label(0)], &[]).unwrap();
+/// // `&self` — clone handles into threads, or share behind an Arc.
+/// let report = gc.query(&q, QueryKind::Subgraph);
+/// assert_eq!(report.answer.to_vec(), vec![0]);
+/// let again = gc.query(&q, QueryKind::Subgraph);
+/// assert!(again.exact_hit);
+/// ```
+pub struct SharedGraphCache {
+    dataset: Arc<Dataset>,
+    method: Arc<dyn Method>,
+    config: CacheConfig,
+    shards: Vec<Shard>,
+    /// Per-shard admission limits; entry capacities sum to exactly
+    /// `config.capacity` (base + 1 for the first `capacity % shards`
+    /// shards), so the shared cache retains no more entries than the
+    /// sequential runtime would. Shards with capacity 0 (when
+    /// `capacity < shards`) still admit within a window but are emptied by
+    /// every sweep.
+    limits: Vec<AdmitLimits>,
+    stats: StatsMonitor,
+    cost: CostModel,
+    clock: AtomicU64,
+    policy_name: &'static str,
+}
+
+impl SharedGraphCache {
+    /// Create a shared cache; `make_policy` builds one replacement-policy
+    /// instance per shard (each shard replaces independently over its own
+    /// entries).
+    pub fn new(
+        dataset: Arc<Dataset>,
+        method: Arc<dyn Method>,
+        make_policy: impl Fn() -> Box<dyn ReplacementPolicy>,
+        config: CacheConfig,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        let shards = (0..config.shards)
+            .map(|_| {
+                let policy = make_policy();
+                Shard {
+                    state: RwLock::new(ShardState {
+                        cache: CacheManager::new(config.feature_config),
+                        window: WindowManager::new(config.window_size),
+                    }),
+                    policy: Mutex::new(policy),
+                }
+            })
+            .collect::<Vec<_>>();
+        let policy_name = shards[0].policy.lock().name();
+        let (base, extra) = (config.capacity / config.shards, config.capacity % config.shards);
+        let limits = (0..config.shards)
+            .map(|si| AdmitLimits {
+                capacity: base + usize::from(si < extra),
+                max_bytes: config.max_bytes.map(|b| (b / config.shards).max(1)),
+            })
+            .collect();
+        Ok(SharedGraphCache {
+            cost: CostModel::new(&dataset),
+            stats: StatsMonitor::new(),
+            clock: AtomicU64::new(0),
+            dataset,
+            method,
+            config,
+            shards,
+            limits,
+            policy_name,
+        })
+    }
+
+    /// Convenience constructor with a bundled policy kind.
+    pub fn with_policy(
+        dataset: Arc<Dataset>,
+        method: Box<dyn Method>,
+        kind: PolicyKind,
+        config: CacheConfig,
+    ) -> Result<Self, String> {
+        Self::new(dataset, Arc::from(method), move || kind.make(), config)
+    }
+
+    /// Process one query through the staged pipeline; callable from any
+    /// number of threads concurrently. Returns the exact answer set plus
+    /// the Query-Journey anatomy, like the sequential runtime.
+    pub fn query(&self, query: &Graph, kind: QueryKind) -> QueryReport {
+        let start = Instant::now();
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let fp = gc_graph::hash::fingerprint(query);
+        let home = (fp % self.shards.len() as u64) as usize;
+
+        // ---- exact-match fast path: home shard only -----------------------
+        // Cheap read-locked check first; only a hit pays for the write lock
+        // (where the entry is re-located — it may have been evicted, or its
+        // slot reused, between the two locks).
+        let maybe_exact =
+            probe::find_exact(&self.shards[home].state.read().cache, query, kind).is_some();
+        if maybe_exact {
+            if let Some(report) = self.serve_exact(home, query, kind, now, start) {
+                return report;
+            }
+        }
+
+        // ---- staged pipeline ---------------------------------------------
+        let mut ctx = PipelineCtx::new(query, kind, now, self.dataset.len());
+        filter::run(&mut ctx, self.method.as_ref(), &self.dataset);
+
+        // Probe every shard under its read lock; snapshot hit answers while
+        // the lock is held (one clone per hit, straight into the context),
+        // then merge shard-local hits into the context with encoded ids.
+        // Per-shard hits are kept aside with their snapshot's range inside
+        // `ctx.hit_answers` for the crediting write sections below.
+        let mut per_shard: Vec<ShardProbe> = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let state = shard.state.read();
+            let hits = probe::probe_cases(&state.cache, &self.config, query, kind);
+            if hits.count() == 0 {
+                ctx.hits.probe_tests += hits.probe_tests;
+                ctx.hits.probe_steps += hits.probe_steps;
+                continue;
+            }
+            let range_start = ctx.hit_answers.len();
+            ctx.hit_answers.extend(probe::snapshot_answers(&state.cache, &hits));
+            drop(state);
+            ctx.hits.merge(encode_hits(si, &hits));
+            per_shard.push((si, hits, range_start..ctx.hit_answers.len()));
+        }
+
+        prune::run(&mut ctx);
+        let pool = (self.config.threads > 1).then(crate::parallel::global_pool);
+        verify::run(&mut ctx, &self.dataset, &self.config, pool);
+        verify::observe_costs(&ctx, &self.cost);
+
+        // ---- crediting: short write section per shard with hits -----------
+        for (si, hits, range) in &per_shard {
+            let shard = &self.shards[*si];
+            let mut state = shard.state.write();
+            let mut policy = shard.policy.lock();
+            admit::credit_hits(
+                &mut state.cache,
+                policy.as_mut(),
+                &self.cost,
+                &ctx.cm,
+                kind,
+                now,
+                hits,
+                &ctx.hit_answers[range.clone()],
+            );
+        }
+
+        // ---- admission: short write section on the home shard --------------
+        let answer = ctx.answer();
+        let outcome = {
+            let shard = &self.shards[home];
+            let mut state = shard.state.write();
+            // A concurrent query for an isomorphic graph may have admitted
+            // it while we were verifying; don't store a duplicate.
+            if probe::find_exact(&state.cache, query, kind).is_some() {
+                AdmitOutcome::default()
+            } else {
+                let mut policy = shard.policy.lock();
+                let ShardState { cache, window } = &mut *state;
+                let mut outcome = admit::run(
+                    cache,
+                    policy.as_mut(),
+                    window,
+                    &self.config,
+                    self.limits[home],
+                    query,
+                    kind,
+                    &answer,
+                    ctx.pruned.cm_size as u64,
+                    ctx.verify_steps,
+                    now,
+                );
+                outcome.admitted = outcome.admitted.map(|id| encode_entry_id(home, id));
+                for id in &mut outcome.evicted {
+                    *id = encode_entry_id(home, *id);
+                }
+                outcome
+            }
+        };
+
+        let elapsed = start.elapsed();
+        self.stats.add(&ctx.stats_delta(&outcome, elapsed));
+        ctx.into_report(answer, outcome, elapsed)
+    }
+
+    /// Serve an exact hit from `home`; `None` if the entry vanished between
+    /// the read-locked check and this write section (caller falls back to
+    /// the full pipeline).
+    fn serve_exact(
+        &self,
+        home: usize,
+        query: &Graph,
+        kind: QueryKind,
+        now: u64,
+        start: Instant,
+    ) -> Option<QueryReport> {
+        let shard = &self.shards[home];
+        let mut state = shard.state.write();
+        let id = probe::find_exact(&state.cache, query, kind)?;
+        let mut policy = shard.policy.lock();
+        let (answer, base_tests, _base_cost) =
+            admit::serve_exact(&mut state.cache, policy.as_mut(), id, now)?;
+        drop(policy);
+        drop(state);
+        let elapsed = start.elapsed();
+        self.stats.add(&pipeline::exact_stats_delta(base_tests, elapsed));
+        Some(pipeline::exact_report(answer, kind, base_tests, elapsed))
+    }
+
+    // ---- accessors --------------------------------------------------------
+
+    /// Snapshot of the global statistics.
+    pub fn stats(&self) -> GlobalStats {
+        self.stats.snapshot()
+    }
+
+    /// Shared handle to the Statistics Monitor (lock-free).
+    pub fn monitor(&self) -> StatsMonitor {
+        self.stats.clone()
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.state.read().cache.len()).sum()
+    }
+
+    /// `true` iff no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The replacement policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy_name
+    }
+
+    /// The base method's name.
+    pub fn method_name(&self) -> String {
+        self.method.name()
+    }
+
+    /// The dataset this cache serves.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Cache memory footprint across shards (entries + per-shard index).
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.state.read().cache.memory_bytes()).sum()
+    }
+
+    /// Split an encoded entry id from a [`QueryReport`] into
+    /// `(shard, local_id)`.
+    pub fn decode_entry_id(id: EntryId) -> (usize, EntryId) {
+        ((id >> LOCAL_BITS) as usize, id & LOCAL_MASK)
+    }
+}
+
+fn encode_entry_id(shard: usize, local: EntryId) -> EntryId {
+    debug_assert!(local <= LOCAL_MASK, "shard-local id overflows encoding");
+    ((shard as EntryId) << LOCAL_BITS) | local
+}
+
+fn encode_hits(shard: usize, hits: &CacheHits) -> CacheHits {
+    CacheHits {
+        exact: hits.exact.map(|id| encode_entry_id(shard, id)),
+        sub: hits.sub.iter().map(|&id| encode_entry_id(shard, id)).collect(),
+        super_: hits.super_.iter().map(|&id| encode_entry_id(shard, id)).collect(),
+        probe_tests: hits.probe_tests,
+        probe_steps: hits.probe_steps,
+    }
+}
+
+impl std::fmt::Debug for SharedGraphCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedGraphCache")
+            .field("method", &self.method.name())
+            .field("policy", &self.policy_name)
+            .field("shards", &self.shards.len())
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_method::SiMethod;
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<gc_graph::Label> = labels.iter().map(|&l| gc_graph::Label(l)).collect();
+        gc_graph::graph_from_parts(&ls, edges).unwrap()
+    }
+
+    fn dataset() -> Arc<Dataset> {
+        Arc::new(Dataset::new(vec![
+            g(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]),
+            g(&[3, 3], &[(0, 1)]),
+            g(&[0, 1], &[(0, 1)]),
+        ]))
+    }
+
+    fn shared(config: CacheConfig) -> SharedGraphCache {
+        SharedGraphCache::with_policy(dataset(), Box::new(SiMethod), PolicyKind::Hd, config)
+            .unwrap()
+    }
+
+    #[test]
+    fn answers_match_sequential_and_repeats_hit_exactly() {
+        let ds = dataset();
+        let gc = shared(CacheConfig::default());
+        let mut seq = crate::GraphCache::with_policy(
+            ds,
+            Box::new(SiMethod),
+            PolicyKind::Hd,
+            CacheConfig::default(),
+        )
+        .unwrap();
+        let queries = [g(&[0, 1], &[(0, 1)]), g(&[0], &[]), g(&[3], &[]), g(&[0, 1], &[(0, 1)])];
+        for q in &queries {
+            let a = gc.query(q, QueryKind::Subgraph);
+            let b = seq.query(q, QueryKind::Subgraph);
+            assert_eq!(a.answer, b.answer);
+            assert_eq!(a.exact_hit, b.exact_hit);
+        }
+        assert_eq!(gc.stats().exact_hits, 1, "the repeat is an exact hit");
+        assert_eq!(gc.len(), seq.len());
+    }
+
+    #[test]
+    fn concurrent_queries_are_exact() {
+        let gc = Arc::new(shared(CacheConfig {
+            capacity: 8,
+            window_size: 2,
+            shards: 4,
+            ..CacheConfig::default()
+        }));
+        let queries =
+            [g(&[0, 1], &[(0, 1)]), g(&[0], &[]), g(&[3], &[]), g(&[1, 0, 1], &[(0, 1), (1, 2)])];
+        // Precompute expected answers sequentially (answers are
+        // cache-state-independent).
+        let expected: Vec<Vec<usize>> =
+            queries.iter().map(|q| gc.query(q, QueryKind::Subgraph).answer.to_vec()).collect();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let gc = Arc::clone(&gc);
+                let queries = &queries;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for round in 0..25 {
+                        let i = (t + round) % queries.len();
+                        let got = gc.query(&queries[i], QueryKind::Subgraph);
+                        assert_eq!(got.answer.to_vec(), expected[i]);
+                    }
+                });
+            }
+        });
+        let stats = gc.stats();
+        assert_eq!(stats.queries, 4 + 8 * 25);
+        assert!(stats.exact_hits > 0);
+    }
+
+    #[test]
+    fn capacity_is_respected_across_shards() {
+        let gc = shared(CacheConfig {
+            capacity: 4,
+            window_size: 1,
+            shards: 2,
+            min_admit_tests: 0,
+            ..CacheConfig::default()
+        });
+        for i in 0..20u32 {
+            // Distinct single-vertex queries with distinct labels.
+            gc.query(&g(&[i], &[]), QueryKind::Subgraph);
+        }
+        // Per-shard capacity is 4/2 = 2; window 1 sweeps on every
+        // admission, so the resting total never exceeds the configured
+        // capacity — same bound as the sequential runtime.
+        assert!(gc.len() <= 4, "len {} exceeds configured capacity", gc.len());
+        assert!(gc.stats().evicted > 0);
+    }
+
+    #[test]
+    fn total_capacity_not_inflated_by_many_shards() {
+        // capacity < shards: the per-shard split is 1,1,1,0,0,0,0,0 —
+        // the shared cache must not retain ~shards entries for a
+        // capacity-3 config (the former div_ceil split retained one per
+        // shard, inflating capacity by up to 8x).
+        let gc = shared(CacheConfig {
+            capacity: 3,
+            window_size: 1,
+            shards: 8,
+            min_admit_tests: 0,
+            ..CacheConfig::default()
+        });
+        for i in 0..40u32 {
+            gc.query(&g(&[i], &[]), QueryKind::Subgraph);
+        }
+        assert!(gc.len() <= 3, "len {} exceeds configured capacity 3", gc.len());
+    }
+
+    #[test]
+    fn entry_id_encoding_roundtrips() {
+        for (shard, local) in [(0usize, 0u32), (3, 17), (255, LOCAL_MASK)] {
+            let enc = encode_entry_id(shard, local);
+            assert_eq!(SharedGraphCache::decode_entry_id(enc), (shard, local));
+        }
+    }
+
+    #[test]
+    fn single_shard_config_works() {
+        let gc = shared(CacheConfig { shards: 1, ..CacheConfig::default() });
+        let q = g(&[0, 1], &[(0, 1)]);
+        let r1 = gc.query(&q, QueryKind::Subgraph);
+        let r2 = gc.query(&q, QueryKind::Subgraph);
+        assert!(!r1.exact_hit && r2.exact_hit);
+        assert_eq!(r1.answer, r2.answer);
+        assert_eq!(gc.shard_count(), 1);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let err = SharedGraphCache::with_policy(
+            dataset(),
+            Box::new(SiMethod),
+            PolicyKind::Lru,
+            CacheConfig { shards: 0, ..CacheConfig::default() },
+        );
+        assert!(err.is_err());
+    }
+}

@@ -1,12 +1,20 @@
 //! Statistics Monitor / Manager.
+//!
+//! [`GlobalStats`] is a plain snapshot/delta struct; [`StatsMonitor`] holds
+//! the live counters as atomics so *no lock is taken on the query path* —
+//! concurrent queries from [`crate::SharedGraphCache`] publish their deltas
+//! with `fetch_add` and dashboards snapshot without stalling anyone.
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Aggregate operational metrics of a cache instance (paper Fig. 1:
 /// Statistics Monitor feeding the Demonstrator's Sub-Iso Testing / Query
 /// Time panels).
+///
+/// Doubles as the *delta* type: the query pipeline accumulates one
+/// `GlobalStats` per query and publishes it via [`StatsMonitor::add`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct GlobalStats {
     /// Queries processed.
@@ -74,12 +82,57 @@ impl GlobalStats {
     }
 }
 
-/// Thread-safe wrapper around [`GlobalStats`] — the Statistics Monitor.
+/// The live counters, one atomic per [`GlobalStats`] field.
+#[derive(Debug, Default)]
+struct AtomicStats {
+    queries: AtomicU64,
+    hit_queries: AtomicU64,
+    exact_hits: AtomicU64,
+    queries_with_sub_hits: AtomicU64,
+    queries_with_super_hits: AtomicU64,
+    sub_hits: AtomicU64,
+    super_hits: AtomicU64,
+    tests_executed: AtomicU64,
+    probe_tests: AtomicU64,
+    tests_saved: AtomicU64,
+    verify_steps: AtomicU64,
+    probe_steps: AtomicU64,
+    admitted: AtomicU64,
+    evicted: AtomicU64,
+    admission_rejected: AtomicU64,
+    total_time_nanos: AtomicU64,
+}
+
+/// Thread-safe, lock-free wrapper around [`GlobalStats`] — the Statistics
+/// Monitor.
 ///
-/// Cloning shares the underlying counters (`Arc`).
+/// Cloning shares the underlying counters (`Arc`). All operations are
+/// `fetch_add`/`load` on relaxed atomics: per-field totals are exact; a
+/// snapshot taken *while a query publishes* may see that query's fields
+/// partially applied (torn across fields, never within one).
 #[derive(Debug, Clone, Default)]
 pub struct StatsMonitor {
-    inner: Arc<Mutex<GlobalStats>>,
+    inner: Arc<AtomicStats>,
+}
+
+macro_rules! for_each_counter {
+    ($macro_cb:ident) => {
+        $macro_cb!(queries);
+        $macro_cb!(hit_queries);
+        $macro_cb!(exact_hits);
+        $macro_cb!(queries_with_sub_hits);
+        $macro_cb!(queries_with_super_hits);
+        $macro_cb!(sub_hits);
+        $macro_cb!(super_hits);
+        $macro_cb!(tests_executed);
+        $macro_cb!(probe_tests);
+        $macro_cb!(tests_saved);
+        $macro_cb!(verify_steps);
+        $macro_cb!(probe_steps);
+        $macro_cb!(admitted);
+        $macro_cb!(evicted);
+        $macro_cb!(admission_rejected);
+    };
 }
 
 impl StatsMonitor {
@@ -88,19 +141,47 @@ impl StatsMonitor {
         Self::default()
     }
 
-    /// Apply a mutation under the lock.
-    pub fn update(&self, f: impl FnOnce(&mut GlobalStats)) {
-        f(&mut self.inner.lock());
+    /// Publish one query's accumulated delta (lock-free).
+    pub fn add(&self, delta: &GlobalStats) {
+        let inner = &self.inner;
+        macro_rules! add_field {
+            ($f:ident) => {
+                if delta.$f != 0 {
+                    inner.$f.fetch_add(delta.$f, Ordering::Relaxed);
+                }
+            };
+        }
+        for_each_counter!(add_field);
+        let nanos = delta.total_time.as_nanos() as u64;
+        if nanos != 0 {
+            inner.total_time_nanos.fetch_add(nanos, Ordering::Relaxed);
+        }
     }
 
     /// Snapshot the current counters.
     pub fn snapshot(&self) -> GlobalStats {
-        self.inner.lock().clone()
+        let inner = &self.inner;
+        let mut out = GlobalStats::default();
+        macro_rules! load_field {
+            ($f:ident) => {
+                out.$f = inner.$f.load(Ordering::Relaxed);
+            };
+        }
+        for_each_counter!(load_field);
+        out.total_time = Duration::from_nanos(inner.total_time_nanos.load(Ordering::Relaxed));
+        out
     }
 
     /// Reset all counters.
     pub fn reset(&self) {
-        *self.inner.lock() = GlobalStats::default();
+        let inner = &self.inner;
+        macro_rules! reset_field {
+            ($f:ident) => {
+                inner.$f.store(0, Ordering::Relaxed);
+            };
+        }
+        for_each_counter!(reset_field);
+        inner.total_time_nanos.store(0, Ordering::Relaxed);
     }
 }
 
@@ -128,10 +209,59 @@ mod tests {
     fn monitor_shares_state() {
         let m = StatsMonitor::new();
         let m2 = m.clone();
-        m.update(|s| s.queries += 5);
-        m2.update(|s| s.queries += 5);
+        m.add(&GlobalStats { queries: 5, ..GlobalStats::default() });
+        m2.add(&GlobalStats { queries: 5, ..GlobalStats::default() });
         assert_eq!(m.snapshot().queries, 10);
         m.reset();
         assert_eq!(m2.snapshot().queries, 0);
+    }
+
+    #[test]
+    fn add_covers_every_field() {
+        let m = StatsMonitor::new();
+        let delta = GlobalStats {
+            queries: 1,
+            hit_queries: 2,
+            exact_hits: 3,
+            queries_with_sub_hits: 4,
+            queries_with_super_hits: 5,
+            sub_hits: 6,
+            super_hits: 7,
+            tests_executed: 8,
+            probe_tests: 9,
+            tests_saved: 10,
+            verify_steps: 11,
+            probe_steps: 12,
+            admitted: 13,
+            evicted: 14,
+            admission_rejected: 15,
+            total_time: Duration::from_nanos(16),
+        };
+        m.add(&delta);
+        assert_eq!(m.snapshot(), delta);
+        m.add(&delta);
+        assert_eq!(m.snapshot().total_time, Duration::from_nanos(32));
+    }
+
+    #[test]
+    fn concurrent_adds_are_exact() {
+        let m = StatsMonitor::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = m.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        m.add(&GlobalStats {
+                            queries: 1,
+                            tests_executed: 2,
+                            ..GlobalStats::default()
+                        });
+                    }
+                });
+            }
+        });
+        let s = m.snapshot();
+        assert_eq!(s.queries, 4000);
+        assert_eq!(s.tests_executed, 8000);
     }
 }

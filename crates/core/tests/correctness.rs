@@ -173,11 +173,7 @@ fn cache_respects_capacity() {
     for wq in &workload.queries {
         let r = gc.query(&wq.graph, wq.kind);
         evictions += r.evicted.len();
-        assert!(
-            gc.len() <= 7 + 3,
-            "cache size {} exceeds capacity + window slack",
-            gc.len()
-        );
+        assert!(gc.len() <= 7 + 3, "cache size {} exceeds capacity + window slack", gc.len());
     }
     assert!(evictions > 0, "a small cache under a wide workload must evict");
     assert!(gc.len() <= 7 + 3);
@@ -257,7 +253,9 @@ fn tiny_probe_budget_keeps_answers_correct() {
         let got = gc.query(&wq.graph, wq.kind);
         let want = execute_base(&dataset, &SiMethod, Engine::Vf2, &wq.graph, wq.kind);
         assert_eq!(got.answer, want.answer);
-        assert!(got.sub_hits.is_empty() && got.super_hits.is_empty(),
-            "1-step probes cannot confirm hits");
+        assert!(
+            got.sub_hits.is_empty() && got.super_hits.is_empty(),
+            "1-step probes cannot confirm hits"
+        );
     }
 }

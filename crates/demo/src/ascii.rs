@@ -24,11 +24,7 @@ pub fn bar_chart(rows: &[(String, f64)], width: usize) -> String {
     let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
     let mut out = String::new();
     for (label, value) in rows {
-        let bar_len = if max > 0.0 {
-            ((value / max) * width as f64).round() as usize
-        } else {
-            0
-        };
+        let bar_len = if max > 0.0 { ((value / max) * width as f64).round() as usize } else { 0 };
         out.push_str(&format!(
             "{label:<label_w$} | {}{} {value:.3}\n",
             "█".repeat(bar_len),
@@ -105,10 +101,7 @@ mod tests {
     fn tables_align() {
         let out = table(
             &["policy", "speedup"],
-            &[
-                vec!["LRU".into(), "1.2".into()],
-                vec!["PINC".into(), "2.4".into()],
-            ],
+            &[vec!["LRU".into(), "1.2".into()], vec!["PINC".into(), "2.4".into()]],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -6,6 +6,7 @@
 //! gc generate --out ds.tve [--count 100] [--seed 42] [--model molecules|er|ba]
 //! gc run      --dataset ds.tve [--queries 300] [--workload zipf|uniform|drift]
 //!             [--policy HD] [--capacity 50] [--feature-size 2] [--dev]
+//!             [--clients 8] [--check]   # N>1: concurrent SharedGraphCache mode
 //! gc journey  --dataset ds.tve [--seed 7]
 //! gc compare  --dataset ds.tve [--queries 300] [--workload zipf]
 //! ```
@@ -14,7 +15,10 @@
 //! datasets drop in directly.
 
 use gc_core::{CacheConfig, GraphCache, PolicyKind};
-use gc_demo::{developer_monitor, end_user_monitor, run_query_journey, run_workload_comparison};
+use gc_demo::{
+    developer_monitor, end_user_monitor, run_multi_client, run_query_journey,
+    run_workload_comparison,
+};
 use gc_method::{Dataset, FtvMethod, QueryKind};
 use gc_workload::random::{ba_dataset, er_dataset};
 use gc_workload::{molecule_dataset, nested_chain, Workload, WorkloadKind, WorkloadSpec};
@@ -86,11 +90,8 @@ fn build_cache(
     dataset: &Arc<Dataset>,
     flags: &HashMap<String, String>,
 ) -> Result<GraphCache, String> {
-    let policy: PolicyKind = flags
-        .get("policy")
-        .map(|p| p.parse())
-        .transpose()?
-        .unwrap_or(PolicyKind::Hd);
+    let policy: PolicyKind =
+        flags.get("policy").map(|p| p.parse()).transpose()?.unwrap_or(PolicyKind::Hd);
     let capacity: usize = get(flags, "capacity", 50);
     let feature_size: usize = get(flags, "feature-size", 2);
     GraphCache::with_policy(
@@ -103,7 +104,6 @@ fn build_cache(
 
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let dataset = load_dataset(flags)?;
-    let mut gc = build_cache(&dataset, flags)?;
     let spec = WorkloadSpec {
         n_queries: get(flags, "queries", 300),
         pool_size: get(flags, "pool", 100),
@@ -112,6 +112,36 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         ..WorkloadSpec::default()
     };
     let workload = Workload::generate(dataset.graphs(), &spec);
+
+    // Multi-client mode: stripe the workload over N threads hammering one
+    // SharedGraphCache (optionally cross-checking answers with --check).
+    let clients: usize = get(flags, "clients", 1);
+    if clients > 1 {
+        let policy: PolicyKind =
+            flags.get("policy").map(|p| p.parse()).transpose()?.unwrap_or(PolicyKind::Hd);
+        let feature_size: usize = get(flags, "feature-size", 2);
+        let config = CacheConfig {
+            capacity: get(flags, "capacity", 50),
+            window_size: get(flags, "window", 10),
+            ..CacheConfig::default()
+        };
+        let run = run_multi_client(
+            &dataset,
+            &|| Box::new(FtvMethod::build(&dataset, feature_size)),
+            policy,
+            &config,
+            &workload,
+            clients,
+            flags.contains_key("check"),
+        );
+        print!("{}", run.render());
+        if run.mismatches > 0 {
+            return Err(format!("{} answer mismatches vs sequential replay", run.mismatches));
+        }
+        return Ok(());
+    }
+
+    let mut gc = build_cache(&dataset, flags)?;
     for wq in &workload.queries {
         gc.query(&wq.graph, wq.kind);
     }
@@ -172,6 +202,7 @@ const USAGE: &str = "usage: gc <generate|run|journey|compare> [--flag value]...
   gc generate --out ds.tve [--count N] [--seed S] [--model molecules|er|ba]
   gc run      --dataset ds.tve [--queries N] [--workload zipf|uniform|drift]
               [--policy LRU|POP|PIN|PINC|HD] [--capacity N] [--feature-size L] [--dev]
+              [--clients N] [--check]   (N>1: concurrent SharedGraphCache mode)
   gc journey  --dataset ds.tve [--seed S]
   gc compare  --dataset ds.tve [--queries N] [--workload ...] [--capacity N]";
 

@@ -81,7 +81,18 @@ pub fn developer_monitor(gc: &GraphCache, limit: usize) -> String {
     let mut out = String::new();
     out.push_str("=== Developer Monitor: cached entries by utility ===\n");
     out.push_str(&ascii::table(
-        &["id", "kind", "size", "|A|", "exact", "sub", "super", "tests_saved", "cost_saved", "last_used"],
+        &[
+            "id",
+            "kind",
+            "size",
+            "|A|",
+            "exact",
+            "sub",
+            "super",
+            "tests_saved",
+            "cost_saved",
+            "last_used",
+        ],
         &rows,
     ));
     out.push_str(&format!(
@@ -138,7 +149,8 @@ mod tests {
         let txt = developer_monitor(&gc, 5);
         assert!(txt.contains("tests_saved"));
         // Table rows bounded by limit.
-        let data_lines = txt.lines().filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit())).count();
+        let data_lines =
+            txt.lines().filter(|l| l.chars().next().is_some_and(|c| c.is_ascii_digit())).count();
         assert!(data_lines <= 5);
         assert!(data_lines >= 1);
     }

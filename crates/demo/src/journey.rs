@@ -45,14 +45,8 @@ fn render(gc: &GraphCache, query: &Graph, r: &QueryReport) -> String {
         ));
         return out;
     }
-    out.push_str(&format!(
-        "(a) H  — sub-case hits (query ⊑ cached): {:?}\n",
-        r.sub_hits
-    ));
-    out.push_str(&format!(
-        "(e) H' — super-case hits (cached ⊑ query): {:?}\n",
-        r.super_hits
-    ));
+    out.push_str(&format!("(a) H  — sub-case hits (query ⊑ cached): {:?}\n", r.sub_hits));
+    out.push_str(&format!("(e) H' — super-case hits (cached ⊑ query): {:?}\n", r.super_hits));
     out.push_str(&format!("(b) C_M — Method M candidates, |C_M| = {}\n", r.cm_size));
     out.push_str(&ascii::id_grid(&r.cm_set, per_row));
     out.push_str(&format!(
@@ -61,9 +55,7 @@ fn render(gc: &GraphCache, query: &Graph, r: &QueryReport) -> String {
         ascii::set_summary(&r.definite_set, 12)
     ));
     let pruned_away = r.cm_size.saturating_sub(r.verified + r.definite);
-    out.push_str(&format!(
-        "(d) S' — definite non-answers pruned, |S'| = {pruned_away}\n"
-    ));
+    out.push_str(&format!("(d) S' — definite non-answers pruned, |S'| = {pruned_away}\n"));
     out.push_str(&format!("(f) C  — reduced candidate set, |C| = {}\n", r.verified));
     out.push_str(&ascii::id_grid(&r.verified_set, per_row));
     out.push_str(&format!(

@@ -26,7 +26,9 @@ pub mod workload_run;
 
 pub use dashboard::{developer_monitor, end_user_monitor};
 pub use journey::{run_query_journey, QueryJourney};
-pub use workload_run::{run_workload_comparison, PolicyOutcome, WorkloadComparison};
+pub use workload_run::{
+    run_multi_client, run_workload_comparison, MultiClientRun, PolicyOutcome, WorkloadComparison,
+};
 
 /// Render a short id list like `39, 41, 43, …` capped at `max` items.
 pub fn ascii_ids(ids: &[gc_core::EntryId], max: usize) -> String {

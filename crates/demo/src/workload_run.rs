@@ -5,13 +5,18 @@
 //! and which entries each policy evicts, then renders the side-by-side
 //! comparison the demo shows — different policies evict different graphs,
 //! with different resulting speedups.
+//!
+//! Also hosts the **multi-client mode** ([`run_multi_client`]): the same
+//! workload striped across N client threads hammering one
+//! [`SharedGraphCache`], with optional per-answer verification against a
+//! sequential replay — the demo surface of the concurrent front-end.
 
 use crate::ascii;
-use gc_core::{CacheConfig, EntryId, GlobalStats, GraphCache, PolicyKind};
+use gc_core::{CacheConfig, EntryId, GlobalStats, GraphCache, PolicyKind, SharedGraphCache};
 use gc_method::{execute_base, Dataset, Method};
 use gc_workload::Workload;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Outcome of one policy's run over the workload.
 #[derive(Debug, Clone)]
@@ -74,13 +79,9 @@ pub fn run_workload_comparison(
     let outcomes = PolicyKind::all()
         .into_iter()
         .map(|policy| {
-            let mut gc = GraphCache::with_policy(
-                dataset.clone(),
-                make_method(),
-                policy,
-                config.clone(),
-            )
-            .expect("valid config");
+            let mut gc =
+                GraphCache::with_policy(dataset.clone(), make_method(), policy, config.clone())
+                    .expect("valid config");
             let mut evicted = Vec::new();
             let mut hit_timeline = Vec::with_capacity(workload.len());
             let mut hit_pct_timeline = Vec::with_capacity(workload.len());
@@ -101,7 +102,11 @@ pub fn run_workload_comparison(
                 resident: gc.cache().ids(),
                 hit_timeline,
                 hit_pct_timeline,
-                test_speedup: if gc_avg_tests > 0.0 { base_avg_tests / gc_avg_tests } else { base_avg_tests },
+                test_speedup: if gc_avg_tests > 0.0 {
+                    base_avg_tests / gc_avg_tests
+                } else {
+                    base_avg_tests
+                },
                 time_speedup: if gc_avg_time > Duration::ZERO {
                     base_avg_time.as_secs_f64() / gc_avg_time.as_secs_f64()
                 } else {
@@ -141,15 +146,20 @@ impl WorkloadComparison {
             })
             .collect();
         out.push_str(&ascii::table(
-            &["policy", "hit%", "tests/q", "test-speedup", "time-speedup", "#evicted", "evicted ids"],
+            &[
+                "policy",
+                "hit%",
+                "tests/q",
+                "test-speedup",
+                "time-speedup",
+                "#evicted",
+                "evicted ids",
+            ],
             &rows,
         ));
         out.push('\n');
-        let bars: Vec<(String, f64)> = self
-            .outcomes
-            .iter()
-            .map(|o| (o.policy.to_string(), o.test_speedup))
-            .collect();
+        let bars: Vec<(String, f64)> =
+            self.outcomes.iter().map(|o| (o.policy.to_string(), o.test_speedup)).collect();
         out.push_str("test-speedup by policy:\n");
         out.push_str(&ascii::bar_chart(&bars, 40));
         out
@@ -190,11 +200,161 @@ impl WorkloadComparison {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-client mode
+// ---------------------------------------------------------------------------
+
+/// Outcome of running a workload through one [`SharedGraphCache`] from N
+/// concurrent client threads.
+#[derive(Debug, Clone)]
+pub struct MultiClientRun {
+    /// Client thread count.
+    pub clients: usize,
+    /// Replacement policy used.
+    pub policy: PolicyKind,
+    /// Total queries served (across all clients).
+    pub queries: usize,
+    /// Wall-clock time from first to last query.
+    pub elapsed: Duration,
+    /// Served queries per second of wall-clock time.
+    pub throughput_qps: f64,
+    /// Final cache statistics.
+    pub stats: GlobalStats,
+    /// Answers that differed from the sequential replay (always 0; counted
+    /// only when verification was requested).
+    pub mismatches: usize,
+    /// Whether answers were verified against a sequential [`GraphCache`]
+    /// replay of the same workload.
+    pub verified: bool,
+}
+
+/// Run `workload` through one [`SharedGraphCache`] from `clients` threads
+/// (queries striped round-robin), measuring throughput.
+///
+/// With `verify_answers`, the same workload is first replayed through a
+/// sequential [`GraphCache`] over an identically-built Method M, and every
+/// concurrent answer is compared bit-for-bit (paper §1 Problem (2): the
+/// shared front-end may not introduce false positives/negatives).
+pub fn run_multi_client(
+    dataset: &Arc<Dataset>,
+    make_method: &dyn Fn() -> Box<dyn Method>,
+    policy: PolicyKind,
+    config: &CacheConfig,
+    workload: &Workload,
+    clients: usize,
+    verify_answers: bool,
+) -> MultiClientRun {
+    let clients = clients.max(1);
+    let expected: Vec<gc_graph::BitSet> = if verify_answers {
+        let mut seq =
+            GraphCache::with_policy(dataset.clone(), make_method(), policy, config.clone())
+                .expect("valid config");
+        workload.queries.iter().map(|wq| seq.query(&wq.graph, wq.kind).answer).collect()
+    } else {
+        Vec::new()
+    };
+
+    let gc = SharedGraphCache::with_policy(dataset.clone(), make_method(), policy, config.clone())
+        .expect("valid config");
+    let start = Instant::now();
+    let mismatches: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|t| {
+                let gc = &gc;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let mut bad = 0usize;
+                    for (i, wq) in workload.queries.iter().enumerate() {
+                        if i % clients != t {
+                            continue;
+                        }
+                        let report = gc.query(&wq.graph, wq.kind);
+                        if verify_answers && report.answer != expected[i] {
+                            bad += 1;
+                        }
+                    }
+                    bad
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).sum()
+    });
+    let elapsed = start.elapsed();
+    let queries = workload.len();
+    MultiClientRun {
+        clients,
+        policy,
+        queries,
+        elapsed,
+        throughput_qps: queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        stats: gc.stats(),
+        mismatches,
+        verified: verify_answers,
+    }
+}
+
+impl MultiClientRun {
+    /// Render the multi-client summary panel.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "=== Multi-client run: {} clients over one SharedGraphCache ({}) ===\n",
+            self.clients, self.policy
+        ));
+        out.push_str(&ascii::table(
+            &["clients", "queries", "wall time", "throughput", "hit%", "tests/q", "evicted"],
+            &[vec![
+                self.clients.to_string(),
+                self.queries.to_string(),
+                format!("{:.3} s", self.elapsed.as_secs_f64()),
+                format!("{:.0} q/s", self.throughput_qps),
+                format!("{:.1}%", 100.0 * self.stats.hit_ratio()),
+                format!("{:.2}", self.stats.avg_tests_per_query()),
+                self.stats.evicted.to_string(),
+            ]],
+        ));
+        if self.verified {
+            out.push_str(&format!(
+                "answers vs sequential replay: {}\n",
+                if self.mismatches == 0 {
+                    "identical (bit-for-bit)".to_string()
+                } else {
+                    format!("{} MISMATCHES", self.mismatches)
+                }
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use gc_method::SiMethod;
     use gc_workload::{molecule_dataset, WorkloadKind, WorkloadSpec};
+
+    #[test]
+    fn multi_client_matches_sequential_answers() {
+        let dataset = Arc::new(Dataset::new(molecule_dataset(12, 77)));
+        let spec = WorkloadSpec {
+            n_queries: 40,
+            pool_size: 10,
+            kind: WorkloadKind::Zipf { skew: 1.1 },
+            seed: 3,
+            ..WorkloadSpec::default()
+        };
+        let w = Workload::generate(dataset.graphs(), &spec);
+        let cfg = CacheConfig { capacity: 8, window_size: 2, ..CacheConfig::default() };
+        let run =
+            run_multi_client(&dataset, &|| Box::new(SiMethod), PolicyKind::Hd, &cfg, &w, 4, true);
+        assert_eq!(run.mismatches, 0, "shared answers must equal sequential replay");
+        assert_eq!(run.stats.queries, 40);
+        assert_eq!(run.queries, 40);
+        assert!(run.throughput_qps > 0.0);
+        let txt = run.render();
+        assert!(txt.contains("identical"), "{txt}");
+        assert!(txt.contains("4"));
+    }
 
     #[test]
     fn comparison_covers_all_policies() {

@@ -142,7 +142,11 @@ impl BitSet {
 
     /// Iterator over member indices in ascending order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { blocks: &self.blocks, block_idx: 0, current: self.blocks.first().copied().unwrap_or(0) }
+        Iter {
+            blocks: &self.blocks,
+            block_idx: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
     }
 
     /// Collect members into a `Vec<usize>` (ascending).

@@ -100,7 +100,11 @@ impl Graph {
         let nu = self.neighbors(u);
         let nv = self.neighbors(v);
         // Probe the smaller adjacency list.
-        if nu.len() <= nv.len() { nu.binary_search(&v).is_ok() } else { nv.binary_search(&u).is_ok() }
+        if nu.len() <= nv.len() {
+            nu.binary_search(&v).is_ok()
+        } else {
+            nv.binary_search(&u).is_ok()
+        }
     }
 
     /// Iterator over vertex ids `0..n`.

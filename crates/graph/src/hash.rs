@@ -141,16 +141,8 @@ mod tests {
     #[test]
     fn different_structure_different_fingerprint() {
         // Path P4 vs star S3, same labels and same degree *sum*.
-        let p4 = graph_from_parts(
-            &[Label(0); 4],
-            &[(0, 1), (1, 2), (2, 3)],
-        )
-        .unwrap();
-        let s3 = graph_from_parts(
-            &[Label(0); 4],
-            &[(0, 1), (0, 2), (0, 3)],
-        )
-        .unwrap();
+        let p4 = graph_from_parts(&[Label(0); 4], &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let s3 = graph_from_parts(&[Label(0); 4], &[(0, 1), (0, 2), (0, 3)]).unwrap();
         assert_ne!(fingerprint(&p4), fingerprint(&s3));
     }
 
@@ -163,11 +155,9 @@ mod tests {
 
     #[test]
     fn wl_order_is_permutation() {
-        let g = graph_from_parts(
-            &[Label(0), Label(1), Label(0), Label(1)],
-            &[(0, 1), (1, 2), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            graph_from_parts(&[Label(0), Label(1), Label(0), Label(1)], &[(0, 1), (1, 2), (2, 3)])
+                .unwrap();
         let mut order = wl_vertex_order(&g);
         order.sort_unstable();
         assert_eq!(order, vec![0, 1, 2, 3]);

@@ -70,10 +70,8 @@ pub fn read_dataset<R: Read>(reader: R) -> Result<Vec<Graph>> {
                 let v: u32 = parse_field(parts.next(), lineno, "edge endpoint")?;
                 // Some dataset dumps carry an edge label as a third field; the
                 // model ignores it (vertex-labelled graphs), per the paper.
-                b.add_edge(u, v).map_err(|e| GraphError::Parse {
-                    line: lineno,
-                    msg: e.to_string(),
-                })?;
+                b.add_edge(u, v)
+                    .map_err(|e| GraphError::Parse { line: lineno, msg: e.to_string() })?;
             }
             Some(tok) => {
                 return Err(GraphError::Parse {
@@ -90,16 +88,9 @@ pub fn read_dataset<R: Read>(reader: R) -> Result<Vec<Graph>> {
     Ok(graphs)
 }
 
-fn parse_field<T: std::str::FromStr>(
-    field: Option<&str>,
-    line: usize,
-    what: &str,
-) -> Result<T> {
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, line: usize, what: &str) -> Result<T> {
     let raw = field.ok_or_else(|| GraphError::Parse { line, msg: format!("missing {what}") })?;
-    raw.parse().map_err(|_| GraphError::Parse {
-        line,
-        msg: format!("invalid {what}: {raw:?}"),
-    })
+    raw.parse().map_err(|_| GraphError::Parse { line, msg: format!("invalid {what}: {raw:?}") })
 }
 
 /// Parse a dataset from an in-memory string.

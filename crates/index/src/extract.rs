@@ -91,7 +91,16 @@ pub fn enumerate_label_paths(g: &Graph, cfg: &FeatureConfig) -> (Vec<Vec<Label>>
     }
 
     for v in g.vertices() {
-        dfs(g, v, cfg.max_len, &mut on_path, &mut path_labels, &mut out, cfg.max_paths, &mut truncated);
+        dfs(
+            g,
+            v,
+            cfg.max_len,
+            &mut on_path,
+            &mut path_labels,
+            &mut out,
+            cfg.max_paths,
+            &mut truncated,
+        );
         if truncated {
             break;
         }

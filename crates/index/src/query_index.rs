@@ -217,9 +217,9 @@ mod tests {
         let cfg = FeatureConfig::with_max_len(2);
         let cached = vec![
             g(&[0, 1], &[(0, 1)]),                    // 0: edge 0-1
-            g(&[0, 1, 2], &[(0, 1), (1, 2)]),          // 1: path 0-1-2
-            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]),  // 2: triangle
-            g(&[7], &[]),                              // 3: isolated 7
+            g(&[0, 1, 2], &[(0, 1), (1, 2)]),         // 1: path 0-1-2
+            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]), // 2: triangle
+            g(&[7], &[]),                             // 3: isolated 7
         ];
         let mut qi = QueryIndex::new(cfg);
         for (i, c) in cached.iter().enumerate() {

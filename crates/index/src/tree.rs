@@ -113,8 +113,7 @@ fn ahu_hash(g: &Graph, edges: &[(VertexId, VertexId)]) -> u64 {
 }
 
 fn tree_centers(adj: &HashMap<VertexId, Vec<VertexId>>) -> Vec<VertexId> {
-    let mut degree: HashMap<VertexId, usize> =
-        adj.iter().map(|(&v, ns)| (v, ns.len())).collect();
+    let mut degree: HashMap<VertexId, usize> = adj.iter().map(|(&v, ns)| (v, ns.len())).collect();
     let mut remaining: HashSet<VertexId> = adj.keys().copied().collect();
     let mut leaves: Vec<VertexId> =
         degree.iter().filter(|&(_, &d)| d <= 1).map(|(&v, _)| v).collect();
@@ -275,8 +274,8 @@ impl TreeIndex {
         let mut bytes = self.totals.capacity() * std::mem::size_of::<u64>()
             + self.unfiltered.capacity() * std::mem::size_of::<GraphId>();
         for p in self.postings.values() {
-            bytes += p.0.capacity() * std::mem::size_of::<(GraphId, u32)>()
-                + std::mem::size_of::<u64>();
+            bytes +=
+                p.0.capacity() * std::mem::size_of::<(GraphId, u32)>() + std::mem::size_of::<u64>();
         }
         bytes
     }

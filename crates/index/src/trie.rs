@@ -113,9 +113,11 @@ impl PathTrie {
     pub fn count(&self, labels: &[Label], gid: GraphId) -> u32 {
         self.walk(labels)
             .and_then(|n| {
-                self.nodes[n].postings.binary_search_by_key(&gid, |&(g, _)| g).ok().map(|i| {
-                    self.nodes[n].postings[i].1
-                })
+                self.nodes[n]
+                    .postings
+                    .binary_search_by_key(&gid, |&(g, _)| g)
+                    .ok()
+                    .map(|i| self.nodes[n].postings[i].1)
             })
             .unwrap_or(0)
     }
@@ -243,10 +245,10 @@ mod tests {
 
     fn small_dataset() -> Vec<Graph> {
         vec![
-            g(&[0, 1, 2], &[(0, 1), (1, 2)]),             // path 0-1-2
-            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]),      // triangle 0,1,0
-            g(&[3, 3], &[(0, 1)]),                         // edge 3-3
-            g(&[0, 1], &[(0, 1)]),                         // edge 0-1
+            g(&[0, 1, 2], &[(0, 1), (1, 2)]),         // path 0-1-2
+            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]), // triangle 0,1,0
+            g(&[3, 3], &[(0, 1)]),                    // edge 3-3
+            g(&[0, 1], &[(0, 1)]),                    // edge 0-1
         ]
     }
 

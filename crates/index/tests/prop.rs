@@ -1,7 +1,7 @@
 //! Property tests: both index families are sound overapproximations.
 
-use gc_index::{FeatureConfig, PathTrie, QueryIndex};
 use gc_graph::{Graph, Label};
+use gc_index::{FeatureConfig, PathTrie, QueryIndex};
 use proptest::prelude::*;
 
 fn arb_graph(max_n: usize, max_label: u32) -> impl Strategy<Value = Graph> {

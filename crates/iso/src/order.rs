@@ -48,11 +48,11 @@ pub fn search_order(pattern: &Graph, label_freq: Option<&[u32]>) -> Vec<VertexId
                 Some(b) => {
                     let key = |u: VertexId| {
                         (
-                            connections[u as usize],                    // more connections first
-                            std::cmp::Reverse(freq_of(u)),              // rarer target label first
-                            std::cmp::Reverse(own_freq(u)),             // rarer pattern label first
-                            pattern.degree(u) as u32,                   // higher degree first
-                            std::cmp::Reverse(u),                       // lower id first
+                            connections[u as usize],        // more connections first
+                            std::cmp::Reverse(freq_of(u)),  // rarer target label first
+                            std::cmp::Reverse(own_freq(u)), // rarer pattern label first
+                            pattern.degree(u) as u32,       // higher degree first
+                            std::cmp::Reverse(u),           // lower id first
                         )
                     };
                     key(v) > key(b)
@@ -81,11 +81,9 @@ mod tests {
 
     #[test]
     fn order_is_permutation() {
-        let g = graph_from_parts(
-            &[Label(0), Label(1), Label(0), Label(2)],
-            &[(0, 1), (1, 2), (2, 3)],
-        )
-        .unwrap();
+        let g =
+            graph_from_parts(&[Label(0), Label(1), Label(0), Label(2)], &[(0, 1), (1, 2), (2, 3)])
+                .unwrap();
         let mut o = search_order(&g, None);
         o.sort_unstable();
         assert_eq!(o, vec![0, 1, 2, 3]);
@@ -95,11 +93,8 @@ mod tests {
     fn connected_prefix_property() {
         // In a connected pattern, every vertex after the first must touch an
         // earlier one.
-        let g = graph_from_parts(
-            &[Label(0); 6],
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)],
-        )
-        .unwrap();
+        let g = graph_from_parts(&[Label(0); 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)])
+            .unwrap();
         let o = search_order(&g, None);
         for (i, &v) in o.iter().enumerate().skip(1) {
             let touches = g.neighbors(v).iter().any(|w| o[..i].contains(w));
@@ -110,11 +105,7 @@ mod tests {
     #[test]
     fn rare_target_label_goes_first() {
         // Vertex 2 has label 9 which is rare in the target stats.
-        let g = graph_from_parts(
-            &[Label(0), Label(0), Label(9)],
-            &[(0, 1), (1, 2)],
-        )
-        .unwrap();
+        let g = graph_from_parts(&[Label(0), Label(0), Label(9)], &[(0, 1), (1, 2)]).unwrap();
         let mut freq = vec![1000u32; 10];
         freq[9] = 1;
         let o = search_order(&g, Some(&freq));

@@ -330,7 +330,10 @@ mod tests {
             (g(&[0, 0, 0], &[(0, 1), (1, 2)]), g(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)])),
             (g(&[0, 1], &[(0, 1)]), g(&[1, 0, 1], &[(0, 1), (1, 2)])),
             (g(&[3], &[]), g(&[0, 1, 2], &[(0, 1)])),
-            (g(&[0, 0, 1, 1], &[(0, 2), (1, 3), (2, 3)]), g(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)])),
+            (
+                g(&[0, 0, 1, 1], &[(0, 2), (1, 3), (2, 3)]),
+                g(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+            ),
         ];
         for (p, t) in &cases {
             assert_eq!(exists(p, t), crate::vf2::exists(p, t), "p={p:?} t={t:?}");

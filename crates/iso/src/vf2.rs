@@ -127,8 +127,7 @@ impl<'a> State<'a> {
         if self.t.degree(v) < self.p.degree(u) {
             return false;
         }
-        if !self.p_sig.is_empty()
-            && !sig_dominates(self.t_sig[v as usize], self.p_sig[u as usize])
+        if !self.p_sig.is_empty() && !sig_dominates(self.t_sig[v as usize], self.p_sig[u as usize])
         {
             return false;
         }
@@ -158,9 +157,7 @@ impl<'a> State<'a> {
         let mut anchor: Option<VertexId> = None; // image in target
         for &w in self.p.neighbors(u) {
             let img = self.mapping[w as usize];
-            if img != UNMAPPED
-                && anchor.is_none_or(|a| self.t.degree(img) < self.t.degree(a))
-            {
+            if img != UNMAPPED && anchor.is_none_or(|a| self.t.degree(img) < self.t.degree(a)) {
                 anchor = Some(img);
             }
         }

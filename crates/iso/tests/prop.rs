@@ -48,8 +48,7 @@ fn arb_graph(max_n: usize, max_label: u32) -> impl Strategy<Value = Graph> {
     (0..=max_n).prop_flat_map(move |n| {
         let labels = proptest::collection::vec(0..=max_label, n);
         let edges = if n >= 2 {
-            proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * (n - 1) / 2))
-                .boxed()
+            proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * (n - 1) / 2)).boxed()
         } else {
             Just(Vec::new()).boxed()
         };

@@ -70,10 +70,10 @@ mod tests {
 
     fn ds() -> Dataset {
         Dataset::new(vec![
-            g(&[0, 1, 2], &[(0, 1), (1, 2)]),             // contains 0-1
-            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]),      // contains 0-1
-            g(&[3, 3], &[(0, 1)]),                         // does not
-            g(&[0, 1], &[(0, 1)]),                         // exact
+            g(&[0, 1, 2], &[(0, 1), (1, 2)]),         // contains 0-1
+            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]), // contains 0-1
+            g(&[3, 3], &[(0, 1)]),                    // does not
+            g(&[0, 1], &[(0, 1)]),                    // exact
         ])
     }
 

@@ -18,8 +18,12 @@ impl Dataset {
     /// Wrap a vector of graphs.
     pub fn new(graphs: Vec<Graph>) -> Self {
         let summaries = graphs.iter().map(GraphSummary::of).collect();
-        let max_label =
-            graphs.iter().filter_map(|g| g.max_label()).map(|l| l.0).max().map_or(0, |m| m as usize + 1);
+        let max_label = graphs
+            .iter()
+            .filter_map(|g| g.max_label())
+            .map(|l| l.0)
+            .max()
+            .map_or(0, |m| m as usize + 1);
         let mut label_freq = vec![0u32; max_label];
         for g in &graphs {
             for v in g.vertices() {

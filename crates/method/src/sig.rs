@@ -89,8 +89,7 @@ mod tests {
     #[test]
     fn answers_agree_with_other_methods_both_kinds() {
         let d = ds();
-        let queries =
-            [g(&[0, 1], &[(0, 1)]), g(&[0, 1, 0, 2], &[(0, 1), (1, 2), (0, 2), (1, 3)])];
+        let queries = [g(&[0, 1], &[(0, 1)]), g(&[0, 1, 0, 2], &[(0, 1), (1, 2), (0, 2), (1, 3)])];
         for q in &queries {
             for kind in [QueryKind::Subgraph, QueryKind::Supergraph] {
                 let a = execute_base(&d, &SigMethod, Engine::Vf2, q, kind);

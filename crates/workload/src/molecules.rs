@@ -104,10 +104,7 @@ pub fn molecule(params: &MoleculeParams, rng: &mut impl Rng) -> Graph {
             continue;
         }
         let w = rng.gen_range(0..n);
-        if w != v
-            && degree[w] < params.max_degree
-            && !b.has_edge(v as VertexId, w as VertexId)
-        {
+        if w != v && degree[w] < params.max_degree && !b.has_edge(v as VertexId, w as VertexId) {
             b.add_edge(v as VertexId, w as VertexId).expect("checked non-duplicate");
             degree[v] += 1;
             degree[w] += 1;

@@ -78,7 +78,8 @@ fn main() {
     let workload = Workload::generate(dataset.graphs(), &spec);
 
     println!("racing a custom FIFO policy against bundled HD on {} queries\n", workload.len());
-    for policy in [Box::new(FifoPolicy::default()) as Box<dyn ReplacementPolicy>, PolicyKind::Hd.make()]
+    for policy in
+        [Box::new(FifoPolicy::default()) as Box<dyn ReplacementPolicy>, PolicyKind::Hd.make()]
     {
         let (name, stats) = run(&dataset, policy, &workload);
         println!(

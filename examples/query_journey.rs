@@ -13,9 +13,9 @@
 //! cargo run --release --example query_journey
 //! ```
 
+use gc_workload::molecules::{molecule_dataset_with, MoleculeParams};
 use graphcache::demo::run_query_journey;
 use graphcache::prelude::*;
-use gc_workload::molecules::{molecule_dataset_with, MoleculeParams};
 use rand::rngs::StdRng;
 use std::sync::Arc;
 
@@ -25,10 +25,8 @@ fn main() {
     // the 75 of Fig. 3(b). A nearly label-homogeneous dataset (hydrocarbon
     // backbones: 85% C, 15% O) keeps the filter honest — most molecules
     // share the query's label paths, exactly the regime of the demo figure.
-    let params = MoleculeParams {
-        label_weights: vec![(0, 0.85), (1, 0.15)],
-        ..MoleculeParams::default()
-    };
+    let params =
+        MoleculeParams { label_weights: vec![(0, 0.85), (1, 0.15)], ..MoleculeParams::default() };
     let dataset = Arc::new(Dataset::new(molecule_dataset_with(100, &params, 1812)));
     let method = Box::new(FtvMethod::build(&dataset, 1));
     let mut gc = GraphCache::with_policy(

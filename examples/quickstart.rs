@@ -60,7 +60,10 @@ fn main() {
     println!("  exact hits         : {}", stats.exact_hits);
     println!("  sub-case hits      : {}", stats.sub_hits);
     println!("  super-case hits    : {}", stats.super_hits);
-    println!("  tests executed     : {} (+{} cache probes)", stats.tests_executed, stats.probe_tests);
+    println!(
+        "  tests executed     : {} (+{} cache probes)",
+        stats.tests_executed, stats.probe_tests
+    );
     println!("  tests saved        : {}", stats.tests_saved);
     let base_avg = base_tests as f64 / workload.len() as f64;
     let speedup = base_avg / stats.avg_tests_per_query();

@@ -10,8 +10,8 @@
 //! cargo run --release --example social_network
 //! ```
 
-use graphcache::prelude::*;
 use gc_workload::random::ba_dataset;
+use graphcache::prelude::*;
 use std::sync::Arc;
 
 fn main() {
@@ -74,8 +74,5 @@ fn main() {
         stats.avg_tests_per_query(),
         base_avg
     );
-    println!(
-        "  sub-iso test speedup : {:.2}x",
-        base_avg / stats.avg_tests_per_query()
-    );
+    println!("  sub-iso test speedup : {:.2}x", base_avg / stats.avg_tests_per_query());
 }

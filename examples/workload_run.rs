@@ -41,11 +41,7 @@ fn main() {
         ..WorkloadSpec::default()
     };
     let workload = Workload::generate(dataset.graphs(), &spec);
-    println!(
-        "workload: {} queries ({family}), dataset {} graphs\n",
-        workload.len(),
-        dataset.len()
-    );
+    println!("workload: {} queries ({family}), dataset {} graphs\n", workload.len(), dataset.len());
 
     // Capacity deliberately below the working set so the policies must
     // actually choose victims (the point of Fig. 2(c)).

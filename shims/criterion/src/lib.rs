@@ -1,0 +1,249 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`] with [`BenchmarkId`], `sample_size`,
+//! `measurement_time`, [`Bencher::iter`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: per benchmark, a short warm-up then timed batches until
+//! the measurement budget is spent; reports mean ns/iter, min and max batch
+//! means. No plots, no statistics beyond that — it is a smoke-and-trend
+//! harness for an offline container, not a replacement for criterion's
+//! analysis. Passing `--test` (as `cargo test` does for harness-less bench
+//! targets) runs every closure once and skips measurement.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id, like criterion's.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Id from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Drives one benchmark's iterations.
+pub struct Bencher<'a> {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    result: &'a mut Option<Measurement>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+impl Bencher<'_> {
+    /// Measure `f` (its return value is black-boxed so work is not optimized
+    /// away).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up and batch-size calibration: grow the batch until one batch
+        // takes ~1/20 of the budget (so we get ~sample_size batches) or at
+        // least 1ms.
+        let mut batch: u64 = 1;
+        let target_batch = (self.measurement_time / 20).max(Duration::from_millis(1));
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= target_batch || batch >= 1 << 30 {
+                break;
+            }
+            let grow = if dt.is_zero() {
+                8
+            } else {
+                (target_batch.as_nanos() / dt.as_nanos().max(1)).clamp(2, 8) as u64
+            };
+            batch = batch.saturating_mul(grow);
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        let mut batches: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        while Instant::now() < deadline || batches.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            batches.push(dt.as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+            if batches.len() >= self.sample_size.max(10) * 4 {
+                break;
+            }
+        }
+        let mean = batches.iter().sum::<f64>() / batches.len() as f64;
+        let min = batches.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = batches.iter().cloned().fold(0.0f64, f64::max);
+        *self.result =
+            Some(Measurement { mean_ns: mean, min_ns: min, max_ns: max, iters: total_iters });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measurement batches to aim for.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut result = None;
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            result: &mut result,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        match result {
+            Some(m) => println!(
+                "bench: {full:<50} {:>12.1} ns/iter (min {:.1}, max {:.1}, {} iters)",
+                m.mean_ns, m.min_ns, m.max_ns, m.iters
+            ),
+            None => println!("bench: {full:<50} ok (test mode)"),
+        }
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnOnce(&mut Bencher<'_>)) {
+        self.run_one(id.into(), f);
+    }
+
+    /// Benchmark a closure with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher<'_>, &I),
+    ) {
+        self.run_one(id.name, |b| f(b, input));
+    }
+
+    /// Finish the group (printing is immediate; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness handle.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnOnce(&mut Bencher<'_>)) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Declare a benchmark group runner, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main`, like criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benches_run_and_report() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5).measurement_time(Duration::from_millis(20));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut count = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("once", |b| b.iter(|| count += 1));
+        group.finish();
+        assert_eq!(count, 1);
+    }
+}

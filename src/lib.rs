@@ -14,8 +14,11 @@
 //!   the dynamic query index);
 //! * [`method`] ([`gc_method`]) — the pluggable Method M abstraction
 //!   (SI and FTV base methods);
-//! * [`core`] ([`gc_core`]) — the GraphCache kernel: semantic cache,
-//!   replacement policies (LRU/POP/PIN/PINC/HD), window manager, runtime;
+//! * [`core`] ([`gc_core`]) — the GraphCache kernel: the staged query
+//!   pipeline (filter → probe → prune → verify → admit), replacement
+//!   policies (LRU/POP/PIN/PINC/HD), window manager, the sequential
+//!   [`GraphCache`](prelude::GraphCache) runtime and the concurrent sharded
+//!   [`SharedGraphCache`](prelude::SharedGraphCache) front-end;
 //! * [`workload`] ([`gc_workload`]) — dataset generators and workload
 //!   synthesizers;
 //! * [`demo`] ([`gc_demo`]) — the text Demonstrator (Query Journey /
@@ -62,9 +65,9 @@ pub use gc_workload as workload;
 pub mod prelude {
     pub use gc_core::{
         CacheConfig, CacheEntry, EntryId, GlobalStats, GraphCache, HitCredit, HitKind, Policy,
-        PolicyKind, QueryReport, ReplacementPolicy,
+        PolicyKind, QueryReport, ReplacementPolicy, SharedGraphCache, StatsMonitor,
     };
-    pub use gc_demo::{run_query_journey, run_workload_comparison};
+    pub use gc_demo::{run_multi_client, run_query_journey, run_workload_comparison};
     pub use gc_graph::{BitSet, Graph, GraphBuilder, Label};
     pub use gc_iso::{is_subgraph, Matcher};
     pub use gc_method::{execute_base, Dataset, Engine, FtvMethod, Method, QueryKind, SiMethod};

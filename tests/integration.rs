@@ -5,11 +5,7 @@ use graphcache::prelude::*;
 use rand::rngs::StdRng;
 use std::sync::Arc;
 
-fn molecule_cache(
-    n_graphs: usize,
-    seed: u64,
-    capacity: usize,
-) -> (Arc<Dataset>, GraphCache) {
+fn molecule_cache(n_graphs: usize, seed: u64, capacity: usize) -> (Arc<Dataset>, GraphCache) {
     let dataset = Arc::new(Dataset::new(molecule_dataset(n_graphs, seed)));
     let gc = GraphCache::with_policy(
         dataset.clone(),
@@ -215,8 +211,8 @@ fn skewed_workload_yields_speedup() {
     let workload = Workload::generate(dataset.graphs(), &spec);
     let mut base_tests = 0u64;
     for wq in &workload.queries {
-        base_tests +=
-            execute_base(&dataset, &reference, Engine::Vf2, &wq.graph, wq.kind).sub_iso_tests as u64;
+        base_tests += execute_base(&dataset, &reference, Engine::Vf2, &wq.graph, wq.kind)
+            .sub_iso_tests as u64;
         gc.query(&wq.graph, wq.kind);
     }
     let stats = gc.stats();
