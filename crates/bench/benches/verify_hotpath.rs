@@ -1,0 +1,57 @@
+//! Microbench: from-scratch `Engine::verify` vs the profiled
+//! `Engine::verify_candidate` hot path (per-query profile + dataset
+//! profiles + reusable scratch), for both engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_method::{Dataset, Engine, QueryKind, QueryProfile, VfScratch};
+use gc_workload::{extract_query, molecule_dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_hotpath(c: &mut Criterion) {
+    let dataset = Dataset::new(molecule_dataset(20, 909));
+    let mut rng = StdRng::seed_from_u64(4);
+    let queries: Vec<_> = (0..8)
+        .map(|i| {
+            extract_query(dataset.graph((i % dataset.len()) as u32), 8, &mut rng)
+                .expect("molecule graphs have edges")
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("verify_hotpath");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for engine in [Engine::Vf2, Engine::Ullmann] {
+        group.bench_with_input(BenchmarkId::new("from_scratch", engine), &engine, |b, _| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for q in &queries {
+                    for gid in 0..dataset.len() as u32 {
+                        let (ok, _) = engine.verify(q, dataset.graph(gid));
+                        hits += usize::from(ok);
+                    }
+                }
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("profiled", engine), &engine, |b, _| {
+            b.iter(|| {
+                let mut scratch = VfScratch::new();
+                let mut hits = 0usize;
+                for q in &queries {
+                    let profile = QueryProfile::new(&dataset, q, QueryKind::Subgraph);
+                    for gid in 0..dataset.len() as u32 {
+                        let (ok, _) =
+                            engine.verify_candidate(&dataset, &profile, q, gid, &mut scratch);
+                        hits += usize::from(ok);
+                    }
+                }
+                hits
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

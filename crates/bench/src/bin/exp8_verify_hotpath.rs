@@ -1,0 +1,182 @@
+//! Experiment VIII: verification hot-path throughput.
+//!
+//! The ROADMAP's north star demands the verification inner loop run as fast
+//! as the hardware allows. This harness measures the per-candidate cost of
+//! the two verification tiers on the SI-method path (every dataset graph is
+//! a candidate, so the loop shape matches the cache's verify stage exactly):
+//!
+//! * **from-scratch** — the classic `Engine::verify`: summaries, label
+//!   histograms, search order and neighbour signatures recomputed per
+//!   candidate pair, fresh mapping/domain allocations per test;
+//! * **profiled** — `Engine::verify_candidate`: one `QueryProfile` per
+//!   query, dataset-side profiles precomputed at load time, one reusable
+//!   `VfScratch` — zero per-candidate setup or allocation.
+//!
+//! Both tiers are answer-checked against each other on every pair (the run
+//! aborts on any divergence, making this a correctness gate as well as a
+//! benchmark). Writes `bench_results/exp8_verify_hotpath.json` and — as the
+//! repo's verification perf-trajectory artifact — `BENCH_verify.json` at
+//! the working-directory root.
+//!
+//! `--smoke` shrinks the workload for CI regression gating (seconds, not
+//! minutes); the committed `BENCH_verify.json` should come from a full run.
+
+use gc_bench::{print_table, write_artifact};
+use gc_method::{Dataset, Engine, QueryKind, QueryProfile, VfScratch};
+use gc_workload::{extract_query, molecule_dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct HotpathPoint {
+    engine: String,
+    kind: String,
+    /// Candidate pairs verified per measured pass.
+    candidates: u64,
+    old_wall_s: f64,
+    new_wall_s: f64,
+    /// Per-candidate verification throughput (pairs/second).
+    old_candidates_per_s: f64,
+    new_candidates_per_s: f64,
+    /// Search-step throughput (steps/second).
+    old_steps_per_s: f64,
+    new_steps_per_s: f64,
+    /// `old_wall_s / new_wall_s` — the number that must stay ≥ 1.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Exp8Artifact {
+    smoke: bool,
+    dataset_graphs: usize,
+    n_queries: usize,
+    query_edges: usize,
+    repeats: usize,
+    points: Vec<HotpathPoint>,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_graphs = if smoke { 30 } else { 120 };
+    let n_queries = if smoke { 6 } else { 30 };
+    let query_edges = 8;
+    let repeats = if smoke { 1 } else { 3 };
+
+    let graphs = molecule_dataset(n_graphs, 4242);
+    let dataset = Dataset::new(graphs);
+    let mut rng = StdRng::seed_from_u64(17);
+    let queries: Vec<_> = (0..n_queries)
+        .map(|i| {
+            extract_query(dataset.graph((i % dataset.len()) as u32), query_edges, &mut rng)
+                .expect("molecule graphs have edges")
+        })
+        .collect();
+
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for engine in [Engine::Vf2, Engine::Ullmann] {
+        for kind in [QueryKind::Subgraph, QueryKind::Supergraph] {
+            let candidates = (queries.len() * dataset.len()) as u64;
+
+            // --- from-scratch tier (and the reference answers) -------------
+            let mut old_steps = 0u64;
+            let mut old_answers: Vec<bool> = Vec::new();
+            let t0 = Instant::now();
+            for _ in 0..repeats {
+                old_steps = 0;
+                old_answers.clear();
+                for q in &queries {
+                    for gid in 0..dataset.len() as u32 {
+                        let target = dataset.graph(gid);
+                        let (ok, steps) = match kind {
+                            QueryKind::Subgraph => engine.verify(q, target),
+                            QueryKind::Supergraph => engine.verify(target, q),
+                        };
+                        old_steps += steps;
+                        old_answers.push(ok);
+                    }
+                }
+            }
+            let old_wall = t0.elapsed().as_secs_f64() / repeats as f64;
+
+            // --- profiled tier, answer-checked -----------------------------
+            let mut new_steps = 0u64;
+            let mut scratch = VfScratch::new();
+            let t1 = Instant::now();
+            for _ in 0..repeats {
+                new_steps = 0;
+                let mut at = 0usize;
+                for q in &queries {
+                    let profile = QueryProfile::new(&dataset, q, kind);
+                    for gid in 0..dataset.len() as u32 {
+                        let (ok, steps) =
+                            engine.verify_candidate(&dataset, &profile, q, gid, &mut scratch);
+                        new_steps += steps;
+                        assert_eq!(
+                            ok, old_answers[at],
+                            "profiled path diverged: {engine} {kind} gid={gid}"
+                        );
+                        at += 1;
+                    }
+                }
+            }
+            let new_wall = t1.elapsed().as_secs_f64() / repeats as f64;
+
+            let speedup = old_wall / new_wall.max(1e-12);
+            points.push(HotpathPoint {
+                engine: engine.as_str().to_owned(),
+                kind: kind.as_str().to_owned(),
+                candidates,
+                old_wall_s: old_wall,
+                new_wall_s: new_wall,
+                old_candidates_per_s: candidates as f64 / old_wall.max(1e-12),
+                new_candidates_per_s: candidates as f64 / new_wall.max(1e-12),
+                old_steps_per_s: old_steps as f64 / old_wall.max(1e-12),
+                new_steps_per_s: new_steps as f64 / new_wall.max(1e-12),
+                speedup,
+            });
+            rows.push(vec![
+                engine.as_str().to_owned(),
+                kind.as_str().to_owned(),
+                format!("{:.1}k/s", candidates as f64 / old_wall.max(1e-12) / 1e3),
+                format!("{:.1}k/s", candidates as f64 / new_wall.max(1e-12) / 1e3),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+    }
+
+    println!(
+        "=== Experiment VIII: verification hot path (SI path, {} graphs, {} queries, \
+         answers cross-checked) ===\n",
+        dataset.len(),
+        n_queries
+    );
+    print_table(&["engine", "kind", "from-scratch", "profiled", "speedup"], &rows);
+    println!("\nall profiled answers matched the from-scratch tier");
+
+    let artifact = Exp8Artifact {
+        smoke,
+        dataset_graphs: dataset.len(),
+        n_queries,
+        query_edges,
+        repeats,
+        points,
+    };
+    match write_artifact("exp8_verify_hotpath", &artifact) {
+        Ok(p) => println!("artifact: {}", p.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+    if !smoke {
+        // Perf trajectory baseline for later PRs, at the repo/working dir
+        // root (smoke runs are too noisy to overwrite it).
+        match serde_json::to_string_pretty(&artifact) {
+            Ok(json) => match std::fs::write("BENCH_verify.json", json) {
+                Ok(()) => println!("baseline: BENCH_verify.json"),
+                Err(e) => eprintln!("baseline write failed: {e}"),
+            },
+            Err(e) => eprintln!("baseline serialization failed: {e}"),
+        }
+    }
+}

@@ -83,6 +83,7 @@ impl CacheManager {
         now: u64,
     ) -> EntryId {
         let fingerprint = gc_graph::hash::fingerprint(&graph);
+        let profile = gc_iso::GraphProfile::new(&graph, None);
         let id = match self.free.pop() {
             Some(id) => id,
             None => {
@@ -95,6 +96,7 @@ impl CacheManager {
         self.slots[id as usize] = Some(CacheEntry {
             id,
             graph,
+            profile,
             kind,
             answer,
             fingerprint,

@@ -1,6 +1,7 @@
 //! Cached query entries.
 
 use gc_graph::{BitSet, Graph};
+use gc_iso::GraphProfile;
 use gc_method::QueryKind;
 
 /// Identifier of a cache entry. Stable for the entry's lifetime; ids are
@@ -44,6 +45,13 @@ pub struct CacheEntry {
     pub id: EntryId,
     /// The cached query graph.
     pub graph: Graph,
+    /// Verification profile of `graph`, computed once at admission and
+    /// reused by every hit-confirmation probe against this entry (the same
+    /// precompute-once discipline [`gc_method::DatasetProfiles`] applies to
+    /// dataset graphs). Order built with `label_freq = None` — probes face
+    /// ever-changing query graphs, so only the entry's own statistics are
+    /// meaningful.
+    pub profile: GraphProfile,
     /// Query kind the answer set corresponds to.
     pub kind: QueryKind,
     /// The exact answer set over the dataset universe.
@@ -60,10 +68,13 @@ pub struct CacheEntry {
 }
 
 impl CacheEntry {
-    /// Approximate heap bytes held by this entry (graph + answer set),
-    /// reported by the cache's memory accounting.
+    /// Approximate heap bytes held by this entry (graph + profile + answer
+    /// set), reported by the cache's memory accounting.
     pub fn memory_bytes(&self) -> usize {
-        self.graph.memory_bytes() + self.answer.memory_bytes() + std::mem::size_of::<Self>()
+        self.graph.memory_bytes()
+            + self.profile.memory_bytes()
+            + self.answer.memory_bytes()
+            + std::mem::size_of::<Self>()
     }
 }
 
@@ -84,6 +95,7 @@ mod tests {
         let e = CacheEntry {
             id: 0,
             fingerprint: gc_graph::hash::fingerprint(&g),
+            profile: GraphProfile::new(&g, None),
             graph: g,
             kind: QueryKind::Subgraph,
             answer: BitSet::new(10),

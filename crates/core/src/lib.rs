@@ -59,7 +59,7 @@ mod stats;
 pub mod window;
 
 pub use cost::CostModel;
-pub use parallel::{global_pool, verify_candidates, VerifyPool};
+pub use parallel::{global_pool, verify_candidates, VerifyOutcome, VerifyPool};
 
 pub use cache::CacheManager;
 pub use config::CacheConfig;

@@ -16,94 +16,118 @@
 //!   sized to the machine, so `N clients × M workers` cannot oversubscribe
 //!   the CPU.
 //!
-//! Results merge deterministically regardless of scheduling.
+//! Every mode runs the **profiled hot path**: the caller passes one
+//! [`QueryProfile`] (computed once per query, shared by all workers), the
+//! dataset side comes from the load-time [`gc_method::DatasetProfiles`], and
+//! each worker reuses one [`VfScratch`] across all its candidates — the
+//! per-candidate loop performs no setup and no heap allocation. Results
+//! merge deterministically regardless of scheduling, including the
+//! per-graph step counts that feed the [`crate::cost::CostModel`].
 
 use gc_graph::{BitSet, Graph};
-use gc_method::{Dataset, Engine, QueryKind};
+use gc_method::{Dataset, Engine, QueryProfile, VfScratch};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
-/// Verify every graph in `to_verify`, returning the survivors `R` and the
-/// total verifier steps.
+/// Merged result of verifying a candidate set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyOutcome {
+    /// The survivors `R` (graphs the query embeds into / that embed into
+    /// the query, per the profile's kind).
+    pub survivors: BitSet,
+    /// Total verifier steps across all candidates.
+    pub steps: u64,
+    /// Observed per-candidate cost `(gid, steps)`, ascending by gid —
+    /// exactly one entry per verified candidate (feeds PINC/HD's cost
+    /// model without mean-smearing).
+    pub costs: Vec<(usize, u64)>,
+}
+
+impl VerifyOutcome {
+    fn empty(universe: usize) -> Self {
+        VerifyOutcome { survivors: BitSet::new(universe), steps: 0, costs: Vec::new() }
+    }
+}
+
+/// Verify every graph in `to_verify`, returning the survivors `R`, the
+/// total verifier steps and the per-graph step counts.
 ///
 /// With `threads == 1` runs inline (no spawn overhead); otherwise splits the
-/// candidate list into contiguous chunks, one per scoped worker thread.
+/// candidate list into contiguous chunks, one per scoped worker thread, each
+/// with its own [`VfScratch`].
 pub fn verify_candidates(
     dataset: &Dataset,
     engine: Engine,
+    profile: &QueryProfile,
     query: &Graph,
-    kind: QueryKind,
     to_verify: &BitSet,
     threads: usize,
-) -> (BitSet, u64) {
+) -> VerifyOutcome {
     let ids: Vec<usize> = to_verify.to_vec();
-    let mut answer = dataset.empty_set();
-    let mut steps = 0u64;
+    let mut out = VerifyOutcome::empty(dataset.len());
 
     if threads <= 1 || ids.len() < 2 {
+        let mut scratch = VfScratch::new();
         for &gid in &ids {
-            let (ok, s) = verify_one(dataset, engine, query, kind, gid);
-            steps += s;
+            let (ok, s) =
+                engine.verify_candidate(dataset, profile, query, gid as u32, &mut scratch);
+            out.steps += s;
+            out.costs.push((gid, s));
             if ok {
-                answer.insert(gid);
+                out.survivors.insert(gid);
             }
         }
-        return (answer, steps);
+        return out;
     }
 
     let workers = threads.min(ids.len());
     let chunk = ids.len().div_ceil(workers);
-    let results: Vec<(Vec<usize>, u64)> = std::thread::scope(|scope| {
+    let results: Vec<Vec<(usize, bool, u64)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = ids
             .chunks(chunk)
             .map(|slice| {
                 scope.spawn(move || {
-                    let mut local = Vec::new();
-                    let mut local_steps = 0u64;
-                    for &gid in slice {
-                        let (ok, s) = verify_one(dataset, engine, query, kind, gid);
-                        local_steps += s;
-                        if ok {
-                            local.push(gid);
-                        }
-                    }
-                    (local, local_steps)
+                    let mut scratch = VfScratch::new();
+                    slice
+                        .iter()
+                        .map(|&gid| {
+                            let (ok, s) = engine.verify_candidate(
+                                dataset,
+                                profile,
+                                query,
+                                gid as u32,
+                                &mut scratch,
+                            );
+                            (gid, ok, s)
+                        })
+                        .collect()
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("verifier worker panicked")).collect()
     });
 
-    for (local, local_steps) in results {
-        steps += local_steps;
-        for gid in local {
-            answer.insert(gid);
+    // Chunks are contiguous ascending slices of `ids`, so concatenating in
+    // spawn order keeps `costs` sorted by gid.
+    for local in results {
+        for (gid, ok, s) in local {
+            out.steps += s;
+            out.costs.push((gid, s));
+            if ok {
+                out.survivors.insert(gid);
+            }
         }
     }
-    (answer, steps)
-}
-
-#[inline]
-fn verify_one(
-    dataset: &Dataset,
-    engine: Engine,
-    query: &Graph,
-    kind: QueryKind,
-    gid: usize,
-) -> (bool, u64) {
-    let target = dataset.graph(gid as u32);
-    match kind {
-        QueryKind::Subgraph => engine.verify(query, target),
-        QueryKind::Supergraph => engine.verify(target, query),
-    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use gc_graph::{graph_from_parts, Label};
+    use gc_method::QueryKind;
 
     fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
         let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
@@ -124,44 +148,50 @@ mod tests {
     fn sequential_and_parallel_agree() {
         let ds = dataset();
         let q = g(&[0, 1], &[(0, 1)]);
+        let qp = QueryProfile::new(&ds, &q, QueryKind::Subgraph);
         let all = ds.all_graphs();
-        let (seq, seq_steps) =
-            verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &all, 1);
+        let seq = verify_candidates(&ds, Engine::Vf2, &qp, &q, &all, 1);
         for t in [2, 3, 8] {
-            let (par, par_steps) =
-                verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &all, t);
-            assert_eq!(seq, par, "threads={t}");
-            assert_eq!(seq_steps, par_steps, "steps must be deterministic, threads={t}");
+            let par = verify_candidates(&ds, Engine::Vf2, &qp, &q, &all, t);
+            assert_eq!(seq, par, "results must be deterministic, threads={t}");
         }
-        assert_eq!(seq.to_vec(), vec![0, 1, 3, 4]);
+        assert_eq!(seq.survivors.to_vec(), vec![0, 1, 3, 4]);
+        assert_eq!(seq.costs.len(), 5, "one cost entry per verified candidate");
+        assert_eq!(seq.costs.iter().map(|&(_, s)| s).sum::<u64>(), seq.steps);
+        assert!(seq.costs.windows(2).all(|w| w[0].0 < w[1].0), "costs sorted by gid");
     }
 
     #[test]
     fn respects_candidate_subset() {
         let ds = dataset();
         let q = g(&[0, 1], &[(0, 1)]);
+        let qp = QueryProfile::new(&ds, &q, QueryKind::Subgraph);
         let only = BitSet::from_indices(ds.len(), [2usize, 3]);
-        let (ans, _) = verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &only, 2);
-        assert_eq!(ans.to_vec(), vec![3]);
+        let out = verify_candidates(&ds, Engine::Vf2, &qp, &q, &only, 2);
+        assert_eq!(out.survivors.to_vec(), vec![3]);
+        assert_eq!(out.costs.iter().map(|&(gid, _)| gid).collect::<Vec<_>>(), vec![2, 3]);
     }
 
     #[test]
     fn empty_candidates() {
         let ds = dataset();
         let q = g(&[0], &[]);
+        let qp = QueryProfile::new(&ds, &q, QueryKind::Subgraph);
         let none = ds.empty_set();
-        let (ans, steps) = verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &none, 4);
-        assert!(ans.is_empty());
-        assert_eq!(steps, 0);
+        let out = verify_candidates(&ds, Engine::Vf2, &qp, &q, &none, 4);
+        assert!(out.survivors.is_empty());
+        assert_eq!(out.steps, 0);
+        assert!(out.costs.is_empty());
     }
 
     #[test]
     fn supergraph_direction() {
         let ds = dataset();
         let q = g(&[0, 1, 2, 0], &[(0, 1), (1, 2), (0, 3)]);
+        let qp = QueryProfile::new(&ds, &q, QueryKind::Supergraph);
         let all = ds.all_graphs();
-        let (ans, _) = verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Supergraph, &all, 2);
-        assert_eq!(ans.to_vec(), vec![0, 3]);
+        let out = verify_candidates(&ds, Engine::Vf2, &qp, &q, &all, 2);
+        assert_eq!(out.survivors.to_vec(), vec![0, 3]);
     }
 }
 
@@ -221,21 +251,23 @@ impl<T> JobQueue<T> {
 struct Job {
     dataset: Arc<Dataset>,
     query: Arc<Graph>,
-    kind: QueryKind,
+    profile: Arc<QueryProfile>,
     engine: Engine,
     ids: Vec<usize>,
-    reply: mpsc::Sender<(Vec<usize>, u64)>,
+    reply: mpsc::Sender<Vec<(usize, bool, u64)>>,
 }
 
 /// A persistent pool of verification workers.
 ///
 /// Workers live for the pool's lifetime; each job carries its inputs by
-/// `Arc`, so no per-call thread spawning or scoping is needed. The job queue
-/// is multi-producer: any number of threads may call
-/// [`VerifyPool::verify`] concurrently and their chunks interleave on the
-/// same workers (how [`crate::SharedGraphCache`] batches verification work
-/// across concurrent queries). Dropping the pool closes the queue and joins
-/// the workers.
+/// `Arc` (dataset, query graph, query profile), so no per-call thread
+/// spawning or scoping is needed, and each worker keeps one [`VfScratch`]
+/// alive across **all** jobs it ever serves — the per-candidate search loop
+/// allocates nothing. The job queue is multi-producer: any number of threads
+/// may call [`VerifyPool::verify`] concurrently and their chunks interleave
+/// on the same workers (how [`crate::SharedGraphCache`] batches verification
+/// work across concurrent queries). Dropping the pool closes the queue and
+/// joins the workers.
 pub struct VerifyPool {
     jobs: Arc<JobQueue<Job>>,
     workers: Vec<JoinHandle<()>>,
@@ -253,6 +285,10 @@ impl VerifyPool {
                 std::thread::Builder::new()
                     .name(format!("gc-verify-{i}"))
                     .spawn(move || {
+                        // One scratch per worker, reused across every job
+                        // this worker ever serves (thread-local by
+                        // construction: nothing else touches it).
+                        let mut scratch = VfScratch::new();
                         while let Some(job) = jobs.pop() {
                             // Confine a panicking verification to its own
                             // job: the job's reply sender is dropped without
@@ -264,24 +300,19 @@ impl VerifyPool {
                             // the process hung on recv().
                             let result =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    let mut local = Vec::new();
-                                    let mut steps = 0u64;
-                                    for &gid in &job.ids {
-                                        let target = job.dataset.graph(gid as u32);
-                                        let (ok, s) = match job.kind {
-                                            QueryKind::Subgraph => {
-                                                job.engine.verify(&job.query, target)
-                                            }
-                                            QueryKind::Supergraph => {
-                                                job.engine.verify(target, &job.query)
-                                            }
-                                        };
-                                        steps += s;
-                                        if ok {
-                                            local.push(gid);
-                                        }
-                                    }
-                                    (local, steps)
+                                    job.ids
+                                        .iter()
+                                        .map(|&gid| {
+                                            let (ok, s) = job.engine.verify_candidate(
+                                                &job.dataset,
+                                                &job.profile,
+                                                &job.query,
+                                                gid as u32,
+                                                &mut scratch,
+                                            );
+                                            (gid, ok, s)
+                                        })
+                                        .collect::<Vec<_>>()
                                 }));
                             if let Ok(outcome) = result {
                                 // Receiver may have given up; ignore send
@@ -301,31 +332,34 @@ impl VerifyPool {
         self.size
     }
 
-    /// Verify `to_verify` against the dataset, returning survivors and total
-    /// verifier steps. Deterministic: the result is independent of worker
-    /// scheduling.
+    /// Verify `to_verify` against the dataset, returning survivors, total
+    /// verifier steps and per-graph costs. Deterministic: the result is
+    /// independent of worker scheduling.
     pub fn verify(
         &self,
         dataset: &Arc<Dataset>,
         engine: Engine,
+        profile: &QueryProfile,
         query: &Graph,
-        kind: QueryKind,
         to_verify: &BitSet,
-    ) -> (BitSet, u64) {
+    ) -> VerifyOutcome {
         let ids: Vec<usize> = to_verify.to_vec();
-        let mut answer = dataset.empty_set();
-        let mut steps = 0u64;
+        let mut out = VerifyOutcome::empty(dataset.len());
         if ids.len() < 2 {
+            let mut scratch = VfScratch::new();
             for &gid in &ids {
-                let (ok, s) = verify_one(dataset, engine, query, kind, gid);
-                steps += s;
+                let (ok, s) =
+                    engine.verify_candidate(dataset, profile, query, gid as u32, &mut scratch);
+                out.steps += s;
+                out.costs.push((gid, s));
                 if ok {
-                    answer.insert(gid);
+                    out.survivors.insert(gid);
                 }
             }
-            return (answer, steps);
+            return out;
         }
         let query = Arc::new(query.clone());
+        let profile = Arc::new(profile.clone());
         let (reply_tx, reply_rx) = mpsc::channel();
         // Oversplit ~2x for load balance under skewed verify costs.
         let chunks = (2 * self.size).min(ids.len());
@@ -335,7 +369,7 @@ impl VerifyPool {
             let pushed = self.jobs.push(Job {
                 dataset: dataset.clone(),
                 query: query.clone(),
-                kind,
+                profile: profile.clone(),
                 engine,
                 ids: slice.to_vec(),
                 reply: reply_tx.clone(),
@@ -345,15 +379,21 @@ impl VerifyPool {
         }
         drop(reply_tx);
         for _ in 0..sent {
-            let (local, local_steps) = reply_rx
+            let local = reply_rx
                 .recv()
                 .expect("a verification job panicked in the worker pool (see worker backtrace)");
-            steps += local_steps;
-            for gid in local {
-                answer.insert(gid);
+            for (gid, ok, s) in local {
+                out.steps += s;
+                out.costs.push((gid, s));
+                if ok {
+                    out.survivors.insert(gid);
+                }
             }
         }
-        (answer, steps)
+        // Replies arrive in scheduling order; restore the deterministic
+        // ascending-gid order the inline path produces.
+        out.costs.sort_unstable_by_key(|&(gid, _)| gid);
+        out
     }
 }
 
@@ -391,6 +431,7 @@ pub fn global_pool() -> &'static VerifyPool {
 mod pool_tests {
     use super::*;
     use gc_graph::{graph_from_parts, Label};
+    use gc_method::QueryKind;
 
     fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
         let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
@@ -411,14 +452,13 @@ mod pool_tests {
     fn pool_matches_sequential() {
         let ds = dataset();
         let q = g(&[0, 1], &[(0, 1)]);
+        let qp = QueryProfile::new(&ds, &q, QueryKind::Subgraph);
         let all = ds.all_graphs();
-        let (seq, seq_steps) =
-            verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &all, 1);
+        let seq = verify_candidates(&ds, Engine::Vf2, &qp, &q, &all, 1);
         for size in [1usize, 2, 4] {
             let pool = VerifyPool::new(size);
-            let (par, par_steps) = pool.verify(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &all);
+            let par = pool.verify(&ds, Engine::Vf2, &qp, &q, &all);
             assert_eq!(seq, par, "pool size {size}");
-            assert_eq!(seq_steps, par_steps);
         }
     }
 
@@ -428,12 +468,14 @@ mod pool_tests {
         let pool = VerifyPool::new(3);
         let q1 = g(&[0, 1], &[(0, 1)]);
         let q2 = g(&[3], &[]);
+        let p1 = QueryProfile::new(&ds, &q1, QueryKind::Subgraph);
+        let p2 = QueryProfile::new(&ds, &q2, QueryKind::Subgraph);
         let all = ds.all_graphs();
         for _ in 0..50 {
-            let (a, _) = pool.verify(&ds, Engine::Vf2, &q1, QueryKind::Subgraph, &all);
-            assert_eq!(a.to_vec(), vec![0, 1, 3, 4]);
-            let (b, _) = pool.verify(&ds, Engine::Vf2, &q2, QueryKind::Subgraph, &all);
-            assert_eq!(b.to_vec(), vec![2]);
+            let a = pool.verify(&ds, Engine::Vf2, &p1, &q1, &all);
+            assert_eq!(a.survivors.to_vec(), vec![0, 1, 3, 4]);
+            let b = pool.verify(&ds, Engine::Vf2, &p2, &q2, &all);
+            assert_eq!(b.survivors.to_vec(), vec![2]);
         }
     }
 
@@ -442,13 +484,15 @@ mod pool_tests {
         let ds = dataset();
         let pool = VerifyPool::new(2);
         let q = g(&[0, 1], &[(0, 1)]);
+        let qp = QueryProfile::new(&ds, &q, QueryKind::Subgraph);
         let none = ds.empty_set();
-        let (a, s) = pool.verify(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &none);
-        assert!(a.is_empty());
-        assert_eq!(s, 0);
+        let a = pool.verify(&ds, Engine::Vf2, &qp, &q, &none);
+        assert!(a.survivors.is_empty());
+        assert_eq!(a.steps, 0);
         let one = BitSet::from_indices(ds.len(), [3usize]);
-        let (b, _) = pool.verify(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &one);
-        assert_eq!(b.to_vec(), vec![3]);
+        let b = pool.verify(&ds, Engine::Vf2, &qp, &q, &one);
+        assert_eq!(b.survivors.to_vec(), vec![3]);
+        assert_eq!(b.costs.len(), 1);
     }
 
     #[test]
@@ -463,14 +507,15 @@ mod pool_tests {
         let ds = dataset();
         let pool = VerifyPool::new(2);
         let q = g(&[0, 1], &[(0, 1)]);
+        let qp = QueryProfile::new(&ds, &q, QueryKind::Subgraph);
         let all = ds.all_graphs();
-        let (expect, _) = verify_candidates(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &all, 1);
+        let expect = verify_candidates(&ds, Engine::Vf2, &qp, &q, &all, 1);
         std::thread::scope(|scope| {
             for _ in 0..4 {
-                let (pool, ds, q, all, expect) = (&pool, &ds, &q, &all, &expect);
+                let (pool, ds, q, qp, all, expect) = (&pool, &ds, &q, &qp, &all, &expect);
                 scope.spawn(move || {
                     for _ in 0..20 {
-                        let (got, _) = pool.verify(ds, Engine::Vf2, q, QueryKind::Subgraph, all);
+                        let got = pool.verify(ds, Engine::Vf2, qp, q, all);
                         assert_eq!(&got, expect);
                     }
                 });
@@ -482,11 +527,12 @@ mod pool_tests {
     fn global_pool_is_shared_and_works() {
         let ds = dataset();
         let q = g(&[0, 1], &[(0, 1)]);
+        let qp = QueryProfile::new(&ds, &q, QueryKind::Subgraph);
         let all = ds.all_graphs();
         let p1 = global_pool() as *const VerifyPool;
         let p2 = global_pool() as *const VerifyPool;
         assert_eq!(p1, p2, "global pool must be a singleton");
-        let (got, _) = global_pool().verify(&ds, Engine::Vf2, &q, QueryKind::Subgraph, &all);
-        assert_eq!(got.to_vec(), vec![0, 1, 3, 4]);
+        let got = global_pool().verify(&ds, Engine::Vf2, &qp, &q, &all);
+        assert_eq!(got.survivors.to_vec(), vec![0, 1, 3, 4]);
     }
 }

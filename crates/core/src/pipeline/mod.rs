@@ -74,6 +74,10 @@ pub struct PipelineCtx<'q> {
     pub survivors: BitSet,
     /// Stage 4 product: verifier steps spent on dataset graphs.
     pub verify_steps: u64,
+    /// Stage 4 product: observed per-graph verification cost
+    /// `(gid, steps)`, one entry per verified candidate (feeds the
+    /// [`crate::cost::CostModel`]).
+    pub verify_costs: Vec<(usize, u64)>,
 }
 
 impl<'q> PipelineCtx<'q> {
@@ -90,6 +94,7 @@ impl<'q> PipelineCtx<'q> {
             pruned: Pruned::empty(universe),
             survivors: BitSet::new(universe),
             verify_steps: 0,
+            verify_costs: Vec::new(),
         }
     }
 

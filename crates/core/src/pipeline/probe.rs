@@ -23,7 +23,7 @@ use crate::config::CacheConfig;
 use crate::entry::EntryId;
 use crate::pipeline::PipelineCtx;
 use gc_graph::{BitSet, Graph};
-use gc_iso::Found;
+use gc_iso::{Found, GraphProfile, VerifyCtx, VfScratch};
 use gc_method::QueryKind;
 
 /// Structural relation of a verified hit.
@@ -126,6 +126,14 @@ pub fn probe_cases(
     let mut hits = CacheHits::default();
     let qf = cache.index().features_of(query);
 
+    // Query-side verification setup is computed once for the whole probe
+    // pass (the query serves as pattern in every sub-case test and target in
+    // every super-case test) and one scratch is reused across all budgeted
+    // confirmation tests below. Entry-side profiles were computed at
+    // admission and live in the entries themselves.
+    let q_profile = GraphProfile::new(query, None);
+    let mut scratch = VfScratch::new();
+
     // --- sub case: query ⊑ cached ---------------------------------------
     let mut sub_cands: Vec<EntryId> = cache
         .index()
@@ -146,8 +154,9 @@ pub fn probe_cases(
     for id in sub_cands.into_iter().take(cfg.max_sub_checks) {
         let e = cache.get(id).expect("candidate ids are live");
         hits.probe_tests += 1;
-        let (found, steps) = cfg.engine.verify_budgeted(query, &e.graph, cfg.probe_budget);
-        hits.probe_steps += steps;
+        let ctx = VerifyCtx::new(query, q_profile.as_ref(), &e.graph, e.profile.as_ref());
+        let (found, stats) = cfg.engine.verify_ctx(&ctx, Some(cfg.probe_budget), &mut scratch);
+        hits.probe_steps += stats.steps;
         if found == Found::Yes {
             hits.sub.push(id);
         }
@@ -170,8 +179,11 @@ pub fn probe_cases(
     for id in super_cands.into_iter().take(cfg.max_super_checks) {
         let e = cache.get(id).expect("candidate ids are live");
         hits.probe_tests += 1;
-        let (found, steps) = cfg.engine.verify_budgeted(&e.graph, query, cfg.probe_budget);
-        hits.probe_steps += steps;
+        // The entry is the pattern here; its admission-time profile carries
+        // the search order.
+        let ctx = VerifyCtx::new(&e.graph, e.profile.as_ref(), query, q_profile.as_ref());
+        let (found, stats) = cfg.engine.verify_ctx(&ctx, Some(cfg.probe_budget), &mut scratch);
+        hits.probe_steps += stats.steps;
         if found == Found::Yes {
             hits.super_.push(id);
         }

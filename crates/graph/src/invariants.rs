@@ -17,7 +17,7 @@ use crate::Graph;
 /// Summary of a graph used for repeated containment pre-checks.
 ///
 /// Build once per cached query / dataset graph; `O(n + m)` space.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct GraphSummary {
     /// Vertex count.
     pub n: usize,

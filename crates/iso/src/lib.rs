@@ -10,6 +10,9 @@
 //!   enumeration, and step budgets;
 //! * [`ullmann`] — Ullmann's algorithm with bitset domains and forward
 //!   checking; used as a cross-checking baseline and for ablation benches;
+//! * [`profile`] — precomputed per-graph verification profiles
+//!   ([`GraphProfile`]) and reusable search scratch ([`VfScratch`]): the
+//!   allocation-free hot path both engines expose as `embeds_with`;
 //! * [`iso`] — exact graph-isomorphism testing built on top (for the cache's
 //!   exact-match hits);
 //! * [`Matcher`] — object-safe abstraction so Method M can swap engines
@@ -23,10 +26,12 @@
 
 pub mod iso;
 mod order;
+pub mod profile;
 pub mod ullmann;
 pub mod vf2;
 
 pub use order::search_order;
+pub use profile::{GraphProfile, ProfileRef, VerifyCtx, VfScratch};
 
 use gc_graph::Graph;
 

@@ -1,0 +1,301 @@
+//! Precomputed verification context and reusable matcher scratch.
+//!
+//! Every sub-iso test needs the same per-graph setup: a [`GraphSummary`] for
+//! the cheap may-embed pre-check, packed neighbour-label signatures for
+//! candidate pruning, and (for the pattern side) a connectivity-driven search
+//! order. Computing these from scratch inside [`crate::vf2::enumerate`] is
+//! fine for one-off tests but wasteful on the cache's verification hot path,
+//! where one query is tested against thousands of dataset graphs and the
+//! query-side work is identical for every candidate.
+//!
+//! This module splits the setup out of the search:
+//!
+//! * [`GraphProfile`] — the owned per-graph precomputation (summary,
+//!   signatures, search order). Datasets build one per graph at load time;
+//!   queries build one per query.
+//! * [`ProfileRef`] — a cheap borrowed view, so profiles can live in flat
+//!   side arrays (see `gc-method`'s `DatasetProfiles`) without reshaping.
+//! * [`VerifyCtx`] — one candidate pair: pattern/target graphs plus their
+//!   profiles. Building it is pointer shuffling only.
+//! * [`VfScratch`] — the mutable search state (VF2 mapping arrays, Ullmann
+//!   domain bitsets, spill buffers) reused across candidates. Buffers grow
+//!   to the high-water mark of the sizes seen and are never shrunk, so after
+//!   warm-up the per-candidate search loop performs **zero heap
+//!   allocations** (asserted by a counting-allocator test).
+//!
+//! The profiled entry points are [`crate::vf2::embeds_with`] and
+//! [`crate::ullmann::embeds_with`]; the classic from-scratch functions are
+//! thin wrappers that build a throwaway profile and scratch.
+
+use gc_graph::invariants::GraphSummary;
+use gc_graph::{Graph, VertexId};
+
+pub(crate) const UNMAPPED: u32 = u32::MAX;
+
+/// Packed neighbour-label signature of every vertex: 8 byte-wide saturating
+/// buckets (label mod 8 -> count capped at 255). An embedding maps the
+/// neighbours of a pattern vertex injectively, label-preservingly into the
+/// neighbours of its image, so bucket-wise domination is a necessary
+/// condition even with labels merged mod 8.
+pub fn signatures(g: &Graph) -> Vec<u64> {
+    g.vertices()
+        .map(|v| {
+            let mut sig = 0u64;
+            for &w in g.neighbors(v) {
+                let shift = ((g.label(w).0 as usize) % 8) * 8;
+                let bucket = (sig >> shift) & 0xFF;
+                if bucket < 0xFF {
+                    sig += 1u64 << shift;
+                }
+            }
+            sig
+        })
+        .collect()
+}
+
+/// Byte-wise `>=` over all 8 signature buckets.
+#[inline]
+pub fn sig_dominates(target: u64, pattern: u64) -> bool {
+    for i in 0..8 {
+        let shift = i * 8;
+        if (target >> shift) & 0xFF < (pattern >> shift) & 0xFF {
+            return false;
+        }
+    }
+    true
+}
+
+/// Owned per-graph precomputation for repeated sub-iso tests.
+///
+/// Serializable so cached queries can persist their profile alongside the
+/// graph (warm starts re-derive it deterministically anyway).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GraphProfile {
+    /// Cheap containment invariants (size, labels, degree sequence).
+    pub summary: GraphSummary,
+    /// Packed neighbour-label signature per vertex.
+    pub sig: Vec<u64>,
+    /// Pattern-role search order ([`crate::search_order`]); empty for
+    /// profiles built with [`GraphProfile::target_only`].
+    pub order: Vec<VertexId>,
+}
+
+impl GraphProfile {
+    /// Full profile: summary, signatures, and a search order computed with
+    /// the given target label frequencies (see [`crate::search_order`]).
+    pub fn new(g: &Graph, label_freq: Option<&[u32]>) -> Self {
+        GraphProfile {
+            summary: GraphSummary::of(g),
+            sig: signatures(g),
+            order: crate::search_order(g, label_freq),
+        }
+    }
+
+    /// Profile for a graph that only ever plays the *target* role (no search
+    /// order). Pattern-side use of such a profile is a logic error.
+    pub fn target_only(g: &Graph) -> Self {
+        GraphProfile { summary: GraphSummary::of(g), sig: signatures(g), order: Vec::new() }
+    }
+
+    /// Borrowed view of this profile.
+    pub fn as_ref(&self) -> ProfileRef<'_> {
+        ProfileRef { summary: &self.summary, sig: &self.sig, order: &self.order }
+    }
+
+    /// Approximate heap bytes held (for cache memory accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.sig.len() * 8
+            + self.order.len() * 4
+            + self.summary.label_hist.len() * 4
+            + self.summary.degrees_desc.len() * 4
+    }
+}
+
+/// Borrowed view of a graph's precomputation; what the engines consume.
+///
+/// Decoupled from [`GraphProfile`] so callers can store profiles in flat
+/// side arrays (one `Vec<u64>` of signatures for the whole dataset, etc.)
+/// and hand out slices.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileRef<'a> {
+    /// Containment invariants.
+    pub summary: &'a GraphSummary,
+    /// Packed neighbour-label signature per vertex.
+    pub sig: &'a [u64],
+    /// Pattern-role search order (may be empty for target-only profiles).
+    pub order: &'a [VertexId],
+}
+
+/// One candidate pair ready for verification: graphs plus their profiles.
+///
+/// Constructing a `VerifyCtx` performs no computation; all the per-graph
+/// work was done when the profiles were built.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyCtx<'a> {
+    /// The pattern graph (the smaller side of `pattern ⊑ target`).
+    pub pattern: &'a Graph,
+    /// Pattern profile; its `order` must cover every pattern vertex.
+    pub pattern_profile: ProfileRef<'a>,
+    /// The target graph.
+    pub target: &'a Graph,
+    /// Target profile (`order` unused).
+    pub target_profile: ProfileRef<'a>,
+}
+
+impl<'a> VerifyCtx<'a> {
+    /// Assemble a context from borrowed profile views.
+    pub fn new(
+        pattern: &'a Graph,
+        pattern_profile: ProfileRef<'a>,
+        target: &'a Graph,
+        target_profile: ProfileRef<'a>,
+    ) -> Self {
+        debug_assert_eq!(pattern_profile.order.len(), pattern.vertex_count());
+        debug_assert_eq!(pattern_profile.sig.len(), pattern.vertex_count());
+        debug_assert_eq!(target_profile.sig.len(), target.vertex_count());
+        VerifyCtx { pattern, pattern_profile, target, target_profile }
+    }
+
+    /// Assemble a context from owned profiles.
+    pub fn from_profiles(
+        pattern: &'a Graph,
+        pattern_profile: &'a GraphProfile,
+        target: &'a Graph,
+        target_profile: &'a GraphProfile,
+    ) -> Self {
+        Self::new(pattern, pattern_profile.as_ref(), target, target_profile.as_ref())
+    }
+}
+
+/// Reusable matcher scratch: all mutable search state for both engines.
+///
+/// Create one per worker thread and pass it to every
+/// [`crate::vf2::embeds_with`] / [`crate::ullmann::embeds_with`] call; the
+/// buffers are re-initialized per candidate (within capacity — `Vec::resize`
+/// after `clear` never reallocates below the high-water mark) and grown only
+/// when a larger candidate arrives.
+#[derive(Debug, Default)]
+pub struct VfScratch {
+    /// VF2: pattern vertex -> target vertex ([`UNMAPPED`] if free).
+    pub(crate) mapping: Vec<u32>,
+    /// VF2: target-vertex occupancy.
+    pub(crate) used: Vec<bool>,
+    /// Ullmann: levelled candidate domains, `(pn + 1)` levels of
+    /// `pn * words_per_row` bitset words each (level = search depth).
+    pub(crate) dom: Vec<u64>,
+    /// Ullmann: pattern vertex -> assigned target vertex ([`UNMAPPED`]).
+    pub(crate) assigned: Vec<u32>,
+    /// Ullmann: target-vertex occupancy.
+    pub(crate) ull_used: Vec<bool>,
+    /// Ullmann: refinement removal spill buffer.
+    pub(crate) removals: Vec<u32>,
+}
+
+impl VfScratch {
+    /// Fresh, empty scratch (no buffers allocated yet).
+    pub fn new() -> Self {
+        VfScratch::default()
+    }
+
+    /// Prepare the VF2 buffers for a `(pn, tn)` candidate; returns
+    /// `(mapping, used)` reset to their initial values.
+    pub(crate) fn vf2_buffers(&mut self, pn: usize, tn: usize) -> (&mut [u32], &mut [bool]) {
+        self.mapping.clear();
+        self.mapping.resize(pn, UNMAPPED);
+        self.used.clear();
+        self.used.resize(tn, false);
+        (&mut self.mapping, &mut self.used)
+    }
+
+    /// Prepare the Ullmann buffers for a `(pn, tn)` candidate with
+    /// `words` bitset words per domain row. Domains are zeroed; the caller
+    /// seeds level 0.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn ullmann_buffers(
+        &mut self,
+        pn: usize,
+        tn: usize,
+        words: usize,
+    ) -> (&mut [u64], &mut [u32], &mut [bool], &mut Vec<u32>) {
+        let level = pn * words;
+        self.dom.clear();
+        self.dom.resize((pn + 1) * level, 0);
+        self.assigned.clear();
+        self.assigned.resize(pn, UNMAPPED);
+        self.ull_used.clear();
+        self.ull_used.resize(tn, false);
+        self.removals.clear();
+        (&mut self.dom, &mut self.assigned, &mut self.ull_used, &mut self.removals)
+    }
+
+    /// Approximate heap bytes currently held (capacity, not length).
+    pub fn memory_bytes(&self) -> usize {
+        self.mapping.capacity() * 4
+            + self.used.capacity()
+            + self.dom.capacity() * 8
+            + self.assigned.capacity() * 4
+            + self.ull_used.capacity()
+            + self.removals.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
+        let ls: Vec<Label> = labels.iter().map(|&l| Label(l)).collect();
+        graph_from_parts(&ls, edges).unwrap()
+    }
+
+    #[test]
+    fn profile_shapes() {
+        let t = g(&[0, 1, 0], &[(0, 1), (1, 2)]);
+        let p = GraphProfile::new(&t, None);
+        assert_eq!(p.summary.n, 3);
+        assert_eq!(p.sig.len(), 3);
+        assert_eq!(p.order.len(), 3);
+        let tp = GraphProfile::target_only(&t);
+        assert!(tp.order.is_empty());
+        assert_eq!(tp.sig, p.sig);
+        assert_eq!(tp.summary, p.summary);
+    }
+
+    #[test]
+    fn signature_domination_is_necessary() {
+        // Center of a star has 3 neighbours with label 0; a path midpoint has
+        // only 2 — the star centre's signature cannot be dominated by it.
+        let star = g(&[1, 0, 0, 0], &[(0, 1), (0, 2), (0, 3)]);
+        let path = g(&[1, 0, 0], &[(0, 1), (0, 2)]);
+        let s = signatures(&star);
+        let p = signatures(&path);
+        assert!(!sig_dominates(p[0], s[0]));
+        assert!(sig_dominates(s[0], p[0]));
+    }
+
+    #[test]
+    fn scratch_buffers_reset_between_sizes() {
+        let mut s = VfScratch::new();
+        {
+            let (m, u) = s.vf2_buffers(3, 5);
+            m[0] = 7;
+            u[4] = true;
+        }
+        let (m, u) = s.vf2_buffers(2, 4);
+        assert_eq!(m, &[UNMAPPED, UNMAPPED]);
+        assert_eq!(u, &[false; 4]);
+        // Growing again re-initializes the full range.
+        let (m, _) = s.vf2_buffers(5, 8);
+        assert!(m.iter().all(|&x| x == UNMAPPED));
+    }
+
+    #[test]
+    fn scratch_memory_reports_capacity() {
+        let mut s = VfScratch::new();
+        assert_eq!(s.memory_bytes(), 0);
+        s.vf2_buffers(4, 9);
+        s.ullmann_buffers(4, 9, 1);
+        assert!(s.memory_bytes() > 0);
+    }
+}

@@ -4,216 +4,264 @@
 //! it against [`crate::vf2`] on randomized inputs, and the benches compare
 //! their verify latency (the classic "SI algorithms" axis of the paper's
 //! related work).
+//!
+//! Like [`crate::vf2`], the engine has a hot-path entry — [`embeds_with`]
+//! over a precomputed [`VerifyCtx`] and reusable [`VfScratch`] — and
+//! from-scratch wrappers. Candidate domains live as *levelled* bitsets in
+//! the scratch: level `d` of the flat domain buffer holds the refined
+//! domains at search depth `d`, so descending copies level `d` to `d + 1`
+//! instead of cloning a fresh allocation per recursion step. Initial domains
+//! apply the same label / degree / neighbour-signature filters as VF2, so
+//! engine cross-checks compare search strategy, not setup quality.
 
+use crate::profile::{sig_dominates, GraphProfile, VerifyCtx, VfScratch, UNMAPPED};
 use crate::{Found, SearchStats};
-use gc_graph::invariants::GraphSummary;
 use gc_graph::{Graph, VertexId};
 
-/// Per-pattern-vertex candidate domain, one bit per target vertex.
-#[derive(Clone)]
-struct Domains {
-    words_per_row: usize,
-    bits: Vec<u64>,
+/// `true` iff some candidate in domain `row` (of one level slice) is a
+/// target-neighbour of `v`.
+fn row_has_neighbor(t: &Graph, dom: &[u64], words: usize, row: usize, v: VertexId) -> bool {
+    let base = row * words;
+    for wi in 0..words {
+        let mut w = dom[base + wi];
+        while w != 0 {
+            let c = (wi * 64 + w.trailing_zeros() as usize) as VertexId;
+            w &= w - 1;
+            if t.has_edge(v, c) {
+                return true;
+            }
+        }
+    }
+    false
 }
 
-impl Domains {
-    fn new(pn: usize, tn: usize) -> Self {
-        let words_per_row = tn.div_ceil(64);
-        Domains { words_per_row, bits: vec![0; pn * words_per_row] }
-    }
-
-    #[inline]
-    fn row(&self, u: usize) -> &[u64] {
-        &self.bits[u * self.words_per_row..(u + 1) * self.words_per_row]
-    }
-
-    #[inline]
-    fn row_mut(&mut self, u: usize) -> &mut [u64] {
-        &mut self.bits[u * self.words_per_row..(u + 1) * self.words_per_row]
-    }
-
-    #[inline]
-    fn set(&mut self, u: usize, v: usize) {
-        self.row_mut(u)[v / 64] |= 1u64 << (v % 64);
-    }
-
-    #[inline]
-    fn clear_bit(&mut self, u: usize, v: usize) {
-        self.row_mut(u)[v / 64] &= !(1u64 << (v % 64));
-    }
-
-    fn count(&self, u: usize) -> u32 {
-        self.row(u).iter().map(|w| w.count_ones()).sum()
-    }
-
-    fn is_empty_row(&self, u: usize) -> bool {
-        self.row(u).iter().all(|&w| w == 0)
-    }
-
-    fn iter_row(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
-        self.row(u).iter().enumerate().flat_map(|(wi, &w)| {
-            let mut w = w;
-            std::iter::from_fn(move || {
-                if w == 0 {
-                    None
-                } else {
-                    let b = w.trailing_zeros() as usize;
+/// Ullmann refinement over one level's domains: remove `v` from `dom(u)`
+/// when some neighbour `u'` of `u` has no candidate adjacent to `v`. Iterate
+/// to fixpoint. Returns `false` if a domain wiped out. `removals` is a
+/// reused spill buffer (cleared here).
+fn refine(
+    p: &Graph,
+    t: &Graph,
+    words: usize,
+    dom: &mut [u64],
+    assigned: &[u32],
+    removals: &mut Vec<u32>,
+) -> bool {
+    let pn = p.vertex_count();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in 0..pn {
+            if assigned[u] != UNMAPPED {
+                continue;
+            }
+            // Collect removals first to avoid aliasing dom while scanning.
+            removals.clear();
+            let base = u * words;
+            for wi in 0..words {
+                let mut w = dom[base + wi];
+                while w != 0 {
+                    let v = (wi * 64 + w.trailing_zeros() as usize) as VertexId;
                     w &= w - 1;
-                    Some(wi * 64 + b)
+                    let mut ok = true;
+                    for &nb in p.neighbors(u as VertexId) {
+                        let img = assigned[nb as usize];
+                        let supported = if img != UNMAPPED {
+                            t.has_edge(v, img)
+                        } else {
+                            row_has_neighbor(t, dom, words, nb as usize, v)
+                        };
+                        if !supported {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if !ok {
+                        removals.push(v);
+                    }
                 }
-            })
-        })
+            }
+            for &v in removals.iter() {
+                dom[base + (v as usize) / 64] &= !(1u64 << (v % 64));
+                changed = true;
+            }
+            if dom[base..base + words].iter().all(|&w| w == 0) {
+                return false;
+            }
+        }
     }
+    true
 }
 
 struct Search<'a> {
     p: &'a Graph,
     t: &'a Graph,
-    assigned: Vec<Option<VertexId>>,
-    used: Vec<bool>,
+    /// Bitset words per domain row.
+    words: usize,
+    /// Words per level (`pn * words`).
+    level: usize,
+    /// Levelled domains: `(pn + 1) * level` words.
+    dom: &'a mut [u64],
+    /// pattern vertex -> target vertex (UNMAPPED if free).
+    assigned: &'a mut [u32],
+    used: &'a mut [bool],
+    removals: &'a mut Vec<u32>,
     steps: u64,
     budget: u64,
 }
 
 impl Search<'_> {
-    /// Ullmann refinement: remove v from dom(u) when some neighbour u' of u
-    /// has no candidate adjacent to v. Iterate to fixpoint. Returns false if
-    /// a domain wiped out.
-    fn refine(&mut self, dom: &mut Domains) -> bool {
-        let pn = self.p.vertex_count();
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for u in 0..pn {
-                if self.assigned[u].is_some() {
-                    continue;
-                }
-                // Collect removals first to avoid aliasing dom while scanning.
-                let mut removals: Vec<usize> = Vec::new();
-                for v in dom.iter_row(u) {
-                    let ok = self.p.neighbors(u as VertexId).iter().all(|&w| {
-                        match self.assigned[w as usize] {
-                            Some(img) => self.t.has_edge(v as VertexId, img),
-                            None => dom
-                                .iter_row(w as usize)
-                                .any(|cand| self.t.has_edge(v as VertexId, cand as VertexId)),
-                        }
-                    });
-                    if !ok {
-                        removals.push(v);
-                    }
-                }
-                for v in removals.drain(..) {
-                    dom.clear_bit(u, v);
-                    changed = true;
-                }
-                if dom.is_empty_row(u) {
-                    return false;
-                }
-            }
-        }
-        true
-    }
-
-    fn search(&mut self, dom: &Domains, depth: usize) -> Result<bool, ()> {
+    fn search(&mut self, depth: usize) -> Result<bool, ()> {
         let pn = self.p.vertex_count();
         if depth == pn {
             return Ok(true);
         }
+        let cur = depth * self.level;
         // Most-constrained-variable: unassigned pattern vertex with the
-        // smallest domain.
-        let u = (0..pn)
-            .filter(|&u| self.assigned[u].is_none())
-            .min_by_key(|&u| dom.count(u))
-            .expect("depth < pn implies an unassigned vertex");
-
-        let candidates: Vec<usize> = dom.iter_row(u).collect();
-        for v in candidates {
-            self.steps += 1;
-            if self.steps > self.budget {
-                return Err(());
-            }
-            if self.used[v] {
+        // smallest domain (first on ties).
+        let mut u = usize::MAX;
+        let mut best = u32::MAX;
+        for cand in 0..pn {
+            if self.assigned[cand] != UNMAPPED {
                 continue;
             }
-            self.assigned[u] = Some(v as VertexId);
-            self.used[v] = true;
+            let base = cur + cand * self.words;
+            let cnt: u32 = self.dom[base..base + self.words].iter().map(|w| w.count_ones()).sum();
+            if cnt < best {
+                best = cnt;
+                u = cand;
+            }
+        }
+        debug_assert_ne!(u, usize::MAX, "depth < pn implies an unassigned vertex");
 
-            let mut next = dom.clone();
-            // v is taken: remove from all other rows; fix u's row to {v}.
-            for w in 0..pn {
-                if w != u {
-                    next.clear_bit(w, v);
+        let next = cur + self.level;
+        for wi in 0..self.words {
+            // Word copied up front: this level's domains are not mutated at
+            // this depth, so the copy is a faithful candidate snapshot.
+            let mut w = self.dom[cur + u * self.words + wi];
+            while w != 0 {
+                let v = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                self.steps += 1;
+                if self.steps > self.budget {
+                    return Err(());
                 }
-            }
-            for x in next.iter_row(u).collect::<Vec<_>>() {
-                if x != v {
-                    next.clear_bit(u, x);
+                if self.used[v] {
+                    continue;
                 }
-            }
+                self.assigned[u] = v as u32;
+                self.used[v] = true;
 
-            let feasible = self.refine(&mut next);
-            if feasible {
-                match self.search(&next, depth + 1) {
-                    Ok(true) => {
-                        self.assigned[u] = None;
-                        self.used[v] = false;
-                        return Ok(true);
-                    }
-                    Ok(false) => {}
-                    Err(()) => {
-                        self.assigned[u] = None;
-                        self.used[v] = false;
-                        return Err(());
+                // next level := this level with v taken: removed from all
+                // other rows, row u fixed to {v}.
+                self.dom.copy_within(cur..cur + self.level, next);
+                for other in 0..pn {
+                    if other != u {
+                        self.dom[next + other * self.words + v / 64] &= !(1u64 << (v % 64));
                     }
                 }
+                let urow = next + u * self.words;
+                self.dom[urow..urow + self.words].fill(0);
+                self.dom[urow + v / 64] |= 1u64 << (v % 64);
+
+                let feasible = refine(
+                    self.p,
+                    self.t,
+                    self.words,
+                    &mut self.dom[next..next + self.level],
+                    self.assigned,
+                    self.removals,
+                );
+                if feasible {
+                    match self.search(depth + 1) {
+                        Ok(true) => {
+                            self.assigned[u] = UNMAPPED;
+                            self.used[v] = false;
+                            return Ok(true);
+                        }
+                        Ok(false) => {}
+                        Err(()) => {
+                            self.assigned[u] = UNMAPPED;
+                            self.used[v] = false;
+                            return Err(());
+                        }
+                    }
+                }
+                self.assigned[u] = UNMAPPED;
+                self.used[v] = false;
             }
-            self.assigned[u] = None;
-            self.used[v] = false;
         }
         Ok(false)
     }
 }
 
-/// Existence test with an optional step budget.
-pub fn exists_budgeted(pattern: &Graph, target: &Graph, budget: Option<u64>) -> Found {
-    if pattern.vertex_count() == 0 {
-        return Found::Yes;
+/// Existence test over a precomputed [`VerifyCtx`] with a reusable
+/// [`VfScratch`] — the verification hot path.
+///
+/// Decision-equivalent to [`exists_budgeted`]; allocation-free once the
+/// scratch has grown to the largest candidate seen.
+pub fn embeds_with(
+    ctx: &VerifyCtx<'_>,
+    budget: Option<u64>,
+    scratch: &mut VfScratch,
+) -> (Found, SearchStats) {
+    let pn = ctx.pattern.vertex_count();
+    if pn == 0 {
+        return (Found::Yes, SearchStats { steps: 0, embeddings: 1 });
     }
-    if !GraphSummary::of(pattern).may_embed_into(&GraphSummary::of(target)) {
-        return Found::No;
+    if !ctx.pattern_profile.summary.may_embed_into(ctx.target_profile.summary) {
+        return (Found::No, SearchStats::default());
     }
-    let pn = pattern.vertex_count();
-    let tn = target.vertex_count();
-    let mut dom = Domains::new(pn, tn);
+    let tn = ctx.target.vertex_count();
+    let words = tn.div_ceil(64);
+    let (dom, assigned, used, removals) = scratch.ullmann_buffers(pn, tn, words);
+
+    // Seed level 0: label equality, degree feasibility, signature domination.
     for u in 0..pn {
+        let base = u * words;
+        let lu = ctx.pattern.label(u as VertexId);
+        let du = ctx.pattern.degree(u as VertexId);
+        let su = ctx.pattern_profile.sig[u];
+        let mut any = false;
         for v in 0..tn {
-            if pattern.label(u as VertexId) == target.label(v as VertexId)
-                && target.degree(v as VertexId) >= pattern.degree(u as VertexId)
+            if ctx.target.label(v as VertexId) == lu
+                && ctx.target.degree(v as VertexId) >= du
+                && sig_dominates(ctx.target_profile.sig[v], su)
             {
-                dom.set(u, v);
+                dom[base + v / 64] |= 1u64 << (v % 64);
+                any = true;
             }
         }
-        if dom.is_empty_row(u) {
-            return Found::No;
+        if !any {
+            return (Found::No, SearchStats::default());
         }
     }
+    if !refine(ctx.pattern, ctx.target, words, &mut dom[..pn * words], assigned, removals) {
+        return (Found::No, SearchStats::default());
+    }
     let mut search = Search {
-        p: pattern,
-        t: target,
-        assigned: vec![None; pn],
-        used: vec![false; tn],
+        p: ctx.pattern,
+        t: ctx.target,
+        words,
+        level: pn * words,
+        dom,
+        assigned,
+        used,
+        removals,
         steps: 0,
         budget: budget.unwrap_or(u64::MAX),
     };
-    if !search.refine(&mut dom) {
-        return Found::No;
-    }
-    match search.search(&dom, 0) {
+    let out = match search.search(0) {
         Ok(true) => Found::Yes,
         Ok(false) => Found::No,
         Err(()) => Found::Unknown,
-    }
+    };
+    (out, SearchStats { steps: search.steps, embeddings: u64::from(out == Found::Yes) })
+}
+
+/// Existence test with an optional step budget (from-scratch setup).
+pub fn exists_budgeted(pattern: &Graph, target: &Graph, budget: Option<u64>) -> Found {
+    exists_with_stats(pattern, target, budget).0
 }
 
 /// Unbudgeted existence test.
@@ -221,53 +269,18 @@ pub fn exists(pattern: &Graph, target: &Graph) -> bool {
     exists_budgeted(pattern, target, None).is_yes()
 }
 
-/// Existence test reporting step statistics.
+/// Existence test reporting step statistics (from-scratch setup: builds
+/// throwaway profiles and scratch, then delegates to [`embeds_with`]).
 pub fn exists_with_stats(
     pattern: &Graph,
     target: &Graph,
     budget: Option<u64>,
 ) -> (Found, SearchStats) {
-    // The Search struct is internal; re-run bookkeeping here to keep the
-    // public surface minimal.
-    if pattern.vertex_count() == 0 {
-        return (Found::Yes, SearchStats { steps: 0, embeddings: 1 });
-    }
-    if !GraphSummary::of(pattern).may_embed_into(&GraphSummary::of(target)) {
-        return (Found::No, SearchStats::default());
-    }
-    let pn = pattern.vertex_count();
-    let tn = target.vertex_count();
-    let mut dom = Domains::new(pn, tn);
-    for u in 0..pn {
-        for v in 0..tn {
-            if pattern.label(u as VertexId) == target.label(v as VertexId)
-                && target.degree(v as VertexId) >= pattern.degree(u as VertexId)
-            {
-                dom.set(u, v);
-            }
-        }
-        if dom.is_empty_row(u) {
-            return (Found::No, SearchStats::default());
-        }
-    }
-    let mut search = Search {
-        p: pattern,
-        t: target,
-        assigned: vec![None; pn],
-        used: vec![false; tn],
-        steps: 0,
-        budget: budget.unwrap_or(u64::MAX),
-    };
-    if !search.refine(&mut dom) {
-        return (Found::No, SearchStats::default());
-    }
-    let out = match search.search(&dom, 0) {
-        Ok(true) => Found::Yes,
-        Ok(false) => Found::No,
-        Err(()) => Found::Unknown,
-    };
-    let emb = u64::from(out == Found::Yes);
-    (out, SearchStats { steps: search.steps, embeddings: emb })
+    let pp = GraphProfile::target_only(pattern); // Ullmann needs no order
+    let tp = GraphProfile::target_only(target);
+    let ctx =
+        VerifyCtx { pattern, pattern_profile: pp.as_ref(), target, target_profile: tp.as_ref() };
+    embeds_with(&ctx, budget, &mut VfScratch::new())
 }
 
 #[cfg(test)]
@@ -337,6 +350,29 @@ mod tests {
         ];
         for (p, t) in &cases {
             assert_eq!(exists(p, t), crate::vf2::exists(p, t), "p={p:?} t={t:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_sizes() {
+        // Alternate large and small candidates through one scratch; the
+        // domain buffer must re-seed correctly every time.
+        let big = g(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let small = g(&[0, 0], &[(0, 1)]);
+        let targets = [big.clone(), small.clone(), big.clone(), small];
+        let pp = GraphProfile::target_only(&g(&[0, 0, 0], &[(0, 1), (1, 2)]));
+        let p = g(&[0, 0, 0], &[(0, 1), (1, 2)]);
+        let mut scratch = VfScratch::new();
+        for t in &targets {
+            let tp = GraphProfile::target_only(t);
+            let ctx = VerifyCtx {
+                pattern: &p,
+                pattern_profile: pp.as_ref(),
+                target: t,
+                target_profile: tp.as_ref(),
+            };
+            let (found, _) = embeds_with(&ctx, None, &mut scratch);
+            assert_eq!(found.is_yes(), exists(&p, t));
         }
     }
 }

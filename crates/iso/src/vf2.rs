@@ -6,12 +6,21 @@
 //! connectivity-driven order (see [`crate::search_order`]), generating
 //! candidates from the images of already-matched neighbours and pruning with
 //! label equality and degree feasibility.
+//!
+//! Two entry tiers:
+//!
+//! * the classic from-scratch functions ([`enumerate`], [`exists`], …) which
+//!   compute summaries, signatures and the search order per call — right for
+//!   one-off tests;
+//! * [`embeds_with`], the **hot-path** entry: all per-graph setup comes from
+//!   a precomputed [`VerifyCtx`] and all mutable search state from a
+//!   reusable [`VfScratch`], so testing one query against thousands of
+//!   candidates performs zero per-candidate setup or heap allocation.
 
+use crate::profile::{sig_dominates, signatures, VerifyCtx, VfScratch, UNMAPPED};
 use crate::{Found, SearchStats};
 use gc_graph::invariants::GraphSummary;
 use gc_graph::{Graph, VertexId};
-
-const UNMAPPED: u32 = u32::MAX;
 
 /// Search options (ablation knobs; defaults are the production setting).
 #[derive(Debug, Clone, Copy)]
@@ -26,39 +35,6 @@ impl Default for Options {
     fn default() -> Self {
         Options { neighbor_signatures: true }
     }
-}
-
-/// Packed neighbour-label signature: 8 byte-wide saturating buckets
-/// (label mod 8 -> count capped at 255). An embedding maps the neighbours of
-/// a pattern vertex injectively, label-preservingly into the neighbours of
-/// its image, so bucket-wise domination is a necessary condition even with
-/// labels merged mod 8.
-fn signatures(g: &Graph) -> Vec<u64> {
-    g.vertices()
-        .map(|v| {
-            let mut sig = 0u64;
-            for &w in g.neighbors(v) {
-                let shift = ((g.label(w).0 as usize) % 8) * 8;
-                let bucket = (sig >> shift) & 0xFF;
-                if bucket < 0xFF {
-                    sig += 1u64 << shift;
-                }
-            }
-            sig
-        })
-        .collect()
-}
-
-#[inline]
-fn sig_dominates(target: u64, pattern: u64) -> bool {
-    // Byte-wise >= for all 8 buckets.
-    for i in 0..8 {
-        let shift = i * 8;
-        if (target >> shift) & 0xFF < (pattern >> shift) & 0xFF {
-            return false;
-        }
-    }
-    true
 }
 
 /// Control returned by enumeration callbacks.
@@ -77,48 +53,26 @@ enum Flow {
     Budget,
 }
 
-struct State<'a> {
+/// The backtracking search over borrowed state: graphs and profiles come
+/// from the caller (precomputed or throwaway), mapping/occupancy buffers
+/// from a [`VfScratch`] or a local allocation. Everything inside
+/// [`Search::search`] is allocation-free.
+struct Search<'a> {
     p: &'a Graph,
     t: &'a Graph,
     order: &'a [VertexId],
     /// pattern vertex -> target vertex (UNMAPPED if free)
-    mapping: Vec<u32>,
-    used: Vec<bool>,
+    mapping: &'a mut [u32],
+    used: &'a mut [bool],
     /// Packed neighbour-label signatures (empty when disabled).
-    p_sig: Vec<u64>,
-    t_sig: Vec<u64>,
+    p_sig: &'a [u64],
+    t_sig: &'a [u64],
     steps: u64,
     budget: u64,
     embeddings: u64,
 }
 
-impl<'a> State<'a> {
-    fn new(
-        p: &'a Graph,
-        t: &'a Graph,
-        order: &'a [VertexId],
-        budget: Option<u64>,
-        opts: Options,
-    ) -> Self {
-        let (p_sig, t_sig) = if opts.neighbor_signatures {
-            (signatures(p), signatures(t))
-        } else {
-            (Vec::new(), Vec::new())
-        };
-        State {
-            p,
-            t,
-            order,
-            mapping: vec![UNMAPPED; p.vertex_count()],
-            used: vec![false; t.vertex_count()],
-            p_sig,
-            t_sig,
-            steps: 0,
-            budget: budget.unwrap_or(u64::MAX),
-            embeddings: 0,
-        }
-    }
-
+impl Search<'_> {
     #[inline]
     fn feasible(&self, u: VertexId, v: VertexId) -> bool {
         if self.used[v as usize] || self.p.label(u) != self.t.label(v) {
@@ -144,7 +98,7 @@ impl<'a> State<'a> {
     fn search(&mut self, depth: usize, cb: &mut dyn FnMut(&[u32]) -> Control) -> Flow {
         if depth == self.order.len() {
             self.embeddings += 1;
-            return match cb(&self.mapping) {
+            return match cb(self.mapping) {
                 Control::Continue => Flow::Continue,
                 Control::Stop => Flow::Stop,
             };
@@ -164,7 +118,7 @@ impl<'a> State<'a> {
 
         match anchor {
             Some(a) => {
-                // Split borrows: iterate a copied neighbour list would
+                // Split borrows: iterating a copied neighbour list would
                 // allocate; instead index into the slice by position.
                 let deg = self.t.degree(a);
                 for i in 0..deg {
@@ -209,6 +163,64 @@ impl<'a> State<'a> {
         self.used[v as usize] = false;
         flow
     }
+
+    fn outcome(flow: Flow, found: bool) -> Found {
+        match (flow, found) {
+            (Flow::Budget, false) => Found::Unknown,
+            (_, true) => Found::Yes,
+            (_, false) => Found::No,
+        }
+    }
+}
+
+/// Existence test over a precomputed [`VerifyCtx`] with a reusable
+/// [`VfScratch`] — the verification hot path.
+///
+/// Equivalent to [`exists_budgeted`] on the same pair (the decision never
+/// differs; step counts can, because the profile's search order may be built
+/// from different label statistics). Performs no heap allocation once the
+/// scratch has grown to the largest candidate seen.
+pub fn embeds_with(
+    ctx: &VerifyCtx<'_>,
+    budget: Option<u64>,
+    scratch: &mut VfScratch,
+) -> (Found, SearchStats) {
+    if ctx.pattern.vertex_count() == 0 {
+        return (Found::Yes, SearchStats { steps: 0, embeddings: 1 });
+    }
+    // Release-mode guard (not just the debug assert in `VerifyCtx::new`,
+    // which literal construction can bypass): a target-only profile on the
+    // pattern side would make the search think depth 0 is already complete
+    // and report a false positive.
+    assert_eq!(
+        ctx.pattern_profile.order.len(),
+        ctx.pattern.vertex_count(),
+        "vf2::embeds_with requires a full pattern profile (with search order)"
+    );
+    if !ctx.pattern_profile.summary.may_embed_into(ctx.target_profile.summary) {
+        return (Found::No, SearchStats::default());
+    }
+    let (mapping, used) =
+        scratch.vf2_buffers(ctx.pattern.vertex_count(), ctx.target.vertex_count());
+    let mut search = Search {
+        p: ctx.pattern,
+        t: ctx.target,
+        order: ctx.pattern_profile.order,
+        mapping,
+        used,
+        p_sig: ctx.pattern_profile.sig,
+        t_sig: ctx.target_profile.sig,
+        steps: 0,
+        budget: budget.unwrap_or(u64::MAX),
+        embeddings: 0,
+    };
+    let mut found = false;
+    let flow = search.search(0, &mut |_| {
+        found = true;
+        Control::Stop
+    });
+    let stats = SearchStats { steps: search.steps, embeddings: search.embeddings };
+    (Search::outcome(flow, found), stats)
 }
 
 /// Run the search, invoking `cb` for each embedding found.
@@ -243,20 +255,33 @@ pub fn enumerate_with_options(
     }
     let freq = target.label_histogram();
     let order = crate::search_order(pattern, Some(&freq));
-    let mut state = State::new(pattern, target, &order, budget, opts);
+    let (p_sig, t_sig) = if opts.neighbor_signatures {
+        (signatures(pattern), signatures(target))
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let mut mapping = vec![UNMAPPED; pattern.vertex_count()];
+    let mut used = vec![false; target.vertex_count()];
+    let mut search = Search {
+        p: pattern,
+        t: target,
+        order: &order,
+        mapping: &mut mapping,
+        used: &mut used,
+        p_sig: &p_sig,
+        t_sig: &t_sig,
+        steps: 0,
+        budget: budget.unwrap_or(u64::MAX),
+        embeddings: 0,
+    };
     let mut found = false;
     let mut wrapped = |m: &[u32]| {
         found = true;
         cb(m)
     };
-    let flow = state.search(0, &mut wrapped);
-    let stats = SearchStats { steps: state.steps, embeddings: state.embeddings };
-    let outcome = match (flow, found) {
-        (Flow::Budget, false) => Found::Unknown,
-        (_, true) => Found::Yes,
-        (_, false) => Found::No,
-    };
-    (outcome, stats)
+    let flow = search.search(0, &mut wrapped);
+    let stats = SearchStats { steps: search.steps, embeddings: search.embeddings };
+    (Search::outcome(flow, found), stats)
 }
 
 /// Existence test with an optional step budget.
@@ -302,6 +327,7 @@ pub fn find_embeddings(pattern: &Graph, target: &Graph, limit: usize) -> Vec<Vec
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::GraphProfile;
     use gc_graph::{graph_from_parts, Label};
 
     fn g(labels: &[u32], edges: &[(u32, u32)]) -> Graph {
@@ -431,5 +457,41 @@ mod tests {
         let (f, stats) = exists_with_stats(&p, &t, None);
         assert_eq!(f, Found::Yes);
         assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn embeds_with_matches_from_scratch() {
+        let cases = [
+            (g(&[0, 0, 0], &[(0, 1), (1, 2), (0, 2)]), g(&[0; 4], &[(0, 1), (0, 2), (0, 3)])),
+            (g(&[0, 1], &[(0, 1)]), g(&[1, 0, 1], &[(0, 1), (1, 2)])),
+            (g(&[], &[]), g(&[5], &[])),
+            (g(&[0, 0], &[]), g(&[0, 1], &[])),
+        ];
+        let mut scratch = VfScratch::new();
+        for (p, t) in &cases {
+            let pp = GraphProfile::new(p, Some(&t.label_histogram()));
+            let tp = GraphProfile::target_only(t);
+            let ctx = VerifyCtx::from_profiles(p, &pp, t, &tp);
+            let (found, _) = embeds_with(&ctx, None, &mut scratch);
+            assert_eq!(found, exists_budgeted(p, t, None), "p={p:?} t={t:?}");
+        }
+    }
+
+    #[test]
+    fn embeds_with_budget_unknown() {
+        let p = g(&[0; 6], &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let mut edges = Vec::new();
+        for u in 0..10u32 {
+            for v in (u + 1)..10 {
+                edges.push((u, v));
+            }
+        }
+        let t = g(&[0; 10], &edges);
+        let pp = GraphProfile::new(&p, None);
+        let tp = GraphProfile::target_only(&t);
+        let mut scratch = VfScratch::new();
+        let ctx = VerifyCtx::from_profiles(&p, &pp, &t, &tp);
+        assert_eq!(embeds_with(&ctx, Some(1), &mut scratch).0, Found::Unknown);
+        assert_eq!(embeds_with(&ctx, None, &mut scratch).0, Found::Yes);
     }
 }

@@ -1,0 +1,150 @@
+//! Proof that the profiled verification hot path is allocation-free.
+//!
+//! A counting global allocator tracks allocations **per thread** (other test
+//! threads in the same binary must not pollute the count). After one warm-up
+//! pass grows every scratch buffer to its high-water mark, a second pass
+//! over the same candidates must perform zero allocations — for both
+//! engines, both directions, and budgeted probes.
+//!
+//! This is an integration test (its own binary) so the `#[global_allocator]`
+//! cannot interfere with the library's unit tests, and so the crate-level
+//! `#![forbid(unsafe_code)]` (which the allocator impl necessarily violates)
+//! stays intact for the library itself.
+
+use gc_iso::{GraphProfile, VerifyCtx, VfScratch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the only addition is a
+// thread-local counter bump (Cell<u64> is const-initialized and has no
+// destructor, so touching it from the allocator cannot recurse or allocate).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_on_this_thread() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+fn graph(labels: &[u32], edges: &[(u32, u32)]) -> gc_graph::Graph {
+    let ls: Vec<gc_graph::Label> = labels.iter().map(|&l| gc_graph::Label(l)).collect();
+    gc_graph::graph_from_parts(&ls, edges).unwrap()
+}
+
+/// A small synthetic "dataset" of mixed sizes plus a pattern, with all
+/// profiles precomputed — everything the hot loop is allowed to touch.
+struct Fixture {
+    pattern: gc_graph::Graph,
+    pattern_profile: GraphProfile,
+    targets: Vec<gc_graph::Graph>,
+    target_profiles: Vec<GraphProfile>,
+}
+
+fn fixture() -> Fixture {
+    let pattern = graph(&[0, 1, 0], &[(0, 1), (1, 2)]);
+    let mut targets = vec![
+        graph(&[0, 1, 0, 1], &[(0, 1), (1, 2), (2, 3), (3, 0)]),
+        graph(&[0, 1], &[(0, 1)]),
+        graph(&[2, 2, 2], &[(0, 1), (1, 2)]),
+    ];
+    // A larger dense target so the search actually backtracks, and >64
+    // vertices would be overkill for unit scale but ~70 vertices exercises
+    // the multi-word Ullmann domain rows.
+    let n = 70u32;
+    let labels: Vec<u32> = (0..n).map(|v| v % 2).collect();
+    let edges: Vec<(u32, u32)> = (0..n - 1).map(|v| (v, v + 1)).collect();
+    targets.push(graph(&labels, &edges));
+    let pattern_profile = GraphProfile::new(&pattern, None);
+    let target_profiles = targets.iter().map(GraphProfile::target_only).collect();
+    Fixture { pattern, pattern_profile, targets, target_profiles }
+}
+
+fn sweep(fx: &Fixture, scratch: &mut VfScratch, budget: Option<u64>) -> u64 {
+    let mut total_steps = 0;
+    for (t, tp) in fx.targets.iter().zip(&fx.target_profiles) {
+        let ctx = VerifyCtx::from_profiles(&fx.pattern, &fx.pattern_profile, t, tp);
+        let (_, vf2_stats) = gc_iso::vf2::embeds_with(&ctx, budget, scratch);
+        let (_, ull_stats) = gc_iso::ullmann::embeds_with(&ctx, budget, scratch);
+        total_steps += vf2_stats.steps + ull_stats.steps;
+    }
+    total_steps
+}
+
+#[test]
+fn per_candidate_search_loop_is_allocation_free() {
+    let fx = fixture();
+    let mut scratch = VfScratch::new();
+
+    // Warm-up: grows every scratch buffer to its high-water mark (and
+    // faults in any lazy thread state).
+    let warm_steps = sweep(&fx, &mut scratch, None);
+    assert!(warm_steps > 0, "the sweep must do real search work");
+
+    // Measured pass: identical work, zero allocations.
+    let before = allocations_on_this_thread();
+    let steps = sweep(&fx, &mut scratch, None);
+    let budgeted_steps = sweep(&fx, &mut scratch, Some(3));
+    let after = allocations_on_this_thread();
+
+    assert_eq!(
+        after - before,
+        0,
+        "profiled verification allocated on the hot path ({steps} + {budgeted_steps} steps)"
+    );
+    assert_eq!(steps, warm_steps, "reused scratch must not change the search");
+}
+
+#[test]
+fn scratch_growth_happens_only_at_the_high_water_mark() {
+    let fx = fixture();
+    let mut scratch = VfScratch::new();
+
+    // Warm up on the *largest* target only; smaller candidates afterwards
+    // must not allocate even on first sight.
+    let largest = fx
+        .targets
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, t)| t.vertex_count())
+        .map(|(i, _)| i)
+        .unwrap();
+    let ctx = VerifyCtx::from_profiles(
+        &fx.pattern,
+        &fx.pattern_profile,
+        &fx.targets[largest],
+        &fx.target_profiles[largest],
+    );
+    gc_iso::vf2::embeds_with(&ctx, None, &mut scratch);
+    gc_iso::ullmann::embeds_with(&ctx, None, &mut scratch);
+
+    let before = allocations_on_this_thread();
+    sweep(&fx, &mut scratch, None);
+    let after = allocations_on_this_thread();
+    assert_eq!(after - before, 0, "smaller candidates must fit the warmed scratch");
+}

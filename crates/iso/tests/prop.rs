@@ -200,6 +200,32 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
+    fn profiled_path_matches_from_scratch_both_engines_both_sides(
+        a in arb_graph(4, 2),
+        b in arb_graph(6, 2),
+    ) {
+        // One scratch shared by every test in this case — differently-sized
+        // candidates, both directions, both engines — mirroring how the
+        // cache's verify loop reuses it.
+        let mut scratch = gc_iso::VfScratch::new();
+        for (p, t) in [(&a, &b), (&b, &a)] {
+            let pp = gc_iso::GraphProfile::new(p, Some(&t.label_histogram()));
+            let tp = gc_iso::GraphProfile::target_only(t);
+            let ctx = gc_iso::VerifyCtx::from_profiles(p, &pp, t, &tp);
+            let (vf2_found, _) = gc_iso::vf2::embeds_with(&ctx, None, &mut scratch);
+            prop_assert_eq!(vf2_found.is_yes(), gc_iso::vf2::exists(p, t));
+            let (ull_found, _) = gc_iso::ullmann::embeds_with(&ctx, None, &mut scratch);
+            prop_assert_eq!(ull_found.is_yes(), gc_iso::ullmann::exists(p, t));
+            // A profile whose search order ignores target statistics must
+            // not change the decision either (only the step count may move).
+            let pp_blind = gc_iso::GraphProfile::new(p, None);
+            let ctx_blind = gc_iso::VerifyCtx::from_profiles(p, &pp_blind, t, &tp);
+            let (blind_found, _) = gc_iso::vf2::embeds_with(&ctx_blind, None, &mut scratch);
+            prop_assert_eq!(blind_found.is_yes(), vf2_found.is_yes());
+        }
+    }
+
+    #[test]
     fn signature_pruning_never_changes_answers(
         p in arb_graph(5, 3),
         t in arb_graph(7, 3),

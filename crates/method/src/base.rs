@@ -1,7 +1,8 @@
 //! Baseline execution: Method M without any cache.
 
-use crate::{Dataset, Engine, Method, QueryKind};
+use crate::{Dataset, Engine, Method, QueryKind, QueryProfile};
 use gc_graph::{BitSet, Graph};
+use gc_iso::VfScratch;
 use std::time::{Duration, Instant};
 
 /// Result of running one query through Method M alone (filter + verify).
@@ -37,12 +38,13 @@ pub fn execute_base(
     let cand_count = candidates.count();
     let mut answer = dataset.empty_set();
     let mut verify_steps = 0u64;
+    // One query profile + one scratch for the whole candidate sweep: the
+    // per-candidate loop is setup- and allocation-free.
+    let profile = QueryProfile::new(dataset, query, kind);
+    let mut scratch = VfScratch::new();
     for gid in candidates.iter() {
-        let target = dataset.graph(gid as u32);
-        let (contained, steps) = match kind {
-            QueryKind::Subgraph => engine.verify(query, target),
-            QueryKind::Supergraph => engine.verify(target, query),
-        };
+        let (contained, steps) =
+            engine.verify_candidate(dataset, &profile, query, gid as u32, &mut scratch);
         verify_steps += steps;
         if contained {
             answer.insert(gid);

@@ -2,8 +2,32 @@
 
 use gc_graph::invariants::GraphSummary;
 use gc_graph::{BitSet, Graph, GraphId};
+use gc_iso::{GraphProfile, ProfileRef};
 
-/// A loaded collection of data graphs with precomputed per-graph summaries.
+/// Flat side arrays of per-graph verification precomputation: packed
+/// neighbour signatures and pattern-role search orders for every dataset
+/// graph, concatenated with one shared offset table (both are per-vertex).
+///
+/// Built once at load time so the verification hot path pays zero
+/// per-candidate setup — the engines receive borrowed [`ProfileRef`] slices
+/// straight out of these arrays.
+#[derive(Debug)]
+pub struct DatasetProfiles {
+    /// `off[i]..off[i + 1]` is graph `i`'s vertex range in `sig` / `order`.
+    off: Vec<usize>,
+    sig: Vec<u64>,
+    order: Vec<u32>,
+}
+
+impl DatasetProfiles {
+    /// Approximate heap bytes of the side arrays.
+    pub fn memory_bytes(&self) -> usize {
+        self.off.len() * std::mem::size_of::<usize>() + self.sig.len() * 8 + self.order.len() * 4
+    }
+}
+
+/// A loaded collection of data graphs with precomputed per-graph summaries
+/// and verification profiles.
 ///
 /// The dataset is immutable for the lifetime of a cache instance (the paper's
 /// Dataset Graphs component); graph ids are dense `0..len`.
@@ -12,12 +36,30 @@ pub struct Dataset {
     graphs: Vec<Graph>,
     summaries: Vec<GraphSummary>,
     label_freq: Vec<u32>,
+    profiles: DatasetProfiles,
 }
 
 impl Dataset {
-    /// Wrap a vector of graphs.
+    /// Wrap a vector of graphs, precomputing summaries, label frequencies
+    /// and per-graph verification profiles.
     pub fn new(graphs: Vec<Graph>) -> Self {
-        let summaries = graphs.iter().map(GraphSummary::of).collect();
+        let mut summaries = Vec::with_capacity(graphs.len());
+        let mut profiles = DatasetProfiles {
+            off: Vec::with_capacity(graphs.len() + 1),
+            sig: Vec::new(),
+            order: Vec::new(),
+        };
+        profiles.off.push(0);
+        for g in &graphs {
+            // One full profile per graph: the graph serves as verification
+            // *target* for subgraph queries and as *pattern* (hence the
+            // search order) for supergraph queries.
+            let p = GraphProfile::new(g, None);
+            summaries.push(p.summary);
+            profiles.sig.extend_from_slice(&p.sig);
+            profiles.order.extend_from_slice(&p.order);
+            profiles.off.push(profiles.sig.len());
+        }
         let max_label = graphs
             .iter()
             .filter_map(|g| g.max_label())
@@ -30,7 +72,7 @@ impl Dataset {
                 label_freq[g.label(v).0 as usize] += 1;
             }
         }
-        Dataset { graphs, summaries, label_freq }
+        Dataset { graphs, summaries, label_freq, profiles }
     }
 
     /// Number of graphs.
@@ -54,6 +96,23 @@ impl Dataset {
     /// Precomputed invariants summary of graph `id`.
     pub fn summary(&self, id: GraphId) -> &GraphSummary {
         &self.summaries[id as usize]
+    }
+
+    /// Precomputed verification profile of graph `id` (borrowed slices of
+    /// the flat [`DatasetProfiles`] side arrays — no per-call work).
+    pub fn profile(&self, id: GraphId) -> ProfileRef<'_> {
+        let i = id as usize;
+        let range = self.profiles.off[i]..self.profiles.off[i + 1];
+        ProfileRef {
+            summary: &self.summaries[i],
+            sig: &self.profiles.sig[range.clone()],
+            order: &self.profiles.order[range],
+        }
+    }
+
+    /// The flat profile side arrays (for memory accounting).
+    pub fn profiles(&self) -> &DatasetProfiles {
+        &self.profiles
     }
 
     /// All graphs in id order.
@@ -103,6 +162,19 @@ mod tests {
         assert_eq!(d.graph(0).vertex_count(), 2);
         assert_eq!(d.summary(1).n, 3);
         assert_eq!(d.label_freq(), &[1, 3, 1]);
+    }
+
+    #[test]
+    fn profiles_match_per_graph_computation() {
+        let d = ds();
+        assert!(d.profiles().memory_bytes() > 0);
+        for id in 0..d.len() as u32 {
+            let fresh = GraphProfile::new(d.graph(id), None);
+            let p = d.profile(id);
+            assert_eq!(p.summary, &fresh.summary, "graph {id}");
+            assert_eq!(p.sig, &fresh.sig[..], "graph {id}");
+            assert_eq!(p.order, &fresh.order[..], "graph {id}");
+        }
     }
 
     #[test]

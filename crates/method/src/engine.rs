@@ -1,7 +1,46 @@
 //! The Verifier: which sub-iso engine performs verification.
 
-use gc_graph::Graph;
-use gc_iso::Found;
+use crate::{Dataset, QueryKind};
+use gc_graph::{Graph, GraphId};
+use gc_iso::{Found, GraphProfile, ProfileRef, SearchStats, VerifyCtx, VfScratch};
+
+/// Per-query verification precomputation: the query graph's profile
+/// (summary, packed neighbour signatures, and — for the side where the query
+/// is the pattern — a search order steered by the dataset's global label
+/// frequencies). Built **once per query** and shared by every candidate
+/// test; pair it with the dataset's precomputed per-graph profiles and a
+/// reusable [`VfScratch`] and the per-candidate hot path performs zero setup
+/// and zero heap allocation.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    kind: QueryKind,
+    profile: GraphProfile,
+}
+
+impl QueryProfile {
+    /// Profile `query` for repeated `kind`-verification over `dataset`.
+    pub fn new(dataset: &Dataset, query: &Graph, kind: QueryKind) -> Self {
+        let profile = match kind {
+            // Subgraph queries: the query is the pattern of every test;
+            // order its vertices by global label rarity in the dataset.
+            QueryKind::Subgraph => GraphProfile::new(query, Some(dataset.label_freq())),
+            // Supergraph queries: the query is the target; the pattern-side
+            // orders come from the dataset profiles.
+            QueryKind::Supergraph => GraphProfile::target_only(query),
+        };
+        QueryProfile { kind, profile }
+    }
+
+    /// The query kind this profile was built for.
+    pub fn kind(&self) -> QueryKind {
+        self.kind
+    }
+
+    /// Borrowed view of the query's graph profile.
+    pub fn profile(&self) -> ProfileRef<'_> {
+        self.profile.as_ref()
+    }
+}
 
 /// Selects the sub-iso implementation used for verification and for
 /// confirming cache hits. Step counts feed the cost-aware replacement
@@ -47,6 +86,60 @@ impl Engine {
         };
         (found, stats.steps)
     }
+
+    /// Run this engine over a fully-precomputed candidate pair — the
+    /// allocation-free hot-path primitive both [`Engine::verify_candidate`]
+    /// and the cache's hit-confirmation probes build on.
+    pub fn verify_ctx(
+        self,
+        ctx: &VerifyCtx<'_>,
+        budget: Option<u64>,
+        scratch: &mut VfScratch,
+    ) -> (Found, SearchStats) {
+        match self {
+            Engine::Vf2 => gc_iso::vf2::embeds_with(ctx, budget, scratch),
+            Engine::Ullmann => gc_iso::ullmann::embeds_with(ctx, budget, scratch),
+        }
+    }
+
+    /// Exact containment test of `query` against dataset graph `gid` using
+    /// the precomputed [`QueryProfile`] and dataset profiles; all mutable
+    /// search state comes from `scratch`. Decision-equivalent to
+    /// [`Engine::verify`] on the same pair.
+    pub fn verify_candidate(
+        self,
+        dataset: &Dataset,
+        profile: &QueryProfile,
+        query: &Graph,
+        gid: GraphId,
+        scratch: &mut VfScratch,
+    ) -> (bool, u64) {
+        let (found, steps) =
+            self.verify_candidate_budgeted(dataset, profile, query, gid, None, scratch);
+        debug_assert_ne!(found, Found::Unknown, "unbudgeted search cannot be Unknown");
+        (found.is_yes(), steps)
+    }
+
+    /// Budgeted profiled containment test (see [`Engine::verify_budgeted`]
+    /// for the budget semantics).
+    pub fn verify_candidate_budgeted(
+        self,
+        dataset: &Dataset,
+        profile: &QueryProfile,
+        query: &Graph,
+        gid: GraphId,
+        budget: Option<u64>,
+        scratch: &mut VfScratch,
+    ) -> (Found, u64) {
+        let target = dataset.graph(gid);
+        let gp = dataset.profile(gid);
+        let ctx = match profile.kind() {
+            QueryKind::Subgraph => VerifyCtx::new(query, profile.profile(), target, gp),
+            QueryKind::Supergraph => VerifyCtx::new(target, gp, query, profile.profile()),
+        };
+        let (found, stats) = self.verify_ctx(&ctx, budget, scratch);
+        (found, stats.steps)
+    }
 }
 
 impl std::fmt::Display for Engine {
@@ -75,6 +168,55 @@ mod tests {
             assert!(steps > 0, "{e}");
             let (no, _) = e.verify(&g(&[5], &[]), &t);
             assert!(!no, "{e}");
+        }
+    }
+
+    #[test]
+    fn profiled_path_matches_from_scratch_for_both_kinds_and_engines() {
+        let dataset = Dataset::new(vec![
+            g(&[0, 1, 2], &[(0, 1), (1, 2)]),
+            g(&[0, 1, 0], &[(0, 1), (1, 2), (0, 2)]),
+            g(&[3, 3], &[(0, 1)]),
+            g(&[0, 1], &[(0, 1)]),
+        ]);
+        let queries =
+            [g(&[0, 1], &[(0, 1)]), g(&[0, 1, 2, 0], &[(0, 1), (1, 2), (0, 3)]), g(&[5], &[])];
+        let mut scratch = VfScratch::new();
+        for e in [Engine::Vf2, Engine::Ullmann] {
+            for kind in [QueryKind::Subgraph, QueryKind::Supergraph] {
+                for q in &queries {
+                    let qp = QueryProfile::new(&dataset, q, kind);
+                    assert_eq!(qp.kind(), kind);
+                    for gid in 0..dataset.len() as u32 {
+                        let t = dataset.graph(gid);
+                        let (want, _) = match kind {
+                            QueryKind::Subgraph => e.verify(q, t),
+                            QueryKind::Supergraph => e.verify(t, q),
+                        };
+                        let (got, steps) = e.verify_candidate(&dataset, &qp, q, gid, &mut scratch);
+                        assert_eq!(got, want, "{e} {kind} gid={gid}");
+                        let _ = steps;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn profiled_budget_reports_unknown() {
+        let p = g(&[0; 5], &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut edges = Vec::new();
+        for u in 0..9u32 {
+            for v in (u + 1)..9 {
+                edges.push((u, v));
+            }
+        }
+        let dataset = Dataset::new(vec![g(&[0; 9], &edges)]);
+        let mut scratch = VfScratch::new();
+        for e in [Engine::Vf2, Engine::Ullmann] {
+            let qp = QueryProfile::new(&dataset, &p, QueryKind::Subgraph);
+            let (f, _) = e.verify_candidate_budgeted(&dataset, &qp, &p, 0, Some(1), &mut scratch);
+            assert_eq!(f, Found::Unknown, "{e}");
         }
     }
 

@@ -31,10 +31,11 @@ mod si;
 mod sig;
 
 pub use base::{execute_base, BaseRun};
-pub use dataset::Dataset;
-pub use engine::Engine;
+pub use dataset::{Dataset, DatasetProfiles};
+pub use engine::{Engine, QueryProfile};
 pub use ftv::FtvMethod;
 pub use ftv_tree::FtvTreeMethod;
+pub use gc_iso::VfScratch;
 pub use si::SiMethod;
 pub use sig::SigMethod;
 
