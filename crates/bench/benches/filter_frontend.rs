@@ -1,0 +1,110 @@
+//! Filter front-end microbenches: streaming/arena tier vs the reference
+//! (materialized/HashMap) tier, per stage — extraction, FTV trie filter,
+//! containment-index probes. The end-to-end per-query comparison lives in
+//! `exp9_filter_frontend` (answer-cross-checked); these isolate each stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_graph::BitSet;
+use gc_index::reference::{feature_vec_materialized, RefPathTrie, RefQueryIndex};
+use gc_index::{CandScratch, ExtractScratch, FeatureConfig, PathTrie, QueryIndex, TrieScratch};
+use gc_workload::{extract_query, molecule_dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_filter_frontend(c: &mut Criterion) {
+    let cfg = FeatureConfig::with_max_len(3);
+    let dataset = molecule_dataset(100, 1234);
+    let mut rng = StdRng::seed_from_u64(5);
+    let queries: Vec<_> =
+        (0..20).map(|i| extract_query(&dataset[i % dataset.len()], 8, &mut rng).unwrap()).collect();
+
+    let trie = PathTrie::build(&dataset, cfg);
+    let ref_trie = RefPathTrie::build(&dataset, cfg);
+    let mut qi = QueryIndex::new(cfg);
+    let mut ref_qi = RefQueryIndex::new(cfg);
+    for i in 0..32u32 {
+        let cached =
+            extract_query(&dataset[(i as usize * 3) % dataset.len()], 6, &mut rng).unwrap();
+        qi.insert(i, &cached);
+        ref_qi.insert(i, &cached);
+    }
+    let feature_vecs: Vec<_> = queries.iter().map(|q| qi.features_of(q)).collect();
+
+    let mut group = c.benchmark_group("filter_frontend");
+    group.sample_size(15).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("extract/materialized", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                total += feature_vec_materialized(std::hint::black_box(q), &cfg).len();
+            }
+            total
+        })
+    });
+    group.bench_function("extract/streaming", |b| {
+        let mut scratch = ExtractScratch::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                total += scratch.extract(std::hint::black_box(q), &cfg).len();
+            }
+            total
+        })
+    });
+
+    group.bench_function("trie/nodes", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                total += ref_trie.candidates(std::hint::black_box(q)).count();
+                total += ref_trie.super_candidates(std::hint::black_box(q)).count();
+            }
+            total
+        })
+    });
+    group.bench_function("trie/arena", |b| {
+        let mut scratch = TrieScratch::new();
+        let mut out = BitSet::new(trie.dataset_size());
+        b.iter(|| {
+            let mut total = 0usize;
+            for q in &queries {
+                trie.candidates_into(std::hint::black_box(q), &mut scratch, &mut out);
+                total += out.count();
+                trie.super_candidates_into(std::hint::black_box(q), &mut scratch, &mut out);
+                total += out.count();
+            }
+            total
+        })
+    });
+
+    group.bench_function("query_index/hashmap", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for qf in &feature_vecs {
+                total += ref_qi.sub_case_candidates(std::hint::black_box(qf)).len();
+                total += ref_qi.super_case_candidates(std::hint::black_box(qf)).len();
+            }
+            total
+        })
+    });
+    group.bench_function("query_index/flat", |b| {
+        let mut scratch = CandScratch::new();
+        b.iter(|| {
+            let mut total = 0usize;
+            for qf in &feature_vecs {
+                qi.sub_case_candidates_into(std::hint::black_box(qf).as_features(), &mut scratch);
+                total += scratch.candidates().len();
+                qi.super_case_candidates_into(qf.as_features(), &mut scratch);
+                total += scratch.candidates().len();
+            }
+            total
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter_frontend);
+criterion_main!(benches);

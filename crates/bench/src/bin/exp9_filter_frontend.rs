@@ -1,0 +1,255 @@
+//! Experiment IX: filter front-end throughput.
+//!
+//! PR 2 made verification allocation-free, which moved the per-query
+//! bottleneck to the filtering front-end: feature extraction, the FTV trie
+//! filter, and the containment-index probes. This harness measures that
+//! front-end per query across two tiers:
+//!
+//! * **old** — the pre-PR implementations kept in `gc_index::reference`:
+//!   materialized path enumeration (`Vec<Vec<Label>>` per query), the
+//!   pointer-chasing node trie, and HashMap-postings candidate accumulation;
+//! * **new** — the streaming/arena tier: one [`ExtractScratch`] extraction
+//!   per query shared by both index probes, the arena [`PathTrie`]
+//!   intersecting word-parallel into a reused bitset, and the flat-postings
+//!   [`QueryIndex`] probed through a [`CandScratch`].
+//!
+//! Both tiers are answer-cross-checked on every query — feature items, both
+//! trie candidate sets and both containment candidate lists must match
+//! exactly; any divergence **exits nonzero**, making this a correctness gate
+//! as well as a benchmark. Writes
+//! `bench_results/exp9_filter_frontend.json` and — as the repo's
+//! filter perf-trajectory artifact — `BENCH_filter.json` at the
+//! working-directory root.
+//!
+//! `--smoke` shrinks the workload for CI regression gating (seconds, not
+//! minutes); the committed `BENCH_filter.json` should come from a full run.
+
+use gc_bench::{print_table, write_artifact};
+use gc_graph::BitSet;
+use gc_index::reference::{feature_vec_materialized, RefPathTrie, RefQueryIndex};
+use gc_index::{CandScratch, ExtractScratch, FeatureConfig, PathTrie, QueryIndex, TrieScratch};
+use gc_workload::{extract_query, molecule_dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct StageWall {
+    extract_s: f64,
+    trie_s: f64,
+    query_index_s: f64,
+}
+
+#[derive(Serialize)]
+struct Exp9Artifact {
+    smoke: bool,
+    dataset_graphs: usize,
+    cached_entries: usize,
+    n_queries: usize,
+    query_edges: usize,
+    feature_len: usize,
+    repeats: usize,
+    old_wall_s: f64,
+    new_wall_s: f64,
+    old_queries_per_s: f64,
+    new_queries_per_s: f64,
+    old_stages: StageWall,
+    new_stages: StageWall,
+    /// `old_wall_s / new_wall_s` — the number that must stay ≥ 1.
+    speedup: f64,
+}
+
+/// Per-query front-end answers of one tier, for the cross-check.
+#[derive(PartialEq)]
+struct Answers {
+    features: Vec<(u64, u32)>,
+    sub_filter: BitSet,
+    super_filter: BitSet,
+    sub_cands: Vec<u32>,
+    super_cands: Vec<u32>,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("exp9 cross-check FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_graphs = if smoke { 30 } else { 120 };
+    let n_cached = if smoke { 16 } else { 48 };
+    let n_queries = if smoke { 8 } else { 30 };
+    let query_edges = 8;
+    let repeats = if smoke { 2 } else { 5 };
+    let feature_len = 3;
+    let cfg = FeatureConfig::with_max_len(feature_len);
+
+    let graphs = molecule_dataset(n_graphs, 4242);
+    let mut rng = StdRng::seed_from_u64(17);
+    let queries: Vec<_> = (0..n_queries)
+        .map(|i| {
+            extract_query(&graphs[i % graphs.len()], query_edges, &mut rng)
+                .expect("molecule graphs have edges")
+        })
+        .collect();
+
+    // Both index families built over the same data at the same config.
+    let new_trie = PathTrie::build(&graphs, cfg);
+    let old_trie = RefPathTrie::build(&graphs, cfg);
+    let mut new_qi = QueryIndex::new(cfg);
+    let mut old_qi = RefQueryIndex::new(cfg);
+    for i in 0..n_cached {
+        let cached = extract_query(&graphs[(i * 7) % graphs.len()], 6, &mut rng)
+            .expect("molecule graphs have edges");
+        new_qi.insert(i as u32, &cached);
+        old_qi.insert(i as u32, &cached);
+    }
+
+    // --- old tier (and the reference answers) ---------------------------
+    let mut old_answers: Vec<Answers> = Vec::new();
+    let mut old_stage = StageWall { extract_s: 0.0, trie_s: 0.0, query_index_s: 0.0 };
+    let t0 = Instant::now();
+    for rep in 0..repeats {
+        old_answers.clear();
+        for q in &queries {
+            let te = Instant::now();
+            let qf = feature_vec_materialized(q, &cfg);
+            let tt = Instant::now();
+            let sub_filter = old_trie.candidates(q);
+            let super_filter = old_trie.super_candidates(q);
+            let tq = Instant::now();
+            let sub_cands = old_qi.sub_case_candidates(&qf);
+            let super_cands = old_qi.super_case_candidates(&qf);
+            let end = Instant::now();
+            if rep == 0 {
+                old_stage.extract_s += (tt - te).as_secs_f64();
+                old_stage.trie_s += (tq - tt).as_secs_f64();
+                old_stage.query_index_s += (end - tq).as_secs_f64();
+            }
+            old_answers.push(Answers {
+                features: qf.items().to_vec(),
+                sub_filter,
+                super_filter,
+                sub_cands,
+                super_cands,
+            });
+        }
+    }
+    let old_wall = t0.elapsed().as_secs_f64() / repeats as f64;
+
+    // --- new tier, answer-checked ---------------------------------------
+    let mut extract = ExtractScratch::new();
+    let mut cand = CandScratch::new();
+    let mut trie_scratch = TrieScratch::new();
+    let mut sub_filter = BitSet::new(new_trie.dataset_size());
+    let mut super_filter = BitSet::new(new_trie.dataset_size());
+    let mut new_stage = StageWall { extract_s: 0.0, trie_s: 0.0, query_index_s: 0.0 };
+    let t1 = Instant::now();
+    for rep in 0..repeats {
+        for (qi_at, q) in queries.iter().enumerate() {
+            let te = Instant::now();
+            let features = extract.extract(q, &cfg);
+            let tt = Instant::now();
+            new_trie.candidates_into(q, &mut trie_scratch, &mut sub_filter);
+            new_trie.super_candidates_into(q, &mut trie_scratch, &mut super_filter);
+            let tq = Instant::now();
+            new_qi.sub_case_candidates_into(features, &mut cand);
+            let sub_ok = cand.candidates() == old_answers[qi_at].sub_cands.as_slice();
+            let sub_len = cand.candidates().len();
+            new_qi.super_case_candidates_into(features, &mut cand);
+            let end = Instant::now();
+            if rep == 0 {
+                new_stage.extract_s += (tt - te).as_secs_f64();
+                new_stage.trie_s += (tq - tt).as_secs_f64();
+                new_stage.query_index_s += (end - tq).as_secs_f64();
+            }
+            // Cross-check every stage against the old tier.
+            let want = &old_answers[qi_at];
+            if features.items() != want.features.as_slice() {
+                fail(&format!("feature items diverged on query {qi_at}"));
+            }
+            if sub_filter != want.sub_filter {
+                fail(&format!("trie sub-filter diverged on query {qi_at}"));
+            }
+            if super_filter != want.super_filter {
+                fail(&format!("trie super-filter diverged on query {qi_at}"));
+            }
+            if !sub_ok {
+                fail(&format!("sub-case candidates diverged on query {qi_at} ({sub_len} found)"));
+            }
+            if cand.candidates() != want.super_cands.as_slice() {
+                fail(&format!("super-case candidates diverged on query {qi_at}"));
+            }
+        }
+    }
+    let new_wall = t1.elapsed().as_secs_f64() / repeats as f64;
+
+    let speedup = old_wall / new_wall.max(1e-12);
+    let nq = n_queries as f64;
+    println!(
+        "=== Experiment IX: filter front-end ({} graphs, {} cached entries, {} queries, \
+         answers cross-checked) ===\n",
+        n_graphs, n_cached, n_queries
+    );
+    let rows = vec![
+        vec![
+            "extract".to_owned(),
+            format!("{:.1}k/s", nq / old_stage.extract_s.max(1e-12) / 1e3),
+            format!("{:.1}k/s", nq / new_stage.extract_s.max(1e-12) / 1e3),
+            format!("{:.2}x", old_stage.extract_s / new_stage.extract_s.max(1e-12)),
+        ],
+        vec![
+            "ftv-trie".to_owned(),
+            format!("{:.1}k/s", nq / old_stage.trie_s.max(1e-12) / 1e3),
+            format!("{:.1}k/s", nq / new_stage.trie_s.max(1e-12) / 1e3),
+            format!("{:.2}x", old_stage.trie_s / new_stage.trie_s.max(1e-12)),
+        ],
+        vec![
+            "query-index".to_owned(),
+            format!("{:.1}k/s", nq / old_stage.query_index_s.max(1e-12) / 1e3),
+            format!("{:.1}k/s", nq / new_stage.query_index_s.max(1e-12) / 1e3),
+            format!("{:.2}x", old_stage.query_index_s / new_stage.query_index_s.max(1e-12)),
+        ],
+        vec![
+            "front-end".to_owned(),
+            format!("{:.1}k/s", nq / old_wall.max(1e-12) / 1e3),
+            format!("{:.1}k/s", nq / new_wall.max(1e-12) / 1e3),
+            format!("{speedup:.2}x"),
+        ],
+    ];
+    print_table(&["stage", "old", "new", "speedup"], &rows);
+    println!("\nall new-tier answers matched the reference tier");
+
+    let artifact = Exp9Artifact {
+        smoke,
+        dataset_graphs: n_graphs,
+        cached_entries: n_cached,
+        n_queries,
+        query_edges,
+        feature_len,
+        repeats,
+        old_wall_s: old_wall,
+        new_wall_s: new_wall,
+        old_queries_per_s: nq / old_wall.max(1e-12),
+        new_queries_per_s: nq / new_wall.max(1e-12),
+        old_stages: old_stage,
+        new_stages: new_stage,
+        speedup,
+    };
+    match write_artifact("exp9_filter_frontend", &artifact) {
+        Ok(p) => println!("artifact: {}", p.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+    if !smoke {
+        // Perf trajectory baseline for later PRs, at the repo/working dir
+        // root (smoke runs are too noisy to overwrite it).
+        match serde_json::to_string_pretty(&artifact) {
+            Ok(json) => match std::fs::write("BENCH_filter.json", json) {
+                Ok(()) => println!("baseline: BENCH_filter.json"),
+                Err(e) => eprintln!("baseline write failed: {e}"),
+            },
+            Err(e) => eprintln!("baseline serialization failed: {e}"),
+        }
+    }
+}

@@ -10,6 +10,8 @@
 //! | `exp4_replacement_view` | Fig. 2(c) eviction views |
 //! | `exp5_scalability` | §1/§2 speedup scaling sweeps |
 //! | `exp7_concurrency` | concurrent-client throughput of `SharedGraphCache` |
+//! | `exp8_verify_hotpath` | verification hot-path throughput (answer-checked) |
+//! | `exp9_filter_frontend` | filter front-end throughput (answer-checked) |
 //!
 //! Criterion microbenches live in `benches/`. This library holds the shared
 //! measurement plumbing so every experiment reports the paper's metrics the

@@ -72,7 +72,9 @@ impl CacheManager {
         self.by_fingerprint.get(&fp).map_or(&[], Vec::as_slice)
     }
 
-    /// Insert a new entry; returns its id.
+    /// Insert a new entry; returns its id. Extracts the entry's features
+    /// here — prefer [`CacheManager::insert_with_features`] when the
+    /// pipeline already extracted them for the probe stage.
     pub fn insert(
         &mut self,
         graph: Graph,
@@ -81,6 +83,25 @@ impl CacheManager {
         base_tests: u64,
         base_cost: u64,
         now: u64,
+    ) -> EntryId {
+        let features = self.index.features_of(&graph);
+        self.insert_with_features(graph, kind, answer, base_tests, base_cost, now, features)
+    }
+
+    /// Insert a new entry whose feature vector was already extracted (by
+    /// [`gc_index::QueryIndex::features_of`] under this cache's config):
+    /// the admit stage passes the probe stage's extraction, keeping the
+    /// one-extraction-per-query invariant.
+    #[allow(clippy::too_many_arguments)] // mirrors `insert` + the precomputed vector
+    pub fn insert_with_features(
+        &mut self,
+        graph: Graph,
+        kind: QueryKind,
+        answer: BitSet,
+        base_tests: u64,
+        base_cost: u64,
+        now: u64,
+        features: gc_index::FeatureVec,
     ) -> EntryId {
         let fingerprint = gc_graph::hash::fingerprint(&graph);
         let profile = gc_iso::GraphProfile::new(&graph, None);
@@ -91,7 +112,7 @@ impl CacheManager {
                 (self.slots.len() - 1) as EntryId
             }
         };
-        self.index.insert(id, &graph);
+        self.index.insert_features(id, features);
         self.by_fingerprint.entry(fingerprint).or_default().push(id);
         self.slots[id as usize] = Some(CacheEntry {
             id,
@@ -190,6 +211,32 @@ mod tests {
         assert_eq!(cm.index().sub_case_candidates(&qf), vec![id]);
         cm.remove(id);
         assert!(cm.index().sub_case_candidates(&qf).is_empty());
+    }
+
+    #[test]
+    fn insert_with_features_matches_insert() {
+        // The admission path reuses the probe stage's extraction; the index
+        // must end up identical to the self-extracting insert.
+        let graph = g(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let mut a = CacheManager::new(FeatureConfig::default());
+        let ida = a.insert(graph.clone(), QueryKind::Subgraph, BitSet::new(4), 4, 10, 0);
+        let mut b = CacheManager::new(FeatureConfig::default());
+        let fv = b.index().features_of(&graph);
+        let idb = b.insert_with_features(
+            graph.clone(),
+            QueryKind::Subgraph,
+            BitSet::new(4),
+            4,
+            10,
+            0,
+            fv,
+        );
+        assert_eq!(ida, idb);
+        let qf = a.index().features_of(&g(&[0, 1], &[(0, 1)]));
+        assert_eq!(a.index().sub_case_candidates(&qf), b.index().sub_case_candidates(&qf));
+        assert_eq!(a.index().super_case_candidates(&qf), b.index().super_case_candidates(&qf));
+        b.remove(idb);
+        assert!(b.index().sub_case_candidates(&qf).is_empty());
     }
 
     #[test]

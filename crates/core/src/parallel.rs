@@ -65,12 +65,14 @@ pub fn verify_candidates(
     to_verify: &BitSet,
     threads: usize,
 ) -> VerifyOutcome {
-    let ids: Vec<usize> = to_verify.to_vec();
     let mut out = VerifyOutcome::empty(dataset.len());
+    let n = to_verify.count();
 
-    if threads <= 1 || ids.len() < 2 {
+    if threads <= 1 || n < 2 {
+        // Inline: walk the survivors straight off the bitset words
+        // (`ones()`), no candidate-id vector materialized.
         let mut scratch = VfScratch::new();
-        for &gid in &ids {
+        for gid in to_verify.ones() {
             let (ok, s) =
                 engine.verify_candidate(dataset, profile, query, gid as u32, &mut scratch);
             out.steps += s;
@@ -82,6 +84,8 @@ pub fn verify_candidates(
         return out;
     }
 
+    // Parallel path: the id vector is the unit of work distribution.
+    let ids: Vec<usize> = to_verify.ones().collect();
     let workers = threads.min(ids.len());
     let chunk = ids.len().div_ceil(workers);
     let results: Vec<Vec<(usize, bool, u64)>> = std::thread::scope(|scope| {
@@ -343,11 +347,10 @@ impl VerifyPool {
         query: &Graph,
         to_verify: &BitSet,
     ) -> VerifyOutcome {
-        let ids: Vec<usize> = to_verify.to_vec();
         let mut out = VerifyOutcome::empty(dataset.len());
-        if ids.len() < 2 {
+        if to_verify.count() < 2 {
             let mut scratch = VfScratch::new();
-            for &gid in &ids {
+            for gid in to_verify.ones() {
                 let (ok, s) =
                     engine.verify_candidate(dataset, profile, query, gid as u32, &mut scratch);
                 out.steps += s;
@@ -358,6 +361,7 @@ impl VerifyPool {
             }
             return out;
         }
+        let ids: Vec<usize> = to_verify.ones().collect();
         let query = Arc::new(query.clone());
         let profile = Arc::new(profile.clone());
         let (reply_tx, reply_rx) = mpsc::channel();

@@ -129,6 +129,12 @@ pub fn serve_exact(
 
 /// Admit the executed query immediately; run the batched replacement sweep
 /// when the admission window closes.
+///
+/// `features` is the query's feature vector the probe stage already
+/// extracted (`PipelineCtx::features`, taken by the caller) — admission
+/// reuses it instead of re-enumerating the query's paths, so features are
+/// extracted exactly once per query. `None` falls back to extraction (warm
+/// starts, tests).
 #[allow(clippy::too_many_arguments)] // explicit state triple + query facts; a struct would just rename them
 pub fn run(
     cache: &mut CacheManager,
@@ -138,6 +144,7 @@ pub fn run(
     limits: AdmitLimits,
     query: &Graph,
     kind: QueryKind,
+    features: Option<gc_index::FeatureVec>,
     answer: &BitSet,
     base_tests: u64,
     base_cost: u64,
@@ -146,7 +153,18 @@ pub fn run(
     if (base_tests as usize) < cfg.min_admit_tests {
         return AdmitOutcome { rejected: true, ..AdmitOutcome::default() };
     }
-    let id = cache.insert(query.clone(), kind, answer.clone(), base_tests, base_cost, now);
+    let id = match features {
+        Some(fv) => cache.insert_with_features(
+            query.clone(),
+            kind,
+            answer.clone(),
+            base_tests,
+            base_cost,
+            now,
+            fv,
+        ),
+        None => cache.insert(query.clone(), kind, answer.clone(), base_tests, base_cost, now),
+    };
     let bytes = cache.get(id).expect("just inserted").memory_bytes();
     policy.on_insert_sized(id, now, bytes);
     let mut evicted = Vec::new();
@@ -216,6 +234,7 @@ mod tests {
             AdmitLimits::from_config(cfg),
             &g(labels, &[]),
             QueryKind::Subgraph,
+            None,
             &BitSet::new(2),
             5,
             10,
@@ -250,6 +269,7 @@ mod tests {
             AdmitLimits::from_config(&cfg),
             &g(&[0], &[]),
             QueryKind::Subgraph,
+            None,
             &BitSet::new(2),
             5,
             10,

@@ -39,6 +39,7 @@ use crate::pipeline::prune::Pruned;
 use crate::report::QueryReport;
 use crate::stats::GlobalStats;
 use gc_graph::{BitSet, Graph};
+use gc_index::FeatureVec;
 use gc_method::QueryKind;
 use std::time::{Duration, Instant};
 
@@ -61,6 +62,11 @@ pub struct PipelineCtx<'q> {
     pub start: Instant,
     /// Stage 1 product: Method M's candidate set `C_M`.
     pub cm: BitSet,
+    /// The query's feature vector under the cache's feature config,
+    /// extracted **once per query** at the start of the probe stage and
+    /// shared by the sub-probe, the super-probe (on every shard) and
+    /// admission (`None` until probed; taken by the admit stage).
+    pub features: Option<FeatureVec>,
     /// Stage 2 product: verified cache hits.
     pub hits: CacheHits,
     /// Stage 2 product: answer snapshots aligned with `hits.iter()` order
@@ -89,6 +95,7 @@ impl<'q> PipelineCtx<'q> {
             now,
             start: Instant::now(),
             cm: BitSet::new(universe),
+            features: None,
             hits: CacheHits::default(),
             hit_answers: Vec::new(),
             pruned: Pruned::empty(universe),

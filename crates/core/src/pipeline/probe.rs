@@ -96,12 +96,14 @@ pub fn find_exact(cache: &CacheManager, query: &Graph, kind: QueryKind) -> Optio
 
 /// Probe the cache for sub-case and super-case hits of `query`, exact-match
 /// check included (the sequential entry point; kept for tests and
-/// dashboards).
+/// dashboards). Extracts the query features itself; pipeline callers use
+/// [`probe_cases`] with the context's shared extraction.
 pub fn probe(cache: &CacheManager, cfg: &CacheConfig, query: &Graph, kind: QueryKind) -> CacheHits {
     if let Some(exact) = find_exact(cache, query, kind) {
         return CacheHits { exact: Some(exact), ..CacheHits::default() };
     }
-    probe_cases(cache, cfg, query, kind)
+    let qf = cache.index().features_of(query);
+    probe_cases(cache, cfg, query, kind, &qf)
 }
 
 /// Probe for sub/super-case hits only (no exact-match check).
@@ -116,15 +118,18 @@ pub fn probe(cache: &CacheManager, cfg: &CacheConfig, query: &Graph, kind: Query
 /// ordering is adjusted accordingly.
 ///
 /// The sharded front-end calls this per shard (exact hits can only live in
-/// the query's fingerprint home shard, which is checked separately).
+/// the query's fingerprint home shard, which is checked separately), passing
+/// the **same** query feature vector `qf` to every shard — features are
+/// extracted once per query, not once per shard. `qf` must come from
+/// [`gc_index::QueryIndex::features_of`] under the cache's feature config.
 pub fn probe_cases(
     cache: &CacheManager,
     cfg: &CacheConfig,
     query: &Graph,
     kind: QueryKind,
+    qf: &gc_index::FeatureVec,
 ) -> CacheHits {
     let mut hits = CacheHits::default();
-    let qf = cache.index().features_of(query);
 
     // Query-side verification setup is computed once for the whole probe
     // pass (the query serves as pattern in every sub-case test and target in
@@ -137,7 +142,7 @@ pub fn probe_cases(
     // --- sub case: query ⊑ cached ---------------------------------------
     let mut sub_cands: Vec<EntryId> = cache
         .index()
-        .sub_case_candidates(&qf)
+        .sub_case_candidates(qf)
         .into_iter()
         .filter(|&id| cache.get(id).is_some_and(|e| e.kind == kind))
         .collect();
@@ -165,7 +170,7 @@ pub fn probe_cases(
     // --- super case: cached ⊑ query --------------------------------------
     let mut super_cands: Vec<EntryId> = cache
         .index()
-        .super_case_candidates(&qf)
+        .super_case_candidates(qf)
         .into_iter()
         .filter(|&id| cache.get(id).is_some_and(|e| e.kind == kind))
         .collect();
@@ -202,10 +207,17 @@ pub fn snapshot_answers(cache: &CacheManager, hits: &CacheHits) -> Vec<(Relation
         .collect()
 }
 
-/// Run the probe stage over a single (unsharded) cache manager: find hits
-/// and snapshot their answers into `ctx`.
+/// Run the probe stage over a single (unsharded) cache manager: extract the
+/// query's features **once** into the context (admission reuses them), find
+/// hits and snapshot their answers into `ctx`.
 pub fn run(ctx: &mut PipelineCtx<'_>, cache: &CacheManager, cfg: &CacheConfig) {
-    let hits = probe_cases(cache, cfg, ctx.query, ctx.kind);
+    debug_assert_eq!(
+        cache.index().config(),
+        &cfg.feature_config,
+        "cache index and config must agree on feature extraction"
+    );
+    let qf = ctx.features.get_or_insert_with(|| cache.index().features_of(ctx.query));
+    let hits = probe_cases(cache, cfg, ctx.query, ctx.kind, qf);
     ctx.hit_answers = snapshot_answers(cache, &hits);
     ctx.hits = hits;
 }

@@ -66,12 +66,19 @@ pub fn gives_definite(kind: QueryKind, rel: Relation) -> bool {
 /// Apply hit answers to the Method-M candidate set.
 ///
 /// `hits` pairs each verified hit's relation with the cached answer bitset.
-pub fn prune(cm: &BitSet, hits: &[(Relation, &BitSet)], kind: QueryKind) -> Pruned {
+/// Takes any iterator so callers can feed their snapshots directly — the
+/// pipeline's [`run`] streams `PipelineCtx::hit_answers` without building a
+/// per-query reference vector.
+pub fn prune<'a>(
+    cm: &BitSet,
+    hits: impl IntoIterator<Item = (Relation, &'a BitSet)>,
+    kind: QueryKind,
+) -> Pruned {
     let cm_size = cm.count();
     let mut definite = BitSet::new(cm.universe());
     let mut keep = cm.clone();
 
-    for &(rel, answer) in hits {
+    for (rel, answer) in hits {
         if gives_definite(kind, rel) {
             definite.union_with(answer);
         } else {
@@ -89,11 +96,11 @@ pub fn prune(cm: &BitSet, hits: &[(Relation, &BitSet)], kind: QueryKind) -> Prun
     Pruned { definite, to_verify, cm_size, saved }
 }
 
-/// Run the prune stage over the snapshots in `ctx`.
+/// Run the prune stage over the snapshots in `ctx` (streamed; no per-query
+/// reference vector is materialized).
 pub fn run(ctx: &mut PipelineCtx<'_>) {
-    let refs: Vec<(Relation, &BitSet)> =
-        ctx.hit_answers.iter().map(|(rel, answer)| (*rel, answer)).collect();
-    ctx.pruned = prune(&ctx.cm, &refs, ctx.kind);
+    ctx.pruned =
+        prune(&ctx.cm, ctx.hit_answers.iter().map(|(rel, answer)| (*rel, answer)), ctx.kind);
 }
 
 #[cfg(test)]
@@ -108,7 +115,7 @@ mod tests {
     fn subgraph_query_sub_case_gives_definite() {
         let cm = bs(10, &[0, 1, 2, 3, 4]);
         let cached_answer = bs(10, &[2, 3]);
-        let p = prune(&cm, &[(Relation::QueryInCached, &cached_answer)], QueryKind::Subgraph);
+        let p = prune(&cm, [(Relation::QueryInCached, &cached_answer)], QueryKind::Subgraph);
         assert_eq!(p.definite.to_vec(), vec![2, 3]);
         assert_eq!(p.to_verify.to_vec(), vec![0, 1, 4]);
         assert_eq!(p.cm_size, 5);
@@ -119,7 +126,7 @@ mod tests {
     fn subgraph_query_super_case_prunes() {
         let cm = bs(10, &[0, 1, 2, 3, 4]);
         let cached_answer = bs(10, &[1, 2, 7]);
-        let p = prune(&cm, &[(Relation::CachedInQuery, &cached_answer)], QueryKind::Subgraph);
+        let p = prune(&cm, [(Relation::CachedInQuery, &cached_answer)], QueryKind::Subgraph);
         assert!(p.definite.is_empty());
         assert_eq!(p.to_verify.to_vec(), vec![1, 2]);
         assert_eq!(p.saved, 3);
@@ -134,7 +141,7 @@ mod tests {
         let super_answer = bs(8, &[0, 1, 4, 6]);
         let p = prune(
             &cm,
-            &[(Relation::QueryInCached, &sub_answer), (Relation::CachedInQuery, &super_answer)],
+            [(Relation::QueryInCached, &sub_answer), (Relation::CachedInQuery, &super_answer)],
             QueryKind::Subgraph,
         );
         assert_eq!(p.definite.to_vec(), vec![4]);
@@ -147,10 +154,10 @@ mod tests {
         let cm = bs(10, &[0, 1, 2, 3]);
         let ans = bs(10, &[1, 2]);
         // cached ⊑ query gives definite answers for supergraph queries.
-        let p = prune(&cm, &[(Relation::CachedInQuery, &ans)], QueryKind::Supergraph);
+        let p = prune(&cm, [(Relation::CachedInQuery, &ans)], QueryKind::Supergraph);
         assert_eq!(p.definite.to_vec(), vec![1, 2]);
         // query ⊑ cached prunes.
-        let p2 = prune(&cm, &[(Relation::QueryInCached, &ans)], QueryKind::Supergraph);
+        let p2 = prune(&cm, [(Relation::QueryInCached, &ans)], QueryKind::Supergraph);
         assert!(p2.definite.is_empty());
         assert_eq!(p2.to_verify.to_vec(), vec![1, 2]);
     }
@@ -158,7 +165,7 @@ mod tests {
     #[test]
     fn no_hits_is_identity() {
         let cm = bs(6, &[0, 3, 5]);
-        let p = prune(&cm, &[], QueryKind::Subgraph);
+        let p = prune(&cm, [], QueryKind::Subgraph);
         assert_eq!(p.to_verify, cm);
         assert!(p.definite.is_empty());
         assert_eq!(p.saved, 0);
@@ -171,7 +178,7 @@ mod tests {
         let a2 = bs(10, &[2, 3, 4]);
         let p = prune(
             &cm,
-            &[(Relation::CachedInQuery, &a1), (Relation::CachedInQuery, &a2)],
+            [(Relation::CachedInQuery, &a1), (Relation::CachedInQuery, &a2)],
             QueryKind::Subgraph,
         );
         assert_eq!(p.to_verify.to_vec(), vec![2, 3]);
@@ -185,7 +192,7 @@ mod tests {
         let a2 = bs(10, &[4, 5]);
         let p = prune(
             &cm,
-            &[(Relation::QueryInCached, &a1), (Relation::QueryInCached, &a2)],
+            [(Relation::QueryInCached, &a1), (Relation::QueryInCached, &a2)],
             QueryKind::Subgraph,
         );
         assert_eq!(p.definite.to_vec(), vec![0, 4, 5]);

@@ -135,6 +135,7 @@ impl GraphCache {
             AdmitLimits::from_config(&self.config),
             query,
             kind,
+            ctx.features.take(), // the probe stage's extraction, reused
             &answer,
             ctx.pruned.cm_size as u64,
             ctx.verify_steps,

@@ -211,6 +211,13 @@ impl SharedGraphCache {
         let mut ctx = PipelineCtx::new(query, kind, now, self.dataset.len());
         filter::run(&mut ctx, self.method.as_ref(), &self.dataset);
 
+        // The query's features are extracted once here — every shard's
+        // sub/super probe and the admission below share this one vector
+        // (before this, each of the N shards re-enumerated the query's
+        // paths under its own index, and admission did it once more).
+        ctx.features = Some(gc_index::feature_vec(query, &self.config.feature_config));
+        let qf = ctx.features.as_ref().expect("just set");
+
         // Probe every shard under its read lock; snapshot hit answers while
         // the lock is held (one clone per hit, straight into the context),
         // then merge shard-local hits into the context with encoded ids.
@@ -219,7 +226,7 @@ impl SharedGraphCache {
         let mut per_shard: Vec<ShardProbe> = Vec::new();
         for (si, shard) in self.shards.iter().enumerate() {
             let state = shard.state.read();
-            let hits = probe::probe_cases(&state.cache, &self.config, query, kind);
+            let hits = probe::probe_cases(&state.cache, &self.config, query, kind, qf);
             if hits.count() == 0 {
                 ctx.hits.probe_tests += hits.probe_tests;
                 ctx.hits.probe_steps += hits.probe_steps;
@@ -274,6 +281,7 @@ impl SharedGraphCache {
                     self.limits[home],
                     query,
                     kind,
+                    ctx.features.take(), // the probe stage's extraction, reused
                     &answer,
                     ctx.pruned.cm_size as u64,
                     ctx.verify_steps,

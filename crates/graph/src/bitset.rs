@@ -149,6 +149,56 @@ impl BitSet {
         }
     }
 
+    /// Iterator over the set bits in ascending order — the hot-path name for
+    /// [`BitSet::iter`]. Use this instead of `to_vec()` when the indices are
+    /// only walked once: it touches one word at a time and never allocates.
+    #[inline]
+    pub fn ones(&self) -> Iter<'_> {
+        self.iter()
+    }
+
+    /// Make this set full over its universe (all bits set, tail trimmed).
+    pub fn set_all(&mut self) {
+        self.blocks.iter_mut().for_each(|b| *b = !0u64);
+        self.trim_tail();
+    }
+
+    /// `self ∩= members`, where `members` yields indices in **strictly
+    /// ascending** order (e.g. a sorted posting list). Works word-parallel:
+    /// a 64-bit mask is accumulated per block and applied in one `&=`, and
+    /// blocks with no member are zeroed wholesale — no temporary set is
+    /// materialized.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= universe`. Debug-asserts ascending order.
+    pub fn intersect_with_sorted(&mut self, members: impl IntoIterator<Item = usize>) {
+        let mut word = 0usize;
+        let mut mask = 0u64;
+        let mut prev: Option<usize> = None;
+        for i in members {
+            assert!(i < self.len, "index {i} out of universe {}", self.len);
+            debug_assert!(prev.is_none_or(|p| p < i), "members must be strictly ascending");
+            prev = Some(i);
+            let w = i / BITS;
+            if w != word {
+                self.blocks[word] &= mask;
+                for b in &mut self.blocks[word + 1..w] {
+                    *b = 0;
+                }
+                word = w;
+                mask = 0;
+            }
+            mask |= 1u64 << (i % BITS);
+        }
+        if let Some(first) = self.blocks.get_mut(word) {
+            *first &= mask;
+        }
+        let tail = (word + 1).min(self.blocks.len());
+        for b in &mut self.blocks[tail..] {
+            *b = 0;
+        }
+    }
+
     /// Collect members into a `Vec<usize>` (ascending).
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
@@ -286,6 +336,55 @@ mod tests {
         for m in members {
             assert!(s.contains(m));
         }
+    }
+
+    #[test]
+    fn ones_at_word_boundaries() {
+        // 63 / 64 / 65 straddle the u64 block edge; 127/128 the next one.
+        let members = [63usize, 64, 65, 127, 128];
+        let s = BitSet::from_indices(130, members);
+        assert_eq!(s.ones().collect::<Vec<_>>(), members.to_vec());
+        // A universe ending exactly on a boundary and one bit short of it.
+        for len in [64usize, 65, 128] {
+            let full = BitSet::full(len);
+            assert_eq!(full.ones().count(), len);
+            assert_eq!(full.ones().last(), Some(len - 1));
+        }
+        assert_eq!(BitSet::new(64).ones().next(), None);
+        assert_eq!(BitSet::new(0).ones().next(), None);
+    }
+
+    #[test]
+    fn set_all_matches_full() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let mut s = BitSet::new(len);
+            s.set_all();
+            assert_eq!(s, BitSet::full(len), "set_all != full for len {len}");
+            assert_eq!(s.count(), len);
+        }
+    }
+
+    #[test]
+    fn intersect_with_sorted_matches_intersect_with() {
+        let base: Vec<usize> = vec![0, 1, 62, 63, 64, 65, 100, 127, 128, 129];
+        let other: Vec<usize> = vec![1, 63, 64, 90, 128];
+        let mut a = BitSet::from_indices(130, base.iter().copied());
+        let mut b = a.clone();
+        a.intersect_with(&BitSet::from_indices(130, other.iter().copied()));
+        b.intersect_with_sorted(other.iter().copied());
+        assert_eq!(a, b);
+        // Empty member list zeroes everything.
+        let mut c = BitSet::from_indices(130, base.iter().copied());
+        c.intersect_with_sorted(std::iter::empty());
+        assert!(c.is_empty());
+        // Empty universe tolerates an empty member list.
+        let mut e = BitSet::new(0);
+        e.intersect_with_sorted(std::iter::empty());
+        assert!(e.is_empty());
+        // Members only in a late word: earlier words must be zeroed.
+        let mut d = BitSet::from_indices(200, [0usize, 64, 128, 199]);
+        d.intersect_with_sorted([199usize]);
+        assert_eq!(d.to_vec(), vec![199]);
     }
 
     #[test]

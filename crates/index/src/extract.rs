@@ -12,8 +12,21 @@
 //! For the inverted indices we identify a feature by a 64-bit hash of its
 //! label sequence ([`FeatureVec`]). Hash grouping preserves soundness: merged
 //! counts of dominated features remain dominated.
+//!
+//! ## Streaming extraction
+//!
+//! The hot path never materializes paths. [`stream_label_paths`] drives a
+//! [`PathSink`] with `push` / `emit` / `pop` events, and the sinks roll
+//! whatever per-path state they need incrementally: [`ExtractScratch`] rolls
+//! the forward feature hash on a prefix stack (the backward reading, needed
+//! for the canonical hash, is folded from the ≤ `max_len + 1` labels on the
+//! stack — still allocation-free), the dataset trie walks its arena in step
+//! with the DFS. After warm-up the whole extraction performs **zero heap
+//! allocations**; this is pinned by `tests/alloc_free.rs` and the streaming
+//! result is property-tested equal to the materializing reference
+//! enumerator, [`enumerate_label_paths`].
 
-use gc_graph::hash::hash_seq;
+use gc_graph::hash::{hash_seq, mix};
 use gc_graph::{Graph, Label, VertexId};
 
 /// Configuration of path-feature extraction.
@@ -28,8 +41,8 @@ pub struct FeatureConfig {
     /// it). Truncation is applied to *data and query alike only at the same
     /// config*, so an index built with a given config stays sound for queries
     /// extracted with the same config as long as the cap is not reached; a
-    /// reached cap is reported by [`enumerate_label_paths`] via its return
-    /// flag so callers can fall back to no filtering.
+    /// reached cap is reported via the enumerators' truncation flag so
+    /// callers can fall back to no filtering.
     pub max_paths: usize,
 }
 
@@ -46,13 +59,97 @@ impl FeatureConfig {
     }
 }
 
+/// Receives the streaming path enumeration of [`stream_label_paths`].
+///
+/// Event order mirrors the DFS: `push(l)` when a vertex with label `l`
+/// extends the current path, then `emit()` exactly once for that path
+/// occurrence (unless the enumeration cap was reached), recursion into the
+/// children, and a matching `pop()` on backtrack. The labels pushed and not
+/// yet popped *are* the current path.
+pub trait PathSink {
+    /// A vertex with `label` was appended to the current path.
+    fn push(&mut self, label: Label);
+    /// The current path is emitted as one feature occurrence.
+    fn emit(&mut self);
+    /// The deepest vertex was removed (backtrack).
+    fn pop(&mut self);
+}
+
+/// Enumerate the labelled simple paths of `g` (both directions, every start
+/// vertex, `0..=cfg.max_len` edges) into `sink`, without materializing them.
+///
+/// `on_path` is caller-provided scratch (cleared and resized here) so
+/// steady-state extraction does not allocate. Returns `true` when the
+/// enumeration hit `cfg.max_paths` and the emitted stream is partial —
+/// callers must then treat the graph as unfilterable. Traversal order, cap
+/// accounting and the truncation flag are identical to
+/// [`enumerate_label_paths`] (property-tested).
+pub fn stream_label_paths(
+    g: &Graph,
+    cfg: &FeatureConfig,
+    on_path: &mut Vec<bool>,
+    sink: &mut impl PathSink,
+) -> bool {
+    on_path.clear();
+    on_path.resize(g.vertex_count(), false);
+    let mut emitted = 0usize;
+    let mut truncated = false;
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        g: &Graph,
+        v: VertexId,
+        remaining: usize,
+        on_path: &mut [bool],
+        sink: &mut impl PathSink,
+        cap: usize,
+        emitted: &mut usize,
+        truncated: &mut bool,
+    ) {
+        if *truncated {
+            return;
+        }
+        sink.push(g.label(v));
+        on_path[v as usize] = true;
+        if *emitted >= cap {
+            *truncated = true;
+        } else {
+            *emitted += 1;
+            sink.emit();
+            if remaining > 0 {
+                for &w in g.neighbors(v) {
+                    if !on_path[w as usize] {
+                        dfs(g, w, remaining - 1, on_path, sink, cap, emitted, truncated);
+                    }
+                }
+            }
+        }
+        on_path[v as usize] = false;
+        sink.pop();
+    }
+
+    for v in g.vertices() {
+        dfs(g, v, cfg.max_len, on_path, sink, cfg.max_paths, &mut emitted, &mut truncated);
+        if truncated {
+            break;
+        }
+    }
+    truncated
+}
+
 /// Enumerate the label sequences of all simple paths with `0..=cfg.max_len`
-/// edges, from every start vertex, in both directions.
+/// edges, from every start vertex, in both directions — the **materializing
+/// reference enumerator**. The production pipeline uses
+/// [`stream_label_paths`] / [`ExtractScratch`]; this stays as the executable
+/// specification for equivalence tests and the [`crate::reference`] module.
 ///
 /// Returns `(paths, truncated)`; when `truncated` is true the enumeration hit
 /// `cfg.max_paths` and the result is partial (callers must then treat the
 /// graph as unfilterable).
 pub fn enumerate_label_paths(g: &Graph, cfg: &FeatureConfig) -> (Vec<Vec<Label>>, bool) {
+    // Deliberately NOT built on `stream_label_paths`: this is the
+    // independent specification the streaming enumerator is property-tested
+    // against.
     let mut out = Vec::new();
     let mut truncated = false;
     let mut on_path = vec![false; g.vertex_count()];
@@ -108,18 +205,26 @@ pub fn enumerate_label_paths(g: &Graph, cfg: &FeatureConfig) -> (Vec<Vec<Label>>
     (out, truncated)
 }
 
-/// A graph's feature multiset, represented as `(feature_hash, count)` pairs
-/// sorted by hash.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
-pub struct FeatureVec {
-    items: Vec<(u64, u32)>,
+/// Borrowed view of a graph's extracted features: `(hash, count)` pairs
+/// sorted ascending by hash, plus the truncation flag. This is what the hot
+/// probe path passes around — it borrows an [`ExtractScratch`] (or a
+/// [`FeatureVec`]) instead of owning an allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct FeaturesRef<'a> {
+    items: &'a [(u64, u32)],
     truncated: bool,
 }
 
-impl FeatureVec {
+impl<'a> FeaturesRef<'a> {
+    /// View over externally-assembled items (must be sorted by hash with
+    /// unique hashes, as produced by extraction).
+    pub fn new(items: &'a [(u64, u32)], truncated: bool) -> Self {
+        FeaturesRef { items, truncated }
+    }
+
     /// The `(hash, count)` pairs, sorted ascending by hash.
-    pub fn items(&self) -> &[(u64, u32)] {
-        &self.items
+    pub fn items(&self) -> &'a [(u64, u32)] {
+        self.items
     }
 
     /// Number of distinct features.
@@ -149,6 +254,162 @@ impl FeatureVec {
             Ok(i) => self.items[i].1,
             Err(_) => 0,
         }
+    }
+
+    /// Copy into an owned [`FeatureVec`] (one allocation; done once per
+    /// query so probe and admission share the same extraction).
+    pub fn to_feature_vec(&self) -> FeatureVec {
+        FeatureVec { items: self.items.to_vec(), truncated: self.truncated }
+    }
+}
+
+/// Reusable extraction state: path bookkeeping, the rolling prefix-hash
+/// stack, and the hash/item output buffers. One scratch per worker; after
+/// the first extraction at a given graph scale, [`ExtractScratch::extract`]
+/// performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    on_path: Vec<bool>,
+    labels: Vec<Label>,
+    /// `prefix[d]` = `hash_seq(labels[..=d])`, rolled incrementally.
+    prefix: Vec<u64>,
+    hashes: Vec<u64>,
+    items: Vec<(u64, u32)>,
+}
+
+/// Sink that canonically hashes every emitted path with zero allocation.
+struct HashSink<'a> {
+    labels: &'a mut Vec<Label>,
+    prefix: &'a mut Vec<u64>,
+    hashes: &'a mut Vec<u64>,
+    /// `hash_seq` of the empty sequence — the prefix-stack seed.
+    empty_hash: u64,
+}
+
+impl PathSink for HashSink<'_> {
+    #[inline]
+    fn push(&mut self, label: Label) {
+        let base = self.prefix.last().copied().unwrap_or(self.empty_hash);
+        self.labels.push(label);
+        self.prefix.push(mix(base, label.0 as u64));
+    }
+
+    #[inline]
+    fn emit(&mut self) {
+        // Canonical reading: the lexicographically smaller of forward and
+        // backward. Forward is the rolled prefix hash; backward (rare — only
+        // when the reversed labels compare smaller) folds the ≤ max_len + 1
+        // labels on the stack.
+        let labels = self.labels.as_slice();
+        let n = labels.len();
+        let mut rev_smaller = false;
+        for i in 0..n / 2 {
+            let (a, b) = (labels[i].0, labels[n - 1 - i].0);
+            if a != b {
+                rev_smaller = b < a;
+                break;
+            }
+        }
+        let h = if rev_smaller {
+            hash_seq(labels.iter().rev().map(|l| l.0 as u64))
+        } else {
+            *self.prefix.last().expect("emit follows a push")
+        };
+        self.hashes.push(h);
+    }
+
+    #[inline]
+    fn pop(&mut self) {
+        self.labels.pop();
+        self.prefix.pop();
+    }
+}
+
+impl ExtractScratch {
+    /// Fresh scratch (buffers grow to their high-water mark on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Extract the features of `g` under `cfg` into this scratch, returning
+    /// a borrowed view. Equivalent to [`feature_vec`] but reusable: no
+    /// allocation once the buffers are warm.
+    pub fn extract(&mut self, g: &Graph, cfg: &FeatureConfig) -> FeaturesRef<'_> {
+        self.labels.clear();
+        self.prefix.clear();
+        self.hashes.clear();
+        self.items.clear();
+        let truncated = {
+            let mut sink = HashSink {
+                labels: &mut self.labels,
+                prefix: &mut self.prefix,
+                hashes: &mut self.hashes,
+                empty_hash: hash_seq(std::iter::empty()),
+            };
+            stream_label_paths(g, cfg, &mut self.on_path, &mut sink)
+        };
+        self.hashes.sort_unstable();
+        let items = &mut self.items;
+        for &h in self.hashes.iter() {
+            match items.last_mut() {
+                Some((lh, c)) if *lh == h => *c += 1,
+                _ => items.push((h, 1)),
+            }
+        }
+        FeaturesRef { items: &self.items, truncated }
+    }
+}
+
+/// A graph's feature multiset, represented as `(feature_hash, count)` pairs
+/// sorted by hash.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FeatureVec {
+    items: Vec<(u64, u32)>,
+    truncated: bool,
+}
+
+impl FeatureVec {
+    /// Assemble from pre-sorted, hash-unique items (crate-internal: used by
+    /// the reference implementations).
+    pub(crate) fn from_sorted_items(items: Vec<(u64, u32)>, truncated: bool) -> Self {
+        debug_assert!(items.windows(2).all(|w| w[0].0 < w[1].0), "items must be sorted + unique");
+        FeatureVec { items, truncated }
+    }
+
+    /// Borrowed view for the allocation-free index APIs.
+    pub fn as_features(&self) -> FeaturesRef<'_> {
+        FeaturesRef { items: &self.items, truncated: self.truncated }
+    }
+
+    /// The `(hash, count)` pairs, sorted ascending by hash.
+    pub fn items(&self) -> &[(u64, u32)] {
+        &self.items
+    }
+
+    /// Number of distinct features.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` iff no features (the empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total occurrence count over all features.
+    pub fn total_count(&self) -> u64 {
+        self.items.iter().map(|&(_, c)| c as u64).sum()
+    }
+
+    /// `true` when path enumeration was truncated; domination answers are
+    /// then unreliable and callers must skip filtering.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Count for a feature hash (0 when absent).
+    pub fn count(&self, hash: u64) -> u32 {
+        self.as_features().count(hash)
     }
 
     /// `true` iff `self`'s counts dominate `other`'s on every feature of
@@ -181,19 +442,11 @@ pub fn feature_hash(labels: &[Label]) -> u64 {
     }
 }
 
-/// Extract the [`FeatureVec`] of a graph under `cfg`.
+/// Extract the [`FeatureVec`] of a graph under `cfg` (streaming; one
+/// allocation for the owned result).
 pub fn feature_vec(g: &Graph, cfg: &FeatureConfig) -> FeatureVec {
-    let (paths, truncated) = enumerate_label_paths(g, cfg);
-    let mut hashes: Vec<u64> = paths.iter().map(|p| feature_hash(p)).collect();
-    hashes.sort_unstable();
-    let mut items: Vec<(u64, u32)> = Vec::new();
-    for h in hashes {
-        match items.last_mut() {
-            Some((lh, c)) if *lh == h => *c += 1,
-            _ => items.push((h, 1)),
-        }
-    }
-    FeatureVec { items, truncated }
+    let mut scratch = ExtractScratch::new();
+    scratch.extract(g, cfg).to_feature_vec()
 }
 
 #[cfg(test)]
@@ -233,6 +486,49 @@ mod tests {
     }
 
     #[test]
+    fn streaming_matches_materialized_hashes() {
+        // The rolled prefix hash + reverse fold must equal feature_hash on
+        // every enumerated path.
+        let graphs = [
+            g(&[0, 1, 2, 1], &[(0, 1), (1, 2), (2, 3), (0, 3)]),
+            g(&[5, 5, 5], &[(0, 1), (1, 2), (0, 2)]),
+            g(&[3], &[]),
+            g(&[], &[]),
+        ];
+        for gr in &graphs {
+            for max_len in 0..4 {
+                let cfg = FeatureConfig::with_max_len(max_len);
+                let (paths, _) = enumerate_label_paths(gr, &cfg);
+                let mut want: Vec<u64> = paths.iter().map(|p| feature_hash(p)).collect();
+                want.sort_unstable();
+                let mut scratch = ExtractScratch::new();
+                let f = scratch.extract(gr, &cfg);
+                let total: u64 = f.total_count();
+                assert_eq!(total as usize, want.len());
+                let mut got: Vec<u64> = Vec::new();
+                for &(h, c) in f.items() {
+                    got.extend(std::iter::repeat_n(h, c as usize));
+                }
+                assert_eq!(got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_graphs() {
+        let mut scratch = ExtractScratch::new();
+        let cfg = FeatureConfig::with_max_len(2);
+        let a = g(&[0, 1, 2], &[(0, 1), (1, 2)]);
+        let b = g(&[7], &[]);
+        let fa1 = scratch.extract(&a, &cfg).to_feature_vec();
+        let fb = scratch.extract(&b, &cfg).to_feature_vec();
+        let fa2 = scratch.extract(&a, &cfg).to_feature_vec();
+        assert_eq!(fa1, fa2, "scratch reuse must not change the result");
+        assert_eq!(fb.len(), 1);
+        assert_eq!(feature_vec(&a, &cfg), fa1);
+    }
+
+    #[test]
     fn domination_on_subgraph() {
         let cfg = FeatureConfig::with_max_len(3);
         let path = g(&[0, 1, 0], &[(0, 1), (1, 2)]);
@@ -267,6 +563,8 @@ mod tests {
         let cfg = FeatureConfig { max_len: 6, max_paths: 100 };
         let fv = feature_vec(&k8, &cfg);
         assert!(fv.truncated());
+        let (_, trunc) = enumerate_label_paths(&k8, &cfg);
+        assert!(trunc);
     }
 
     #[test]

@@ -24,16 +24,33 @@
 //! Both filters are **sound**: they may return false candidates (removed by
 //! sub-iso verification downstream) but never drop a true one. This is
 //! property-tested against the VF2 engine.
+//!
+//! ## Allocation discipline
+//!
+//! The per-query front-end (extraction + index lookups) is the hot path of
+//! every cache probe, so it follows the same flat-array discipline as the
+//! verification engines: extraction streams paths through a
+//! [`PathSink`] into a reusable [`ExtractScratch`] (no per-path `Vec`s),
+//! [`QueryIndex`] keeps sorted flat postings probed through a
+//! [`CandScratch`], and [`PathTrie`] is a contiguous arena intersected
+//! word-parallel into a caller-owned bitset via a [`TrieScratch`]. After
+//! warm-up the whole probe path performs zero heap allocations
+//! (`tests/alloc_free.rs`); the [`reference`] module keeps the previous
+//! materializing/HashMap implementations as executable specifications.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod extract;
 mod query_index;
+pub mod reference;
 mod tree;
 mod trie;
 
-pub use extract::{enumerate_label_paths, feature_vec, FeatureConfig, FeatureVec};
-pub use query_index::{EntryId, QueryIndex};
+pub use extract::{
+    enumerate_label_paths, feature_hash, feature_vec, stream_label_paths, ExtractScratch,
+    FeatureConfig, FeatureVec, FeaturesRef, PathSink,
+};
+pub use query_index::{CandScratch, EntryId, QueryIndex};
 pub use tree::{enumerate_tree_codes, TreeConfig, TreeIndex};
-pub use trie::PathTrie;
+pub use trie::{PathTrie, TrieScratch};

@@ -17,34 +17,94 @@
 //!
 //! Both are sound overapproximations; the processors verify candidates with
 //! the SI engine.
+//!
+//! ## Layout
+//!
+//! Flat postings, no hash maps on the probe path: a **sorted hash
+//! directory** (`dir: Vec<u64>`, binary-searched per query feature) indexes
+//! parallel posting lists, each sorted by entry id. Sub-case candidacy is a
+//! k-way sorted intersection (most selective list first, two-pointer
+//! merges); super-case candidacy accumulates the Σmin identity into a dense
+//! per-entry counter array. All per-probe state lives in a caller-owned
+//! [`CandScratch`], so the steady-state probe path performs **zero heap
+//! allocations** (pinned by `tests/alloc_free.rs`) and is property-tested
+//! equal to the HashMap reference implementation
+//! ([`crate::reference::RefQueryIndex`]).
+//!
+//! Entry ids are expected to be *slab-dense* (the cache manager reuses
+//! evicted slots), since the dense slot table and counter scratch are sized
+//! by the maximum live id.
 
-use crate::extract::{feature_vec, FeatureConfig, FeatureVec};
+use crate::extract::{feature_vec, FeatureConfig, FeatureVec, FeaturesRef};
 use gc_graph::Graph;
-use std::collections::HashMap;
 
 /// Identifier of an entry in the cache (assigned by the caller).
 pub type EntryId = u32;
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Slot {
     features: FeatureVec,
+    /// Cached `features.total_count()` (the Σmin identity's right-hand
+    /// side; recomputing it per probe would rescan the items).
+    total: u64,
+}
+
+/// Reusable probe state for [`QueryIndex::sub_case_candidates_into`] /
+/// [`QueryIndex::super_case_candidates_into`]. One per worker; buffers grow
+/// to their high-water mark and stay.
+#[derive(Debug, Default)]
+pub struct CandScratch {
+    /// The result of the most recent probe (sorted ascending entry ids).
+    out: Vec<EntryId>,
+    cur: Vec<EntryId>,
+    next: Vec<EntryId>,
+    /// `(directory index, required count)` per query feature, sorted most
+    /// selective first.
+    lists: Vec<(u32, u32)>,
+    /// Dense Σmin accumulators, indexed by entry id.
+    matched: Vec<u64>,
+}
+
+impl CandScratch {
+    /// Fresh scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The candidates computed by the most recent `*_candidates_into` call,
+    /// sorted ascending.
+    pub fn candidates(&self) -> &[EntryId] {
+        &self.out
+    }
 }
 
 /// Inverted feature index over cached query graphs.
 #[derive(Debug)]
 pub struct QueryIndex {
     cfg: FeatureConfig,
-    posting: HashMap<u64, Vec<(EntryId, u32)>>,
-    slots: HashMap<EntryId, Slot>,
+    /// Sorted feature-hash directory.
+    dir: Vec<u64>,
+    /// `posts[i]` holds the postings of `dir[i]`, sorted by entry id.
+    posts: Vec<Vec<(EntryId, u32)>>,
+    /// Dense slot table indexed by entry id.
+    slots: Vec<Option<Slot>>,
+    live: usize,
     /// Entries whose extraction was truncated: always candidates in both
-    /// directions (soundness).
+    /// directions (soundness). Sorted ascending.
     unfiltered: Vec<EntryId>,
 }
 
 impl QueryIndex {
     /// New empty index with feature config `cfg`.
     pub fn new(cfg: FeatureConfig) -> Self {
-        QueryIndex { cfg, posting: HashMap::new(), slots: HashMap::new(), unfiltered: Vec::new() }
+        QueryIndex {
+            cfg,
+            dir: Vec::new(),
+            posts: Vec::new(),
+            slots: Vec::new(),
+            live: 0,
+            unfiltered: Vec::new(),
+        }
     }
 
     /// The feature configuration.
@@ -54,7 +114,7 @@ impl QueryIndex {
 
     /// Number of indexed entries.
     pub fn len(&self) -> usize {
-        self.slots.len() + self.unfiltered.len()
+        self.live + self.unfiltered.len()
     }
 
     /// `true` iff no entries are indexed.
@@ -63,9 +123,15 @@ impl QueryIndex {
     }
 
     /// Extract the feature vector of a query under this index's config.
-    /// Exposed so the runtime can reuse it across sub/super probes.
+    /// Exposed so the runtime can compute it **once per query** and share it
+    /// across the sub probe, the super probe and admission.
     pub fn features_of(&self, g: &Graph) -> FeatureVec {
         feature_vec(g, &self.cfg)
+    }
+
+    fn contains_id(&self, id: EntryId) -> bool {
+        self.slots.get(id as usize).is_some_and(Option::is_some)
+            || self.unfiltered.binary_search(&id).is_ok()
     }
 
     /// Index a cached query graph under `id`.
@@ -79,124 +145,213 @@ impl QueryIndex {
     }
 
     /// Index a cached query by a precomputed feature vector (must have been
-    /// produced by [`QueryIndex::features_of`] on the same config).
+    /// produced by [`QueryIndex::features_of`] on the same config — the
+    /// admission stage passes the vector the probe stage already
+    /// extracted).
     pub fn insert_features(&mut self, id: EntryId, fv: FeatureVec) {
-        assert!(
-            !self.slots.contains_key(&id) && !self.unfiltered.contains(&id),
-            "duplicate entry id {id}"
-        );
+        assert!(!self.contains_id(id), "duplicate entry id {id}");
         if fv.truncated() {
-            self.unfiltered.push(id);
+            let at = self.unfiltered.binary_search(&id).unwrap_err();
+            self.unfiltered.insert(at, id);
             return;
         }
         for &(h, c) in fv.items() {
-            self.posting.entry(h).or_default().push((id, c));
+            match self.dir.binary_search(&h) {
+                Ok(i) => {
+                    let list = &mut self.posts[i];
+                    let at = list
+                        .binary_search_by_key(&id, |&(e, _)| e)
+                        .expect_err("feature hashes are unique per entry");
+                    list.insert(at, (id, c));
+                }
+                Err(i) => {
+                    self.dir.insert(i, h);
+                    self.posts.insert(i, vec![(id, c)]);
+                }
+            }
         }
-        self.slots.insert(id, Slot { features: fv });
+        if self.slots.len() <= id as usize {
+            self.slots.resize_with(id as usize + 1, || None);
+        }
+        let total = fv.total_count();
+        self.slots[id as usize] = Some(Slot { features: fv, total });
+        self.live += 1;
     }
 
     /// Remove an entry (cache eviction). Unknown ids are ignored.
     pub fn remove(&mut self, id: EntryId) {
-        if let Some(pos) = self.unfiltered.iter().position(|&e| e == id) {
-            self.unfiltered.swap_remove(pos);
+        if let Ok(pos) = self.unfiltered.binary_search(&id) {
+            self.unfiltered.remove(pos);
             return;
         }
-        let Some(slot) = self.slots.remove(&id) else { return };
+        let Some(slot) = self.slots.get_mut(id as usize).and_then(Option::take) else { return };
+        self.live -= 1;
         for &(h, _) in slot.features.items() {
-            if let Some(list) = self.posting.get_mut(&h) {
-                if let Some(pos) = list.iter().position(|&(e, _)| e == id) {
-                    list.swap_remove(pos);
+            if let Ok(i) = self.dir.binary_search(&h) {
+                let list = &mut self.posts[i];
+                if let Ok(pos) = list.binary_search_by_key(&id, |&(e, _)| e) {
+                    list.remove(pos);
                 }
                 if list.is_empty() {
-                    self.posting.remove(&h);
+                    self.dir.remove(i);
+                    self.posts.remove(i);
                 }
             }
         }
     }
 
-    /// Cached entries that may *contain* the query (`g ⊑ h` candidates).
-    ///
-    /// `qf` must come from [`QueryIndex::features_of`].
-    pub fn sub_case_candidates(&self, qf: &FeatureVec) -> Vec<EntryId> {
-        let mut out: Vec<EntryId> = self.unfiltered.clone();
-        if qf.truncated() {
-            // Unfilterable query: every entry is a candidate.
-            out.extend(self.slots.keys().copied());
-            out.sort_unstable();
-            return out;
-        }
-        if qf.is_empty() {
-            // The empty query is contained in everything.
-            out.extend(self.slots.keys().copied());
-            out.sort_unstable();
-            return out;
-        }
-        // acc[e] = number of query features satisfied by e.
-        let mut acc: HashMap<EntryId, u32> = HashMap::new();
-        let needed = qf.len() as u32;
-        for (i, &(h, qc)) in qf.items().iter().enumerate() {
-            let Some(list) = self.posting.get(&h) else { return out };
-            if i == 0 {
-                for &(e, c) in list {
-                    if c >= qc {
-                        acc.insert(e, 1);
-                    }
-                }
+    /// Merge `unfiltered` (sorted) with the sorted candidate run in `cur`
+    /// into `out` (all three disjoint-id sorted sequences).
+    fn merge_with_unfiltered(&self, cur: &[EntryId], out: &mut Vec<EntryId>) {
+        out.clear();
+        let (mut i, mut j) = (0, 0);
+        while i < self.unfiltered.len() && j < cur.len() {
+            if self.unfiltered[i] < cur[j] {
+                out.push(self.unfiltered[i]);
+                i += 1;
             } else {
-                for &(e, c) in list {
-                    if c >= qc {
-                        if let Some(a) = acc.get_mut(&e) {
-                            // Feature hashes are unique within qf, so each
-                            // feature increments at most once per entry.
-                            *a += 1;
-                        }
-                    }
+                out.push(cur[j]);
+                j += 1;
+            }
+        }
+        out.extend_from_slice(&self.unfiltered[i..]);
+        out.extend_from_slice(&cur[j..]);
+    }
+
+    /// Every indexed entry (unfiltered ∪ live slots), ascending, into
+    /// `scratch` (the unfilterable-query fallback).
+    fn all_entries_into(&self, scratch: &mut CandScratch) {
+        scratch.cur.clear();
+        scratch.cur.extend(
+            self.slots.iter().enumerate().filter_map(|(id, s)| s.as_ref().map(|_| id as EntryId)),
+        );
+        let cur = std::mem::take(&mut scratch.cur);
+        self.merge_with_unfiltered(&cur, &mut scratch.out);
+        scratch.cur = cur;
+    }
+
+    /// Cached entries that may *contain* the query (`g ⊑ h` candidates),
+    /// written to `scratch` (read them via [`CandScratch::candidates`]).
+    ///
+    /// `f` must come from an extraction under [`QueryIndex::config`].
+    /// Allocation-free once the scratch is warm.
+    pub fn sub_case_candidates_into(&self, f: FeaturesRef<'_>, scratch: &mut CandScratch) {
+        if f.truncated() || f.is_empty() {
+            // Unfilterable query, or the empty query (contained in
+            // everything): every entry is a candidate.
+            self.all_entries_into(scratch);
+            return;
+        }
+        scratch.lists.clear();
+        for &(h, qc) in f.items() {
+            match self.dir.binary_search(&h) {
+                Ok(i) => scratch.lists.push((i as u32, qc)),
+                Err(_) => {
+                    // A query feature no (filterable) entry has.
+                    scratch.out.clear();
+                    scratch.out.extend_from_slice(&self.unfiltered);
+                    return;
                 }
             }
         }
-        out.extend(acc.iter().filter(|&(_, &a)| a == needed).map(|(&e, _)| e));
-        out.sort_unstable();
-        out
+        // Most selective (shortest) posting list first: the running
+        // intersection can only shrink, so later merges scan less.
+        scratch.lists.sort_unstable_by_key(|&(i, _)| self.posts[i as usize].len());
+        let (i0, qc0) = scratch.lists[0];
+        scratch.cur.clear();
+        scratch
+            .cur
+            .extend(self.posts[i0 as usize].iter().filter(|&&(_, c)| c >= qc0).map(|&(e, _)| e));
+        for &(li, qc) in &scratch.lists[1..] {
+            if scratch.cur.is_empty() {
+                break;
+            }
+            let list = &self.posts[li as usize];
+            scratch.next.clear();
+            let (mut a, mut b) = (0usize, 0usize);
+            while a < scratch.cur.len() && b < list.len() {
+                let (e, c) = list[b];
+                match scratch.cur[a].cmp(&e) {
+                    std::cmp::Ordering::Less => a += 1,
+                    std::cmp::Ordering::Greater => b += 1,
+                    std::cmp::Ordering::Equal => {
+                        if c >= qc {
+                            scratch.next.push(e);
+                        }
+                        a += 1;
+                        b += 1;
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.cur, &mut scratch.next);
+        }
+        let cur = std::mem::take(&mut scratch.cur);
+        self.merge_with_unfiltered(&cur, &mut scratch.out);
+        scratch.cur = cur;
     }
 
-    /// Cached entries possibly *contained in* the query (`h ⊑ g` candidates).
-    pub fn super_case_candidates(&self, qf: &FeatureVec) -> Vec<EntryId> {
-        let mut out: Vec<EntryId> = self.unfiltered.clone();
-        if qf.truncated() {
-            out.extend(self.slots.keys().copied());
-            out.sort_unstable();
-            return out;
+    /// Cached entries possibly *contained in* the query (`h ⊑ g`
+    /// candidates), written to `scratch`. Allocation-free once the scratch
+    /// is warm.
+    pub fn super_case_candidates_into(&self, f: FeaturesRef<'_>, scratch: &mut CandScratch) {
+        if f.truncated() {
+            self.all_entries_into(scratch);
+            return;
         }
         // matched[e] = Σ_{f ∈ qf} min(cnt_e(f), cnt_q(f)); e qualifies iff
         // matched[e] == total(e). Entries with no features (empty graphs)
         // qualify trivially.
-        let mut matched: HashMap<EntryId, u64> = HashMap::new();
-        for &(h, qc) in qf.items() {
-            if let Some(list) = self.posting.get(&h) {
-                for &(e, c) in list {
-                    *matched.entry(e).or_insert(0) += c.min(qc) as u64;
+        scratch.matched.clear();
+        scratch.matched.resize(self.slots.len(), 0);
+        for &(h, qc) in f.items() {
+            if let Ok(i) = self.dir.binary_search(&h) {
+                for &(e, c) in &self.posts[i] {
+                    scratch.matched[e as usize] += c.min(qc) as u64;
                 }
             }
         }
-        for (&e, slot) in &self.slots {
-            let total = slot.features.total_count();
-            if total == 0 || matched.get(&e).copied().unwrap_or(0) == total {
-                out.push(e);
+        scratch.cur.clear();
+        for (id, slot) in self.slots.iter().enumerate() {
+            if let Some(s) = slot {
+                if s.total == 0 || scratch.matched[id] == s.total {
+                    scratch.cur.push(id as EntryId);
+                }
             }
         }
-        out.sort_unstable();
-        out
+        let cur = std::mem::take(&mut scratch.cur);
+        self.merge_with_unfiltered(&cur, &mut scratch.out);
+        scratch.cur = cur;
+    }
+
+    /// Cached entries that may *contain* the query (`g ⊑ h` candidates),
+    /// sorted ascending. Allocating convenience wrapper over
+    /// [`QueryIndex::sub_case_candidates_into`].
+    pub fn sub_case_candidates(&self, qf: &FeatureVec) -> Vec<EntryId> {
+        let mut scratch = CandScratch::new();
+        self.sub_case_candidates_into(qf.as_features(), &mut scratch);
+        scratch.out
+    }
+
+    /// Cached entries possibly *contained in* the query (`h ⊑ g`
+    /// candidates), sorted ascending. Allocating convenience wrapper over
+    /// [`QueryIndex::super_case_candidates_into`].
+    pub fn super_case_candidates(&self, qf: &FeatureVec) -> Vec<EntryId> {
+        let mut scratch = CandScratch::new();
+        self.super_case_candidates_into(qf.as_features(), &mut scratch);
+        scratch.out
     }
 
     /// Approximate heap footprint in bytes (for the "GC memory is ~1% of the
     /// FTV index" comparison of Experiment II).
     pub fn memory_bytes(&self) -> usize {
-        let mut bytes = self.unfiltered.capacity() * std::mem::size_of::<EntryId>();
-        for list in self.posting.values() {
-            bytes += list.capacity() * std::mem::size_of::<(EntryId, u32)>()
-                + std::mem::size_of::<u64>();
+        let mut bytes = self.unfiltered.capacity() * std::mem::size_of::<EntryId>()
+            + self.dir.capacity() * std::mem::size_of::<u64>()
+            + self.posts.capacity() * std::mem::size_of::<Vec<(EntryId, u32)>>()
+            + self.slots.capacity() * std::mem::size_of::<Option<Slot>>();
+        for list in &self.posts {
+            bytes += list.capacity() * std::mem::size_of::<(EntryId, u32)>();
         }
-        for slot in self.slots.values() {
+        for slot in self.slots.iter().flatten() {
             bytes += slot.features.memory_bytes();
         }
         bytes
@@ -258,6 +413,28 @@ mod tests {
     }
 
     #[test]
+    fn candidates_are_sorted_ascending() {
+        let (qi, _) = idx();
+        let qf = qi.features_of(&g(&[0, 1], &[(0, 1)]));
+        for cands in [qi.sub_case_candidates(&qf), qi.super_case_candidates(&qf)] {
+            assert!(cands.windows(2).all(|w| w[0] < w[1]), "unsorted: {cands:?}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        let (qi, _) = idx();
+        let mut scratch = CandScratch::new();
+        let qf = qi.features_of(&g(&[0, 1], &[(0, 1)]));
+        qi.sub_case_candidates_into(qf.as_features(), &mut scratch);
+        let first = scratch.candidates().to_vec();
+        // Interleave a super probe, then repeat the sub probe.
+        qi.super_case_candidates_into(qf.as_features(), &mut scratch);
+        qi.sub_case_candidates_into(qf.as_features(), &mut scratch);
+        assert_eq!(scratch.candidates(), first.as_slice());
+    }
+
+    #[test]
     fn remove_unindexes() {
         let (mut qi, _) = idx();
         assert_eq!(qi.len(), 4);
@@ -270,6 +447,17 @@ mod tests {
         qi.remove(2);
         qi.remove(99);
         assert_eq!(qi.len(), 3);
+    }
+
+    #[test]
+    fn slab_id_reuse_after_remove() {
+        let (mut qi, _) = idx();
+        qi.remove(1);
+        // The cache manager reuses freed slots: re-inserting id 1 must work.
+        qi.insert(1, &g(&[9, 9], &[(0, 1)]));
+        assert_eq!(qi.len(), 4);
+        let qf = qi.features_of(&g(&[9], &[]));
+        assert_eq!(qi.sub_case_candidates(&qf), vec![1]);
     }
 
     #[test]
@@ -295,6 +483,29 @@ mod tests {
         qi.insert(0, &g(&[], &[]));
         let qf = qi.features_of(&g(&[5], &[]));
         assert_eq!(qi.super_case_candidates(&qf), vec![0]);
+    }
+
+    #[test]
+    fn truncated_entry_tracked_in_unfiltered() {
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                edges.push((u, v));
+            }
+        }
+        let clique = g(&[0; 8], &edges);
+        let cfg = FeatureConfig { max_len: 6, max_paths: 100 };
+        let mut qi = QueryIndex::new(cfg);
+        qi.insert(5, &clique);
+        qi.insert(2, &g(&[1], &[]));
+        assert_eq!(qi.len(), 2);
+        // The truncated entry is a candidate for any query, in both
+        // directions, and the output stays sorted.
+        let qf = qi.features_of(&g(&[1], &[]));
+        assert_eq!(qi.sub_case_candidates(&qf), vec![2, 5]);
+        assert_eq!(qi.super_case_candidates(&qf), vec![2, 5]);
+        qi.remove(5);
+        assert_eq!(qi.sub_case_candidates(&qf), vec![2]);
     }
 
     #[test]

@@ -1,0 +1,318 @@
+//! Reference implementations of the feature front-end.
+//!
+//! These are the pre-arena/pre-flat-postings data structures, kept as
+//! *executable specifications*: the property tests in `tests/prop.rs` assert
+//! the production structures compute identical candidate sets, and the
+//! `exp9_filter_frontend` benchmark measures the production front-end
+//! against them (answer-cross-checked on every query). They are **not** on
+//! any hot path — do not optimize them; their value is being obviously
+//! equivalent to the documented semantics.
+
+use crate::extract::{enumerate_label_paths, feature_hash, FeatureConfig, FeatureVec};
+use crate::query_index::EntryId;
+use gc_graph::{BitSet, Graph, GraphId, Label};
+use std::collections::HashMap;
+
+/// Materializing feature extraction: enumerate every path into an owned
+/// `Vec<Vec<Label>>`, hash each, sort and aggregate. The pre-streaming
+/// implementation of [`crate::feature_vec`].
+pub fn feature_vec_materialized(g: &Graph, cfg: &FeatureConfig) -> FeatureVec {
+    let (paths, truncated) = enumerate_label_paths(g, cfg);
+    let mut hashes: Vec<u64> = paths.iter().map(|p| feature_hash(p)).collect();
+    hashes.sort_unstable();
+    let mut items: Vec<(u64, u32)> = Vec::new();
+    for h in hashes {
+        match items.last_mut() {
+            Some((lh, c)) if *lh == h => *c += 1,
+            _ => items.push((h, 1)),
+        }
+    }
+    FeatureVec::from_sorted_items(items, truncated)
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    features: FeatureVec,
+}
+
+/// The HashMap-postings containment index over cached query graphs — the
+/// pre-flat implementation of [`crate::QueryIndex`], semantics documented
+/// there.
+#[derive(Debug)]
+pub struct RefQueryIndex {
+    cfg: FeatureConfig,
+    posting: HashMap<u64, Vec<(EntryId, u32)>>,
+    slots: HashMap<EntryId, Slot>,
+    unfiltered: Vec<EntryId>,
+}
+
+impl RefQueryIndex {
+    /// New empty index with feature config `cfg`.
+    pub fn new(cfg: FeatureConfig) -> Self {
+        RefQueryIndex {
+            cfg,
+            posting: HashMap::new(),
+            slots: HashMap::new(),
+            unfiltered: Vec::new(),
+        }
+    }
+
+    /// Extract a query's features under this index's config (materialized).
+    pub fn features_of(&self, g: &Graph) -> FeatureVec {
+        feature_vec_materialized(g, &self.cfg)
+    }
+
+    /// Index a cached query graph under `id`.
+    pub fn insert(&mut self, id: EntryId, g: &Graph) {
+        let fv = self.features_of(g);
+        assert!(
+            !self.slots.contains_key(&id) && !self.unfiltered.contains(&id),
+            "duplicate entry id {id}"
+        );
+        if fv.truncated() {
+            self.unfiltered.push(id);
+            return;
+        }
+        for &(h, c) in fv.items() {
+            self.posting.entry(h).or_default().push((id, c));
+        }
+        self.slots.insert(id, Slot { features: fv });
+    }
+
+    /// Remove an entry. Unknown ids are ignored.
+    pub fn remove(&mut self, id: EntryId) {
+        if let Some(pos) = self.unfiltered.iter().position(|&e| e == id) {
+            self.unfiltered.swap_remove(pos);
+            return;
+        }
+        let Some(slot) = self.slots.remove(&id) else { return };
+        for &(h, _) in slot.features.items() {
+            if let Some(list) = self.posting.get_mut(&h) {
+                if let Some(pos) = list.iter().position(|&(e, _)| e == id) {
+                    list.swap_remove(pos);
+                }
+                if list.is_empty() {
+                    self.posting.remove(&h);
+                }
+            }
+        }
+    }
+
+    /// Cached entries that may *contain* the query (`g ⊑ h` candidates),
+    /// sorted ascending.
+    pub fn sub_case_candidates(&self, qf: &FeatureVec) -> Vec<EntryId> {
+        let mut out: Vec<EntryId> = self.unfiltered.clone();
+        if qf.truncated() || qf.is_empty() {
+            out.extend(self.slots.keys().copied());
+            out.sort_unstable();
+            return out;
+        }
+        // acc[e] = number of query features satisfied by e.
+        let mut acc: HashMap<EntryId, u32> = HashMap::new();
+        let needed = qf.len() as u32;
+        for (i, &(h, qc)) in qf.items().iter().enumerate() {
+            let Some(list) = self.posting.get(&h) else {
+                out.sort_unstable();
+                return out;
+            };
+            for &(e, c) in list {
+                if c >= qc {
+                    if i == 0 {
+                        acc.insert(e, 1);
+                    } else if let Some(a) = acc.get_mut(&e) {
+                        *a += 1;
+                    }
+                }
+            }
+        }
+        out.extend(acc.iter().filter(|&(_, &a)| a == needed).map(|(&e, _)| e));
+        out.sort_unstable();
+        out
+    }
+
+    /// Cached entries possibly *contained in* the query (`h ⊑ g`
+    /// candidates), sorted ascending.
+    pub fn super_case_candidates(&self, qf: &FeatureVec) -> Vec<EntryId> {
+        let mut out: Vec<EntryId> = self.unfiltered.clone();
+        if qf.truncated() {
+            out.extend(self.slots.keys().copied());
+            out.sort_unstable();
+            return out;
+        }
+        let mut matched: HashMap<EntryId, u64> = HashMap::new();
+        for &(h, qc) in qf.items() {
+            if let Some(list) = self.posting.get(&h) {
+                for &(e, c) in list {
+                    *matched.entry(e).or_insert(0) += c.min(qc) as u64;
+                }
+            }
+        }
+        for (&e, slot) in &self.slots {
+            let total = slot.features.total_count();
+            if total == 0 || matched.get(&e).copied().unwrap_or(0) == total {
+                out.push(e);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    /// Child edges sorted by label for binary search.
+    children: Vec<(Label, u32)>,
+    /// `(graph, count)` sorted by graph id.
+    postings: Vec<(GraphId, u32)>,
+}
+
+/// The pointer-chasing node trie — the pre-arena implementation of
+/// [`crate::PathTrie`], semantics documented there.
+#[derive(Debug)]
+pub struct RefPathTrie {
+    cfg: FeatureConfig,
+    nodes: Vec<Node>,
+    dataset_size: usize,
+    totals: Vec<u64>,
+    unfiltered: Vec<GraphId>,
+}
+
+impl RefPathTrie {
+    /// Build the index over `dataset` with feature config `cfg`.
+    pub fn build(dataset: &[Graph], cfg: FeatureConfig) -> Self {
+        let mut trie = RefPathTrie {
+            cfg,
+            nodes: vec![Node::default()],
+            dataset_size: dataset.len(),
+            totals: vec![0; dataset.len()],
+            unfiltered: Vec::new(),
+        };
+        for (gid, g) in dataset.iter().enumerate() {
+            trie.insert_graph(gid as GraphId, g);
+        }
+        trie
+    }
+
+    fn insert_graph(&mut self, gid: GraphId, g: &Graph) {
+        let (paths, truncated) = enumerate_label_paths(g, &self.cfg);
+        if truncated {
+            self.unfiltered.push(gid);
+            return;
+        }
+        self.totals[gid as usize] = paths.len() as u64;
+        for path in &paths {
+            let node = self.walk_insert(path);
+            match self.nodes[node].postings.last_mut() {
+                Some((last_gid, c)) if *last_gid == gid => *c += 1,
+                _ => self.nodes[node].postings.push((gid, 1)),
+            }
+        }
+    }
+
+    fn walk_insert(&mut self, labels: &[Label]) -> usize {
+        let mut cur = 0usize;
+        for &l in labels {
+            cur = match self.nodes[cur].children.binary_search_by_key(&l, |&(cl, _)| cl) {
+                Ok(i) => self.nodes[cur].children[i].1 as usize,
+                Err(i) => {
+                    let id = self.nodes.len() as u32;
+                    self.nodes.push(Node::default());
+                    self.nodes[cur].children.insert(i, (l, id));
+                    id as usize
+                }
+            };
+        }
+        cur
+    }
+
+    fn walk(&self, labels: &[Label]) -> Option<usize> {
+        let mut cur = 0usize;
+        for &l in labels {
+            match self.nodes[cur].children.binary_search_by_key(&l, |&(cl, _)| cl) {
+                Ok(i) => cur = self.nodes[cur].children[i].1 as usize,
+                Err(_) => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Candidate set for a subgraph query (sound overapproximation).
+    pub fn candidates(&self, query: &Graph) -> BitSet {
+        let (qpaths, qtrunc) = enumerate_label_paths(query, &self.cfg);
+        if qtrunc {
+            return BitSet::full(self.dataset_size);
+        }
+        let mut required: Vec<(usize, u32)> = Vec::with_capacity(qpaths.len());
+        for p in &qpaths {
+            match self.walk(p) {
+                Some(n) => required.push((n, 1)),
+                None => {
+                    return BitSet::from_indices(
+                        self.dataset_size,
+                        self.unfiltered.iter().map(|&g| g as usize),
+                    );
+                }
+            }
+        }
+        required.sort_unstable();
+        let mut merged: Vec<(usize, u32)> = Vec::new();
+        for (n, c) in required {
+            match merged.last_mut() {
+                Some((ln, lc)) if *ln == n => *lc += c,
+                _ => merged.push((n, c)),
+            }
+        }
+        merged.sort_unstable_by_key(|&(n, _)| self.nodes[n].postings.len());
+        let mut cands = BitSet::full(self.dataset_size);
+        let mut scratch = BitSet::new(self.dataset_size);
+        for (n, req) in merged {
+            scratch.clear();
+            for &(gid, c) in &self.nodes[n].postings {
+                if c >= req {
+                    scratch.insert(gid as usize);
+                }
+            }
+            cands.intersect_with(&scratch);
+            if cands.is_empty() {
+                break;
+            }
+        }
+        for &g in &self.unfiltered {
+            cands.insert(g as usize);
+        }
+        cands
+    }
+
+    /// Candidate set for a supergraph query (sound overapproximation).
+    pub fn super_candidates(&self, query: &Graph) -> BitSet {
+        let (qpaths, qtrunc) = enumerate_label_paths(query, &self.cfg);
+        if qtrunc {
+            return BitSet::full(self.dataset_size);
+        }
+        let mut required: Vec<usize> = qpaths.iter().filter_map(|p| self.walk(p)).collect();
+        required.sort_unstable();
+        let mut matched = vec![0u64; self.dataset_size];
+        let mut i = 0;
+        while i < required.len() {
+            let n = required[i];
+            let mut qc = 0u32;
+            while i < required.len() && required[i] == n {
+                qc += 1;
+                i += 1;
+            }
+            for &(gid, c) in &self.nodes[n].postings {
+                matched[gid as usize] += c.min(qc) as u64;
+            }
+        }
+        let mut out = BitSet::new(self.dataset_size);
+        for (gid, (&m, &t)) in matched.iter().zip(&self.totals).enumerate() {
+            if m == t {
+                out.insert(gid);
+            }
+        }
+        for &g in &self.unfiltered {
+            out.insert(g as usize);
+        }
+        out
+    }
+}

@@ -1,31 +1,108 @@
-//! GraphGrepSX-style suffix trie over labelled paths — the FTV dataset index.
+//! GraphGrepSX-style trie over labelled paths — the FTV dataset index.
 //!
 //! Each node of the trie corresponds to a label sequence (the path from the
 //! root); a node stores a posting list `(graph_id, occurrence_count)` sorted
 //! by graph id. Filtering walks the trie once per query feature and
 //! intersects the graphs whose counts dominate the query's.
 //!
-//! The trie is built once over the (static) dataset; its
-//! [`memory_bytes`](PathTrie::memory_bytes) drives the space side of the
-//! paper's Experiment II.
+//! ## Arena layout
+//!
+//! The index is built once over the (static) dataset, so after construction
+//! the node structs are **frozen into a contiguous arena**: per-node child
+//! edges and postings become ranges into two flat arrays (`child_start` /
+//! `post_start` prefix tables). Lookups binary-search a node's child slice;
+//! postings are read as one contiguous slice — no pointer chasing, no
+//! per-node allocations.
+//!
+//! Query-side work streams: the label-path DFS of
+//! [`crate::extract::stream_label_paths`] walks the arena in step with the
+//! enumeration (a node stack mirrors the path stack), so query paths are
+//! never materialized, and candidate intersection goes word-parallel
+//! straight into the caller's [`BitSet`] via
+//! [`BitSet::intersect_with_sorted`] — the filter allocates nothing per
+//! feature. Reusable state lives in [`TrieScratch`].
+//!
+//! Its [`memory_bytes`](PathTrie::memory_bytes) drives the space side of the
+//! paper's Experiment II. Equivalence with the pointer-chasing
+//! implementation is pinned against [`crate::reference::RefPathTrie`].
 
-use crate::extract::{enumerate_label_paths, FeatureConfig};
+use crate::extract::{stream_label_paths, FeatureConfig, PathSink};
 use gc_graph::{BitSet, Graph, GraphId, Label};
 
+/// Sentinel for "the current path has left the trie" on the walk stack.
+const MISS: u32 = u32::MAX;
+
 #[derive(Debug, Default)]
-struct Node {
-    /// Child edges sorted by label for binary search.
+struct BuildNode {
+    /// Child edges sorted by label.
     children: Vec<(Label, u32)>,
-    /// `(graph, count)` sorted by graph id.
+    /// `(graph, count)` sorted by graph id (graphs are inserted in id
+    /// order).
     postings: Vec<(GraphId, u32)>,
 }
 
+/// Reusable query-side state for [`PathTrie::candidates_into`] /
+/// [`PathTrie::super_candidates_into`]. One per worker; buffers grow to
+/// their high-water mark and stay.
+#[derive(Debug, Default)]
+pub struct TrieScratch {
+    on_path: Vec<bool>,
+    /// Trie node per path depth (`MISS` once off-trie).
+    stack: Vec<u32>,
+    /// One walked node id per emitted path occurrence.
+    nodes: Vec<u32>,
+    /// Aggregated `(node, required count)`.
+    merged: Vec<(u32, u32)>,
+    /// Dense Σmin accumulators, indexed by graph id.
+    matched: Vec<u64>,
+}
+
+impl TrieScratch {
+    /// Fresh scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Streams the query's label paths against the arena: maintains the trie
+/// node reached by the current path and records it per emission.
+struct WalkSink<'a> {
+    trie: &'a PathTrie,
+    stack: &'a mut Vec<u32>,
+    nodes: &'a mut Vec<u32>,
+    /// Some emitted path left the trie (a feature no indexed graph has).
+    missing: bool,
+}
+
+impl PathSink for WalkSink<'_> {
+    #[inline]
+    fn push(&mut self, label: Label) {
+        let parent = self.stack.last().copied().unwrap_or(0);
+        let node = if parent == MISS { MISS } else { self.trie.child(parent, label) };
+        self.stack.push(node);
+    }
+
+    #[inline]
+    fn emit(&mut self) {
+        let node = *self.stack.last().expect("emit follows a push");
+        if node == MISS {
+            self.missing = true;
+        } else {
+            self.nodes.push(node);
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) {
+        self.stack.pop();
+    }
+}
+
 /// The FTV dataset index: a trie of labelled simple paths up to a maximum
-/// length, with per-graph occurrence counts.
+/// length, with per-graph occurrence counts, frozen into a flat arena.
 #[derive(Debug)]
 pub struct PathTrie {
     cfg: FeatureConfig,
-    nodes: Vec<Node>,
     dataset_size: usize,
     /// Per-graph total path-occurrence counts (for supergraph-query
     /// filtering via the Σmin identity).
@@ -33,22 +110,116 @@ pub struct PathTrie {
     /// Graphs whose path enumeration was truncated; they are always
     /// candidates (soundness over filtering power).
     unfiltered: Vec<GraphId>,
+    /// Arena: node `n`'s child edges are
+    /// `child_labels/child_nodes[child_start[n]..child_start[n + 1]]`,
+    /// sorted by label; its postings are
+    /// `postings[post_start[n]..post_start[n + 1]]`, sorted by graph id.
+    child_labels: Vec<Label>,
+    child_nodes: Vec<u32>,
+    child_start: Vec<u32>,
+    postings: Vec<(GraphId, u32)>,
+    post_start: Vec<u32>,
 }
 
 impl PathTrie {
     /// Build the index over `dataset` with feature config `cfg`.
     pub fn build(dataset: &[Graph], cfg: FeatureConfig) -> Self {
-        let mut trie = PathTrie {
-            cfg,
-            nodes: vec![Node::default()],
-            dataset_size: dataset.len(),
-            totals: vec![0; dataset.len()],
-            unfiltered: Vec::new(),
-        };
-        for (gid, g) in dataset.iter().enumerate() {
-            trie.insert_graph(gid as GraphId, g);
+        let mut nodes: Vec<BuildNode> = vec![BuildNode::default()];
+        let mut totals = vec![0u64; dataset.len()];
+        let mut unfiltered = Vec::new();
+        let mut on_path = Vec::new();
+
+        /// Counts emissions without touching the trie (pass 1: truncation
+        /// check, so a truncated graph never leaves partial postings).
+        struct CountSink {
+            emitted: u64,
         }
-        trie
+        impl PathSink for CountSink {
+            fn push(&mut self, _: Label) {}
+            fn emit(&mut self) {
+                self.emitted += 1;
+            }
+            fn pop(&mut self) {}
+        }
+
+        struct InsertSink<'a> {
+            nodes: &'a mut Vec<BuildNode>,
+            stack: Vec<usize>,
+            gid: GraphId,
+        }
+        impl PathSink for InsertSink<'_> {
+            fn push(&mut self, label: Label) {
+                let cur = self.stack.last().copied().unwrap_or(0);
+                let next =
+                    match self.nodes[cur].children.binary_search_by_key(&label, |&(cl, _)| cl) {
+                        Ok(i) => self.nodes[cur].children[i].1 as usize,
+                        Err(i) => {
+                            let id = self.nodes.len() as u32;
+                            self.nodes.push(BuildNode::default());
+                            self.nodes[cur].children.insert(i, (label, id));
+                            id as usize
+                        }
+                    };
+                self.stack.push(next);
+            }
+            fn emit(&mut self) {
+                let node = *self.stack.last().expect("emit follows a push");
+                match self.nodes[node].postings.last_mut() {
+                    Some((last_gid, c)) if *last_gid == self.gid => *c += 1,
+                    _ => self.nodes[node].postings.push((self.gid, 1)),
+                }
+            }
+            fn pop(&mut self) {
+                self.stack.pop();
+            }
+        }
+
+        for (gid, g) in dataset.iter().enumerate() {
+            let gid = gid as GraphId;
+            let mut counter = CountSink { emitted: 0 };
+            if stream_label_paths(g, &cfg, &mut on_path, &mut counter) {
+                unfiltered.push(gid);
+                continue;
+            }
+            totals[gid as usize] = counter.emitted;
+            let mut sink = InsertSink { nodes: &mut nodes, stack: Vec::new(), gid };
+            stream_label_paths(g, &cfg, &mut on_path, &mut sink);
+        }
+
+        // Freeze into the arena (node ids preserved).
+        let mut child_start = Vec::with_capacity(nodes.len() + 1);
+        let mut post_start = Vec::with_capacity(nodes.len() + 1);
+        let (mut nc, mut np) = (0u32, 0u32);
+        for n in &nodes {
+            child_start.push(nc);
+            post_start.push(np);
+            nc += n.children.len() as u32;
+            np += n.postings.len() as u32;
+        }
+        child_start.push(nc);
+        post_start.push(np);
+        let mut child_labels = Vec::with_capacity(nc as usize);
+        let mut child_nodes = Vec::with_capacity(nc as usize);
+        let mut postings = Vec::with_capacity(np as usize);
+        for n in nodes {
+            for (l, c) in n.children {
+                child_labels.push(l);
+                child_nodes.push(c);
+            }
+            postings.extend(n.postings);
+        }
+
+        PathTrie {
+            cfg,
+            dataset_size: dataset.len(),
+            totals,
+            unfiltered,
+            child_labels,
+            child_nodes,
+            child_start,
+            postings,
+            post_start,
+        }
     }
 
     /// The feature configuration the index was built with.
@@ -63,47 +234,36 @@ impl PathTrie {
 
     /// Number of trie nodes (root included).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.child_start.len() - 1
     }
 
-    fn insert_graph(&mut self, gid: GraphId, g: &Graph) {
-        let (paths, truncated) = enumerate_label_paths(g, &self.cfg);
-        if truncated {
-            self.unfiltered.push(gid);
-            return;
-        }
-        self.totals[gid as usize] = paths.len() as u64;
-        for path in &paths {
-            let node = self.walk_insert(path);
-            match self.nodes[node].postings.last_mut() {
-                Some((last_gid, c)) if *last_gid == gid => *c += 1,
-                _ => self.nodes[node].postings.push((gid, 1)),
-            }
+    /// The child of `node` along `label`, or [`MISS`].
+    #[inline]
+    fn child(&self, node: u32, label: Label) -> u32 {
+        let (s, e) = (
+            self.child_start[node as usize] as usize,
+            self.child_start[node as usize + 1] as usize,
+        );
+        match self.child_labels[s..e].binary_search(&label) {
+            Ok(i) => self.child_nodes[s + i],
+            Err(_) => MISS,
         }
     }
 
-    fn walk_insert(&mut self, labels: &[Label]) -> usize {
-        let mut cur = 0usize;
+    /// Posting slice of `node`.
+    #[inline]
+    fn node_postings(&self, node: u32) -> &[(GraphId, u32)] {
+        let (s, e) =
+            (self.post_start[node as usize] as usize, self.post_start[node as usize + 1] as usize);
+        &self.postings[s..e]
+    }
+
+    fn walk(&self, labels: &[Label]) -> Option<u32> {
+        let mut cur = 0u32;
         for &l in labels {
-            cur = match self.nodes[cur].children.binary_search_by_key(&l, |&(cl, _)| cl) {
-                Ok(i) => self.nodes[cur].children[i].1 as usize,
-                Err(i) => {
-                    let id = self.nodes.len() as u32;
-                    self.nodes.push(Node::default());
-                    self.nodes[cur].children.insert(i, (l, id));
-                    id as usize
-                }
-            };
-        }
-        cur
-    }
-
-    fn walk(&self, labels: &[Label]) -> Option<usize> {
-        let mut cur = 0usize;
-        for &l in labels {
-            match self.nodes[cur].children.binary_search_by_key(&l, |&(cl, _)| cl) {
-                Ok(i) => cur = self.nodes[cur].children[i].1 as usize,
-                Err(_) => return None,
+            cur = self.child(cur, l);
+            if cur == MISS {
+                return None;
             }
         }
         Some(cur)
@@ -113,102 +273,117 @@ impl PathTrie {
     pub fn count(&self, labels: &[Label], gid: GraphId) -> u32 {
         self.walk(labels)
             .and_then(|n| {
-                self.nodes[n]
-                    .postings
-                    .binary_search_by_key(&gid, |&(g, _)| g)
-                    .ok()
-                    .map(|i| self.nodes[n].postings[i].1)
+                let posts = self.node_postings(n);
+                posts.binary_search_by_key(&gid, |&(g, _)| g).ok().map(|i| posts[i].1)
             })
             .unwrap_or(0)
     }
 
-    /// Compute the candidate set `C_M` for a subgraph query: every dataset
-    /// graph whose per-feature counts dominate the query's.
+    /// Stream the query's paths against the arena, filling
+    /// `scratch.nodes`. Returns `(truncated, missing)`.
+    fn walk_query(&self, query: &Graph, scratch: &mut TrieScratch) -> (bool, bool) {
+        scratch.stack.clear();
+        scratch.nodes.clear();
+        let mut sink = WalkSink {
+            trie: self,
+            stack: &mut scratch.stack,
+            nodes: &mut scratch.nodes,
+            missing: false,
+        };
+        let truncated = stream_label_paths(query, &self.cfg, &mut scratch.on_path, &mut sink);
+        (truncated, sink.missing)
+    }
+
+    /// Aggregate `scratch.nodes` into sorted `(node, count)` runs in
+    /// `scratch.merged`.
+    fn aggregate_required(scratch: &mut TrieScratch) {
+        scratch.nodes.sort_unstable();
+        scratch.merged.clear();
+        for &n in &scratch.nodes {
+            match scratch.merged.last_mut() {
+                Some((ln, c)) if *ln == n => *c += 1,
+                _ => scratch.merged.push((n, 1)),
+            }
+        }
+    }
+
+    /// Compute the candidate set `C_M` for a subgraph query into `out`
+    /// (universe must be `dataset_size`): every dataset graph whose
+    /// per-feature counts dominate the query's.
     ///
     /// Sound: the true answer set is always a subset of the result.
-    pub fn candidates(&self, query: &Graph) -> BitSet {
-        let (qpaths, qtrunc) = enumerate_label_paths(query, &self.cfg);
-        if qtrunc {
+    /// Allocation-free once `scratch` and `out` are warm.
+    pub fn candidates_into(&self, query: &Graph, scratch: &mut TrieScratch, out: &mut BitSet) {
+        assert_eq!(out.universe(), self.dataset_size, "candidate universe mismatch");
+        let (truncated, missing) = self.walk_query(query, scratch);
+        if truncated {
             // Cannot filter safely; everything is a candidate.
-            return BitSet::full(self.dataset_size);
+            out.set_all();
+            return;
         }
-        // Aggregate query features: trie node -> required count. (Forward and
-        // backward readings of a path reach *different* trie nodes; counts
-        // are per-direction on both sides, so domination still holds.)
-        let mut required: Vec<(usize, u32)> = Vec::with_capacity(qpaths.len());
-        for p in &qpaths {
-            match self.walk(p) {
-                Some(n) => required.push((n, 1)),
-                None => {
-                    // Query has a path no dataset graph contains (beyond the
-                    // truncated ones).
-                    return BitSet::from_indices(
-                        self.dataset_size,
-                        self.unfiltered.iter().map(|&g| g as usize),
-                    );
-                }
+        if missing {
+            // Query has a path no dataset graph contains (beyond the
+            // truncated ones).
+            out.clear();
+            for &g in &self.unfiltered {
+                out.insert(g as usize);
             }
+            return;
         }
-        required.sort_unstable();
-        let mut merged: Vec<(usize, u32)> = Vec::new();
-        for (n, c) in required {
-            match merged.last_mut() {
-                Some((ln, lc)) if *ln == n => *lc += c,
-                _ => merged.push((n, c)),
-            }
-        }
-        // Intersect, most selective (shortest posting list) first.
-        merged.sort_unstable_by_key(|&(n, _)| self.nodes[n].postings.len());
-        let mut cands = BitSet::full(self.dataset_size);
-        let mut scratch = BitSet::new(self.dataset_size);
-        for (n, req) in merged {
-            scratch.clear();
-            for &(gid, c) in &self.nodes[n].postings {
-                if c >= req {
-                    scratch.insert(gid as usize);
-                }
-            }
-            cands.intersect_with(&scratch);
-            if cands.is_empty() {
+        // (Forward and backward readings of a path reach *different* trie
+        // nodes; counts are per-direction on both sides, so domination
+        // still holds.)
+        Self::aggregate_required(scratch);
+        // Intersect, most selective (shortest posting list) first, each
+        // feature's qualifying postings word-merged straight into `out`.
+        scratch.merged.sort_unstable_by_key(|&(n, _)| self.node_postings(n).len());
+        out.set_all();
+        for &(n, req) in &scratch.merged {
+            out.intersect_with_sorted(
+                self.node_postings(n)
+                    .iter()
+                    .filter(|&&(_, c)| c >= req)
+                    .map(|&(gid, _)| gid as usize),
+            );
+            if out.is_empty() {
                 break;
             }
         }
         for &g in &self.unfiltered {
-            cands.insert(g as usize);
+            out.insert(g as usize);
         }
-        cands
     }
 
-    /// Candidate set for a **supergraph** query: dataset graphs possibly
-    /// *contained in* `query`. A graph qualifies when every one of its own
-    /// path features appears in the query with at least the graph's count,
-    /// checked via `Σ_f∈query min(cnt_G(f), cnt_q(f)) == total(G)` so the
-    /// graphs' feature sets never need re-enumeration.
+    /// Candidate set for a **supergraph** query into `out`: dataset graphs
+    /// possibly *contained in* `query`. A graph qualifies when every one of
+    /// its own path features appears in the query with at least the graph's
+    /// count, checked via `Σ_f∈query min(cnt_G(f), cnt_q(f)) == total(G)` so
+    /// the graphs' feature sets never need re-enumeration.
     ///
-    /// Sound: the true answer set (`{G : G ⊑ q}`) is a subset of the result.
-    pub fn super_candidates(&self, query: &Graph) -> BitSet {
-        let (qpaths, qtrunc) = enumerate_label_paths(query, &self.cfg);
-        if qtrunc {
-            return BitSet::full(self.dataset_size);
+    /// Sound: the true answer set (`{G : G ⊑ q}`) is a subset of the
+    /// result. Allocation-free once `scratch` and `out` are warm.
+    pub fn super_candidates_into(
+        &self,
+        query: &Graph,
+        scratch: &mut TrieScratch,
+        out: &mut BitSet,
+    ) {
+        assert_eq!(out.universe(), self.dataset_size, "candidate universe mismatch");
+        let (truncated, _missing) = self.walk_query(query, scratch);
+        if truncated {
+            out.set_all();
+            return;
         }
-        // Aggregate query paths per trie node (see `candidates`).
-        let mut required: Vec<usize> = qpaths.iter().filter_map(|p| self.walk(p)).collect();
-        required.sort_unstable();
-        let mut matched = vec![0u64; self.dataset_size];
-        let mut i = 0;
-        while i < required.len() {
-            let n = required[i];
-            let mut qc = 0u32;
-            while i < required.len() && required[i] == n {
-                qc += 1;
-                i += 1;
-            }
-            for &(gid, c) in &self.nodes[n].postings {
-                matched[gid as usize] += c.min(qc) as u64;
+        Self::aggregate_required(scratch);
+        scratch.matched.clear();
+        scratch.matched.resize(self.dataset_size, 0);
+        for &(n, qc) in &scratch.merged {
+            for &(gid, c) in self.node_postings(n) {
+                scratch.matched[gid as usize] += c.min(qc) as u64;
             }
         }
-        let mut out = BitSet::new(self.dataset_size);
-        for (gid, (&m, &t)) in matched.iter().zip(&self.totals).enumerate() {
+        out.clear();
+        for (gid, (&m, &t)) in scratch.matched.iter().zip(&self.totals).enumerate() {
             if m == t {
                 out.insert(gid);
             }
@@ -216,18 +391,32 @@ impl PathTrie {
         for &g in &self.unfiltered {
             out.insert(g as usize);
         }
+    }
+
+    /// Allocating wrapper over [`PathTrie::candidates_into`].
+    pub fn candidates(&self, query: &Graph) -> BitSet {
+        let mut scratch = TrieScratch::new();
+        let mut out = BitSet::new(self.dataset_size);
+        self.candidates_into(query, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocating wrapper over [`PathTrie::super_candidates_into`].
+    pub fn super_candidates(&self, query: &Graph) -> BitSet {
+        let mut scratch = TrieScratch::new();
+        let mut out = BitSet::new(self.dataset_size);
+        self.super_candidates_into(query, &mut scratch, &mut out);
         out
     }
 
     /// Approximate heap footprint in bytes — the "space requirement" of the
     /// FTV index in Experiment II.
     pub fn memory_bytes(&self) -> usize {
-        let mut bytes = self.nodes.capacity() * std::mem::size_of::<Node>();
-        for n in &self.nodes {
-            bytes += n.children.capacity() * std::mem::size_of::<(Label, u32)>();
-            bytes += n.postings.capacity() * std::mem::size_of::<(GraphId, u32)>();
-        }
-        bytes
+        self.child_labels.capacity() * std::mem::size_of::<Label>()
+            + self.child_nodes.capacity() * std::mem::size_of::<u32>()
+            + self.child_start.capacity() * std::mem::size_of::<u32>()
+            + self.postings.capacity() * std::mem::size_of::<(GraphId, u32)>()
+            + self.post_start.capacity() * std::mem::size_of::<u32>()
             + self.unfiltered.capacity() * std::mem::size_of::<GraphId>()
             + self.totals.capacity() * std::mem::size_of::<u64>()
     }
@@ -373,6 +562,22 @@ mod tests {
                     assert!(c.contains(gid));
                 }
             }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stable() {
+        let ds = small_dataset();
+        let trie = PathTrie::build(&ds, FeatureConfig::with_max_len(3));
+        let mut scratch = TrieScratch::new();
+        let mut out = BitSet::new(ds.len());
+        let queries =
+            [g(&[0, 1], &[(0, 1)]), g(&[9], &[]), g(&[0, 1, 0], &[(0, 1), (1, 2)]), g(&[], &[])];
+        for q in &queries {
+            trie.candidates_into(q, &mut scratch, &mut out);
+            assert_eq!(out, trie.candidates(q), "shared scratch changed the answer");
+            trie.super_candidates_into(q, &mut scratch, &mut out);
+            assert_eq!(out, trie.super_candidates(q));
         }
     }
 

@@ -1,0 +1,181 @@
+//! Proof that the steady-state filter front-end is allocation-free.
+//!
+//! Same harness as `crates/iso/tests/alloc_free.rs`: a counting global
+//! allocator tracks allocations **per thread**. After one warm-up pass grows
+//! every scratch buffer to its high-water mark, a second pass over the same
+//! queries must perform zero allocations across the whole probe path —
+//! streaming feature extraction ([`ExtractScratch`]), both containment
+//! probes of the flat-postings [`QueryIndex`] ([`CandScratch`]) and both
+//! directions of the arena [`PathTrie`] filter ([`TrieScratch`] + a reused
+//! candidate bitset).
+//!
+//! This is an integration test (its own binary) so the `#[global_allocator]`
+//! cannot interfere with the library's unit tests, and so the crate-level
+//! `#![forbid(unsafe_code)]` (which the allocator impl necessarily violates)
+//! stays intact for the library itself.
+
+use gc_graph::{graph_from_parts, BitSet, Graph, Label};
+use gc_index::{CandScratch, ExtractScratch, FeatureConfig, PathTrie, QueryIndex, TrieScratch};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the only addition is a
+// thread-local counter bump (Cell<u64> is const-initialized and has no
+// destructor, so touching it from the allocator cannot recurse or allocate).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_on_this_thread() -> u64 {
+    ALLOCS.with(|c| c.get())
+}
+
+/// A labelled ring with a tail — molecule-ish shape, `n >= 3` vertices.
+fn ring_with_tail(n: u32, ring: u32, label_stride: u32) -> Graph {
+    let ring = ring.min(n);
+    let labels: Vec<Label> = (0..n).map(|v| Label((v * label_stride) % 5)).collect();
+    let mut edges: Vec<(u32, u32)> = (0..ring).map(|v| (v, (v + 1) % ring)).collect();
+    for v in ring..n {
+        edges.push((v - 1, v));
+    }
+    graph_from_parts(&labels, &edges).unwrap()
+}
+
+struct Fixture {
+    trie: PathTrie,
+    index: QueryIndex,
+    queries: Vec<Graph>,
+}
+
+fn fixture() -> Fixture {
+    let cfg = FeatureConfig::with_max_len(3);
+    // Dataset of 70 mixed rings/chains: the universe crosses a bitset word
+    // boundary, sizes vary and labels repeat so features are shared.
+    let dataset: Vec<Graph> =
+        (0..70).map(|i| ring_with_tail(3 + (i % 9), 3 + (i % 4), 1 + (i % 3))).collect();
+    let trie = PathTrie::build(&dataset, cfg);
+    // Cached queries: substructures of the dataset shapes.
+    let mut index = QueryIndex::new(cfg);
+    for (id, i) in (0..10u32).enumerate() {
+        index.insert(id as u32, &ring_with_tail(3 + i, 3, 1 + (i % 3)));
+    }
+    let queries: Vec<Graph> = vec![
+        ring_with_tail(4, 4, 1),
+        ring_with_tail(7, 3, 2),
+        ring_with_tail(5, 5, 3),
+        graph_from_parts(&[Label(0), Label(1)], &[(0, 1)]).unwrap(),
+        graph_from_parts(&[Label(9)], &[]).unwrap(), // feature missing everywhere
+    ];
+    Fixture { trie, index, queries }
+}
+
+struct Scratches {
+    extract: ExtractScratch,
+    cand: CandScratch,
+    trie: TrieScratch,
+    cm: BitSet,
+}
+
+/// One steady-state probe pass: extraction once per query, both query-index
+/// probes on the shared extraction, both trie filter directions.
+fn sweep(fx: &Fixture, s: &mut Scratches) -> usize {
+    let mut touched = 0usize;
+    for q in &fx.queries {
+        let cfg = *fx.index.config();
+        let features = s.extract.extract(q, &cfg);
+        fx.index.sub_case_candidates_into(features, &mut s.cand);
+        touched += s.cand.candidates().len();
+        fx.index.super_case_candidates_into(features, &mut s.cand);
+        touched += s.cand.candidates().len();
+        fx.trie.candidates_into(q, &mut s.trie, &mut s.cm);
+        touched += s.cm.count();
+        fx.trie.super_candidates_into(q, &mut s.trie, &mut s.cm);
+        touched += s.cm.count();
+    }
+    touched
+}
+
+#[test]
+fn steady_state_probe_path_is_allocation_free() {
+    let fx = fixture();
+    let mut s = Scratches {
+        extract: ExtractScratch::new(),
+        cand: CandScratch::new(),
+        trie: TrieScratch::new(),
+        cm: BitSet::new(fx.trie.dataset_size()),
+    };
+
+    // Warm-up: grows every scratch buffer to its high-water mark.
+    let warm = sweep(&fx, &mut s);
+    assert!(warm > 0, "the sweep must do real filtering work");
+
+    // Measured pass: identical work, zero allocations.
+    let before = allocations_on_this_thread();
+    let touched = sweep(&fx, &mut s);
+    let after = allocations_on_this_thread();
+
+    assert_eq!(after - before, 0, "filter front-end allocated on the hot path");
+    assert_eq!(touched, warm, "reused scratch must not change the candidates");
+}
+
+#[test]
+fn scratch_growth_happens_only_at_the_high_water_mark() {
+    let fx = fixture();
+    let mut s = Scratches {
+        extract: ExtractScratch::new(),
+        cand: CandScratch::new(),
+        trie: TrieScratch::new(),
+        cm: BitSet::new(fx.trie.dataset_size()),
+    };
+    // Warm up on the *largest* query only; smaller queries afterwards must
+    // not allocate even on first sight.
+    let largest = fx
+        .queries
+        .iter()
+        .max_by_key(|q| q.vertex_count() + q.edge_count())
+        .expect("fixture has queries");
+    let cfg = *fx.index.config();
+    let features = s.extract.extract(largest, &cfg);
+    fx.index.sub_case_candidates_into(features, &mut s.cand);
+    let features = s.extract.extract(largest, &cfg);
+    fx.index.super_case_candidates_into(features, &mut s.cand);
+    fx.trie.candidates_into(largest, &mut s.trie, &mut s.cm);
+    fx.trie.super_candidates_into(largest, &mut s.trie, &mut s.cm);
+
+    let before = allocations_on_this_thread();
+    let smallest = &fx.queries[4]; // the single-vertex query
+    let features = s.extract.extract(smallest, &cfg);
+    fx.index.sub_case_candidates_into(features, &mut s.cand);
+    let features = s.extract.extract(smallest, &cfg);
+    fx.index.super_case_candidates_into(features, &mut s.cand);
+    fx.trie.candidates_into(smallest, &mut s.trie, &mut s.cm);
+    fx.trie.super_candidates_into(smallest, &mut s.trie, &mut s.cm);
+    let after = allocations_on_this_thread();
+    assert_eq!(after - before, 0, "smaller queries must fit the warmed scratch");
+}

@@ -208,3 +208,104 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Equivalence: the allocation-free front-end vs the reference implementations
+// (the pre-streaming extraction, HashMap-postings query index and
+// pointer-chasing trie preserved in `gc_index::reference`).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn streaming_extraction_matches_materialized(
+        g in arb_graph(7, 3),
+        max_len in 0usize..4,
+        // Small caps exercise the truncation flag on dense graphs.
+        cap_sel in 0usize..3,
+    ) {
+        let max_paths = [10usize, 100, 1_000_000][cap_sel];
+        let cfg = FeatureConfig { max_len, max_paths };
+        let reference = gc_index::reference::feature_vec_materialized(&g, &cfg);
+        let streamed = gc_index::feature_vec(&g, &cfg);
+        prop_assert_eq!(streamed.truncated(), reference.truncated(), "truncation flag diverged");
+        prop_assert_eq!(streamed.items(), reference.items(), "feature multiset diverged");
+
+        // The reusable-scratch path agrees with the one-shot path.
+        let mut scratch = gc_index::ExtractScratch::new();
+        let viewed = scratch.extract(&g, &cfg);
+        prop_assert_eq!(viewed.truncated(), reference.truncated());
+        prop_assert_eq!(viewed.items(), reference.items());
+    }
+
+    #[test]
+    fn flat_query_index_matches_hashmap_reference(
+        cached in proptest::collection::vec(arb_graph(5, 2), 1..10),
+        queries in proptest::collection::vec(arb_graph(5, 2), 1..4),
+        remove_mask in any::<u32>(),
+        max_len in 0usize..3,
+    ) {
+        let cfg = FeatureConfig::with_max_len(max_len);
+        let mut flat = QueryIndex::new(cfg);
+        let mut reference = gc_index::reference::RefQueryIndex::new(cfg);
+        for (i, c) in cached.iter().enumerate() {
+            flat.insert(i as u32, c);
+            reference.insert(i as u32, c);
+        }
+        // Interleave removals so the dynamic maintenance paths are compared
+        // too, not just bulk construction.
+        for i in 0..cached.len() {
+            if remove_mask & (1 << i) != 0 {
+                flat.remove(i as u32);
+                reference.remove(i as u32);
+            }
+        }
+        let mut scratch = gc_index::CandScratch::new();
+        for q in &queries {
+            let qf = flat.features_of(q);
+            prop_assert_eq!(&qf, &reference.features_of(q), "feature extraction diverged");
+            prop_assert_eq!(
+                flat.sub_case_candidates(&qf),
+                reference.sub_case_candidates(&qf),
+                "sub-case candidates diverged"
+            );
+            prop_assert_eq!(
+                flat.super_case_candidates(&qf),
+                reference.super_case_candidates(&qf),
+                "super-case candidates diverged"
+            );
+            // The scratch-reusing probe path agrees with the wrappers.
+            flat.sub_case_candidates_into(qf.as_features(), &mut scratch);
+            prop_assert_eq!(scratch.candidates(), reference.sub_case_candidates(&qf).as_slice());
+            flat.super_case_candidates_into(qf.as_features(), &mut scratch);
+            prop_assert_eq!(scratch.candidates(), reference.super_case_candidates(&qf).as_slice());
+        }
+    }
+
+    #[test]
+    fn arena_trie_matches_node_reference(
+        dataset in proptest::collection::vec(arb_graph(6, 2), 1..8),
+        queries in proptest::collection::vec(arb_graph(5, 2), 1..4),
+        max_len in 0usize..4,
+    ) {
+        let cfg = FeatureConfig::with_max_len(max_len);
+        let arena = PathTrie::build(&dataset, cfg);
+        let reference = gc_index::reference::RefPathTrie::build(&dataset, cfg);
+        let mut scratch = gc_index::TrieScratch::new();
+        let mut out = gc_graph::BitSet::new(dataset.len());
+        for q in &queries {
+            prop_assert_eq!(arena.candidates(q), reference.candidates(q), "sub filter diverged");
+            prop_assert_eq!(
+                arena.super_candidates(q),
+                reference.super_candidates(q),
+                "super filter diverged"
+            );
+            // Scratch-reusing paths agree with the wrappers.
+            arena.candidates_into(q, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &reference.candidates(q));
+            arena.super_candidates_into(q, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &reference.super_candidates(q));
+        }
+    }
+}

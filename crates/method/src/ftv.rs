@@ -2,7 +2,16 @@
 
 use crate::{Dataset, Method, QueryKind};
 use gc_graph::{BitSet, Graph};
-use gc_index::{FeatureConfig, PathTrie};
+use gc_index::{FeatureConfig, PathTrie, TrieScratch};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread trie probe scratch: `Method::filter` is `&self` (shared
+    /// across worker threads), so the reusable enumeration/intersection
+    /// buffers live thread-locally. Only the output bitset is allocated per
+    /// query.
+    static FILTER_SCRATCH: RefCell<TrieScratch> = RefCell::new(TrieScratch::new());
+}
 
 /// A GraphGrepSX-style FTV method: a [`PathTrie`] over labelled paths up to
 /// `L` edges filters the dataset; survivors are verified.
@@ -46,10 +55,15 @@ impl Method for FtvMethod {
     }
 
     fn filter(&self, _dataset: &Dataset, query: &Graph, kind: QueryKind) -> BitSet {
-        match kind {
-            QueryKind::Subgraph => self.trie.candidates(query),
-            QueryKind::Supergraph => self.trie.super_candidates(query),
-        }
+        FILTER_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            let mut out = BitSet::new(self.trie.dataset_size());
+            match kind {
+                QueryKind::Subgraph => self.trie.candidates_into(query, scratch, &mut out),
+                QueryKind::Supergraph => self.trie.super_candidates_into(query, scratch, &mut out),
+            }
+            out
+        })
     }
 
     fn index_memory_bytes(&self) -> usize {
