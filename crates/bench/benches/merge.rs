@@ -1,0 +1,82 @@
+//! Posting-intersection microbenches: two-pointer vs galloping
+//! (exponential-search) merges on the skew axis — the per-step choice the
+//! adaptive k-way sub-case merge makes via `IndexTuning::gallop_cutoff`.
+//! The end-to-end churn comparison lives in `exp10_index_churn`
+//! (answer-cross-checked); these isolate the merge kernels on controlled
+//! length ratios.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_index::merge::{intersect_gallop, intersect_two_pointer};
+use std::time::Duration;
+
+/// Sorted id run of `len` ids with stride `stride` from `offset`.
+fn ids(len: usize, stride: u32, offset: u32) -> Vec<u32> {
+    (0..len as u32).map(|i| offset + i * stride).collect()
+}
+
+/// Posting list over the same id space, every id with count 2.
+fn postings(len: usize, stride: u32, offset: u32) -> Vec<(u32, u32)> {
+    (0..len as u32).map(|i| (offset + i * stride, 2)).collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merge");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    // (short, long, name): the skew sweep. At 1:1 two-pointer should win;
+    // at 1:10_000 galloping must.
+    let cases = [
+        (4_096usize, 4_096usize, "skew_1to1"),
+        (512, 16_384, "skew_1to32"),
+        (16, 65_536, "skew_1to4096"),
+        (1, 65_536, "skew_1to64k"),
+    ];
+    for (short_len, long_len, name) in cases {
+        // The short run spans the long list's full id range (the realistic
+        // shape: a shrunken running intersection against a long posting
+        // list), so two-pointer must traverse the whole long side.
+        let stride = ((2 * long_len) / short_len).max(2) as u32;
+        let cur = ids(short_len, stride, 0);
+        let list = postings(long_len, 2, 0);
+        let mut out = Vec::with_capacity(short_len);
+        group.bench_function(format!("two_pointer/{name}"), |b| {
+            b.iter(|| {
+                intersect_two_pointer(
+                    std::hint::black_box(&cur),
+                    std::hint::black_box(&list),
+                    2,
+                    &mut out,
+                );
+                out.len()
+            })
+        });
+        group.bench_function(format!("gallop/{name}"), |b| {
+            b.iter(|| {
+                intersect_gallop(
+                    std::hint::black_box(&cur),
+                    std::hint::black_box(&list),
+                    2,
+                    &mut out,
+                );
+                out.len()
+            })
+        });
+    }
+
+    // Adversarial shapes from the cross-check tests: empty overlap at the
+    // far end, and full overlap.
+    let cur = ids(64, 1, 1_000_000);
+    let list = postings(65_536, 2, 0);
+    let mut out = Vec::with_capacity(64);
+    group.bench_function("gallop/disjoint_tail", |b| {
+        b.iter(|| {
+            intersect_gallop(std::hint::black_box(&cur), std::hint::black_box(&list), 2, &mut out);
+            out.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge);
+criterion_main!(benches);

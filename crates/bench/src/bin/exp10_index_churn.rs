@@ -1,0 +1,278 @@
+//! Experiment X: containment-index maintenance under admission/eviction
+//! churn.
+//!
+//! PR 3 made the probe side of `gc_index::QueryIndex` allocation-free, but
+//! directory *maintenance* stayed eager: every admission inserting a new
+//! feature hash paid an O(n) `Vec::insert` memmove over the sorted
+//! directory, every eviction that drained a posting list the matching
+//! `Vec::remove`. This harness drives both tiers through one interleaved
+//! admit/evict/probe schedule over a wide-alphabet workload (tens of
+//! thousands of distinct feature hashes — the regime the ROADMAP flagged):
+//!
+//! * **old** — [`gc_index::reference::EagerQueryIndex`]: the eager sorted
+//!   directory;
+//! * **new** — the production [`QueryIndex`]: tombstoned slots with lazy
+//!   compaction plus a batched append tail (admission/eviction memmoves at
+//!   most the small tail run), probed through a reusable [`CandScratch`] with
+//!   per-step adaptive galloping merges.
+//!
+//! Every probe's sub- and super-case candidate lists are cross-checked
+//! between the tiers; any divergence **exits nonzero**, making this a
+//! correctness gate as well as a benchmark. Writes
+//! `bench_results/exp10_index_churn.json` and — as the repo's
+//! index-maintenance perf-trajectory artifact — `BENCH_index.json` at the
+//! working-directory root on full runs.
+//!
+//! `--smoke` shrinks the schedule for CI regression gating.
+
+use gc_bench::{print_table, write_artifact};
+use gc_graph::{Graph, GraphBuilder, Label};
+use gc_index::reference::EagerQueryIndex;
+use gc_index::{CandScratch, FeatureConfig, FeatureVec, QueryIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// One step of the deterministic churn schedule.
+enum Op {
+    /// Evict `slot`, then admit the graph at `pool_idx` under `slot`.
+    Replace { slot: u32, pool_idx: usize },
+    /// Admit the graph at `pool_idx` under the fresh `slot`.
+    Admit { slot: u32, pool_idx: usize },
+    /// Probe with the query at `pool_idx` (both containment directions).
+    Probe { pool_idx: usize },
+}
+
+#[derive(Serialize)]
+struct Exp10Artifact {
+    smoke: bool,
+    capacity: usize,
+    steps: usize,
+    probes: usize,
+    feature_len: usize,
+    repeats: usize,
+    /// Peak distinct live feature hashes in the new tier's directory.
+    distinct_hashes_peak: usize,
+    old_maint_s: f64,
+    new_maint_s: f64,
+    old_probe_s: f64,
+    new_probe_s: f64,
+    old_maint_ops_per_s: f64,
+    new_maint_ops_per_s: f64,
+    /// `old_maint_s / new_maint_s` — the admit+evict number that must stay
+    /// ≥ 1 (the acceptance bar of the PR was ≥ 2 at 10k hashes).
+    maint_speedup: f64,
+    probe_speedup: f64,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("exp10 cross-check FAILED: {msg}");
+    std::process::exit(1);
+}
+
+/// A labelled chain with a wide random alphabet: nearly every path feature
+/// hash is unique to its graph, so churn constantly creates and drains
+/// directory slots (the adversarial regime for directory maintenance).
+fn wide_chain(rng: &mut StdRng, n: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    for _ in 0..n {
+        b.add_vertex(Label(rng.gen_range(0..50_000u32)));
+    }
+    for v in 1..n as u32 {
+        let _ = b.add_edge_dedup(v - 1, v);
+    }
+    // A little branching so tree-shaped features show up too.
+    if n >= 4 {
+        let _ = b.add_edge_dedup(1, 3);
+    }
+    b.build()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let capacity = if smoke { 64 } else { 400 };
+    let steps = if smoke { 400 } else { 3000 };
+    let probe_every = 16;
+    let repeats = if smoke { 1 } else { 3 };
+    let feature_len = 3;
+    let cfg = FeatureConfig::with_max_len(feature_len);
+
+    // Graph pool + one extraction per pool entry, shared by both tiers:
+    // the harness measures *index maintenance*, not extraction.
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let pool_size = capacity + steps.min(1200);
+    let pool: Vec<Graph> = (0..pool_size).map(|_| wide_chain(&mut rng, 8)).collect();
+    let features: Vec<FeatureVec> = pool.iter().map(|g| gc_index::feature_vec(g, &cfg)).collect();
+
+    // Deterministic interleaved schedule with a slab simulation.
+    let mut schedule: Vec<Op> = Vec::new();
+    let mut live: Vec<u32> = Vec::new();
+    let mut next_pool = 0usize;
+    let mut probes = 0usize;
+    for step in 0..steps {
+        if live.len() < capacity {
+            let slot = live.len() as u32;
+            schedule.push(Op::Admit { slot, pool_idx: next_pool });
+            live.push(slot);
+        } else {
+            let slot = live[rng.gen_range(0..live.len())];
+            schedule.push(Op::Replace { slot, pool_idx: next_pool });
+        }
+        next_pool = (next_pool + 1) % pool.len();
+        if step % probe_every == probe_every - 1 {
+            schedule.push(Op::Probe { pool_idx: rng.gen_range(0..pool.len()) });
+            probes += 1;
+        }
+    }
+
+    // --- old tier: eager directory (and the reference probe answers) -----
+    let mut old_answers: Vec<(Vec<u32>, Vec<u32>)> = Vec::new();
+    let mut old_maint = Duration::ZERO;
+    let mut old_probe = Duration::ZERO;
+    for rep in 0..repeats {
+        let mut old = EagerQueryIndex::new(cfg);
+        if rep == 0 {
+            old_answers.clear();
+        }
+        for op in &schedule {
+            match *op {
+                Op::Admit { slot, pool_idx } => {
+                    let fv = features[pool_idx].clone();
+                    let t = Instant::now();
+                    old.insert_features(slot, fv);
+                    old_maint += t.elapsed();
+                }
+                Op::Replace { slot, pool_idx } => {
+                    let fv = features[pool_idx].clone();
+                    let t = Instant::now();
+                    old.remove(slot);
+                    old.insert_features(slot, fv);
+                    old_maint += t.elapsed();
+                }
+                Op::Probe { pool_idx } => {
+                    let qf = &features[pool_idx];
+                    let t = Instant::now();
+                    let sub = old.sub_case_candidates(qf);
+                    let sup = old.super_case_candidates(qf);
+                    old_probe += t.elapsed();
+                    if rep == 0 {
+                        old_answers.push((sub, sup));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- new tier: tombstoned directory, answer-checked -------------------
+    let mut new_maint = Duration::ZERO;
+    let mut new_probe = Duration::ZERO;
+    let mut distinct_peak = 0usize;
+    let mut scratch = CandScratch::new();
+    for _rep in 0..repeats {
+        let mut new = QueryIndex::new(cfg);
+        let mut probe_at = 0usize;
+        for op in &schedule {
+            match *op {
+                Op::Admit { slot, pool_idx } => {
+                    let fv = features[pool_idx].clone();
+                    let t = Instant::now();
+                    new.insert_features(slot, fv);
+                    new_maint += t.elapsed();
+                }
+                Op::Replace { slot, pool_idx } => {
+                    let fv = features[pool_idx].clone();
+                    let t = Instant::now();
+                    new.remove(slot);
+                    new.insert_features(slot, fv);
+                    new_maint += t.elapsed();
+                }
+                Op::Probe { pool_idx } => {
+                    // Cross-checks run outside the timed windows so both
+                    // tiers time exactly their two candidate calls.
+                    let qf = &features[pool_idx];
+                    let t = Instant::now();
+                    new.sub_case_candidates_into(qf.as_features(), &mut scratch);
+                    new_probe += t.elapsed();
+                    if scratch.candidates() != old_answers[probe_at].0.as_slice() {
+                        fail(&format!("sub-case candidates diverged at probe {probe_at}"));
+                    }
+                    let t = Instant::now();
+                    new.super_case_candidates_into(qf.as_features(), &mut scratch);
+                    new_probe += t.elapsed();
+                    if scratch.candidates() != old_answers[probe_at].1.as_slice() {
+                        fail(&format!("super-case candidates diverged at probe {probe_at}"));
+                    }
+                    probe_at += 1;
+                }
+            }
+            distinct_peak = distinct_peak.max(new.distinct_features());
+        }
+    }
+
+    // Every step inserts once; replace steps (beyond the fill phase) also
+    // remove once.
+    let maint_ops = ((2 * steps - capacity.min(steps)) * repeats) as f64;
+    let old_maint_s = old_maint.as_secs_f64() / repeats as f64;
+    let new_maint_s = new_maint.as_secs_f64() / repeats as f64;
+    let old_probe_s = old_probe.as_secs_f64() / repeats as f64;
+    let new_probe_s = new_probe.as_secs_f64() / repeats as f64;
+    let maint_speedup = old_maint_s / new_maint_s.max(1e-12);
+    let probe_speedup = old_probe_s / new_probe_s.max(1e-12);
+
+    println!(
+        "=== Experiment X: index maintenance under churn ({capacity} live entries, \
+         {steps} admit/evict steps, {probes} probes, {distinct_peak} peak distinct hashes, \
+         answers cross-checked) ===\n"
+    );
+    let per_rep_ops = maint_ops / repeats as f64;
+    let rows = vec![
+        vec![
+            "admit+evict".to_owned(),
+            format!("{:.1}k ops/s", per_rep_ops / old_maint_s.max(1e-12) / 1e3),
+            format!("{:.1}k ops/s", per_rep_ops / new_maint_s.max(1e-12) / 1e3),
+            format!("{maint_speedup:.2}x"),
+        ],
+        vec![
+            "probe".to_owned(),
+            format!("{:.1}k/s", probes as f64 / old_probe_s.max(1e-12) / 1e3),
+            format!("{:.1}k/s", probes as f64 / new_probe_s.max(1e-12) / 1e3),
+            format!("{probe_speedup:.2}x"),
+        ],
+    ];
+    print_table(&["stage", "old (eager)", "new (tombstoned)", "speedup"], &rows);
+    println!("\nall new-tier probe answers matched the eager tier");
+
+    let artifact = Exp10Artifact {
+        smoke,
+        capacity,
+        steps,
+        probes,
+        feature_len,
+        repeats,
+        distinct_hashes_peak: distinct_peak,
+        old_maint_s,
+        new_maint_s,
+        old_probe_s,
+        new_probe_s,
+        old_maint_ops_per_s: per_rep_ops / old_maint_s.max(1e-12),
+        new_maint_ops_per_s: per_rep_ops / new_maint_s.max(1e-12),
+        maint_speedup,
+        probe_speedup,
+    };
+    match write_artifact("exp10_index_churn", &artifact) {
+        Ok(p) => println!("artifact: {}", p.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+    if !smoke {
+        // Perf trajectory baseline for later PRs (smoke runs are too noisy
+        // to overwrite it).
+        match serde_json::to_string_pretty(&artifact) {
+            Ok(json) => match std::fs::write("BENCH_index.json", json) {
+                Ok(()) => println!("baseline: BENCH_index.json"),
+                Err(e) => eprintln!("baseline write failed: {e}"),
+            },
+            Err(e) => eprintln!("baseline serialization failed: {e}"),
+        }
+    }
+}

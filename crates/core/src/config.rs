@@ -1,6 +1,6 @@
 //! Cache configuration.
 
-use gc_index::FeatureConfig;
+use gc_index::{FeatureConfig, IndexTuning};
 use gc_method::Engine;
 
 /// Tunables of a [`crate::GraphCache`] instance.
@@ -25,6 +25,10 @@ pub struct CacheConfig {
     pub probe_budget: u64,
     /// Feature configuration of the query index (containment probes).
     pub feature_config: FeatureConfig,
+    /// Maintenance/merge tuning of the containment index: the galloping
+    /// cutoff of the k-way sub-case merge and the tombstone-compaction
+    /// threshold of the posting directory (see [`gc_index::IndexTuning`]).
+    pub index_tuning: IndexTuning,
     /// Verifier engine.
     pub engine: Engine,
     /// Worker threads for candidate verification (1 = sequential).
@@ -60,6 +64,7 @@ impl Default for CacheConfig {
             max_super_checks: 64,
             probe_budget: 100_000,
             feature_config: FeatureConfig::default(),
+            index_tuning: IndexTuning::default(),
             engine: Engine::Vf2,
             threads: 1,
             min_admit_tests: 1,
@@ -96,6 +101,7 @@ impl CacheConfig {
         if self.shards == 0 || self.shards > 256 {
             return Err("shards must be in 1..=256".into());
         }
+        self.index_tuning.validate()?;
         Ok(())
     }
 }
@@ -118,6 +124,10 @@ mod tests {
         assert!(CacheConfig { shards: 0, ..CacheConfig::default() }.validate().is_err());
         assert!(CacheConfig { shards: 257, ..CacheConfig::default() }.validate().is_err());
         assert!(CacheConfig { shards: 256, ..CacheConfig::default() }.validate().is_ok());
+        let bad_tuning = IndexTuning { gallop_cutoff: 0, ..IndexTuning::default() };
+        assert!(CacheConfig { index_tuning: bad_tuning, ..CacheConfig::default() }
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod prune;
 pub mod verify;
 
 use crate::pipeline::admit::AdmitOutcome;
-use crate::pipeline::probe::{CacheHits, Relation};
+use crate::pipeline::probe::{CacheHits, ProbeScratch, Relation};
 use crate::pipeline::prune::Pruned;
 use crate::report::QueryReport;
 use crate::stats::GlobalStats;
@@ -67,6 +67,12 @@ pub struct PipelineCtx<'q> {
     /// shared by the sub-probe, the super-probe (on every shard) and
     /// admission (`None` until probed; taken by the admit stage).
     pub features: Option<FeatureVec>,
+    /// Reusable probe-stage buffers (candidate selection, utility
+    /// ordering, verifier search state). Owned by the runtime — the
+    /// sequential cache keeps one instance and the concurrent front-end
+    /// one per thread — and swapped into the context for the query's
+    /// lifetime, so the probe stage allocates nothing in steady state.
+    pub probe_scratch: ProbeScratch,
     /// Stage 2 product: verified cache hits.
     pub hits: CacheHits,
     /// Stage 2 product: answer snapshots aligned with `hits.iter()` order
@@ -96,6 +102,7 @@ impl<'q> PipelineCtx<'q> {
             start: Instant::now(),
             cm: BitSet::new(universe),
             features: None,
+            probe_scratch: ProbeScratch::default(),
             hits: CacheHits::default(),
             hit_answers: Vec::new(),
             pruned: Pruned::empty(universe),

@@ -23,8 +23,35 @@ use crate::config::CacheConfig;
 use crate::entry::EntryId;
 use crate::pipeline::PipelineCtx;
 use gc_graph::{BitSet, Graph};
-use gc_iso::{Found, GraphProfile, VerifyCtx, VfScratch};
+use gc_index::CandScratch;
+use gc_iso::{Found, GraphProfile, ProfileRef, VerifyCtx, VfScratch};
 use gc_method::QueryKind;
+
+/// Reusable probe-stage state: the containment-index probe buffers, the
+/// filtered + utility-ordered candidate lists, and the verifier scratch for
+/// the budgeted confirmation tests. Lives in [`PipelineCtx::probe_scratch`]
+/// but is *owned* by the runtime (the sequential cache keeps one, the
+/// concurrent front-end one per thread) and swapped into each query's
+/// context, so the steady-state candidate-selection path allocates nothing
+/// (pinned by `tests/probe_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    /// Sub/super containment probe state (shared with `gc_index`).
+    cand: CandScratch,
+    /// Kind-filtered, utility-sorted sub-case candidates.
+    sub_ids: Vec<EntryId>,
+    /// Kind-filtered, utility-sorted super-case candidates.
+    super_ids: Vec<EntryId>,
+    /// Verifier search state reused across all confirmation tests.
+    vf: VfScratch,
+}
+
+impl ProbeScratch {
+    /// Fresh scratch (buffers grow to their high-water mark on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Structural relation of a verified hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,14 +123,17 @@ pub fn find_exact(cache: &CacheManager, query: &Graph, kind: QueryKind) -> Optio
 
 /// Probe the cache for sub-case and super-case hits of `query`, exact-match
 /// check included (the sequential entry point; kept for tests and
-/// dashboards). Extracts the query features itself; pipeline callers use
-/// [`probe_cases`] with the context's shared extraction.
+/// dashboards). Extracts the query features and builds the query profile
+/// itself; pipeline callers use [`probe_cases`] with the context's shared
+/// extraction and scratch.
 pub fn probe(cache: &CacheManager, cfg: &CacheConfig, query: &Graph, kind: QueryKind) -> CacheHits {
     if let Some(exact) = find_exact(cache, query, kind) {
         return CacheHits { exact: Some(exact), ..CacheHits::default() };
     }
     let qf = cache.index().features_of(query);
-    probe_cases(cache, cfg, query, kind, &qf)
+    let q_profile = GraphProfile::new(query, None);
+    let mut scratch = ProbeScratch::new();
+    probe_cases(cache, cfg, query, kind, &qf, q_profile.as_ref(), &mut scratch)
 }
 
 /// Probe for sub/super-case hits only (no exact-match check).
@@ -119,48 +149,53 @@ pub fn probe(cache: &CacheManager, cfg: &CacheConfig, query: &Graph, kind: Query
 ///
 /// The sharded front-end calls this per shard (exact hits can only live in
 /// the query's fingerprint home shard, which is checked separately), passing
-/// the **same** query feature vector `qf` to every shard — features are
-/// extracted once per query, not once per shard. `qf` must come from
-/// [`gc_index::QueryIndex::features_of`] under the cache's feature config.
+/// the **same** query feature vector `qf`, query profile and scratch to
+/// every shard — features and the verification profile are computed once
+/// per query, not once per shard. `qf` must come from
+/// [`gc_index::QueryIndex::features_of`] under the cache's feature config;
+/// `q_profile` from [`GraphProfile::new`] on the same query.
+///
+/// With a warm `scratch`, candidate selection and utility ordering perform
+/// zero heap allocations (only verified hits append to the returned
+/// [`CacheHits`]).
 pub fn probe_cases(
     cache: &CacheManager,
     cfg: &CacheConfig,
     query: &Graph,
     kind: QueryKind,
     qf: &gc_index::FeatureVec,
+    q_profile: ProfileRef<'_>,
+    scratch: &mut ProbeScratch,
 ) -> CacheHits {
     let mut hits = CacheHits::default();
 
-    // Query-side verification setup is computed once for the whole probe
-    // pass (the query serves as pattern in every sub-case test and target in
-    // every super-case test) and one scratch is reused across all budgeted
-    // confirmation tests below. Entry-side profiles were computed at
-    // admission and live in the entries themselves.
-    let q_profile = GraphProfile::new(query, None);
-    let mut scratch = VfScratch::new();
-
     // --- sub case: query ⊑ cached ---------------------------------------
-    let mut sub_cands: Vec<EntryId> = cache
-        .index()
-        .sub_case_candidates(qf)
-        .into_iter()
-        .filter(|&id| cache.get(id).is_some_and(|e| e.kind == kind))
-        .collect();
+    cache.index().sub_case_candidates_into(qf.as_features(), &mut scratch.cand);
+    scratch.sub_ids.clear();
+    scratch.sub_ids.extend(
+        scratch
+            .cand
+            .candidates()
+            .iter()
+            .copied()
+            .filter(|&id| cache.get(id).is_some_and(|e| e.kind == kind)),
+    );
     // Utility ordering (see doc comment): for subgraph queries a sub-case
     // hit contributes `answer` as definite answers -> prefer large answers.
     // For supergraph queries it contributes pruning -> prefer small answers.
     match kind {
-        QueryKind::Subgraph => sub_cands
-            .sort_by_key(|&id| std::cmp::Reverse(cache.get(id).map_or(0, |e| e.answer.count()))),
-        QueryKind::Supergraph => {
-            sub_cands.sort_by_key(|&id| cache.get(id).map_or(usize::MAX, |e| e.answer.count()))
-        }
+        QueryKind::Subgraph => scratch.sub_ids.sort_unstable_by_key(|&id| {
+            std::cmp::Reverse(cache.get(id).map_or(0, |e| e.answer.count()))
+        }),
+        QueryKind::Supergraph => scratch
+            .sub_ids
+            .sort_unstable_by_key(|&id| cache.get(id).map_or(usize::MAX, |e| e.answer.count())),
     }
-    for id in sub_cands.into_iter().take(cfg.max_sub_checks) {
+    for &id in scratch.sub_ids.iter().take(cfg.max_sub_checks) {
         let e = cache.get(id).expect("candidate ids are live");
         hits.probe_tests += 1;
-        let ctx = VerifyCtx::new(query, q_profile.as_ref(), &e.graph, e.profile.as_ref());
-        let (found, stats) = cfg.engine.verify_ctx(&ctx, Some(cfg.probe_budget), &mut scratch);
+        let ctx = VerifyCtx::new(query, q_profile, &e.graph, e.profile.as_ref());
+        let (found, stats) = cfg.engine.verify_ctx(&ctx, Some(cfg.probe_budget), &mut scratch.vf);
         hits.probe_steps += stats.steps;
         if found == Found::Yes {
             hits.sub.push(id);
@@ -168,26 +203,31 @@ pub fn probe_cases(
     }
 
     // --- super case: cached ⊑ query --------------------------------------
-    let mut super_cands: Vec<EntryId> = cache
-        .index()
-        .super_case_candidates(qf)
-        .into_iter()
-        .filter(|&id| cache.get(id).is_some_and(|e| e.kind == kind))
-        .collect();
+    cache.index().super_case_candidates_into(qf.as_features(), &mut scratch.cand);
+    scratch.super_ids.clear();
+    scratch.super_ids.extend(
+        scratch
+            .cand
+            .candidates()
+            .iter()
+            .copied()
+            .filter(|&id| cache.get(id).is_some_and(|e| e.kind == kind)),
+    );
     match kind {
-        QueryKind::Subgraph => {
-            super_cands.sort_by_key(|&id| cache.get(id).map_or(usize::MAX, |e| e.answer.count()))
-        }
-        QueryKind::Supergraph => super_cands
-            .sort_by_key(|&id| std::cmp::Reverse(cache.get(id).map_or(0, |e| e.answer.count()))),
+        QueryKind::Subgraph => scratch
+            .super_ids
+            .sort_unstable_by_key(|&id| cache.get(id).map_or(usize::MAX, |e| e.answer.count())),
+        QueryKind::Supergraph => scratch.super_ids.sort_unstable_by_key(|&id| {
+            std::cmp::Reverse(cache.get(id).map_or(0, |e| e.answer.count()))
+        }),
     }
-    for id in super_cands.into_iter().take(cfg.max_super_checks) {
+    for &id in scratch.super_ids.iter().take(cfg.max_super_checks) {
         let e = cache.get(id).expect("candidate ids are live");
         hits.probe_tests += 1;
         // The entry is the pattern here; its admission-time profile carries
         // the search order.
-        let ctx = VerifyCtx::new(&e.graph, e.profile.as_ref(), query, q_profile.as_ref());
-        let (found, stats) = cfg.engine.verify_ctx(&ctx, Some(cfg.probe_budget), &mut scratch);
+        let ctx = VerifyCtx::new(&e.graph, e.profile.as_ref(), query, q_profile);
+        let (found, stats) = cfg.engine.verify_ctx(&ctx, Some(cfg.probe_budget), &mut scratch.vf);
         hits.probe_steps += stats.steps;
         if found == Found::Yes {
             hits.super_.push(id);
@@ -208,16 +248,22 @@ pub fn snapshot_answers(cache: &CacheManager, hits: &CacheHits) -> Vec<(Relation
 }
 
 /// Run the probe stage over a single (unsharded) cache manager: extract the
-/// query's features **once** into the context (admission reuses them), find
-/// hits and snapshot their answers into `ctx`.
+/// query's features **once** into the context (admission reuses them),
+/// build the query profile once, find hits through the context's reusable
+/// [`ProbeScratch`] and snapshot their answers into `ctx`.
 pub fn run(ctx: &mut PipelineCtx<'_>, cache: &CacheManager, cfg: &CacheConfig) {
     debug_assert_eq!(
         cache.index().config(),
         &cfg.feature_config,
         "cache index and config must agree on feature extraction"
     );
-    let qf = ctx.features.get_or_insert_with(|| cache.index().features_of(ctx.query));
-    let hits = probe_cases(cache, cfg, ctx.query, ctx.kind, qf);
+    if ctx.features.is_none() {
+        ctx.features = Some(cache.index().features_of(ctx.query));
+    }
+    let q_profile = GraphProfile::new(ctx.query, None);
+    let PipelineCtx { query, kind, features, probe_scratch, .. } = ctx;
+    let qf = features.as_ref().expect("just set");
+    let hits = probe_cases(cache, cfg, query, *kind, qf, q_profile.as_ref(), probe_scratch);
     ctx.hit_answers = snapshot_answers(cache, &hits);
     ctx.hits = hits;
 }

@@ -12,6 +12,7 @@ use crate::config::CacheConfig;
 use crate::cost::CostModel;
 use crate::entry::{CacheEntry, EntryId};
 use crate::pipeline::admit::{self, AdmitLimits};
+use crate::pipeline::probe::ProbeScratch;
 use crate::pipeline::{self, filter, probe, prune, verify, PipelineCtx};
 use crate::policy::ReplacementPolicy;
 use crate::report::QueryReport;
@@ -56,6 +57,9 @@ pub struct GraphCache {
     stats: StatsMonitor,
     cost: CostModel,
     pool: Option<crate::parallel::VerifyPool>,
+    /// Probe-stage buffers reused across queries (swapped into each
+    /// query's [`PipelineCtx`]).
+    probe_scratch: ProbeScratch,
     clock: u64,
 }
 
@@ -71,7 +75,7 @@ impl GraphCache {
         config.validate()?;
         let pool = (config.threads > 1).then(|| crate::parallel::VerifyPool::new(config.threads));
         Ok(GraphCache {
-            cache: CacheManager::new(config.feature_config),
+            cache: CacheManager::with_tuning(config.feature_config, config.index_tuning),
             window: WindowManager::new(config.window_size),
             stats: StatsMonitor::new(),
             cost: CostModel::new(&dataset),
@@ -80,6 +84,7 @@ impl GraphCache {
             policy,
             config,
             pool,
+            probe_scratch: ProbeScratch::new(),
             clock: 0,
         })
     }
@@ -110,6 +115,9 @@ impl GraphCache {
         }
 
         let mut ctx = PipelineCtx::new(query, kind, now, self.dataset.len());
+        // Lend the runtime's warm probe buffers to this query's context
+        // (returned before the context is consumed below).
+        std::mem::swap(&mut ctx.probe_scratch, &mut self.probe_scratch);
         filter::run(&mut ctx, self.method.as_ref(), &self.dataset);
         probe::run(&mut ctx, &self.cache, &self.config);
         prune::run(&mut ctx);
@@ -144,6 +152,7 @@ impl GraphCache {
 
         let elapsed = start.elapsed();
         self.stats.add(&ctx.stats_delta(&outcome, elapsed));
+        std::mem::swap(&mut ctx.probe_scratch, &mut self.probe_scratch);
         ctx.into_report(answer, outcome, elapsed)
     }
 

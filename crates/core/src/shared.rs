@@ -47,7 +47,7 @@ use crate::config::CacheConfig;
 use crate::cost::CostModel;
 use crate::entry::EntryId;
 use crate::pipeline::admit::{self, AdmitLimits, AdmitOutcome};
-use crate::pipeline::probe::CacheHits;
+use crate::pipeline::probe::{CacheHits, ProbeScratch};
 use crate::pipeline::{self, filter, probe, prune, verify, PipelineCtx};
 use crate::policy::ReplacementPolicy;
 use crate::report::QueryReport;
@@ -60,6 +60,15 @@ use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+thread_local! {
+    /// Per-thread probe-stage buffers: `query` is `&self` (any number of
+    /// client threads), so the reusable candidate-selection and verifier
+    /// scratch is swapped from here into each query's [`PipelineCtx`] and
+    /// back, and every shard probe of one query shares it.
+    static PROBE_SCRATCH: std::cell::RefCell<ProbeScratch> =
+        std::cell::RefCell::new(ProbeScratch::new());
+}
 
 /// Bits of an encoded entry id that hold the shard-local id.
 const LOCAL_BITS: u32 = 24;
@@ -148,7 +157,10 @@ impl SharedGraphCache {
                 let policy = make_policy();
                 Shard {
                     state: RwLock::new(ShardState {
-                        cache: CacheManager::new(config.feature_config),
+                        cache: CacheManager::with_tuning(
+                            config.feature_config,
+                            config.index_tuning,
+                        ),
                         window: WindowManager::new(config.window_size),
                     }),
                     policy: Mutex::new(policy),
@@ -209,14 +221,17 @@ impl SharedGraphCache {
 
         // ---- staged pipeline ---------------------------------------------
         let mut ctx = PipelineCtx::new(query, kind, now, self.dataset.len());
+        // Borrow this thread's warm probe buffers for the query's lifetime
+        // (returned before the context is consumed below).
+        PROBE_SCRATCH.with(|s| std::mem::swap(&mut ctx.probe_scratch, &mut s.borrow_mut()));
         filter::run(&mut ctx, self.method.as_ref(), &self.dataset);
 
-        // The query's features are extracted once here — every shard's
-        // sub/super probe and the admission below share this one vector
-        // (before this, each of the N shards re-enumerated the query's
-        // paths under its own index, and admission did it once more).
+        // The query's features and verification profile are computed once
+        // here — every shard's sub/super probe shares them (and admission
+        // below reuses the features), instead of each of the N shards
+        // re-deriving both.
         ctx.features = Some(gc_index::feature_vec(query, &self.config.feature_config));
-        let qf = ctx.features.as_ref().expect("just set");
+        let q_profile = gc_iso::GraphProfile::new(query, None);
 
         // Probe every shard under its read lock; snapshot hit answers while
         // the lock is held (one clone per hit, straight into the context),
@@ -226,7 +241,16 @@ impl SharedGraphCache {
         let mut per_shard: Vec<ShardProbe> = Vec::new();
         for (si, shard) in self.shards.iter().enumerate() {
             let state = shard.state.read();
-            let hits = probe::probe_cases(&state.cache, &self.config, query, kind, qf);
+            let qf = ctx.features.as_ref().expect("just set");
+            let hits = probe::probe_cases(
+                &state.cache,
+                &self.config,
+                query,
+                kind,
+                qf,
+                q_profile.as_ref(),
+                &mut ctx.probe_scratch,
+            );
             if hits.count() == 0 {
                 ctx.hits.probe_tests += hits.probe_tests;
                 ctx.hits.probe_steps += hits.probe_steps;
@@ -297,6 +321,7 @@ impl SharedGraphCache {
 
         let elapsed = start.elapsed();
         self.stats.add(&ctx.stats_delta(&outcome, elapsed));
+        PROBE_SCRATCH.with(|s| std::mem::swap(&mut ctx.probe_scratch, &mut s.borrow_mut()));
         ctx.into_report(answer, outcome, elapsed)
     }
 
@@ -325,6 +350,16 @@ impl SharedGraphCache {
     }
 
     // ---- accessors --------------------------------------------------------
+
+    /// Run `f` over every shard's cache manager under its read lock, in
+    /// shard order (diagnostics and invariant checks; the lock is held only
+    /// for the duration of each call).
+    pub fn for_each_shard(&self, mut f: impl FnMut(usize, &CacheManager)) {
+        for (si, shard) in self.shards.iter().enumerate() {
+            let state = shard.state.read();
+            f(si, &state.cache);
+        }
+    }
 
     /// Snapshot of the global statistics.
     pub fn stats(&self) -> GlobalStats {

@@ -13,38 +13,10 @@ use gc_core::{CacheConfig, CacheManager, EntryId, GraphCache, PolicyKind};
 use gc_index::FeatureConfig;
 use gc_method::{Dataset, QueryKind, SiMethod};
 use gc_workload::{molecule_dataset, Workload, WorkloadKind, WorkloadSpec};
-use std::collections::HashSet;
 use std::sync::Arc;
 
-/// Assert every lookup structure agrees with the live entry set.
-fn assert_consistent(cm: &CacheManager) {
-    let live: HashSet<EntryId> = cm.ids().into_iter().collect();
-    assert_eq!(live.len(), cm.len(), "ids() must enumerate exactly len() entries");
-
-    // Every live entry must be findable through its own fingerprint bucket,
-    // and every bucket id must be live with a matching fingerprint.
-    for e in cm.iter() {
-        let bucket = cm.fingerprint_bucket(e.fingerprint);
-        assert!(bucket.contains(&e.id), "live entry {} missing from its fingerprint bucket", e.id);
-        for &id in bucket {
-            let b = cm.get(id).unwrap_or_else(|| panic!("stale id {id} in fingerprint bucket"));
-            assert_eq!(b.fingerprint, e.fingerprint, "bucket id {id} has foreign fingerprint");
-        }
-    }
-
-    // Every live entry must be a sub- and super-case candidate of its own
-    // feature vector, and the index must never surface dead ids.
-    for e in cm.iter() {
-        let qf = cm.index().features_of(&e.graph);
-        let sub = cm.index().sub_case_candidates(&qf);
-        let super_ = cm.index().super_case_candidates(&qf);
-        assert!(sub.contains(&e.id), "entry {} not a sub-case candidate of itself", e.id);
-        assert!(super_.contains(&e.id), "entry {} not a super-case candidate of itself", e.id);
-        for id in sub.iter().chain(&super_) {
-            assert!(live.contains(id), "stale id {id} in query index candidates");
-        }
-    }
-}
+mod common;
+use common::assert_consistent;
 
 /// Deterministic splitmix-style counter so the stress is reproducible.
 struct Lcg(u64);

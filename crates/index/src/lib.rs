@@ -32,25 +32,43 @@
 //! verification engines: extraction streams paths through a
 //! [`PathSink`] into a reusable [`ExtractScratch`] (no per-path `Vec`s),
 //! [`QueryIndex`] keeps sorted flat postings probed through a
-//! [`CandScratch`], and [`PathTrie`] is a contiguous arena intersected
+//! [`CandScratch`], [`TreeIndex`] streams its subtree enumeration through a
+//! [`TreeScratch`], and [`PathTrie`] is a contiguous arena intersected
 //! word-parallel into a caller-owned bitset via a [`TrieScratch`]. After
 //! warm-up the whole probe path performs zero heap allocations
 //! (`tests/alloc_free.rs`); the [`reference`] module keeps the previous
-//! materializing/HashMap implementations as executable specifications.
+//! materializing/HashMap/eager implementations as executable
+//! specifications.
+//!
+//! ## Maintenance discipline
+//!
+//! Admission and eviction churn the dynamic indexes at traffic rates, so
+//! directory maintenance is amortized too: both [`QueryIndex`] and
+//! [`TreeIndex`] keep their sorted hash directories behind tombstoned
+//! slots with lazy compaction and a batched append tail (insert/remove
+//! memmoves at most the small tail run instead of the whole directory),
+//! and the k-way
+//! sub-case merge switches per step between two-pointer and galloping
+//! intersection ([`merge`]) when posting-list lengths are skewed. The
+//! knobs live in [`IndexTuning`]; `exp10_index_churn` races the tiers
+//! under an interleaved admit/evict/probe schedule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod directory;
 mod extract;
+pub mod merge;
 mod query_index;
 pub mod reference;
 mod tree;
 mod trie;
 
+pub use directory::IndexTuning;
 pub use extract::{
     enumerate_label_paths, feature_hash, feature_vec, stream_label_paths, ExtractScratch,
     FeatureConfig, FeatureVec, FeaturesRef, PathSink,
 };
 pub use query_index::{CandScratch, EntryId, QueryIndex};
-pub use tree::{enumerate_tree_codes, TreeConfig, TreeIndex};
+pub use tree::{enumerate_tree_codes, TreeConfig, TreeIndex, TreeScratch};
 pub use trie::{PathTrie, TrieScratch};

@@ -20,22 +20,29 @@
 //!
 //! ## Layout
 //!
-//! Flat postings, no hash maps on the probe path: a **sorted hash
-//! directory** (`dir: Vec<u64>`, binary-searched per query feature) indexes
-//! parallel posting lists, each sorted by entry id. Sub-case candidacy is a
-//! k-way sorted intersection (most selective list first, two-pointer
-//! merges); super-case candidacy accumulates the Σmin identity into a dense
-//! per-entry counter array. All per-probe state lives in a caller-owned
-//! [`CandScratch`], so the steady-state probe path performs **zero heap
-//! allocations** (pinned by `tests/alloc_free.rs`) and is property-tested
-//! equal to the HashMap reference implementation
-//! ([`crate::reference::RefQueryIndex`]).
+//! Flat postings, no hash maps on the probe path: a churn-proof
+//! [`crate::directory`] (sorted hash runs with tombstoned slots and a
+//! batched append tail, binary-searched per query feature) indexes posting
+//! lists sorted by entry id, so admission/eviction moves at most the small
+//! tail run instead of the eager directory's full O(n) memmove per
+//! new/drained hash.
+//! Sub-case candidacy is a k-way sorted intersection (most selective list
+//! first; each step picks two-pointer or galloping by length skew, see
+//! [`crate::merge`]); super-case candidacy accumulates the Σmin identity
+//! into a dense per-entry counter array. All per-probe state lives in a
+//! caller-owned [`CandScratch`], so the steady-state probe path performs
+//! **zero heap allocations** (pinned by `tests/alloc_free.rs`) and is
+//! property-tested equal to both the HashMap reference
+//! ([`crate::reference::RefQueryIndex`]) and the eager-directory reference
+//! ([`crate::reference::EagerQueryIndex`]).
 //!
 //! Entry ids are expected to be *slab-dense* (the cache manager reuses
 //! evicted slots), since the dense slot table and counter scratch are sized
 //! by the maximum live id.
 
+use crate::directory::{IndexTuning, PostingDir};
 use crate::extract::{feature_vec, FeatureConfig, FeatureVec, FeaturesRef};
+use crate::merge;
 use gc_graph::Graph;
 
 /// Identifier of an entry in the cache (assigned by the caller).
@@ -58,7 +65,7 @@ pub struct CandScratch {
     out: Vec<EntryId>,
     cur: Vec<EntryId>,
     next: Vec<EntryId>,
-    /// `(directory index, required count)` per query feature, sorted most
+    /// `(directory slot, required count)` per query feature, sorted most
     /// selective first.
     lists: Vec<(u32, u32)>,
     /// Dense Σmin accumulators, indexed by entry id.
@@ -82,10 +89,9 @@ impl CandScratch {
 #[derive(Debug)]
 pub struct QueryIndex {
     cfg: FeatureConfig,
-    /// Sorted feature-hash directory.
-    dir: Vec<u64>,
-    /// `posts[i]` holds the postings of `dir[i]`, sorted by entry id.
-    posts: Vec<Vec<(EntryId, u32)>>,
+    tuning: IndexTuning,
+    /// Tombstoned sorted hash directory over posting lists.
+    dir: PostingDir,
     /// Dense slot table indexed by entry id.
     slots: Vec<Option<Slot>>,
     live: usize,
@@ -95,12 +101,18 @@ pub struct QueryIndex {
 }
 
 impl QueryIndex {
-    /// New empty index with feature config `cfg`.
+    /// New empty index with feature config `cfg` and default tuning.
     pub fn new(cfg: FeatureConfig) -> Self {
+        Self::with_tuning(cfg, IndexTuning::default())
+    }
+
+    /// New empty index with explicit [`IndexTuning`] (gallop cutoff,
+    /// compaction threshold).
+    pub fn with_tuning(cfg: FeatureConfig, tuning: IndexTuning) -> Self {
         QueryIndex {
             cfg,
-            dir: Vec::new(),
-            posts: Vec::new(),
+            dir: PostingDir::new(&tuning),
+            tuning,
             slots: Vec::new(),
             live: 0,
             unfiltered: Vec::new(),
@@ -112,6 +124,11 @@ impl QueryIndex {
         &self.cfg
     }
 
+    /// The active tuning knobs.
+    pub fn tuning(&self) -> &IndexTuning {
+        &self.tuning
+    }
+
     /// Number of indexed entries.
     pub fn len(&self) -> usize {
         self.live + self.unfiltered.len()
@@ -120,6 +137,17 @@ impl QueryIndex {
     /// `true` iff no entries are indexed.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of distinct live feature hashes in the directory.
+    pub fn distinct_features(&self) -> usize {
+        self.dir.live_slots()
+    }
+
+    /// Number of tombstoned directory slots awaiting compaction
+    /// (diagnostics; bounded by the tuning's tombstone percentage).
+    pub fn tombstoned_slots(&self) -> usize {
+        self.dir.tombstoned_slots()
     }
 
     /// Extract the feature vector of a query under this index's config.
@@ -156,19 +184,7 @@ impl QueryIndex {
             return;
         }
         for &(h, c) in fv.items() {
-            match self.dir.binary_search(&h) {
-                Ok(i) => {
-                    let list = &mut self.posts[i];
-                    let at = list
-                        .binary_search_by_key(&id, |&(e, _)| e)
-                        .expect_err("feature hashes are unique per entry");
-                    list.insert(at, (id, c));
-                }
-                Err(i) => {
-                    self.dir.insert(i, h);
-                    self.posts.insert(i, vec![(id, c)]);
-                }
-            }
+            self.dir.insert_posting(h, id, c);
         }
         if self.slots.len() <= id as usize {
             self.slots.resize_with(id as usize + 1, || None);
@@ -187,16 +203,7 @@ impl QueryIndex {
         let Some(slot) = self.slots.get_mut(id as usize).and_then(Option::take) else { return };
         self.live -= 1;
         for &(h, _) in slot.features.items() {
-            if let Ok(i) = self.dir.binary_search(&h) {
-                let list = &mut self.posts[i];
-                if let Ok(pos) = list.binary_search_by_key(&id, |&(e, _)| e) {
-                    list.remove(pos);
-                }
-                if list.is_empty() {
-                    self.dir.remove(i);
-                    self.posts.remove(i);
-                }
-            }
+            self.dir.remove_posting(h, id);
         }
     }
 
@@ -244,9 +251,9 @@ impl QueryIndex {
         }
         scratch.lists.clear();
         for &(h, qc) in f.items() {
-            match self.dir.binary_search(&h) {
-                Ok(i) => scratch.lists.push((i as u32, qc)),
-                Err(_) => {
+            match self.dir.find(h) {
+                Some(slot) => scratch.lists.push((slot, qc)),
+                None => {
                     // A query feature no (filterable) entry has.
                     scratch.out.clear();
                     scratch.out.extend_from_slice(&self.unfiltered);
@@ -256,33 +263,21 @@ impl QueryIndex {
         }
         // Most selective (shortest) posting list first: the running
         // intersection can only shrink, so later merges scan less.
-        scratch.lists.sort_unstable_by_key(|&(i, _)| self.posts[i as usize].len());
-        let (i0, qc0) = scratch.lists[0];
+        scratch.lists.sort_unstable_by_key(|&(slot, _)| self.dir.list(slot).len());
+        let (s0, qc0) = scratch.lists[0];
         scratch.cur.clear();
-        scratch
-            .cur
-            .extend(self.posts[i0 as usize].iter().filter(|&&(_, c)| c >= qc0).map(|&(e, _)| e));
-        for &(li, qc) in &scratch.lists[1..] {
+        scratch.cur.extend(self.dir.list(s0).iter().filter(|&&(_, c)| c >= qc0).map(|&(e, _)| e));
+        for &(slot, qc) in &scratch.lists[1..] {
             if scratch.cur.is_empty() {
                 break;
             }
-            let list = &self.posts[li as usize];
-            scratch.next.clear();
-            let (mut a, mut b) = (0usize, 0usize);
-            while a < scratch.cur.len() && b < list.len() {
-                let (e, c) = list[b];
-                match scratch.cur[a].cmp(&e) {
-                    std::cmp::Ordering::Less => a += 1,
-                    std::cmp::Ordering::Greater => b += 1,
-                    std::cmp::Ordering::Equal => {
-                        if c >= qc {
-                            scratch.next.push(e);
-                        }
-                        a += 1;
-                        b += 1;
-                    }
-                }
-            }
+            merge::intersect_adaptive(
+                &scratch.cur,
+                self.dir.list(slot),
+                qc,
+                self.tuning.gallop_cutoff,
+                &mut scratch.next,
+            );
             std::mem::swap(&mut scratch.cur, &mut scratch.next);
         }
         let cur = std::mem::take(&mut scratch.cur);
@@ -304,8 +299,8 @@ impl QueryIndex {
         scratch.matched.clear();
         scratch.matched.resize(self.slots.len(), 0);
         for &(h, qc) in f.items() {
-            if let Ok(i) = self.dir.binary_search(&h) {
-                for &(e, c) in &self.posts[i] {
+            if let Some(slot) = self.dir.find(h) {
+                for &(e, c) in self.dir.list(slot) {
                     scratch.matched[e as usize] += c.min(qc) as u64;
                 }
             }
@@ -345,12 +340,8 @@ impl QueryIndex {
     /// FTV index" comparison of Experiment II).
     pub fn memory_bytes(&self) -> usize {
         let mut bytes = self.unfiltered.capacity() * std::mem::size_of::<EntryId>()
-            + self.dir.capacity() * std::mem::size_of::<u64>()
-            + self.posts.capacity() * std::mem::size_of::<Vec<(EntryId, u32)>>()
+            + self.dir.memory_bytes()
             + self.slots.capacity() * std::mem::size_of::<Option<Slot>>();
-        for list in &self.posts {
-            bytes += list.capacity() * std::mem::size_of::<(EntryId, u32)>();
-        }
         for slot in self.slots.iter().flatten() {
             bytes += slot.features.memory_bytes();
         }
@@ -512,5 +503,53 @@ mod tests {
     fn memory_accounting_positive() {
         let (qi, _) = idx();
         assert!(qi.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn heavy_churn_keeps_candidates_exact() {
+        // Cycle 200 admissions/evictions through 8 slab slots with graphs
+        // drawn from a wide label alphabet so the directory crosses tail
+        // merges and compactions; a final probe must still be exact.
+        let cfg = FeatureConfig::with_max_len(2);
+        let mut qi = QueryIndex::new(cfg);
+        let make =
+            |seed: u32| g(&[seed % 97, (seed * 31) % 97, (seed * 7) % 97], &[(0, 1), (1, 2)]);
+        for round in 0..200u32 {
+            let id = round % 8;
+            if round >= 8 {
+                qi.remove(id);
+            }
+            qi.insert(id, &make(round));
+        }
+        assert_eq!(qi.len(), 8);
+        // Entries 192..200 are live; each must be its own sub/super
+        // candidate.
+        for round in 192..200u32 {
+            let qf = qi.features_of(&make(round));
+            assert!(qi.sub_case_candidates(&qf).contains(&(round % 8)));
+            assert!(qi.super_case_candidates(&qf).contains(&(round % 8)));
+        }
+    }
+
+    #[test]
+    fn gallop_tuning_changes_no_answers() {
+        let (qi_default, cached) = idx();
+        for cutoff in [1usize, 2, usize::MAX] {
+            let mut qi = QueryIndex::with_tuning(
+                FeatureConfig::with_max_len(2),
+                IndexTuning { gallop_cutoff: cutoff, ..IndexTuning::default() },
+            );
+            for (i, c) in cached.iter().enumerate() {
+                qi.insert(i as EntryId, c);
+            }
+            for q in &cached {
+                let qf = qi.features_of(q);
+                assert_eq!(
+                    qi.sub_case_candidates(&qf),
+                    qi_default.sub_case_candidates(&qf),
+                    "cutoff {cutoff} changed sub-case answers"
+                );
+            }
+        }
     }
 }

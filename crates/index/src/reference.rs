@@ -10,6 +10,7 @@
 
 use crate::extract::{enumerate_label_paths, feature_hash, FeatureConfig, FeatureVec};
 use crate::query_index::EntryId;
+use crate::tree::{enumerate_tree_codes, TreeConfig};
 use gc_graph::{BitSet, Graph, GraphId, Label};
 use std::collections::HashMap;
 
@@ -154,6 +155,325 @@ impl RefQueryIndex {
             }
         }
         out.sort_unstable();
+        out
+    }
+}
+
+/// The eagerly-maintained sorted-directory containment index — the
+/// pre-tombstone implementation of [`crate::QueryIndex`]: every insertion
+/// of a new feature hash pays a `Vec::insert` memmove over the whole
+/// directory and every drained posting list pays the matching
+/// `Vec::remove`. Kept as the *old tier* of `exp10_index_churn` and as the
+/// "eager directory" side of the tombstone-equivalence property tests.
+#[derive(Debug)]
+pub struct EagerQueryIndex {
+    cfg: FeatureConfig,
+    /// Sorted feature-hash directory (eagerly compacted).
+    dir: Vec<u64>,
+    /// `posts[i]` holds the postings of `dir[i]`, sorted by entry id.
+    posts: Vec<Vec<(EntryId, u32)>>,
+    slots: HashMap<EntryId, Slot>,
+    unfiltered: Vec<EntryId>,
+}
+
+impl EagerQueryIndex {
+    /// New empty index with feature config `cfg`.
+    pub fn new(cfg: FeatureConfig) -> Self {
+        EagerQueryIndex {
+            cfg,
+            dir: Vec::new(),
+            posts: Vec::new(),
+            slots: HashMap::new(),
+            unfiltered: Vec::new(),
+        }
+    }
+
+    /// Extract a query's features under this index's config.
+    pub fn features_of(&self, g: &Graph) -> FeatureVec {
+        crate::extract::feature_vec(g, &self.cfg)
+    }
+
+    /// Index a cached query graph under `id`.
+    pub fn insert(&mut self, id: EntryId, g: &Graph) {
+        let fv = self.features_of(g);
+        self.insert_features(id, fv);
+    }
+
+    /// Index a cached query by a precomputed feature vector.
+    pub fn insert_features(&mut self, id: EntryId, fv: FeatureVec) {
+        assert!(
+            !self.slots.contains_key(&id) && !self.unfiltered.contains(&id),
+            "duplicate entry id {id}"
+        );
+        if fv.truncated() {
+            self.unfiltered.push(id);
+            return;
+        }
+        for &(h, c) in fv.items() {
+            match self.dir.binary_search(&h) {
+                Ok(i) => {
+                    let list = &mut self.posts[i];
+                    let at = list
+                        .binary_search_by_key(&id, |&(e, _)| e)
+                        .expect_err("feature hashes are unique per entry");
+                    list.insert(at, (id, c));
+                }
+                Err(i) => {
+                    self.dir.insert(i, h);
+                    self.posts.insert(i, vec![(id, c)]);
+                }
+            }
+        }
+        self.slots.insert(id, Slot { features: fv });
+    }
+
+    /// Remove an entry (cache eviction). Unknown ids are ignored.
+    pub fn remove(&mut self, id: EntryId) {
+        if let Some(pos) = self.unfiltered.iter().position(|&e| e == id) {
+            self.unfiltered.swap_remove(pos);
+            return;
+        }
+        let Some(slot) = self.slots.remove(&id) else { return };
+        for &(h, _) in slot.features.items() {
+            if let Ok(i) = self.dir.binary_search(&h) {
+                let list = &mut self.posts[i];
+                if let Ok(pos) = list.binary_search_by_key(&id, |&(e, _)| e) {
+                    list.remove(pos);
+                }
+                if list.is_empty() {
+                    self.dir.remove(i);
+                    self.posts.remove(i);
+                }
+            }
+        }
+    }
+
+    /// Cached entries that may *contain* the query, sorted ascending
+    /// (two-pointer k-way merge, most selective list first).
+    pub fn sub_case_candidates(&self, qf: &FeatureVec) -> Vec<EntryId> {
+        let mut out: Vec<EntryId> = self.unfiltered.clone();
+        if qf.truncated() || qf.is_empty() {
+            out.extend(self.slots.keys().copied());
+            out.sort_unstable();
+            return out;
+        }
+        let mut lists: Vec<(usize, u32)> = Vec::with_capacity(qf.len());
+        for &(h, qc) in qf.items() {
+            match self.dir.binary_search(&h) {
+                Ok(i) => lists.push((i, qc)),
+                Err(_) => {
+                    out.sort_unstable();
+                    return out;
+                }
+            }
+        }
+        lists.sort_unstable_by_key(|&(i, _)| self.posts[i].len());
+        let (i0, qc0) = lists[0];
+        let mut cur: Vec<EntryId> =
+            self.posts[i0].iter().filter(|&&(_, c)| c >= qc0).map(|&(e, _)| e).collect();
+        let mut next = Vec::new();
+        for &(li, qc) in &lists[1..] {
+            if cur.is_empty() {
+                break;
+            }
+            crate::merge::intersect_two_pointer(&cur, &self.posts[li], qc, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        out.extend(cur);
+        out.sort_unstable();
+        out
+    }
+
+    /// Cached entries possibly *contained in* the query, sorted ascending.
+    pub fn super_case_candidates(&self, qf: &FeatureVec) -> Vec<EntryId> {
+        let mut out: Vec<EntryId> = self.unfiltered.clone();
+        if qf.truncated() {
+            out.extend(self.slots.keys().copied());
+            out.sort_unstable();
+            return out;
+        }
+        let mut matched: HashMap<EntryId, u64> = HashMap::new();
+        for &(h, qc) in qf.items() {
+            if let Ok(i) = self.dir.binary_search(&h) {
+                for &(e, c) in &self.posts[i] {
+                    *matched.entry(e).or_insert(0) += c.min(qc) as u64;
+                }
+            }
+        }
+        for (&e, slot) in &self.slots {
+            let total = slot.features.total_count();
+            if total == 0 || matched.get(&e).copied().unwrap_or(0) == total {
+                out.push(e);
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// The HashMap-postings tree-feature index — the pre-flat implementation of
+/// [`crate::TreeIndex`], extended with the same dynamic insert/remove API
+/// so the flat tier can be property-tested against it under interleaved
+/// admission/eviction/probe schedules. Semantics documented on
+/// [`crate::TreeIndex`].
+#[derive(Debug)]
+pub struct RefTreeIndex {
+    cfg: TreeConfig,
+    postings: HashMap<u64, Vec<(GraphId, u32)>>,
+    /// Per-graph `(code, count)` items (sorted by code) + total, for
+    /// removal.
+    slots: HashMap<GraphId, (Vec<(u64, u32)>, u64)>,
+    dataset_size: usize,
+    unfiltered: Vec<GraphId>,
+}
+
+impl RefTreeIndex {
+    /// New empty index.
+    pub fn new(cfg: TreeConfig) -> Self {
+        RefTreeIndex {
+            cfg,
+            postings: HashMap::new(),
+            slots: HashMap::new(),
+            dataset_size: 0,
+            unfiltered: Vec::new(),
+        }
+    }
+
+    /// Build over `dataset` (graph ids are dataset positions).
+    pub fn build(dataset: &[Graph], cfg: TreeConfig) -> Self {
+        let mut idx = Self::new(cfg);
+        for (gid, g) in dataset.iter().enumerate() {
+            idx.insert_graph(gid as GraphId, g);
+        }
+        idx
+    }
+
+    /// Index `g` under `gid`.
+    pub fn insert_graph(&mut self, gid: GraphId, g: &Graph) {
+        assert!(
+            !self.slots.contains_key(&gid) && !self.unfiltered.contains(&gid),
+            "duplicate graph id {gid}"
+        );
+        self.dataset_size = self.dataset_size.max(gid as usize + 1);
+        let (codes, truncated) = enumerate_tree_codes(g, &self.cfg);
+        if truncated {
+            self.unfiltered.push(gid);
+            return;
+        }
+        let total = codes.len() as u64;
+        let mut sorted = codes;
+        sorted.sort_unstable();
+        let mut items: Vec<(u64, u32)> = Vec::new();
+        for c in sorted {
+            match items.last_mut() {
+                Some((lc, n)) if *lc == c => *n += 1,
+                _ => items.push((c, 1)),
+            }
+        }
+        for &(code, count) in &items {
+            self.postings.entry(code).or_default().push((gid, count));
+        }
+        self.slots.insert(gid, (items, total));
+    }
+
+    /// Remove a graph. Unknown ids are ignored; the universe keeps its
+    /// high-water size.
+    pub fn remove_graph(&mut self, gid: GraphId) {
+        if let Some(pos) = self.unfiltered.iter().position(|&e| e == gid) {
+            self.unfiltered.swap_remove(pos);
+            return;
+        }
+        let Some((items, _)) = self.slots.remove(&gid) else { return };
+        for &(code, _) in &items {
+            if let Some(list) = self.postings.get_mut(&code) {
+                if let Some(pos) = list.iter().position(|&(e, _)| e == gid) {
+                    list.swap_remove(pos);
+                }
+                if list.is_empty() {
+                    self.postings.remove(&code);
+                }
+            }
+        }
+    }
+
+    /// Universe of the candidate bitsets (high-water graph id + 1).
+    pub fn dataset_size(&self) -> usize {
+        self.dataset_size
+    }
+
+    /// Candidate set for a subgraph query (sound overapproximation).
+    pub fn candidates(&self, query: &Graph) -> BitSet {
+        let (codes, truncated) = enumerate_tree_codes(query, &self.cfg);
+        if truncated {
+            return BitSet::full(self.dataset_size);
+        }
+        let mut required: HashMap<u64, u32> = HashMap::new();
+        for c in codes {
+            *required.entry(c).or_insert(0) += 1;
+        }
+        if required.is_empty() {
+            // No features (the empty query): every indexed graph qualifies.
+            return BitSet::from_indices(
+                self.dataset_size,
+                self.slots
+                    .keys()
+                    .map(|&g| g as usize)
+                    .chain(self.unfiltered.iter().map(|&g| g as usize)),
+            );
+        }
+        let mut cands: Option<BitSet> = None;
+        for (code, need) in required {
+            let Some(list) = self.postings.get(&code) else {
+                return BitSet::from_indices(
+                    self.dataset_size,
+                    self.unfiltered.iter().map(|&g| g as usize),
+                );
+            };
+            let mut qualifying = BitSet::new(self.dataset_size);
+            for &(gid, c) in list {
+                if c >= need {
+                    qualifying.insert(gid as usize);
+                }
+            }
+            match cands.as_mut() {
+                Some(acc) => acc.intersect_with(&qualifying),
+                None => cands = Some(qualifying),
+            }
+        }
+        let mut cands = cands.expect("required is non-empty");
+        for &g in &self.unfiltered {
+            cands.insert(g as usize);
+        }
+        cands
+    }
+
+    /// Candidate set for a supergraph query via the Σmin identity.
+    pub fn super_candidates(&self, query: &Graph) -> BitSet {
+        let (codes, truncated) = enumerate_tree_codes(query, &self.cfg);
+        if truncated {
+            return BitSet::full(self.dataset_size);
+        }
+        let mut qcounts: HashMap<u64, u32> = HashMap::new();
+        for c in codes {
+            *qcounts.entry(c).or_insert(0) += 1;
+        }
+        let mut matched: HashMap<GraphId, u64> = HashMap::new();
+        for (code, qc) in qcounts {
+            if let Some(list) = self.postings.get(&code) {
+                for &(gid, c) in list {
+                    *matched.entry(gid).or_insert(0) += c.min(qc) as u64;
+                }
+            }
+        }
+        let mut out = BitSet::new(self.dataset_size);
+        for (&gid, &(_, total)) in &self.slots {
+            if total == 0 || matched.get(&gid).copied().unwrap_or(0) == total {
+                out.insert(gid as usize);
+            }
+        }
+        for &g in &self.unfiltered {
+            out.insert(g as usize);
+        }
         out
     }
 }

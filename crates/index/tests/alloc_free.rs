@@ -15,7 +15,10 @@
 //! stays intact for the library itself.
 
 use gc_graph::{graph_from_parts, BitSet, Graph, Label};
-use gc_index::{CandScratch, ExtractScratch, FeatureConfig, PathTrie, QueryIndex, TrieScratch};
+use gc_index::{
+    CandScratch, ExtractScratch, FeatureConfig, PathTrie, QueryIndex, TreeConfig, TreeIndex,
+    TreeScratch, TrieScratch,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -69,6 +72,7 @@ fn ring_with_tail(n: u32, ring: u32, label_stride: u32) -> Graph {
 
 struct Fixture {
     trie: PathTrie,
+    tree: TreeIndex,
     index: QueryIndex,
     queries: Vec<Graph>,
 }
@@ -80,6 +84,7 @@ fn fixture() -> Fixture {
     let dataset: Vec<Graph> =
         (0..70).map(|i| ring_with_tail(3 + (i % 9), 3 + (i % 4), 1 + (i % 3))).collect();
     let trie = PathTrie::build(&dataset, cfg);
+    let tree = TreeIndex::build(&dataset, TreeConfig::with_max_edges(2));
     // Cached queries: substructures of the dataset shapes.
     let mut index = QueryIndex::new(cfg);
     for (id, i) in (0..10u32).enumerate() {
@@ -92,18 +97,32 @@ fn fixture() -> Fixture {
         graph_from_parts(&[Label(0), Label(1)], &[(0, 1)]).unwrap(),
         graph_from_parts(&[Label(9)], &[]).unwrap(), // feature missing everywhere
     ];
-    Fixture { trie, index, queries }
+    Fixture { trie, tree, index, queries }
 }
 
 struct Scratches {
     extract: ExtractScratch,
     cand: CandScratch,
     trie: TrieScratch,
+    tree: TreeScratch,
     cm: BitSet,
 }
 
+impl Scratches {
+    fn new(fx: &Fixture) -> Self {
+        Scratches {
+            extract: ExtractScratch::new(),
+            cand: CandScratch::new(),
+            trie: TrieScratch::new(),
+            tree: TreeScratch::new(),
+            cm: BitSet::new(fx.trie.dataset_size()),
+        }
+    }
+}
+
 /// One steady-state probe pass: extraction once per query, both query-index
-/// probes on the shared extraction, both trie filter directions.
+/// probes on the shared extraction, both trie filter directions, both
+/// tree-feature filter directions.
 fn sweep(fx: &Fixture, s: &mut Scratches) -> usize {
     let mut touched = 0usize;
     for q in &fx.queries {
@@ -117,6 +136,10 @@ fn sweep(fx: &Fixture, s: &mut Scratches) -> usize {
         touched += s.cm.count();
         fx.trie.super_candidates_into(q, &mut s.trie, &mut s.cm);
         touched += s.cm.count();
+        fx.tree.candidates_into(q, &mut s.tree, &mut s.cm);
+        touched += s.cm.count();
+        fx.tree.super_candidates_into(q, &mut s.tree, &mut s.cm);
+        touched += s.cm.count();
     }
     touched
 }
@@ -124,12 +147,7 @@ fn sweep(fx: &Fixture, s: &mut Scratches) -> usize {
 #[test]
 fn steady_state_probe_path_is_allocation_free() {
     let fx = fixture();
-    let mut s = Scratches {
-        extract: ExtractScratch::new(),
-        cand: CandScratch::new(),
-        trie: TrieScratch::new(),
-        cm: BitSet::new(fx.trie.dataset_size()),
-    };
+    let mut s = Scratches::new(&fx);
 
     // Warm-up: grows every scratch buffer to its high-water mark.
     let warm = sweep(&fx, &mut s);
@@ -147,12 +165,7 @@ fn steady_state_probe_path_is_allocation_free() {
 #[test]
 fn scratch_growth_happens_only_at_the_high_water_mark() {
     let fx = fixture();
-    let mut s = Scratches {
-        extract: ExtractScratch::new(),
-        cand: CandScratch::new(),
-        trie: TrieScratch::new(),
-        cm: BitSet::new(fx.trie.dataset_size()),
-    };
+    let mut s = Scratches::new(&fx);
     // Warm up on the *largest* query only; smaller queries afterwards must
     // not allocate even on first sight.
     let largest = fx
@@ -167,6 +180,8 @@ fn scratch_growth_happens_only_at_the_high_water_mark() {
     fx.index.super_case_candidates_into(features, &mut s.cand);
     fx.trie.candidates_into(largest, &mut s.trie, &mut s.cm);
     fx.trie.super_candidates_into(largest, &mut s.trie, &mut s.cm);
+    fx.tree.candidates_into(largest, &mut s.tree, &mut s.cm);
+    fx.tree.super_candidates_into(largest, &mut s.tree, &mut s.cm);
 
     let before = allocations_on_this_thread();
     let smallest = &fx.queries[4]; // the single-vertex query
@@ -176,6 +191,59 @@ fn scratch_growth_happens_only_at_the_high_water_mark() {
     fx.index.super_case_candidates_into(features, &mut s.cand);
     fx.trie.candidates_into(smallest, &mut s.trie, &mut s.cm);
     fx.trie.super_candidates_into(smallest, &mut s.trie, &mut s.cm);
+    fx.tree.candidates_into(smallest, &mut s.tree, &mut s.cm);
+    fx.tree.super_candidates_into(smallest, &mut s.tree, &mut s.cm);
     let after = allocations_on_this_thread();
     assert_eq!(after - before, 0, "smaller queries must fit the warmed scratch");
+}
+
+/// After admission/eviction churn drives the query-index directory through
+/// tail merges and a compaction sweep, the probe path must still be
+/// allocation-free (compaction rebuilds the runs; the probe scratch and
+/// slot tables are untouched).
+#[test]
+fn post_compaction_probe_path_is_allocation_free() {
+    let chain = |seed: u32| {
+        let labels: Vec<Label> = (0..5u32).map(|i| Label(500 + seed * 13 + i * 7)).collect();
+        graph_from_parts(&labels, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap()
+    };
+    let cfg = FeatureConfig::with_max_len(3);
+    let mut index = QueryIndex::new(cfg);
+    for id in 0..40u32 {
+        index.insert(id, &chain(id));
+    }
+    // Evictions over the wide alphabet drain posting lists; crossing the
+    // tombstone threshold compacts the directory.
+    let mut saw_tombstones = 0usize;
+    for id in 0..30u32 {
+        index.remove(id);
+        saw_tombstones = saw_tombstones.max(index.tombstoned_slots());
+    }
+    assert!(saw_tombstones > 0, "churn must create tombstones");
+    assert!(
+        index.tombstoned_slots() < saw_tombstones,
+        "a compaction sweep must have reclaimed tombstones"
+    );
+
+    let mut extract = ExtractScratch::new();
+    let mut cand = CandScratch::new();
+    let queries = [chain(32), chain(35), chain(2) /* evicted: miss path */];
+    // Warm-up pass, then the measured pass must not allocate.
+    for q in &queries {
+        let features = extract.extract(q, &cfg);
+        index.sub_case_candidates_into(features, &mut cand);
+        index.super_case_candidates_into(features, &mut cand);
+    }
+    let before = allocations_on_this_thread();
+    let mut touched = 0usize;
+    for q in &queries {
+        let features = extract.extract(q, &cfg);
+        index.sub_case_candidates_into(features, &mut cand);
+        touched += cand.candidates().len();
+        index.super_case_candidates_into(features, &mut cand);
+        touched += cand.candidates().len();
+    }
+    let after = allocations_on_this_thread();
+    assert_eq!(after - before, 0, "post-compaction probe path allocated");
+    assert!(touched > 0, "live entries must still probe as candidates");
 }

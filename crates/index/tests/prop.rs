@@ -284,6 +284,134 @@ proptest! {
     }
 
     #[test]
+    fn tombstoned_query_index_matches_eager_under_churn(
+        graphs in proptest::collection::vec(arb_graph(5, 40), 2..8),
+        queries in proptest::collection::vec(arb_graph(4, 40), 1..4),
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..60),
+        max_len in 0usize..3,
+    ) {
+        // Wide label alphabet: most features are unique to one entry, so
+        // removals drain posting lists and exercise tombstoning, tail
+        // merges and compaction; the eager directory is the executable
+        // specification of the maintenance semantics.
+        let cfg = FeatureConfig::with_max_len(max_len);
+        let mut flat = QueryIndex::new(cfg);
+        let mut eager = gc_index::reference::EagerQueryIndex::new(cfg);
+        let mut live: Vec<u32> = Vec::new();
+        let mut next_id = 0u32;
+        let mut scratch = gc_index::CandScratch::new();
+        for (op, sel) in ops {
+            if op % 3 == 0 && !live.is_empty() {
+                let id = live[sel as usize % live.len()];
+                live.retain(|&e| e != id);
+                flat.remove(id);
+                eager.remove(id);
+            } else {
+                let id = next_id;
+                let g = &graphs[id as usize % graphs.len()];
+                flat.insert(id, g);
+                eager.insert(id, g);
+                live.push(id);
+                next_id += 1;
+            }
+            // Probe equivalence after *every* mutation, so divergence is
+            // caught at the op that introduced it.
+            let qf = flat.features_of(&queries[0]);
+            prop_assert_eq!(
+                flat.sub_case_candidates(&qf),
+                eager.sub_case_candidates(&qf),
+                "sub-case diverged mid-churn"
+            );
+            prop_assert_eq!(
+                flat.super_case_candidates(&qf),
+                eager.super_case_candidates(&qf),
+                "super-case diverged mid-churn"
+            );
+        }
+        for q in &queries {
+            let qf = flat.features_of(q);
+            prop_assert_eq!(flat.sub_case_candidates(&qf), eager.sub_case_candidates(&qf));
+            prop_assert_eq!(flat.super_case_candidates(&qf), eager.super_case_candidates(&qf));
+            // The scratch-reusing probe path agrees too.
+            flat.sub_case_candidates_into(qf.as_features(), &mut scratch);
+            prop_assert_eq!(scratch.candidates(), eager.sub_case_candidates(&qf).as_slice());
+            flat.super_case_candidates_into(qf.as_features(), &mut scratch);
+            prop_assert_eq!(scratch.candidates(), eager.super_case_candidates(&qf).as_slice());
+        }
+    }
+
+    #[test]
+    fn flat_tree_index_matches_reference_under_churn(
+        graphs in proptest::collection::vec(arb_graph(6, 3), 2..8),
+        queries in proptest::collection::vec(arb_graph(5, 3), 1..4),
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..40),
+        max_edges in 0usize..3,
+    ) {
+        let cfg = gc_index::TreeConfig::with_max_edges(max_edges);
+        let mut flat = gc_index::TreeIndex::new(cfg);
+        let mut reference = gc_index::reference::RefTreeIndex::new(cfg);
+        let mut live: Vec<u32> = Vec::new();
+        let mut next_gid = 0u32;
+        for (op, sel) in ops {
+            if op % 3 == 0 && !live.is_empty() {
+                let gid = live[sel as usize % live.len()];
+                live.retain(|&g| g != gid);
+                flat.remove_graph(gid);
+                reference.remove_graph(gid);
+            } else {
+                let g = &graphs[next_gid as usize % graphs.len()];
+                flat.insert_graph(next_gid, g);
+                reference.insert_graph(next_gid, g);
+                live.push(next_gid);
+                next_gid += 1;
+            }
+            prop_assert_eq!(
+                flat.candidates(&queries[0]),
+                reference.candidates(&queries[0]),
+                "tree sub filter diverged mid-churn"
+            );
+        }
+        let mut scratch = gc_index::TreeScratch::new();
+        let mut out = gc_graph::BitSet::new(flat.dataset_size());
+        for q in &queries {
+            prop_assert_eq!(flat.candidates(q), reference.candidates(q), "sub filter diverged");
+            prop_assert_eq!(
+                flat.super_candidates(q),
+                reference.super_candidates(q),
+                "super filter diverged"
+            );
+            // Scratch-reusing paths agree with the wrappers.
+            flat.candidates_into(q, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &reference.candidates(q));
+            flat.super_candidates_into(q, &mut scratch, &mut out);
+            prop_assert_eq!(&out, &reference.super_candidates(q));
+        }
+    }
+
+    #[test]
+    fn gallop_matches_two_pointer(
+        cur_raw in proptest::collection::vec(0u32..500, 0..80),
+        list_raw in proptest::collection::vec((0u32..500, 1u32..4), 0..80),
+        need in 1u32..4,
+    ) {
+        let mut cur = cur_raw;
+        cur.sort_unstable();
+        cur.dedup();
+        let mut list = list_raw;
+        list.sort_unstable_by_key(|&(id, _)| id);
+        list.dedup_by_key(|&mut (id, _)| id);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        gc_index::merge::intersect_two_pointer(&cur, &list, need, &mut a);
+        gc_index::merge::intersect_gallop(&cur, &list, need, &mut b);
+        prop_assert_eq!(&a, &b, "gallop diverged from two-pointer");
+        for cutoff in [1usize, 8, usize::MAX] {
+            let mut c = Vec::new();
+            gc_index::merge::intersect_adaptive(&cur, &list, need, cutoff, &mut c);
+            prop_assert_eq!(&a, &c, "adaptive diverged at cutoff {}", cutoff);
+        }
+    }
+
+    #[test]
     fn arena_trie_matches_node_reference(
         dataset in proptest::collection::vec(arb_graph(6, 2), 1..8),
         queries in proptest::collection::vec(arb_graph(5, 2), 1..4),
@@ -308,4 +436,42 @@ proptest! {
             prop_assert_eq!(&out, &reference.super_candidates(q));
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic compaction-trigger boundary: the directory must stay
+// equivalent to the eager one exactly at the sweep that reclaims tombstones.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn query_index_compaction_boundary_keeps_candidates_exact() {
+    use gc_graph::graph_from_parts;
+    // Chain graphs over a wide alphabet: every entry owns most of its
+    // feature hashes, so each removal drains lists into tombstones.
+    let chain = |seed: u32| {
+        let labels: Vec<Label> = (0..5u32).map(|i| Label(1000 + seed * 17 + i * 3)).collect();
+        graph_from_parts(&labels, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap()
+    };
+    let cfg = FeatureConfig::with_max_len(3);
+    let mut flat = QueryIndex::new(cfg);
+    let mut eager = gc_index::reference::EagerQueryIndex::new(cfg);
+    for id in 0..32u32 {
+        flat.insert(id, &chain(id));
+        eager.insert(id, &chain(id));
+    }
+    let probe = chain(3);
+    let mut crossed = false;
+    for id in 0..24u32 {
+        flat.remove(id);
+        eager.remove(id);
+        if flat.tombstoned_slots() == 0 && id >= 1 {
+            crossed = true; // a compaction sweep ran somewhere in the prefix
+        }
+        // Equivalence must hold on both sides of every compaction sweep.
+        let qf = flat.features_of(&probe);
+        assert_eq!(flat.sub_case_candidates(&qf), eager.sub_case_candidates(&qf));
+        assert_eq!(flat.super_case_candidates(&qf), eager.super_case_candidates(&qf));
+    }
+    assert!(crossed, "removals never crossed a compaction boundary");
+    assert_eq!(flat.len(), 8);
 }

@@ -2,7 +2,17 @@
 
 use crate::{Dataset, Method, QueryKind};
 use gc_graph::{BitSet, Graph};
-use gc_index::{TreeConfig, TreeIndex};
+use gc_index::{TreeConfig, TreeIndex, TreeScratch};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread tree probe scratch: `Method::filter` is `&self` (shared
+    /// across worker threads), so the reusable subtree-enumeration and
+    /// probe buffers live thread-locally — the query's tree features are
+    /// enumerated exactly once per filter call and nothing but the output
+    /// bitset is allocated per query.
+    static FILTER_SCRATCH: RefCell<TreeScratch> = RefCell::new(TreeScratch::new());
+}
 
 /// FTV method indexing *tree* features instead of paths — the alternative
 /// feature family the paper names ("a path, tree or subgraph"). Trees of a
@@ -39,10 +49,15 @@ impl Method for FtvTreeMethod {
     }
 
     fn filter(&self, _dataset: &Dataset, query: &Graph, kind: QueryKind) -> BitSet {
-        match kind {
-            QueryKind::Subgraph => self.index.candidates(query),
-            QueryKind::Supergraph => self.index.super_candidates(query),
-        }
+        FILTER_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            let mut out = BitSet::new(self.index.dataset_size());
+            match kind {
+                QueryKind::Subgraph => self.index.candidates_into(query, scratch, &mut out),
+                QueryKind::Supergraph => self.index.super_candidates_into(query, scratch, &mut out),
+            }
+            out
+        })
     }
 
     fn index_memory_bytes(&self) -> usize {
