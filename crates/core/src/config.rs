@@ -53,6 +53,18 @@ pub struct CacheConfig {
     /// probe fan-out. Ignored by the sequential [`crate::GraphCache`].
     /// Must be in `1..=256`.
     pub shards: usize,
+    /// Persistence: automatically write a snapshot (and rotate the
+    /// journal) after this many admissions, when a
+    /// [`gc_store::CacheStore`] is attached. `None` disables the
+    /// admission-count trigger (snapshots then happen only on explicit
+    /// [`crate::GraphCache::snapshot_to`] calls, the journal-size trigger,
+    /// or a [`crate::persist::Snapshotter`]). Must be > 0 when set.
+    pub snapshot_interval: Option<u64>,
+    /// Persistence: automatically snapshot once the append-only journal
+    /// exceeds this many bytes, bounding both journal replay time and the
+    /// disk footprint between snapshots. `None` disables the size trigger.
+    /// Must be > 0 when set.
+    pub journal_max_bytes: Option<u64>,
 }
 
 impl Default for CacheConfig {
@@ -71,6 +83,8 @@ impl Default for CacheConfig {
             parallel_threshold: 8,
             max_bytes: None,
             shards: 8,
+            snapshot_interval: None,
+            journal_max_bytes: None,
         }
     }
 }
@@ -101,6 +115,12 @@ impl CacheConfig {
         if self.shards == 0 || self.shards > 256 {
             return Err("shards must be in 1..=256".into());
         }
+        if self.snapshot_interval == Some(0) {
+            return Err("snapshot_interval must be > 0 when set".into());
+        }
+        if self.journal_max_bytes == Some(0) {
+            return Err("journal_max_bytes must be > 0 when set".into());
+        }
         self.index_tuning.validate()?;
         Ok(())
     }
@@ -124,6 +144,18 @@ mod tests {
         assert!(CacheConfig { shards: 0, ..CacheConfig::default() }.validate().is_err());
         assert!(CacheConfig { shards: 257, ..CacheConfig::default() }.validate().is_err());
         assert!(CacheConfig { shards: 256, ..CacheConfig::default() }.validate().is_ok());
+        assert!(CacheConfig { snapshot_interval: Some(0), ..CacheConfig::default() }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { snapshot_interval: Some(100), ..CacheConfig::default() }
+            .validate()
+            .is_ok());
+        assert!(CacheConfig { journal_max_bytes: Some(0), ..CacheConfig::default() }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { journal_max_bytes: Some(1 << 20), ..CacheConfig::default() }
+            .validate()
+            .is_ok());
         let bad_tuning = IndexTuning { gallop_cutoff: 0, ..IndexTuning::default() };
         assert!(CacheConfig { index_tuning: bad_tuning, ..CacheConfig::default() }
             .validate()

@@ -61,6 +61,26 @@ impl CostModel {
     pub fn sum_over(&self, set: &BitSet) -> f64 {
         set.iter().map(|g| self.estimate(g)).sum()
     }
+
+    /// Export the per-graph `(estimate, observed)` state for persistence
+    /// snapshots, in graph-id order.
+    pub fn export(&self) -> Vec<(f64, bool)> {
+        self.est
+            .iter()
+            .zip(&self.observed)
+            .map(|(e, o)| (f64::from_bits(e.load(Ordering::Relaxed)), o.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    /// Restore one graph's persisted estimate (warm restart). Out-of-range
+    /// ids are ignored — the restore path validates the universe first, so
+    /// this only guards against logic errors.
+    pub fn restore_estimate(&self, gid: usize, est: f64, observed: bool) {
+        if let (Some(e), Some(o)) = (self.est.get(gid), self.observed.get(gid)) {
+            e.store(est.to_bits(), Ordering::Relaxed);
+            o.store(observed, Ordering::Relaxed);
+        }
+    }
 }
 
 impl Clone for CostModel {

@@ -31,7 +31,12 @@
 //!   counters (no lock on the query path) and per-query [`QueryReport`]s
 //!   for the Demonstrator;
 //! * [`CostModel`] — atomic per-graph verification-cost EWMA feeding the
-//!   cost-aware policies.
+//!   cost-aware policies;
+//! * [`persist`] — durable cache state: snapshot + journal persistence
+//!   over [`gc_store`] ([`GraphCache::snapshot_to`] /
+//!   [`GraphCache::restore_from`], journal hooks in the admit stage, a
+//!   periodic [`Snapshotter`] for [`SharedGraphCache`]), so warm hit
+//!   ratios survive restarts and deploys.
 //!
 //! ## Correctness
 //!
@@ -50,6 +55,7 @@ mod config;
 mod cost;
 mod entry;
 pub mod parallel;
+pub mod persist;
 pub mod pipeline;
 mod policy;
 pub mod policy_ext;
@@ -64,11 +70,12 @@ pub use parallel::{global_pool, verify_candidates, VerifyOutcome, VerifyPool};
 pub use cache::CacheManager;
 pub use config::CacheConfig;
 pub use entry::{CacheEntry, EntryId, EntryStats};
+pub use persist::{CacheStore, LoadOutcome, RecoveryReport, SnapshotInfo, Snapshotter};
 pub use pipeline::probe::{find_exact, probe, CacheHits, Hit, Relation};
 pub use pipeline::prune::{prune, Pruned};
 pub use pipeline::PipelineCtx;
 pub use policy::{HitCredit, HitKind, Policy, PolicyKind, ReplacementPolicy};
-pub use report::QueryReport;
+pub use report::{IndexHealth, QueryReport};
 pub use shared::SharedGraphCache;
 pub use stats::{GlobalStats, StatsMonitor};
 

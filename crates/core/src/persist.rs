@@ -1,0 +1,520 @@
+//! Kernel-side persistence wiring: snapshot construction, fail-closed
+//! recovery replay, and the periodic snapshotter.
+//!
+//! The on-disk formats live in [`gc_store`]; this module converts between
+//! the kernel's live types ([`CacheEntry`], [`GlobalStats`],
+//! [`crate::CostModel`]) and the store's portable records, and implements
+//! the *replay* algorithm both runtimes share:
+//!
+//! 1. every snapshot entry is re-admitted through the cache's **normal
+//!    insert path** (features, fingerprints, profiles and indexes are all
+//!    recomputed — the on-disk format knows nothing about index layout),
+//!    its accumulated statistics restored, and the replacement policy
+//!    warmed via [`crate::ReplacementPolicy::on_restore`];
+//! 2. journal records are applied in append order: admissions insert like
+//!    snapshot entries (fresh statistics), evictions remove the entry the
+//!    journal's originating id maps to. Replay is *order-tolerant*: an
+//!    eviction whose target never appeared is skipped and a duplicate
+//!    admission (exact match already cached) is skipped — both can occur
+//!    under the sharded front-end's relaxed append ordering, and both are
+//!    sound because every record carries a complete verified answer set;
+//! 3. the caller enforces capacity with a final replacement sweep and
+//!    immediately rotates the store, so the new process's journal is never
+//!    entangled with the old process's entry-id namespace.
+//!
+//! Anything invalid — checksum or framing failures, a dataset mismatch —
+//! degrades to a cold start ([`RecoveryReport::warm`] = false, reason
+//! attached). Corruption costs warmth, never correctness.
+
+use crate::entry::{CacheEntry, EntryStats};
+use crate::stats::GlobalStats;
+use gc_method::Dataset;
+use gc_store::{EntryRecord, EntryStatsRecord, JournalRecord, RecoveredState, SnapshotDoc};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+pub use gc_store::{CacheStore, LoadOutcome, SnapshotInfo};
+
+/// What a restart recovered, for logs and dashboards.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// `true` when snapshot + journal were valid and replayed; `false` for
+    /// a cold start.
+    pub warm: bool,
+    /// Why the start was cold (missing files on first boot, or the
+    /// corruption/mismatch that was detected and failed closed).
+    pub cold_reason: Option<String>,
+    /// Generation of the restored snapshot (0 when cold).
+    pub generation: u64,
+    /// Entries in the snapshot.
+    pub snapshot_entries: usize,
+    /// Admissions replayed from the journal.
+    pub journal_admits: usize,
+    /// Evictions replayed from the journal.
+    pub journal_evicts: usize,
+    /// Live entries after replay and the capacity sweep.
+    pub entries_restored: usize,
+    /// Restored logical clock.
+    pub clock: u64,
+}
+
+impl RecoveryReport {
+    /// A cold-start report with the given reason.
+    pub fn cold(reason: impl Into<String>) -> Self {
+        RecoveryReport { warm: false, cold_reason: Some(reason.into()), ..Default::default() }
+    }
+
+    /// One-line human-readable summary.
+    pub fn describe(&self) -> String {
+        if self.warm {
+            format!(
+                "warm restart: {} entries restored (snapshot {} + journal {} admits / {} evicts), \
+                 generation {}, clock {}",
+                self.entries_restored,
+                self.snapshot_entries,
+                self.journal_admits,
+                self.journal_evicts,
+                self.generation,
+                self.clock
+            )
+        } else {
+            format!("cold start: {}", self.cold_reason.as_deref().unwrap_or("no persisted state"))
+        }
+    }
+}
+
+// ---- live type ⇄ portable record conversions --------------------------------
+
+pub(crate) fn entry_to_record(e: &CacheEntry) -> EntryRecord {
+    EntryRecord {
+        orig_id: e.id,
+        graph: e.graph.clone(),
+        kind: e.kind,
+        answer: e.answer.iter().map(|i| i as u32).collect(),
+        base_tests: e.base_tests,
+        base_cost: e.base_cost,
+        stats: EntryStatsRecord {
+            inserted_at: e.stats.inserted_at,
+            last_used: e.stats.last_used,
+            exact_hits: e.stats.exact_hits,
+            sub_hits: e.stats.sub_hits,
+            super_hits: e.stats.super_hits,
+            tests_saved: e.stats.tests_saved,
+            cost_saved: e.stats.cost_saved,
+        },
+    }
+}
+
+pub(crate) fn record_to_stats(r: &EntryStatsRecord) -> EntryStats {
+    EntryStats {
+        inserted_at: r.inserted_at,
+        last_used: r.last_used,
+        exact_hits: r.exact_hits,
+        sub_hits: r.sub_hits,
+        super_hits: r.super_hits,
+        tests_saved: r.tests_saved,
+        cost_saved: r.cost_saved,
+    }
+}
+
+/// Counter names persisted in snapshots. Self-describing: a restore reads
+/// known names and ignores unknown ones, so adding counters never
+/// invalidates old snapshots. The index-health gauges are deliberately
+/// absent — they are recomputed from the rebuilt index.
+macro_rules! for_each_persisted_counter {
+    ($cb:ident) => {
+        $cb!(queries);
+        $cb!(hit_queries);
+        $cb!(exact_hits);
+        $cb!(queries_with_sub_hits);
+        $cb!(queries_with_super_hits);
+        $cb!(sub_hits);
+        $cb!(super_hits);
+        $cb!(tests_executed);
+        $cb!(probe_tests);
+        $cb!(tests_saved);
+        $cb!(verify_steps);
+        $cb!(probe_steps);
+        $cb!(admitted);
+        $cb!(evicted);
+        $cb!(admission_rejected);
+    };
+}
+
+pub(crate) fn stats_to_records(s: &GlobalStats) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    macro_rules! push_field {
+        ($f:ident) => {
+            out.push((stringify!($f).to_string(), s.$f));
+        };
+    }
+    for_each_persisted_counter!(push_field);
+    out.push(("total_time_nanos".to_string(), s.total_time.as_nanos() as u64));
+    out
+}
+
+pub(crate) fn stats_from_records(records: &[(String, u64)]) -> GlobalStats {
+    let mut s = GlobalStats::default();
+    for (name, value) in records {
+        macro_rules! match_field {
+            ($f:ident) => {
+                if name == stringify!($f) {
+                    s.$f = *value;
+                    continue;
+                }
+            };
+        }
+        for_each_persisted_counter!(match_field);
+        if name == "total_time_nanos" {
+            s.total_time = Duration::from_nanos(*value);
+        }
+        // Unknown names: ignored (forward compatibility).
+    }
+    s
+}
+
+// ---- snapshot assembly -------------------------------------------------------
+
+/// Assemble a [`SnapshotDoc`] from runtime state. `entries` must yield every
+/// live entry (the sharded front-end passes encoded ids via the entries it
+/// clones under per-shard read locks).
+pub(crate) fn build_doc<'a>(
+    dataset: &Dataset,
+    stats: &GlobalStats,
+    cost: &crate::cost::CostModel,
+    clock: u64,
+    window_pending: u32,
+    policy_name: &str,
+    entries: impl Iterator<Item = EntryRecord> + 'a,
+) -> SnapshotDoc {
+    SnapshotDoc {
+        dataset_fingerprint: dataset.content_fingerprint(),
+        universe: dataset.len() as u64,
+        clock,
+        window_pending,
+        policy_name: policy_name.to_string(),
+        stats: stats_to_records(stats),
+        cost: cost.export(),
+        entries: entries.collect(),
+    }
+}
+
+// ---- replay ------------------------------------------------------------------
+
+/// A restorable entry handed to the runtime's insert callback.
+pub(crate) struct RestoredEntry {
+    pub graph: gc_graph::Graph,
+    pub kind: gc_method::QueryKind,
+    pub answer: gc_graph::BitSet,
+    pub base_tests: u64,
+    pub base_cost: u64,
+    pub stats: EntryStats,
+}
+
+/// Replay tallies the caller folds into its [`RecoveryReport`].
+#[derive(Debug, Default)]
+pub(crate) struct ReplayCounts {
+    pub journal_admits: usize,
+    pub journal_evicts: usize,
+    /// Highest logical time seen anywhere in the recovered state.
+    pub max_now: u64,
+}
+
+/// Where replayed records land: the sequential runtime's `(cache, policy)`
+/// pair or one write-locked shard per entry of the concurrent front-end.
+pub(crate) trait ReplayTarget {
+    /// Re-admit one entry through the normal insert path; returns the key
+    /// evictions reference it by (`None` = skipped, e.g. an exact
+    /// duplicate).
+    fn insert(&mut self, entry: RestoredEntry) -> Option<u32>;
+    /// Remove a previously inserted key.
+    fn evict(&mut self, key: u32);
+}
+
+/// Replay `state` into `target`.
+///
+/// The originating-id → key map lives here so both runtimes share the
+/// order-tolerant semantics documented on the module.
+pub(crate) fn replay(
+    state: &RecoveredState,
+    universe: usize,
+    target: &mut dyn ReplayTarget,
+) -> ReplayCounts {
+    let mut counts = ReplayCounts { max_now: state.doc.clock, ..ReplayCounts::default() };
+    let mut id_map: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let make_answer = |indices: &[u32]| {
+        gc_graph::BitSet::from_indices(universe, indices.iter().map(|&i| i as usize))
+    };
+    for rec in &state.doc.entries {
+        counts.max_now = counts.max_now.max(rec.stats.last_used).max(rec.stats.inserted_at);
+        let restored = RestoredEntry {
+            graph: rec.graph.clone(),
+            kind: rec.kind,
+            answer: make_answer(&rec.answer),
+            base_tests: rec.base_tests,
+            base_cost: rec.base_cost,
+            stats: record_to_stats(&rec.stats),
+        };
+        if let Some(key) = target.insert(restored) {
+            id_map.insert(rec.orig_id, key);
+        }
+    }
+    for rec in &state.journal {
+        match rec {
+            JournalRecord::Admit { orig_id, now, kind, base_tests, base_cost, graph, answer } => {
+                counts.max_now = counts.max_now.max(*now);
+                counts.journal_admits += 1;
+                let restored = RestoredEntry {
+                    graph: graph.clone(),
+                    kind: *kind,
+                    answer: make_answer(answer),
+                    base_tests: *base_tests,
+                    base_cost: *base_cost,
+                    stats: EntryStats { inserted_at: *now, last_used: *now, ..Default::default() },
+                };
+                if let Some(key) = target.insert(restored) {
+                    id_map.insert(*orig_id, key);
+                }
+            }
+            JournalRecord::Evict { orig_id, now } => {
+                counts.max_now = counts.max_now.max(*now);
+                counts.journal_evicts += 1;
+                // Order tolerance: unknown targets are skipped (the entry
+                // was never inserted, or its admission record trailed the
+                // eviction under the sharded append ordering).
+                if let Some(key) = id_map.remove(orig_id) {
+                    target.evict(key);
+                }
+            }
+        }
+    }
+    counts
+}
+
+/// `true` when an auto-snapshot should run: the admission-count interval
+/// or the journal byte threshold was reached (whichever knob is set).
+pub(crate) fn due_for_rotation(
+    cfg: &crate::config::CacheConfig,
+    admits_since: u64,
+    journal_bytes: u64,
+) -> bool {
+    cfg.snapshot_interval.is_some_and(|n| admits_since >= n)
+        || cfg.journal_max_bytes.is_some_and(|b| journal_bytes >= b)
+}
+
+/// Append one query's admission/evictions to `store` (shared by both
+/// runtimes' journal hooks) and report whether an auto-snapshot rotation
+/// is now due. Persistence failures are reported to stderr and never fail
+/// the query — at worst the next restart loses warmth.
+///
+/// `admits_since_snapshot` is the caller's post-increment counter value;
+/// entry ids are journaled exactly as the caller reports them
+/// (shard-encoded for the concurrent front-end).
+#[allow(clippy::too_many_arguments)] // mirrors the admit stage's query facts
+pub(crate) fn journal_outcome(
+    store: &CacheStore,
+    cfg: &crate::config::CacheConfig,
+    admits_since_snapshot: u64,
+    query: &gc_graph::Graph,
+    kind: gc_method::QueryKind,
+    answer: &gc_graph::BitSet,
+    base_tests: u64,
+    base_cost: u64,
+    now: u64,
+    admitted: Option<u32>,
+    evicted: &[u32],
+) -> bool {
+    if admitted.is_none() && evicted.is_empty() {
+        return false;
+    }
+    let answer_idx: Option<Vec<u32>> = admitted.map(|_| answer.iter().map(|i| i as u32).collect());
+    let mut ops: Vec<gc_store::JournalOp<'_>> = Vec::new();
+    if let Some(id) = admitted {
+        ops.push(gc_store::JournalOp::Admit {
+            orig_id: id,
+            now,
+            kind,
+            base_tests,
+            base_cost,
+            graph: query,
+            answer: answer_idx.as_deref().expect("just built"),
+        });
+    }
+    for &id in evicted {
+        ops.push(gc_store::JournalOp::Evict { orig_id: id, now });
+    }
+    if let Err(e) = store.append(&ops) {
+        eprintln!("graphcache: journal append failed ({e}); state persists at next snapshot");
+        return false;
+    }
+    due_for_rotation(cfg, admits_since_snapshot, store.journal_bytes())
+}
+
+/// Check a recovered snapshot against the dataset a cache serves; returns
+/// the cold-start report on mismatch (shared by both runtimes' restores).
+pub(crate) fn dataset_mismatch(doc: &SnapshotDoc, dataset: &Dataset) -> Option<RecoveryReport> {
+    let expected_fp = dataset.content_fingerprint();
+    if doc.dataset_fingerprint == expected_fp && doc.universe == dataset.len() as u64 {
+        return None;
+    }
+    Some(RecoveryReport::cold(format!(
+        "snapshot belongs to a different dataset (fingerprint {:#x}/universe {} vs {:#x}/{})",
+        doc.dataset_fingerprint,
+        doc.universe,
+        expected_fp,
+        dataset.len()
+    )))
+}
+
+// ---- periodic snapshotter ----------------------------------------------------
+
+struct SnapshotterShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// A background thread that periodically snapshots a
+/// [`crate::SharedGraphCache`] to its attached store, quiescing one shard
+/// at a time (each shard is captured under its read lock; queries on other
+/// shards proceed untouched).
+///
+/// ```no_run
+/// # use gc_core::{CacheConfig, PolicyKind, SharedGraphCache};
+/// # use gc_core::persist::{CacheStore, Snapshotter};
+/// # use gc_method::{Dataset, SiMethod};
+/// # use std::sync::Arc;
+/// # let dataset = Arc::new(Dataset::new(vec![]));
+/// let store = Arc::new(CacheStore::open("/var/lib/graphcache").unwrap());
+/// let mut gc = SharedGraphCache::with_policy(
+///     dataset, Box::new(SiMethod), PolicyKind::Hd, CacheConfig::default()).unwrap();
+/// gc.attach_store(Arc::clone(&store)).unwrap();
+/// let gc = Arc::new(gc);
+/// let snapshotter = Snapshotter::spawn(Arc::clone(&gc), std::time::Duration::from_secs(30));
+/// // ... serve traffic ...
+/// snapshotter.stop(); // final snapshot happens on the next rotation
+/// ```
+#[derive(Debug)]
+pub struct Snapshotter {
+    shared: Arc<SnapshotterShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+    /// Ticks that failed (IO errors); for tests and health checks.
+    failures: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for SnapshotterShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotterShared").finish()
+    }
+}
+
+impl Snapshotter {
+    /// Spawn a snapshotter ticking every `interval`. Each tick calls
+    /// [`crate::SharedGraphCache::snapshot_now`]; ticks while no store is
+    /// attached are no-ops.
+    pub fn spawn(cache: Arc<crate::SharedGraphCache>, interval: Duration) -> Self {
+        let shared = Arc::new(SnapshotterShared { stop: Mutex::new(false), wake: Condvar::new() });
+        let failures = Arc::new(AtomicBool::new(false));
+        let thread_shared = Arc::clone(&shared);
+        let thread_failures = Arc::clone(&failures);
+        let handle = std::thread::Builder::new()
+            .name("gc-snapshotter".into())
+            .spawn(move || {
+                let mut stopped = thread_shared.stop.lock().expect("snapshotter lock");
+                loop {
+                    let (guard, _timeout) = thread_shared
+                        .wake
+                        .wait_timeout(stopped, interval)
+                        .expect("snapshotter lock");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    if cache.snapshot_now().is_err() {
+                        thread_failures.store(true, Ordering::Relaxed);
+                    }
+                }
+            })
+            .expect("spawn snapshotter thread");
+        Snapshotter { shared, handle: Some(handle), failures }
+    }
+
+    /// `true` if any tick failed with an IO error since spawn.
+    pub fn had_failures(&self) -> bool {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Signal the thread and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            *self.shared.stop.lock().expect("snapshotter lock") = true;
+            self.shared.wake.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Snapshotter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_records_roundtrip() {
+        let s = GlobalStats {
+            queries: 10,
+            hit_queries: 4,
+            exact_hits: 2,
+            queries_with_sub_hits: 1,
+            queries_with_super_hits: 1,
+            sub_hits: 3,
+            super_hits: 2,
+            tests_executed: 100,
+            probe_tests: 7,
+            tests_saved: 50,
+            verify_steps: 1000,
+            probe_steps: 70,
+            admitted: 8,
+            evicted: 3,
+            admission_rejected: 1,
+            total_time: Duration::from_nanos(12345),
+            distinct_features: 99, // gauge: must not be persisted
+            tombstoned_slots: 9,
+        };
+        let back = stats_from_records(&stats_to_records(&s));
+        assert_eq!(back.queries, 10);
+        assert_eq!(back.tests_executed, 100);
+        assert_eq!(back.total_time, Duration::from_nanos(12345));
+        assert_eq!(back.distinct_features, 0, "gauges are not persisted");
+        assert_eq!(back.tombstoned_slots, 0);
+        let expected = GlobalStats { distinct_features: 0, tombstoned_slots: 0, ..s };
+        assert_eq!(back, expected);
+    }
+
+    #[test]
+    fn unknown_counters_ignored_missing_read_zero() {
+        let records = vec![
+            ("queries".to_string(), 5u64),
+            ("a_counter_from_the_future".to_string(), 1_000_000),
+        ];
+        let s = stats_from_records(&records);
+        assert_eq!(s.queries, 5);
+        assert_eq!(s.tests_executed, 0);
+    }
+
+    #[test]
+    fn cold_report_describes_reason() {
+        let r = RecoveryReport::cold("checksum mismatch");
+        assert!(!r.warm);
+        assert!(r.describe().contains("checksum mismatch"));
+    }
+}

@@ -20,7 +20,7 @@
 //! `updateCacheItems`. Custom policies plug in by implementing the trait
 //! (see `examples/custom_policy.rs`).
 
-use crate::entry::EntryId;
+use crate::entry::{EntryId, EntryStats};
 use std::collections::HashMap;
 
 /// How a cached entry contributed to a new query.
@@ -65,6 +65,17 @@ pub trait ReplacementPolicy: Send {
     fn on_insert_sized(&mut self, entry: EntryId, now: u64, bytes: usize) {
         let _ = bytes;
         self.on_insert(entry, now);
+    }
+
+    /// An entry was restored from a persistence snapshot with its
+    /// accumulated statistics. Policies that can reconstruct their utility
+    /// state from `stats` should do so, so a warm-restarted cache ranks
+    /// eviction candidates like the original would have; the default
+    /// treats the entry as a fresh admission at its recorded `last_used`
+    /// time (sound for any policy, loses utility history).
+    fn on_restore(&mut self, entry: EntryId, stats: &EntryStats, bytes: usize, now: u64) {
+        let _ = now;
+        self.on_insert_sized(entry, stats.last_used, bytes);
     }
 
     /// An entry contributed a hit at logical time `now`.
@@ -215,6 +226,20 @@ impl ReplacementPolicy for Policy {
 
     fn on_insert(&mut self, entry: EntryId, now: u64) {
         self.scores.insert(entry, Score { last_used: now, ..Score::default() });
+    }
+
+    fn on_restore(&mut self, entry: EntryId, stats: &EntryStats, _bytes: usize, _now: u64) {
+        // Exact reconstruction: every signal the five bundled kinds rank by
+        // is derivable from the entry's persisted statistics.
+        self.scores.insert(
+            entry,
+            Score {
+                last_used: stats.last_used,
+                hits: stats.total_hits(),
+                tests_saved: stats.tests_saved,
+                cost_saved: stats.cost_saved,
+            },
+        );
     }
 
     fn on_hit(&mut self, entry: EntryId, credit: &HitCredit, now: u64) {

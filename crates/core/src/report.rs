@@ -5,6 +5,36 @@ use gc_graph::BitSet;
 use gc_method::QueryKind;
 use std::time::Duration;
 
+/// Point-in-time health gauges of the containment index's posting
+/// directory — the compaction signals of the tombstoned directory
+/// maintenance (PR 4), surfaced here so dashboards and operators never
+/// need to poke `gc_index` directly. Read via
+/// [`crate::GraphCache::index_health`] /
+/// [`crate::SharedGraphCache::index_health`]; also mirrored into the
+/// gauge fields of [`crate::GlobalStats`] snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexHealth {
+    /// Distinct live feature hashes in the directory.
+    pub distinct_features: usize,
+    /// Tombstoned (evicted, not yet compacted) directory slots.
+    pub tombstoned_slots: usize,
+}
+
+impl IndexHealth {
+    /// Tombstoned fraction of the directory (0.0 when empty). Lazy
+    /// compaction keeps this below the configured
+    /// `compact_tombstone_pct`; a persistently high value means the
+    /// threshold is too permissive for the workload's churn.
+    pub fn tombstone_ratio(&self) -> f64 {
+        let total = self.distinct_features + self.tombstoned_slots;
+        if total == 0 {
+            0.0
+        } else {
+            self.tombstoned_slots as f64 / total as f64
+        }
+    }
+}
+
 /// Everything GraphCache can tell about one processed query — the data
 /// behind the demo's Query Journey (Fig. 3) and the Demonstrator panels.
 #[derive(Debug, Clone)]
@@ -124,6 +154,13 @@ mod tests {
         r.probe_tests = 7;
         assert!((r.test_speedup() - 75.0 / 50.0).abs() < 1e-9);
         assert_eq!(r.tests_saved(), 25);
+    }
+
+    #[test]
+    fn index_health_ratio() {
+        let h = IndexHealth { distinct_features: 6, tombstoned_slots: 2 };
+        assert!((h.tombstone_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(IndexHealth::default().tombstone_ratio(), 0.0);
     }
 
     #[test]

@@ -11,18 +11,27 @@ use crate::cache::CacheManager;
 use crate::config::CacheConfig;
 use crate::cost::CostModel;
 use crate::entry::{CacheEntry, EntryId};
+use crate::persist::{self, RecoveryReport, RestoredEntry};
 use crate::pipeline::admit::{self, AdmitLimits};
 use crate::pipeline::probe::ProbeScratch;
 use crate::pipeline::{self, filter, probe, prune, verify, PipelineCtx};
 use crate::policy::ReplacementPolicy;
-use crate::report::QueryReport;
+use crate::report::{IndexHealth, QueryReport};
 use crate::stats::{GlobalStats, StatsMonitor};
 use crate::window::WindowManager;
 use crate::PolicyKind;
 use gc_graph::Graph;
 use gc_method::{Dataset, Method, QueryKind};
+use gc_store::{CacheStore, LoadOutcome, SnapshotInfo};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Journaling state of an attached [`CacheStore`].
+struct StoreState {
+    store: Arc<CacheStore>,
+    /// Admissions since the last rotation (the `snapshot_interval` input).
+    admits_since_snapshot: u64,
+}
 
 /// The GraphCache kernel: a semantic cache layered over a base Method M.
 ///
@@ -61,6 +70,9 @@ pub struct GraphCache {
     /// query's [`PipelineCtx`]).
     probe_scratch: ProbeScratch,
     clock: u64,
+    /// Attached persistence store (admissions/evictions journaled,
+    /// auto-snapshots per the config's persistence knobs).
+    store: Option<StoreState>,
 }
 
 impl GraphCache {
@@ -86,6 +98,7 @@ impl GraphCache {
             pool,
             probe_scratch: ProbeScratch::new(),
             clock: 0,
+            store: None,
         })
     }
 
@@ -153,7 +166,47 @@ impl GraphCache {
         let elapsed = start.elapsed();
         self.stats.add(&ctx.stats_delta(&outcome, elapsed));
         std::mem::swap(&mut ctx.probe_scratch, &mut self.probe_scratch);
-        ctx.into_report(answer, outcome, elapsed)
+        let (base_tests, base_cost) = (ctx.pruned.cm_size as u64, ctx.verify_steps);
+        let report = ctx.into_report(answer, outcome, elapsed);
+        self.journal_mutations(query, kind, base_tests, base_cost, now, &report);
+        report
+    }
+
+    /// Append this query's admission/evictions to the attached journal and
+    /// run the auto-snapshot triggers. Persistence failures are reported to
+    /// stderr and never fail the query — at worst the next restart loses
+    /// warmth.
+    fn journal_mutations(
+        &mut self,
+        query: &Graph,
+        kind: QueryKind,
+        base_tests: u64,
+        base_cost: u64,
+        now: u64,
+        report: &QueryReport,
+    ) {
+        let Some(st) = self.store.as_mut() else { return };
+        if report.admitted.is_some() {
+            st.admits_since_snapshot += 1;
+        }
+        let due = persist::journal_outcome(
+            &st.store,
+            &self.config,
+            st.admits_since_snapshot,
+            query,
+            kind,
+            &report.answer,
+            base_tests,
+            base_cost,
+            now,
+            report.admitted,
+            &report.evicted,
+        );
+        if due {
+            if let Err(e) = self.snapshot_now() {
+                eprintln!("graphcache: auto-snapshot failed ({e})");
+            }
+        }
     }
 
     fn serve_exact(
@@ -192,6 +245,11 @@ impl GraphCache {
     ///
     /// Returns the number of entries actually imported, or an error if any
     /// entry's answer universe does not match this dataset.
+    ///
+    /// With a store attached, the import ends with a snapshot rotation:
+    /// bulk imports bypass the per-query journal hooks, so rotating is
+    /// what keeps the persisted state in sync with the live cache (and
+    /// keeps later journaled slot ids unambiguous).
     pub fn import_entries(
         &mut self,
         entries: impl IntoIterator<Item = CacheEntry>,
@@ -227,14 +285,195 @@ impl GraphCache {
             }
         }
         self.stats.add(&GlobalStats { admitted: imported as u64, ..GlobalStats::default() });
+        if self.store.is_some() {
+            if let Err(e) = self.snapshot_now() {
+                eprintln!("graphcache: post-import snapshot failed ({e})");
+            }
+        }
         Ok(imported)
+    }
+
+    // ---- durable state (snapshot + journal) -------------------------------
+
+    /// Write a full snapshot of this cache into `store` (rotating its
+    /// journal). If `store` is the attached store, the auto-snapshot
+    /// counters reset too.
+    pub fn snapshot_to(&mut self, store: &CacheStore) -> Result<SnapshotInfo, String> {
+        let doc = persist::build_doc(
+            &self.dataset,
+            &self.stats.snapshot(),
+            &self.cost,
+            self.clock,
+            self.window.pending() as u32,
+            self.policy.name(),
+            self.cache.iter().map(persist::entry_to_record),
+        );
+        let info = store.rotate(&doc).map_err(|e| format!("snapshot failed: {e}"))?;
+        if let Some(st) = self.store.as_mut() {
+            if std::ptr::eq(store, st.store.as_ref()) {
+                st.admits_since_snapshot = 0;
+            }
+        }
+        Ok(info)
+    }
+
+    /// Snapshot to the attached store. Errors if none is attached.
+    pub fn snapshot_now(&mut self) -> Result<SnapshotInfo, String> {
+        let store = match self.store.as_ref() {
+            Some(st) => Arc::clone(&st.store),
+            None => return Err("no store attached".into()),
+        };
+        self.snapshot_to(&store)
+    }
+
+    /// Attach a persistence store: writes an initial snapshot of the
+    /// current state (establishing the journal's base), then journals every
+    /// admission/eviction and honours the config's
+    /// `snapshot_interval` / `journal_max_bytes` auto-snapshot knobs.
+    pub fn attach_store(&mut self, store: Arc<CacheStore>) -> Result<SnapshotInfo, String> {
+        self.store = Some(StoreState { store, admits_since_snapshot: 0 });
+        self.snapshot_now()
+    }
+
+    /// Detach the persistence store (journaling stops; on-disk state stays
+    /// at the last snapshot + journal).
+    pub fn detach_store(&mut self) -> Option<Arc<CacheStore>> {
+        self.store.take().map(|st| st.store)
+    }
+
+    /// The attached persistence store, if any.
+    pub fn attached_store(&self) -> Option<&CacheStore> {
+        self.store.as_ref().map(|st| st.store.as_ref())
+    }
+
+    /// Build a cache and warm-restart it from `store`: replay snapshot
+    /// then journal, attach the store, and write a fresh snapshot so the
+    /// new process journals against its own entry-id namespace.
+    ///
+    /// Recovery is **fail-closed**: corrupt, truncated or torn files — and
+    /// a snapshot taken over a different dataset — yield a *cold* (empty
+    /// but fully functional) cache with the reason in the
+    /// [`RecoveryReport`]; answers are never wrong, restarts only lose
+    /// warmth. `Err` is reserved for an invalid `config` or an IO failure
+    /// writing the fresh snapshot.
+    pub fn restore_from(
+        dataset: Arc<Dataset>,
+        method: Box<dyn Method>,
+        policy: Box<dyn ReplacementPolicy>,
+        config: CacheConfig,
+        store: Arc<CacheStore>,
+    ) -> Result<(Self, RecoveryReport), String> {
+        let mut gc = Self::new(dataset, method, policy, config)?;
+        let report = gc.restore_state(&store);
+        gc.attach_store(store)?;
+        Ok((gc, report))
+    }
+
+    /// Replay `store`'s recovered state into this (fresh) cache.
+    fn restore_state(&mut self, store: &CacheStore) -> RecoveryReport {
+        let state = match store.load() {
+            LoadOutcome::Cold { reason } => return RecoveryReport::cold(reason),
+            LoadOutcome::Warm(state) => state,
+        };
+        if let Some(report) = persist::dataset_mismatch(&state.doc, &self.dataset) {
+            return report;
+        }
+
+        struct SeqTarget<'a> {
+            cache: &'a mut CacheManager,
+            policy: &'a mut dyn ReplacementPolicy,
+            now_hint: u64,
+        }
+        impl persist::ReplayTarget for SeqTarget<'_> {
+            fn insert(&mut self, e: RestoredEntry) -> Option<EntryId> {
+                if probe::find_exact(self.cache, &e.graph, e.kind).is_some() {
+                    return None; // order-tolerant duplicate skip
+                }
+                let stats = e.stats.clone();
+                let id = self.cache.insert(
+                    e.graph,
+                    e.kind,
+                    e.answer,
+                    e.base_tests,
+                    e.base_cost,
+                    stats.inserted_at,
+                );
+                let slot = self.cache.get_mut(id).expect("just inserted");
+                slot.stats = e.stats;
+                let bytes = self.cache.get(id).expect("just inserted").memory_bytes();
+                self.policy.on_restore(id, &stats, bytes, self.now_hint);
+                Some(id)
+            }
+
+            fn evict(&mut self, key: EntryId) {
+                if self.cache.remove(key).is_some() {
+                    self.policy.on_evict(key);
+                }
+            }
+        }
+
+        let snapshot_entries = state.doc.entries.len();
+        let mut target = SeqTarget {
+            cache: &mut self.cache,
+            policy: self.policy.as_mut(),
+            now_hint: state.doc.clock,
+        };
+        let counts = persist::replay(&state, self.dataset.len(), &mut target);
+        self.clock = counts.max_now;
+
+        // Enforce this config's capacity. A cache legitimately rests at up
+        // to `capacity + window_size - 1` entries between replacement
+        // sweeps, so a same-config restore reproduces the snapshotted
+        // state exactly; only a *smaller* restoring config triggers a
+        // trim (down to `capacity`, like a window-close sweep would).
+        let allowance = self.config.capacity + self.config.window_size - 1;
+        if self.cache.len() > allowance {
+            let excess = self.cache.len() - self.config.capacity;
+            for victim in self.policy.victims(excess) {
+                if self.cache.remove(victim).is_some() {
+                    self.policy.on_evict(victim);
+                }
+            }
+        }
+        self.window.restore_pending(state.doc.window_pending as usize + counts.journal_admits);
+        self.stats.add(&persist::stats_from_records(&state.doc.stats));
+        for (gid, &(est, observed)) in state.doc.cost.iter().enumerate() {
+            self.cost.restore_estimate(gid, est, observed);
+        }
+
+        RecoveryReport {
+            warm: true,
+            cold_reason: None,
+            generation: state.generation,
+            snapshot_entries,
+            journal_admits: counts.journal_admits,
+            journal_evicts: counts.journal_evicts,
+            entries_restored: self.cache.len(),
+            clock: self.clock,
+        }
     }
 
     // ---- accessors --------------------------------------------------------
 
-    /// Snapshot of the global statistics.
+    /// Snapshot of the global statistics, with the index-health gauges
+    /// ([`GlobalStats::distinct_features`], [`GlobalStats::tombstoned_slots`])
+    /// populated from the live containment index.
     pub fn stats(&self) -> GlobalStats {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        let health = self.index_health();
+        s.distinct_features = health.distinct_features as u64;
+        s.tombstoned_slots = health.tombstoned_slots as u64;
+        s
+    }
+
+    /// Point-in-time health gauges of the containment index's posting
+    /// directory (compaction debt of the tombstoned maintenance tier).
+    pub fn index_health(&self) -> IndexHealth {
+        let index = self.cache.index();
+        IndexHealth {
+            distinct_features: index.distinct_features(),
+            tombstoned_slots: index.tombstoned_slots(),
+        }
     }
 
     /// Shared handle to the Statistics Monitor.

@@ -46,18 +46,20 @@ use crate::cache::CacheManager;
 use crate::config::CacheConfig;
 use crate::cost::CostModel;
 use crate::entry::EntryId;
+use crate::persist::{self, RecoveryReport, RestoredEntry};
 use crate::pipeline::admit::{self, AdmitLimits, AdmitOutcome};
 use crate::pipeline::probe::{CacheHits, ProbeScratch};
 use crate::pipeline::{self, filter, probe, prune, verify, PipelineCtx};
 use crate::policy::ReplacementPolicy;
-use crate::report::QueryReport;
+use crate::report::{IndexHealth, QueryReport};
 use crate::stats::{GlobalStats, StatsMonitor};
 use crate::window::WindowManager;
 use crate::PolicyKind;
 use gc_graph::Graph;
 use gc_method::{Dataset, Method, QueryKind};
+use gc_store::{CacheStore, EntryRecord, LoadOutcome, SnapshotInfo};
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -139,6 +141,14 @@ pub struct SharedGraphCache {
     cost: CostModel,
     clock: AtomicU64,
     policy_name: &'static str,
+    /// Attached persistence store (admissions/evictions journaled,
+    /// auto-snapshots per the config's persistence knobs).
+    store: Option<Arc<CacheStore>>,
+    /// Admissions since the last rotation (auto-snapshot trigger input).
+    admits_since_snapshot: AtomicU64,
+    /// Single-flight guard: only one thread builds a snapshot at a time;
+    /// concurrent triggers become no-ops.
+    snapshotting: AtomicBool,
 }
 
 impl SharedGraphCache {
@@ -185,6 +195,9 @@ impl SharedGraphCache {
             shards,
             limits,
             policy_name,
+            store: None,
+            admits_since_snapshot: AtomicU64::new(0),
+            snapshotting: AtomicBool::new(false),
         })
     }
 
@@ -321,8 +334,67 @@ impl SharedGraphCache {
 
         let elapsed = start.elapsed();
         self.stats.add(&ctx.stats_delta(&outcome, elapsed));
+
+        // ---- journaling: outside every shard lock, after the latency
+        // measurement (same boundary as the sequential runtime, so store
+        // IO never skews sequential-vs-sharded timing comparisons).
+        // Appends happen after the write sections release, so the store's
+        // internal mutex can never participate in a lock-order inversion
+        // with shard locks. Cross-query append reordering is tolerated by
+        // replay (see `persist`).
+        self.journal_outcome(
+            query,
+            kind,
+            &answer,
+            ctx.pruned.cm_size as u64,
+            ctx.verify_steps,
+            now,
+            &outcome,
+        );
+
         PROBE_SCRATCH.with(|s| std::mem::swap(&mut ctx.probe_scratch, &mut s.borrow_mut()));
         ctx.into_report(answer, outcome, elapsed)
+    }
+
+    /// Append this query's admission/evictions to the attached journal and
+    /// run the auto-snapshot triggers. Persistence failures are reported to
+    /// stderr and never fail the query. Ids are journaled in their
+    /// shard-encoded form; replay decodes them back to a shard + slot.
+    #[allow(clippy::too_many_arguments)] // mirrors the admit stage's query facts
+    fn journal_outcome(
+        &self,
+        query: &Graph,
+        kind: QueryKind,
+        answer: &gc_graph::BitSet,
+        base_tests: u64,
+        base_cost: u64,
+        now: u64,
+        outcome: &AdmitOutcome,
+    ) {
+        let Some(store) = self.store.as_ref() else { return };
+        let admits_since = if outcome.admitted.is_some() {
+            self.admits_since_snapshot.fetch_add(1, Ordering::Relaxed) + 1
+        } else {
+            self.admits_since_snapshot.load(Ordering::Relaxed)
+        };
+        let due = persist::journal_outcome(
+            store,
+            &self.config,
+            admits_since,
+            query,
+            kind,
+            answer,
+            base_tests,
+            base_cost,
+            now,
+            outcome.admitted,
+            &outcome.evicted,
+        );
+        if due {
+            if let Err(e) = self.snapshot_now() {
+                eprintln!("graphcache: auto-snapshot failed ({e})");
+            }
+        }
     }
 
     /// Serve an exact hit from `home`; `None` if the entry vanished between
@@ -349,6 +421,186 @@ impl SharedGraphCache {
         Some(pipeline::exact_report(answer, kind, base_tests, elapsed))
     }
 
+    // ---- durable state (snapshot + journal) -------------------------------
+
+    /// Attach a persistence store: writes an initial snapshot of the
+    /// current state (establishing the journal's base), then journals
+    /// every admission/eviction and honours the config's
+    /// `snapshot_interval` / `journal_max_bytes` auto-snapshot knobs.
+    ///
+    /// Takes `&mut self`, so attach before sharing the cache behind an
+    /// `Arc` (construction-time wiring, like the policy).
+    pub fn attach_store(&mut self, store: Arc<CacheStore>) -> Result<SnapshotInfo, String> {
+        self.store = Some(store);
+        self.snapshot_now().map(|info| info.expect("store just attached"))
+    }
+
+    /// Snapshot the whole cache to the attached store, quiescing **one
+    /// shard at a time**: each shard's entries are captured under its read
+    /// lock while queries on every other shard proceed untouched.
+    ///
+    /// The union is a *fuzzy* cut, not a single instant's: an admission
+    /// racing the rotation (mutated in its shard after that shard's
+    /// capture, journal append discarded by the rotation) can be absent
+    /// from both the snapshot and the surviving journal. This is
+    /// warmth-only — every captured entry is a self-contained verified
+    /// answer set, replay tolerates the overlaps, and a lost in-flight
+    /// admission is simply re-executed after a restart. The sequential
+    /// runtime's exact `restore(snapshot(cache)) ≡ cache` guarantee
+    /// applies to the sharded front-end only when rotation does not race
+    /// queries (shutdown snapshots, or a [`crate::Snapshotter`] tick in a
+    /// quiet period); a linearizable concurrent cut is a ROADMAP item.
+    ///
+    /// Returns `Ok(None)` when no store is attached or another thread's
+    /// snapshot is already in flight (single-flight).
+    pub fn snapshot_now(&self) -> Result<Option<SnapshotInfo>, String> {
+        let Some(store) = self.store.as_ref() else { return Ok(None) };
+        if self.snapshotting.swap(true, Ordering::Acquire) {
+            return Ok(None);
+        }
+        let result = {
+            let mut entries: Vec<EntryRecord> = Vec::new();
+            for (si, shard) in self.shards.iter().enumerate() {
+                let state = shard.state.read();
+                for e in state.cache.iter() {
+                    let mut rec = persist::entry_to_record(e);
+                    rec.orig_id = encode_entry_id(si, e.id);
+                    entries.push(rec);
+                }
+            }
+            let doc = persist::build_doc(
+                &self.dataset,
+                &self.stats.snapshot(),
+                &self.cost,
+                self.clock.load(Ordering::Relaxed),
+                0, // per-shard window pending is not persisted (resets on restart)
+                self.policy_name,
+                entries.into_iter(),
+            );
+            store.rotate(&doc).map_err(|e| format!("snapshot failed: {e}"))
+        };
+        if result.is_ok() {
+            // Reset only on success: after a failed rotation (e.g. disk
+            // full) the next admission retries instead of waiting out a
+            // whole fresh interval.
+            self.admits_since_snapshot.store(0, Ordering::Relaxed);
+        }
+        self.snapshotting.store(false, Ordering::Release);
+        result.map(Some)
+    }
+
+    /// The attached persistence store, if any.
+    pub fn attached_store(&self) -> Option<&CacheStore> {
+        self.store.as_deref()
+    }
+
+    /// Build a shared cache and warm-restart it from `store`: replay
+    /// snapshot then journal (each restored entry routed to its home shard
+    /// by fingerprint and re-admitted through the normal insert path),
+    /// attach the store, and write a fresh snapshot. Fail-closed like
+    /// [`crate::GraphCache::restore_from`]: anything invalid yields a cold
+    /// cache plus the reason in the [`RecoveryReport`].
+    pub fn restore_from(
+        dataset: Arc<Dataset>,
+        method: Arc<dyn Method>,
+        make_policy: impl Fn() -> Box<dyn ReplacementPolicy>,
+        config: CacheConfig,
+        store: Arc<CacheStore>,
+    ) -> Result<(Self, RecoveryReport), String> {
+        let mut gc = Self::new(dataset, method, make_policy, config)?;
+        let report = gc.restore_state(&store);
+        gc.attach_store(store)?;
+        Ok((gc, report))
+    }
+
+    /// Replay `store`'s recovered state into this (fresh) cache.
+    fn restore_state(&mut self, store: &CacheStore) -> RecoveryReport {
+        let state = match store.load() {
+            LoadOutcome::Cold { reason } => return RecoveryReport::cold(reason),
+            LoadOutcome::Warm(state) => state,
+        };
+        if let Some(report) = persist::dataset_mismatch(&state.doc, &self.dataset) {
+            return report;
+        }
+
+        struct ShardedTarget<'a> {
+            shards: &'a [Shard],
+            now_hint: u64,
+        }
+        impl persist::ReplayTarget for ShardedTarget<'_> {
+            fn insert(&mut self, e: RestoredEntry) -> Option<u32> {
+                let fp = gc_graph::hash::fingerprint(&e.graph);
+                let home = (fp % self.shards.len() as u64) as usize;
+                let shard = &self.shards[home];
+                let mut state = shard.state.write();
+                if probe::find_exact(&state.cache, &e.graph, e.kind).is_some() {
+                    return None; // order-tolerant duplicate skip
+                }
+                let stats = e.stats.clone();
+                let id = state.cache.insert(
+                    e.graph,
+                    e.kind,
+                    e.answer,
+                    e.base_tests,
+                    e.base_cost,
+                    stats.inserted_at,
+                );
+                let slot = state.cache.get_mut(id).expect("just inserted");
+                slot.stats = e.stats;
+                let bytes = state.cache.get(id).expect("just inserted").memory_bytes();
+                shard.policy.lock().on_restore(id, &stats, bytes, self.now_hint);
+                Some(encode_entry_id(home, id))
+            }
+
+            fn evict(&mut self, key: u32) {
+                let (si, local) = SharedGraphCache::decode_entry_id(key);
+                let shard = &self.shards[si];
+                let mut state = shard.state.write();
+                if state.cache.remove(local).is_some() {
+                    shard.policy.lock().on_evict(local);
+                }
+            }
+        }
+
+        let snapshot_entries = state.doc.entries.len();
+        let mut target = ShardedTarget { shards: &self.shards, now_hint: state.doc.clock };
+        let counts = persist::replay(&state, self.dataset.len(), &mut target);
+        self.clock.store(counts.max_now, Ordering::Relaxed);
+
+        // Enforce each shard's capacity share, allowing the legitimate
+        // in-window transient (`+ window_size - 1`) so a same-config
+        // restore reproduces the snapshotted state; only smaller restoring
+        // configs (or different shard routing) trigger a trim.
+        for (si, shard) in self.shards.iter().enumerate() {
+            let mut shard_state = shard.state.write();
+            let mut policy = shard.policy.lock();
+            let allowance = self.limits[si].capacity + self.config.window_size - 1;
+            if shard_state.cache.len() > allowance {
+                let excess = shard_state.cache.len() - self.limits[si].capacity;
+                for victim in policy.victims(excess) {
+                    if shard_state.cache.remove(victim).is_some() {
+                        policy.on_evict(victim);
+                    }
+                }
+            }
+        }
+        self.stats.add(&persist::stats_from_records(&state.doc.stats));
+        for (gid, &(est, observed)) in state.doc.cost.iter().enumerate() {
+            self.cost.restore_estimate(gid, est, observed);
+        }
+
+        RecoveryReport {
+            warm: true,
+            cold_reason: None,
+            generation: state.generation,
+            snapshot_entries,
+            journal_admits: counts.journal_admits,
+            journal_evicts: counts.journal_evicts,
+            entries_restored: self.len(),
+            clock: counts.max_now,
+        }
+    }
+
     // ---- accessors --------------------------------------------------------
 
     /// Run `f` over every shard's cache manager under its read lock, in
@@ -361,9 +613,25 @@ impl SharedGraphCache {
         }
     }
 
-    /// Snapshot of the global statistics.
+    /// Snapshot of the global statistics, with the index-health gauges
+    /// populated by summing every shard's containment-index directory.
     pub fn stats(&self) -> GlobalStats {
-        self.stats.snapshot()
+        let mut s = self.stats.snapshot();
+        let health = self.index_health();
+        s.distinct_features = health.distinct_features as u64;
+        s.tombstoned_slots = health.tombstoned_slots as u64;
+        s
+    }
+
+    /// Point-in-time index-health gauges, summed across shards (each shard
+    /// read under its own lock, like [`SharedGraphCache::for_each_shard`]).
+    pub fn index_health(&self) -> IndexHealth {
+        let mut health = IndexHealth::default();
+        self.for_each_shard(|_, cm| {
+            health.distinct_features += cm.index().distinct_features();
+            health.tombstoned_slots += cm.index().tombstoned_slots();
+        });
+        health
     }
 
     /// Shared handle to the Statistics Monitor (lock-free).

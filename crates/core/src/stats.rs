@@ -50,6 +50,16 @@ pub struct GlobalStats {
     pub admission_rejected: u64,
     /// Total wall-clock time inside `query()`.
     pub total_time: Duration,
+    /// Index-health *gauge* (not a counter): distinct live feature hashes
+    /// in the containment index's posting directory. Populated at snapshot
+    /// time by [`crate::GraphCache::stats`] / [`crate::SharedGraphCache::stats`];
+    /// always 0 in per-query deltas and ignored by [`StatsMonitor::add`].
+    pub distinct_features: u64,
+    /// Index-health *gauge*: tombstoned (evicted, not yet compacted) slots
+    /// in the posting directory — the compaction-debt signal of the lazy
+    /// directory maintenance. Same snapshot-time semantics as
+    /// [`GlobalStats::distinct_features`].
+    pub tombstoned_slots: u64,
 }
 
 impl GlobalStats {
@@ -79,6 +89,18 @@ impl GlobalStats {
         } else {
             self.total_time / self.queries as u32
         }
+    }
+
+    /// Tombstoned fraction of the containment-index directory — the
+    /// compaction-health gauge dashboards plot. Delegates to
+    /// [`crate::report::IndexHealth::tombstone_ratio`], the single home of
+    /// the formula.
+    pub fn tombstone_ratio(&self) -> f64 {
+        crate::report::IndexHealth {
+            distinct_features: self.distinct_features as usize,
+            tombstoned_slots: self.tombstoned_slots as usize,
+        }
+        .tombstone_ratio()
     }
 }
 
@@ -236,11 +258,27 @@ mod tests {
             evicted: 14,
             admission_rejected: 15,
             total_time: Duration::from_nanos(16),
+            // Gauges: never accumulated by the monitor (set at snapshot
+            // time by the runtimes, not by `add`).
+            distinct_features: 0,
+            tombstoned_slots: 0,
         };
         m.add(&delta);
         assert_eq!(m.snapshot(), delta);
         m.add(&delta);
         assert_eq!(m.snapshot().total_time, Duration::from_nanos(32));
+    }
+
+    #[test]
+    fn gauges_pass_through_ratio() {
+        let s = GlobalStats { distinct_features: 30, tombstoned_slots: 10, ..Default::default() };
+        assert!((s.tombstone_ratio() - 0.25).abs() < 1e-12);
+        assert_eq!(GlobalStats::default().tombstone_ratio(), 0.0);
+        // Gauge fields in a published delta are ignored by the monitor.
+        let m = StatsMonitor::new();
+        m.add(&s);
+        assert_eq!(m.snapshot().distinct_features, 0);
+        assert_eq!(m.snapshot().tombstoned_slots, 0);
     }
 
     #[test]

@@ -41,6 +41,13 @@ impl WindowManager {
         self.since_close
     }
 
+    /// Restore the pending-admission count from a persistence snapshot
+    /// (reduced modulo the window size, so a snapshot taken under a
+    /// different window configuration still restores sanely).
+    pub fn restore_pending(&mut self, pending: usize) {
+        self.since_close = pending % self.size;
+    }
+
     /// Record one admission; returns `true` when the window just closed
     /// (the caller must then run the replacement sweep).
     pub fn on_admit(&mut self) -> bool {

@@ -1,0 +1,431 @@
+//! Durable cache state: snapshot + journal persistence with warm restarts.
+//!
+//! Covers the recovery contract end to end:
+//!
+//! * `restore(snapshot(cache)) ≡ cache` — answers and warmth — under
+//!   randomized workloads (property test);
+//! * journal replay reconstructs the exact live entry set (snapshot +
+//!   journaled admissions/evictions), with **zero recomputed admissions**;
+//! * bit-flipped, truncated and mid-record-torn snapshot/journal files are
+//!   rejected and fall back to a *cold but correct* start;
+//! * cross-runtime restores (sequential ⇄ sharded) work, because the
+//!   on-disk format is decoupled from the in-memory layout.
+
+use gc_core::persist::CacheStore;
+use gc_core::{CacheConfig, GraphCache, PolicyKind, SharedGraphCache};
+use gc_method::{execute_base, Dataset, Engine, QueryKind, SiMethod};
+use gc_workload::{molecule_dataset, Workload, WorkloadKind, WorkloadSpec};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gc_warm_restart_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn dataset(n: usize, seed: u64) -> Arc<Dataset> {
+    Arc::new(Dataset::new(molecule_dataset(n, seed)))
+}
+
+fn workload(ds: &Arc<Dataset>, n_queries: usize, seed: u64) -> Workload {
+    let spec = WorkloadSpec {
+        n_queries,
+        pool_size: 18,
+        kind: WorkloadKind::Zipf { skew: 1.1 },
+        seed,
+        ..WorkloadSpec::default()
+    };
+    Workload::generate(ds.graphs(), &spec)
+}
+
+fn config() -> CacheConfig {
+    CacheConfig { capacity: 24, window_size: 3, ..CacheConfig::default() }
+}
+
+fn session(ds: &Arc<Dataset>, cfg: CacheConfig) -> GraphCache {
+    GraphCache::with_policy(ds.clone(), Box::new(SiMethod), PolicyKind::Hd, cfg).unwrap()
+}
+
+/// Multiset of (fingerprint, kind) over a sequential cache's live entries —
+/// the state signature restores are checked against.
+fn entry_signature(gc: &GraphCache) -> Vec<(u64, QueryKind)> {
+    let mut sig: Vec<_> = gc.cache().iter().map(|e| (e.fingerprint, e.kind)).collect();
+    sig.sort_unstable_by_key(|&(fp, k)| (fp, k as u8));
+    sig
+}
+
+fn shared_signature(gc: &SharedGraphCache) -> Vec<(u64, QueryKind)> {
+    let mut sig = Vec::new();
+    gc.for_each_shard(|_, cm| {
+        sig.extend(cm.iter().map(|e| (e.fingerprint, e.kind)));
+    });
+    sig.sort_unstable_by_key(|&(fp, k)| (fp, k as u8));
+    sig
+}
+
+#[test]
+fn snapshot_plus_journal_reconstructs_exact_state() {
+    let ds = dataset(30, 11);
+    let w = workload(&ds, 120, 5);
+    let dir = tmpdir("reconstruct");
+
+    // Session A: persistence attached from the start, auto-snapshot every 16
+    // admissions so the final state is snapshot + a journal tail.
+    let cfg = CacheConfig { snapshot_interval: Some(16), ..config() };
+    let store = Arc::new(CacheStore::open(&dir).unwrap());
+    let (mut a, first) = GraphCache::restore_from(
+        ds.clone(),
+        Box::new(SiMethod),
+        PolicyKind::Hd.make(),
+        cfg.clone(),
+        store,
+    )
+    .unwrap();
+    assert!(!first.warm, "fresh directory must start cold");
+    for wq in &w.queries {
+        a.query(&wq.graph, wq.kind);
+    }
+    let a_sig = entry_signature(&a);
+    let a_stats = a.stats();
+    assert!(a.attached_store().unwrap().journal_records() > 0, "journal tail must be non-empty");
+    // Simulate a crash: drop A without a final snapshot. The OS buffers are
+    // per-process, so flush the journal file first (a real deployment
+    // fsyncs on its own cadence).
+    a.attached_store().unwrap().sync().unwrap();
+    drop(a);
+
+    // Session B: warm restart.
+    let store = Arc::new(CacheStore::open(&dir).unwrap());
+    let (mut b, report) =
+        GraphCache::restore_from(ds.clone(), Box::new(SiMethod), PolicyKind::Hd.make(), cfg, store)
+            .unwrap();
+    assert!(report.warm, "valid store must restore warm: {:?}", report.cold_reason);
+    assert!(report.journal_admits > 0, "the journal tail must have been replayed");
+    assert_eq!(entry_signature(&b), a_sig, "restored entry set must match the crashed session");
+
+    // Warm statistics carried over (as of the last auto-snapshot — the
+    // journal carries state, not per-query counters).
+    let b_stats = b.stats();
+    assert!(b_stats.queries > 0, "restored statistics must be warm");
+    assert!(b_stats.queries <= a_stats.queries);
+
+    // Zero recomputed admissions: every entry that was live at the crash is
+    // an exact hit now, served without re-execution or re-admission.
+    let cached: Vec<_> = b.cache().iter().map(|e| (e.graph.clone(), e.kind)).collect();
+    for (graph, kind) in cached {
+        let r = b.query(&graph, kind);
+        assert!(r.exact_hit, "restored entry must serve an exact hit");
+        assert!(r.admitted.is_none(), "exact hits must not re-admit");
+        assert_eq!(r.answer, execute_base(&ds, &SiMethod, Engine::Vf2, &graph, kind).answer);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_and_cold_answers_are_identical() {
+    let ds = dataset(26, 21);
+    let warmup = workload(&ds, 80, 9);
+    let probe = workload(&ds, 40, 77);
+    let dir = tmpdir("equivalence");
+
+    let store = Arc::new(CacheStore::open(&dir).unwrap());
+    let mut a = session(&ds, config());
+    for wq in &warmup.queries {
+        a.query(&wq.graph, wq.kind);
+    }
+    a.snapshot_to(&store).unwrap();
+    drop(a);
+
+    let (mut warm, report) = GraphCache::restore_from(
+        ds.clone(),
+        Box::new(SiMethod),
+        PolicyKind::Hd.make(),
+        config(),
+        Arc::new(CacheStore::open(&dir).unwrap()),
+    )
+    .unwrap();
+    assert!(report.warm);
+    let mut cold = session(&ds, config());
+
+    let mut warm_hits = 0u64;
+    for wq in &probe.queries {
+        let rw = warm.query(&wq.graph, wq.kind);
+        let rc = cold.query(&wq.graph, wq.kind);
+        assert_eq!(rw.answer, rc.answer, "warm and cold answers must be identical");
+        warm_hits += u64::from(rw.any_hit());
+    }
+    assert!(warm_hits > 0, "a warm restart must actually hit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- corruption injection ----------------------------------------------------
+
+fn snapshot_path(dir: &Path) -> PathBuf {
+    dir.join("snapshot.gcs")
+}
+
+fn journal_path(dir: &Path) -> PathBuf {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "gcj"))
+        .expect("journal file present")
+}
+
+/// Build a store directory with a snapshot and a non-empty journal tail.
+fn persisted_dir(tag: &str, ds: &Arc<Dataset>) -> PathBuf {
+    let dir = tmpdir(tag);
+    let store = Arc::new(CacheStore::open(&dir).unwrap());
+    let mut gc = session(ds, config());
+    let w = workload(ds, 60, 3);
+    for wq in w.queries.iter().take(30) {
+        gc.query(&wq.graph, wq.kind);
+    }
+    gc.attach_store(store).unwrap(); // snapshot of the first 30 queries
+    for wq in w.queries.iter().skip(30) {
+        gc.query(&wq.graph, wq.kind); // journaled tail
+    }
+    assert!(gc.attached_store().unwrap().journal_records() > 0);
+    gc.attached_store().unwrap().sync().unwrap();
+    dir
+}
+
+/// Restore from `dir` and assert a cold-but-correct start.
+fn assert_cold_but_correct(dir: &Path, ds: &Arc<Dataset>, what: &str) {
+    let (mut gc, report) = GraphCache::restore_from(
+        ds.clone(),
+        Box::new(SiMethod),
+        PolicyKind::Hd.make(),
+        config(),
+        Arc::new(CacheStore::open(dir).unwrap()),
+    )
+    .unwrap();
+    assert!(!report.warm, "{what}: corruption must fail closed to a cold start");
+    assert!(report.cold_reason.is_some(), "{what}: reason must be reported");
+    assert!(gc.is_empty(), "{what}: cold cache must be empty");
+    // Correctness is unaffected: the cold cache answers exactly.
+    let q = &workload(ds, 5, 1).queries[0];
+    let r = gc.query(&q.graph, q.kind);
+    assert_eq!(
+        r.answer,
+        execute_base(ds, &SiMethod, Engine::Vf2, &q.graph, q.kind).answer,
+        "{what}"
+    );
+}
+
+#[test]
+fn corrupted_files_fall_back_to_cold_start() {
+    let ds = dataset(22, 31);
+
+    // Baseline: the directory restores warm before corruption.
+    {
+        let dir = persisted_dir("baseline", &ds);
+        let (_, report) = GraphCache::restore_from(
+            ds.clone(),
+            Box::new(SiMethod),
+            PolicyKind::Hd.make(),
+            config(),
+            Arc::new(CacheStore::open(&dir).unwrap()),
+        )
+        .unwrap();
+        assert!(report.warm, "sanity: uncorrupted dir restores warm");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Bit flips at several positions in the snapshot.
+    for pos_frac in [0.1, 0.5, 0.9] {
+        let dir = persisted_dir("snap_flip", &ds);
+        let path = snapshot_path(&dir);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 0x20;
+        std::fs::write(&path, bytes).unwrap();
+        assert_cold_but_correct(&dir, &ds, "snapshot bit flip");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Truncated snapshot (torn write).
+    let dir = persisted_dir("snap_trunc", &ds);
+    let path = snapshot_path(&dir);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+    assert_cold_but_correct(&dir, &ds, "truncated snapshot");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Missing journal for the snapshot's generation.
+    let dir = persisted_dir("jrnl_missing", &ds);
+    std::fs::remove_file(journal_path(&dir)).unwrap();
+    assert_cold_but_correct(&dir, &ds, "missing journal");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Bit flip inside the journal.
+    let dir = persisted_dir("jrnl_flip", &ds);
+    let path = journal_path(&dir);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    std::fs::write(&path, bytes).unwrap();
+    assert_cold_but_correct(&dir, &ds, "journal bit flip");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Mid-record tear: cut the journal a few bytes into its last record.
+    let dir = persisted_dir("jrnl_tear", &ds);
+    let path = journal_path(&dir);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+    assert_cold_but_correct(&dir, &ds, "mid-record journal tear");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_from_different_dataset_is_rejected() {
+    let ds_a = dataset(20, 1);
+    let ds_b = dataset(20, 2); // same size, different graphs
+    let dir = persisted_dir("foreign", &ds_a);
+    assert_cold_but_correct(&dir, &ds_b, "foreign dataset");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- sharded front-end -------------------------------------------------------
+
+#[test]
+fn shared_cache_snapshots_and_restores() {
+    let ds = dataset(28, 41);
+    let w = workload(&ds, 90, 13);
+    let dir = tmpdir("shared");
+    let cfg = CacheConfig { shards: 4, ..config() };
+
+    let store = Arc::new(CacheStore::open(&dir).unwrap());
+    let mut a =
+        SharedGraphCache::with_policy(ds.clone(), Box::new(SiMethod), PolicyKind::Hd, cfg.clone())
+            .unwrap();
+    a.attach_store(Arc::clone(&store)).unwrap();
+    let a = Arc::new(a);
+    // Hammer from several threads while journaling.
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let a = Arc::clone(&a);
+            let queries = &w.queries;
+            scope.spawn(move || {
+                for wq in queries.iter().skip(t).step_by(4) {
+                    a.query(&wq.graph, wq.kind);
+                }
+            });
+        }
+    });
+    let a_sig = shared_signature(&a);
+    store.sync().unwrap();
+    drop(a);
+
+    // Restore into a new shared cache (crash semantics: snapshot + journal).
+    let (b, report) = SharedGraphCache::restore_from(
+        ds.clone(),
+        Arc::new(SiMethod),
+        || PolicyKind::Hd.make(),
+        cfg.clone(),
+        Arc::new(CacheStore::open(&dir).unwrap()),
+    )
+    .unwrap();
+    assert!(report.warm, "shared restore must be warm: {:?}", report.cold_reason);
+    assert_eq!(shared_signature(&b), a_sig, "restored shard union must match");
+
+    // Restored entries serve exact hits with exact answers.
+    let mut checked = 0;
+    let mut to_check = Vec::new();
+    b.for_each_shard(|_, cm| {
+        to_check.extend(cm.iter().take(3).map(|e| (e.graph.clone(), e.kind)));
+    });
+    for (graph, kind) in to_check {
+        let r = b.query(&graph, kind);
+        assert!(r.exact_hit);
+        assert_eq!(r.answer, execute_base(&ds, &SiMethod, Engine::Vf2, &graph, kind).answer);
+        checked += 1;
+    }
+    assert!(checked > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cross_runtime_restore_shared_to_sequential() {
+    // The on-disk format is runtime-agnostic: a store written by the
+    // sharded front-end restores into the sequential runtime (and keeps
+    // its entries), because replay goes through the normal insert paths.
+    let ds = dataset(24, 51);
+    let w = workload(&ds, 60, 23);
+    let dir = tmpdir("cross");
+    let cfg = CacheConfig { shards: 4, ..config() };
+
+    let store = Arc::new(CacheStore::open(&dir).unwrap());
+    let mut shared =
+        SharedGraphCache::with_policy(ds.clone(), Box::new(SiMethod), PolicyKind::Hd, cfg).unwrap();
+    for wq in &w.queries {
+        shared.query(&wq.graph, wq.kind);
+    }
+    shared.attach_store(store).unwrap();
+    let shared_sig = shared_signature(&shared);
+    drop(shared);
+
+    let (seq, report) = GraphCache::restore_from(
+        ds.clone(),
+        Box::new(SiMethod),
+        PolicyKind::Hd.make(),
+        config(),
+        Arc::new(CacheStore::open(&dir).unwrap()),
+    )
+    .unwrap();
+    assert!(report.warm);
+    assert_eq!(entry_signature(&seq), shared_sig);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- property: restore(snapshot(cache)) ≡ cache ------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn restore_of_snapshot_preserves_state_and_answers(
+        ds_seed in 0u64..1000,
+        w_seed in 0u64..1000,
+        n_queries in 20usize..70,
+        capacity in 4usize..32,
+    ) {
+        let ds = dataset(20, ds_seed);
+        let w = workload(&ds, n_queries, w_seed);
+        let cfg = CacheConfig { capacity, window_size: 2, ..CacheConfig::default() };
+        let dir = tmpdir(&format!("prop_{ds_seed}_{w_seed}_{n_queries}_{capacity}"));
+
+        let mut a = session(&ds, cfg.clone());
+        for wq in &w.queries {
+            a.query(&wq.graph, wq.kind);
+        }
+        let store = Arc::new(CacheStore::open(&dir).unwrap());
+        a.snapshot_to(&store).unwrap();
+
+        let (mut b, report) = GraphCache::restore_from(
+            ds.clone(),
+            Box::new(SiMethod),
+            PolicyKind::Hd.make(),
+            cfg,
+            store,
+        ).unwrap();
+        prop_assert!(report.warm);
+        prop_assert_eq!(report.entries_restored, a.len());
+        prop_assert_eq!(entry_signature(&b), entry_signature(&a));
+
+        // Every cached entry answers exactly, as an exact hit, without
+        // re-admission — and identically to the pre-restart cache.
+        let cached: Vec<_> = a.cache().iter().map(|e| (e.graph.clone(), e.kind)).collect();
+        for (graph, kind) in cached {
+            let ra = a.query(&graph, kind);
+            let rb = b.query(&graph, kind);
+            prop_assert!(rb.exact_hit);
+            prop_assert_eq!(&ra.answer, &rb.answer);
+            prop_assert_eq!(&rb.answer, &execute_base(&ds, &SiMethod, Engine::Vf2, &graph, kind).answer);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

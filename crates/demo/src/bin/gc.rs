@@ -7,14 +7,23 @@
 //! gc run      --dataset ds.tve [--queries 300] [--workload zipf|uniform|drift]
 //!             [--policy HD] [--capacity 50] [--feature-size 2] [--dev]
 //!             [--clients 8] [--check]   # N>1: concurrent SharedGraphCache mode
+//!             [--snapshot-dir state/]   # warm-restart + journal + snapshot
+//! gc save     --dataset ds.tve --snapshot-dir state/   # run + persist
+//! gc load     --dataset ds.tve --snapshot-dir state/   # restore + dashboards
 //! gc journey  --dataset ds.tve [--seed 7]
 //! gc compare  --dataset ds.tve [--queries 300] [--workload zipf]
 //! ```
 //!
+//! With `--snapshot-dir`, `run` restores the cache from the directory's
+//! snapshot + journal (cold on first use or after corruption — recovery is
+//! fail-closed), journals this run's admissions/evictions, and writes a
+//! fresh snapshot at exit, so consecutive runs keep their warm hit ratio.
+//!
 //! Datasets are plain `t/v/e` text files (the AIDS/gSpan format), so real
 //! datasets drop in directly.
 
-use gc_core::{CacheConfig, GraphCache, PolicyKind};
+use gc_core::persist::CacheStore;
+use gc_core::{CacheConfig, GraphCache, PolicyKind, RecoveryReport};
 use gc_demo::{
     developer_monitor, end_user_monitor, run_multi_client, run_query_journey,
     run_workload_comparison,
@@ -86,20 +95,60 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cache_config(flags: &HashMap<String, String>) -> CacheConfig {
+    CacheConfig {
+        capacity: get(flags, "capacity", 50),
+        window_size: get(flags, "window", 10),
+        snapshot_interval: flags.get("snapshot-interval").and_then(|v| v.parse().ok()),
+        journal_max_bytes: flags.get("journal-max-bytes").and_then(|v| v.parse().ok()),
+        ..CacheConfig::default()
+    }
+}
+
 fn build_cache(
     dataset: &Arc<Dataset>,
     flags: &HashMap<String, String>,
 ) -> Result<GraphCache, String> {
     let policy: PolicyKind =
         flags.get("policy").map(|p| p.parse()).transpose()?.unwrap_or(PolicyKind::Hd);
-    let capacity: usize = get(flags, "capacity", 50);
     let feature_size: usize = get(flags, "feature-size", 2);
     GraphCache::with_policy(
         dataset.clone(),
         Box::new(FtvMethod::build(dataset, feature_size)),
         policy,
-        CacheConfig { capacity, window_size: get(flags, "window", 10), ..CacheConfig::default() },
+        cache_config(flags),
     )
+}
+
+/// Build a cache warm-restarted from `--snapshot-dir` (journaling stays
+/// attached, so the session's admissions persist too).
+fn build_persistent_cache(
+    dataset: &Arc<Dataset>,
+    flags: &HashMap<String, String>,
+    dir: &str,
+) -> Result<(GraphCache, RecoveryReport), String> {
+    let policy: PolicyKind =
+        flags.get("policy").map(|p| p.parse()).transpose()?.unwrap_or(PolicyKind::Hd);
+    let feature_size: usize = get(flags, "feature-size", 2);
+    let store = Arc::new(CacheStore::open(dir).map_err(|e| format!("{dir}: {e}"))?);
+    GraphCache::restore_from(
+        dataset.clone(),
+        Box::new(FtvMethod::build(dataset, feature_size)),
+        policy.make(),
+        cache_config(flags),
+        store,
+    )
+}
+
+fn finish_snapshot(gc: &mut GraphCache) -> Result<(), String> {
+    let info = gc.snapshot_now()?;
+    println!(
+        "[Persistence] snapshot generation {} written: {} entries, {} KiB",
+        info.generation,
+        info.entries,
+        info.snapshot_bytes / 1024
+    );
+    Ok(())
 }
 
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -116,6 +165,11 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     // Multi-client mode: stripe the workload over N threads hammering one
     // SharedGraphCache (optionally cross-checking answers with --check).
     let clients: usize = get(flags, "clients", 1);
+    if clients > 1 && flags.contains_key("snapshot-dir") {
+        return Err("--snapshot-dir is a single-client (sequential) feature; \
+                    drop --clients or the snapshot dir"
+            .into());
+    }
     if clients > 1 {
         let policy: PolicyKind =
             flags.get("policy").map(|p| p.parse()).transpose()?.unwrap_or(PolicyKind::Hd);
@@ -141,13 +195,48 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         return Ok(());
     }
 
-    let mut gc = build_cache(&dataset, flags)?;
+    let snapshot_dir = flags.get("snapshot-dir").cloned();
+    let mut gc = match &snapshot_dir {
+        Some(dir) => {
+            let (gc, recovery) = build_persistent_cache(&dataset, flags, dir)?;
+            println!("[Persistence] {}", recovery.describe());
+            gc
+        }
+        None => build_cache(&dataset, flags)?,
+    };
     for wq in &workload.queries {
         gc.query(&wq.graph, wq.kind);
     }
     println!("{}", end_user_monitor(&gc));
     if flags.contains_key("dev") {
         println!("{}", developer_monitor(&gc, get(flags, "top", 15)));
+    }
+    if snapshot_dir.is_some() {
+        finish_snapshot(&mut gc)?;
+    }
+    Ok(())
+}
+
+/// `gc save`: run a workload and persist the warm cache — `gc run` with a
+/// mandatory snapshot dir and a closing snapshot.
+fn cmd_save(flags: &HashMap<String, String>) -> Result<(), String> {
+    if !flags.contains_key("snapshot-dir") {
+        return Err("missing --snapshot-dir <dir>".into());
+    }
+    cmd_run(flags)
+}
+
+/// `gc load`: warm-restart from a snapshot dir and show what came back,
+/// without running any workload.
+fn cmd_load(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = flags.get("snapshot-dir").ok_or("missing --snapshot-dir <dir>")?;
+    let dataset = load_dataset(flags)?;
+    let (gc, recovery) = build_persistent_cache(&dataset, flags, dir)?;
+    println!("[Persistence] {}", recovery.describe());
+    println!("{}", end_user_monitor(&gc));
+    println!("{}", developer_monitor(&gc, get(flags, "top", 15)));
+    if !recovery.warm {
+        return Err(recovery.cold_reason.unwrap_or_else(|| "cold start".into()));
     }
     Ok(())
 }
@@ -198,11 +287,15 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: gc <generate|run|journey|compare> [--flag value]...
+const USAGE: &str = "usage: gc <generate|run|save|load|journey|compare> [--flag value]...
   gc generate --out ds.tve [--count N] [--seed S] [--model molecules|er|ba]
   gc run      --dataset ds.tve [--queries N] [--workload zipf|uniform|drift]
               [--policy LRU|POP|PIN|PINC|HD] [--capacity N] [--feature-size L] [--dev]
               [--clients N] [--check]   (N>1: concurrent SharedGraphCache mode)
+              [--snapshot-dir DIR [--snapshot-interval N] [--journal-max-bytes B]]
+              (DIR: warm-restart from it, journal this run, snapshot at exit)
+  gc save     --dataset ds.tve --snapshot-dir DIR [run flags]  (run + persist)
+  gc load     --dataset ds.tve --snapshot-dir DIR  (restore + show dashboards)
   gc journey  --dataset ds.tve [--seed S]
   gc compare  --dataset ds.tve [--queries N] [--workload ...] [--capacity N]";
 
@@ -216,6 +309,8 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&flags),
         "run" => cmd_run(&flags),
+        "save" => cmd_save(&flags),
+        "load" => cmd_load(&flags),
         "journey" => cmd_journey(&flags),
         "compare" => cmd_compare(&flags),
         "help" | "--help" | "-h" => {

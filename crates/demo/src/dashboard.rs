@@ -51,7 +51,14 @@ pub fn end_user_monitor(gc: &GraphCache) -> String {
         gc.config().window_size,
         s.admission_rejected
     ));
-    out.push_str(&format!("  cache memory           : {} KiB\n", gc.memory_bytes() / 1024));
+    out.push_str(&format!("  cache memory           : {} KiB\n\n", gc.memory_bytes() / 1024));
+    out.push_str("[Index Health]\n");
+    out.push_str(&format!("  distinct features      : {}\n", s.distinct_features));
+    out.push_str(&format!(
+        "  tombstoned slots       : {} ({:.1}% of directory; compacted lazily)\n",
+        s.tombstoned_slots,
+        100.0 * s.tombstone_ratio()
+    ));
     out
 }
 
@@ -137,10 +144,24 @@ mod tests {
     fn end_user_panels_present() {
         let gc = warmed();
         let txt = end_user_monitor(&gc);
-        for section in ["[Sub-Iso Testing]", "[Query Time]", "[Cache Replacement]"] {
+        for section in
+            ["[Sub-Iso Testing]", "[Query Time]", "[Cache Replacement]", "[Index Health]"]
+        {
             assert!(txt.contains(section), "missing {section}");
         }
         assert!(txt.contains("hit ratio"));
+        assert!(txt.contains("distinct features"));
+        assert!(txt.contains("tombstoned slots"));
+    }
+
+    #[test]
+    fn index_health_gauges_track_the_live_index() {
+        let gc = warmed();
+        let s = gc.stats();
+        let h = gc.index_health();
+        assert_eq!(s.distinct_features, h.distinct_features as u64);
+        assert_eq!(s.tombstoned_slots, h.tombstoned_slots as u64);
+        assert!(h.distinct_features > 0, "a warmed cache indexes features");
     }
 
     #[test]

@@ -120,6 +120,17 @@ impl Dataset {
         &self.graphs
     }
 
+    /// Order-sensitive content fingerprint of the whole dataset: a hash of
+    /// the dataset size and every graph's WL fingerprint, in id order.
+    /// Persistence snapshots record it so cached answer sets are never
+    /// restored over a different (or reordered) dataset.
+    pub fn content_fingerprint(&self) -> u64 {
+        gc_graph::hash::hash_seq(
+            std::iter::once(self.graphs.len() as u64)
+                .chain(self.graphs.iter().map(gc_graph::hash::fingerprint)),
+        )
+    }
+
     /// Global label frequency across the dataset (index = label value);
     /// steers matcher search orders toward rare labels.
     pub fn label_freq(&self) -> &[u32] {

@@ -1,0 +1,335 @@
+//! The append-only admission/eviction journal.
+//!
+//! Between snapshots, every admission and eviction is appended as one
+//! length-prefixed, CRC-guarded record, so `snapshot + journal replay`
+//! always reconstructs the cache state without re-executing (or
+//! re-verifying) a single query. Each journal file belongs to exactly one
+//! snapshot generation — the file is named `journal-<gen>.gcj` and its
+//! header repeats the generation, the dataset fingerprint and the universe,
+//! so a journal can never be replayed over the wrong base.
+//!
+//! ## File layout
+//!
+//! ```text
+//! magic "GCJRNL01"   8 bytes
+//! version            u32
+//! generation         u64
+//! dataset fp         u64
+//! universe           u64
+//! header crc64       u64     (over everything before it)
+//! record*            each:  len u32 ‖ crc64(payload) u64 ‖ payload
+//! ```
+//!
+//! Reading is strict fail-closed: a bad header, a record whose declared
+//! length overruns the file (a torn append), a checksum mismatch (a bit
+//! flip) or trailing payload bytes reject the **whole** journal and the
+//! recovery path starts cold. The journal never risks a wrong answer — at
+//! worst it costs warmth.
+
+use crate::snapshot::{get_answer, get_graph, get_kind, put_answer, put_graph, put_kind};
+use crate::wire::{crc64, ByteReader, ByteWriter, WireError, WireResult};
+use gc_graph::Graph;
+use gc_method::QueryKind;
+
+/// Magic prefix of journal files.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"GCJRNL01";
+
+/// Identity a journal binds to: its snapshot generation and dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Snapshot generation this journal extends.
+    pub generation: u64,
+    /// Dataset content fingerprint.
+    pub dataset_fingerprint: u64,
+    /// Dataset size (answer universe).
+    pub universe: u64,
+}
+
+/// A cache mutation to append, borrowing the runtime's data (no clones on
+/// the admission path). The owned reader-side twin is [`JournalRecord`].
+#[derive(Debug, Clone, Copy)]
+pub enum JournalOp<'a> {
+    /// An entry was admitted.
+    Admit {
+        /// Entry id in the originating cache (shard-encoded when sharded).
+        orig_id: u32,
+        /// Logical admission time.
+        now: u64,
+        /// Query kind.
+        kind: QueryKind,
+        /// `|C_M|` of the executed query.
+        base_tests: u64,
+        /// Verifier steps of the executed query.
+        base_cost: u64,
+        /// The admitted query graph.
+        graph: &'a Graph,
+        /// Sorted member indices of the exact answer set.
+        answer: &'a [u32],
+    },
+    /// An entry was evicted.
+    Evict {
+        /// Entry id in the originating cache.
+        orig_id: u32,
+        /// Logical eviction time.
+        now: u64,
+    },
+}
+
+/// An owned, decoded journal record.
+#[derive(Debug, Clone)]
+pub enum JournalRecord {
+    /// An entry was admitted.
+    Admit {
+        /// Entry id in the originating cache.
+        orig_id: u32,
+        /// Logical admission time.
+        now: u64,
+        /// Query kind.
+        kind: QueryKind,
+        /// `|C_M|` of the executed query.
+        base_tests: u64,
+        /// Verifier steps of the executed query.
+        base_cost: u64,
+        /// The admitted query graph.
+        graph: Graph,
+        /// Sorted member indices of the exact answer set.
+        answer: Vec<u32>,
+    },
+    /// An entry was evicted.
+    Evict {
+        /// Entry id in the originating cache.
+        orig_id: u32,
+        /// Logical eviction time.
+        now: u64,
+    },
+}
+
+const TAG_ADMIT: u8 = 1;
+const TAG_EVICT: u8 = 2;
+
+/// Encode the journal file header.
+pub fn encode_header(h: &JournalHeader) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_raw(JOURNAL_MAGIC);
+    w.put_u32(crate::snapshot::FORMAT_VERSION);
+    w.put_u64(h.generation);
+    w.put_u64(h.dataset_fingerprint);
+    w.put_u64(h.universe);
+    let crc = crc64(w.as_bytes());
+    w.put_u64(crc);
+    w.into_bytes()
+}
+
+/// Byte length of the encoded header.
+pub const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8;
+
+/// Encode one framed record (`len ‖ crc ‖ payload`).
+pub fn encode_record(op: &JournalOp<'_>) -> Vec<u8> {
+    let mut payload = ByteWriter::new();
+    match *op {
+        JournalOp::Admit { orig_id, now, kind, base_tests, base_cost, graph, answer } => {
+            payload.put_u8(TAG_ADMIT);
+            payload.put_u32(orig_id);
+            payload.put_u64(now);
+            put_kind(&mut payload, kind);
+            payload.put_u64(base_tests);
+            payload.put_u64(base_cost);
+            put_graph(&mut payload, graph);
+            put_answer(&mut payload, answer);
+        }
+        JournalOp::Evict { orig_id, now } => {
+            payload.put_u8(TAG_EVICT);
+            payload.put_u32(orig_id);
+            payload.put_u64(now);
+        }
+    }
+    let mut frame = ByteWriter::new();
+    frame.put_u32(payload.len() as u32);
+    frame.put_u64(crc64(payload.as_bytes()));
+    frame.put_raw(payload.as_bytes());
+    frame.into_bytes()
+}
+
+fn decode_payload(payload: &[u8], universe: u64) -> WireResult<JournalRecord> {
+    let mut r = ByteReader::new(payload);
+    let rec = match r.get_u8()? {
+        TAG_ADMIT => {
+            let orig_id = r.get_u32()?;
+            let now = r.get_u64()?;
+            let kind = get_kind(&mut r)?;
+            let base_tests = r.get_u64()?;
+            let base_cost = r.get_u64()?;
+            let graph = get_graph(&mut r)?;
+            let answer = get_answer(&mut r, universe)?;
+            JournalRecord::Admit { orig_id, now, kind, base_tests, base_cost, graph, answer }
+        }
+        TAG_EVICT => JournalRecord::Evict { orig_id: r.get_u32()?, now: r.get_u64()? },
+        other => return Err(WireError::new(format!("unknown journal record tag {other}"))),
+    };
+    r.expect_end()?;
+    Ok(rec)
+}
+
+/// Decode a complete journal file: header plus every record, strictly.
+pub fn decode_journal(bytes: &[u8]) -> WireResult<(JournalHeader, Vec<JournalRecord>)> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_raw(8)? != JOURNAL_MAGIC {
+        return Err(WireError::new("bad journal magic"));
+    }
+    let version = r.get_u32()?;
+    if version != crate::snapshot::FORMAT_VERSION {
+        return Err(WireError::new(format!("unsupported journal version {version}")));
+    }
+    let header = JournalHeader {
+        generation: r.get_u64()?,
+        dataset_fingerprint: r.get_u64()?,
+        universe: r.get_u64()?,
+    };
+    let stored = r.get_u64()?;
+    if crc64(&bytes[..HEADER_LEN - 8]) != stored {
+        return Err(WireError::new("journal header checksum mismatch"));
+    }
+
+    let mut records = Vec::new();
+    while r.remaining() != 0 {
+        if r.remaining() < 12 {
+            return Err(WireError::new(format!(
+                "torn journal record: {} bytes of frame header",
+                r.remaining()
+            )));
+        }
+        let len = r.get_u32()? as usize;
+        let crc = r.get_u64()?;
+        if r.remaining() < len {
+            return Err(WireError::new(format!(
+                "torn journal record: payload wants {len} bytes, {} remain",
+                r.remaining()
+            )));
+        }
+        let payload = r.get_raw(len)?;
+        if crc64(payload) != crc {
+            return Err(WireError::new(format!(
+                "journal record {} checksum mismatch",
+                records.len()
+            )));
+        }
+        records.push(decode_payload(payload, header.universe)?);
+    }
+    Ok((header, records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+
+    fn header() -> JournalHeader {
+        JournalHeader { generation: 4, dataset_fingerprint: 0xFEED, universe: 6 }
+    }
+
+    fn sample_file() -> Vec<u8> {
+        let g = graph_from_parts(&[Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let mut bytes = encode_header(&header());
+        bytes.extend(encode_record(&JournalOp::Admit {
+            orig_id: 3,
+            now: 11,
+            kind: QueryKind::Subgraph,
+            base_tests: 5,
+            base_cost: 50,
+            graph: &g,
+            answer: &[0, 2, 5],
+        }));
+        bytes.extend(encode_record(&JournalOp::Evict { orig_id: 1, now: 12 }));
+        bytes
+    }
+
+    #[test]
+    fn roundtrip() {
+        let bytes = sample_file();
+        let (h, records) = decode_journal(&bytes).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(records.len(), 2);
+        match &records[0] {
+            JournalRecord::Admit { orig_id, now, base_tests, answer, graph, .. } => {
+                assert_eq!((*orig_id, *now, *base_tests), (3, 11, 5));
+                assert_eq!(answer, &[0, 2, 5]);
+                assert_eq!(graph.vertex_count(), 2);
+            }
+            other => panic!("expected admit, got {other:?}"),
+        }
+        match &records[1] {
+            JournalRecord::Evict { orig_id, now } => assert_eq!((*orig_id, *now), (1, 12)),
+            other => panic!("expected evict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_only_is_empty_journal() {
+        let (h, records) = decode_journal(&encode_header(&header())).unwrap();
+        assert_eq!(h.generation, 4);
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn truncations_rejected_except_record_boundaries() {
+        // Append-only semantics: a cut exactly at a record boundary is
+        // indistinguishable from "fewer appends" and decodes as a valid
+        // *shorter* journal (a sound earlier state). Every other cut —
+        // inside the header or inside a record — must be rejected.
+        let g = graph_from_parts(&[Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let head = encode_header(&header());
+        let rec1 = encode_record(&JournalOp::Admit {
+            orig_id: 3,
+            now: 11,
+            kind: QueryKind::Subgraph,
+            base_tests: 5,
+            base_cost: 50,
+            graph: &g,
+            answer: &[0, 2, 5],
+        });
+        let rec2 = encode_record(&JournalOp::Evict { orig_id: 1, now: 12 });
+        let boundaries =
+            [head.len(), head.len() + rec1.len(), head.len() + rec1.len() + rec2.len()];
+        let bytes: Vec<u8> = [head, rec1, rec2].concat();
+        for cut in 0..=bytes.len() {
+            let result = decode_journal(&bytes[..cut]);
+            if let Some(records) = boundaries.iter().position(|&b| b == cut) {
+                assert_eq!(
+                    result.expect("boundary cut is a valid shorter journal").1.len(),
+                    records,
+                    "boundary cut at {cut}"
+                );
+            } else {
+                assert!(result.is_err(), "mid-record truncation to {cut} accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_rejected() {
+        let bytes = sample_file();
+        for byte in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[byte] ^= 0x04;
+            assert!(decode_journal(&bad).is_err(), "flip at byte {byte} accepted");
+        }
+    }
+
+    #[test]
+    fn mid_record_tear_rejected() {
+        // Cut inside the first record's payload: the frame header promises
+        // more bytes than exist.
+        let head = encode_header(&header()).len();
+        let bytes = sample_file();
+        let cut = head + 20; // 12-byte frame header + 8 payload bytes
+        assert!(cut < bytes.len());
+        assert!(decode_journal(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut bytes = sample_file();
+        bytes[8] = 99; // version field, little-endian low byte
+        assert!(decode_journal(&bytes).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! # gc-store — durable cache state for GraphCache
+//!
+//! GraphCache's value is *accumulated* state: hit ratios and the
+//! window/utility replacement signals only pay off once the cache is warm,
+//! yet a process restart used to throw all of it away and re-pay the
+//! cold-start subgraph-isomorphism tax. This crate makes that state outlive
+//! the process:
+//!
+//! * [`snapshot`] — a versioned, checksummed, self-contained binary image
+//!   of the cache: entries (query graph, kind, exact answer set, base
+//!   costs, accumulated statistics), global statistics, the learned
+//!   cost-model estimates, and window/clock state;
+//! * [`journal`] — an append-only admission/eviction log between
+//!   snapshots, each record length-prefixed and CRC-guarded;
+//! * [`store`] — the [`CacheStore`] directory pairing one snapshot with
+//!   its journal, with crash-safe atomic rotation.
+//!
+//! A restarted cache replays *snapshot then journal* and resumes with its
+//! warm hit ratio — no admitted query is ever re-executed or re-verified.
+//!
+//! ## What is deliberately not persisted
+//!
+//! Feature vectors, verification profiles, WL fingerprints and the
+//! containment indexes are all recomputed from the restored entries through
+//! the cache's normal insert paths. That keeps the on-disk format decoupled
+//! from the in-memory index layout: index redesigns (flat postings, arena
+//! tries, tombstoned directories, …) never invalidate snapshots.
+//!
+//! ## Fail-closed recovery
+//!
+//! Corrupt, truncated and torn-write inputs are *detected* (checksums +
+//! length-prefixed framing) and degrade to a cold start — never to a wrong
+//! answer. The kernel's central invariant (answers exactly equal Method M
+//! alone) is preserved by construction: every persisted entry is a
+//! previously verified exact answer set, and anything that fails
+//! validation is discarded wholesale.
+//!
+//! This crate depends only on `gc-graph` and `gc-method` (graph and
+//! query-kind types); the kernel wiring — `GraphCache::{snapshot_to,
+//! restore_from}`, journal hooks in admit/evict, the periodic snapshotter
+//! for `SharedGraphCache` — lives in `gc-core::persist`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod journal;
+pub mod snapshot;
+pub mod store;
+pub mod wire;
+
+pub use journal::{JournalHeader, JournalOp, JournalRecord};
+pub use snapshot::{EntryRecord, EntryStatsRecord, SnapshotDoc, FORMAT_VERSION};
+pub use store::{CacheStore, LoadOutcome, RecoveredState, SnapshotInfo};
+pub use wire::{crc64, WireError};

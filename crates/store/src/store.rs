@@ -1,0 +1,487 @@
+//! [`CacheStore`]: a persistence directory holding one snapshot plus its
+//! append-only journal.
+//!
+//! ## Crash safety
+//!
+//! A *rotation* ([`CacheStore::rotate`]) makes the next generation durable
+//! in an order that leaves a consistent pair on disk no matter where a
+//! crash lands:
+//!
+//! 1. the new snapshot is written to a temp file and fsynced;
+//! 2. the new generation's journal (`journal-<gen>.gcj`, header only) is
+//!    created and fsynced;
+//! 3. the temp file is atomically renamed over `snapshot.gcs` — the commit
+//!    point;
+//! 4. stale journals of older generations are deleted (best-effort).
+//!
+//! The directory itself is fsynced after steps 2 and 3, so the ordering
+//! holds across power loss, not just process crashes: step 4's deletions
+//! can never reach disk ahead of the rename they depend on.
+//!
+//! A crash before step 3 leaves the old snapshot with its old journal
+//! (both intact); after step 3 the new pair is live. [`CacheStore::load`]
+//! always pairs `snapshot.gcs` with the journal *named by the snapshot's
+//! own generation*, so a leftover journal from an interrupted rotation is
+//! simply ignored.
+//!
+//! ## Fail-closed recovery
+//!
+//! [`CacheStore::load`] never guesses: a missing snapshot, a checksum or
+//! framing failure anywhere in either file, or a journal whose header does
+//! not match the snapshot's generation all come back as
+//! [`LoadOutcome::Cold`] with the reason — the caller starts cold and the
+//! next rotation overwrites the bad state. Corruption can cost warmth,
+//! never correctness.
+
+use crate::journal::{
+    decode_journal, encode_header, encode_record, JournalHeader, JournalOp, JournalRecord,
+};
+use crate::snapshot::{decode_snapshot, encode_snapshot, SnapshotDoc};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// File name of the current snapshot.
+const SNAPSHOT_FILE: &str = "snapshot.gcs";
+/// Temp name the next snapshot is staged under before the atomic rename.
+const SNAPSHOT_TMP: &str = "snapshot.gcs.tmp";
+
+fn journal_file(generation: u64) -> String {
+    format!("journal-{generation}.gcj")
+}
+
+/// Fsync a directory so renames/creates/unlinks inside it are durable
+/// (opening a directory read-only and `sync_all`ing it is the portable
+/// POSIX idiom; on platforms where directories cannot be opened this
+/// degrades to a no-op error we propagate).
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Result of one rotation: what was made durable.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotInfo {
+    /// The new generation number.
+    pub generation: u64,
+    /// Size of the snapshot file in bytes.
+    pub snapshot_bytes: u64,
+    /// Entries captured in the snapshot.
+    pub entries: usize,
+}
+
+/// Result of [`CacheStore::load`].
+#[derive(Debug)]
+pub enum LoadOutcome {
+    /// Nothing usable on disk — start cold. `reason` says why (missing
+    /// files are normal on first boot; anything else names the corruption).
+    Cold {
+        /// Why the store could not be restored.
+        reason: String,
+    },
+    /// A valid snapshot (and its journal's records, possibly empty) —
+    /// replay `doc` then `journal` to resume warm.
+    Warm(Box<RecoveredState>),
+}
+
+/// A validated snapshot + journal pair ready for replay.
+#[derive(Debug)]
+pub struct RecoveredState {
+    /// The decoded snapshot.
+    pub doc: SnapshotDoc,
+    /// Generation of the snapshot/journal pair.
+    pub generation: u64,
+    /// Journal records appended after the snapshot, in append order.
+    pub journal: Vec<JournalRecord>,
+}
+
+struct Inner {
+    /// Generation of the currently active journal, if a rotation happened
+    /// in this process.
+    active: Option<ActiveJournal>,
+    /// Highest generation ever observed (from disk or rotations), so the
+    /// next rotation picks a strictly larger one.
+    last_generation: u64,
+}
+
+struct ActiveJournal {
+    generation: u64,
+    file: File,
+    bytes: u64,
+    records: u64,
+}
+
+/// A persistence directory for one cache instance.
+///
+/// All methods take `&self` — appends and rotations serialize on an
+/// internal mutex, so one store can be shared (behind an `Arc`) by the
+/// concurrent front-end's query threads.
+pub struct CacheStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for CacheStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("store lock");
+        f.debug_struct("CacheStore")
+            .field("dir", &self.dir)
+            .field("generation", &inner.active.as_ref().map(|a| a.generation))
+            .field("journal_bytes", &inner.active.as_ref().map_or(0, |a| a.bytes))
+            .finish()
+    }
+}
+
+impl CacheStore {
+    /// Open (creating if needed) the persistence directory `dir`.
+    ///
+    /// Opening only scans for the highest existing generation; it does not
+    /// read cache state (that is [`CacheStore::load`]) and does not accept
+    /// appends until the first [`CacheStore::rotate`] establishes which
+    /// snapshot the journal extends.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let mut last_generation = 0u64;
+        for entry in fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(gen_str) =
+                name.strip_prefix("journal-").and_then(|s| s.strip_suffix(".gcj"))
+            {
+                if let Ok(g) = gen_str.parse::<u64>() {
+                    last_generation = last_generation.max(g);
+                }
+            }
+        }
+        // The snapshot's generation also bounds the next one (covers a dir
+        // where stale journals were cleaned but the snapshot remains).
+        if let Ok(bytes) = fs::read(dir.join(SNAPSHOT_FILE)) {
+            if let Ok((_, g)) = decode_snapshot(&bytes) {
+                last_generation = last_generation.max(g);
+            }
+        }
+        Ok(CacheStore { dir, inner: Mutex::new(Inner { active: None, last_generation }) })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Read and strictly validate the snapshot + journal pair.
+    pub fn load(&self) -> LoadOutcome {
+        let snap_path = self.dir.join(SNAPSHOT_FILE);
+        let bytes = match fs::read(&snap_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return LoadOutcome::Cold { reason: "no snapshot on disk".into() }
+            }
+            Err(e) => return LoadOutcome::Cold { reason: format!("snapshot unreadable: {e}") },
+        };
+        let (doc, generation) = match decode_snapshot(&bytes) {
+            Ok(v) => v,
+            Err(e) => return LoadOutcome::Cold { reason: format!("snapshot rejected: {e}") },
+        };
+        let journal_path = self.dir.join(journal_file(generation));
+        let journal_bytes = match fs::read(&journal_path) {
+            Ok(b) => b,
+            Err(e) => {
+                return LoadOutcome::Cold {
+                    reason: format!("journal for generation {generation} unreadable: {e}"),
+                }
+            }
+        };
+        let (header, journal) = match decode_journal(&journal_bytes) {
+            Ok(v) => v,
+            Err(e) => return LoadOutcome::Cold { reason: format!("journal rejected: {e}") },
+        };
+        let expected = JournalHeader {
+            generation,
+            dataset_fingerprint: doc.dataset_fingerprint,
+            universe: doc.universe,
+        };
+        if header != expected {
+            return LoadOutcome::Cold {
+                reason: format!("journal header {header:?} does not match snapshot {expected:?}"),
+            };
+        }
+        LoadOutcome::Warm(Box::new(RecoveredState { doc, generation, journal }))
+    }
+
+    /// Durably write `doc` as the next generation's snapshot and open a
+    /// fresh journal for it (see the module docs for the crash-safe order).
+    /// Subsequent [`CacheStore::append`] calls extend the new journal.
+    pub fn rotate(&self, doc: &SnapshotDoc) -> io::Result<SnapshotInfo> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let generation = inner.last_generation + 1;
+
+        // 1. Stage the snapshot.
+        let image = encode_snapshot(doc, generation);
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        let mut f = File::create(&tmp)?;
+        f.write_all(&image)?;
+        f.sync_all()?;
+        drop(f);
+
+        // 2. Create the new journal with its header; sync the directory so
+        //    the journal's dirent is durable before the rename can commit.
+        let header = JournalHeader {
+            generation,
+            dataset_fingerprint: doc.dataset_fingerprint,
+            universe: doc.universe,
+        };
+        let journal_path = self.dir.join(journal_file(generation));
+        let mut journal =
+            OpenOptions::new().create(true).write(true).truncate(true).open(&journal_path)?;
+        let header_bytes = encode_header(&header);
+        journal.write_all(&header_bytes)?;
+        journal.sync_all()?;
+        sync_dir(&self.dir)?;
+
+        // 3. Commit: atomic rename, made durable by a directory sync —
+        //    without it, a power loss could persist step 4's deletions
+        //    while losing the rename, leaving no journal for the old
+        //    generation.
+        fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))?;
+        sync_dir(&self.dir)?;
+
+        // 4. Clean stale journals (best-effort; leftovers are ignored by
+        //    `load`, which pairs by the snapshot's generation).
+        if let Ok(entries) = fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if let Some(g) = name
+                    .strip_prefix("journal-")
+                    .and_then(|s| s.strip_suffix(".gcj"))
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    if g != generation {
+                        let _ = fs::remove_file(entry.path());
+                    }
+                }
+            }
+        }
+
+        inner.last_generation = generation;
+        inner.active = Some(ActiveJournal {
+            generation,
+            file: journal,
+            bytes: header_bytes.len() as u64,
+            records: 0,
+        });
+        Ok(SnapshotInfo {
+            generation,
+            snapshot_bytes: image.len() as u64,
+            entries: doc.entries.len(),
+        })
+    }
+
+    /// Append `ops` to the active journal as one write.
+    ///
+    /// Errors if no rotation has happened in this process yet — appends are
+    /// only meaningful relative to a snapshot this process wrote.
+    pub fn append(&self, ops: &[JournalOp<'_>]) -> io::Result<u64> {
+        if ops.is_empty() {
+            return Ok(self.journal_bytes());
+        }
+        let mut inner = self.inner.lock().expect("store lock");
+        let active = inner
+            .active
+            .as_mut()
+            .ok_or_else(|| io::Error::other("no active journal: rotate() first"))?;
+        let mut buf = Vec::new();
+        for op in ops {
+            buf.extend(encode_record(op));
+        }
+        active.file.write_all(&buf)?;
+        active.bytes += buf.len() as u64;
+        active.records += ops.len() as u64;
+        Ok(active.bytes)
+    }
+
+    /// Flush the active journal to disk (used before planned shutdowns;
+    /// appends themselves are buffered by the OS, not fsynced per record).
+    pub fn sync(&self) -> io::Result<()> {
+        let inner = self.inner.lock().expect("store lock");
+        if let Some(active) = inner.active.as_ref() {
+            active.file.sync_all()?;
+        }
+        Ok(())
+    }
+
+    /// Bytes in the active journal (0 before the first rotation) — the
+    /// size-threshold input of the auto-snapshot trigger.
+    pub fn journal_bytes(&self) -> u64 {
+        self.inner.lock().expect("store lock").active.as_ref().map_or(0, |a| a.bytes)
+    }
+
+    /// Records appended to the active journal since the last rotation.
+    pub fn journal_records(&self) -> u64 {
+        self.inner.lock().expect("store lock").active.as_ref().map_or(0, |a| a.records)
+    }
+
+    /// Generation of the active journal (None before the first rotation).
+    pub fn generation(&self) -> Option<u64> {
+        self.inner.lock().expect("store lock").active.as_ref().map(|a| a.generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{graph_from_parts, Label};
+    use gc_method::QueryKind;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gc_store_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn doc_with(universe: u64, fp: u64) -> SnapshotDoc {
+        SnapshotDoc {
+            dataset_fingerprint: fp,
+            universe,
+            cost: (0..universe).map(|i| (i as f64, false)).collect(),
+            ..SnapshotDoc::default()
+        }
+    }
+
+    #[test]
+    fn fresh_dir_is_cold() {
+        let dir = tmpdir("cold");
+        let store = CacheStore::open(&dir).unwrap();
+        assert!(matches!(store.load(), LoadOutcome::Cold { .. }));
+        assert_eq!(store.journal_bytes(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotate_then_load_roundtrips() {
+        let dir = tmpdir("rotate");
+        let store = CacheStore::open(&dir).unwrap();
+        let info = store.rotate(&doc_with(4, 0xAB)).unwrap();
+        assert_eq!(info.generation, 1);
+
+        let g = graph_from_parts(&[Label(1)], &[]).unwrap();
+        store
+            .append(&[JournalOp::Admit {
+                orig_id: 0,
+                now: 1,
+                kind: QueryKind::Subgraph,
+                base_tests: 2,
+                base_cost: 3,
+                graph: &g,
+                answer: &[1, 3],
+            }])
+            .unwrap();
+        store.append(&[JournalOp::Evict { orig_id: 0, now: 2 }]).unwrap();
+        store.sync().unwrap();
+        assert_eq!(store.journal_records(), 2);
+
+        // A second store (a "restarted process") sees the same state.
+        let store2 = CacheStore::open(&dir).unwrap();
+        match store2.load() {
+            LoadOutcome::Warm(state) => {
+                assert_eq!(state.generation, 1);
+                assert_eq!(state.doc.universe, 4);
+                assert_eq!(state.journal.len(), 2);
+            }
+            LoadOutcome::Cold { reason } => panic!("expected warm, got cold: {reason}"),
+        }
+        // And its next rotation advances the generation past ours.
+        let info2 = store2.rotate(&doc_with(4, 0xAB)).unwrap();
+        assert_eq!(info2.generation, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn append_without_rotation_errors() {
+        let dir = tmpdir("norot");
+        let store = CacheStore::open(&dir).unwrap();
+        assert!(store.append(&[JournalOp::Evict { orig_id: 0, now: 0 }]).is_err());
+        assert!(store.append(&[]).is_ok(), "empty append is a no-op");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_snapshot_loads_cold() {
+        let dir = tmpdir("corrupt_snap");
+        let store = CacheStore::open(&dir).unwrap();
+        store.rotate(&doc_with(2, 1)).unwrap();
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, bytes).unwrap();
+        assert!(matches!(CacheStore::open(&dir).unwrap().load(), LoadOutcome::Cold { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_journal_loads_cold() {
+        let dir = tmpdir("corrupt_jrnl");
+        let store = CacheStore::open(&dir).unwrap();
+        store.rotate(&doc_with(2, 1)).unwrap();
+        let g = graph_from_parts(&[Label(0)], &[]).unwrap();
+        store
+            .append(&[JournalOp::Admit {
+                orig_id: 0,
+                now: 1,
+                kind: QueryKind::Subgraph,
+                base_tests: 1,
+                base_cost: 1,
+                graph: &g,
+                answer: &[0],
+            }])
+            .unwrap();
+        store.sync().unwrap();
+        let path = dir.join(journal_file(1));
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x01;
+        fs::write(&path, bytes).unwrap();
+        assert!(matches!(CacheStore::open(&dir).unwrap().load(), LoadOutcome::Cold { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_journal_from_interrupted_rotation_is_ignored() {
+        let dir = tmpdir("stale");
+        let store = CacheStore::open(&dir).unwrap();
+        store.rotate(&doc_with(2, 1)).unwrap();
+        // Simulate a crash mid-rotation: a journal for generation 2 exists
+        // but the snapshot still says generation 1.
+        fs::write(
+            dir.join(journal_file(2)),
+            encode_header(&JournalHeader { generation: 2, dataset_fingerprint: 1, universe: 2 }),
+        )
+        .unwrap();
+        let store2 = CacheStore::open(&dir).unwrap();
+        match store2.load() {
+            LoadOutcome::Warm(state) => assert_eq!(state.generation, 1),
+            LoadOutcome::Cold { reason } => panic!("expected warm, got cold: {reason}"),
+        }
+        // Next rotation must skip past the stale generation 2.
+        assert_eq!(store2.rotate(&doc_with(2, 1)).unwrap().generation, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_resets_journal() {
+        let dir = tmpdir("reset");
+        let store = CacheStore::open(&dir).unwrap();
+        store.rotate(&doc_with(1, 1)).unwrap();
+        store.append(&[JournalOp::Evict { orig_id: 9, now: 1 }]).unwrap();
+        assert_eq!(store.journal_records(), 1);
+        store.rotate(&doc_with(1, 1)).unwrap();
+        assert_eq!(store.journal_records(), 0);
+        match store.load() {
+            LoadOutcome::Warm(state) => assert!(state.journal.is_empty()),
+            LoadOutcome::Cold { reason } => panic!("expected warm: {reason}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,300 @@
+//! Low-level wire codec: little-endian primitives plus a CRC-64 checksum.
+//!
+//! Everything the store writes goes through [`ByteWriter`] and comes back
+//! through [`ByteReader`], so the on-disk byte layout is defined in exactly
+//! one place. The reader is *strict*: every accessor bounds-checks, decoders
+//! must consume their input exactly, and any mismatch surfaces as a
+//! [`WireError`] that the recovery path turns into a cold start. Nothing in
+//! this module panics on untrusted bytes.
+
+use std::fmt;
+
+/// Decode failure: a human-readable description of what did not fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl WireError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        WireError(msg.into())
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Shorthand for decoder results.
+pub type WireResult<T> = Result<T, WireError>;
+
+// ---- CRC-64 -----------------------------------------------------------------
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected) — the checksum guarding every
+/// snapshot file and journal record against bit flips and torn writes.
+const CRC64_POLY: u64 = 0xC96C_5795_D787_0F42;
+
+const fn crc64_table() -> [u64; 256] {
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ CRC64_POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC64_TABLE: [u64; 256] = crc64_table();
+
+/// CRC-64/XZ of `bytes`.
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = CRC64_TABLE[((crc ^ b as u64) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ---- writer -----------------------------------------------------------------
+
+/// Append-only little-endian byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Fresh empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consume the writer, returning its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` iff nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern (exact round trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append raw bytes without a length prefix (headers, magics).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+// ---- reader -----------------------------------------------------------------
+
+/// Strict bounds-checked cursor over untrusted bytes.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Error unless every byte was consumed — decoders call this last so
+    /// trailing garbage is rejected, not silently ignored.
+    pub fn expect_end(&self) -> WireResult<()> {
+        if self.remaining() != 0 {
+            return Err(WireError::new(format!(
+                "{} trailing bytes after record",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::new(format!(
+                "truncated: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> WireResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> WireResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len checked")))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> WireResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len checked")))
+    }
+
+    /// Read an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> WireResult<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read `n` raw bytes (headers, magics).
+    pub fn get_raw(&mut self, n: usize) -> WireResult<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string, capped at `max_len` bytes
+    /// so a corrupted length field cannot drive a huge allocation.
+    pub fn get_str(&mut self, max_len: usize) -> WireResult<String> {
+        let len = self.get_u32()? as usize;
+        if len > max_len {
+            return Err(WireError::new(format!("string length {len} exceeds cap {max_len}")));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::new("invalid UTF-8 string"))
+    }
+
+    /// Read a `u32` element count, rejecting counts whose elements (at
+    /// `elem_size` bytes minimum each) could not possibly fit in the
+    /// remaining input — the guard that keeps corrupted counts from turning
+    /// into multi-gigabyte `Vec::with_capacity` calls.
+    pub fn get_count(&mut self, elem_size: usize) -> WireResult<usize> {
+        let count = self.get_u32()? as usize;
+        if count.saturating_mul(elem_size.max(1)) > self.remaining() {
+            return Err(WireError::new(format!(
+                "element count {count} cannot fit in {} remaining bytes",
+                self.remaining()
+            )));
+        }
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(1.5);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap(), 1.5);
+        assert_eq!(r.get_str(64).unwrap(), "héllo");
+        assert!(r.expect_end().is_ok());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_u64().is_err());
+        let mut r = ByteReader::new(&bytes);
+        r.get_u8().unwrap();
+        assert!(r.get_u32().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1);
+        w.put_u8(0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        r.get_u32().unwrap();
+        assert!(r.expect_end().is_err());
+    }
+
+    #[test]
+    fn absurd_counts_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_count(4).is_err());
+    }
+
+    #[test]
+    fn crc64_known_vector() {
+        // CRC-64/XZ of "123456789" is the standard check value.
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+        assert_ne!(crc64(b"abc"), crc64(b"abd"));
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let base = crc64(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc64(&flipped), base, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -33,5 +33,5 @@ pub mod zipf;
 
 pub use molecules::{molecule_dataset, MoleculeParams};
 pub use queries::{extract_query, nested_chain, QuerySizer};
-pub use workload::{Workload, WorkloadKind, WorkloadSpec};
+pub use workload::{Workload, WorkloadKind, WorkloadQuery, WorkloadSpec};
 pub use zipf::Zipf;
