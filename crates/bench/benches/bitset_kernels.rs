@@ -1,0 +1,85 @@
+//! Bitset/merge kernel microbenches: the runtime-dispatched word kernels
+//! (`gc_graph::simd`) against the always-compiled portable-scalar
+//! reference, on the word-array and posting-list shapes the trie/tree
+//! candidate loops feed them. The answer-cross-checked end-to-end view
+//! lives in `exp12_core_scaling`; these isolate the kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gc_graph::simd;
+use std::time::Duration;
+
+/// Deterministic pseudo-random words (splitmix64).
+fn words(seed: u64, len: usize) -> Vec<u64> {
+    let mut s = seed;
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset_kernels");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    const WORDS: usize = 4096; // a 256k-graph dataset's bitset
+    let a = words(7, WORDS);
+    let b = words(11, WORDS);
+
+    group.bench_function("popcount_words/scalar", |bch| {
+        bch.iter(|| simd::scalar::popcount_words(std::hint::black_box(&a)))
+    });
+    group.bench_function("popcount_words/dispatched", |bch| {
+        bch.iter(|| simd::popcount_words(std::hint::black_box(&a)))
+    });
+    group.bench_function("and_popcount_words/scalar", |bch| {
+        bch.iter(|| simd::scalar::and_popcount_words(std::hint::black_box(&a), &b))
+    });
+    group.bench_function("and_popcount_words/dispatched", |bch| {
+        bch.iter(|| simd::and_popcount_words(std::hint::black_box(&a), &b))
+    });
+    let mut dst = words(13, WORDS);
+    group.bench_function("and_words/scalar", |bch| {
+        bch.iter(|| simd::scalar::and_words(std::hint::black_box(&mut dst), &b))
+    });
+    group.bench_function("and_words/dispatched", |bch| {
+        bch.iter(|| simd::and_words(std::hint::black_box(&mut dst), &b))
+    });
+
+    // Posting shapes: sorted candidate run × sorted `(id, count)` list.
+    let cur: Vec<u32> = (0..20_000u32).step_by(3).collect();
+    let list: Vec<(u32, u32)> = (0..30_000u32).step_by(2).map(|id| (id, 1 + id % 3)).collect();
+    let mut blocks = words(17, 30_000usize.div_ceil(64));
+    group.bench_function("intersect_postings/scalar", |bch| {
+        bch.iter(|| {
+            simd::scalar::intersect_postings(std::hint::black_box(&mut blocks), &list, 2);
+        })
+    });
+    group.bench_function("intersect_postings/dispatched", |bch| {
+        bch.iter(|| {
+            simd::intersect_postings(std::hint::black_box(&mut blocks), &list, 2);
+        })
+    });
+    let mut out = Vec::with_capacity(cur.len());
+    group.bench_function("intersect_pairs/scalar", |bch| {
+        bch.iter(|| {
+            simd::scalar::intersect_pairs(std::hint::black_box(&cur), &list, 1, &mut out);
+            out.len()
+        })
+    });
+    group.bench_function("intersect_pairs/dispatched", |bch| {
+        bch.iter(|| {
+            simd::intersect_pairs(std::hint::black_box(&cur), &list, 1, &mut out);
+            out.len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

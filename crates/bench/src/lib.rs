@@ -12,6 +12,7 @@
 //! | `exp7_concurrency` | concurrent-client throughput of `SharedGraphCache` |
 //! | `exp8_verify_hotpath` | verification hot-path throughput (answer-checked) |
 //! | `exp9_filter_frontend` | filter front-end throughput (answer-checked) |
+//! | `exp12_core_scaling` | SIMD kernel dispatch ratios + shard/client scaling (answer-checked) |
 //!
 //! Criterion microbenches live in `benches/`. This library holds the shared
 //! measurement plumbing so every experiment reports the paper's metrics the

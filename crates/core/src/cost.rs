@@ -59,7 +59,14 @@ impl CostModel {
 
     /// Σ estimates over a set of graphs (the cost a hit saved).
     pub fn sum_over(&self, set: &BitSet) -> f64 {
-        set.iter().map(|g| self.estimate(g)).sum()
+        self.sum_over_ids(set.iter())
+    }
+
+    /// Σ estimates over an id stream — the allocation-free form of
+    /// [`CostModel::sum_over`] for lazily-combined sets (e.g.
+    /// [`gc_graph::BitSet::intersection_ones`]).
+    pub fn sum_over_ids(&self, ids: impl Iterator<Item = usize>) -> f64 {
+        ids.map(|g| self.estimate(g)).sum()
     }
 
     /// Export the per-graph `(estimate, observed)` state for persistence

@@ -261,6 +261,14 @@ struct Job {
     reply: mpsc::Sender<Vec<(usize, bool, u64)>>,
 }
 
+/// One unit of pool work: a verification chunk, or an arbitrary one-shot
+/// closure (how [`crate::SharedGraphCache`] fans per-shard probe read
+/// sections out; see [`VerifyPool::submit`]).
+enum Task {
+    Verify(Job),
+    Run(Box<dyn FnOnce() + Send + 'static>),
+}
+
 /// A persistent pool of verification workers.
 ///
 /// Workers live for the pool's lifetime; each job carries its inputs by
@@ -273,7 +281,7 @@ struct Job {
 /// work across concurrent queries). Dropping the pool closes the queue and
 /// joins the workers.
 pub struct VerifyPool {
-    jobs: Arc<JobQueue<Job>>,
+    jobs: Arc<JobQueue<Task>>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
 }
@@ -282,7 +290,7 @@ impl VerifyPool {
     /// Spawn `size` workers (at least 1).
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
-        let jobs: Arc<JobQueue<Job>> = Arc::new(JobQueue::new());
+        let jobs: Arc<JobQueue<Task>> = Arc::new(JobQueue::new());
         let workers = (0..size)
             .map(|i| {
                 let jobs = Arc::clone(&jobs);
@@ -293,35 +301,44 @@ impl VerifyPool {
                         // this worker ever serves (thread-local by
                         // construction: nothing else touches it).
                         let mut scratch = VfScratch::new();
-                        while let Some(job) = jobs.pop() {
-                            // Confine a panicking verification to its own
-                            // job: the job's reply sender is dropped without
-                            // a send, so only the requesting query fails
-                            // (its recv errors with a message) — the worker
-                            // lives on to serve other queries. Without this,
-                            // one poisoned graph would silently kill
-                            // global_pool() workers until every query in
-                            // the process hung on recv().
-                            let result =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    job.ids
-                                        .iter()
-                                        .map(|&gid| {
-                                            let (ok, s) = job.engine.verify_candidate(
-                                                &job.dataset,
-                                                &job.profile,
-                                                &job.query,
-                                                gid as u32,
-                                                &mut scratch,
-                                            );
-                                            (gid, ok, s)
-                                        })
-                                        .collect::<Vec<_>>()
-                                }));
-                            if let Ok(outcome) = result {
-                                // Receiver may have given up; ignore send
-                                // errors.
-                                let _ = job.reply.send(outcome);
+                        while let Some(task) = jobs.pop() {
+                            // Confine a panicking task to itself: its reply
+                            // sender is dropped without a send, so only the
+                            // requesting query fails (its recv errors or
+                            // falls back) — the worker lives on to serve
+                            // other queries. Without this, one poisoned
+                            // graph would silently kill global_pool()
+                            // workers until every query in the process hung
+                            // on recv().
+                            match task {
+                                Task::Verify(job) => {
+                                    let result = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(|| {
+                                            job.ids
+                                                .iter()
+                                                .map(|&gid| {
+                                                    let (ok, s) = job.engine.verify_candidate(
+                                                        &job.dataset,
+                                                        &job.profile,
+                                                        &job.query,
+                                                        gid as u32,
+                                                        &mut scratch,
+                                                    );
+                                                    (gid, ok, s)
+                                                })
+                                                .collect::<Vec<_>>()
+                                        }),
+                                    );
+                                    if let Ok(outcome) = result {
+                                        // Receiver may have given up;
+                                        // ignore send errors.
+                                        let _ = job.reply.send(outcome);
+                                    }
+                                }
+                                Task::Run(f) => {
+                                    let _ =
+                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                                }
                             }
                         }
                     })
@@ -334,6 +351,16 @@ impl VerifyPool {
     /// Number of workers.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Run an arbitrary one-shot task on the pool's workers — the batched
+    /// shard-probe path of [`crate::SharedGraphCache`] fans one such task
+    /// per shard so shard read sections overlap. Returns `false` if the
+    /// pool is shutting down (the caller runs the work inline instead). A
+    /// panic inside the task is confined to it: the task's reply channel,
+    /// if any, is dropped unsent and the worker lives on.
+    pub fn submit(&self, task: Box<dyn FnOnce() + Send + 'static>) -> bool {
+        self.jobs.push(Task::Run(task))
     }
 
     /// Verify `to_verify` against the dataset, returning survivors, total
@@ -370,14 +397,14 @@ impl VerifyPool {
         let chunk_len = ids.len().div_ceil(chunks);
         let mut sent = 0usize;
         for slice in ids.chunks(chunk_len) {
-            let pushed = self.jobs.push(Job {
+            let pushed = self.jobs.push(Task::Verify(Job {
                 dataset: dataset.clone(),
                 query: query.clone(),
                 profile: profile.clone(),
                 engine,
                 ids: slice.to_vec(),
                 reply: reply_tx.clone(),
-            });
+            }));
             assert!(pushed, "workers are alive while the pool exists");
             sent += 1;
         }

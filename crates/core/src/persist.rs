@@ -489,6 +489,7 @@ mod tests {
             total_time: Duration::from_nanos(12345),
             distinct_features: 99, // gauge: must not be persisted
             tombstoned_slots: 9,
+            kernel_dispatch: "avx2", // gauge: per-machine, must not be persisted
         };
         let back = stats_from_records(&stats_to_records(&s));
         assert_eq!(back.queries, 10);
@@ -496,7 +497,9 @@ mod tests {
         assert_eq!(back.total_time, Duration::from_nanos(12345));
         assert_eq!(back.distinct_features, 0, "gauges are not persisted");
         assert_eq!(back.tombstoned_slots, 0);
-        let expected = GlobalStats { distinct_features: 0, tombstoned_slots: 0, ..s };
+        assert_eq!(back.kernel_dispatch, "", "gauges are not persisted");
+        let expected =
+            GlobalStats { distinct_features: 0, tombstoned_slots: 0, kernel_dispatch: "", ..s };
         assert_eq!(back, expected);
     }
 

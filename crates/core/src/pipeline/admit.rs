@@ -71,15 +71,13 @@ pub fn credit_hits(
     debug_assert_eq!(answers.len(), hits.count(), "answers must align with hits");
     for (h, (rel, answer)) in hits.iter().zip(answers) {
         debug_assert_eq!(h.relation, *rel);
-        // Tests this hit alone would have saved, and their estimated cost.
+        // Tests this hit alone would have saved, and their estimated cost —
+        // cardinality via the dispatched popcount kernels and the cost sum
+        // over the lazy pair iterators; no temporary bitset is cloned.
         let (tests_saved, cost_saved) = if gives_definite(kind, h.relation) {
-            let mut saved = answer.clone();
-            saved.intersect_with(cm);
-            (saved.count() as u64, cost.sum_over(&saved))
+            (answer.intersect_count(cm) as u64, cost.sum_over_ids(answer.intersection_ones(cm)))
         } else {
-            let mut removed = cm.clone();
-            removed.difference_with(answer);
-            (removed.count() as u64, cost.sum_over(&removed))
+            (cm.difference_count(answer) as u64, cost.sum_over_ids(cm.difference_ones(answer)))
         };
         let hit_kind = match h.relation {
             Relation::QueryInCached => HitKind::QueryInCached,

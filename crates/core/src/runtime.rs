@@ -457,12 +457,14 @@ impl GraphCache {
 
     /// Snapshot of the global statistics, with the index-health gauges
     /// ([`GlobalStats::distinct_features`], [`GlobalStats::tombstoned_slots`])
-    /// populated from the live containment index.
+    /// populated from the live containment index and the kernel-dispatch
+    /// gauge from the runtime detection.
     pub fn stats(&self) -> GlobalStats {
         let mut s = self.stats.snapshot();
         let health = self.index_health();
         s.distinct_features = health.distinct_features as u64;
         s.tombstoned_slots = health.tombstoned_slots as u64;
+        s.kernel_dispatch = gc_graph::simd::kernel_name();
         s
     }
 

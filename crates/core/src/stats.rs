@@ -60,6 +60,12 @@ pub struct GlobalStats {
     /// directory maintenance. Same snapshot-time semantics as
     /// [`GlobalStats::distinct_features`].
     pub tombstoned_slots: u64,
+    /// Deployment *gauge*: the kernel tier the bitset/merge hot loops
+    /// dispatched to on this machine (`"avx2"`, `"sse2"`, or `"scalar"`;
+    /// see [`gc_graph::simd::kernel_name`]). Populated at snapshot time
+    /// like the index-health gauges; empty in per-query deltas and ignored
+    /// by [`StatsMonitor::add`].
+    pub kernel_dispatch: &'static str,
 }
 
 impl GlobalStats {
@@ -262,6 +268,7 @@ mod tests {
             // time by the runtimes, not by `add`).
             distinct_features: 0,
             tombstoned_slots: 0,
+            kernel_dispatch: "",
         };
         m.add(&delta);
         assert_eq!(m.snapshot(), delta);
@@ -271,7 +278,12 @@ mod tests {
 
     #[test]
     fn gauges_pass_through_ratio() {
-        let s = GlobalStats { distinct_features: 30, tombstoned_slots: 10, ..Default::default() };
+        let s = GlobalStats {
+            distinct_features: 30,
+            tombstoned_slots: 10,
+            kernel_dispatch: "avx2",
+            ..Default::default()
+        };
         assert!((s.tombstone_ratio() - 0.25).abs() < 1e-12);
         assert_eq!(GlobalStats::default().tombstone_ratio(), 0.0);
         // Gauge fields in a published delta are ignored by the monitor.
@@ -279,6 +291,7 @@ mod tests {
         m.add(&s);
         assert_eq!(m.snapshot().distinct_features, 0);
         assert_eq!(m.snapshot().tombstoned_slots, 0);
+        assert_eq!(m.snapshot().kernel_dispatch, "");
     }
 
     #[test]

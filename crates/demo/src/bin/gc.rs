@@ -18,6 +18,9 @@
 //! snapshot + journal (cold on first use or after corruption — recovery is
 //! fail-closed), journals this run's admissions/evictions, and writes a
 //! fresh snapshot at exit, so consecutive runs keep their warm hit ratio.
+//! This composes with `--clients N`: the shared cache is warm-restarted
+//! (entries re-routed to their home shards) before the client threads
+//! start, and the closing snapshot is taken after they join.
 //!
 //! Datasets are plain `t/v/e` text files (the AIDS/gSpan format), so real
 //! datasets drop in directly.
@@ -25,8 +28,8 @@
 use gc_core::persist::CacheStore;
 use gc_core::{CacheConfig, GraphCache, PolicyKind, RecoveryReport};
 use gc_demo::{
-    developer_monitor, end_user_monitor, run_multi_client, run_query_journey,
-    run_workload_comparison,
+    developer_monitor, end_user_monitor, run_multi_client, run_multi_client_persistent,
+    run_query_journey, run_workload_comparison,
 };
 use gc_method::{Dataset, FtvMethod, QueryKind};
 use gc_workload::random::{ba_dataset, er_dataset};
@@ -163,31 +166,49 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let workload = Workload::generate(dataset.graphs(), &spec);
 
     // Multi-client mode: stripe the workload over N threads hammering one
-    // SharedGraphCache (optionally cross-checking answers with --check).
+    // SharedGraphCache (optionally cross-checking answers with --check;
+    // `--snapshot-dir` warm-restarts the shared cache and journals the
+    // session, exactly like the sequential mode).
     let clients: usize = get(flags, "clients", 1);
-    if clients > 1 && flags.contains_key("snapshot-dir") {
-        return Err("--snapshot-dir is a single-client (sequential) feature; \
-                    drop --clients or the snapshot dir"
-            .into());
-    }
     if clients > 1 {
         let policy: PolicyKind =
             flags.get("policy").map(|p| p.parse()).transpose()?.unwrap_or(PolicyKind::Hd);
         let feature_size: usize = get(flags, "feature-size", 2);
         let config = CacheConfig {
-            capacity: get(flags, "capacity", 50),
-            window_size: get(flags, "window", 10),
-            ..CacheConfig::default()
+            // With worker threads available, shard probes fan out and
+            // verification parallelizes.
+            threads: clients,
+            ..cache_config(flags)
         };
-        let run = run_multi_client(
-            &dataset,
-            &|| Box::new(FtvMethod::build(&dataset, feature_size)),
-            policy,
-            &config,
-            &workload,
-            clients,
-            flags.contains_key("check"),
-        );
+        let make_method =
+            || -> Box<dyn gc_method::Method> { Box::new(FtvMethod::build(&dataset, feature_size)) };
+        let check = flags.contains_key("check");
+        let run = match flags.get("snapshot-dir") {
+            Some(dir) => {
+                let store = Arc::new(CacheStore::open(dir).map_err(|e| format!("{dir}: {e}"))?);
+                let (run, recovery, info) = run_multi_client_persistent(
+                    &dataset,
+                    &make_method,
+                    policy,
+                    &config,
+                    &workload,
+                    clients,
+                    check,
+                    store,
+                )?;
+                println!("[Persistence] {}", recovery.describe());
+                println!(
+                    "[Persistence] snapshot generation {} written: {} entries, {} KiB",
+                    info.generation,
+                    info.entries,
+                    info.snapshot_bytes / 1024
+                );
+                run
+            }
+            None => {
+                run_multi_client(&dataset, &make_method, policy, &config, &workload, clients, check)
+            }
+        };
         print!("{}", run.render());
         if run.mismatches > 0 {
             return Err(format!("{} answer mismatches vs sequential replay", run.mismatches));
@@ -293,7 +314,8 @@ const USAGE: &str = "usage: gc <generate|run|save|load|journey|compare> [--flag 
               [--policy LRU|POP|PIN|PINC|HD] [--capacity N] [--feature-size L] [--dev]
               [--clients N] [--check]   (N>1: concurrent SharedGraphCache mode)
               [--snapshot-dir DIR [--snapshot-interval N] [--journal-max-bytes B]]
-              (DIR: warm-restart from it, journal this run, snapshot at exit)
+              (DIR: warm-restart from it, journal this run, snapshot at exit;
+               composes with --clients N: shared-cache restore + snapshot)
   gc save     --dataset ds.tve --snapshot-dir DIR [run flags]  (run + persist)
   gc load     --dataset ds.tve --snapshot-dir DIR  (restore + show dashboards)
   gc journey  --dataset ds.tve [--seed S]

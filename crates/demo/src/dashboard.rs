@@ -59,6 +59,10 @@ pub fn end_user_monitor(gc: &GraphCache) -> String {
         s.tombstoned_slots,
         100.0 * s.tombstone_ratio()
     ));
+    out.push_str(&format!(
+        "  kernel dispatch        : {} (bitset/merge hot loops)\n",
+        s.kernel_dispatch
+    ));
     out
 }
 
@@ -152,6 +156,14 @@ mod tests {
         assert!(txt.contains("hit ratio"));
         assert!(txt.contains("distinct features"));
         assert!(txt.contains("tombstoned slots"));
+        // The dispatch gauge must render a concrete tier, never the
+        // delta-default empty string.
+        assert!(
+            txt.contains("kernel dispatch        : avx2")
+                || txt.contains("kernel dispatch        : sse2")
+                || txt.contains("kernel dispatch        : scalar"),
+            "{txt}"
+        );
     }
 
     #[test]

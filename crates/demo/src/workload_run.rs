@@ -12,7 +12,10 @@
 //! sequential replay — the demo surface of the concurrent front-end.
 
 use crate::ascii;
-use gc_core::{CacheConfig, EntryId, GlobalStats, GraphCache, PolicyKind, SharedGraphCache};
+use gc_core::{
+    CacheConfig, CacheStore, EntryId, GlobalStats, GraphCache, PolicyKind, RecoveryReport,
+    SharedGraphCache, SnapshotInfo,
+};
 use gc_method::{execute_base, Dataset, Method};
 use gc_workload::Workload;
 use std::sync::Arc;
@@ -256,12 +259,62 @@ pub fn run_multi_client(
 
     let gc = SharedGraphCache::with_policy(dataset.clone(), make_method(), policy, config.clone())
         .expect("valid config");
+    drive_clients(&gc, policy, workload, clients, verify_answers, &expected)
+}
+
+/// [`run_multi_client`] with persistence threaded through: the shared
+/// cache is warm-restarted from `store` (snapshot + journal replay, each
+/// entry re-routed to its home shard), the workload runs as usual with the
+/// session journaled, and a closing snapshot is rotated in. Returns the
+/// run, the recovery report, and the closing snapshot's info.
+#[allow(clippy::too_many_arguments)] // run_multi_client's surface + the store
+pub fn run_multi_client_persistent(
+    dataset: &Arc<Dataset>,
+    make_method: &dyn Fn() -> Box<dyn Method>,
+    policy: PolicyKind,
+    config: &CacheConfig,
+    workload: &Workload,
+    clients: usize,
+    verify_answers: bool,
+    store: Arc<CacheStore>,
+) -> Result<(MultiClientRun, RecoveryReport, SnapshotInfo), String> {
+    let clients = clients.max(1);
+    let expected: Vec<gc_graph::BitSet> = if verify_answers {
+        let mut seq =
+            GraphCache::with_policy(dataset.clone(), make_method(), policy, config.clone())
+                .expect("valid config");
+        workload.queries.iter().map(|wq| seq.query(&wq.graph, wq.kind).answer).collect()
+    } else {
+        Vec::new()
+    };
+
+    let (gc, recovery) = SharedGraphCache::restore_from(
+        dataset.clone(),
+        Arc::from(make_method()),
+        || policy.make(),
+        config.clone(),
+        store,
+    )?;
+    let run = drive_clients(&gc, policy, workload, clients, verify_answers, &expected);
+    let info =
+        gc.snapshot_now()?.expect("store is attached and no other thread snapshots this cache");
+    Ok((run, recovery, info))
+}
+
+/// Stripe `workload` round-robin over `clients` threads against `gc`,
+/// counting answers that differ from `expected` (when verifying).
+fn drive_clients(
+    gc: &SharedGraphCache,
+    policy: PolicyKind,
+    workload: &Workload,
+    clients: usize,
+    verify_answers: bool,
+    expected: &[gc_graph::BitSet],
+) -> MultiClientRun {
     let start = Instant::now();
     let mismatches: usize = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|t| {
-                let gc = &gc;
-                let expected = &expected;
                 scope.spawn(move || {
                     let mut bad = 0usize;
                     for (i, wq) in workload.queries.iter().enumerate() {
@@ -354,6 +407,64 @@ mod tests {
         let txt = run.render();
         assert!(txt.contains("identical"), "{txt}");
         assert!(txt.contains("4"));
+    }
+
+    #[test]
+    fn multi_client_persists_and_warm_restarts() {
+        let dir = std::env::temp_dir()
+            .join(format!("gc_demo_multiclient_persist_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dataset = Arc::new(Dataset::new(molecule_dataset(12, 77)));
+        let spec = WorkloadSpec {
+            n_queries: 40,
+            pool_size: 10,
+            kind: WorkloadKind::Zipf { skew: 1.1 },
+            seed: 3,
+            ..WorkloadSpec::default()
+        };
+        let w = Workload::generate(dataset.graphs(), &spec);
+        let cfg = CacheConfig {
+            capacity: 8,
+            window_size: 2,
+            shards: 4,
+            threads: 4,
+            min_admit_tests: 0,
+            ..CacheConfig::default()
+        };
+
+        let store = Arc::new(CacheStore::open(&dir).expect("open store"));
+        let (run, recovery, info) = run_multi_client_persistent(
+            &dataset,
+            &|| Box::new(SiMethod),
+            PolicyKind::Hd,
+            &cfg,
+            &w,
+            4,
+            true,
+            store,
+        )
+        .expect("persistent run");
+        assert_eq!(run.mismatches, 0);
+        assert!(!recovery.warm, "first run starts cold");
+        assert!(info.entries > 0, "warm cache must snapshot entries");
+
+        // Second session over the same dir restores those entries.
+        let store = Arc::new(CacheStore::open(&dir).expect("reopen store"));
+        let (run2, recovery2, _info2) = run_multi_client_persistent(
+            &dataset,
+            &|| Box::new(SiMethod),
+            PolicyKind::Hd,
+            &cfg,
+            &w,
+            2,
+            true,
+            store,
+        )
+        .expect("warm restart run");
+        assert_eq!(run2.mismatches, 0);
+        assert!(recovery2.warm, "second run must warm-restart");
+        assert_eq!(recovery2.snapshot_entries, info.entries);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

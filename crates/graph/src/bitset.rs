@@ -53,7 +53,7 @@ impl BitSet {
 
     /// Number of members.
     pub fn count(&self) -> usize {
-        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+        crate::simd::popcount_words(&self.blocks)
     }
 
     /// `true` iff no members.
@@ -101,25 +101,19 @@ impl BitSet {
     /// `self ∪= other`.
     pub fn union_with(&mut self, other: &BitSet) {
         self.check(other);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a |= b;
-        }
+        crate::simd::or_words(&mut self.blocks, &other.blocks);
     }
 
     /// `self ∩= other`.
     pub fn intersect_with(&mut self, other: &BitSet) {
         self.check(other);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a &= b;
-        }
+        crate::simd::and_words(&mut self.blocks, &other.blocks);
     }
 
     /// `self \= other`.
     pub fn difference_with(&mut self, other: &BitSet) {
         self.check(other);
-        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
-            *a &= !b;
-        }
+        crate::simd::andnot_words(&mut self.blocks, &other.blocks);
     }
 
     /// `true` iff `self ⊆ other`.
@@ -135,9 +129,34 @@ impl BitSet {
     }
 
     /// `|self ∩ other|` without materialising the intersection.
-    pub fn intersection_count(&self, other: &BitSet) -> usize {
+    pub fn intersect_count(&self, other: &BitSet) -> usize {
         self.check(other);
-        self.blocks.iter().zip(&other.blocks).map(|(a, b)| (a & b).count_ones() as usize).sum()
+        crate::simd::and_popcount_words(&self.blocks, &other.blocks)
+    }
+
+    /// `|self ∩ other|` — long-form alias of [`BitSet::intersect_count`].
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        self.intersect_count(other)
+    }
+
+    /// `|self \ other|` without materialising the difference.
+    pub fn difference_count(&self, other: &BitSet) -> usize {
+        self.check(other);
+        crate::simd::andnot_popcount_words(&self.blocks, &other.blocks)
+    }
+
+    /// Iterator over the members of `self ∩ other`, ascending, computed one
+    /// word at a time — no temporary set is allocated.
+    pub fn intersection_ones<'a>(&'a self, other: &'a BitSet) -> PairOnes<'a> {
+        self.check(other);
+        PairOnes::new(&self.blocks, &other.blocks, false)
+    }
+
+    /// Iterator over the members of `self \ other`, ascending, computed one
+    /// word at a time — no temporary set is allocated.
+    pub fn difference_ones<'a>(&'a self, other: &'a BitSet) -> PairOnes<'a> {
+        self.check(other);
+        PairOnes::new(&self.blocks, &other.blocks, true)
     }
 
     /// Iterator over member indices in ascending order.
@@ -199,6 +218,26 @@ impl BitSet {
         }
     }
 
+    /// `self ∩= { id | (id, c) ∈ postings, c >= need }` — the posting-list
+    /// form of [`BitSet::intersect_with_sorted`], for `(id, count)` runs
+    /// sorted by strictly ascending id. Runs the dispatched chunked kernel:
+    /// the count filter is folded branch-free into the per-word mask and no
+    /// temporary set (or filtering iterator) is materialized.
+    ///
+    /// # Panics
+    /// Panics if any id is `>= universe`. Debug-asserts ascending order.
+    pub fn intersect_with_postings(&mut self, postings: &[(u32, u32)], need: u32) {
+        if let Some(&(last, _)) = postings.last() {
+            // Sorted ascending, so the last id bounds them all.
+            assert!((last as usize) < self.len, "index {last} out of universe {}", self.len);
+        }
+        debug_assert!(
+            postings.windows(2).all(|w| w[0].0 < w[1].0),
+            "postings must be strictly ascending by id"
+        );
+        crate::simd::intersect_postings(&mut self.blocks, postings, need);
+    }
+
     /// Collect members into a `Vec<usize>` (ascending).
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
@@ -257,6 +296,50 @@ impl<'a> IntoIterator for &'a BitSet {
 
     fn into_iter(self) -> Iter<'a> {
         self.iter()
+    }
+}
+
+/// Iterator over the members of `a ∩ b` or `a \ b` (see
+/// [`BitSet::intersection_ones`] / [`BitSet::difference_ones`]): each
+/// combined word is computed lazily when reached, so walking the pair costs
+/// no allocation and touches each block once.
+pub struct PairOnes<'a> {
+    a: &'a [u64],
+    b: &'a [u64],
+    /// `false`: `a & b`; `true`: `a & !b`.
+    invert: bool,
+    block_idx: usize,
+    current: u64,
+}
+
+impl<'a> PairOnes<'a> {
+    fn new(a: &'a [u64], b: &'a [u64], invert: bool) -> Self {
+        let current = match (a.first(), b.first()) {
+            (Some(&x), Some(&y)) => x & if invert { !y } else { y },
+            _ => 0,
+        };
+        PairOnes { a, b, invert, block_idx: 0, current }
+    }
+}
+
+impl Iterator for PairOnes<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.block_idx * BITS + bit);
+            }
+            self.block_idx += 1;
+            if self.block_idx >= self.a.len() {
+                return None;
+            }
+            let y = self.b[self.block_idx];
+            self.current = self.a[self.block_idx] & if self.invert { !y } else { y };
+        }
     }
 }
 
@@ -385,6 +468,54 @@ mod tests {
         let mut d = BitSet::from_indices(200, [0usize, 64, 128, 199]);
         d.intersect_with_sorted([199usize]);
         assert_eq!(d.to_vec(), vec![199]);
+    }
+
+    #[test]
+    fn lazy_counts_and_pair_iterators_match_materialized() {
+        let a = BitSet::from_indices(200, [0usize, 1, 63, 64, 65, 127, 128, 129, 199]);
+        let b = BitSet::from_indices(200, [1usize, 64, 90, 128, 199]);
+        let mut inter = a.clone();
+        inter.intersect_with(&b);
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        assert_eq!(a.intersect_count(&b), inter.count());
+        assert_eq!(a.intersection_count(&b), inter.count());
+        assert_eq!(a.difference_count(&b), diff.count());
+        assert_eq!(a.intersection_ones(&b).collect::<Vec<_>>(), inter.to_vec());
+        assert_eq!(a.difference_ones(&b).collect::<Vec<_>>(), diff.to_vec());
+        // Empty-universe pairs terminate immediately.
+        let e = BitSet::new(0);
+        assert_eq!(e.intersection_ones(&e).next(), None);
+        assert_eq!(e.difference_ones(&e).next(), None);
+    }
+
+    #[test]
+    fn intersect_with_postings_matches_filtered_sorted() {
+        let base: Vec<usize> = vec![0, 1, 62, 63, 64, 65, 100, 127, 128, 129];
+        let postings: Vec<(u32, u32)> = vec![(1, 2), (63, 1), (64, 3), (90, 9), (128, 2)];
+        for need in [1u32, 2, 3, 4] {
+            let mut a = BitSet::from_indices(130, base.iter().copied());
+            let mut b = a.clone();
+            a.intersect_with_sorted(
+                postings.iter().filter(|&&(_, c)| c >= need).map(|&(id, _)| id as usize),
+            );
+            b.intersect_with_postings(&postings, need);
+            assert_eq!(a, b, "need {need}");
+        }
+        // Empty posting list clears; empty universe tolerates empty list.
+        let mut c = BitSet::from_indices(130, base.iter().copied());
+        c.intersect_with_postings(&[], 1);
+        assert!(c.is_empty());
+        let mut e = BitSet::new(0);
+        e.intersect_with_postings(&[], 1);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn intersect_with_postings_rejects_out_of_universe() {
+        let mut a = BitSet::new(64);
+        a.intersect_with_postings(&[(10, 1), (64, 1)], 1);
     }
 
     #[test]

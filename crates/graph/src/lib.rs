@@ -9,6 +9,8 @@
 //!   sets over dataset graph ids;
 //! * [`io`]: reader/writer for the `t/v/e` text format used by the classic
 //!   graph-query datasets (AIDS, PubChem, gSpan tooling);
+//! * [`simd`]: runtime-dispatched word/SIMD kernels under every hot
+//!   [`BitSet`] and posting-merge loop (portable scalar fallback included);
 //! * [`hash`]: Weisfeiler–Lehman fingerprints used for exact-match cache hits;
 //! * [`invariants`]: cheap necessary conditions for subgraph containment used
 //!   to prune sub-iso tests before they start.
@@ -18,7 +20,10 @@
 //! noted by the paper as straightforward generalisations and are out of scope
 //! here (see DESIGN.md).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// runtime-dispatched kernel module, which opts back in with a scoped
+// `#![allow(unsafe_code)]` (feature-gated calls + raw vector loads).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitset;
@@ -28,8 +33,9 @@ mod graph;
 pub mod hash;
 pub mod invariants;
 pub mod io;
+pub mod simd;
 
-pub use bitset::BitSet;
+pub use bitset::{BitSet, PairOnes};
 pub use builder::{graph_from_parts, GraphBuilder};
 pub use error::GraphError;
 pub use graph::{EdgeIter, Graph, GraphId, Label, VertexId};

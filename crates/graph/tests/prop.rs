@@ -104,4 +104,74 @@ proptest! {
     fn fingerprint_deterministic(g in arb_graph(8, 3)) {
         prop_assert_eq!(gc_graph::hash::fingerprint(&g), gc_graph::hash::fingerprint(&g.clone()));
     }
+
+    #[test]
+    fn dispatched_kernels_match_scalar_reference(
+        // Sizes straddle every u64 block edge: empty, 1, 63/64/65,
+        // 127/128/129, plus a multi-block tail.
+        size_idx in 0usize..9,
+        abits in proptest::collection::vec(any::<bool>(), 200),
+        bbits in proptest::collection::vec(any::<bool>(), 200),
+    ) {
+        use gc_graph::simd::{self, scalar};
+        let universe = [0usize, 1, 63, 64, 65, 127, 128, 129, 200][size_idx];
+        let nblocks = universe.div_ceil(64);
+        let pack = |bits: &[bool]| {
+            let mut w = vec![0u64; nblocks];
+            for i in 0..universe {
+                if bits[i] {
+                    w[i / 64] |= 1 << (i % 64);
+                }
+            }
+            w
+        };
+        let (a, b) = (pack(&abits), pack(&bbits));
+        for (dispatched, reference) in [
+            (simd::and_words as fn(&mut [u64], &[u64]), scalar::and_words as fn(&mut [u64], &[u64])),
+            (simd::or_words, scalar::or_words),
+            (simd::andnot_words, scalar::andnot_words),
+        ] {
+            let (mut x, mut y) = (a.clone(), a.clone());
+            dispatched(&mut x, &b);
+            reference(&mut y, &b);
+            prop_assert_eq!(x, y, "universe {}", universe);
+        }
+        prop_assert_eq!(simd::popcount_words(&a), scalar::popcount_words(&a));
+        prop_assert_eq!(simd::and_popcount_words(&a, &b), scalar::and_popcount_words(&a, &b));
+        prop_assert_eq!(simd::andnot_popcount_words(&a, &b), scalar::andnot_popcount_words(&a, &b));
+        // The full set exercises the all-ones tail words too.
+        let full = vec![!0u64; nblocks];
+        prop_assert_eq!(simd::popcount_words(&full), scalar::popcount_words(&full));
+        prop_assert_eq!(simd::and_popcount_words(&full, &b), scalar::and_popcount_words(&full, &b));
+    }
+
+    #[test]
+    fn dispatched_posting_kernels_match_scalar_reference(
+        cur_raw in proptest::collection::vec(0u32..400, 0..80),
+        list_raw in proptest::collection::vec((0u32..400, 1u32..5), 0..80),
+        need in 1u32..5,
+    ) {
+        use gc_graph::simd::{self, scalar};
+        let mut cur: Vec<u32> = cur_raw;
+        cur.sort_unstable();
+        cur.dedup();
+        let mut list: Vec<(u32, u32)> = list_raw;
+        list.sort_unstable_by_key(|&(id, _)| id);
+        list.dedup_by_key(|&mut (id, _)| id);
+        // Pair-merge kernel (AVX2 blocks + scalar tail) ≡ linear reference.
+        let (mut got, mut want) = (Vec::new(), Vec::new());
+        simd::intersect_pairs(&cur, &list, need, &mut got);
+        scalar::intersect_pairs(&cur, &list, need, &mut want);
+        prop_assert_eq!(&got, &want);
+        // Chunked posting intersection ≡ BitSet filtered-iterator form.
+        let universe = 400usize;
+        let mut via_kernel = BitSet::from_indices(universe, cur.iter().map(|&i| i as usize));
+        let mut via_sorted = via_kernel.clone();
+        via_kernel.intersect_with_postings(&list, need);
+        via_sorted.intersect_with_sorted(
+            list.iter().filter(|&&(_, c)| c >= need).map(|&(id, _)| id as usize),
+        );
+        prop_assert_eq!(&via_kernel, &via_sorted);
+        prop_assert_eq!(via_kernel.to_vec(), want.iter().map(|&i| i as usize).collect::<Vec<_>>());
+    }
 }

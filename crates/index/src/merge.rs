@@ -12,11 +12,20 @@
 //!   monotone cursor: `O(short · log(long/short))`, which wins when the
 //!   lengths are wildly skewed (needle-tail posting distributions).
 //!
+//! A third kernel, [`intersect_simd`], is the word/SIMD-parallel
+//! counterpart of the linear merge: it defers to
+//! [`gc_graph::simd::intersect_pairs`], which compares one candidate
+//! against 8 posting ids per step on AVX2 machines (runtime-dispatched,
+//! portable fallback identical to [`intersect_two_pointer`]).
+//!
 //! [`intersect_adaptive`] picks per step by the length ratio against
-//! [`crate::IndexTuning::gallop_cutoff`]. The two kernels are
+//! [`crate::IndexTuning::gallop_cutoff`]: galloping for wildly skewed
+//! lengths, the dispatched SIMD merge otherwise — except the middle-skew
+//! band where the AVX2 block-scan outruns exponential search
+//! ([`gc_graph::simd::pair_scan_wins`]), which stays SIMD. The kernels are
 //! cross-checked on adversarial skews in this module's tests and under
 //! randomized inputs in `tests/prop.rs` (`gallop_matches_two_pointer`),
-//! and raced in `gc-bench/benches/merge.rs`; all three write the same
+//! and raced in `gc-bench/benches/merge.rs`; all of them write the same
 //! result:
 //! sorted ids `e ∈ cur` with a posting `(e, c)` in `list` where
 //! `c >= need`.
@@ -94,9 +103,21 @@ pub fn intersect_gallop(cur: &[u32], list: &[(u32, u32)], need: u32, out: &mut V
     }
 }
 
+/// Word/SIMD-parallel linear intersection step: semantics identical to
+/// [`intersect_two_pointer`], executed by the runtime-dispatched
+/// [`gc_graph::simd::intersect_pairs`] kernel (AVX2 8-wide id compares on
+/// machines that have it, the portable linear merge elsewhere).
+pub fn intersect_simd(cur: &[u32], list: &[(u32, u32)], need: u32, out: &mut Vec<u32>) {
+    gc_graph::simd::intersect_pairs(cur, list, need, out)
+}
+
 /// Per-step kernel selection: gallop when the longer input is at least
-/// `gallop_cutoff` times the shorter one, two-pointer otherwise. A cutoff
-/// of 1 gallops always; `usize::MAX` never does.
+/// `gallop_cutoff` times the shorter one, the dispatched SIMD linear merge
+/// ([`intersect_simd`]) otherwise. A cutoff of 1 gallops always;
+/// `usize::MAX` never does. One carve-out on AVX2 machines: in the
+/// middle-skew band where the vector block-scan beats exponential search
+/// ([`gc_graph::simd::pair_scan_wins`], roughly 8×–256× list-over-run),
+/// the SIMD kernel is preferred even past the gallop cutoff.
 pub fn intersect_adaptive(
     cur: &[u32],
     list: &[(u32, u32)],
@@ -105,10 +126,12 @@ pub fn intersect_adaptive(
     out: &mut Vec<u32>,
 ) {
     let (short, long) = (cur.len().min(list.len()), cur.len().max(list.len()));
-    if long >= gallop_cutoff.saturating_mul(short.max(1)) {
+    if long >= gallop_cutoff.saturating_mul(short.max(1))
+        && !gc_graph::simd::pair_scan_wins(cur.len(), list.len())
+    {
         intersect_gallop(cur, list, need, out);
     } else {
-        intersect_two_pointer(cur, list, need, out);
+        intersect_simd(cur, list, need, out);
     }
 }
 
@@ -117,12 +140,14 @@ mod tests {
     use super::*;
 
     fn both(cur: &[u32], list: &[(u32, u32)], need: u32) -> Vec<u32> {
-        let (mut a, mut b, mut c) = (Vec::new(), Vec::new(), Vec::new());
+        let (mut a, mut b, mut c, mut d) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
         intersect_two_pointer(cur, list, need, &mut a);
         intersect_gallop(cur, list, need, &mut b);
         intersect_adaptive(cur, list, need, 4, &mut c);
+        intersect_simd(cur, list, need, &mut d);
         assert_eq!(a, b, "gallop diverged from two-pointer");
         assert_eq!(a, c, "adaptive diverged from two-pointer");
+        assert_eq!(a, d, "simd diverged from two-pointer");
         a
     }
 

@@ -691,18 +691,13 @@ impl TreeIndex {
                 }
             }
         } else {
-            // Most selective first, word-merged straight into `out`; the
+            // Most selective first, chunk-merged straight into `out` by the
+            // dispatched posting kernel (count filter folded in); the
             // first intersection also erases never-indexed gap ids.
             scratch.req.sort_unstable_by_key(|&(slot, _)| self.dir.list(slot).len());
             out.set_all();
             for &(slot, need) in &scratch.req {
-                out.intersect_with_sorted(
-                    self.dir
-                        .list(slot)
-                        .iter()
-                        .filter(|&&(_, c)| c >= need)
-                        .map(|&(gid, _)| gid as usize),
-                );
+                out.intersect_with_postings(self.dir.list(slot), need);
                 if out.is_empty() {
                     break;
                 }

@@ -335,16 +335,12 @@ impl PathTrie {
         // still holds.)
         Self::aggregate_required(scratch);
         // Intersect, most selective (shortest posting list) first, each
-        // feature's qualifying postings word-merged straight into `out`.
+        // feature's qualifying postings chunk-merged straight into `out` by
+        // the dispatched posting kernel (count filter folded in).
         scratch.merged.sort_unstable_by_key(|&(n, _)| self.node_postings(n).len());
         out.set_all();
         for &(n, req) in &scratch.merged {
-            out.intersect_with_sorted(
-                self.node_postings(n)
-                    .iter()
-                    .filter(|&&(_, c)| c >= req)
-                    .map(|&(gid, _)| gid as usize),
-            );
+            out.intersect_with_postings(self.node_postings(n), req);
             if out.is_empty() {
                 break;
             }
