@@ -17,10 +17,11 @@
 //!    **answers are cross-checked identical query-by-query** (and against
 //!    Method M alone), and the time/queries to reach the target hit ratio
 //!    are compared — the headline cold-vs-warm numbers.
-//! 4. **Corruption injection**: bit-flipped, truncated and mid-record-torn
-//!    snapshot/journal files must all fail closed to a *cold but correct*
-//!    start. Any violation **exits nonzero**, making this a recovery gate
-//!    as well as a benchmark.
+//! 4. **Corruption injection**: bit-flipped and truncated snapshot/journal
+//!    files must all fail closed to a *cold but correct* start, while a
+//!    *torn journal tail* (the signature of a crash mid-append) must keep
+//!    the intact prefix and restore warm. Any violation **exits nonzero**,
+//!    making this a recovery gate as well as a benchmark.
 //!
 //! Writes `bench_results/exp11_warm_restart.json` and — as the repo's
 //! persistence perf-trajectory artifact — `BENCH_store.json` on full runs.
@@ -200,6 +201,12 @@ fn flip_byte(path: &Path, frac: f64) {
     std::fs::write(path, bytes).expect("write file");
 }
 
+fn flip_byte_at(path: &Path, pos: usize) {
+    let mut bytes = std::fs::read(path).expect("read file");
+    bytes[pos] ^= 0x40;
+    std::fs::write(path, bytes).expect("write file");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let ds_size = if smoke { 36 } else { 90 };
@@ -330,13 +337,14 @@ fn main() {
                 std::fs::write(&p, &bytes[..bytes.len() / 2]).expect("truncate snapshot");
             }),
         ),
-        ("journal_bitflip", Box::new(|d: &Path| flip_byte(&journal_file(d), 0.6))),
+        // A guaranteed mid-payload byte of the journal's FIRST record
+        // (header 44 + frame header 12 + 2): a bit flip inside a
+        // *complete* frame is corruption and must go cold — unlike a torn
+        // tail, which only drops the incomplete suffix (checked below).
         (
-            "journal_torn_record",
+            "journal_bitflip",
             Box::new(|d: &Path| {
-                let p = journal_file(d);
-                let bytes = std::fs::read(&p).expect("read journal");
-                std::fs::write(&p, &bytes[..bytes.len() - 5]).expect("tear journal");
+                flip_byte_at(&journal_file(d), gc_store::journal::HEADER_LEN + 12 + 2)
             }),
         ),
         (
@@ -346,6 +354,34 @@ fn main() {
     ];
     for (name, mutate) in cases {
         corruption_case(name, &golden, &ds, &cfg, probe, mutate);
+        corruption_cases_passed += 1;
+    }
+
+    // Torn journal tail: NOT corruption — the crash-mid-append signature.
+    // Recovery must keep the intact prefix (warm), report the dropped
+    // bytes, and stay exact.
+    {
+        let dir = fresh_dir("torn_tail");
+        copy_dir(&golden, &dir);
+        let p = journal_file(&dir);
+        let bytes = std::fs::read(&p).expect("read journal");
+        std::fs::write(&p, &bytes[..bytes.len() - 5]).expect("tear journal");
+        let store = Arc::new(CacheStore::open(&dir).expect("open torn dir"));
+        let (mut gc, report) = session(&ds, &cfg, Some(store));
+        if !report.warm {
+            fail(&format!("torn tail went cold instead of warm: {:?}", report.cold_reason));
+        }
+        if report.journal_torn_bytes == 0 {
+            fail("torn tail restored warm but did not report the dropped bytes");
+        }
+        for wq in probe.iter().take(3) {
+            let got = gc.query(&wq.graph, wq.kind);
+            let want = execute_base(&ds, &SiMethod, Engine::Vf2, &wq.graph, wq.kind);
+            if got.answer != want.answer {
+                fail("torn-tail warm cache answer diverged");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
         corruption_cases_passed += 1;
     }
 

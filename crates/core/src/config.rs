@@ -2,6 +2,7 @@
 
 use gc_index::{FeatureConfig, IndexTuning};
 use gc_method::Engine;
+use gc_store::FsyncPolicy;
 
 /// Tunables of a [`crate::GraphCache`] instance.
 ///
@@ -65,6 +66,21 @@ pub struct CacheConfig {
     /// disk footprint between snapshots. `None` disables the size trigger.
     /// Must be > 0 when set.
     pub journal_max_bytes: Option<u64>,
+    /// Persistence: group-commit fsync policy applied to journal appends
+    /// when a store is attached (see [`FsyncPolicy`] for the bounded-loss
+    /// guarantee of each variant). `EveryN`/`IntervalMs` arguments must
+    /// be > 0.
+    pub fsync_policy: FsyncPolicy,
+    /// Persistence: how many times a failed journal append is retried
+    /// (with capped exponential backoff) before the persistence circuit
+    /// breaker trips to [`crate::persist::PersistHealth::Degraded`].
+    /// 0 means "no retries: degrade on the first failure".
+    pub persist_retries: u32,
+    /// Persistence: how many consecutive failed recovery probes (each one
+    /// an attempt to cut a fresh snapshot while degraded) are allowed
+    /// before persistence gives up and goes
+    /// [`crate::persist::PersistHealth::Disabled`]. Must be > 0.
+    pub persist_max_probes: u32,
 }
 
 impl Default for CacheConfig {
@@ -85,6 +101,9 @@ impl Default for CacheConfig {
             shards: 8,
             snapshot_interval: None,
             journal_max_bytes: None,
+            fsync_policy: FsyncPolicy::Never,
+            persist_retries: 3,
+            persist_max_probes: 16,
         }
     }
 }
@@ -121,6 +140,16 @@ impl CacheConfig {
         if self.journal_max_bytes == Some(0) {
             return Err("journal_max_bytes must be > 0 when set".into());
         }
+        match self.fsync_policy {
+            FsyncPolicy::EveryN(0) => return Err("fsync_policy EveryN(n) needs n > 0".into()),
+            FsyncPolicy::IntervalMs(0) => {
+                return Err("fsync_policy IntervalMs(ms) needs ms > 0".into())
+            }
+            _ => {}
+        }
+        if self.persist_max_probes == 0 {
+            return Err("persist_max_probes must be > 0".into());
+        }
         self.index_tuning.validate()?;
         Ok(())
     }
@@ -156,6 +185,18 @@ mod tests {
         assert!(CacheConfig { journal_max_bytes: Some(1 << 20), ..CacheConfig::default() }
             .validate()
             .is_ok());
+        assert!(CacheConfig { fsync_policy: FsyncPolicy::EveryN(0), ..CacheConfig::default() }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { fsync_policy: FsyncPolicy::IntervalMs(0), ..CacheConfig::default() }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { fsync_policy: FsyncPolicy::EveryN(8), ..CacheConfig::default() }
+            .validate()
+            .is_ok());
+        assert!(CacheConfig { persist_max_probes: 0, ..CacheConfig::default() }
+            .validate()
+            .is_err());
         let bad_tuning = IndexTuning { gallop_cutoff: 0, ..IndexTuning::default() };
         assert!(CacheConfig { index_tuning: bad_tuning, ..CacheConfig::default() }
             .validate()

@@ -70,7 +70,9 @@ pub use parallel::{global_pool, verify_candidates, VerifyOutcome, VerifyPool};
 pub use cache::CacheManager;
 pub use config::CacheConfig;
 pub use entry::{CacheEntry, EntryId, EntryStats};
-pub use persist::{CacheStore, LoadOutcome, RecoveryReport, SnapshotInfo, Snapshotter};
+pub use persist::{
+    CacheStore, FsyncPolicy, LoadOutcome, PersistHealth, RecoveryReport, SnapshotInfo, Snapshotter,
+};
 pub use pipeline::probe::{find_exact, probe, CacheHits, Hit, Relation};
 pub use pipeline::prune::{prune, Pruned};
 pub use pipeline::PipelineCtx;

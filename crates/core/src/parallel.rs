@@ -252,13 +252,38 @@ impl<T> JobQueue<T> {
     }
 }
 
+/// One chunk's verification verdicts: `(graph id, embeds, steps)`.
+type ChunkVerdicts = Vec<(usize, bool, u64)>;
+
 struct Job {
     dataset: Arc<Dataset>,
     query: Arc<Graph>,
     profile: Arc<QueryProfile>,
     engine: Engine,
     ids: Vec<usize>,
-    reply: mpsc::Sender<Vec<(usize, bool, u64)>>,
+    /// Index of this chunk within its `verify()` call, echoed in the
+    /// reply so the caller knows exactly which chunks went missing (a
+    /// panicked worker never replies) and can re-verify them inline.
+    chunk: usize,
+    reply: mpsc::Sender<(usize, ChunkVerdicts)>,
+}
+
+/// Fault-plan slot shared by a pool and its workers (chaos testing: armed
+/// [`gc_store::FaultSite::Task`] points fire inside the workers'
+/// `catch_unwind`, exercising the lost-task fallbacks).
+type TaskFaults = Arc<Mutex<Option<Arc<gc_store::FaultPlan>>>>;
+
+/// Consult the pool's fault plan before running a task body. Injected
+/// errors and panics both panic here — inside the worker's
+/// `catch_unwind` — so the task dies exactly like a genuine panic would.
+fn inject_task_fault(faults: &TaskFaults) {
+    let plan = faults.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    if let Some(plan) = plan {
+        match plan.on_op(gc_store::FaultSite::Task) {
+            gc_store::FaultAction::Proceed => {}
+            action => panic!("injected pool-task fault: {action:?}"),
+        }
+    }
 }
 
 /// One unit of pool work: a verification chunk, or an arbitrary one-shot
@@ -284,6 +309,7 @@ pub struct VerifyPool {
     jobs: Arc<JobQueue<Task>>,
     workers: Vec<JoinHandle<()>>,
     size: usize,
+    faults: TaskFaults,
 }
 
 impl VerifyPool {
@@ -291,9 +317,11 @@ impl VerifyPool {
     pub fn new(size: usize) -> Self {
         let size = size.max(1);
         let jobs: Arc<JobQueue<Task>> = Arc::new(JobQueue::new());
+        let faults: TaskFaults = Arc::new(Mutex::new(None));
         let workers = (0..size)
             .map(|i| {
                 let jobs = Arc::clone(&jobs);
+                let faults = Arc::clone(&faults);
                 std::thread::Builder::new()
                     .name(format!("gc-verify-{i}"))
                     .spawn(move || {
@@ -304,16 +332,19 @@ impl VerifyPool {
                         while let Some(task) = jobs.pop() {
                             // Confine a panicking task to itself: its reply
                             // sender is dropped without a send, so only the
-                            // requesting query fails (its recv errors or
-                            // falls back) — the worker lives on to serve
-                            // other queries. Without this, one poisoned
-                            // graph would silently kill global_pool()
-                            // workers until every query in the process hung
-                            // on recv().
+                            // requesting caller is affected — and it
+                            // recovers by redoing the lost chunk inline
+                            // (verify()'s fallback, probe_shards_parallel's
+                            // re-probe). The worker lives on to serve other
+                            // queries. Without this, one poisoned graph
+                            // would silently kill global_pool() workers
+                            // until every query in the process hung on
+                            // recv().
                             match task {
                                 Task::Verify(job) => {
                                     let result = std::panic::catch_unwind(
                                         std::panic::AssertUnwindSafe(|| {
+                                            inject_task_fault(&faults);
                                             job.ids
                                                 .iter()
                                                 .map(|&gid| {
@@ -332,12 +363,16 @@ impl VerifyPool {
                                     if let Ok(outcome) = result {
                                         // Receiver may have given up;
                                         // ignore send errors.
-                                        let _ = job.reply.send(outcome);
+                                        let _ = job.reply.send((job.chunk, outcome));
                                     }
                                 }
                                 Task::Run(f) => {
-                                    let _ =
-                                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                                        || {
+                                            inject_task_fault(&faults);
+                                            f();
+                                        },
+                                    ));
                                 }
                             }
                         }
@@ -345,12 +380,21 @@ impl VerifyPool {
                     .expect("spawn verification worker")
             })
             .collect();
-        VerifyPool { jobs, workers, size }
+        VerifyPool { jobs, workers, size, faults }
     }
 
     /// Number of workers.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Install (or with `None`, remove) a fault plan consulted by every
+    /// worker before each task ([`gc_store::FaultSite::Task`]) — the
+    /// chaos harness's way of injecting worker panics to exercise the
+    /// lost-task fallbacks. No plan (the default) costs one uncontended
+    /// lock per task.
+    pub fn set_fault_plan(&self, plan: Option<Arc<gc_store::FaultPlan>>) {
+        *self.faults.lock().unwrap_or_else(|e| e.into_inner()) = plan;
     }
 
     /// Run an arbitrary one-shot task on the pool's workers — the batched
@@ -366,6 +410,11 @@ impl VerifyPool {
     /// Verify `to_verify` against the dataset, returning survivors, total
     /// verifier steps and per-graph costs. Deterministic: the result is
     /// independent of worker scheduling.
+    ///
+    /// Resilient to worker panics: a chunk whose task dies (its reply
+    /// never arrives) is re-verified inline by this caller, so a poisoned
+    /// task costs latency, never an answer — the same guarantee as the
+    /// shard-probe fallback in [`crate::SharedGraphCache`].
     pub fn verify(
         &self,
         dataset: &Arc<Dataset>,
@@ -395,29 +444,57 @@ impl VerifyPool {
         // Oversplit ~2x for load balance under skewed verify costs.
         let chunks = (2 * self.size).min(ids.len());
         let chunk_len = ids.len().div_ceil(chunks);
-        let mut sent = 0usize;
-        for slice in ids.chunks(chunk_len) {
+        let slices: Vec<&[usize]> = ids.chunks(chunk_len).collect();
+        for (chunk, slice) in slices.iter().enumerate() {
             let pushed = self.jobs.push(Task::Verify(Job {
                 dataset: dataset.clone(),
                 query: query.clone(),
                 profile: profile.clone(),
                 engine,
                 ids: slice.to_vec(),
+                chunk,
                 reply: reply_tx.clone(),
             }));
             assert!(pushed, "workers are alive while the pool exists");
-            sent += 1;
         }
         drop(reply_tx);
-        for _ in 0..sent {
-            let local = reply_rx
-                .recv()
-                .expect("a verification job panicked in the worker pool (see worker backtrace)");
+        let mut received = vec![false; slices.len()];
+        let mut got = 0usize;
+        while got < slices.len() {
+            // The channel closes once every job has replied or died (each
+            // job owns one sender clone, dropped either way): a recv error
+            // here means some chunks are lost, never that more are coming.
+            let Ok((chunk, local)) = reply_rx.recv() else { break };
+            received[chunk] = true;
+            got += 1;
             for (gid, ok, s) in local {
                 out.steps += s;
                 out.costs.push((gid, s));
                 if ok {
                     out.survivors.insert(gid);
+                }
+            }
+        }
+        if got < slices.len() {
+            // A worker panicked mid-chunk: redo the lost chunks inline.
+            let mut scratch = VfScratch::new();
+            for (chunk, slice) in slices.iter().enumerate() {
+                if received[chunk] {
+                    continue;
+                }
+                for &gid in *slice {
+                    let (ok, s) = engine.verify_candidate(
+                        dataset,
+                        &profile,
+                        &query,
+                        gid as u32,
+                        &mut scratch,
+                    );
+                    out.steps += s;
+                    out.costs.push((gid, s));
+                    if ok {
+                        out.survivors.insert(gid);
+                    }
                 }
             }
         }
@@ -524,6 +601,38 @@ mod pool_tests {
         let b = pool.verify(&ds, Engine::Vf2, &qp, &q, &one);
         assert_eq!(b.survivors.to_vec(), vec![3]);
         assert_eq!(b.costs.len(), 1);
+    }
+
+    #[test]
+    fn verify_survives_injected_worker_panics() {
+        use gc_store::{Failpoint, FaultPlan, FaultSite};
+        let ds = dataset();
+        let q = g(&[0, 1], &[(0, 1)]);
+        let qp = QueryProfile::new(&ds, &q, QueryKind::Subgraph);
+        let all = ds.all_graphs();
+        let expect = verify_candidates(&ds, Engine::Vf2, &qp, &q, &all, 1);
+
+        let pool = VerifyPool::new(2);
+        // Every task panics: every chunk is lost and redone inline.
+        let all_die = Arc::new(FaultPlan::seeded(1));
+        all_die.arm(FaultSite::Task, Failpoint::ErrAfter { n: 0 });
+        pool.set_fault_plan(Some(all_die.clone()));
+        let got = pool.verify(&ds, Engine::Vf2, &qp, &q, &all);
+        assert_eq!(got, expect, "all chunks lost, all recovered inline");
+        assert!(all_die.fired() > 0, "the injection actually fired");
+
+        // One task panics: the one lost chunk is redone, the rest arrive
+        // from the workers.
+        let one_dies = Arc::new(FaultPlan::seeded(2));
+        one_dies.arm(FaultSite::Task, Failpoint::PanicAt { n: 0 });
+        pool.set_fault_plan(Some(one_dies));
+        let got = pool.verify(&ds, Engine::Vf2, &qp, &q, &all);
+        assert_eq!(got, expect, "one lost chunk recovered inline");
+
+        // Plan removed: back to the pure pool path.
+        pool.set_fault_plan(None);
+        let got = pool.verify(&ds, Engine::Vf2, &qp, &q, &all);
+        assert_eq!(got, expect);
     }
 
     #[test]

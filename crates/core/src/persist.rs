@@ -30,11 +30,14 @@ use crate::entry::{CacheEntry, EntryStats};
 use crate::stats::GlobalStats;
 use gc_method::Dataset;
 use gc_store::{EntryRecord, EntryStatsRecord, JournalRecord, RecoveredState, SnapshotDoc};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-pub use gc_store::{CacheStore, LoadOutcome, SnapshotInfo};
+pub use gc_store::{
+    inspect_dir, CacheStore, DoctorReport, Failpoint, FaultPlan, FaultSite, FsyncPolicy,
+    LoadOutcome, RestoreVerdict, SnapshotInfo,
+};
 
 /// What a restart recovered, for logs and dashboards.
 #[derive(Debug, Clone, Default)]
@@ -57,6 +60,9 @@ pub struct RecoveryReport {
     pub entries_restored: usize,
     /// Restored logical clock.
     pub clock: u64,
+    /// Bytes of a torn journal tail (a crash mid-append) dropped during
+    /// recovery; 0 for a clean journal.
+    pub journal_torn_bytes: usize,
 }
 
 impl RecoveryReport {
@@ -68,9 +74,14 @@ impl RecoveryReport {
     /// One-line human-readable summary.
     pub fn describe(&self) -> String {
         if self.warm {
+            let torn = if self.journal_torn_bytes > 0 {
+                format!(", dropped a {}-byte torn journal tail", self.journal_torn_bytes)
+            } else {
+                String::new()
+            };
             format!(
                 "warm restart: {} entries restored (snapshot {} + journal {} admits / {} evicts), \
-                 generation {}, clock {}",
+                 generation {}, clock {}{torn}",
                 self.entries_restored,
                 self.snapshot_entries,
                 self.journal_admits,
@@ -292,6 +303,193 @@ pub(crate) fn replay(
     counts
 }
 
+// ---- persistence health (circuit breaker) ------------------------------------
+
+/// Circuit-breaker state of an attached [`CacheStore`].
+///
+/// Store failures never fail a query — the cache's answers come from
+/// memory and stay exact no matter what the disk does. The breaker only
+/// governs *durability*:
+///
+/// - `Healthy` — appends and rotations flow normally.
+/// - `Degraded` — the store is down (appends failed past their retry
+///   budget, or a rotation failed). Mutations are counted but not
+///   persisted; a recovery probe periodically tries to cut a fresh full
+///   snapshot, which — because a snapshot captures the complete live
+///   state — subsumes everything that went unjournaled and restores
+///   durability in one step.
+/// - `Disabled` — the configured probe budget
+///   ([`crate::CacheConfig::persist_max_probes`]) was exhausted;
+///   persistence stays off until a manual
+///   [`crate::GraphCache::snapshot_now`] (or the shared equivalent)
+///   succeeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistHealth {
+    /// Durability active.
+    Healthy,
+    /// Store down; serving memory-only while probing for recovery.
+    Degraded,
+    /// Probe budget exhausted; manual re-arm required.
+    Disabled,
+}
+
+impl PersistHealth {
+    /// Stable lowercase name (for gauges and dashboards).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PersistHealth::Healthy => "healthy",
+            PersistHealth::Degraded => "degraded",
+            PersistHealth::Disabled => "disabled",
+        }
+    }
+}
+
+const HEALTH_HEALTHY: u8 = 0;
+const HEALTH_DEGRADED: u8 = 1;
+const HEALTH_DISABLED: u8 = 2;
+
+/// First retry delay for a failed append (doubles per attempt).
+const RETRY_BASE: Duration = Duration::from_micros(500);
+/// Retry delay cap — keeps the worst-case stall on the query path small.
+const RETRY_CAP: Duration = Duration::from_millis(8);
+/// First recovery-probe delay after tripping to degraded.
+const PROBE_BASE: Duration = Duration::from_millis(25);
+/// Probe delay cap.
+const PROBE_CAP: Duration = Duration::from_secs(2);
+
+struct ProbeState {
+    /// Consecutive failed probes since the trip.
+    failed: u32,
+    /// When the next probe may run (None = not scheduled).
+    next_at: Option<Instant>,
+    /// Current backoff step.
+    backoff: Duration,
+}
+
+/// Shared health bookkeeping both runtimes consult on their journal path.
+/// Counters are atomics (read on every `stats()` call); probe scheduling
+/// sits behind a mutex touched only while degraded.
+pub(crate) struct StoreHealth {
+    state: AtomicU8,
+    errors: AtomicU64,
+    buffered: AtomicU64,
+    probe: Mutex<ProbeState>,
+}
+
+impl std::fmt::Debug for StoreHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreHealth")
+            .field("health", &self.health().as_str())
+            .field("errors", &self.errors())
+            .field("buffered", &self.buffered())
+            .finish()
+    }
+}
+
+impl StoreHealth {
+    pub(crate) fn new() -> Self {
+        StoreHealth {
+            state: AtomicU8::new(HEALTH_HEALTHY),
+            errors: AtomicU64::new(0),
+            buffered: AtomicU64::new(0),
+            probe: Mutex::new(ProbeState { failed: 0, next_at: None, backoff: PROBE_BASE }),
+        }
+    }
+
+    pub(crate) fn health(&self) -> PersistHealth {
+        match self.state.load(Ordering::Acquire) {
+            HEALTH_HEALTHY => PersistHealth::Healthy,
+            HEALTH_DEGRADED => PersistHealth::Degraded,
+            _ => PersistHealth::Disabled,
+        }
+    }
+
+    /// Total failed store operations (appends, rotations, probes).
+    pub(crate) fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Records accepted while degraded/disabled (not persisted; the
+    /// recovery snapshot subsumes them).
+    pub(crate) fn buffered(&self) -> u64 {
+        self.buffered.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_buffered(&self, n: u64) {
+        self.buffered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Trip to degraded (unless already disabled) and schedule the first
+    /// recovery probe.
+    pub(crate) fn trip_degraded(&self) {
+        let _ = self.state.compare_exchange(
+            HEALTH_HEALTHY,
+            HEALTH_DEGRADED,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        let mut probe = self.probe.lock().expect("probe lock");
+        if probe.next_at.is_none() {
+            probe.failed = 0;
+            probe.backoff = PROBE_BASE;
+            probe.next_at = Some(Instant::now() + PROBE_BASE);
+        }
+    }
+
+    /// While degraded: is a recovery probe due? (Does not consume the
+    /// deadline — the probe's outcome reschedules or clears it.)
+    pub(crate) fn probe_due(&self) -> bool {
+        if self.health() != PersistHealth::Degraded {
+            return false;
+        }
+        let probe = self.probe.lock().expect("probe lock");
+        probe.next_at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// A probe failed: back off, and give up (disable) past `max_probes`.
+    pub(crate) fn probe_failed(&self, max_probes: u32) {
+        self.note_error();
+        let mut probe = self.probe.lock().expect("probe lock");
+        probe.failed += 1;
+        if probe.failed >= max_probes {
+            self.state.store(HEALTH_DISABLED, Ordering::Release);
+            probe.next_at = None;
+        } else {
+            probe.backoff = (probe.backoff * 2).min(PROBE_CAP);
+            probe.next_at = Some(Instant::now() + probe.backoff);
+        }
+    }
+
+    /// Durability is re-established (a fresh full snapshot landed):
+    /// everything unpersisted is subsumed, so the buffered count resets.
+    pub(crate) fn mark_recovered(&self) {
+        self.state.store(HEALTH_HEALTHY, Ordering::Release);
+        self.buffered.store(0, Ordering::Relaxed);
+        let mut probe = self.probe.lock().expect("probe lock");
+        probe.failed = 0;
+        probe.backoff = PROBE_BASE;
+        probe.next_at = None;
+    }
+}
+
+/// What the runtime must do after [`journal_outcome`]: nothing, cut the
+/// scheduled auto-snapshot, or attempt a recovery snapshot (reporting the
+/// result back via [`StoreHealth::mark_recovered`] /
+/// [`StoreHealth::probe_failed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PersistDirective {
+    /// No follow-up.
+    Nothing,
+    /// A healthy auto-snapshot rotation is due.
+    Rotate,
+    /// Degraded and the probe deadline passed: try a recovery snapshot.
+    Probe,
+}
+
 /// `true` when an auto-snapshot should run: the admission-count interval
 /// or the journal byte threshold was reached (whichever knob is set).
 pub(crate) fn due_for_rotation(
@@ -304,9 +502,16 @@ pub(crate) fn due_for_rotation(
 }
 
 /// Append one query's admission/evictions to `store` (shared by both
-/// runtimes' journal hooks) and report whether an auto-snapshot rotation
-/// is now due. Persistence failures are reported to stderr and never fail
-/// the query — at worst the next restart loses warmth.
+/// runtimes' journal hooks), tracking `health`, and report what follow-up
+/// the runtime owes.
+///
+/// Persistence failures never fail the query — answers come from memory
+/// and stay exact. A failed append retries up to
+/// [`crate::CacheConfig::persist_retries`] times with capped exponential
+/// backoff (the store truncates torn partial writes before each retry, so
+/// retries are sound); past the budget the breaker trips to
+/// [`PersistHealth::Degraded`] and subsequent mutations are only counted
+/// ([`StoreHealth::buffered`]) until a recovery probe succeeds.
 ///
 /// `admits_since_snapshot` is the caller's post-increment counter value;
 /// entry ids are journaled exactly as the caller reports them
@@ -314,6 +519,7 @@ pub(crate) fn due_for_rotation(
 #[allow(clippy::too_many_arguments)] // mirrors the admit stage's query facts
 pub(crate) fn journal_outcome(
     store: &CacheStore,
+    health: &StoreHealth,
     cfg: &crate::config::CacheConfig,
     admits_since_snapshot: u64,
     query: &gc_graph::Graph,
@@ -324,9 +530,29 @@ pub(crate) fn journal_outcome(
     now: u64,
     admitted: Option<u32>,
     evicted: &[u32],
-) -> bool {
-    if admitted.is_none() && evicted.is_empty() {
-        return false;
+) -> PersistDirective {
+    let n_ops = admitted.is_some() as u64 + evicted.len() as u64;
+    match health.health() {
+        PersistHealth::Disabled => {
+            if n_ops > 0 {
+                health.note_buffered(n_ops);
+            }
+            return PersistDirective::Nothing;
+        }
+        PersistHealth::Degraded => {
+            if n_ops > 0 {
+                health.note_buffered(n_ops);
+            }
+            return if health.probe_due() {
+                PersistDirective::Probe
+            } else {
+                PersistDirective::Nothing
+            };
+        }
+        PersistHealth::Healthy => {}
+    }
+    if n_ops == 0 {
+        return PersistDirective::Nothing;
     }
     let answer_idx: Option<Vec<u32>> = admitted.map(|_| answer.iter().map(|i| i as u32).collect());
     let mut ops: Vec<gc_store::JournalOp<'_>> = Vec::new();
@@ -344,11 +570,35 @@ pub(crate) fn journal_outcome(
     for &id in evicted {
         ops.push(gc_store::JournalOp::Evict { orig_id: id, now });
     }
-    if let Err(e) = store.append(&ops) {
-        eprintln!("graphcache: journal append failed ({e}); state persists at next snapshot");
-        return false;
+    let mut delay = RETRY_BASE;
+    let mut attempt: u32 = 0;
+    loop {
+        match store.append(&ops) {
+            Ok(_) => {
+                return if due_for_rotation(cfg, admits_since_snapshot, store.journal_bytes()) {
+                    PersistDirective::Rotate
+                } else {
+                    PersistDirective::Nothing
+                };
+            }
+            Err(e) => {
+                health.note_error();
+                if attempt >= cfg.persist_retries {
+                    eprintln!(
+                        "graphcache: journal append failed after {} attempt(s) ({e}); \
+                         persistence degraded, serving memory-only while probing for recovery",
+                        attempt + 1
+                    );
+                    health.trip_degraded();
+                    health.note_buffered(n_ops);
+                    return PersistDirective::Nothing;
+                }
+                attempt += 1;
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(RETRY_CAP);
+            }
+        }
     }
-    due_for_rotation(cfg, admits_since_snapshot, store.journal_bytes())
 }
 
 /// Check a recovered snapshot against the dataset a cache serves; returns
@@ -372,7 +622,17 @@ pub(crate) fn dataset_mismatch(doc: &SnapshotDoc, dataset: &Dataset) -> Option<R
 struct SnapshotterShared {
     stop: Mutex<bool>,
     wake: Condvar,
+    /// Set by the worker as its last act; `shutdown` waits on it with a
+    /// bounded timeout so a wedged tick can never hang process exit.
+    done: Mutex<bool>,
+    done_wake: Condvar,
 }
+
+/// How long `shutdown` waits for the worker's final tick before detaching
+/// it (a tick stalled this long means pathologically slow I/O; blocking
+/// exit on it helps nobody — the store's atomic rotation keeps whatever
+/// state was last committed consistent).
+const SNAPSHOTTER_JOIN_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// A background thread that periodically snapshots a
 /// [`crate::SharedGraphCache`] to its attached store, quiescing one shard
@@ -400,6 +660,8 @@ pub struct Snapshotter {
     handle: Option<std::thread::JoinHandle<()>>,
     /// Ticks that failed (IO errors); for tests and health checks.
     failures: Arc<AtomicBool>,
+    /// Kept for the final best-effort journal sync at shutdown.
+    cache: Arc<crate::SharedGraphCache>,
 }
 
 impl std::fmt::Debug for SnapshotterShared {
@@ -413,30 +675,48 @@ impl Snapshotter {
     /// [`crate::SharedGraphCache::snapshot_now`]; ticks while no store is
     /// attached are no-ops.
     pub fn spawn(cache: Arc<crate::SharedGraphCache>, interval: Duration) -> Self {
-        let shared = Arc::new(SnapshotterShared { stop: Mutex::new(false), wake: Condvar::new() });
+        let shared = Arc::new(SnapshotterShared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+            done: Mutex::new(false),
+            done_wake: Condvar::new(),
+        });
         let failures = Arc::new(AtomicBool::new(false));
         let thread_shared = Arc::clone(&shared);
         let thread_failures = Arc::clone(&failures);
+        let thread_cache = Arc::clone(&cache);
         let handle = std::thread::Builder::new()
             .name("gc-snapshotter".into())
             .spawn(move || {
-                let mut stopped = thread_shared.stop.lock().expect("snapshotter lock");
-                loop {
-                    let (guard, _timeout) = thread_shared
-                        .wake
-                        .wait_timeout(stopped, interval)
-                        .expect("snapshotter lock");
-                    stopped = guard;
-                    if *stopped {
-                        return;
-                    }
-                    if cache.snapshot_now().is_err() {
-                        thread_failures.store(true, Ordering::Relaxed);
+                {
+                    let mut stopped = thread_shared.stop.lock().expect("snapshotter lock");
+                    loop {
+                        if *stopped {
+                            break;
+                        }
+                        let (guard, _timeout) = thread_shared
+                            .wake
+                            .wait_timeout(stopped, interval)
+                            .expect("snapshotter lock");
+                        stopped = guard;
+                        if *stopped {
+                            break;
+                        }
+                        // Tick outside the lock so a `stop()` issued
+                        // mid-snapshot is observed the moment the tick
+                        // ends, not an interval later.
+                        drop(stopped);
+                        if thread_cache.snapshot_now().is_err() {
+                            thread_failures.store(true, Ordering::Relaxed);
+                        }
+                        stopped = thread_shared.stop.lock().expect("snapshotter lock");
                     }
                 }
+                *thread_shared.done.lock().expect("snapshotter done lock") = true;
+                thread_shared.done_wake.notify_all();
             })
             .expect("spawn snapshotter thread");
-        Snapshotter { shared, handle: Some(handle), failures }
+        Snapshotter { shared, handle: Some(handle), failures, cache }
     }
 
     /// `true` if any tick failed with an IO error since spawn.
@@ -449,11 +729,38 @@ impl Snapshotter {
         self.shutdown();
     }
 
+    /// Stop the worker with a bounded wait (a tick wedged longer than
+    /// [`SNAPSHOTTER_JOIN_TIMEOUT`] is detached rather than hanging
+    /// shutdown), then give the attached journal a final best-effort
+    /// fsync so process exit can never race buffered appends.
     fn shutdown(&mut self) {
         if let Some(handle) = self.handle.take() {
             *self.shared.stop.lock().expect("snapshotter lock") = true;
             self.shared.wake.notify_all();
-            let _ = handle.join();
+            let deadline = Instant::now() + SNAPSHOTTER_JOIN_TIMEOUT;
+            let mut done = self.shared.done.lock().expect("snapshotter done lock");
+            while !*done {
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    break;
+                };
+                let (guard, _timeout) = self
+                    .shared
+                    .done_wake
+                    .wait_timeout(done, remaining)
+                    .expect("snapshotter done lock");
+                done = guard;
+            }
+            let finished = *done;
+            drop(done);
+            if finished {
+                let _ = handle.join();
+            } else {
+                // Leaked on purpose: the worker is stuck inside a tick.
+                self.failures.store(true, Ordering::Relaxed);
+            }
+        }
+        if let Some(store) = self.cache.attached_store() {
+            let _ = store.sync();
         }
     }
 }
@@ -490,6 +797,9 @@ mod tests {
             distinct_features: 99, // gauge: must not be persisted
             tombstoned_slots: 9,
             kernel_dispatch: "avx2", // gauge: per-machine, must not be persisted
+            persist_health: "degraded", // gauge: per-run, must not be persisted
+            persist_errors: 2,
+            journal_records_buffered: 4,
         };
         let back = stats_from_records(&stats_to_records(&s));
         assert_eq!(back.queries, 10);
@@ -498,8 +808,16 @@ mod tests {
         assert_eq!(back.distinct_features, 0, "gauges are not persisted");
         assert_eq!(back.tombstoned_slots, 0);
         assert_eq!(back.kernel_dispatch, "", "gauges are not persisted");
-        let expected =
-            GlobalStats { distinct_features: 0, tombstoned_slots: 0, kernel_dispatch: "", ..s };
+        assert_eq!(back.persist_health, "", "gauges are not persisted");
+        let expected = GlobalStats {
+            distinct_features: 0,
+            tombstoned_slots: 0,
+            kernel_dispatch: "",
+            persist_health: "",
+            persist_errors: 0,
+            journal_records_buffered: 0,
+            ..s
+        };
         assert_eq!(back, expected);
     }
 

@@ -11,7 +11,7 @@ use crate::cache::CacheManager;
 use crate::config::CacheConfig;
 use crate::cost::CostModel;
 use crate::entry::{CacheEntry, EntryId};
-use crate::persist::{self, RecoveryReport, RestoredEntry};
+use crate::persist::{self, PersistHealth, RecoveryReport, RestoredEntry, StoreHealth};
 use crate::pipeline::admit::{self, AdmitLimits};
 use crate::pipeline::probe::ProbeScratch;
 use crate::pipeline::{self, filter, probe, prune, verify, PipelineCtx};
@@ -31,6 +31,8 @@ struct StoreState {
     store: Arc<CacheStore>,
     /// Admissions since the last rotation (the `snapshot_interval` input).
     admits_since_snapshot: u64,
+    /// Persistence circuit breaker (degraded-mode state + gauges).
+    health: Arc<StoreHealth>,
 }
 
 /// The GraphCache kernel: a semantic cache layered over a base Method M.
@@ -124,7 +126,11 @@ impl GraphCache {
 
         // ---- exact-match fast path (traditional cache hit) ---------------
         if let Some(id) = probe::find_exact(&self.cache, query, kind) {
-            return self.serve_exact(id, kind, now, start);
+            let report = self.serve_exact(id, kind, now, start);
+            // Exact hits skip the journal hooks (nothing mutated), so an
+            // exact-hit-only workload must still drive recovery probes.
+            self.maybe_probe_persistence();
+            return report;
         }
 
         let mut ctx = PipelineCtx::new(query, kind, now, self.dataset.len());
@@ -174,8 +180,9 @@ impl GraphCache {
 
     /// Append this query's admission/evictions to the attached journal and
     /// run the auto-snapshot triggers. Persistence failures are reported to
-    /// stderr and never fail the query — at worst the next restart loses
-    /// warmth.
+    /// stderr and routed through the circuit breaker — they never fail the
+    /// query: degraded, the cache keeps answering memory-only and at worst
+    /// the next restart loses warmth.
     fn journal_mutations(
         &mut self,
         query: &Graph,
@@ -189,8 +196,10 @@ impl GraphCache {
         if report.admitted.is_some() {
             st.admits_since_snapshot += 1;
         }
-        let due = persist::journal_outcome(
+        let health = Arc::clone(&st.health);
+        let directive = persist::journal_outcome(
             &st.store,
+            &health,
             &self.config,
             st.admits_since_snapshot,
             query,
@@ -202,10 +211,38 @@ impl GraphCache {
             report.admitted,
             &report.evicted,
         );
-        if due {
-            if let Err(e) = self.snapshot_now() {
-                eprintln!("graphcache: auto-snapshot failed ({e})");
+        match directive {
+            persist::PersistDirective::Nothing => {}
+            persist::PersistDirective::Rotate => {
+                if let Err(e) = self.snapshot_now() {
+                    eprintln!("graphcache: auto-snapshot failed ({e})");
+                    health.note_error();
+                    health.trip_degraded();
+                }
             }
+            persist::PersistDirective::Probe => self.maybe_probe_persistence(),
+        }
+    }
+
+    /// While [`PersistHealth::Degraded`] and a recovery probe is due, try
+    /// to cut a fresh full snapshot: success re-arms durability (the
+    /// snapshot subsumes every buffered mutation), failure backs the probe
+    /// off — until the probe budget disables persistence.
+    fn maybe_probe_persistence(&mut self) {
+        let Some(st) = self.store.as_ref() else { return };
+        let health = Arc::clone(&st.health);
+        if health.health() != PersistHealth::Degraded || !health.probe_due() {
+            return;
+        }
+        match self.snapshot_now() {
+            Ok(info) => {
+                health.mark_recovered();
+                eprintln!(
+                    "graphcache: persistence recovered (fresh snapshot, generation {})",
+                    info.generation
+                );
+            }
+            Err(_) => health.probe_failed(self.config.persist_max_probes),
         }
     }
 
@@ -285,9 +322,11 @@ impl GraphCache {
             }
         }
         self.stats.add(&GlobalStats { admitted: imported as u64, ..GlobalStats::default() });
-        if self.store.is_some() {
+        if let Some(health) = self.store.as_ref().map(|st| Arc::clone(&st.health)) {
             if let Err(e) = self.snapshot_now() {
                 eprintln!("graphcache: post-import snapshot failed ({e})");
+                health.note_error();
+                health.trip_degraded();
             }
         }
         Ok(imported)
@@ -331,7 +370,12 @@ impl GraphCache {
     /// admission/eviction and honours the config's
     /// `snapshot_interval` / `journal_max_bytes` auto-snapshot knobs.
     pub fn attach_store(&mut self, store: Arc<CacheStore>) -> Result<SnapshotInfo, String> {
-        self.store = Some(StoreState { store, admits_since_snapshot: 0 });
+        store.set_fsync_policy(self.config.fsync_policy);
+        self.store = Some(StoreState {
+            store,
+            admits_since_snapshot: 0,
+            health: Arc::new(StoreHealth::new()),
+        });
         self.snapshot_now()
     }
 
@@ -344,6 +388,13 @@ impl GraphCache {
     /// The attached persistence store, if any.
     pub fn attached_store(&self) -> Option<&CacheStore> {
         self.store.as_ref().map(|st| st.store.as_ref())
+    }
+
+    /// Persistence health of the attached store (`None` when detached).
+    /// `Degraded`/`Disabled` mean journaling is paused — the cache keeps
+    /// serving exact answers memory-only; see [`crate::persist`].
+    pub fn persist_health(&self) -> Option<PersistHealth> {
+        self.store.as_ref().map(|st| st.health.health())
     }
 
     /// Build a cache and warm-restart it from `store`: replay snapshot
@@ -448,6 +499,7 @@ impl GraphCache {
             snapshot_entries,
             journal_admits: counts.journal_admits,
             journal_evicts: counts.journal_evicts,
+            journal_torn_bytes: state.torn_tail_bytes,
             entries_restored: self.cache.len(),
             clock: self.clock,
         }
@@ -465,6 +517,11 @@ impl GraphCache {
         s.distinct_features = health.distinct_features as u64;
         s.tombstoned_slots = health.tombstoned_slots as u64;
         s.kernel_dispatch = gc_graph::simd::kernel_name();
+        if let Some(st) = self.store.as_ref() {
+            s.persist_health = st.health.health().as_str();
+            s.persist_errors = st.health.errors();
+            s.journal_records_buffered = st.health.buffered();
+        }
         s
     }
 

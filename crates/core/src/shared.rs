@@ -46,7 +46,7 @@ use crate::cache::CacheManager;
 use crate::config::CacheConfig;
 use crate::cost::CostModel;
 use crate::entry::EntryId;
-use crate::persist::{self, RecoveryReport, RestoredEntry};
+use crate::persist::{self, PersistHealth, RecoveryReport, RestoredEntry, StoreHealth};
 use crate::pipeline::admit::{self, AdmitLimits, AdmitOutcome};
 use crate::pipeline::probe::{CacheHits, ProbeScratch};
 use crate::pipeline::{self, filter, probe, prune, verify, PipelineCtx};
@@ -190,6 +190,9 @@ pub struct SharedGraphCache {
     /// Single-flight guard: only one thread builds a snapshot at a time;
     /// concurrent triggers become no-ops.
     snapshotting: AtomicBool,
+    /// Persistence circuit breaker (degraded-mode state + gauges); only
+    /// meaningful while a store is attached.
+    health: Arc<StoreHealth>,
 }
 
 impl SharedGraphCache {
@@ -239,6 +242,7 @@ impl SharedGraphCache {
             store: None,
             admits_since_snapshot: AtomicU64::new(0),
             snapshotting: AtomicBool::new(false),
+            health: Arc::new(StoreHealth::new()),
         })
     }
 
@@ -269,6 +273,10 @@ impl SharedGraphCache {
             probe::find_exact(&self.shards[home].state.read().cache, query, kind).is_some();
         if maybe_exact {
             if let Some(report) = self.serve_exact(home, query, kind, now, start) {
+                // Exact hits skip the journal hooks (nothing mutated), so
+                // an exact-hit-only workload must still drive recovery
+                // probes.
+                self.maybe_probe_persistence();
                 return report;
             }
         }
@@ -507,8 +515,9 @@ impl SharedGraphCache {
         } else {
             self.admits_since_snapshot.load(Ordering::Relaxed)
         };
-        let due = persist::journal_outcome(
+        let directive = persist::journal_outcome(
             store,
+            &self.health,
             &self.config,
             admits_since,
             query,
@@ -520,10 +529,42 @@ impl SharedGraphCache {
             outcome.admitted,
             &outcome.evicted,
         );
-        if due {
-            if let Err(e) = self.snapshot_now() {
-                eprintln!("graphcache: auto-snapshot failed ({e})");
+        match directive {
+            persist::PersistDirective::Nothing => {}
+            persist::PersistDirective::Rotate => {
+                if let Err(e) = self.snapshot_now() {
+                    eprintln!("graphcache: auto-snapshot failed ({e})");
+                    self.health.note_error();
+                    self.health.trip_degraded();
+                }
             }
+            persist::PersistDirective::Probe => self.maybe_probe_persistence(),
+        }
+    }
+
+    /// While [`PersistHealth::Degraded`] and a recovery probe is due, try
+    /// to cut a fresh full snapshot: success re-arms durability (the
+    /// snapshot subsumes every buffered mutation), failure backs the probe
+    /// off — until the probe budget disables persistence.
+    fn maybe_probe_persistence(&self) {
+        if self.store.is_none()
+            || self.health.health() != PersistHealth::Degraded
+            || !self.health.probe_due()
+        {
+            return;
+        }
+        match self.snapshot_now() {
+            Ok(Some(info)) => {
+                self.health.mark_recovered();
+                eprintln!(
+                    "graphcache: persistence recovered (fresh snapshot, generation {})",
+                    info.generation
+                );
+            }
+            // Another thread's snapshot is in flight; the probe deadline
+            // stays due and the next query retries.
+            Ok(None) => {}
+            Err(_) => self.health.probe_failed(self.config.persist_max_probes),
         }
     }
 
@@ -561,7 +602,9 @@ impl SharedGraphCache {
     /// Takes `&mut self`, so attach before sharing the cache behind an
     /// `Arc` (construction-time wiring, like the policy).
     pub fn attach_store(&mut self, store: Arc<CacheStore>) -> Result<SnapshotInfo, String> {
+        store.set_fsync_policy(self.config.fsync_policy);
         self.store = Some(store);
+        self.health = Arc::new(StoreHealth::new());
         self.snapshot_now().map(|info| info.expect("store just attached"))
     }
 
@@ -622,6 +665,13 @@ impl SharedGraphCache {
     /// The attached persistence store, if any.
     pub fn attached_store(&self) -> Option<&CacheStore> {
         self.store.as_deref()
+    }
+
+    /// Persistence health of the attached store (`None` when detached).
+    /// `Degraded`/`Disabled` mean journaling is paused — the cache keeps
+    /// serving exact answers memory-only; see [`crate::persist`].
+    pub fn persist_health(&self) -> Option<PersistHealth> {
+        self.store.as_ref().map(|_| self.health.health())
     }
 
     /// Build a shared cache and warm-restart it from `store`: replay
@@ -726,6 +776,7 @@ impl SharedGraphCache {
             snapshot_entries,
             journal_admits: counts.journal_admits,
             journal_evicts: counts.journal_evicts,
+            journal_torn_bytes: state.torn_tail_bytes,
             entries_restored: self.len(),
             clock: counts.max_now,
         }
@@ -751,6 +802,11 @@ impl SharedGraphCache {
         s.distinct_features = health.distinct_features as u64;
         s.tombstoned_slots = health.tombstoned_slots as u64;
         s.kernel_dispatch = gc_graph::simd::kernel_name();
+        if self.store.is_some() {
+            s.persist_health = self.health.health().as_str();
+            s.persist_errors = self.health.errors();
+            s.journal_records_buffered = self.health.buffered();
+        }
         s
     }
 

@@ -66,6 +66,21 @@ pub struct GlobalStats {
     /// like the index-health gauges; empty in per-query deltas and ignored
     /// by [`StatsMonitor::add`].
     pub kernel_dispatch: &'static str,
+    /// Persistence *gauge*: circuit-breaker state of the attached store
+    /// (`"healthy"`, `"degraded"`, `"disabled"`; empty when no store is
+    /// attached — see [`crate::persist::PersistHealth`]). Populated at
+    /// snapshot time like the index-health gauges; empty in per-query
+    /// deltas and ignored by [`StatsMonitor::add`].
+    pub persist_health: &'static str,
+    /// Persistence *gauge*: failed store operations (journal appends,
+    /// snapshot rotations, recovery probes) since the store was attached.
+    /// Snapshot-time semantics like [`GlobalStats::distinct_features`].
+    pub persist_errors: u64,
+    /// Persistence *gauge*: journal records accepted while the store was
+    /// degraded/disabled — counted but not persisted (a successful
+    /// recovery snapshot subsumes them and resets this to 0). Same
+    /// snapshot-time semantics.
+    pub journal_records_buffered: u64,
 }
 
 impl GlobalStats {
@@ -269,6 +284,9 @@ mod tests {
             distinct_features: 0,
             tombstoned_slots: 0,
             kernel_dispatch: "",
+            persist_health: "",
+            persist_errors: 0,
+            journal_records_buffered: 0,
         };
         m.add(&delta);
         assert_eq!(m.snapshot(), delta);
@@ -282,6 +300,9 @@ mod tests {
             distinct_features: 30,
             tombstoned_slots: 10,
             kernel_dispatch: "avx2",
+            persist_health: "degraded",
+            persist_errors: 5,
+            journal_records_buffered: 7,
             ..Default::default()
         };
         assert!((s.tombstone_ratio() - 0.25).abs() < 1e-12);
@@ -292,6 +313,9 @@ mod tests {
         assert_eq!(m.snapshot().distinct_features, 0);
         assert_eq!(m.snapshot().tombstoned_slots, 0);
         assert_eq!(m.snapshot().kernel_dispatch, "");
+        assert_eq!(m.snapshot().persist_health, "");
+        assert_eq!(m.snapshot().persist_errors, 0);
+        assert_eq!(m.snapshot().journal_records_buffered, 0);
     }
 
     #[test]

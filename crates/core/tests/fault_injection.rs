@@ -1,0 +1,254 @@
+//! Fault-injected integration tests: the cache under deterministic I/O
+//! errors, torn writes, and injected worker-task panics.
+//!
+//! The invariant under test is GraphCache's central one — answers are
+//! *exactly* those of Method M alone — extended with the durability
+//! contract of this PR: under any injected fault the cache may get slower
+//! or colder (degraded persistence, inline re-verification), but never
+//! wrong, and persistence re-arms itself once the fault clears.
+//!
+//! The tests share the process-wide verify pool (`gc_core::global_pool`)
+//! and its fault hook, so they serialize on a static mutex.
+
+use gc_core::persist::{Failpoint, FaultPlan, FaultSite};
+use gc_core::{CacheConfig, GraphCache, PersistHealth, PolicyKind, SharedGraphCache};
+use gc_method::{execute_base, Dataset, Engine, SiMethod};
+use gc_workload::{molecule_dataset, Workload, WorkloadKind, WorkloadSpec};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// Serializes the tests in this file: they share the global verify pool's
+/// fault hook (and injected panics are whole-process noise).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    // A previous test's assert failure poisons the lock but leaves the
+    // pool usable; each test starts by clearing the fault hook anyway.
+    let guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    gc_core::global_pool().set_fault_plan(None);
+    guard
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gc_faults_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn dataset() -> Arc<Dataset> {
+    Arc::new(Dataset::new(molecule_dataset(26, 7)))
+}
+
+fn workload(ds: &Arc<Dataset>, n: usize, seed: u64) -> Workload {
+    let spec = WorkloadSpec {
+        n_queries: n,
+        pool_size: 16,
+        kind: WorkloadKind::Zipf { skew: 1.1 },
+        seed,
+        ..WorkloadSpec::default()
+    };
+    Workload::generate(ds.graphs(), &spec)
+}
+
+/// Run `w` through `gc`, asserting every answer equals Method M alone.
+fn assert_exact_shared(gc: &SharedGraphCache, ds: &Arc<Dataset>, w: &Workload) {
+    for wq in &w.queries {
+        let got = gc.query(&wq.graph, wq.kind);
+        let want = execute_base(ds, &SiMethod, Engine::Vf2, &wq.graph, wq.kind);
+        assert_eq!(got.answer, want.answer, "answer diverged under injected faults");
+    }
+}
+
+#[test]
+fn injected_task_panics_never_change_answers() {
+    let _guard = serial();
+    let ds = dataset();
+    let w = workload(&ds, 40, 3);
+
+    // threads > 1 routes candidate verification and shard probes through
+    // the global pool; parallel_threshold 1 forces dispatch even for tiny
+    // candidate sets so the injection actually lands on pool tasks.
+    let cfg = CacheConfig {
+        capacity: 16,
+        window_size: 2,
+        threads: 4,
+        shards: 4,
+        parallel_threshold: 1,
+        min_admit_tests: 0,
+        ..CacheConfig::default()
+    };
+    let gc =
+        SharedGraphCache::with_policy(ds.clone(), Box::new(SiMethod), PolicyKind::Hd, cfg).unwrap();
+
+    // Every pool task panics: all shard probes and verify chunks are lost
+    // and redone inline by the submitting thread.
+    let plan = Arc::new(FaultPlan::seeded(11));
+    plan.arm(FaultSite::Task, Failpoint::ErrAfter { n: 0 });
+    gc_core::global_pool().set_fault_plan(Some(plan.clone()));
+    assert_exact_shared(&gc, &ds, &w);
+    assert!(plan.fired() > 0, "the task injection never fired — test is vacuous");
+
+    // Intermittent panics: only some tasks die.
+    let plan = Arc::new(FaultPlan::seeded(12));
+    for _ in 0..8 {
+        plan.arm(FaultSite::Task, Failpoint::PanicAt { n: 5 });
+    }
+    gc_core::global_pool().set_fault_plan(Some(plan.clone()));
+    assert_exact_shared(&gc, &ds, &workload(&ds, 40, 4));
+    assert!(plan.fired() > 0, "the intermittent injection never fired");
+
+    gc_core::global_pool().set_fault_plan(None);
+    assert_exact_shared(&gc, &ds, &workload(&ds, 10, 5));
+}
+
+#[test]
+fn persistent_append_failure_degrades_then_recovers() {
+    let _guard = serial();
+    let ds = dataset();
+    let dir = tmpdir("degrade");
+    let cfg = CacheConfig {
+        capacity: 16,
+        window_size: 2,
+        min_admit_tests: 0,
+        persist_retries: 1,
+        ..CacheConfig::default()
+    };
+    let store = Arc::new(gc_core::CacheStore::open(&dir).unwrap());
+    let mut gc =
+        GraphCache::with_policy(ds.clone(), Box::new(SiMethod), PolicyKind::Hd, cfg).unwrap();
+    gc.attach_store(Arc::clone(&store)).unwrap();
+    assert_eq!(gc.persist_health(), Some(PersistHealth::Healthy));
+    let healthy_generation = store.generation();
+
+    // Every journal append fails from now on: the breaker must trip.
+    let plan = Arc::new(FaultPlan::seeded(21));
+    plan.arm(FaultSite::JournalAppend, Failpoint::ErrAfter { n: 0 });
+    store.set_fault_plan(Some(plan.clone()));
+
+    let w = workload(&ds, 30, 9);
+    for wq in &w.queries {
+        let got = gc.query(&wq.graph, wq.kind);
+        let want = execute_base(&ds, &SiMethod, Engine::Vf2, &wq.graph, wq.kind);
+        assert_eq!(got.answer, want.answer, "degraded cache must stay exact");
+    }
+    assert_eq!(
+        gc.persist_health(),
+        Some(PersistHealth::Degraded),
+        "persistent append failure must trip the circuit breaker"
+    );
+    let stats = gc.stats();
+    assert_eq!(stats.persist_health, "degraded");
+    assert!(stats.persist_errors > 0, "errors gauge must count the failed appends");
+    assert!(stats.journal_records_buffered > 0, "degraded mutations are counted, not lost");
+
+    // Fault clears: a recovery probe cuts a fresh snapshot and re-arms
+    // durability. Probes are deadline-scheduled (capped backoff), so keep
+    // querying until one fires.
+    store.set_fault_plan(None);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let probe_queries = workload(&ds, 4, 10);
+    while gc.persist_health() != Some(PersistHealth::Healthy) {
+        assert!(Instant::now() < deadline, "recovery probe never re-armed persistence");
+        for wq in &probe_queries.queries {
+            gc.query(&wq.graph, wq.kind);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        store.generation() > healthy_generation,
+        "recovery must have cut a fresh snapshot generation"
+    );
+    let stats = gc.stats();
+    assert_eq!(stats.persist_health, "healthy");
+    assert_eq!(stats.journal_records_buffered, 0, "a full snapshot subsumes buffered records");
+
+    // The recovered directory restores warm.
+    drop(gc);
+    let (gc2, report) = GraphCache::restore_from(
+        ds.clone(),
+        Box::new(SiMethod),
+        PolicyKind::Hd.make(),
+        CacheConfig { capacity: 16, window_size: 2, ..CacheConfig::default() },
+        Arc::new(gc_core::CacheStore::open(&dir).unwrap()),
+    )
+    .unwrap();
+    assert!(report.warm, "post-recovery directory must restore warm: {}", report.describe());
+    assert!(!gc2.is_empty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_probe_budget_disables_persistence() {
+    let _guard = serial();
+    let ds = dataset();
+    let dir = tmpdir("disable");
+    let cfg = CacheConfig {
+        capacity: 16,
+        window_size: 2,
+        min_admit_tests: 0,
+        persist_retries: 0,
+        persist_max_probes: 2,
+        ..CacheConfig::default()
+    };
+    let store = Arc::new(gc_core::CacheStore::open(&dir).unwrap());
+    let mut gc =
+        GraphCache::with_policy(ds.clone(), Box::new(SiMethod), PolicyKind::Hd, cfg).unwrap();
+    gc.attach_store(Arc::clone(&store)).unwrap();
+
+    // Appends AND snapshots fail persistently: the breaker trips, then
+    // every recovery probe fails until the probe budget is exhausted.
+    let plan = Arc::new(FaultPlan::seeded(31));
+    plan.arm(FaultSite::JournalAppend, Failpoint::ErrAfter { n: 0 });
+    plan.arm(FaultSite::SnapshotWrite, Failpoint::ErrAfter { n: 0 });
+    store.set_fault_plan(Some(plan));
+
+    let w = workload(&ds, 8, 13);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while gc.persist_health() != Some(PersistHealth::Disabled) {
+        assert!(Instant::now() < deadline, "probe budget never exhausted");
+        for wq in &w.queries {
+            let got = gc.query(&wq.graph, wq.kind);
+            let want = execute_base(&ds, &SiMethod, Engine::Vf2, &wq.graph, wq.kind);
+            assert_eq!(got.answer, want.answer, "disabled-persistence cache must stay exact");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(gc.stats().persist_health, "disabled");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shared_cache_degrades_and_recovers() {
+    let _guard = serial();
+    let ds = dataset();
+    let dir = tmpdir("shared_degrade");
+    let cfg = CacheConfig {
+        capacity: 16,
+        window_size: 2,
+        shards: 4,
+        min_admit_tests: 0,
+        persist_retries: 1,
+        ..CacheConfig::default()
+    };
+    let store = Arc::new(gc_core::CacheStore::open(&dir).unwrap());
+    let mut gc =
+        SharedGraphCache::with_policy(ds.clone(), Box::new(SiMethod), PolicyKind::Hd, cfg).unwrap();
+    gc.attach_store(Arc::clone(&store)).unwrap();
+
+    let plan = Arc::new(FaultPlan::seeded(41));
+    plan.arm(FaultSite::JournalAppend, Failpoint::ErrAfter { n: 0 });
+    store.set_fault_plan(Some(plan));
+    assert_exact_shared(&gc, &ds, &workload(&ds, 30, 17));
+    assert_eq!(gc.persist_health(), Some(PersistHealth::Degraded));
+
+    store.set_fault_plan(None);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let probe_queries = workload(&ds, 4, 18);
+    while gc.persist_health() != Some(PersistHealth::Healthy) {
+        assert!(Instant::now() < deadline, "shared recovery probe never re-armed persistence");
+        assert_exact_shared(&gc, &ds, &probe_queries);
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

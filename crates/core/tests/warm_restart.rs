@@ -272,11 +272,30 @@ fn corrupted_files_fall_back_to_cold_start() {
     let _ = std::fs::remove_dir_all(&dir);
 
     // Mid-record tear: cut the journal a few bytes into its last record.
+    // A torn *tail* is the signature of a crash mid-append, not of
+    // corruption — recovery keeps the intact prefix (warm) and reports
+    // the dropped bytes, instead of failing closed to cold.
     let dir = persisted_dir("jrnl_tear", &ds);
     let path = journal_path(&dir);
     let bytes = std::fs::read(&path).unwrap();
     std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
-    assert_cold_but_correct(&dir, &ds, "mid-record journal tear");
+    let (mut gc, report) = GraphCache::restore_from(
+        ds.clone(),
+        Box::new(SiMethod),
+        PolicyKind::Hd.make(),
+        config(),
+        Arc::new(CacheStore::open(&dir).unwrap()),
+    )
+    .unwrap();
+    assert!(report.warm, "a torn tail keeps the intact journal prefix");
+    assert!(report.journal_torn_bytes > 0, "the dropped tail is reported");
+    let q = &workload(&ds, 5, 1).queries[0];
+    let r = gc.query(&q.graph, q.kind);
+    assert_eq!(
+        r.answer,
+        execute_base(&ds, &SiMethod, Engine::Vf2, &q.graph, q.kind).answer,
+        "mid-record journal tear: answers stay exact"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -99,11 +99,21 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cache_config(flags: &HashMap<String, String>) -> CacheConfig {
+    // Group-commit fsync policy: --fsync-every N / --fsync-interval-ms M
+    // (mutually exclusive; the per-count bound wins when both are given).
+    let fsync_policy = if let Some(n) = flags.get("fsync-every").and_then(|v| v.parse().ok()) {
+        gc_core::FsyncPolicy::EveryN(n)
+    } else if let Some(ms) = flags.get("fsync-interval-ms").and_then(|v| v.parse().ok()) {
+        gc_core::FsyncPolicy::IntervalMs(ms)
+    } else {
+        gc_core::FsyncPolicy::Never
+    };
     CacheConfig {
         capacity: get(flags, "capacity", 50),
         window_size: get(flags, "window", 10),
         snapshot_interval: flags.get("snapshot-interval").and_then(|v| v.parse().ok()),
         journal_max_bytes: flags.get("journal-max-bytes").and_then(|v| v.parse().ok()),
+        fsync_policy,
         ..CacheConfig::default()
     }
 }
@@ -262,6 +272,24 @@ fn cmd_load(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// `gc doctor <dir>`: offline health check of a persistence directory —
+/// CRC-walks the snapshot and every journal, validates the generation
+/// chain, reports torn tails, and says what a restore would recover.
+/// Exits nonzero when the directory is corrupt (a restore would be forced
+/// cold by damage, not by benign emptiness).
+fn cmd_doctor(dir: &str) -> Result<(), String> {
+    if !std::path::Path::new(dir).is_dir() {
+        return Err(format!("{dir}: not a directory"));
+    }
+    let report = gc_core::persist::inspect_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+    println!("{}", report.describe());
+    if report.healthy() {
+        Ok(())
+    } else {
+        Err(format!("{dir}: persistence directory is corrupt (see report above)"))
+    }
+}
+
 fn cmd_journey(flags: &HashMap<String, String>) -> Result<(), String> {
     let dataset = load_dataset(flags)?;
     let mut gc = build_cache(&dataset, flags)?;
@@ -308,16 +336,19 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: gc <generate|run|save|load|journey|compare> [--flag value]...
+const USAGE: &str = "usage: gc <generate|run|save|load|doctor|journey|compare> [--flag value]...
   gc generate --out ds.tve [--count N] [--seed S] [--model molecules|er|ba]
   gc run      --dataset ds.tve [--queries N] [--workload zipf|uniform|drift]
               [--policy LRU|POP|PIN|PINC|HD] [--capacity N] [--feature-size L] [--dev]
               [--clients N] [--check]   (N>1: concurrent SharedGraphCache mode)
-              [--snapshot-dir DIR [--snapshot-interval N] [--journal-max-bytes B]]
+              [--snapshot-dir DIR [--snapshot-interval N] [--journal-max-bytes B]
+               [--fsync-every N | --fsync-interval-ms M]]
               (DIR: warm-restart from it, journal this run, snapshot at exit;
                composes with --clients N: shared-cache restore + snapshot)
   gc save     --dataset ds.tve --snapshot-dir DIR [run flags]  (run + persist)
   gc load     --dataset ds.tve --snapshot-dir DIR  (restore + show dashboards)
+  gc doctor   DIR   (offline check: CRC walk, generation chain, torn tails,
+                     what a restore would recover; exit 1 if corrupt)
   gc journey  --dataset ds.tve [--seed S]
   gc compare  --dataset ds.tve [--queries N] [--workload ...] [--capacity N]";
 
@@ -327,6 +358,20 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    // `doctor` takes a positional directory, not --flags.
+    if cmd == "doctor" {
+        let Some(dir) = args.get(1) else {
+            eprintln!("gc: missing directory\n  gc doctor DIR");
+            return ExitCode::from(2);
+        };
+        return match cmd_doctor(dir) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("gc: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let flags = parse_flags(&args[1..]);
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&flags),

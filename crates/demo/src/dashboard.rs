@@ -63,6 +63,14 @@ pub fn end_user_monitor(gc: &GraphCache) -> String {
         "  kernel dispatch        : {} (bitset/merge hot loops)\n",
         s.kernel_dispatch
     ));
+    if s.persist_health.is_empty() {
+        out.push_str("  persistence            : detached (memory-only)\n");
+    } else {
+        out.push_str(&format!(
+            "  persistence            : {} ({} persist errors, {} records buffered)\n",
+            s.persist_health, s.persist_errors, s.journal_records_buffered
+        ));
+    }
     out
 }
 
@@ -156,6 +164,9 @@ mod tests {
         assert!(txt.contains("hit ratio"));
         assert!(txt.contains("distinct features"));
         assert!(txt.contains("tombstoned slots"));
+        // No store attached in this fixture: the persistence gauge says so
+        // instead of rendering an empty health string.
+        assert!(txt.contains("persistence            : detached"), "{txt}");
         // The dispatch gauge must render a concrete tier, never the
         // delta-default empty string.
         assert!(
@@ -164,6 +175,18 @@ mod tests {
                 || txt.contains("kernel dispatch        : scalar"),
             "{txt}"
         );
+    }
+
+    #[test]
+    fn persistence_gauge_renders_health_when_attached() {
+        let mut gc = warmed();
+        let dir = std::env::temp_dir().join(format!("gc_dashboard_persist_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(gc_core::CacheStore::open(&dir).unwrap());
+        gc.attach_store(store).unwrap();
+        let txt = end_user_monitor(&gc);
+        assert!(txt.contains("persistence            : healthy"), "{txt}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

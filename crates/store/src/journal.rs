@@ -20,11 +20,14 @@
 //! record*            each:  len u32 ‖ crc64(payload) u64 ‖ payload
 //! ```
 //!
-//! Reading is strict fail-closed: a bad header, a record whose declared
-//! length overruns the file (a torn append), a checksum mismatch (a bit
-//! flip) or trailing payload bytes reject the **whole** journal and the
-//! recovery path starts cold. The journal never risks a wrong answer — at
-//! worst it costs warmth.
+//! Reading is fail-closed: a bad header, a checksum mismatch (a bit flip)
+//! or trailing payload bytes inside a complete frame reject the **whole**
+//! journal and the recovery path starts cold. The one tolerated anomaly is
+//! an *incomplete trailing frame* — precisely what a crash mid-append
+//! leaves — which [`decode_journal_tolerant`] (the recovery path) drops,
+//! keeping the valid prefix. [`decode_journal`] stays strict and rejects
+//! even that. The journal never risks a wrong answer — at worst it costs
+//! warmth.
 
 use crate::snapshot::{get_answer, get_graph, get_kind, put_answer, put_graph, put_kind};
 use crate::wire::{crc64, ByteReader, ByteWriter, WireError, WireResult};
@@ -170,8 +173,10 @@ fn decode_payload(payload: &[u8], universe: u64) -> WireResult<JournalRecord> {
     Ok(rec)
 }
 
-/// Decode a complete journal file: header plus every record, strictly.
-pub fn decode_journal(bytes: &[u8]) -> WireResult<(JournalHeader, Vec<JournalRecord>)> {
+fn walk_journal(
+    bytes: &[u8],
+    tolerate_tail: bool,
+) -> WireResult<(JournalHeader, Vec<JournalRecord>, usize)> {
     let mut r = ByteReader::new(bytes);
     if r.get_raw(8)? != JOURNAL_MAGIC {
         return Err(WireError::new("bad journal magic"));
@@ -193,14 +198,24 @@ pub fn decode_journal(bytes: &[u8]) -> WireResult<(JournalHeader, Vec<JournalRec
     let mut records = Vec::new();
     while r.remaining() != 0 {
         if r.remaining() < 12 {
+            if tolerate_tail {
+                return Ok((header, records, r.remaining()));
+            }
             return Err(WireError::new(format!(
                 "torn journal record: {} bytes of frame header",
                 r.remaining()
             )));
         }
+        // Peek the frame header without committing: a declared length that
+        // overruns the file is a tear, and in tolerant mode those 12 bytes
+        // belong to the torn tail.
+        let before_frame = r.remaining();
         let len = r.get_u32()? as usize;
         let crc = r.get_u64()?;
         if r.remaining() < len {
+            if tolerate_tail {
+                return Ok((header, records, before_frame));
+            }
             return Err(WireError::new(format!(
                 "torn journal record: payload wants {len} bytes, {} remain",
                 r.remaining()
@@ -215,7 +230,34 @@ pub fn decode_journal(bytes: &[u8]) -> WireResult<(JournalHeader, Vec<JournalRec
         }
         records.push(decode_payload(payload, header.universe)?);
     }
+    Ok((header, records, 0))
+}
+
+/// Decode a complete journal file: header plus every record, strictly.
+/// Any incomplete trailing frame rejects the whole journal (the
+/// corruption-suite contract); recovery uses
+/// [`decode_journal_tolerant`] instead.
+pub fn decode_journal(bytes: &[u8]) -> WireResult<(JournalHeader, Vec<JournalRecord>)> {
+    let (header, records, _) = walk_journal(bytes, false)?;
     Ok((header, records))
+}
+
+/// Decode a journal, tolerating a torn tail.
+///
+/// An *incomplete trailing frame* — fewer than 12 bytes of frame header
+/// left, or a declared payload length that overruns the file — is exactly
+/// what a crash mid-append leaves behind. Since appends are strictly
+/// ordered, the records before the tear are a valid earlier state: they
+/// are returned along with the number of trailing bytes dropped.
+///
+/// Everything else stays fail-closed exactly like [`decode_journal`]: a
+/// bad header, a checksum mismatch on a **complete** frame, or a payload
+/// that fails to decode is corruption (not a tear) and rejects the whole
+/// journal.
+pub fn decode_journal_tolerant(
+    bytes: &[u8],
+) -> WireResult<(JournalHeader, Vec<JournalRecord>, usize)> {
+    walk_journal(bytes, true)
 }
 
 #[cfg(test)]
@@ -331,5 +373,66 @@ mod tests {
         let mut bytes = sample_file();
         bytes[8] = 99; // version field, little-endian low byte
         assert!(decode_journal(&bytes).is_err());
+    }
+
+    #[test]
+    fn tolerant_decode_drops_only_the_torn_tail() {
+        // Every truncation point from the header boundary on: the cut
+        // either lands on a record boundary (no tail) or strictly inside
+        // the last frame (tail = the cut-off bytes). Either way the valid
+        // prefix must come back intact.
+        let g = graph_from_parts(&[Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let head = encode_header(&header());
+        let rec1 = encode_record(&JournalOp::Admit {
+            orig_id: 3,
+            now: 11,
+            kind: QueryKind::Subgraph,
+            base_tests: 5,
+            base_cost: 50,
+            graph: &g,
+            answer: &[0, 2, 5],
+        });
+        let rec2 = encode_record(&JournalOp::Evict { orig_id: 1, now: 12 });
+        let boundaries =
+            [head.len(), head.len() + rec1.len(), head.len() + rec1.len() + rec2.len()];
+        let bytes: Vec<u8> = [head, rec1, rec2].concat();
+        for cut in boundaries[0]..=bytes.len() {
+            let (h, records, torn) =
+                decode_journal_tolerant(&bytes[..cut]).expect("tail cut at {cut} tolerated");
+            assert_eq!(h, header());
+            let complete = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(records.len(), complete, "cut at {cut}");
+            let last_boundary = boundaries[complete];
+            assert_eq!(torn, cut - last_boundary, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn tolerant_decode_still_rejects_corruption() {
+        // Bit flips inside *complete* frames (or the header) are
+        // corruption, not tears: tolerant decode must stay fail-closed.
+        let bytes = sample_file();
+        for byte in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[byte] ^= 0x04;
+            match decode_journal_tolerant(&bad) {
+                Err(_) => {}
+                // A flip in the final frame's length field can turn it
+                // into an overrun, which legitimately reads as a tear —
+                // then the record must have been dropped, never accepted.
+                Ok((_, records, torn)) => {
+                    assert!(torn > 0, "flip at byte {byte} accepted with no tail");
+                    assert!(records.len() < 2, "flip at byte {byte} kept a corrupt record");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tolerant_decode_rejects_truncated_header() {
+        let bytes = sample_file();
+        for cut in 0..HEADER_LEN {
+            assert!(decode_journal_tolerant(&bytes[..cut]).is_err(), "header cut {cut} accepted");
+        }
     }
 }

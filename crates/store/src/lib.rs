@@ -30,10 +30,19 @@
 //!
 //! Corrupt, truncated and torn-write inputs are *detected* (checksums +
 //! length-prefixed framing) and degrade to a cold start — never to a wrong
-//! answer. The kernel's central invariant (answers exactly equal Method M
-//! alone) is preserved by construction: every persisted entry is a
-//! previously verified exact answer set, and anything that fails
-//! validation is discarded wholesale.
+//! answer. The one tolerated anomaly is an incomplete trailing journal
+//! frame (exactly what a crash mid-append leaves): recovery drops the torn
+//! tail and keeps the intact prefix. The kernel's central invariant
+//! (answers exactly equal Method M alone) is preserved by construction:
+//! every persisted entry is a previously verified exact answer set, and
+//! anything that fails validation is discarded wholesale.
+//!
+//! ## Durability and fault testing
+//!
+//! [`FsyncPolicy`] adds group-commit fsync with a documented bounded-loss
+//! guarantee, [`faults`] provides the deterministic failpoint layer
+//! threaded through every store I/O site (and `gc-core`'s worker pool),
+//! and [`doctor`] is the forensic walk behind the `gc doctor` CLI.
 //!
 //! This crate depends only on `gc-graph` and `gc-method` (graph and
 //! query-kind types); the kernel wiring — `GraphCache::{snapshot_to,
@@ -43,12 +52,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod doctor;
+pub mod faults;
 pub mod journal;
 pub mod snapshot;
 pub mod store;
 pub mod wire;
 
+pub use doctor::{inspect_dir, DoctorReport, RestoreVerdict};
+pub use faults::{Failpoint, FaultAction, FaultPlan, FaultSite};
 pub use journal::{JournalHeader, JournalOp, JournalRecord};
 pub use snapshot::{EntryRecord, EntryStatsRecord, SnapshotDoc, FORMAT_VERSION};
-pub use store::{CacheStore, LoadOutcome, RecoveredState, SnapshotInfo};
+pub use store::{CacheStore, FsyncPolicy, LoadOutcome, RecoveredState, SnapshotInfo};
 pub use wire::{crc64, WireError};
