@@ -1,0 +1,539 @@
+//! Experiment XIV: the served cache under chaos.
+//!
+//! `gc-server` promises the same exact-answer contract as the library —
+//! *over a socket, under overload, hostile clients, injected store
+//! faults, and restarts*. This harness drives a live server through five
+//! adversarial segments and gates every promise; any divergence from
+//! Method M alone, any missed shed, or a failed drain/restart **exits
+//! nonzero**.
+//!
+//! * **A — baseline exactness over HTTP**: every answer served over the
+//!   wire is cross-checked against a fault-free [`execute_base`] run;
+//!   the retrying load client (`gc-load`'s engine) must complete a
+//!   striped workload with zero unrecovered failures.
+//! * **B — overload**: a deliberately tiny server (one worker, a
+//!   one-slot queue) is saturated; further connections must shed with
+//!   `503` + `Retry-After` in microseconds, and the server must be
+//!   fully responsive again once the pressure lifts.
+//! * **C — hostile clients**: protocol garbage, mid-request connection
+//!   kills, connect/close churn, slow-loris stalls, and zero-deadline
+//!   requests. The server answers `400`/`408`/`504` as designed and
+//!   keeps serving exact answers throughout.
+//! * **D — injected store faults**: a [`FaultPlan`] wired through
+//!   [`Server::start_with_faults`] fails every journal append and
+//!   snapshot write; persistence degrades *visibly* (`/stats`,
+//!   `/readyz` body) while answers stay exact and memory-only.
+//! * **E — drain + warm restart**: graceful drain finishes in-flight
+//!   work within its bound, clears the fault plan, and cuts a final
+//!   snapshot; a second server restored from the same directory starts
+//!   warm and serves the same exact answers.
+//!
+//! Writes `bench_results/exp14_server_chaos.json` and — as the repo's
+//! serving-robustness trajectory artifact — `BENCH_server.json` on full
+//! runs. `--smoke` shrinks everything for CI.
+
+use gc_bench::{print_table, write_artifact};
+use gc_core::persist::{CacheStore, Failpoint, FaultPlan, FaultSite};
+use gc_core::{CacheConfig, PolicyKind, SharedGraphCache};
+use gc_method::{execute_base, Dataset, Engine, QueryKind, SiMethod};
+use gc_server::{HttpClient, LoadSpec, QueryResponse, Server, ServerConfig, StatsResponse};
+use gc_workload::{molecule_dataset, Workload, WorkloadKind, WorkloadSpec};
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct Exp14Artifact {
+    smoke: bool,
+    dataset_size: usize,
+    /// Answers served over HTTP and cross-checked against Method M.
+    answers_cross_checked: usize,
+    /// Segment A: the retrying load client's merged report.
+    load_sent: u64,
+    load_ok: u64,
+    load_shed: u64,
+    load_retries: u64,
+    load_failed: u64,
+    load_p50_us: u64,
+    load_p99_us: u64,
+    load_throughput_rps: f64,
+    /// Segment B: overload sheds observed (503 + Retry-After).
+    overload_sheds: u64,
+    /// Segment C: hostile-client outcomes.
+    garbage_connections: usize,
+    parse_errors_counted: u64,
+    mid_request_kills: usize,
+    churn_connections: usize,
+    slow_loris_cutoffs: usize,
+    deadline_504s: usize,
+    /// Segment D: injected store faults.
+    store_faults_fired: usize,
+    degraded_visible_in_stats: bool,
+    degraded_visible_in_readyz: bool,
+    /// Segment E: drain + warm restart.
+    drain_forced: bool,
+    drain_ms: f64,
+    final_snapshot_generation: u64,
+    warm_restart: bool,
+    post_restart_checked: usize,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("exp14 FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gc_exp14_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn dataset(n: usize) -> Arc<Dataset> {
+    Arc::new(Dataset::new(molecule_dataset(n, 1414)))
+}
+
+fn workload(ds: &Arc<Dataset>, n: usize, seed: u64) -> Workload {
+    let spec = WorkloadSpec {
+        n_queries: n,
+        pool_size: 24,
+        kind: WorkloadKind::Zipf { skew: 1.1 },
+        seed,
+        ..WorkloadSpec::default()
+    };
+    Workload::generate(ds.graphs(), &spec)
+}
+
+fn shared_cache(ds: &Arc<Dataset>, store: Option<Arc<CacheStore>>) -> Arc<SharedGraphCache> {
+    let cfg = CacheConfig {
+        capacity: 24,
+        window_size: 3,
+        min_admit_tests: 0,
+        persist_retries: 2,
+        ..CacheConfig::default()
+    };
+    let cache = match store {
+        Some(store) => {
+            let (gc, _) = SharedGraphCache::restore_from(
+                ds.clone(),
+                Arc::new(SiMethod),
+                || PolicyKind::Hd.make(),
+                cfg,
+                store,
+            )
+            .unwrap_or_else(|e| fail(&format!("cache restore: {e}")));
+            gc
+        }
+        None => SharedGraphCache::with_policy(ds.clone(), Box::new(SiMethod), PolicyKind::Hd, cfg)
+            .unwrap_or_else(|e| fail(&format!("cache build: {e}"))),
+    };
+    Arc::new(cache)
+}
+
+/// POST every query in `w` over `client`, cross-checking each answer
+/// against a fault-free base execution. Returns answers checked.
+fn run_checked_http(client: &mut HttpClient, ds: &Arc<Dataset>, w: &Workload, what: &str) -> usize {
+    let mut checked = 0usize;
+    for wq in &w.queries {
+        let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&wq.graph));
+        let path = match wq.kind {
+            QueryKind::Subgraph => "/query?kind=sub",
+            QueryKind::Supergraph => "/query?kind=super",
+        };
+        let resp = client
+            .post(path, body.as_bytes())
+            .unwrap_or_else(|e| fail(&format!("{what}: request failed: {e}")));
+        if resp.status != 200 {
+            fail(&format!("{what}: HTTP {} — {}", resp.status, resp.body_text()));
+        }
+        let parsed: QueryResponse = serde_json::from_str(&resp.body_text())
+            .unwrap_or_else(|e| fail(&format!("{what}: bad response body: {e}")));
+        let want = execute_base(ds, &SiMethod, Engine::Vf2, &wq.graph, wq.kind);
+        if parsed.answer != want.answer.to_vec() {
+            fail(&format!("{what}: HTTP answer diverged from Method M alone"));
+        }
+        checked += 1;
+    }
+    checked
+}
+
+fn server_stats(addr: std::net::SocketAddr) -> StatsResponse {
+    let mut client =
+        HttpClient::connect(addr).unwrap_or_else(|e| fail(&format!("/stats connect: {e}")));
+    let resp = client.get("/stats").unwrap_or_else(|e| fail(&format!("/stats: {e}")));
+    serde_json::from_str(&resp.body_text()).unwrap_or_else(|e| fail(&format!("/stats body: {e}")))
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ds_size = if smoke { 24 } else { 60 };
+    let seg_queries = if smoke { 30 } else { 150 };
+    let churn = if smoke { 20 } else { 120 };
+    let garbage = if smoke { 8 } else { 40 };
+    let kills = if smoke { 6 } else { 30 };
+
+    let ds = dataset(ds_size);
+    let mut answers_cross_checked = 0usize;
+
+    // ---- segment A: baseline exactness over HTTP --------------------------
+    // A store-backed server; first a sequential cross-checked pass, then
+    // the retrying load client (the `gc-load` engine) striped over
+    // several connections — it must absorb any transient shed and finish
+    // with zero unrecovered failures.
+    let dir = fresh_dir("store");
+    let store = Arc::new(CacheStore::open(&dir).unwrap_or_else(|e| fail(&format!("open: {e}"))));
+    let server = Server::start(
+        shared_cache(&ds, Some(Arc::clone(&store))),
+        ServerConfig {
+            workers: 4,
+            queue_depth: 32,
+            // Short socket timeouts so the hostile-client segment (stalls,
+            // torn heads) resolves in hundreds of milliseconds, not seconds.
+            read_timeout: Duration::from_millis(700),
+            write_timeout: Duration::from_millis(700),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("segment A: start: {e}")));
+    let addr = server.addr();
+    let mut client =
+        HttpClient::connect(addr).unwrap_or_else(|e| fail(&format!("segment A: connect: {e}")));
+    answers_cross_checked +=
+        run_checked_http(&mut client, &ds, &workload(&ds, seg_queries, 2), "segment A");
+
+    let load = gc_server::run_load(
+        addr,
+        &workload(&ds, seg_queries, 3),
+        &LoadSpec { connections: 6, retries: 4, seed: 14, ..LoadSpec::default() },
+    );
+    if load.failed > 0 {
+        fail(&format!("segment A: load client left {} unrecovered failures", load.failed));
+    }
+    if load.ok != load.sent {
+        fail(&format!("segment A: load client: {} ok of {} sent", load.ok, load.sent));
+    }
+
+    // ---- segment C: hostile clients (against the segment-A server) --------
+    // C1: protocol garbage — parse errors answered with 4xx, never a hang.
+    let mut garbage_connections = 0usize;
+    for i in 0..garbage {
+        let mut s = TcpStream::connect(addr).unwrap_or_else(|e| fail(&format!("C1 connect: {e}")));
+        let junk = match i % 4 {
+            0 => b"\x00\xffnot http at all\r\n\r\n".to_vec(),
+            1 => b"GET \x7f HTTP/1.1\r\n\r\n".to_vec(),
+            2 => b"POST /query HTTP/9.9\r\n\r\n".to_vec(),
+            _ => vec![0xAA; 512],
+        };
+        let _ = s.write_all(&junk);
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        let text = String::from_utf8_lossy(&out);
+        if !text.starts_with("HTTP/1.1 4") && !text.starts_with("HTTP/1.1 5") {
+            fail(&format!("C1: garbage got no error response: {text:?}"));
+        }
+        garbage_connections += 1;
+    }
+    let parse_errors_counted =
+        server.metrics().parse_errors.load(std::sync::atomic::Ordering::Relaxed);
+    if parse_errors_counted == 0 {
+        fail("C1: no parse error counted — segment is vacuous");
+    }
+
+    // C2: mid-request kills — declare a body, send half, slam the
+    // connection shut. The worker must just move on.
+    let mut mid_request_kills = 0usize;
+    for _ in 0..kills {
+        let mut s = TcpStream::connect(addr).unwrap_or_else(|e| fail(&format!("C2 connect: {e}")));
+        let _ = s.write_all(
+            b"POST /query?kind=sub HTTP/1.1\r\ncontent-length: 500\r\n\r\nt # 0\nv 0 0\n",
+        );
+        drop(s); // kill mid-body
+        mid_request_kills += 1;
+    }
+
+    // C3: connect/close churn — accept-loop pressure, no requests at all.
+    let mut churn_connections = 0usize;
+    for _ in 0..churn {
+        match TcpStream::connect(addr) {
+            Ok(s) => drop(s),
+            Err(e) => fail(&format!("C3: churn connect failed: {e}")),
+        }
+        churn_connections += 1;
+    }
+
+    // C4: slow-loris — a torn head then silence must be cut off with 408.
+    let mut slow_loris_cutoffs = 0usize;
+    for _ in 0..(if smoke { 2 } else { 6 }) {
+        let mut s = TcpStream::connect(addr).unwrap_or_else(|e| fail(&format!("C4 connect: {e}")));
+        s.write_all(b"POST /query HTTP/1.1\r\ncontent-le").unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        let text = String::from_utf8_lossy(&out);
+        if !text.starts_with("HTTP/1.1 408") {
+            fail(&format!("C4: slow loris not cut off with 408: {text:?}"));
+        }
+        slow_loris_cutoffs += 1;
+    }
+
+    // C5: zero deadlines — expired before execution, answered 504. A
+    // fresh connection: the keep-alive from segment A idled out under
+    // the short server read timeout (by design).
+    let mut deadline_504s = 0usize;
+    let mut client =
+        HttpClient::connect(addr).unwrap_or_else(|e| fail(&format!("C5 connect: {e}")));
+    let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&ds.graphs()[0]));
+    for _ in 0..(if smoke { 2 } else { 8 }) {
+        let resp = client
+            .request("POST", "/query", &[("x-deadline-ms", "0")], body.as_bytes())
+            .unwrap_or_else(|e| fail(&format!("C5: {e}")));
+        if resp.status != 504 {
+            fail(&format!("C5: zero deadline answered {} not 504", resp.status));
+        }
+        deadline_504s += 1;
+    }
+
+    // After all hostility: the server still serves exact answers.
+    answers_cross_checked +=
+        run_checked_http(&mut client, &ds, &workload(&ds, 10, 4), "segment C aftermath");
+    let drained = server.drain();
+    if drained.forced {
+        fail("segment C: drain was forced after hostile-client segment");
+    }
+
+    // ---- segment B: overload shed + recovery -------------------------------
+    // A deliberately tiny server: 1 worker (stalled by a slow client), a
+    // 1-slot queue (occupied), so every further connection must shed.
+    let tiny = Server::start(
+        shared_cache(&ds, None),
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            read_timeout: Duration::from_millis(400),
+            write_timeout: Duration::from_millis(400),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("segment B: start: {e}")));
+    let tiny_addr = tiny.addr();
+    let mut busy = TcpStream::connect(tiny_addr).unwrap_or_else(|e| fail(&format!("B: {e}")));
+    busy.write_all(b"POST /query HTTP/1.1\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let _queued = TcpStream::connect(tiny_addr).unwrap_or_else(|e| fail(&format!("B: {e}")));
+    std::thread::sleep(Duration::from_millis(50));
+
+    let mut overload_sheds = 0u64;
+    let probes = if smoke { 8 } else { 24 };
+    for _ in 0..probes {
+        let mut probe =
+            TcpStream::connect(tiny_addr).unwrap_or_else(|e| fail(&format!("B probe: {e}")));
+        probe.set_read_timeout(Some(Duration::from_millis(800))).unwrap();
+        let mut out = Vec::new();
+        let _ = probe.read_to_end(&mut out);
+        let text = String::from_utf8_lossy(&out);
+        if text.starts_with("HTTP/1.1 503") {
+            if !text.to_ascii_lowercase().contains("retry-after:") {
+                fail("segment B: shed 503 without Retry-After");
+            }
+            overload_sheds += 1;
+        }
+    }
+    if overload_sheds == 0 {
+        fail("segment B: saturation shed no connection — overload protection is inert");
+    }
+    if tiny.metrics().total_shed() < overload_sheds {
+        fail("segment B: shed gauge undercounts observed 503s");
+    }
+    // Pressure lifts (stalled clients cut off by read timeouts): the tiny
+    // server must answer exactly again — overload never wedges it.
+    drop(busy);
+    std::thread::sleep(Duration::from_millis(600));
+    let mut after =
+        HttpClient::connect(tiny_addr).unwrap_or_else(|e| fail(&format!("B recovery: {e}")));
+    answers_cross_checked +=
+        run_checked_http(&mut after, &ds, &workload(&ds, 6, 5), "segment B recovery");
+    let report = tiny.drain();
+    if report.forced {
+        fail("segment B: drain forced after overload");
+    }
+
+    // ---- segment D: injected store faults ----------------------------------
+    // Every journal append and snapshot write fails. The server keeps
+    // serving exact answers memory-only; the degradation must be visible
+    // to operators through /stats and /readyz.
+    let plan = Arc::new(FaultPlan::seeded(14));
+    plan.arm(FaultSite::JournalAppend, Failpoint::ErrAfter { n: 0 });
+    plan.arm(FaultSite::SnapshotWrite, Failpoint::ErrAfter { n: 0 });
+    let faulted = Server::start_with_faults(
+        shared_cache(&ds, Some(Arc::clone(&store))),
+        ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            // Short reads so drain is not held up by idle keep-alives.
+            read_timeout: Duration::from_millis(700),
+            write_timeout: Duration::from_millis(700),
+            ..ServerConfig::default()
+        },
+        Some(Arc::clone(&plan)),
+    )
+    .unwrap_or_else(|e| fail(&format!("segment D: start: {e}")));
+    let faulted_addr = faulted.addr();
+    let mut dclient =
+        HttpClient::connect(faulted_addr).unwrap_or_else(|e| fail(&format!("D connect: {e}")));
+    answers_cross_checked +=
+        run_checked_http(&mut dclient, &ds, &workload(&ds, seg_queries, 6), "segment D");
+    let store_faults_fired = plan.fired();
+    if store_faults_fired == 0 {
+        fail("segment D: no store fault fired — segment is vacuous");
+    }
+    let stats = server_stats(faulted_addr);
+    let degraded_visible_in_stats = stats.persist_health == "degraded";
+    if !degraded_visible_in_stats {
+        fail(&format!(
+            "segment D: /stats reports persist_health {:?}, expected \"degraded\"",
+            stats.persist_health
+        ));
+    }
+    if stats.persist_errors == 0 {
+        fail("segment D: /stats persist_errors is zero under a total outage");
+    }
+    let ready = dclient.get("/readyz").unwrap_or_else(|e| fail(&format!("D readyz: {e}")));
+    // Degraded stays *ready* (it serves exact answers) but names the state.
+    let degraded_visible_in_readyz = ready.status == 200 && ready.body_text().contains("degraded");
+    if !degraded_visible_in_readyz {
+        fail(&format!(
+            "segment D: /readyz hides the degradation ({} — {:?})",
+            ready.status,
+            ready.body_text()
+        ));
+    }
+
+    // ---- segment E: drain + warm restart -----------------------------------
+    // Drain clears the fault plan and cuts a final snapshot; a server
+    // restored from the same directory starts warm and answers exactly.
+    let t_drain = Instant::now();
+    let drain = faulted.drain();
+    let drain_ms = t_drain.elapsed().as_secs_f64() * 1e3;
+    if drain.forced {
+        fail("segment E: drain bound expired with workers still busy");
+    }
+    let Some(final_snapshot_generation) = drain.snapshot_generation else {
+        fail("segment E: drain cut no final snapshot despite an attached store");
+    };
+    drop(store);
+
+    let store2 = Arc::new(CacheStore::open(&dir).unwrap_or_else(|e| fail(&format!("reopen: {e}"))));
+    let cfg =
+        CacheConfig { capacity: 24, window_size: 3, min_admit_tests: 0, ..CacheConfig::default() };
+    let (restored, recovery) = SharedGraphCache::restore_from(
+        ds.clone(),
+        Arc::new(SiMethod),
+        || PolicyKind::Hd.make(),
+        cfg,
+        store2,
+    )
+    .unwrap_or_else(|e| fail(&format!("segment E: restore: {e}")));
+    let warm_restart = recovery.warm;
+    if !warm_restart {
+        fail(&format!("segment E: restart was cold: {:?}", recovery.cold_reason));
+    }
+    let reborn = Server::start(Arc::new(restored), ServerConfig::default())
+        .unwrap_or_else(|e| fail(&format!("segment E: restart: {e}")));
+    let mut eclient =
+        HttpClient::connect(reborn.addr()).unwrap_or_else(|e| fail(&format!("E connect: {e}")));
+    let post_restart_checked =
+        run_checked_http(&mut eclient, &ds, &workload(&ds, seg_queries.min(40), 7), "segment E");
+    answers_cross_checked += post_restart_checked;
+    let final_drain = reborn.drain();
+    if final_drain.forced {
+        fail("segment E: final drain forced");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- report -----------------------------------------------------------
+    println!(
+        "=== Experiment XIV: server chaos ({ds_size} graphs, {answers_cross_checked} HTTP \
+         answers cross-checked) ===\n"
+    );
+    let rows = vec![
+        vec![
+            "exactness over HTTP".to_owned(),
+            format!("{answers_cross_checked} answers"),
+            "all identical to Method M alone".to_owned(),
+        ],
+        vec![
+            "retrying load client".to_owned(),
+            format!("{}/{} ok, {} retries", load.ok, load.sent, load.retries),
+            format!("p50 {} us, p99 {} us", load.p50_us, load.p99_us),
+        ],
+        vec![
+            "overload shedding".to_owned(),
+            format!("{overload_sheds} sheds of {probes} probes"),
+            "503 + Retry-After, then full recovery".to_owned(),
+        ],
+        vec![
+            "hostile clients".to_owned(),
+            format!(
+                "{garbage_connections} garbage, {mid_request_kills} kills, {churn_connections} churn"
+            ),
+            format!("{slow_loris_cutoffs}x 408, {deadline_504s}x 504, exact after"),
+        ],
+        vec![
+            "store-fault degradation".to_owned(),
+            format!("{store_faults_fired} faults fired"),
+            "visible in /stats + /readyz, answers exact".to_owned(),
+        ],
+        vec![
+            "drain + warm restart".to_owned(),
+            format!("{drain_ms:.0} ms, snapshot gen {final_snapshot_generation}"),
+            format!("warm={warm_restart}, {post_restart_checked} answers re-checked"),
+        ],
+    ];
+    print_table(&["contract", "observed", "note"], &rows);
+
+    let artifact = Exp14Artifact {
+        smoke,
+        dataset_size: ds_size,
+        answers_cross_checked,
+        load_sent: load.sent,
+        load_ok: load.ok,
+        load_shed: load.shed,
+        load_retries: load.retries,
+        load_failed: load.failed,
+        load_p50_us: load.p50_us,
+        load_p99_us: load.p99_us,
+        load_throughput_rps: load.throughput_rps,
+        overload_sheds,
+        garbage_connections,
+        parse_errors_counted,
+        mid_request_kills,
+        churn_connections,
+        slow_loris_cutoffs,
+        deadline_504s,
+        store_faults_fired,
+        degraded_visible_in_stats,
+        degraded_visible_in_readyz,
+        drain_forced: drain.forced,
+        drain_ms,
+        final_snapshot_generation,
+        warm_restart,
+        post_restart_checked,
+    };
+    match write_artifact("exp14_server_chaos", &artifact) {
+        Ok(p) => println!("artifact: {}", p.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+    if !smoke {
+        match serde_json::to_string_pretty(&artifact) {
+            Ok(json) => match std::fs::write("BENCH_server.json", json) {
+                Ok(()) => println!("baseline: BENCH_server.json"),
+                Err(e) => eprintln!("baseline write failed: {e}"),
+            },
+            Err(e) => eprintln!("baseline serialization failed: {e}"),
+        }
+    }
+}

@@ -800,6 +800,10 @@ mod tests {
             persist_health: "degraded", // gauge: per-run, must not be persisted
             persist_errors: 2,
             journal_records_buffered: 4,
+            requests_total: 11, // serving gauges: per-run, must not be persisted
+            requests_shed: 1,
+            requests_timed_out: 1,
+            uptime_secs: 5,
         };
         let back = stats_from_records(&stats_to_records(&s));
         assert_eq!(back.queries, 10);
@@ -816,6 +820,10 @@ mod tests {
             persist_health: "",
             persist_errors: 0,
             journal_records_buffered: 0,
+            requests_total: 0,
+            requests_shed: 0,
+            requests_timed_out: 0,
+            uptime_secs: 0,
             ..s
         };
         assert_eq!(back, expected);

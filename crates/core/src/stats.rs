@@ -81,6 +81,20 @@ pub struct GlobalStats {
     /// recovery snapshot subsumes them and resets this to 0). Same
     /// snapshot-time semantics.
     pub journal_records_buffered: u64,
+    /// Serving *gauge*: HTTP requests routed by the `gc-server` front-end
+    /// (0 when the cache is not being served). Populated by the server's
+    /// stats snapshot, never by per-query deltas; ignored by
+    /// [`StatsMonitor::add`] like the other gauges.
+    pub requests_total: u64,
+    /// Serving *gauge*: requests shed under overload (accept-loop `503`s
+    /// plus queued-past-deadline `503`s). Same snapshot-time semantics.
+    pub requests_shed: u64,
+    /// Serving *gauge*: requests that exceeded a deadline (`504`/`408` or
+    /// served late). Same snapshot-time semantics.
+    pub requests_timed_out: u64,
+    /// Serving *gauge*: seconds since the serving front-end started. Same
+    /// snapshot-time semantics.
+    pub uptime_secs: u64,
 }
 
 impl GlobalStats {
@@ -287,6 +301,10 @@ mod tests {
             persist_health: "",
             persist_errors: 0,
             journal_records_buffered: 0,
+            requests_total: 0,
+            requests_shed: 0,
+            requests_timed_out: 0,
+            uptime_secs: 0,
         };
         m.add(&delta);
         assert_eq!(m.snapshot(), delta);
@@ -303,6 +321,10 @@ mod tests {
             persist_health: "degraded",
             persist_errors: 5,
             journal_records_buffered: 7,
+            requests_total: 100,
+            requests_shed: 3,
+            requests_timed_out: 2,
+            uptime_secs: 60,
             ..Default::default()
         };
         assert!((s.tombstone_ratio() - 0.25).abs() < 1e-12);
@@ -316,6 +338,10 @@ mod tests {
         assert_eq!(m.snapshot().persist_health, "");
         assert_eq!(m.snapshot().persist_errors, 0);
         assert_eq!(m.snapshot().journal_records_buffered, 0);
+        assert_eq!(m.snapshot().requests_total, 0);
+        assert_eq!(m.snapshot().requests_shed, 0);
+        assert_eq!(m.snapshot().requests_timed_out, 0);
+        assert_eq!(m.snapshot().uptime_secs, 0);
     }
 
     #[test]

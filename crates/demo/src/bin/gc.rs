@@ -8,6 +8,11 @@
 //!             [--policy HD] [--capacity 50] [--feature-size 2] [--dev]
 //!             [--clients 8] [--check]   # N>1: concurrent SharedGraphCache mode
 //!             [--snapshot-dir state/]   # warm-restart + journal + snapshot
+//!             [--server 127.0.0.1:7411] # client mode: POST the workload to
+//!                                       # a running `gc serve` over HTTP
+//! gc serve    --dataset ds.tve [--addr 127.0.0.1:7411] [--workers 4]
+//!             [--queue-depth 64] [--deadline-ms 5000] [--snapshot-dir state/]
+//!             [--duration-secs S]       # omitted: serve until Enter/EOF
 //! gc save     --dataset ds.tve --snapshot-dir state/   # run + persist
 //! gc load     --dataset ds.tve --snapshot-dir state/   # restore + dashboards
 //! gc journey  --dataset ds.tve [--seed 7]
@@ -26,12 +31,13 @@
 //! datasets drop in directly.
 
 use gc_core::persist::CacheStore;
-use gc_core::{CacheConfig, GraphCache, PolicyKind, RecoveryReport};
+use gc_core::{CacheConfig, GraphCache, PolicyKind, RecoveryReport, SharedGraphCache};
 use gc_demo::{
-    developer_monitor, end_user_monitor, run_multi_client, run_multi_client_persistent,
-    run_query_journey, run_workload_comparison,
+    developer_monitor, end_user_monitor, render_end_user_monitor, run_multi_client,
+    run_multi_client_persistent, run_query_journey, run_workload_comparison, DeploymentInfo,
 };
 use gc_method::{Dataset, FtvMethod, QueryKind};
+use gc_server::{HttpClient, QueryResponse, Server, ServerConfig};
 use gc_workload::random::{ba_dataset, er_dataset};
 use gc_workload::{molecule_dataset, nested_chain, Workload, WorkloadKind, WorkloadSpec};
 use rand::rngs::StdRng;
@@ -175,6 +181,13 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let workload = Workload::generate(dataset.graphs(), &spec);
 
+    // Server-client mode: POST the workload to a running `gc serve`
+    // front-end instead of executing locally (`--check` cross-checks every
+    // HTTP answer against a fault-free local base execution).
+    if let Some(addr) = flags.get("server") {
+        return run_against_server(addr, &dataset, &workload, flags);
+    }
+
     // Multi-client mode: stripe the workload over N threads hammering one
     // SharedGraphCache (optionally cross-checking answers with --check;
     // `--snapshot-dir` warm-restarts the shared cache and journals the
@@ -272,22 +285,199 @@ fn cmd_load(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-/// `gc doctor <dir>`: offline health check of a persistence directory —
-/// CRC-walks the snapshot and every journal, validates the generation
-/// chain, reports torn tails, and says what a restore would recover.
-/// Exits nonzero when the directory is corrupt (a restore would be forced
-/// cold by damage, not by benign emptiness).
-fn cmd_doctor(dir: &str) -> Result<(), String> {
+/// `gc doctor [--json] <dir>`: offline health check of a persistence
+/// directory — CRC-walks the snapshot and every journal, validates the
+/// generation chain, reports torn tails, and says what a restore would
+/// recover. `--json` emits the full report as JSON for scripting; either
+/// way the exit code is nonzero exactly when the directory is corrupt (a
+/// restore would be forced cold by damage, not by benign emptiness).
+fn cmd_doctor(dir: &str, json: bool) -> Result<(), String> {
     if !std::path::Path::new(dir).is_dir() {
         return Err(format!("{dir}: not a directory"));
     }
     let report = gc_core::persist::inspect_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
-    println!("{}", report.describe());
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| format!("serialize report: {e}"))?
+        );
+    } else {
+        println!("{}", report.describe());
+    }
     if report.healthy() {
         Ok(())
+    } else if json {
+        Err(format!("{dir}: persistence directory is corrupt (see JSON verdict)"))
     } else {
         Err(format!("{dir}: persistence directory is corrupt (see report above)"))
     }
+}
+
+/// `gc serve`: run the overload-hardened HTTP front-end over a shared
+/// cache until `--duration-secs` elapses (or Enter/EOF on stdin), then
+/// drain gracefully — finishing in-flight requests and, with
+/// `--snapshot-dir`, cutting a final snapshot for a warm restart.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let policy: PolicyKind =
+        flags.get("policy").map(|p| p.parse()).transpose()?.unwrap_or(PolicyKind::Hd);
+    let feature_size: usize = get(flags, "feature-size", 2);
+    let workers: usize = get(flags, "workers", 4);
+    let config = CacheConfig {
+        // Shard probes and verification fan out across the worker pool.
+        threads: get(flags, "threads", workers),
+        ..cache_config(flags)
+    };
+    let method = FtvMethod::build(&dataset, feature_size);
+    let cache = match flags.get("snapshot-dir") {
+        Some(dir) => {
+            let store = Arc::new(CacheStore::open(dir).map_err(|e| format!("{dir}: {e}"))?);
+            let (gc, recovery) = SharedGraphCache::restore_from(
+                dataset.clone(),
+                Arc::new(method),
+                || policy.make(),
+                config,
+                store,
+            )?;
+            println!("[Persistence] {}", recovery.describe());
+            gc
+        }
+        None => SharedGraphCache::with_policy(dataset.clone(), Box::new(method), policy, config)?,
+    };
+    let server = Server::start(
+        Arc::new(cache),
+        ServerConfig {
+            addr: flags.get("addr").cloned().unwrap_or_else(|| "127.0.0.1:7411".into()),
+            workers,
+            queue_depth: get(flags, "queue-depth", 64),
+            request_deadline: std::time::Duration::from_millis(get(flags, "deadline-ms", 5_000)),
+            ..ServerConfig::default()
+        },
+    )?;
+    println!("gc-server listening on http://{}", server.addr());
+    println!("  POST /query?kind=sub|super (t/v/e body)  GET /stats /metrics /healthz /readyz");
+    match flags.get("duration-secs").and_then(|v| v.parse::<u64>().ok()) {
+        Some(secs) => {
+            println!("serving for {secs}s, then draining");
+            std::thread::sleep(std::time::Duration::from_secs(secs));
+        }
+        None => {
+            println!("press Enter to drain and exit");
+            let _ = std::io::stdin().read_line(&mut String::new());
+        }
+    }
+    println!(
+        "{}",
+        render_end_user_monitor(
+            &DeploymentInfo::of_shared(server.cache()),
+            &server.serving_stats()
+        )
+    );
+    let report = server.drain();
+    println!(
+        "[Drain] {}/{} workers finished in {:.0} ms{}{}",
+        report.workers_finished,
+        report.workers_total,
+        report.drained_in.as_secs_f64() * 1e3,
+        if report.forced { " (forced: drain bound expired)" } else { "" },
+        match report.snapshot_generation {
+            Some(g) => format!(", final snapshot generation {g}"),
+            None => String::new(),
+        }
+    );
+    if report.forced {
+        return Err("drain bound expired with workers still busy".into());
+    }
+    Ok(())
+}
+
+/// `gc run --server ADDR`: drive a running `gc serve` over HTTP with the
+/// same workload `gc run` would execute locally. Both sides must be given
+/// the same `--dataset`. With `--check`, every answer is cross-checked
+/// against a local base (Method M alone) execution.
+fn run_against_server(
+    addr: &str,
+    dataset: &Arc<Dataset>,
+    workload: &gc_workload::Workload,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
+    let addr = addr.trim_start_matches("http://");
+    let addr: std::net::SocketAddr = addr.parse().map_err(|e| format!("--server {addr}: {e}"))?;
+    let check = flags.contains_key("check");
+    let feature_size: usize = get(flags, "feature-size", 2);
+    let method = check.then(|| FtvMethod::build(dataset, feature_size));
+    let mut client = HttpClient::connect(addr)?;
+    let (mut ok, mut exact_hits, mut shed, mut failed, mut checked) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    let t0 = std::time::Instant::now();
+    for wq in &workload.queries {
+        let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&wq.graph));
+        let path = match wq.kind {
+            QueryKind::Subgraph => "/query?kind=sub",
+            QueryKind::Supergraph => "/query?kind=super",
+        };
+        let resp = match client.post(path, body.as_bytes()) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("gc: request failed: {e}");
+                failed += 1;
+                continue;
+            }
+        };
+        match resp.status {
+            200 => {
+                let parsed: QueryResponse = serde_json::from_str(&resp.body_text())
+                    .map_err(|e| format!("bad /query response: {e}"))?;
+                ok += 1;
+                exact_hits += parsed.exact_hit as u64;
+                if let Some(method) = &method {
+                    let base = gc_method::execute_base(
+                        dataset,
+                        method,
+                        gc_method::Engine::Vf2,
+                        &wq.graph,
+                        wq.kind,
+                    );
+                    if parsed.answer != base.answer.to_vec() {
+                        return Err(format!(
+                            "answer mismatch vs local base execution (server {} ids, base {})",
+                            parsed.answer.len(),
+                            base.answer.count()
+                        ));
+                    }
+                    checked += 1;
+                }
+            }
+            503 => shed += 1,
+            other => {
+                eprintln!("gc: HTTP {other}: {}", resp.body_text());
+                failed += 1;
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+    println!("=== Server Run ===");
+    println!("server   : http://{addr}");
+    println!(
+        "requests : {} sent, {ok} ok ({exact_hits} exact hits), {shed} shed, {failed} failed",
+        workload.queries.len()
+    );
+    if check {
+        println!("checked  : {checked}/{ok} answers match local base execution exactly");
+    }
+    println!(
+        "time     : {:.1} ms total, {:.2} ms/query over HTTP",
+        elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e3 / workload.queries.len().max(1) as f64
+    );
+    let stats = client.get("/stats")?;
+    if stats.status == 200 {
+        println!("\n[Server /stats]\n{}", stats.body_text());
+    }
+    if failed > 0 {
+        return Err(format!("{failed} requests failed"));
+    }
+    Ok(())
 }
 
 fn cmd_journey(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -336,19 +526,27 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: gc <generate|run|save|load|doctor|journey|compare> [--flag value]...
+const USAGE: &str =
+    "usage: gc <generate|run|serve|save|load|doctor|journey|compare> [--flag value]...
   gc generate --out ds.tve [--count N] [--seed S] [--model molecules|er|ba]
   gc run      --dataset ds.tve [--queries N] [--workload zipf|uniform|drift]
               [--policy LRU|POP|PIN|PINC|HD] [--capacity N] [--feature-size L] [--dev]
               [--clients N] [--check]   (N>1: concurrent SharedGraphCache mode)
+              [--server HOST:PORT]      (client mode: POST the workload to a
+               running `gc serve`; --check cross-checks every HTTP answer)
               [--snapshot-dir DIR [--snapshot-interval N] [--journal-max-bytes B]
                [--fsync-every N | --fsync-interval-ms M]]
               (DIR: warm-restart from it, journal this run, snapshot at exit;
                composes with --clients N: shared-cache restore + snapshot)
+  gc serve    --dataset ds.tve [--addr 127.0.0.1:7411] [--workers N]
+              [--queue-depth N] [--deadline-ms M] [--snapshot-dir DIR]
+              [--duration-secs S]   (omitted: serve until Enter/EOF; then a
+               graceful drain finishes in-flight work and snapshots)
   gc save     --dataset ds.tve --snapshot-dir DIR [run flags]  (run + persist)
   gc load     --dataset ds.tve --snapshot-dir DIR  (restore + show dashboards)
-  gc doctor   DIR   (offline check: CRC walk, generation chain, torn tails,
-                     what a restore would recover; exit 1 if corrupt)
+  gc doctor   [--json] DIR   (offline check: CRC walk, generation chain,
+                     torn tails, what a restore would recover; --json emits
+                     the full report as JSON; exit 1 if corrupt)
   gc journey  --dataset ds.tve [--seed S]
   gc compare  --dataset ds.tve [--queries N] [--workload ...] [--capacity N]";
 
@@ -358,13 +556,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    // `doctor` takes a positional directory, not --flags.
+    // `doctor` takes a positional directory (plus an optional --json).
     if cmd == "doctor" {
-        let Some(dir) = args.get(1) else {
-            eprintln!("gc: missing directory\n  gc doctor DIR");
+        let json = args[1..].iter().any(|a| a == "--json");
+        let Some(dir) = args[1..].iter().find(|a| !a.starts_with("--")) else {
+            eprintln!("gc: missing directory\n  gc doctor [--json] DIR");
             return ExitCode::from(2);
         };
-        return match cmd_doctor(dir) {
+        return match cmd_doctor(dir, json) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("gc: {e}");
@@ -376,6 +575,7 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&flags),
         "run" => cmd_run(&flags),
+        "serve" => cmd_serve(&flags),
         "save" => cmd_save(&flags),
         "load" => cmd_load(&flags),
         "journey" => cmd_journey(&flags),

@@ -6,21 +6,70 @@
 //! Both render here as plain text from a live [`GraphCache`].
 
 use crate::ascii;
-use gc_core::GraphCache;
+use gc_core::{GlobalStats, GraphCache, SharedGraphCache};
+
+/// Deployment facts the End-User Monitor renders alongside the
+/// statistics — extracted so the panel can be drawn for any runtime
+/// (sequential cache, shared cache, or a served cache whose stats carry
+/// the serving gauges).
+#[derive(Debug, Clone)]
+pub struct DeploymentInfo {
+    /// Base method name.
+    pub method: String,
+    /// Replacement policy name.
+    pub policy: &'static str,
+    /// Live cached entries.
+    pub entries: usize,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Admission window size.
+    pub window_size: usize,
+    /// Cache memory footprint, bytes.
+    pub memory_bytes: usize,
+}
+
+impl DeploymentInfo {
+    /// Deployment facts of a sequential cache.
+    pub fn of(gc: &GraphCache) -> Self {
+        DeploymentInfo {
+            method: gc.method_name(),
+            policy: gc.policy_name(),
+            entries: gc.len(),
+            capacity: gc.config().capacity,
+            window_size: gc.config().window_size,
+            memory_bytes: gc.memory_bytes(),
+        }
+    }
+
+    /// Deployment facts of a shared (concurrent) cache.
+    pub fn of_shared(gc: &SharedGraphCache) -> Self {
+        DeploymentInfo {
+            method: gc.method_name(),
+            policy: gc.policy_name(),
+            entries: gc.len(),
+            capacity: gc.config().capacity,
+            window_size: gc.config().window_size,
+            memory_bytes: gc.memory_bytes(),
+        }
+    }
+}
 
 /// End-User Monitor: the three Demonstrator panels (paper §2) — sub-iso
 /// testing, query time, and cache replacement — from the cache's global
 /// statistics.
 pub fn end_user_monitor(gc: &GraphCache) -> String {
-    let s = gc.stats();
+    render_end_user_monitor(&DeploymentInfo::of(gc), &gc.stats())
+}
+
+/// [`end_user_monitor`] for any stats snapshot: a served cache passes
+/// stats with the serving gauges populated (see `gc_server`), which
+/// lights up the serving line of the `[Index Health]` panel.
+pub fn render_end_user_monitor(info: &DeploymentInfo, s: &GlobalStats) -> String {
     let mut out = String::new();
     out.push_str("=== End-User Monitor ===\n");
     out.push_str(&format!(
         "deployment: method {}, policy {}, {} / {} cache entries\n\n",
-        gc.method_name(),
-        gc.policy_name(),
-        gc.len(),
-        gc.config().capacity
+        info.method, info.policy, info.entries, info.capacity
     ));
     out.push_str("[Sub-Iso Testing]\n");
     out.push_str(&format!("  queries processed      : {}\n", s.queries));
@@ -46,12 +95,9 @@ pub fn end_user_monitor(gc: &GraphCache) -> String {
     ));
     out.push_str(&format!(
         "  admitted / evicted     : {} / {} (window {}, {} rejected by admission)\n",
-        s.admitted,
-        s.evicted,
-        gc.config().window_size,
-        s.admission_rejected
+        s.admitted, s.evicted, info.window_size, s.admission_rejected
     ));
-    out.push_str(&format!("  cache memory           : {} KiB\n\n", gc.memory_bytes() / 1024));
+    out.push_str(&format!("  cache memory           : {} KiB\n\n", info.memory_bytes / 1024));
     out.push_str("[Index Health]\n");
     out.push_str(&format!("  distinct features      : {}\n", s.distinct_features));
     out.push_str(&format!(
@@ -70,6 +116,17 @@ pub fn end_user_monitor(gc: &GraphCache) -> String {
             "  persistence            : {} ({} persist errors, {} records buffered)\n",
             s.persist_health, s.persist_errors, s.journal_records_buffered
         ));
+    }
+    // Serving gauges are populated only when the stats come from a
+    // `gc-server` front-end snapshot; a cache that is not being served
+    // says so rather than rendering misleading zeros.
+    if s.requests_total > 0 || s.uptime_secs > 0 {
+        out.push_str(&format!(
+            "  serving                : {} requests ({} shed, {} timed out), up {}s\n",
+            s.requests_total, s.requests_shed, s.requests_timed_out, s.uptime_secs
+        ));
+    } else {
+        out.push_str("  serving                : not serving (start with `gc serve`)\n");
     }
     out
 }
@@ -173,6 +230,23 @@ mod tests {
             txt.contains("kernel dispatch        : avx2")
                 || txt.contains("kernel dispatch        : sse2")
                 || txt.contains("kernel dispatch        : scalar"),
+            "{txt}"
+        );
+        // Not served: the serving gauge line says so.
+        assert!(txt.contains("serving                : not serving"), "{txt}");
+    }
+
+    #[test]
+    fn serving_gauges_render_when_populated() {
+        let gc = warmed();
+        let mut s = gc.stats();
+        s.requests_total = 120;
+        s.requests_shed = 7;
+        s.requests_timed_out = 2;
+        s.uptime_secs = 33;
+        let txt = render_end_user_monitor(&DeploymentInfo::of(&gc), &s);
+        assert!(
+            txt.contains("serving                : 120 requests (7 shed, 2 timed out), up 33s"),
             "{txt}"
         );
     }

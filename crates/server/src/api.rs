@@ -1,0 +1,170 @@
+//! JSON wire types for the HTTP API.
+//!
+//! The request body of `POST /query` is not JSON — it is the same t/v/e
+//! text format the rest of the system uses for graphs
+//! ([`gc_graph::io::parse_dataset`]), with the query kind selected by the
+//! `?kind=sub|super` query parameter. Responses are JSON via these types.
+
+use serde::{Deserialize, Serialize};
+
+/// `POST /query` success response: the exact answer set plus the
+/// Query-Journey anatomy and the server-side stage timings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponse {
+    /// Ids of the dataset graphs in the answer set.
+    pub answer: Vec<usize>,
+    /// `"sub"` or `"super"`.
+    pub kind: String,
+    /// `true` when an exact-match hit served the query outright.
+    pub exact_hit: bool,
+    /// `|C_M|` — base method's candidate count.
+    pub cm_size: usize,
+    /// `|S|` — definite answers contributed by cache hits.
+    pub definite: usize,
+    /// `|C|` — candidates actually verified.
+    pub verified: usize,
+    /// Sub-iso tests against dataset graphs.
+    pub sub_iso_tests: u64,
+    /// Sub-iso tests spent probing the cache.
+    pub probe_tests: u64,
+    /// Time spent waiting in the admission queue, microseconds.
+    pub queue_us: u64,
+    /// Time from first request byte to a fully-parsed request,
+    /// microseconds (includes socket reads).
+    pub parse_us: u64,
+    /// Cache pipeline execution time, microseconds.
+    pub execute_us: u64,
+    /// `true` when the request finished after its deadline (it was still
+    /// served — the answer is exact — but operators should treat the
+    /// latency SLO as missed).
+    pub deadline_exceeded: bool,
+}
+
+/// Error response body (`4xx`/`5xx`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// What went wrong.
+    pub error: String,
+    /// Mirror of the `Retry-After` header on `503` shed responses.
+    pub retry_after_secs: Option<u64>,
+}
+
+/// `GET /stats` response: cache-level Statistics Monitor counters plus
+/// the server's serving gauges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    /// Queries processed by the cache.
+    pub queries: u64,
+    /// Queries with at least one hit.
+    pub hit_queries: u64,
+    /// Exact-match hits.
+    pub exact_hits: u64,
+    /// Individual sub-case hits.
+    pub sub_hits: u64,
+    /// Individual super-case hits.
+    pub super_hits: u64,
+    /// Sub-iso tests against dataset graphs.
+    pub tests_executed: u64,
+    /// Sub-iso tests spent probing the cache.
+    pub probe_tests: u64,
+    /// Sub-iso tests saved vs the base method alone.
+    pub tests_saved: u64,
+    /// Entries admitted.
+    pub admitted: u64,
+    /// Entries evicted.
+    pub evicted: u64,
+    /// Live cached entries.
+    pub entries: usize,
+    /// Fraction of queries with at least one hit.
+    pub hit_ratio: f64,
+    /// SIMD kernel tier the hot loops dispatched to.
+    pub kernel_dispatch: String,
+    /// Persistence circuit-breaker state (empty when no store attached).
+    pub persist_health: String,
+    /// Failed persistence operations since attach.
+    pub persist_errors: u64,
+    /// Journal records buffered while persistence was degraded.
+    pub journal_records_buffered: u64,
+    /// HTTP requests parsed and routed.
+    pub requests_total: u64,
+    /// Requests shed under overload (both shed points).
+    pub requests_shed: u64,
+    /// Requests that exceeded a deadline.
+    pub requests_timed_out: u64,
+    /// Seconds since server start.
+    pub uptime_secs: u64,
+    /// `true` while the server is draining (also flips `/readyz`).
+    pub draining: bool,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Admission-queue depth (connections beyond this are shed).
+    pub queue_depth: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_response_roundtrips() {
+        let r = QueryResponse {
+            answer: vec![0, 3, 17],
+            kind: "sub".into(),
+            exact_hit: true,
+            cm_size: 75,
+            definite: 1,
+            verified: 43,
+            sub_iso_tests: 43,
+            probe_tests: 2,
+            queue_us: 10,
+            parse_us: 20,
+            execute_us: 30,
+            deadline_exceeded: false,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: QueryResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn error_body_roundtrips_with_and_without_retry() {
+        for retry in [Some(2u64), None] {
+            let e = ErrorBody { error: "shed".into(), retry_after_secs: retry };
+            let json = serde_json::to_string(&e).unwrap();
+            let back: ErrorBody = serde_json::from_str(&json).unwrap();
+            assert_eq!(e, back);
+        }
+    }
+
+    #[test]
+    fn stats_response_roundtrips() {
+        let s = StatsResponse {
+            queries: 100,
+            hit_queries: 40,
+            exact_hits: 10,
+            sub_hits: 5,
+            super_hits: 3,
+            tests_executed: 900,
+            probe_tests: 100,
+            tests_saved: 500,
+            admitted: 20,
+            evicted: 5,
+            entries: 15,
+            hit_ratio: 0.4,
+            kernel_dispatch: "avx2".into(),
+            persist_health: "healthy".into(),
+            persist_errors: 0,
+            journal_records_buffered: 0,
+            requests_total: 100,
+            requests_shed: 7,
+            requests_timed_out: 1,
+            uptime_secs: 60,
+            draining: false,
+            workers: 4,
+            queue_depth: 64,
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: StatsResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

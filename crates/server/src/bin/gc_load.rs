@@ -1,0 +1,124 @@
+//! `gc-load` — workload generator client for a running `gc serve`.
+//!
+//! Generates a molecule-derived workload (Zipf / uniform / drift — the
+//! same synthesizers the experiments use) and replays it against a
+//! server from N connection threads with retry + capped exponential
+//! backoff + jitter, printing the merged [`gc_server::LoadReport`] as
+//! JSON.
+//!
+//! The dataset parameters must match the serving side (`gc serve
+//! --molecules N --seed S`) for answers to be meaningful; `gc-load`
+//! itself never checks answers (the chaos gate does).
+
+use gc_server::{run_load, LoadSpec};
+use gc_workload::{molecule_dataset, Workload, WorkloadKind, WorkloadSpec};
+use std::net::SocketAddr;
+
+const USAGE: &str = "\
+gc-load — GraphCache load-generator client
+
+USAGE:
+    gc-load --addr HOST:PORT [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT      server address (required)
+    --molecules N         dataset size to derive queries from [default: 60]
+    --dataset-seed N      dataset generation seed [default: 42]
+    --queries N           queries to send [default: 200]
+    --connections N       concurrent connection threads [default: 4]
+    --workload KIND       zipf | uniform | drift [default: zipf]
+    --skew Z              zipf exponent [default: 1.1]
+    --supergraph-frac F   fraction of supergraph queries [default: 0.2]
+    --retries N           retries per request [default: 3]
+    --seed N              workload + jitter seed [default: 0]
+";
+
+fn parse_flags(args: &[String]) -> Result<std::collections::HashMap<String, String>, String> {
+    let mut flags = std::collections::HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument: {arg}"));
+        };
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("--{name} needs a value"));
+        };
+        flags.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &std::collections::HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|_| format!("invalid --{name}: {raw:?}")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    if let Err(e) = run(&args) {
+        eprintln!("gc-load: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let addr: SocketAddr = flags
+        .get("addr")
+        .ok_or("--addr is required (see --help)")?
+        .parse()
+        .map_err(|e| format!("invalid --addr: {e}"))?;
+
+    let molecules: usize = get(&flags, "molecules", 60)?;
+    let dataset_seed: u64 = get(&flags, "dataset-seed", 42)?;
+    let n_queries: usize = get(&flags, "queries", 200)?;
+    let seed: u64 = get(&flags, "seed", 0)?;
+    let skew: f64 = get(&flags, "skew", 1.1)?;
+    let supergraph_fraction: f64 = get(&flags, "supergraph-frac", 0.2)?;
+    let kind = match flags.get("workload").map(String::as_str).unwrap_or("zipf") {
+        "zipf" => WorkloadKind::Zipf { skew },
+        "uniform" => WorkloadKind::Uniform,
+        "drift" => WorkloadKind::Drift { chain_len: 3, repeat_prob: 0.3 },
+        other => return Err(format!("unknown --workload {other:?} (zipf|uniform|drift)")),
+    };
+
+    let dataset = molecule_dataset(molecules, dataset_seed);
+    let workload = Workload::generate(
+        &dataset,
+        &WorkloadSpec { n_queries, kind, supergraph_fraction, seed, ..WorkloadSpec::default() },
+    );
+
+    let spec = LoadSpec {
+        connections: get(&flags, "connections", 4)?,
+        retries: get(&flags, "retries", 3)?,
+        seed,
+        ..LoadSpec::default()
+    };
+    eprintln!(
+        "gc-load: replaying {} queries against {addr} over {} connections",
+        workload.len(),
+        spec.connections
+    );
+    let report = run_load(addr, &workload, &spec);
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).map_err(|e| format!("report to JSON: {e}"))?
+    );
+    if report.failed > 0 {
+        eprintln!("gc-load: {} requests exhausted retries", report.failed);
+        std::process::exit(2);
+    }
+    Ok(())
+}

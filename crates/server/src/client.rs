@@ -1,0 +1,402 @@
+//! Minimal blocking HTTP client + the load generator behind `gc-load`.
+//!
+//! The client half of the hand-rolled protocol layer: keep-alive
+//! connections, `Content-Length`-framed responses (the server always
+//! sends one), socket timeouts, and transparent reconnect. On top of it,
+//! [`run_load`] replays a workload from N connection threads with retry,
+//! capped exponential backoff with jitter, and per-request latency
+//! percentiles — the well-behaved client the shedding design assumes
+//! (it backs off when told `503`, rather than hammering).
+
+use crate::api::QueryResponse;
+use gc_method::QueryKind;
+use gc_workload::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A blocking keep-alive HTTP/1.1 client for one server address.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Socket timeout for connect/read/write.
+    pub timeout: Duration,
+}
+
+impl HttpClient {
+    /// Connect to `addr` (lazily re-connects after errors).
+    pub fn connect(addr: SocketAddr) -> Result<Self, String> {
+        let mut client = HttpClient { addr, stream: None, timeout: Duration::from_secs(5) };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut TcpStream, String> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)
+                .map_err(|e| format!("connect {}: {e}", self.addr))?;
+            stream.set_read_timeout(Some(self.timeout)).map_err(|e| e.to_string())?;
+            stream.set_write_timeout(Some(self.timeout)).map_err(|e| e.to_string())?;
+            let _ = stream.set_nodelay(true);
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just set"))
+    }
+
+    /// `GET path`.
+    pub fn get(&mut self, path: &str) -> Result<ClientResponse, String> {
+        self.request("GET", path, &[], &[])
+    }
+
+    /// `POST path` with a body.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> Result<ClientResponse, String> {
+        self.request("POST", path, &[], body)
+    }
+
+    /// Send one request and read the framed response. On any transport
+    /// error the connection is dropped (the next call reconnects) and the
+    /// error is returned.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, String> {
+        let result = self.request_inner(method, path, headers, body);
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    fn request_inner(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<ClientResponse, String> {
+        let mut raw = format!("{method} {path} HTTP/1.1\r\nhost: gc\r\n").into_bytes();
+        for (k, v) in headers {
+            raw.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        raw.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
+        raw.extend_from_slice(body);
+        let stream = self.ensure_connected()?;
+        stream.write_all(&raw).map_err(|e| format!("write: {e}"))?;
+        let response = read_response(stream)?;
+        // Honour the server's close decision (shed and error responses
+        // close; the next request reconnects).
+        if response.header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close")) {
+            self.stream = None;
+        }
+        Ok(response)
+    }
+}
+
+/// Read one `Content-Length`-framed response from `stream`.
+fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let head_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err("response head too large".into());
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-response".into()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end - 4])
+        .map_err(|_| "response head is not UTF-8".to_string())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value.parse().map_err(|_| format!("bad content-length: {value:?}"))?;
+        }
+        headers.push((name, value));
+    }
+
+    let mut body = buf[head_end..].to_vec();
+    while body.len() < content_length {
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-body".into()),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(format!("read body: {e}")),
+        }
+    }
+    body.truncate(content_length);
+    Ok(ClientResponse { status, headers, body })
+}
+
+// ---- backoff ---------------------------------------------------------------
+
+/// Capped exponential backoff with jitter: attempt `n` sleeps a uniform
+/// draw from `[base·2ⁿ/2, base·2ⁿ]`, capped at `cap`. Jitter decorrelates
+/// retrying clients so a shedding server is not met with a synchronized
+/// thundering herd.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    /// First-retry delay.
+    pub base: Duration,
+    /// Upper bound on any delay.
+    pub cap: Duration,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// New backoff schedule.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        Backoff { base, cap, attempt: 0 }
+    }
+
+    /// Delay for the next retry (advances the schedule).
+    pub fn next_delay(&mut self, rng: &mut impl Rng) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << self.attempt.min(16));
+        let capped = exp.min(self.cap);
+        self.attempt = self.attempt.saturating_add(1);
+        let micros = capped.as_micros().max(1) as u64;
+        Duration::from_micros(rng.gen_range(micros / 2..=micros))
+    }
+
+    /// Reset after a success.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+// ---- load generation -------------------------------------------------------
+
+/// Parameters of a [`run_load`] run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadSpec {
+    /// Concurrent connection threads.
+    pub connections: usize,
+    /// Retries per request after shed/timeout/transport errors.
+    pub retries: u32,
+    /// First-retry backoff delay, milliseconds.
+    pub backoff_base_ms: u64,
+    /// Backoff cap, milliseconds.
+    pub backoff_cap_ms: u64,
+    /// RNG seed for jitter.
+    pub seed: u64,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec { connections: 4, retries: 3, backoff_base_ms: 5, backoff_cap_ms: 200, seed: 0 }
+    }
+}
+
+/// Outcome of a [`run_load`] run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Requests attempted (unique workload queries).
+    pub sent: u64,
+    /// Requests that got a `200` with a parseable body.
+    pub ok: u64,
+    /// `503` shed responses observed (before retries).
+    pub shed: u64,
+    /// `504`/`408` deadline responses observed.
+    pub timed_out: u64,
+    /// Requests that exhausted retries without a `200`.
+    pub failed: u64,
+    /// Retries performed.
+    pub retries: u64,
+    /// p50 end-to-end latency, microseconds (successful requests).
+    pub p50_us: u64,
+    /// p90 end-to-end latency, microseconds.
+    pub p90_us: u64,
+    /// p99 end-to-end latency, microseconds.
+    pub p99_us: u64,
+    /// Max end-to-end latency, microseconds.
+    pub max_us: u64,
+    /// Wall-clock duration of the whole run, microseconds.
+    pub elapsed_us: u64,
+    /// Successful requests per second.
+    pub throughput_rps: f64,
+}
+
+/// `p`-th percentile (0–100) of `sorted` (ascending); 0 when empty.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Replay `workload` against the server at `addr` from
+/// [`LoadSpec::connections`] threads (queries striped round-robin), with
+/// retry + backoff on shed/timeout/transport errors. Returns the merged
+/// report; per-request answers are NOT checked here (the chaos gate does
+/// that with `execute_base` replay).
+pub fn run_load(addr: SocketAddr, workload: &Workload, spec: &LoadSpec) -> LoadReport {
+    let t0 = Instant::now();
+    let n_threads = spec.connections.max(1);
+    let results: Vec<(LoadReport, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|t| {
+                let spec = spec.clone();
+                scope.spawn(move || {
+                    let mut report = LoadReport::default();
+                    let mut latencies: Vec<u64> = Vec::new();
+                    let mut rng =
+                        StdRng::seed_from_u64(spec.seed ^ (t as u64).wrapping_mul(0x9e37));
+                    let Ok(mut client) = HttpClient::connect(addr) else {
+                        report.failed =
+                            workload.queries.iter().skip(t).step_by(n_threads).count() as u64;
+                        return (report, latencies);
+                    };
+                    for wq in workload.queries.iter().skip(t).step_by(n_threads) {
+                        let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&wq.graph));
+                        let path = match wq.kind {
+                            QueryKind::Subgraph => "/query?kind=sub",
+                            QueryKind::Supergraph => "/query?kind=super",
+                        };
+                        report.sent += 1;
+                        let mut backoff = Backoff::new(
+                            Duration::from_millis(spec.backoff_base_ms),
+                            Duration::from_millis(spec.backoff_cap_ms),
+                        );
+                        let started = Instant::now();
+                        let mut attempts_left = spec.retries + 1;
+                        let ok = loop {
+                            attempts_left -= 1;
+                            match client.post(path, body.as_bytes()) {
+                                Ok(resp) if resp.status == 200 => {
+                                    if serde_json::from_str::<QueryResponse>(&resp.body_text())
+                                        .is_ok()
+                                    {
+                                        break true;
+                                    }
+                                    break false;
+                                }
+                                Ok(resp) => {
+                                    if resp.status == 503 {
+                                        report.shed += 1;
+                                    } else if resp.status == 504 || resp.status == 408 {
+                                        report.timed_out += 1;
+                                    }
+                                }
+                                Err(_) => {}
+                            }
+                            if attempts_left == 0 {
+                                break false;
+                            }
+                            report.retries += 1;
+                            std::thread::sleep(backoff.next_delay(&mut rng));
+                        };
+                        if ok {
+                            report.ok += 1;
+                            latencies.push(started.elapsed().as_micros() as u64);
+                        } else {
+                            report.failed += 1;
+                        }
+                    }
+                    (report, latencies)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("load thread panicked")).collect()
+    });
+
+    let mut merged = LoadReport::default();
+    let mut latencies: Vec<u64> = Vec::new();
+    for (r, l) in results {
+        merged.sent += r.sent;
+        merged.ok += r.ok;
+        merged.shed += r.shed;
+        merged.timed_out += r.timed_out;
+        merged.failed += r.failed;
+        merged.retries += r.retries;
+        latencies.extend(l);
+    }
+    latencies.sort_unstable();
+    merged.p50_us = percentile(&latencies, 50.0);
+    merged.p90_us = percentile(&latencies, 90.0);
+    merged.p99_us = percentile(&latencies, 99.0);
+    merged.max_us = latencies.last().copied().unwrap_or(0);
+    let elapsed = t0.elapsed();
+    merged.elapsed_us = elapsed.as_micros() as u64;
+    merged.throughput_rps =
+        if elapsed.is_zero() { 0.0 } else { merged.ok as f64 / elapsed.as_secs_f64() };
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_expected_ranks() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 51); // nearest-rank on 0-indexed
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 100.0), 100);
+        assert_eq!(percentile(&[], 99.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+    }
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_within_bounds() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(100));
+        let mut rng = StdRng::seed_from_u64(7);
+        let d1 = b.next_delay(&mut rng);
+        assert!(d1 >= Duration::from_millis(5) && d1 <= Duration::from_millis(10), "{d1:?}");
+        let d2 = b.next_delay(&mut rng);
+        assert!(d2 >= Duration::from_millis(10) && d2 <= Duration::from_millis(20), "{d2:?}");
+        for _ in 0..10 {
+            let d = b.next_delay(&mut rng);
+            assert!(d <= Duration::from_millis(100), "capped: {d:?}");
+        }
+        b.reset();
+        let d = b.next_delay(&mut rng);
+        assert!(d <= Duration::from_millis(10), "reset restarts the schedule: {d:?}");
+    }
+}

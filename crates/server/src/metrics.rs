@@ -1,0 +1,298 @@
+//! Server-side metrics: lock-free counters and per-stage latency
+//! histograms, rendered as Prometheus text exposition.
+//!
+//! Mirrors the accounting philosophy of [`gc_core::StatsMonitor`]: every
+//! observation is a relaxed `fetch_add`, so metrics never serialize the
+//! request path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Request-lifecycle stages the server times individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Accept → worker pickup (admission-queue wait).
+    Queue,
+    /// First byte → complete parsed request (includes socket reads).
+    Parse,
+    /// Cache pipeline execution (`SharedGraphCache::query`) + response
+    /// construction.
+    Execute,
+    /// Writing the response bytes to the socket.
+    Write,
+}
+
+impl Stage {
+    /// All stages, in lifecycle order.
+    pub const ALL: [Stage; 4] = [Stage::Queue, Stage::Parse, Stage::Execute, Stage::Write];
+
+    /// Prometheus label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::Parse => "parse",
+            Stage::Execute => "execute",
+            Stage::Write => "write",
+        }
+    }
+}
+
+/// Number of finite histogram buckets: bucket `i` counts observations
+/// `< 2^i` µs, so the finite range spans 1 µs .. ~1 s (2^20 µs); larger
+/// observations land in the implicit `+Inf` bucket.
+const BUCKETS: usize = 21;
+
+/// A log2-microsecond latency histogram with atomic buckets.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    inf: AtomicU64,
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        // Index of the first bucket whose bound 2^i exceeds `us`:
+        // us == 0 → bucket 0 (< 1 µs); us in [2^(i-1), 2^i) → bucket i.
+        let idx = (u64::BITS - us.leading_zeros()) as usize;
+        if idx < BUCKETS {
+            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inf.fetch_add(1, Ordering::Relaxed);
+        }
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Render Prometheus `_bucket`/`_sum`/`_count` lines for this
+    /// histogram under `name` with a `stage` label.
+    fn render(&self, out: &mut String, name: &str, stage: &str) {
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            let bound = 1u64 << i;
+            out.push_str(&format!(
+                "{name}_bucket{{stage=\"{stage}\",le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.inf.load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum{{stage=\"{stage}\"}} {}\n", self.sum_us()));
+        out.push_str(&format!("{name}_count{{stage=\"{stage}\"}} {}\n", self.count()));
+    }
+}
+
+/// All server-side counters and histograms, shared across workers.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    /// Server start time (uptime gauge base).
+    started: Instant,
+    /// Connections accepted into the admission queue.
+    pub connections_accepted: AtomicU64,
+    /// Connections shed at the accept loop (queue full → `503`).
+    pub connections_shed: AtomicU64,
+    /// HTTP requests fully parsed and routed (any endpoint, any status).
+    pub requests_total: AtomicU64,
+    /// Requests shed after admission (queued past their deadline → `503`).
+    pub requests_shed: AtomicU64,
+    /// Requests that hit a deadline: expired before execution (`504`),
+    /// stalled mid-read (`408`), or completed past their deadline (served,
+    /// but counted here so operators see deadline pressure).
+    pub requests_timed_out: AtomicU64,
+    /// Protocol errors (malformed requests, oversized heads/bodies).
+    pub parse_errors: AtomicU64,
+    /// Per-stage latency histograms (indexed by [`Stage::ALL`] order).
+    stages: [Histogram; 4],
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh metrics; uptime starts now.
+    pub fn new() -> Self {
+        ServerMetrics {
+            started: Instant::now(),
+            connections_accepted: AtomicU64::new(0),
+            connections_shed: AtomicU64::new(0),
+            requests_total: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            requests_timed_out: AtomicU64::new(0),
+            parse_errors: AtomicU64::new(0),
+            stages: Default::default(),
+        }
+    }
+
+    /// Record a stage latency.
+    pub fn observe(&self, stage: Stage, d: Duration) {
+        self.stages[Stage::ALL.iter().position(|s| *s == stage).expect("stage in ALL")].observe(d);
+    }
+
+    /// The histogram for one stage.
+    pub fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[Stage::ALL.iter().position(|s| *s == stage).expect("stage in ALL")]
+    }
+
+    /// Seconds since the server started.
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// Shed total across both shed points (accept-loop and queue-expiry) —
+    /// the number operators alert on.
+    pub fn total_shed(&self) -> u64 {
+        self.connections_shed.load(Ordering::Relaxed) + self.requests_shed.load(Ordering::Relaxed)
+    }
+
+    /// Render the full Prometheus text exposition: server counters, stage
+    /// histograms, and the cache-level counters from `cache_stats`.
+    pub fn render_prometheus(&self, cache_stats: &gc_core::GlobalStats, entries: usize) -> String {
+        let mut out = String::with_capacity(4096);
+        let counter = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, v: u64| {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {v}\n"));
+        };
+
+        gauge(&mut out, "gc_uptime_seconds", "Seconds since server start.", self.uptime_secs());
+        counter(
+            &mut out,
+            "gc_connections_accepted_total",
+            "Connections admitted to the worker queue.",
+            self.connections_accepted.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gc_requests_total",
+            "HTTP requests parsed and routed.",
+            self.requests_total.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gc_requests_shed_total",
+            "Requests shed under overload (accept-loop 503s plus queue-deadline 503s).",
+            self.total_shed(),
+        );
+        counter(
+            &mut out,
+            "gc_requests_timed_out_total",
+            "Requests that exceeded a deadline (504/408 or served late).",
+            self.requests_timed_out.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "gc_parse_errors_total",
+            "Malformed or over-limit requests rejected by the HTTP parser.",
+            self.parse_errors.load(Ordering::Relaxed),
+        );
+
+        out.push_str(concat!(
+            "# HELP gc_request_stage_microseconds Request latency by lifecycle stage.\n",
+            "# TYPE gc_request_stage_microseconds histogram\n"
+        ));
+        for stage in Stage::ALL {
+            self.stage(stage).render(&mut out, "gc_request_stage_microseconds", stage.label());
+        }
+
+        // Cache-level counters (the Statistics Monitor, exported).
+        counter(&mut out, "gc_cache_queries_total", "Queries processed.", cache_stats.queries);
+        counter(
+            &mut out,
+            "gc_cache_hit_queries_total",
+            "Queries with at least one cache hit.",
+            cache_stats.hit_queries,
+        );
+        counter(&mut out, "gc_cache_exact_hits_total", "Exact-match hits.", cache_stats.exact_hits);
+        counter(
+            &mut out,
+            "gc_cache_tests_executed_total",
+            "Sub-iso tests against dataset graphs.",
+            cache_stats.tests_executed,
+        );
+        counter(
+            &mut out,
+            "gc_cache_tests_saved_total",
+            "Sub-iso tests saved vs Method M alone.",
+            cache_stats.tests_saved,
+        );
+        counter(&mut out, "gc_cache_admitted_total", "Entries admitted.", cache_stats.admitted);
+        counter(&mut out, "gc_cache_evicted_total", "Entries evicted.", cache_stats.evicted);
+        gauge(&mut out, "gc_cache_entries", "Live cached entries.", entries as u64);
+        gauge(
+            &mut out,
+            "gc_cache_persist_errors",
+            "Failed persistence operations since attach.",
+            cache_stats.persist_errors,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_observations_by_log2_us() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(0)); // bucket 0 (< 1 µs)
+        h.observe(Duration::from_micros(1)); // bucket 1 (< 2 µs)
+        h.observe(Duration::from_micros(3)); // bucket 2 (< 4 µs)
+        h.observe(Duration::from_secs(10)); // +Inf (> 2^20 µs)
+        assert_eq!(h.count(), 4);
+        let mut out = String::new();
+        h.render(&mut out, "m", "s");
+        assert!(out.contains("m_bucket{stage=\"s\",le=\"1\"} 1\n"));
+        assert!(out.contains("m_bucket{stage=\"s\",le=\"2\"} 2\n"));
+        assert!(out.contains("m_bucket{stage=\"s\",le=\"4\"} 3\n"));
+        assert!(out.contains("m_bucket{stage=\"s\",le=\"+Inf\"} 4\n"));
+        assert!(out.contains("m_count{stage=\"s\"} 4\n"));
+    }
+
+    #[test]
+    fn bucket_bounds_are_cumulative() {
+        let h = Histogram::default();
+        for us in [1u64, 2, 4, 8, 16, 1000, 100_000] {
+            h.observe(Duration::from_micros(us));
+        }
+        let mut out = String::new();
+        h.render(&mut out, "m", "s");
+        // The +Inf bucket equals the total count.
+        assert!(out.contains(&format!("le=\"+Inf\"}} {}\n", h.count())));
+        assert_eq!(h.sum_us(), 101_031);
+    }
+
+    #[test]
+    fn prometheus_exposition_contains_all_families() {
+        let m = ServerMetrics::new();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        m.connections_shed.fetch_add(1, Ordering::Relaxed);
+        m.requests_shed.fetch_add(1, Ordering::Relaxed);
+        m.observe(Stage::Execute, Duration::from_micros(42));
+        let stats = gc_core::GlobalStats { queries: 3, ..Default::default() };
+        let text = m.render_prometheus(&stats, 7);
+        assert!(text.contains("gc_requests_total 3\n"));
+        assert!(text.contains("gc_requests_shed_total 2\n"), "both shed points sum");
+        assert!(text.contains("stage=\"execute\""));
+        assert!(text.contains("gc_cache_queries_total 3\n"));
+        assert!(text.contains("gc_cache_entries 7\n"));
+        assert!(text.contains("# TYPE gc_request_stage_microseconds histogram\n"));
+    }
+}

@@ -1,0 +1,766 @@
+//! The overload-hardened server: bounded accept loop, fixed worker pool,
+//! load-shedding admission queue, per-request deadlines, and graceful
+//! drain.
+//!
+//! ## Overload model
+//!
+//! Work enters through exactly one bounded channel. The accept thread
+//! `try_send`s each connection into a `sync_channel(queue_depth)`; a full
+//! queue means the system is saturated, and the connection is *shed* on
+//! the spot with `503` + `Retry-After` (a few microseconds of work) —
+//! never queued without bound. Connections that make it into the queue
+//! but wait longer than the request deadline are also shed when a worker
+//! finally picks them up: serving a request the client has given up on
+//! wastes the capacity that shedding exists to protect.
+//!
+//! ## Deadline model
+//!
+//! Every request has a deadline: [`ServerConfig::request_deadline`],
+//! tightenable per request with an `X-Deadline-Ms` header. Time spent in
+//! the queue and reading the request counts against it. A request whose
+//! deadline expires before execution gets `504`; a slow client that
+//! stalls mid-request gets `408` (socket read timeouts bound every
+//! blocking read — the slow-loris defense); a request that *completes*
+//! past its deadline is still answered (the answer is exact either way)
+//! but flagged `deadline_exceeded` and counted in
+//! `requests_timed_out`.
+//!
+//! ## Drain model
+//!
+//! [`Server::drain`] stops the accept loop, lets workers finish queued
+//! and in-flight requests within [`ServerConfig::drain_timeout`], clears
+//! any injected fault plan, and cuts a final snapshot when a store is
+//! attached — so a subsequent warm restart serves exact answers
+//! immediately.
+
+use crate::api::{ErrorBody, QueryResponse, StatsResponse};
+use crate::http::{parse_request, HttpLimits, Parse, Request, Response};
+use crate::metrics::{ServerMetrics, Stage};
+use gc_core::persist::PersistHealth;
+use gc_core::{GlobalStats, SharedGraphCache};
+use gc_method::QueryKind;
+use gc_store::faults::FaultPlan;
+use parking_lot::Mutex;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`"127.0.0.1:0"` picks a free port).
+    pub addr: String,
+    /// Worker threads serving requests.
+    pub workers: usize,
+    /// Admission-queue depth; connections beyond this are shed with `503`.
+    pub queue_depth: usize,
+    /// Default per-request deadline (queue wait + read + execute).
+    pub request_deadline: Duration,
+    /// Socket read timeout — bounds every blocking read (slow-loris).
+    pub read_timeout: Duration,
+    /// Socket write timeout — bounds writes to slow readers.
+    pub write_timeout: Duration,
+    /// Bound on graceful drain: workers still busy after this are left
+    /// behind (their socket timeouts bound how long they linger).
+    pub drain_timeout: Duration,
+    /// `Retry-After` seconds sent with shed (`503`) responses.
+    pub retry_after_secs: u64,
+    /// HTTP parser limits.
+    pub limits: HttpLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 64,
+            request_deadline: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            drain_timeout: Duration::from_secs(10),
+            retry_after_secs: 1,
+            limits: HttpLimits::default(),
+        }
+    }
+}
+
+/// What [`Server::drain`] accomplished.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Worker threads that exited within the drain bound.
+    pub workers_finished: usize,
+    /// Total worker threads.
+    pub workers_total: usize,
+    /// `true` when the drain bound expired with workers still busy.
+    pub forced: bool,
+    /// Wall-clock duration of the drain.
+    pub drained_in: Duration,
+    /// Generation of the final snapshot, when a store was attached and
+    /// the snapshot succeeded.
+    pub snapshot_generation: Option<u64>,
+}
+
+/// State shared by the accept thread, workers, and the handle.
+struct Shared {
+    cache: Arc<SharedGraphCache>,
+    config: ServerConfig,
+    metrics: ServerMetrics,
+    draining: AtomicBool,
+}
+
+/// A running server. Dropping it without calling [`Server::drain`] leaves
+/// the threads running for the process lifetime; drain for an orderly
+/// stop.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    done_rx: Receiver<usize>,
+}
+
+/// Handle alias (re-exported for API clarity).
+pub type ServerHandle = Server;
+
+impl Server {
+    /// Bind and start serving `cache` per `config`.
+    pub fn start(cache: Arc<SharedGraphCache>, config: ServerConfig) -> Result<Server, String> {
+        Self::start_with_faults(cache, config, None)
+    }
+
+    /// [`Server::start`], additionally installing `fault_plan` on the
+    /// cache's attached store for the server's lifetime — the chaos
+    /// harness injects store faults through the same lifecycle a real
+    /// deployment would wire them through. The plan is cleared during
+    /// [`Server::drain`] so the final snapshot is taken fault-free.
+    pub fn start_with_faults(
+        cache: Arc<SharedGraphCache>,
+        config: ServerConfig,
+        fault_plan: Option<Arc<FaultPlan>>,
+    ) -> Result<Server, String> {
+        if config.workers == 0 || config.queue_depth == 0 {
+            return Err("server needs at least 1 worker and queue depth 1".into());
+        }
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        let addr = listener.local_addr().map_err(|e| format!("local_addr: {e}"))?;
+
+        if let Some(plan) = fault_plan {
+            match cache.attached_store() {
+                Some(store) => store.set_fault_plan(Some(plan)),
+                None => return Err("fault plan given but no store is attached".into()),
+            }
+        }
+
+        let (tx, rx) = sync_channel::<(TcpStream, Instant)>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<usize>();
+        let shared = Arc::new(Shared {
+            cache,
+            config,
+            metrics: ServerMetrics::new(),
+            draining: AtomicBool::new(false),
+        });
+
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                let done_tx = done_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("gc-server-worker-{i}"))
+                    .spawn(move || {
+                        worker_loop(&shared, &rx);
+                        let _ = done_tx.send(i);
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("gc-server-accept".into())
+                .spawn(move || accept_loop(listener, tx, &shared))
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server { shared, addr, accept, workers, done_rx })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server metrics.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
+    }
+
+    /// The served cache.
+    pub fn cache(&self) -> &Arc<SharedGraphCache> {
+        &self.shared.cache
+    }
+
+    /// Cache statistics with the serving gauges
+    /// (`requests_total`/`requests_shed`/`requests_timed_out`/
+    /// `uptime_secs`) populated — what dashboards should render for a
+    /// served cache.
+    pub fn serving_stats(&self) -> GlobalStats {
+        serving_stats(&self.shared)
+    }
+
+    /// Gracefully stop: stop accepting, let workers finish in-flight
+    /// work within [`ServerConfig::drain_timeout`], clear any injected
+    /// fault plan, and cut a final snapshot when a store is attached.
+    pub fn drain(self) -> DrainReport {
+        let t0 = Instant::now();
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // The accept thread blocks in `accept()`; a self-connection wakes
+        // it so it can observe the drain flag and exit (dropping the
+        // queue sender, which in turn lets idle workers exit).
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        let _ = self.accept.join();
+
+        let total = self.workers.len();
+        let mut finished = vec![false; total];
+        let mut n_done = 0usize;
+        let deadline = t0 + self.shared.config.drain_timeout;
+        while n_done < total {
+            let now = Instant::now();
+            let Some(budget) = deadline.checked_duration_since(now).filter(|d| !d.is_zero()) else {
+                break;
+            };
+            match self.done_rx.recv_timeout(budget) {
+                Ok(i) => {
+                    finished[i] = true;
+                    n_done += 1;
+                }
+                Err(_) => break,
+            }
+        }
+        for (i, handle) in self.workers.into_iter().enumerate() {
+            if finished[i] {
+                let _ = handle.join();
+            }
+            // Workers still busy past the bound are left detached; their
+            // socket read/write timeouts bound how long they can linger,
+            // and the drain flag makes them close keep-alive connections
+            // after the in-flight request.
+        }
+        let forced = n_done < total;
+
+        if let Some(store) = self.shared.cache.attached_store() {
+            store.set_fault_plan(None);
+        }
+        let snapshot_generation = match self.shared.cache.snapshot_now() {
+            Ok(info) => info.map(|i| i.generation),
+            Err(e) => {
+                eprintln!("gc-server: final drain snapshot failed ({e})");
+                None
+            }
+        };
+        DrainReport {
+            workers_finished: n_done,
+            workers_total: total,
+            forced,
+            drained_in: t0.elapsed(),
+            snapshot_generation,
+        }
+    }
+}
+
+/// Cache stats + serving gauges (shared by `/stats` and the handle).
+fn serving_stats(shared: &Shared) -> GlobalStats {
+    let mut s = shared.cache.stats();
+    let m = &shared.metrics;
+    s.requests_total = m.requests_total.load(Ordering::Relaxed);
+    s.requests_shed = m.total_shed();
+    s.requests_timed_out = m.requests_timed_out.load(Ordering::Relaxed);
+    s.uptime_secs = m.uptime_secs();
+    s
+}
+
+// ---- accept loop -----------------------------------------------------------
+
+fn accept_loop(listener: TcpListener, tx: SyncSender<(TcpStream, Instant)>, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            // Transient accept errors (e.g. the peer reset before we got
+            // to it) must not kill the accept loop.
+            Err(_) => {
+                if shared.draining.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::Relaxed) {
+            // The drain self-connection (or a straggler) lands here.
+            return;
+        }
+        match tx.try_send((stream, Instant::now())) {
+            Ok(()) => {
+                shared.metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full((stream, _))) => shed_connection(stream, shared),
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// Queue full: answer `503` + `Retry-After` immediately and close. The
+/// write gets a short timeout so a slow shed client cannot stall the
+/// accept loop.
+fn shed_connection(mut stream: TcpStream, shared: &Shared) {
+    shared.metrics.connections_shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let retry = shared.config.retry_after_secs;
+    let body = ErrorBody {
+        error: "overloaded: admission queue full".into(),
+        retry_after_secs: Some(retry),
+    };
+    let resp = Response::json(503, serde_json::to_string(&body).unwrap_or_default())
+        .with_header("retry-after", retry.to_string());
+    let _ = stream.write_all(&resp.encode(false));
+}
+
+// ---- workers ---------------------------------------------------------------
+
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<(TcpStream, Instant)>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself.
+        let next = rx.lock().recv();
+        let Ok((stream, enqueued)) = next else { return };
+        let waited = enqueued.elapsed();
+        shared.metrics.observe(Stage::Queue, waited);
+        if waited > shared.config.request_deadline {
+            // The client has likely given up; serving now wastes the
+            // capacity shedding protects.
+            shared.metrics.requests_shed.fetch_add(1, Ordering::Relaxed);
+            shed_queued(stream, shared);
+            continue;
+        }
+        handle_connection(stream, waited, shared);
+    }
+}
+
+fn shed_queued(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let retry = shared.config.retry_after_secs;
+    let body =
+        ErrorBody { error: "shed: queued past deadline".into(), retry_after_secs: Some(retry) };
+    let resp = Response::json(503, serde_json::to_string(&body).unwrap_or_default())
+        .with_header("retry-after", retry.to_string());
+    let _ = stream.write_all(&resp.encode(false));
+}
+
+/// Serve one connection: incremental parse with keep-alive and
+/// pipelining, socket timeouts on every read/write, and the per-request
+/// deadline from the first byte.
+fn handle_connection(mut stream: TcpStream, mut queue_wait: Duration, shared: &Shared) {
+    let cfg = &shared.config;
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut first_byte: Option<Instant> = None;
+    loop {
+        match parse_request(&buf, &cfg.limits) {
+            Parse::Complete { request, consumed } => {
+                let parse_time = first_byte.take().map(|t| t.elapsed()).unwrap_or_default();
+                shared.metrics.observe(Stage::Parse, parse_time);
+                buf.drain(..consumed);
+                // Queue wait counts against the *first* request only;
+                // later keep-alive requests never sat in the queue.
+                let waited = std::mem::take(&mut queue_wait);
+                let response = route(&request, waited, parse_time, shared);
+                let keep = request.keep_alive() && !shared.draining.load(Ordering::Relaxed);
+                let t0 = Instant::now();
+                if stream.write_all(&response.encode(keep)).is_err() {
+                    return;
+                }
+                shared.metrics.observe(Stage::Write, t0.elapsed());
+                if !keep {
+                    return;
+                }
+                // A pipelined next request may already be buffered; loop
+                // back to the parser before reading.
+                continue;
+            }
+            Parse::Error(e) => {
+                shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                let body = ErrorBody { error: e.describe().into(), retry_after_secs: None };
+                let resp =
+                    Response::json(e.status(), serde_json::to_string(&body).unwrap_or_default());
+                let _ = stream.write_all(&resp.encode(false));
+                return;
+            }
+            Parse::Partial => {}
+        }
+
+        // Slow-loris bound: a partially-received request cannot outlive
+        // its deadline no matter how steadily the client trickles bytes.
+        if first_byte.is_some_and(|t| t.elapsed() > cfg.request_deadline) {
+            answer_timeout(&mut stream, shared);
+            return;
+        }
+
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                if first_byte.is_none() {
+                    first_byte = Some(Instant::now());
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if buf.is_empty() {
+                    // Idle keep-alive connection: close quietly.
+                    return;
+                }
+                // Mid-request stall: the read timeout is the slow-loris
+                // backstop when the deadline has not fired yet.
+                answer_timeout(&mut stream, shared);
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn answer_timeout(stream: &mut TcpStream, shared: &Shared) {
+    shared.metrics.requests_timed_out.fetch_add(1, Ordering::Relaxed);
+    let body = ErrorBody { error: "request timed out".into(), retry_after_secs: None };
+    let resp = Response::json(408, serde_json::to_string(&body).unwrap_or_default());
+    let _ = stream.write_all(&resp.encode(false));
+}
+
+// ---- routing ---------------------------------------------------------------
+
+fn route(req: &Request, queue_wait: Duration, parse_time: Duration, shared: &Shared) -> Response {
+    shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/query") => handle_query(req, queue_wait, parse_time, shared),
+        ("GET", "/stats") => handle_stats(shared),
+        ("GET", "/metrics") => {
+            let text = shared.metrics.render_prometheus(&shared.cache.stats(), shared.cache.len());
+            Response::text(200, text)
+        }
+        ("GET", "/healthz") => Response::text(200, "ok"),
+        ("GET", "/readyz") => handle_readyz(shared),
+        (_, "/query" | "/stats" | "/metrics" | "/healthz" | "/readyz") => {
+            error_response(405, format!("method {} not allowed for {}", req.method, req.path))
+        }
+        _ => error_response(404, format!("no such endpoint: {}", req.path)),
+    }
+}
+
+fn error_response(status: u16, error: String) -> Response {
+    let body = ErrorBody { error, retry_after_secs: None };
+    Response::json(status, serde_json::to_string(&body).unwrap_or_default())
+}
+
+fn handle_query(
+    req: &Request,
+    queue_wait: Duration,
+    parse_time: Duration,
+    shared: &Shared,
+) -> Response {
+    // The effective deadline: the server default, tightened by the
+    // client's X-Deadline-Ms if present.
+    let mut deadline = shared.config.request_deadline;
+    if let Some(ms) = req.header("x-deadline-ms").and_then(|v| v.parse::<u64>().ok()) {
+        deadline = deadline.min(Duration::from_millis(ms));
+    }
+    let consumed = queue_wait + parse_time;
+    if consumed >= deadline {
+        shared.metrics.requests_timed_out.fetch_add(1, Ordering::Relaxed);
+        return error_response(504, "deadline expired before execution".into());
+    }
+
+    let kind = match req.query_param("kind") {
+        None | Some("sub") => QueryKind::Subgraph,
+        Some("super") => QueryKind::Supergraph,
+        Some(other) => {
+            return error_response(400, format!("unknown kind {other:?} (want sub|super)"))
+        }
+    };
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(t) => t,
+        Err(_) => return error_response(400, "query body is not UTF-8".into()),
+    };
+    let graphs = match gc_graph::io::parse_dataset(text) {
+        Ok(g) => g,
+        Err(e) => return error_response(400, format!("query body is not t/v/e: {e}")),
+    };
+    let [query] = graphs.as_slice() else {
+        return error_response(
+            400,
+            format!("query body must contain exactly one graph, got {}", graphs.len()),
+        );
+    };
+
+    let t0 = Instant::now();
+    let report = shared.cache.query(query, kind);
+    let execute = t0.elapsed();
+    shared.metrics.observe(Stage::Execute, execute);
+    let deadline_exceeded = consumed + execute > deadline;
+    if deadline_exceeded {
+        shared.metrics.requests_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    let resp = QueryResponse {
+        answer: report.answer.to_vec(),
+        kind: kind.as_str().into(),
+        exact_hit: report.exact_hit,
+        cm_size: report.cm_size,
+        definite: report.definite,
+        verified: report.verified,
+        sub_iso_tests: report.sub_iso_tests,
+        probe_tests: report.probe_tests,
+        queue_us: queue_wait.as_micros() as u64,
+        parse_us: parse_time.as_micros() as u64,
+        execute_us: execute.as_micros() as u64,
+        deadline_exceeded,
+    };
+    match serde_json::to_string(&resp) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => error_response(500, format!("response serialization failed: {e}")),
+    }
+}
+
+fn handle_stats(shared: &Shared) -> Response {
+    let s = serving_stats(shared);
+    let resp = StatsResponse {
+        queries: s.queries,
+        hit_queries: s.hit_queries,
+        exact_hits: s.exact_hits,
+        sub_hits: s.sub_hits,
+        super_hits: s.super_hits,
+        tests_executed: s.tests_executed,
+        probe_tests: s.probe_tests,
+        tests_saved: s.tests_saved,
+        admitted: s.admitted,
+        evicted: s.evicted,
+        entries: shared.cache.len(),
+        hit_ratio: s.hit_ratio(),
+        kernel_dispatch: s.kernel_dispatch.into(),
+        persist_health: s.persist_health.into(),
+        persist_errors: s.persist_errors,
+        journal_records_buffered: s.journal_records_buffered,
+        requests_total: s.requests_total,
+        requests_shed: s.requests_shed,
+        requests_timed_out: s.requests_timed_out,
+        uptime_secs: s.uptime_secs,
+        draining: shared.draining.load(Ordering::Relaxed),
+        workers: shared.config.workers,
+        queue_depth: shared.config.queue_depth,
+    };
+    match serde_json::to_string(&resp) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => error_response(500, format!("stats serialization failed: {e}")),
+    }
+}
+
+/// Readiness: `503` while draining; `503` when the persistence circuit
+/// breaker is `Disabled` (the cache still answers exactly, but an
+/// instance that can never persist again should be rotated out);
+/// `200` otherwise — including `Degraded`, which keeps serving exact
+/// answers memory-only while recovery probes run, with the state named
+/// in the body so operators can see it.
+fn handle_readyz(shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::Relaxed) {
+        return Response::text(503, "draining");
+    }
+    match shared.cache.persist_health() {
+        Some(PersistHealth::Disabled) => Response::text(503, "not ready: persistence disabled"),
+        Some(h) => Response::text(200, format!("ready (persistence {})", h.as_str())),
+        None => Response::text(200, "ready (no store attached)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use gc_core::{CacheConfig, PolicyKind};
+    use gc_method::{Dataset, SiMethod};
+    use gc_workload::molecule_dataset;
+
+    fn start_server(config: ServerConfig) -> (Server, Arc<Dataset>) {
+        let graphs = molecule_dataset(24, 42);
+        let dataset = Arc::new(Dataset::new(graphs));
+        let cache = SharedGraphCache::with_policy(
+            Arc::clone(&dataset),
+            Box::new(SiMethod),
+            PolicyKind::Hd,
+            CacheConfig { capacity: 16, window_size: 4, ..CacheConfig::default() },
+        )
+        .unwrap();
+        (Server::start(Arc::new(cache), config).unwrap(), dataset)
+    }
+
+    fn quick_config() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_depth: 8,
+            request_deadline: Duration::from_secs(2),
+            read_timeout: Duration::from_millis(300),
+            write_timeout: Duration::from_millis(300),
+            drain_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_exact_answers_over_http() {
+        let (server, dataset) = start_server(quick_config());
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let query = dataset.graphs()[0].clone();
+        let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&query));
+
+        let resp = client.post("/query?kind=sub", body.as_bytes()).unwrap();
+        assert_eq!(resp.status, 200);
+        let parsed: QueryResponse = serde_json::from_str(&resp.body_text()).unwrap();
+        let base = gc_method::execute_base(
+            &dataset,
+            &SiMethod,
+            gc_method::Engine::Vf2,
+            &query,
+            QueryKind::Subgraph,
+        );
+        assert_eq!(parsed.answer, base.answer.to_vec());
+
+        // Again: the repeat must be an exact hit with the same answer.
+        let resp = client.post("/query?kind=sub", body.as_bytes()).unwrap();
+        let again: QueryResponse = serde_json::from_str(&resp.body_text()).unwrap();
+        assert!(again.exact_hit);
+        assert_eq!(again.answer, parsed.answer);
+        server.drain();
+    }
+
+    #[test]
+    fn health_stats_and_metrics_endpoints() {
+        let (server, _) = start_server(quick_config());
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+        let ready = client.get("/readyz").unwrap();
+        assert_eq!(ready.status, 200);
+        assert!(ready.body_text().contains("no store attached"));
+
+        let stats = client.get("/stats").unwrap();
+        assert_eq!(stats.status, 200);
+        let parsed: StatsResponse = serde_json::from_str(&stats.body_text()).unwrap();
+        assert!(parsed.requests_total >= 2);
+        assert_eq!(parsed.workers, 2);
+        assert!(!parsed.draining);
+
+        let metrics = client.get("/metrics").unwrap();
+        assert_eq!(metrics.status, 200);
+        assert!(metrics.body_text().contains("gc_requests_total"));
+        assert!(metrics.body_text().contains("gc_request_stage_microseconds_bucket"));
+        server.drain();
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_rejected() {
+        let (server, _) = start_server(quick_config());
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        assert_eq!(client.get("/nope").unwrap().status, 404);
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        assert_eq!(client.get("/query").unwrap().status, 405);
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        assert_eq!(client.post("/query", b"this is not t/v/e").unwrap().status, 400);
+        server.drain();
+    }
+
+    #[test]
+    fn tight_client_deadline_times_out() {
+        let (server, dataset) = start_server(quick_config());
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&dataset.graphs()[0]));
+        // 0 ms deadline: expired before execution.
+        let resp =
+            client.request("POST", "/query", &[("x-deadline-ms", "0")], body.as_bytes()).unwrap();
+        assert_eq!(resp.status, 504);
+        assert!(server.metrics().requests_timed_out.load(Ordering::Relaxed) >= 1);
+        server.drain();
+    }
+
+    #[test]
+    fn slow_loris_is_cut_off() {
+        let mut cfg = quick_config();
+        cfg.read_timeout = Duration::from_millis(100);
+        let (server, _) = start_server(cfg);
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Send a torn request head and stall.
+        stream.write_all(b"POST /query HTTP/1.1\r\ncontent-le").unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(3))).unwrap();
+        let mut out = Vec::new();
+        let _ = stream.read_to_end(&mut out);
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("HTTP/1.1 408"), "expected 408, got: {text}");
+        server.drain();
+    }
+
+    #[test]
+    fn drain_finishes_and_reports() {
+        let (server, _) = start_server(quick_config());
+        let report = server.drain();
+        assert!(!report.forced);
+        assert_eq!(report.workers_finished, report.workers_total);
+        assert_eq!(report.snapshot_generation, None, "no store attached");
+    }
+
+    #[test]
+    fn overload_sheds_with_503_and_retry_after() {
+        let (server, dataset) = start_server(ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            read_timeout: Duration::from_millis(400),
+            ..quick_config()
+        });
+        // Occupy the single worker with a stalled connection, fill the
+        // 1-slot queue with another, then watch further connections shed.
+        let mut busy = TcpStream::connect(server.addr()).unwrap();
+        busy.write_all(b"POST /query HTTP/1.1\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let _queued = TcpStream::connect(server.addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+
+        let mut shed_seen = false;
+        for _ in 0..10 {
+            let mut probe = TcpStream::connect(server.addr()).unwrap();
+            probe.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+            let mut out = Vec::new();
+            let _ = probe.read_to_end(&mut out);
+            let text = String::from_utf8_lossy(&out);
+            if text.starts_with("HTTP/1.1 503") {
+                assert!(text.to_ascii_lowercase().contains("retry-after:"));
+                shed_seen = true;
+                break;
+            }
+        }
+        assert!(shed_seen, "expected at least one shed 503");
+        assert!(server.metrics().total_shed() >= 1);
+
+        // After the stalled clients are timed out, the server must be
+        // fully responsive again — overload never wedges it.
+        std::thread::sleep(Duration::from_millis(600));
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&dataset.graphs()[0]));
+        let resp = client.post("/query", body.as_bytes()).unwrap();
+        assert_eq!(resp.status, 200);
+        server.drain();
+    }
+}

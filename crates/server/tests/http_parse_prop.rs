@@ -1,0 +1,189 @@
+//! Property tests for the hand-rolled HTTP/1.1 parser: on *arbitrary*
+//! byte streams it must never panic and never claim to consume more
+//! bytes than it was given; on well-formed requests it must roundtrip
+//! exactly; and every torn prefix of a valid request must parse as
+//! `Partial` — never a spurious error, never a premature `Complete`.
+
+use gc_server::http::{parse_request, HttpLimits, Parse};
+use proptest::prelude::*;
+
+fn limits() -> HttpLimits {
+    HttpLimits::default()
+}
+
+/// Invariants that must hold for ANY input bytes.
+fn check_total(buf: &[u8], l: &HttpLimits) {
+    match parse_request(buf, l) {
+        Parse::Complete { request, consumed } => {
+            assert!(consumed <= buf.len(), "over-read: consumed {consumed} of {}", buf.len());
+            assert!(request.body.len() <= l.max_body_bytes);
+            assert!(request.headers.len() <= l.max_headers);
+            // The parse is a pure function of the consumed prefix: feeding
+            // exactly those bytes yields the identical request.
+            match parse_request(&buf[..consumed], l) {
+                Parse::Complete { request: again, consumed: c2 } => {
+                    assert_eq!(c2, consumed);
+                    assert_eq!(again, request);
+                }
+                other => panic!("re-parse of consumed prefix diverged: {other:?}"),
+            }
+        }
+        Parse::Partial | Parse::Error(_) => {}
+    }
+}
+
+/// Printable token charset for methods and header names.
+const TOKEN: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_";
+/// Target charset (no spaces or control bytes).
+const TARGET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789/?=&._~%-";
+/// Header-value charset (printable, no CR/LF).
+const VALUE: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789 ._:;,/()-";
+
+fn pick(charset: &'static [u8], len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0..charset.len(), len)
+        .prop_map(move |ix| ix.into_iter().map(|i| charset[i] as char).collect())
+}
+
+/// A structurally valid request: `(raw bytes, method, target, header
+/// count incl. content-length, body)`.
+type ValidRequest = (Vec<u8>, String, String, usize, Vec<u8>);
+
+fn arb_valid_request() -> impl Strategy<Value = ValidRequest> {
+    (
+        pick(TOKEN, 1..8),
+        pick(TARGET, 1..24),
+        proptest::collection::vec((pick(TOKEN, 1..10), pick(VALUE, 0..16)), 0..6),
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(method, target, headers, body)| {
+            let target = format!("/{target}");
+            let mut raw = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
+            for (name, value) in &headers {
+                raw.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+            }
+            raw.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
+            raw.extend_from_slice(&body);
+            (raw, method, target, headers.len() + 1, body)
+        })
+}
+
+/// `true` when a *generated* header name collides with `content-length`
+/// or `transfer-encoding` (the request is then ambiguous/rejected by
+/// construction, not by parser defect).
+fn has_framing_collision(raw: &[u8]) -> bool {
+    let lower: Vec<u8> = raw.iter().map(|b| b.to_ascii_lowercase()).collect();
+    let count = |needle: &[u8]| lower.windows(needle.len()).filter(|w| *w == needle).count();
+    count(b"content-length:") > 1 || count(b"transfer-encoding:") > 0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Pure fuzz: random bytes never panic the parser and never over-read.
+    fn random_bytes_never_panic_or_over_read(
+        buf in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        check_total(&buf, &limits());
+        // Also under hostile (tiny) limits.
+        let tiny = HttpLimits { max_head_bytes: 32, max_body_bytes: 8, max_headers: 2 };
+        check_total(&buf, &tiny);
+    }
+
+    /// Structure-aware fuzz: take a valid request and flip random bytes.
+    /// The parser must stay total (no panic, no over-read) on every
+    /// mutation.
+    fn mutated_requests_never_panic(
+        valid in arb_valid_request(),
+        flips in proptest::collection::vec((0..1024usize, any::<u8>()), 1..8),
+    ) {
+        let mut mutated = valid.0;
+        for (pos, byte) in flips {
+            if mutated.is_empty() { break; }
+            let at = pos % mutated.len();
+            mutated[at] = byte;
+        }
+        check_total(&mutated, &limits());
+    }
+
+    /// Valid requests roundtrip exactly, consuming exactly their bytes.
+    fn valid_requests_roundtrip(valid in arb_valid_request()) {
+        let (raw, method, target, n_headers, body) = valid;
+        if !has_framing_collision(&raw) {
+            match parse_request(&raw, &limits()) {
+                Parse::Complete { request, consumed } => {
+                    prop_assert_eq!(consumed, raw.len());
+                    prop_assert_eq!(&request.method, &method);
+                    let (want_path, want_query) = match target.split_once('?') {
+                        Some((p, q)) => (p.to_string(), q.to_string()),
+                        None => (target.clone(), String::new()),
+                    };
+                    prop_assert_eq!(&request.path, &want_path);
+                    prop_assert_eq!(&request.query, &want_query);
+                    prop_assert_eq!(request.headers.len(), n_headers);
+                    prop_assert_eq!(request.body, body);
+                }
+                other => panic!("expected complete: {other:?}"),
+            }
+        }
+    }
+
+    /// Torn headers / torn bodies: every strict prefix of a valid request
+    /// is `Partial` — the parser never errors on (or completes from) an
+    /// incomplete request, so incremental socket reads can always resume.
+    fn every_prefix_is_partial(valid in arb_valid_request(), cut in 0..4096usize) {
+        let raw = valid.0;
+        if !has_framing_collision(&raw) {
+            let cut = cut % raw.len().max(1);
+            match parse_request(&raw[..cut], &limits()) {
+                Parse::Partial => {}
+                Parse::Error(e) => panic!(
+                    "prefix {cut}/{} errored ({e:?}) but the full request parses", raw.len()
+                ),
+                Parse::Complete { .. } => panic!(
+                    "premature complete at {cut}/{}", raw.len()
+                ),
+            }
+        }
+    }
+
+    /// Pipelining: two valid requests back-to-back parse as the first
+    /// request consuming exactly its own bytes, then the second from the
+    /// remainder.
+    fn pipelined_pairs_split_cleanly(
+        first in arb_valid_request(),
+        second in arb_valid_request(),
+    ) {
+        let (raw1, m1, ..) = first;
+        let (raw2, m2, ..) = second;
+        let mut joined = raw1.clone();
+        joined.extend_from_slice(&raw2);
+        if !has_framing_collision(&joined) {
+            match parse_request(&joined, &limits()) {
+                Parse::Complete { request, consumed } => {
+                    prop_assert_eq!(consumed, raw1.len());
+                    prop_assert_eq!(&request.method, &m1);
+                    match parse_request(&joined[consumed..], &limits()) {
+                        Parse::Complete { request: tail, consumed: c2 } => {
+                            prop_assert_eq!(c2, raw2.len());
+                            prop_assert_eq!(&tail.method, &m2);
+                        }
+                        other => panic!("second pipelined request failed: {other:?}"),
+                    }
+                }
+                other => panic!("first pipelined request failed: {other:?}"),
+            }
+        }
+    }
+
+    /// Oversized declared bodies are rejected before any body byte is
+    /// buffered, under any declared length.
+    fn oversized_bodies_rejected(extra in 1..1_000_000u64) {
+        let l = limits();
+        let declared = l.max_body_bytes as u64 + extra;
+        let raw = format!("POST /q HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n");
+        match parse_request(raw.as_bytes(), &l) {
+            Parse::Error(e) => prop_assert_eq!(e.status(), 413),
+            other => panic!("expected 413: {other:?}"),
+        }
+    }
+}

@@ -14,12 +14,13 @@
 
 use crate::journal::{decode_journal_tolerant, JournalRecord};
 use crate::snapshot::decode_snapshot;
+use serde::Serialize;
 use std::fs;
 use std::io;
 use std::path::Path;
 
 /// Validation result for `snapshot.gcs`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct SnapshotFileReport {
     /// File size on disk.
     pub bytes: u64,
@@ -34,7 +35,7 @@ pub struct SnapshotFileReport {
 }
 
 /// Validation result for one `journal-<gen>.gcj` file.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct JournalFileReport {
     /// File name (`journal-<gen>.gcj`).
     pub name: String,
@@ -61,7 +62,7 @@ pub struct JournalFileReport {
 }
 
 /// What a restore from this directory would do.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub enum RestoreVerdict {
     /// Nothing usable on disk, benignly: a fresh directory or an
     /// interrupted first rotation. Restore starts cold by design.
@@ -89,7 +90,7 @@ pub enum RestoreVerdict {
 }
 
 /// Everything [`inspect_dir`] learned about a persistence directory.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct DoctorReport {
     /// Snapshot validation (`None` = no `snapshot.gcs` present).
     pub snapshot: Option<SnapshotFileReport>,
@@ -370,6 +371,17 @@ mod tests {
         let txt = report.describe();
         assert!(txt.contains("snapshot.gcs"), "describe lists the snapshot: {txt}");
         assert!(txt.contains("journal-1.gcj"), "describe lists the journal: {txt}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let dir = seeded_dir("json");
+        let report = inspect_dir(&dir).unwrap();
+        let json = serde_json::to_string(&report).unwrap();
+        for key in ["\"snapshot\"", "\"journals\"", "\"verdict\"", "\"Warm\"", "journal-1.gcj"] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 
