@@ -81,6 +81,11 @@ pub struct CacheConfig {
     /// before persistence gives up and goes
     /// [`crate::persist::PersistHealth::Disabled`]. Must be > 0.
     pub persist_max_probes: u32,
+    /// Exact answer memo capacity: complete answer sets of this many
+    /// recently executed queries are retained (keyed by canonical query
+    /// hash, versioned by the dataset generation) and served without
+    /// touching the filter/probe/verify pipeline. 0 disables the memo.
+    pub memo_capacity: usize,
 }
 
 impl Default for CacheConfig {
@@ -104,6 +109,7 @@ impl Default for CacheConfig {
             fsync_policy: FsyncPolicy::Never,
             persist_retries: 3,
             persist_max_probes: 16,
+            memo_capacity: 1024,
         }
     }
 }

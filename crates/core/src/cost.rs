@@ -40,21 +40,28 @@ impl CostModel {
         CostModel { observed: (0..dataset.len()).map(|_| AtomicBool::new(false)).collect(), est }
     }
 
-    /// Record the measured steps of verifying graph `gid`.
+    /// Record the measured steps of verifying graph `gid`. Ids beyond the
+    /// model's universe are ignored — with a dynamic dataset a query may
+    /// verify a graph inserted after the model was sized (the next rebuild
+    /// or restore re-seeds it).
     pub fn observe(&self, gid: usize, steps: u64) {
+        let (Some(est), Some(observed)) = (self.est.get(gid), self.observed.get(gid)) else {
+            return;
+        };
         let s = steps as f64;
-        let next = if self.observed[gid].swap(true, Ordering::Relaxed) {
-            let current = f64::from_bits(self.est[gid].load(Ordering::Relaxed));
+        let next = if observed.swap(true, Ordering::Relaxed) {
+            let current = f64::from_bits(est.load(Ordering::Relaxed));
             ALPHA * s + (1.0 - ALPHA) * current
         } else {
             s
         };
-        self.est[gid].store(next.to_bits(), Ordering::Relaxed);
+        est.store(next.to_bits(), Ordering::Relaxed);
     }
 
-    /// Estimated cost of verifying graph `gid`.
+    /// Estimated cost of verifying graph `gid` (1.0 — the cheapest
+    /// possible test — for ids beyond the model's universe).
     pub fn estimate(&self, gid: usize) -> f64 {
-        f64::from_bits(self.est[gid].load(Ordering::Relaxed))
+        self.est.get(gid).map_or(1.0, |e| f64::from_bits(e.load(Ordering::Relaxed)))
     }
 
     /// Σ estimates over a set of graphs (the cost a hit saved).
@@ -139,6 +146,15 @@ mod tests {
         assert!((m.sum_over(&all) - 40.0).abs() < 1e-9);
         let none = BitSet::new(2);
         assert_eq!(m.sum_over(&none), 0.0);
+    }
+
+    #[test]
+    fn out_of_range_ids_are_benign() {
+        let m = CostModel::new(&ds());
+        m.observe(99, 1000); // ignored, no panic
+        assert!((m.estimate(99) - 1.0).abs() < 1e-12);
+        let beyond = BitSet::from_indices(100, [0usize, 99]);
+        assert!((m.sum_over(&beyond) - (m.estimate(0) + 1.0)).abs() < 1e-9);
     }
 
     #[test]

@@ -68,6 +68,28 @@ pub struct CacheEntry {
 }
 
 impl CacheEntry {
+    /// Does the (freshly inserted) dataset graph `gid` belong in this
+    /// entry's answer set? Cheap summary prefilter, then the exact
+    /// containment test in the direction the entry's kind dictates — the
+    /// answer-repair primitive of live dataset mutation.
+    pub(crate) fn answers_inserted(
+        &self,
+        dataset: &gc_method::Dataset,
+        gid: gc_graph::GraphId,
+        engine: gc_method::Engine,
+    ) -> bool {
+        match self.kind {
+            QueryKind::Subgraph => {
+                self.profile.summary.may_embed_into(dataset.summary(gid))
+                    && engine.verify(&self.graph, dataset.graph(gid)).0
+            }
+            QueryKind::Supergraph => {
+                dataset.summary(gid).may_embed_into(&self.profile.summary)
+                    && engine.verify(dataset.graph(gid), &self.graph).0
+            }
+        }
+    }
+
     /// Approximate heap bytes held by this entry (graph + profile + answer
     /// set), reported by the cache's memory accounting.
     pub fn memory_bytes(&self) -> usize {

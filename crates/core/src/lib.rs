@@ -54,6 +54,7 @@ mod cache;
 mod config;
 mod cost;
 mod entry;
+mod memo;
 pub mod parallel;
 pub mod persist;
 pub mod pipeline;

@@ -56,6 +56,8 @@ pub struct RecoveryReport {
     pub journal_admits: usize,
     /// Evictions replayed from the journal.
     pub journal_evicts: usize,
+    /// Dataset mutations (inserts/removes) replayed from the journal.
+    pub journal_deltas: usize,
     /// Live entries after replay and the capacity sweep.
     pub entries_restored: usize,
     /// Restored logical clock.
@@ -79,9 +81,14 @@ impl RecoveryReport {
             } else {
                 String::new()
             };
+            let deltas = if self.journal_deltas > 0 {
+                format!(", {} dataset delta(s)", self.journal_deltas)
+            } else {
+                String::new()
+            };
             format!(
-                "warm restart: {} entries restored (snapshot {} + journal {} admits / {} evicts), \
-                 generation {}, clock {}{torn}",
+                "warm restart: {} entries restored (snapshot {} + journal {} admits / {} \
+                 evicts{deltas}), generation {}, clock {}{torn}",
                 self.entries_restored,
                 self.snapshot_entries,
                 self.journal_admits,
@@ -138,6 +145,7 @@ macro_rules! for_each_persisted_counter {
         $cb!(queries);
         $cb!(hit_queries);
         $cb!(exact_hits);
+        $cb!(memo_hits);
         $cb!(queries_with_sub_hits);
         $cb!(queries_with_super_hits);
         $cb!(sub_hits);
@@ -199,14 +207,22 @@ pub(crate) fn build_doc<'a>(
     policy_name: &str,
     entries: impl Iterator<Item = EntryRecord> + 'a,
 ) -> SnapshotDoc {
+    // Graphs inserted after the cost model was sized have no slot yet;
+    // pad with the OOB default so the exported vector always spans the
+    // dataset (the restore re-seeds from real sizes anyway).
+    let mut cost = cost.export();
+    cost.resize(dataset.len(), (1.0, false));
     SnapshotDoc {
         dataset_fingerprint: dataset.content_fingerprint(),
+        base_fingerprint: dataset.base_fingerprint(),
+        dataset_generation: dataset.generation(),
+        dataset_ops: dataset.ops().to_vec(),
         universe: dataset.len() as u64,
         clock,
         window_pending,
         policy_name: policy_name.to_string(),
         stats: stats_to_records(stats),
-        cost: cost.export(),
+        cost,
         entries: entries.collect(),
     }
 }
@@ -298,6 +314,9 @@ pub(crate) fn replay(
                     target.evict(key);
                 }
             }
+            // Dataset deltas were already folded into the dataset by
+            // [`resolve_dataset`] before entry replay began.
+            JournalRecord::DatasetDelta { .. } => {}
         }
     }
     counts
@@ -601,20 +620,186 @@ pub(crate) fn journal_outcome(
     }
 }
 
-/// Check a recovered snapshot against the dataset a cache serves; returns
-/// the cold-start report on mismatch (shared by both runtimes' restores).
-pub(crate) fn dataset_mismatch(doc: &SnapshotDoc, dataset: &Dataset) -> Option<RecoveryReport> {
-    let expected_fp = dataset.content_fingerprint();
-    if doc.dataset_fingerprint == expected_fp && doc.universe == dataset.len() as u64 {
-        return None;
+/// The dataset state a warm restart must serve: the caller's base dataset
+/// with the snapshot's recorded mutations and every journaled delta
+/// re-applied, plus the repair targets the entry post-pass needs.
+pub(crate) struct ResolvedDataset {
+    /// The fully resolved dataset (snapshot ops + journal deltas applied).
+    pub dataset: Dataset,
+    /// Graph ids inserted by *journal* deltas — snapshot entries predate
+    /// these, so their answer sets need a per-graph verification repair.
+    pub journal_inserted: Vec<gc_graph::GraphId>,
+    /// Journal deltas applied (for the recovery report).
+    pub journal_deltas: usize,
+}
+
+/// Reconstruct the dataset a recovered snapshot + journal describe,
+/// starting from the dataset the caller booted with (shared by both
+/// runtimes' restores).
+///
+/// Accepts `base` in either of two states: *pristine* (generation 0) with
+/// the snapshot's recorded base fingerprint — the snapshot's own op log is
+/// re-applied on top — or *already mutated* to exactly the snapshot's
+/// resulting state. Every journaled delta is then applied in order, each
+/// validated against its recorded post-mutation fingerprint. Any mismatch
+/// fails closed to a cold start: replaying cache entries against the wrong
+/// dataset would serve wrong answers, which corruption must never do.
+pub(crate) fn resolve_dataset(
+    state: &RecoveredState,
+    base: &Dataset,
+) -> Result<ResolvedDataset, Box<RecoveryReport>> {
+    let doc = &state.doc;
+    let cold = |reason: String| Err(Box::new(RecoveryReport::cold(reason)));
+    let mut dataset = if base.generation() == 0 {
+        if base.base_fingerprint() != doc.base_fingerprint {
+            return cold(format!(
+                "snapshot belongs to a different dataset (base fingerprint {:#x} vs {:#x})",
+                doc.base_fingerprint,
+                base.base_fingerprint()
+            ));
+        }
+        let mut ds = base.clone();
+        for op in &doc.dataset_ops {
+            ds.apply_op(op);
+        }
+        ds
+    } else {
+        base.clone()
+    };
+    if dataset.content_fingerprint() != doc.dataset_fingerprint
+        || dataset.len() as u64 != doc.universe
+    {
+        return cold(format!(
+            "snapshot dataset state mismatch (fingerprint {:#x}/universe {} vs {:#x}/{})",
+            doc.dataset_fingerprint,
+            doc.universe,
+            dataset.content_fingerprint(),
+            dataset.len()
+        ));
     }
-    Some(RecoveryReport::cold(format!(
-        "snapshot belongs to a different dataset (fingerprint {:#x}/universe {} vs {:#x}/{})",
-        doc.dataset_fingerprint,
-        doc.universe,
-        expected_fp,
-        dataset.len()
-    )))
+    let mut journal_inserted = Vec::new();
+    let mut journal_deltas = 0usize;
+    for rec in &state.journal {
+        let JournalRecord::DatasetDelta { generation, resulting_fingerprint, op } = rec else {
+            continue;
+        };
+        if *generation != dataset.generation() + 1 {
+            return cold(format!(
+                "journal dataset delta out of order (generation {} after {})",
+                generation,
+                dataset.generation()
+            ));
+        }
+        let inserted = matches!(op, gc_method::DatasetOp::Insert(_));
+        dataset.apply_op(op);
+        if dataset.content_fingerprint() != *resulting_fingerprint {
+            return cold(format!(
+                "journal dataset delta fingerprint mismatch at generation {generation}"
+            ));
+        }
+        if inserted {
+            journal_inserted.push(dataset.len() as gc_graph::GraphId - 1);
+        }
+        journal_deltas += 1;
+    }
+    Ok(ResolvedDataset { dataset, journal_inserted, journal_deltas })
+}
+
+/// Re-offer every inserted graph in `dataset`'s op log to the method's
+/// index hooks and collect the ids the method declined into the filter
+/// overlay (see [`crate::pipeline::filter::run`]). Used after a restore:
+/// the method built its index over the *base* dataset, so post-base
+/// inserts must be re-announced exactly as the live mutation path did.
+pub(crate) fn rebuild_method_overlay(
+    method: &dyn gc_method::Method,
+    dataset: &Dataset,
+) -> gc_graph::BitSet {
+    let mut overlay = gc_graph::BitSet::new(dataset.len());
+    let inserts =
+        dataset.ops().iter().filter(|op| matches!(op, gc_method::DatasetOp::Insert(_))).count();
+    let mut next_gid = dataset.len() - inserts;
+    for op in dataset.ops() {
+        match op {
+            gc_method::DatasetOp::Insert(_) => {
+                let gid = next_gid;
+                next_gid += 1;
+                if !method.on_insert_graph(dataset, gid as gc_graph::GraphId) {
+                    overlay.insert(gid);
+                }
+            }
+            gc_method::DatasetOp::Remove(gid) => {
+                method.on_remove_graph(dataset, *gid);
+                overlay.remove(*gid as usize);
+            }
+        }
+    }
+    overlay
+}
+
+/// Append one dataset mutation (the last op in `dataset`'s log) to
+/// `store`, with the same health/retry/backoff discipline as
+/// [`journal_outcome`]. A delta lost while degraded is safe for the same
+/// reason lost admissions are: the recovery snapshot captures the complete
+/// mutated dataset, subsuming every unjournaled op.
+pub(crate) fn journal_dataset_delta(
+    store: &CacheStore,
+    health: &StoreHealth,
+    cfg: &crate::config::CacheConfig,
+    admits_since_snapshot: u64,
+    dataset: &Dataset,
+) -> PersistDirective {
+    match health.health() {
+        PersistHealth::Disabled => {
+            health.note_buffered(1);
+            return PersistDirective::Nothing;
+        }
+        PersistHealth::Degraded => {
+            health.note_buffered(1);
+            return if health.probe_due() {
+                PersistDirective::Probe
+            } else {
+                PersistDirective::Nothing
+            };
+        }
+        PersistHealth::Healthy => {}
+    }
+    let Some(op) = dataset.ops().last() else {
+        return PersistDirective::Nothing;
+    };
+    let ops = [gc_store::JournalOp::DatasetDelta {
+        generation: dataset.generation(),
+        resulting_fingerprint: dataset.content_fingerprint(),
+        op,
+    }];
+    let mut delay = RETRY_BASE;
+    let mut attempt: u32 = 0;
+    loop {
+        match store.append(&ops) {
+            Ok(_) => {
+                return if due_for_rotation(cfg, admits_since_snapshot, store.journal_bytes()) {
+                    PersistDirective::Rotate
+                } else {
+                    PersistDirective::Nothing
+                };
+            }
+            Err(e) => {
+                health.note_error();
+                if attempt >= cfg.persist_retries {
+                    eprintln!(
+                        "graphcache: dataset delta append failed after {} attempt(s) ({e}); \
+                         persistence degraded, serving memory-only while probing for recovery",
+                        attempt + 1
+                    );
+                    health.trip_degraded();
+                    health.note_buffered(1);
+                    return PersistDirective::Nothing;
+                }
+                attempt += 1;
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(RETRY_CAP);
+            }
+        }
+    }
 }
 
 // ---- periodic snapshotter ----------------------------------------------------
@@ -781,6 +966,7 @@ mod tests {
             queries: 10,
             hit_queries: 4,
             exact_hits: 2,
+            memo_hits: 5,
             queries_with_sub_hits: 1,
             queries_with_super_hits: 1,
             sub_hits: 3,
@@ -804,6 +990,8 @@ mod tests {
             requests_shed: 1,
             requests_timed_out: 1,
             uptime_secs: 5,
+            dataset_generation: 7, // dataset gauges: recomputed, must not be persisted
+            dataset_live_graphs: 70,
         };
         let back = stats_from_records(&stats_to_records(&s));
         assert_eq!(back.queries, 10);
@@ -824,9 +1012,12 @@ mod tests {
             requests_shed: 0,
             requests_timed_out: 0,
             uptime_secs: 0,
+            dataset_generation: 0,
+            dataset_live_graphs: 0,
             ..s
         };
         assert_eq!(back, expected);
+        assert_eq!(back.memo_hits, 5, "memo hits are persisted");
     }
 
     #[test]

@@ -4,13 +4,41 @@
 //! existing filter-then-verify method, and this stage is exactly that
 //! method's filter. It takes no cache locks and mutates no cache state, so
 //! any number of concurrent queries can run it at once.
+//!
+//! With a **dynamic dataset** the stage also reconciles the method's view
+//! with the live dataset: graphs inserted since the method's index was
+//! built (`overlay` — methods whose [`gc_method::Method::on_insert_graph`]
+//! returns `false`) are added to `C_M` unconditionally (sound: they go
+//! through exact verification), and tombstoned graphs are masked out
+//! (sound: a removed graph can never be an answer). On a pristine dataset
+//! with an empty overlay this is a no-op.
 
 use crate::pipeline::PipelineCtx;
+use gc_graph::BitSet;
 use gc_method::{Dataset, Method};
 
 /// Run Method M's filter for the query in `ctx`, storing `C_M`.
-pub fn run(ctx: &mut PipelineCtx<'_>, method: &dyn Method, dataset: &Dataset) {
-    ctx.cm = method.filter(dataset, ctx.query, ctx.kind);
+///
+/// `overlay` holds dataset graphs the method's own filter index does not
+/// cover (inserted after an immutable index was built); they are unioned
+/// into `C_M` so no live graph can be silently missed.
+pub fn run(ctx: &mut PipelineCtx<'_>, method: &dyn Method, dataset: &Dataset, overlay: &BitSet) {
+    let mut cm = method.filter(dataset, ctx.query, ctx.kind);
+    if cm.universe() < dataset.len() {
+        // Method index predates later inserts: widen to the live universe.
+        cm.grow(dataset.len());
+    }
+    if overlay.count() > 0 {
+        let mut patch = overlay.clone();
+        if patch.universe() < cm.universe() {
+            patch.grow(cm.universe());
+        }
+        cm.union_with(&patch);
+    }
+    if dataset.has_tombstones() {
+        cm.intersect_with(dataset.live_mask());
+    }
+    ctx.cm = cm;
 }
 
 #[cfg(test)]
@@ -26,8 +54,26 @@ mod tests {
         let dataset = Dataset::new(vec![g0, g1]);
         let q = graph_from_parts(&[Label(0)], &[]).unwrap();
         let mut ctx = PipelineCtx::new(&q, QueryKind::Subgraph, 1, dataset.len());
-        run(&mut ctx, &SiMethod, &dataset);
+        run(&mut ctx, &SiMethod, &dataset, &BitSet::new(0));
         // SI does no filtering: every dataset graph is a candidate.
         assert_eq!(ctx.cm.count(), dataset.len());
+    }
+
+    #[test]
+    fn tombstones_masked_and_overlay_unioned() {
+        let g0 = graph_from_parts(&[Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let g1 = graph_from_parts(&[Label(2)], &[]).unwrap();
+        let mut dataset = Dataset::new(vec![g0, g1]);
+        assert!(dataset.remove_graph(1));
+        let g2 = graph_from_parts(&[Label(0)], &[]).unwrap();
+        let inserted = dataset.insert_graph(g2) as usize;
+        let q = graph_from_parts(&[Label(0)], &[]).unwrap();
+        let mut ctx = PipelineCtx::new(&q, QueryKind::Subgraph, 1, dataset.len());
+        // Pretend the method missed the insert: pass it as overlay.
+        let overlay = BitSet::from_indices(dataset.len(), [inserted]);
+        run(&mut ctx, &SiMethod, &dataset, &overlay);
+        assert!(ctx.cm.contains(0), "live base graph stays");
+        assert!(!ctx.cm.contains(1), "tombstoned graph masked out");
+        assert!(ctx.cm.contains(inserted), "overlay graph unioned in");
     }
 }

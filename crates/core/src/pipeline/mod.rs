@@ -163,6 +163,7 @@ impl<'q> PipelineCtx<'q> {
             survivors_set: self.survivors,
             kind: self.kind,
             exact_hit: false,
+            memo_hit: false,
             sub_hits: self.hits.sub,
             super_hits: self.hits.super_,
             cm_size: self.pruned.cm_size,
@@ -197,6 +198,7 @@ pub fn exact_report(
         survivors_set: BitSet::new(universe),
         kind,
         exact_hit: true,
+        memo_hit: false,
         sub_hits: Vec::new(),
         super_hits: Vec::new(),
         cm_size: base_tests as usize,
@@ -219,6 +221,33 @@ pub fn exact_stats_delta(base_tests: u64, elapsed: Duration) -> GlobalStats {
         queries: 1,
         hit_queries: 1,
         exact_hits: 1,
+        tests_saved: base_tests,
+        total_time: elapsed,
+        ..GlobalStats::default()
+    }
+}
+
+/// Build the report for an answer-memo hit: like [`exact_report`] the whole
+/// pipeline is skipped, but the answer came from the generation-versioned
+/// memo rather than a live cache entry.
+pub fn memo_report(
+    answer: BitSet,
+    kind: QueryKind,
+    base_tests: u64,
+    elapsed: Duration,
+) -> QueryReport {
+    let mut r = exact_report(answer, kind, base_tests, elapsed);
+    r.exact_hit = false;
+    r.memo_hit = true;
+    r
+}
+
+/// The Statistics Monitor delta for an answer-memo hit.
+pub fn memo_stats_delta(base_tests: u64, elapsed: Duration) -> GlobalStats {
+    GlobalStats {
+        queries: 1,
+        hit_queries: 1,
+        memo_hits: 1,
         tests_saved: base_tests,
         total_time: elapsed,
         ..GlobalStats::default()
@@ -273,6 +302,23 @@ mod tests {
         assert_eq!(r.answer.to_vec(), vec![2]);
         let d = exact_stats_delta(9, Duration::ZERO);
         assert_eq!(d.exact_hits, 1);
+        assert_eq!(d.tests_saved, 9);
+    }
+
+    #[test]
+    fn memo_report_shape() {
+        let answer = BitSet::from_indices(5, [2usize]);
+        let r = memo_report(answer, QueryKind::Supergraph, 9, Duration::ZERO);
+        assert!(r.memo_hit);
+        assert!(!r.exact_hit);
+        assert!(r.any_hit());
+        assert_eq!(r.cm_size, 9);
+        assert_eq!(r.sub_iso_tests, 0);
+        assert_eq!(r.probe_tests, 0);
+        assert_eq!(r.verify_steps, 0);
+        let d = memo_stats_delta(9, Duration::ZERO);
+        assert_eq!(d.memo_hits, 1);
+        assert_eq!(d.exact_hits, 0);
         assert_eq!(d.tests_saved, 9);
     }
 }

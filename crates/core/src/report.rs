@@ -54,6 +54,9 @@ pub struct QueryReport {
     pub kind: QueryKind,
     /// `true` when an exact-match hit served the query outright.
     pub exact_hit: bool,
+    /// `true` when the generation-versioned answer memo served the query
+    /// (no cache entry involved; filter/probe/verify all skipped).
+    pub memo_hit: bool,
     /// Sub-case hit entries (`H` in Fig. 3(a)).
     pub sub_hits: Vec<EntryId>,
     /// Super-case hit entries (`H'` in Fig. 3(e)).
@@ -104,9 +107,9 @@ impl QueryReport {
         self.cm_size as i64 - (self.sub_iso_tests + self.probe_tests) as i64
     }
 
-    /// `true` if any hit (exact, sub, super) occurred.
+    /// `true` if any hit (memo, exact, sub, super) occurred.
     pub fn any_hit(&self) -> bool {
-        self.exact_hit || !self.sub_hits.is_empty() || !self.super_hits.is_empty()
+        self.memo_hit || self.exact_hit || !self.sub_hits.is_empty() || !self.super_hits.is_empty()
     }
 }
 
@@ -123,6 +126,7 @@ mod tests {
             survivors_set: BitSet::new(10),
             kind: QueryKind::Subgraph,
             exact_hit: false,
+            memo_hit: false,
             sub_hits: vec![],
             super_hits: vec![],
             cm_size: 75,

@@ -11,6 +11,7 @@ use crate::cache::CacheManager;
 use crate::config::CacheConfig;
 use crate::cost::CostModel;
 use crate::entry::{CacheEntry, EntryId};
+use crate::memo::AnswerMemo;
 use crate::persist::{self, PersistHealth, RecoveryReport, RestoredEntry, StoreHealth};
 use crate::pipeline::admit::{self, AdmitLimits};
 use crate::pipeline::probe::ProbeScratch;
@@ -20,7 +21,7 @@ use crate::report::{IndexHealth, QueryReport};
 use crate::stats::{GlobalStats, StatsMonitor};
 use crate::window::WindowManager;
 use crate::PolicyKind;
-use gc_graph::Graph;
+use gc_graph::{BitSet, Graph, GraphId};
 use gc_method::{Dataset, Method, QueryKind};
 use gc_store::{CacheStore, LoadOutcome, SnapshotInfo};
 use std::sync::Arc;
@@ -67,6 +68,13 @@ pub struct GraphCache {
     window: WindowManager,
     stats: StatsMonitor,
     cost: CostModel,
+    /// Dataset graphs the method's filter index does not cover (inserted
+    /// after an immutable index was built); unioned into `C_M` by the
+    /// filter stage.
+    overlay: BitSet,
+    /// Generation-versioned exact answer memo: repeats of a query on an
+    /// unmutated dataset skip filter/probe/verify entirely.
+    memo: AnswerMemo,
     pool: Option<crate::parallel::VerifyPool>,
     /// Probe-stage buffers reused across queries (swapped into each
     /// query's [`PipelineCtx`]).
@@ -93,6 +101,8 @@ impl GraphCache {
             window: WindowManager::new(config.window_size),
             stats: StatsMonitor::new(),
             cost: CostModel::new(&dataset),
+            overlay: BitSet::new(dataset.len()),
+            memo: AnswerMemo::new(config.memo_capacity),
             dataset,
             method,
             policy,
@@ -133,11 +143,19 @@ impl GraphCache {
             return report;
         }
 
+        // ---- answer-memo fast path (generation-versioned) -----------------
+        if let Some(hit) = self.memo.lookup(query, kind, self.dataset.generation()) {
+            let elapsed = start.elapsed();
+            self.stats.add(&pipeline::memo_stats_delta(hit.base_tests, elapsed));
+            self.maybe_probe_persistence();
+            return pipeline::memo_report(hit.answer, kind, hit.base_tests, elapsed);
+        }
+
         let mut ctx = PipelineCtx::new(query, kind, now, self.dataset.len());
         // Lend the runtime's warm probe buffers to this query's context
         // (returned before the context is consumed below).
         std::mem::swap(&mut ctx.probe_scratch, &mut self.probe_scratch);
-        filter::run(&mut ctx, self.method.as_ref(), &self.dataset);
+        filter::run(&mut ctx, self.method.as_ref(), &self.dataset, &self.overlay);
         probe::run(&mut ctx, &self.cache, &self.config);
         prune::run(&mut ctx);
         verify::run(&mut ctx, &self.dataset, &self.config, self.pool.as_ref());
@@ -173,6 +191,7 @@ impl GraphCache {
         self.stats.add(&ctx.stats_delta(&outcome, elapsed));
         std::mem::swap(&mut ctx.probe_scratch, &mut self.probe_scratch);
         let (base_tests, base_cost) = (ctx.pruned.cm_size as u64, ctx.verify_steps);
+        self.memo.store(query, kind, &answer, base_tests, self.dataset.generation());
         let report = ctx.into_report(answer, outcome, elapsed);
         self.journal_mutations(query, kind, base_tests, base_cost, now, &report);
         report
@@ -210,6 +229,85 @@ impl GraphCache {
             now,
             report.admitted,
             &report.evicted,
+        );
+        match directive {
+            persist::PersistDirective::Nothing => {}
+            persist::PersistDirective::Rotate => {
+                if let Err(e) = self.snapshot_now() {
+                    eprintln!("graphcache: auto-snapshot failed ({e})");
+                    health.note_error();
+                    health.trip_degraded();
+                }
+            }
+            persist::PersistDirective::Probe => self.maybe_probe_persistence(),
+        }
+    }
+
+    // ---- dataset mutation ---------------------------------------------------
+
+    /// Insert a data graph into the live dataset; returns its id.
+    ///
+    /// Everything derived from the dataset is repaired in place: the
+    /// method index is offered the graph (the filter overlay covers
+    /// methods that decline — see [`gc_method::Method::on_insert_graph`]),
+    /// every cached answer set re-verifies the new graph when its summary
+    /// prefilter admits it, the answer memo is invalidated wholesale by
+    /// the dataset generation bump, and the mutation is journaled to the
+    /// attached store.
+    pub fn insert_graph(&mut self, g: Graph) -> GraphId {
+        let gid = Arc::make_mut(&mut self.dataset).insert_graph(g);
+        let universe = self.dataset.len();
+        if self.overlay.universe() < universe {
+            self.overlay.grow(universe);
+        }
+        if !self.method.on_insert_graph(&self.dataset, gid) {
+            self.overlay.insert(gid as usize);
+        }
+        let dataset = Arc::clone(&self.dataset);
+        let engine = self.config.engine;
+        for id in self.cache.ids() {
+            let entry = self.cache.get_mut(id).expect("listed id is live");
+            entry.answer.grow(universe);
+            if entry.answers_inserted(&dataset, gid, engine) {
+                entry.answer.insert(gid as usize);
+            }
+        }
+        self.journal_dataset_delta();
+        gid
+    }
+
+    /// Tombstone a data graph. Returns `false` if `gid` was already
+    /// removed. The graph is cleared from every cached answer set, the
+    /// method index is told ([`gc_method::Method::on_remove_graph`]), the
+    /// memo invalidates via the generation bump, and the mutation is
+    /// journaled.
+    pub fn remove_graph(&mut self, gid: GraphId) -> bool {
+        if !Arc::make_mut(&mut self.dataset).remove_graph(gid) {
+            return false;
+        }
+        self.method.on_remove_graph(&self.dataset, gid);
+        if (gid as usize) < self.overlay.universe() {
+            self.overlay.remove(gid as usize);
+        }
+        for id in self.cache.ids() {
+            let entry = self.cache.get_mut(id).expect("listed id is live");
+            entry.answer.remove(gid as usize);
+        }
+        self.journal_dataset_delta();
+        true
+    }
+
+    /// Append the dataset's latest mutation to the attached journal, with
+    /// the same degraded-mode discipline as [`Self::journal_mutations`].
+    fn journal_dataset_delta(&mut self) {
+        let Some(st) = self.store.as_mut() else { return };
+        let health = Arc::clone(&st.health);
+        let directive = persist::journal_dataset_delta(
+            &st.store,
+            &health,
+            &self.config,
+            st.admits_since_snapshot,
+            &self.dataset,
         );
         match directive {
             persist::PersistDirective::Nothing => {}
@@ -426,9 +524,18 @@ impl GraphCache {
             LoadOutcome::Cold { reason } => return RecoveryReport::cold(reason),
             LoadOutcome::Warm(state) => state,
         };
-        if let Some(report) = persist::dataset_mismatch(&state.doc, &self.dataset) {
-            return report;
-        }
+        // Resolve the dataset the persisted state describes *first*: the
+        // snapshot's recorded ops and every journaled delta are re-applied
+        // (each validated by fingerprint), and all entry replay below runs
+        // against the final universe.
+        let resolved = match persist::resolve_dataset(&state, &self.dataset) {
+            Ok(resolved) => resolved,
+            Err(report) => return *report,
+        };
+        let persist::ResolvedDataset { dataset, journal_inserted, journal_deltas } = resolved;
+        self.dataset = Arc::new(dataset);
+        self.cost = CostModel::new(&self.dataset);
+        self.overlay = persist::rebuild_method_overlay(self.method.as_ref(), &self.dataset);
 
         struct SeqTarget<'a> {
             cache: &'a mut CacheManager,
@@ -492,6 +599,29 @@ impl GraphCache {
             self.cost.restore_estimate(gid, est, observed);
         }
 
+        // Repair replayed answers against mutations their records predate:
+        // tombstoned graphs are masked out, and each journal-inserted graph
+        // is re-verified per entry (idempotent — records written after the
+        // delta already carry the right bit).
+        let dataset = Arc::clone(&self.dataset);
+        let engine = self.config.engine;
+        for id in self.cache.ids() {
+            let entry = self.cache.get_mut(id).expect("listed id is live");
+            if dataset.has_tombstones() {
+                entry.answer.intersect_with(dataset.live_mask());
+            }
+            for &gid in &journal_inserted {
+                if !dataset.live_mask().contains(gid as usize) {
+                    continue; // inserted then removed: stays masked out
+                }
+                if entry.answers_inserted(&dataset, gid, engine) {
+                    entry.answer.insert(gid as usize);
+                } else {
+                    entry.answer.remove(gid as usize);
+                }
+            }
+        }
+
         RecoveryReport {
             warm: true,
             cold_reason: None,
@@ -499,6 +629,7 @@ impl GraphCache {
             snapshot_entries,
             journal_admits: counts.journal_admits,
             journal_evicts: counts.journal_evicts,
+            journal_deltas,
             journal_torn_bytes: state.torn_tail_bytes,
             entries_restored: self.cache.len(),
             clock: self.clock,
@@ -517,6 +648,8 @@ impl GraphCache {
         s.distinct_features = health.distinct_features as u64;
         s.tombstoned_slots = health.tombstoned_slots as u64;
         s.kernel_dispatch = gc_graph::simd::kernel_name();
+        s.dataset_generation = self.dataset.generation();
+        s.dataset_live_graphs = self.dataset.live_count() as u64;
         if let Some(st) = self.store.as_ref() {
             s.persist_health = st.health.health().as_str();
             s.persist_errors = st.health.errors();
@@ -573,6 +706,11 @@ impl GraphCache {
     /// The dataset this cache serves.
     pub fn dataset(&self) -> &Dataset {
         &self.dataset
+    }
+
+    /// Live answers in the generation-versioned memo (diagnostics).
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
     }
 
     /// Cache memory footprint (entries + index), for Experiment II.

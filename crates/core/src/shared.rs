@@ -46,6 +46,7 @@ use crate::cache::CacheManager;
 use crate::config::CacheConfig;
 use crate::cost::CostModel;
 use crate::entry::EntryId;
+use crate::memo::AnswerMemo;
 use crate::persist::{self, PersistHealth, RecoveryReport, RestoredEntry, StoreHealth};
 use crate::pipeline::admit::{self, AdmitLimits, AdmitOutcome};
 use crate::pipeline::probe::{CacheHits, ProbeScratch};
@@ -55,7 +56,7 @@ use crate::report::{IndexHealth, QueryReport};
 use crate::stats::{GlobalStats, StatsMonitor};
 use crate::window::WindowManager;
 use crate::PolicyKind;
-use gc_graph::Graph;
+use gc_graph::{BitSet, Graph, GraphId};
 use gc_method::{Dataset, Method, QueryKind};
 use gc_store::{CacheStore, EntryRecord, LoadOutcome, SnapshotInfo};
 use parking_lot::{Mutex, RwLock};
@@ -125,6 +126,20 @@ struct ShardState {
     window: WindowManager,
 }
 
+/// Dataset-side state behind one cache-wide RwLock: the live dataset plus
+/// the filter overlay (graphs the method's index does not cover).
+///
+/// Queries hold the **read** lock for their full duration; a dataset
+/// mutation takes the **write** lock, which quiesces all in-flight queries
+/// and gives the mutation an exclusive window to repair every shard's
+/// answer sets. Lock order is always `data` → shard locks (queries,
+/// mutations and snapshots all acquire in that order), so the two lock
+/// layers can never deadlock.
+struct DataState {
+    dataset: Arc<Dataset>,
+    overlay: BitSet,
+}
+
 /// One shard: lockable state plus its replacement policy.
 ///
 /// The policy sits in its own `Mutex` (instead of inside the `RwLock`)
@@ -164,7 +179,13 @@ struct Shard {
 /// assert!(again.exact_hit);
 /// ```
 pub struct SharedGraphCache {
-    dataset: Arc<Dataset>,
+    /// Live dataset + filter overlay (see [`DataState`] for the locking
+    /// protocol).
+    data: RwLock<DataState>,
+    /// Generation-versioned exact answer memo; the mutex is held only for
+    /// the lookup/store instants (always under the `data` read lock, so a
+    /// memoized generation can never race a mutation).
+    memo: Mutex<AnswerMemo>,
     method: Arc<dyn Method>,
     config: CacheConfig,
     /// Shared with the per-shard probe tasks fanned onto the worker pool
@@ -233,7 +254,8 @@ impl SharedGraphCache {
             cost: CostModel::new(&dataset),
             stats: StatsMonitor::new(),
             clock: AtomicU64::new(0),
-            dataset,
+            memo: Mutex::new(AnswerMemo::new(config.memo_capacity)),
+            data: RwLock::new(DataState { overlay: BitSet::new(dataset.len()), dataset }),
             method,
             config,
             shards: Arc::new(shards),
@@ -265,6 +287,12 @@ impl SharedGraphCache {
         let fp = gc_graph::hash::fingerprint(query);
         let home = (fp % self.shards.len() as u64) as usize;
 
+        // Pin the dataset for the query's duration: mutations take this
+        // lock exclusively, so everything below sees one generation. The
+        // guard is dropped before any path that may snapshot (snapshots
+        // re-acquire the read lock; parking_lot locks are not reentrant).
+        let data = self.data.read();
+
         // ---- exact-match fast path: home shard only -----------------------
         // Cheap read-locked check first; only a hit pays for the write lock
         // (where the entry is re-located — it may have been evicted, or its
@@ -273,6 +301,7 @@ impl SharedGraphCache {
             probe::find_exact(&self.shards[home].state.read().cache, query, kind).is_some();
         if maybe_exact {
             if let Some(report) = self.serve_exact(home, query, kind, now, start) {
+                drop(data);
                 // Exact hits skip the journal hooks (nothing mutated), so
                 // an exact-hit-only workload must still drive recovery
                 // probes.
@@ -281,12 +310,22 @@ impl SharedGraphCache {
             }
         }
 
+        // ---- answer-memo fast path (generation-versioned) -----------------
+        let memo_hit = self.memo.lock().lookup(query, kind, data.dataset.generation());
+        if let Some(hit) = memo_hit {
+            drop(data);
+            let elapsed = start.elapsed();
+            self.stats.add(&pipeline::memo_stats_delta(hit.base_tests, elapsed));
+            self.maybe_probe_persistence();
+            return pipeline::memo_report(hit.answer, kind, hit.base_tests, elapsed);
+        }
+
         // ---- staged pipeline ---------------------------------------------
-        let mut ctx = PipelineCtx::new(query, kind, now, self.dataset.len());
+        let mut ctx = PipelineCtx::new(query, kind, now, data.dataset.len());
         // Borrow this thread's warm probe buffers for the query's lifetime
         // (returned before the context is consumed below).
         PROBE_SCRATCH.with(|s| std::mem::swap(&mut ctx.probe_scratch, &mut s.borrow_mut()));
-        filter::run(&mut ctx, self.method.as_ref(), &self.dataset);
+        filter::run(&mut ctx, self.method.as_ref(), &data.dataset, &data.overlay);
 
         // The query's features and verification profile are computed once
         // here — every shard's sub/super probe shares them (and admission
@@ -335,7 +374,7 @@ impl SharedGraphCache {
 
         prune::run(&mut ctx);
         let pool = (self.config.threads > 1).then(crate::parallel::global_pool);
-        verify::run(&mut ctx, &self.dataset, &self.config, pool);
+        verify::run(&mut ctx, &data.dataset, &self.config, pool);
         verify::observe_costs(&ctx, &self.cost);
 
         // ---- crediting: short write section per shard with hits -----------
@@ -391,6 +430,16 @@ impl SharedGraphCache {
 
         let elapsed = start.elapsed();
         self.stats.add(&ctx.stats_delta(&outcome, elapsed));
+        self.memo.lock().store(
+            query,
+            kind,
+            &answer,
+            ctx.pruned.cm_size as u64,
+            data.dataset.generation(),
+        );
+        // Release the dataset before journaling: a due rotation snapshots,
+        // and snapshots re-acquire the data read lock.
+        drop(data);
 
         // ---- journaling: outside every shard lock, after the latency
         // measurement (same boundary as the sequential runtime, so store
@@ -529,6 +578,13 @@ impl SharedGraphCache {
             outcome.admitted,
             &outcome.evicted,
         );
+        self.dispatch_directive(directive);
+    }
+
+    /// Act on a journal append's follow-up. Must be called without holding
+    /// the `data` lock or any shard lock: both snapshot paths re-acquire
+    /// them.
+    fn dispatch_directive(&self, directive: persist::PersistDirective) {
         match directive {
             persist::PersistDirective::Nothing => {}
             persist::PersistDirective::Rotate => {
@@ -540,6 +596,88 @@ impl SharedGraphCache {
             }
             persist::PersistDirective::Probe => self.maybe_probe_persistence(),
         }
+    }
+
+    // ---- dataset mutation ---------------------------------------------------
+
+    /// Insert a data graph into the live dataset; returns its id. Callable
+    /// from any thread (`&self`): the mutation takes the dataset write
+    /// lock, which waits out every in-flight query and blocks new ones, so
+    /// the repair below is atomic with respect to queries.
+    ///
+    /// Repairs mirror the sequential runtime: the method index is offered
+    /// the graph (the filter overlay covers methods that decline), every
+    /// cached answer set re-verifies the new graph where its summary
+    /// prefilter admits it, the answer memo invalidates via the generation
+    /// bump, and the delta is journaled — inside the write lock, so deltas
+    /// always land in generation order.
+    pub fn insert_graph(&self, g: Graph) -> GraphId {
+        let mut data = self.data.write();
+        let gid = Arc::make_mut(&mut data.dataset).insert_graph(g);
+        let universe = data.dataset.len();
+        if data.overlay.universe() < universe {
+            data.overlay.grow(universe);
+        }
+        if !self.method.on_insert_graph(&data.dataset, gid) {
+            data.overlay.insert(gid as usize);
+        }
+        let engine = self.config.engine;
+        for shard in self.shards.iter() {
+            let mut state = shard.state.write();
+            for id in state.cache.ids() {
+                let entry = state.cache.get_mut(id).expect("listed id is live");
+                entry.answer.grow(universe);
+                if entry.answers_inserted(&data.dataset, gid, engine) {
+                    entry.answer.insert(gid as usize);
+                }
+            }
+        }
+        let directive = self.journal_dataset_delta(&data.dataset);
+        drop(data);
+        self.dispatch_directive(directive);
+        gid
+    }
+
+    /// Tombstone a data graph; returns `false` if already removed. Same
+    /// quiescing discipline as [`Self::insert_graph`]; the graph is cleared
+    /// from every shard's cached answer sets.
+    pub fn remove_graph(&self, gid: GraphId) -> bool {
+        let mut data = self.data.write();
+        if !Arc::make_mut(&mut data.dataset).remove_graph(gid) {
+            return false;
+        }
+        self.method.on_remove_graph(&data.dataset, gid);
+        if (gid as usize) < data.overlay.universe() {
+            data.overlay.remove(gid as usize);
+        }
+        for shard in self.shards.iter() {
+            let mut state = shard.state.write();
+            for id in state.cache.ids() {
+                let entry = state.cache.get_mut(id).expect("listed id is live");
+                entry.answer.remove(gid as usize);
+            }
+        }
+        let directive = self.journal_dataset_delta(&data.dataset);
+        drop(data);
+        self.dispatch_directive(directive);
+        true
+    }
+
+    /// Append the dataset's latest mutation to the attached journal.
+    /// Called while holding the `data` write lock (ordering the delta with
+    /// its generation); the returned directive must be dispatched *after*
+    /// the lock drops.
+    fn journal_dataset_delta(&self, dataset: &Dataset) -> persist::PersistDirective {
+        let Some(store) = self.store.as_ref() else {
+            return persist::PersistDirective::Nothing;
+        };
+        persist::journal_dataset_delta(
+            store,
+            &self.health,
+            &self.config,
+            self.admits_since_snapshot.load(Ordering::Relaxed),
+            dataset,
+        )
     }
 
     /// While [`PersistHealth::Degraded`] and a recovery probe is due, try
@@ -632,6 +770,12 @@ impl SharedGraphCache {
             return Ok(None);
         }
         let result = {
+            // Dataset read lock FIRST (the cache-wide lock order), held
+            // across the rotation: a mutation arriving mid-snapshot waits
+            // on the write lock, so its delta lands in the *new* journal —
+            // never silently dropped by the rotation — and the captured
+            // doc is one consistent dataset generation.
+            let data = self.data.read();
             let mut entries: Vec<EntryRecord> = Vec::new();
             for (si, shard) in self.shards.iter().enumerate() {
                 let state = shard.state.read();
@@ -642,7 +786,7 @@ impl SharedGraphCache {
                 }
             }
             let doc = persist::build_doc(
-                &self.dataset,
+                &data.dataset,
                 &self.stats.snapshot(),
                 &self.cost,
                 self.clock.load(Ordering::Relaxed),
@@ -699,8 +843,21 @@ impl SharedGraphCache {
             LoadOutcome::Cold { reason } => return RecoveryReport::cold(reason),
             LoadOutcome::Warm(state) => state,
         };
-        if let Some(report) = persist::dataset_mismatch(&state.doc, &self.dataset) {
-            return report;
+        // Resolve the dataset the persisted state describes *first* (see
+        // the sequential runtime): snapshot ops + journal deltas, each
+        // fingerprint-validated, then replay entries at the final universe.
+        let base = Arc::clone(&self.data.get_mut().dataset);
+        let resolved = match persist::resolve_dataset(&state, &base) {
+            Ok(resolved) => resolved,
+            Err(report) => return *report,
+        };
+        let persist::ResolvedDataset { dataset, journal_inserted, journal_deltas } = resolved;
+        let dataset = Arc::new(dataset);
+        self.cost = CostModel::new(&dataset);
+        {
+            let data = self.data.get_mut();
+            data.overlay = persist::rebuild_method_overlay(self.method.as_ref(), &dataset);
+            data.dataset = Arc::clone(&dataset);
         }
 
         struct ShardedTarget<'a> {
@@ -744,7 +901,7 @@ impl SharedGraphCache {
 
         let snapshot_entries = state.doc.entries.len();
         let mut target = ShardedTarget { shards: &self.shards, now_hint: state.doc.clock };
-        let counts = persist::replay(&state, self.dataset.len(), &mut target);
+        let counts = persist::replay(&state, dataset.len(), &mut target);
         self.clock.store(counts.max_now, Ordering::Relaxed);
 
         // Enforce each shard's capacity share, allowing the legitimate
@@ -769,6 +926,29 @@ impl SharedGraphCache {
             self.cost.restore_estimate(gid, est, observed);
         }
 
+        // Repair replayed answers against mutations their records predate
+        // (same post-pass as the sequential runtime, per shard).
+        let engine = self.config.engine;
+        for shard in self.shards.iter() {
+            let mut shard_state = shard.state.write();
+            for id in shard_state.cache.ids() {
+                let entry = shard_state.cache.get_mut(id).expect("listed id is live");
+                if dataset.has_tombstones() {
+                    entry.answer.intersect_with(dataset.live_mask());
+                }
+                for &gid in &journal_inserted {
+                    if !dataset.live_mask().contains(gid as usize) {
+                        continue; // inserted then removed: stays masked out
+                    }
+                    if entry.answers_inserted(&dataset, gid, engine) {
+                        entry.answer.insert(gid as usize);
+                    } else {
+                        entry.answer.remove(gid as usize);
+                    }
+                }
+            }
+        }
+
         RecoveryReport {
             warm: true,
             cold_reason: None,
@@ -776,6 +956,7 @@ impl SharedGraphCache {
             snapshot_entries,
             journal_admits: counts.journal_admits,
             journal_evicts: counts.journal_evicts,
+            journal_deltas,
             journal_torn_bytes: state.torn_tail_bytes,
             entries_restored: self.len(),
             clock: counts.max_now,
@@ -802,6 +983,11 @@ impl SharedGraphCache {
         s.distinct_features = health.distinct_features as u64;
         s.tombstoned_slots = health.tombstoned_slots as u64;
         s.kernel_dispatch = gc_graph::simd::kernel_name();
+        {
+            let data = self.data.read();
+            s.dataset_generation = data.dataset.generation();
+            s.dataset_live_graphs = data.dataset.live_count() as u64;
+        }
         if self.store.is_some() {
             s.persist_health = self.health.health().as_str();
             s.persist_errors = self.health.errors();
@@ -856,9 +1042,16 @@ impl SharedGraphCache {
         self.method.name()
     }
 
-    /// The dataset this cache serves.
-    pub fn dataset(&self) -> &Dataset {
-        &self.dataset
+    /// The dataset this cache serves (a point-in-time handle: mutations
+    /// swap the shared `Arc`, so hold the clone only as long as a stale
+    /// view is acceptable).
+    pub fn dataset(&self) -> Arc<Dataset> {
+        Arc::clone(&self.data.read().dataset)
+    }
+
+    /// Live answers in the generation-versioned memo (diagnostics).
+    pub fn memo_len(&self) -> usize {
+        self.memo.lock().len()
     }
 
     /// Cache memory footprint across shards (entries + per-shard index).

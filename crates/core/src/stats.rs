@@ -23,6 +23,10 @@ pub struct GlobalStats {
     pub hit_queries: u64,
     /// Exact-match hits.
     pub exact_hits: u64,
+    /// Answer-memo hits: repeat queries served from the
+    /// generation-versioned exact answer memo, bypassing the
+    /// filter/probe/verify pipeline entirely.
+    pub memo_hits: u64,
     /// Queries with at least one sub-case hit (query ⊑ cached).
     pub queries_with_sub_hits: u64,
     /// Queries with at least one super-case hit (cached ⊑ query).
@@ -95,6 +99,14 @@ pub struct GlobalStats {
     /// Serving *gauge*: seconds since the serving front-end started. Same
     /// snapshot-time semantics.
     pub uptime_secs: u64,
+    /// Dataset *gauge*: generation counter of the live dataset (number of
+    /// insert/remove mutations applied since the base dataset). Populated
+    /// at snapshot time like the index-health gauges; 0 in per-query
+    /// deltas and ignored by [`StatsMonitor::add`].
+    pub dataset_generation: u64,
+    /// Dataset *gauge*: live (non-tombstoned) graphs in the dataset. Same
+    /// snapshot-time semantics.
+    pub dataset_live_graphs: u64,
 }
 
 impl GlobalStats {
@@ -145,6 +157,7 @@ struct AtomicStats {
     queries: AtomicU64,
     hit_queries: AtomicU64,
     exact_hits: AtomicU64,
+    memo_hits: AtomicU64,
     queries_with_sub_hits: AtomicU64,
     queries_with_super_hits: AtomicU64,
     sub_hits: AtomicU64,
@@ -177,6 +190,7 @@ macro_rules! for_each_counter {
         $macro_cb!(queries);
         $macro_cb!(hit_queries);
         $macro_cb!(exact_hits);
+        $macro_cb!(memo_hits);
         $macro_cb!(queries_with_sub_hits);
         $macro_cb!(queries_with_super_hits);
         $macro_cb!(sub_hits);
@@ -280,6 +294,7 @@ mod tests {
             queries: 1,
             hit_queries: 2,
             exact_hits: 3,
+            memo_hits: 17,
             queries_with_sub_hits: 4,
             queries_with_super_hits: 5,
             sub_hits: 6,
@@ -305,6 +320,8 @@ mod tests {
             requests_shed: 0,
             requests_timed_out: 0,
             uptime_secs: 0,
+            dataset_generation: 0,
+            dataset_live_graphs: 0,
         };
         m.add(&delta);
         assert_eq!(m.snapshot(), delta);
@@ -325,6 +342,8 @@ mod tests {
             requests_shed: 3,
             requests_timed_out: 2,
             uptime_secs: 60,
+            dataset_generation: 4,
+            dataset_live_graphs: 40,
             ..Default::default()
         };
         assert!((s.tombstone_ratio() - 0.25).abs() < 1e-12);
@@ -342,6 +361,8 @@ mod tests {
         assert_eq!(m.snapshot().requests_shed, 0);
         assert_eq!(m.snapshot().requests_timed_out, 0);
         assert_eq!(m.snapshot().uptime_secs, 0);
+        assert_eq!(m.snapshot().dataset_generation, 0);
+        assert_eq!(m.snapshot().dataset_live_graphs, 0);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!             [--duration-secs S]       # omitted: serve until Enter/EOF
 //! gc save     --dataset ds.tve --snapshot-dir state/   # run + persist
 //! gc load     --dataset ds.tve --snapshot-dir state/   # restore + dashboards
+//! gc mutate   --dataset ds.tve [--rounds 5] [--inserts 3] [--removes 2]
+//!             [--check] [--server 127.0.0.1:7411]   # live dataset demo
 //! gc journey  --dataset ds.tve [--seed 7]
 //! gc compare  --dataset ds.tve [--queries 300] [--workload zipf]
 //! ```
@@ -41,7 +43,7 @@ use gc_server::{HttpClient, QueryResponse, Server, ServerConfig};
 use gc_workload::random::{ba_dataset, er_dataset};
 use gc_workload::{molecule_dataset, nested_chain, Workload, WorkloadKind, WorkloadSpec};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -480,6 +482,150 @@ fn run_against_server(
     Ok(())
 }
 
+/// `gc mutate`: the dynamic-dataset demo — rounds of interleaved
+/// queries, inserts, and removes against one live cache, showing the
+/// generation counter, in-place answer repair, and the answer memo at
+/// work. With `--check`, every answer is cross-checked against Method M
+/// alone on the dataset *as mutated so far*. With `--server ADDR`, the
+/// mutations are POSTed to a running `gc serve` via `/mutate` instead.
+fn cmd_mutate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = load_dataset(flags)?;
+    let rounds: usize = get(flags, "rounds", 5);
+    let inserts: usize = get(flags, "inserts", 3);
+    let removes: usize = get(flags, "removes", 2);
+    let queries: usize = get(flags, "queries", 40);
+    let seed: u64 = get(flags, "seed", 7);
+
+    if let Some(addr) = flags.get("server") {
+        return mutate_against_server(addr, &dataset, rounds, inserts, removes, queries, seed);
+    }
+
+    let check = flags.contains_key("check");
+    let mut gc = build_cache(&dataset, flags)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let fresh = molecule_dataset(rounds * inserts, seed ^ 0x6d75_7461);
+    let mut fresh = fresh.into_iter();
+    let mut checked = 0u64;
+
+    println!("=== Dynamic Dataset Demo ===");
+    println!(
+        "round | generation | live graphs | memo entries | memo hits | hit ratio | avg tests/query"
+    );
+    for round in 0..rounds {
+        for _ in 0..queries {
+            let live: Vec<u32> = gc.dataset().live_mask().iter().map(|gid| gid as u32).collect();
+            let src = live[rng.gen_range(0..live.len())];
+            let Some(q) = gc_workload::extract_query(gc.dataset().graph(src), 6, &mut rng) else {
+                continue;
+            };
+            let r = gc.query(&q, QueryKind::Subgraph);
+            if check {
+                let base = gc_method::execute_base(
+                    gc.dataset(),
+                    &gc_method::SiMethod,
+                    gc_method::Engine::Vf2,
+                    &q,
+                    QueryKind::Subgraph,
+                );
+                if r.answer != base.answer {
+                    return Err(format!(
+                        "round {round}: answer mismatch vs Method M on the mutated dataset"
+                    ));
+                }
+                checked += 1;
+            }
+        }
+        for g in fresh.by_ref().take(inserts) {
+            gc.insert_graph(g);
+        }
+        for _ in 0..removes {
+            let live: Vec<u32> = gc.dataset().live_mask().iter().map(|g| g as u32).collect();
+            if live.len() <= 4 {
+                break;
+            }
+            gc.remove_graph(live[rng.gen_range(0..live.len())]);
+        }
+        let s = gc.stats();
+        println!(
+            "{round:>5} | {:>10} | {:>11} | {:>12} | {:>9} | {:>8.1}% | {:>15.1}",
+            s.dataset_generation,
+            s.dataset_live_graphs,
+            gc.memo_len(),
+            s.memo_hits,
+            s.hit_ratio() * 100.0,
+            s.avg_tests_per_query(),
+        );
+    }
+    if check {
+        println!("checked  : {checked} answers match Method M on the live dataset exactly");
+    }
+    Ok(())
+}
+
+/// Drive a running `gc serve` through `/mutate` + `/query`.
+fn mutate_against_server(
+    addr: &str,
+    dataset: &Arc<Dataset>,
+    rounds: usize,
+    inserts: usize,
+    removes: usize,
+    queries: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let addr = addr.trim_start_matches("http://");
+    let addr: std::net::SocketAddr = addr.parse().map_err(|e| format!("--server {addr}: {e}"))?;
+    let mut client = HttpClient::connect(addr)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fresh = molecule_dataset(rounds * inserts, seed ^ 0x6d75_7461).into_iter();
+    let mut inserted: Vec<u32> = Vec::new();
+    let (mut ok, mut memo_hits) = (0u64, 0u64);
+    println!("=== Dynamic Dataset Demo (server http://{addr}) ===");
+    for round in 0..rounds {
+        for _ in 0..queries {
+            let src = rng.gen_range(0..dataset.len() as u32);
+            let Some(q) = gc_workload::extract_query(dataset.graph(src), 6, &mut rng) else {
+                continue;
+            };
+            let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&q));
+            let resp = client.post("/query?kind=sub", body.as_bytes())?;
+            if resp.status == 200 {
+                let parsed: QueryResponse = serde_json::from_str(&resp.body_text())
+                    .map_err(|e| format!("bad /query response: {e}"))?;
+                ok += 1;
+                memo_hits += parsed.memo_hit as u64;
+            }
+        }
+        for g in fresh.by_ref().take(inserts) {
+            let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&g));
+            let resp = client.post("/mutate?op=insert", body.as_bytes())?;
+            if resp.status != 200 {
+                return Err(format!("insert failed: HTTP {}: {}", resp.status, resp.body_text()));
+            }
+            let parsed: gc_server::MutateResponse = serde_json::from_str(&resp.body_text())
+                .map_err(|e| format!("bad /mutate response: {e}"))?;
+            inserted.push(parsed.graph_id);
+        }
+        for _ in 0..removes.min(inserted.len()) {
+            let gid = inserted.remove(0);
+            let resp = client.post(&format!("/mutate?op=remove&id={gid}"), &[])?;
+            if resp.status != 200 {
+                return Err(format!("remove failed: HTTP {}: {}", resp.status, resp.body_text()));
+            }
+        }
+        let stats = client.get("/stats")?;
+        if stats.status != 200 {
+            return Err(format!("/stats failed: HTTP {}", stats.status));
+        }
+        let s: gc_server::StatsResponse = serde_json::from_str(&stats.body_text())
+            .map_err(|e| format!("bad /stats response: {e}"))?;
+        println!(
+            "round {round}: generation {}, {} live graphs, {ok} queries ok, {memo_hits} memo hits",
+            s.dataset_generation, s.dataset_live_graphs
+        );
+    }
+    Ok(())
+}
+
 fn cmd_journey(flags: &HashMap<String, String>) -> Result<(), String> {
     let dataset = load_dataset(flags)?;
     let mut gc = build_cache(&dataset, flags)?;
@@ -527,7 +673,7 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: gc <generate|run|serve|save|load|doctor|journey|compare> [--flag value]...
+    "usage: gc <generate|run|serve|save|load|doctor|mutate|journey|compare> [--flag value]...
   gc generate --out ds.tve [--count N] [--seed S] [--model molecules|er|ba]
   gc run      --dataset ds.tve [--queries N] [--workload zipf|uniform|drift]
               [--policy LRU|POP|PIN|PINC|HD] [--capacity N] [--feature-size L] [--dev]
@@ -547,6 +693,11 @@ const USAGE: &str =
   gc doctor   [--json] DIR   (offline check: CRC walk, generation chain,
                      torn tails, what a restore would recover; --json emits
                      the full report as JSON; exit 1 if corrupt)
+  gc mutate   --dataset ds.tve [--rounds N] [--inserts I] [--removes R]
+              [--queries Q] [--seed S] [--check]  (live insert/remove demo;
+               --check cross-checks every answer against Method M alone)
+              [--server HOST:PORT]  (POST mutations to a running `gc serve`
+               via /mutate instead of mutating locally)
   gc journey  --dataset ds.tve [--seed S]
   gc compare  --dataset ds.tve [--queries N] [--workload ...] [--capacity N]";
 
@@ -578,6 +729,7 @@ fn main() -> ExitCode {
         "serve" => cmd_serve(&flags),
         "save" => cmd_save(&flags),
         "load" => cmd_load(&flags),
+        "mutate" => cmd_mutate(&flags),
         "journey" => cmd_journey(&flags),
         "compare" => cmd_compare(&flags),
         "help" | "--help" | "-h" => {

@@ -238,6 +238,19 @@ impl BitSet {
         crate::simd::intersect_postings(&mut self.blocks, postings, need);
     }
 
+    /// Grow the universe to `new_len`, keeping all members. New indices
+    /// `old_len..new_len` start absent. Universes never shrink — a smaller
+    /// `new_len` is a logic error (dataset removals tombstone instead of
+    /// compacting, precisely so ids stay stable).
+    ///
+    /// # Panics
+    /// Panics if `new_len < universe`.
+    pub fn grow(&mut self, new_len: usize) {
+        assert!(new_len >= self.len, "bitset universe cannot shrink: {} -> {new_len}", self.len);
+        self.len = new_len;
+        self.blocks.resize(new_len.div_ceil(BITS), 0);
+    }
+
     /// Collect members into a `Vec<usize>` (ascending).
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
@@ -516,6 +529,29 @@ mod tests {
     fn intersect_with_postings_rejects_out_of_universe() {
         let mut a = BitSet::new(64);
         a.intersect_with_postings(&[(10, 1), (64, 1)], 1);
+    }
+
+    #[test]
+    fn grow_keeps_members_and_extends_universe() {
+        let mut s = BitSet::from_indices(10, [0, 9]);
+        s.grow(10); // no-op growth is allowed
+        s.grow(129);
+        assert_eq!(s.universe(), 129);
+        assert_eq!(s.to_vec(), vec![0, 9]);
+        assert!(!s.contains(10));
+        assert!(s.insert(128));
+        assert_eq!(s.to_vec(), vec![0, 9, 128]);
+        // Grown sets interoperate with fresh sets of the new universe.
+        let mut f = BitSet::full(129);
+        f.intersect_with(&s);
+        assert_eq!(f.to_vec(), vec![0, 9, 128]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn grow_rejects_shrinking() {
+        let mut s = BitSet::new(10);
+        s.grow(9);
     }
 
     #[test]

@@ -1,17 +1,42 @@
-//! The immutable dataset of data graphs.
+//! The dataset of data graphs — loaded in bulk, mutable afterwards.
+//!
+//! Graph ids are dense `0..len` and **stable for the lifetime of the
+//! dataset**: [`Dataset::insert_graph`] appends a fresh id,
+//! [`Dataset::remove_graph`] tombstones the slot instead of compacting, so
+//! every cached answer bitset and index posting keeps meaning the same graph
+//! across mutations. Each mutation bumps a [`Dataset::generation`] counter
+//! and is appended to an op log ([`Dataset::ops`]) so persistence can
+//! journal deltas and warm restarts can replay them onto the base dataset.
 
 use gc_graph::invariants::GraphSummary;
 use gc_graph::{BitSet, Graph, GraphId};
 use gc_iso::{GraphProfile, ProfileRef};
 
+/// Slot value hashed for tombstoned ids in [`Dataset::content_fingerprint`]:
+/// a dataset with a removed graph must fingerprint differently from one
+/// where the slot never existed or still holds the graph.
+const TOMBSTONE_MARK: u64 = 0x7061_7065_7220_8888;
+
+/// One dataset mutation, in the order it was applied. Inserts carry the
+/// graph (its id is implied: `base_len + #prior inserts`); removes carry the
+/// tombstoned id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetOp {
+    /// A graph appended by [`Dataset::insert_graph`].
+    Insert(Graph),
+    /// A graph tombstoned by [`Dataset::remove_graph`].
+    Remove(GraphId),
+}
+
 /// Flat side arrays of per-graph verification precomputation: packed
 /// neighbour signatures and pattern-role search orders for every dataset
 /// graph, concatenated with one shared offset table (both are per-vertex).
 ///
-/// Built once at load time so the verification hot path pays zero
-/// per-candidate setup — the engines receive borrowed [`ProfileRef`] slices
-/// straight out of these arrays.
-#[derive(Debug)]
+/// Built at load time and extended incrementally on insert, so the
+/// verification hot path pays zero per-candidate setup — the engines receive
+/// borrowed [`ProfileRef`] slices straight out of these arrays. Tombstoned
+/// graphs keep their rows (the arrays are flat and ids must stay stable).
+#[derive(Debug, Clone)]
 pub struct DatasetProfiles {
     /// `off[i]..off[i + 1]` is graph `i`'s vertex range in `sig` / `order`.
     off: Vec<usize>,
@@ -24,24 +49,35 @@ impl DatasetProfiles {
     pub fn memory_bytes(&self) -> usize {
         self.off.len() * std::mem::size_of::<usize>() + self.sig.len() * 8 + self.order.len() * 4
     }
+
+    fn push(&mut self, p: &GraphProfile) {
+        self.sig.extend_from_slice(&p.sig);
+        self.order.extend_from_slice(&p.order);
+        self.off.push(self.sig.len());
+    }
 }
 
-/// A loaded collection of data graphs with precomputed per-graph summaries
-/// and verification profiles.
-///
-/// The dataset is immutable for the lifetime of a cache instance (the paper's
-/// Dataset Graphs component); graph ids are dense `0..len`.
-#[derive(Debug)]
+/// A collection of data graphs with precomputed per-graph summaries and
+/// verification profiles, supporting live insert/remove (the paper's Dataset
+/// Graphs component, made dynamic).
+#[derive(Debug, Clone)]
 pub struct Dataset {
     graphs: Vec<Graph>,
     summaries: Vec<GraphSummary>,
     label_freq: Vec<u32>,
     profiles: DatasetProfiles,
+    /// Live (non-tombstoned) slots; universe = `graphs.len()`.
+    live: BitSet,
+    dead: usize,
+    generation: u64,
+    base_fingerprint: u64,
+    ops: Vec<DatasetOp>,
 }
 
 impl Dataset {
     /// Wrap a vector of graphs, precomputing summaries, label frequencies
-    /// and per-graph verification profiles.
+    /// and per-graph verification profiles. This is generation 0; the
+    /// op log starts empty.
     pub fn new(graphs: Vec<Graph>) -> Self {
         let mut summaries = Vec::with_capacity(graphs.len());
         let mut profiles = DatasetProfiles {
@@ -55,10 +91,8 @@ impl Dataset {
             // *target* for subgraph queries and as *pattern* (hence the
             // search order) for supergraph queries.
             let p = GraphProfile::new(g, None);
+            profiles.push(&p);
             summaries.push(p.summary);
-            profiles.sig.extend_from_slice(&p.sig);
-            profiles.order.extend_from_slice(&p.order);
-            profiles.off.push(profiles.sig.len());
         }
         let max_label = graphs
             .iter()
@@ -72,20 +106,135 @@ impl Dataset {
                 label_freq[g.label(v).0 as usize] += 1;
             }
         }
-        Dataset { graphs, summaries, label_freq, profiles }
+        let live = BitSet::full(graphs.len());
+        let mut d = Dataset {
+            graphs,
+            summaries,
+            label_freq,
+            profiles,
+            live,
+            dead: 0,
+            generation: 0,
+            base_fingerprint: 0,
+            ops: Vec::new(),
+        };
+        d.base_fingerprint = d.content_fingerprint();
+        d
     }
 
-    /// Number of graphs.
+    /// Append a graph, assigning it the next dense id. Bumps the
+    /// generation, extends the live mask/universe and logs the op.
+    pub fn insert_graph(&mut self, g: Graph) -> GraphId {
+        let id = self.graphs.len() as GraphId;
+        let p = GraphProfile::new(&g, None);
+        self.profiles.push(&p);
+        self.summaries.push(p.summary);
+        if let Some(ml) = g.max_label() {
+            if self.label_freq.len() <= ml.0 as usize {
+                self.label_freq.resize(ml.0 as usize + 1, 0);
+            }
+        }
+        for v in g.vertices() {
+            self.label_freq[g.label(v).0 as usize] += 1;
+        }
+        self.live.grow(id as usize + 1);
+        self.live.insert(id as usize);
+        self.ops.push(DatasetOp::Insert(g.clone()));
+        self.graphs.push(g);
+        self.generation += 1;
+        id
+    }
+
+    /// Tombstone graph `gid`: it leaves the live mask (and thus every
+    /// candidate and answer set) but keeps its slot, so all other ids stay
+    /// stable. Returns `false` if the graph was already removed.
+    ///
+    /// # Panics
+    /// Panics when `gid` is out of range.
+    pub fn remove_graph(&mut self, gid: GraphId) -> bool {
+        assert!((gid as usize) < self.graphs.len(), "graph id {gid} out of range");
+        if !self.live.remove(gid as usize) {
+            return false;
+        }
+        self.dead += 1;
+        let g = &self.graphs[gid as usize];
+        for v in g.vertices() {
+            self.label_freq[g.label(v).0 as usize] -= 1;
+        }
+        self.ops.push(DatasetOp::Remove(gid));
+        self.generation += 1;
+        true
+    }
+
+    /// Re-apply a logged mutation (warm-restart replay). Insert ids are
+    /// implied by append order, exactly as when the op was first applied.
+    pub fn apply_op(&mut self, op: &DatasetOp) {
+        match op {
+            DatasetOp::Insert(g) => {
+                self.insert_graph(g.clone());
+            }
+            DatasetOp::Remove(gid) => {
+                self.remove_graph(*gid);
+            }
+        }
+    }
+
+    /// Number of graph *slots* (live + tombstoned) — the bitset universe.
     pub fn len(&self) -> usize {
         self.graphs.len()
     }
 
-    /// `true` iff the dataset holds no graphs.
+    /// `true` iff the dataset holds no graph slots.
     pub fn is_empty(&self) -> bool {
         self.graphs.is_empty()
     }
 
+    /// Number of live (non-tombstoned) graphs.
+    pub fn live_count(&self) -> usize {
+        self.graphs.len() - self.dead
+    }
+
+    /// `true` iff graph `gid` exists and is not tombstoned.
+    pub fn is_live(&self, gid: GraphId) -> bool {
+        (gid as usize) < self.graphs.len() && self.live.contains(gid as usize)
+    }
+
+    /// The live mask: one bit per slot, set iff the graph is not
+    /// tombstoned. The filter stage intersects candidate sets with this so
+    /// removed graphs can never re-enter an answer.
+    pub fn live_mask(&self) -> &BitSet {
+        &self.live
+    }
+
+    /// `true` iff any graph has been removed (fast-path check: when false,
+    /// the live mask is full and intersecting with it is a no-op).
+    pub fn has_tombstones(&self) -> bool {
+        self.dead > 0
+    }
+
+    /// Mutation counter: 0 at load, +1 per insert/remove. Versions the
+    /// exact-answer memo (any bump invalidates all memoized answers in
+    /// O(1)) and orders journaled deltas.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Content fingerprint of the dataset as loaded (generation 0), before
+    /// any mutation. Persistence records it so a snapshot's op log is only
+    /// ever replayed onto the dataset it was cut from.
+    pub fn base_fingerprint(&self) -> u64 {
+        self.base_fingerprint
+    }
+
+    /// The mutation log since load, in application order.
+    pub fn ops(&self) -> &[DatasetOp] {
+        &self.ops
+    }
+
     /// Access a graph by id.
+    ///
+    /// Tombstoned slots keep their payload (ids must stay stable); callers
+    /// iterating live-masked candidate sets never observe them.
     ///
     /// # Panics
     /// Panics when `id` is out of range.
@@ -115,31 +264,41 @@ impl Dataset {
         &self.profiles
     }
 
-    /// All graphs in id order.
+    /// All graph slots in id order (tombstoned slots included — filter with
+    /// [`Dataset::is_live`] when liveness matters).
     pub fn graphs(&self) -> &[Graph] {
         &self.graphs
     }
 
     /// Order-sensitive content fingerprint of the whole dataset: a hash of
-    /// the dataset size and every graph's WL fingerprint, in id order.
-    /// Persistence snapshots record it so cached answer sets are never
-    /// restored over a different (or reordered) dataset.
+    /// the slot count and every slot's WL fingerprint (a fixed tombstone
+    /// mark for removed slots), in id order. Persistence snapshots record it
+    /// so cached answer sets are never restored over a different (or
+    /// reordered) dataset; journaled deltas record the fingerprint that
+    /// *resulted* from each mutation so replay is validated step by step.
     pub fn content_fingerprint(&self) -> u64 {
-        gc_graph::hash::hash_seq(
-            std::iter::once(self.graphs.len() as u64)
-                .chain(self.graphs.iter().map(gc_graph::hash::fingerprint)),
-        )
+        gc_graph::hash::hash_seq(std::iter::once(self.graphs.len() as u64).chain(
+            self.graphs.iter().enumerate().map(|(i, g)| {
+                if self.live.contains(i) {
+                    gc_graph::hash::fingerprint(g)
+                } else {
+                    TOMBSTONE_MARK
+                }
+            }),
+        ))
     }
 
     /// Global label frequency across the dataset (index = label value);
-    /// steers matcher search orders toward rare labels.
+    /// steers matcher search orders toward rare labels. Maintained
+    /// incrementally under mutation (live graphs only).
     pub fn label_freq(&self) -> &[u32] {
         &self.label_freq
     }
 
-    /// A fresh full candidate bitset over this dataset's universe.
+    /// A fresh candidate bitset of every **live** graph over this dataset's
+    /// universe.
     pub fn all_graphs(&self) -> BitSet {
-        BitSet::full(self.len())
+        self.live.clone()
     }
 
     /// A fresh empty bitset over this dataset's universe.
@@ -147,7 +306,8 @@ impl Dataset {
         BitSet::new(self.len())
     }
 
-    /// Total approximate memory of the raw graphs.
+    /// Total approximate memory of the raw graphs (tombstoned payloads
+    /// included — they are retained for id stability).
     pub fn memory_bytes(&self) -> usize {
         self.graphs.iter().map(Graph::memory_bytes).sum()
     }
@@ -173,11 +333,18 @@ mod tests {
         assert_eq!(d.graph(0).vertex_count(), 2);
         assert_eq!(d.summary(1).n, 3);
         assert_eq!(d.label_freq(), &[1, 3, 1]);
+        assert_eq!(d.generation(), 0);
+        assert_eq!(d.live_count(), 2);
+        assert!(d.is_live(0) && d.is_live(1));
+        assert!(!d.has_tombstones());
+        assert!(d.ops().is_empty());
+        assert_eq!(d.base_fingerprint(), d.content_fingerprint());
     }
 
     #[test]
     fn profiles_match_per_graph_computation() {
-        let d = ds();
+        let mut d = ds();
+        d.insert_graph(graph_from_parts(&[Label(0), Label(2)], &[(0, 1)]).unwrap());
         assert!(d.profiles().memory_bytes() > 0);
         for id in 0..d.len() as u32 {
             let fresh = GraphProfile::new(d.graph(id), None);
@@ -202,5 +369,66 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.label_freq().len(), 0);
         assert_eq!(d.all_graphs().count(), 0);
+    }
+
+    #[test]
+    fn insert_appends_and_maintains_state() {
+        let mut d = ds();
+        let g = graph_from_parts(&[Label(5), Label(1)], &[(0, 1)]).unwrap();
+        let id = d.insert_graph(g.clone());
+        assert_eq!(id, 2);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.live_count(), 3);
+        assert_eq!(d.generation(), 1);
+        assert!(d.is_live(2));
+        assert_eq!(d.graph(2), &g);
+        assert_eq!(d.label_freq(), &[1, 4, 1, 0, 0, 1], "label 5 grows the freq table");
+        assert_eq!(d.all_graphs().to_vec(), vec![0, 1, 2]);
+        assert_eq!(d.ops(), &[DatasetOp::Insert(g)]);
+        assert_ne!(d.content_fingerprint(), d.base_fingerprint());
+    }
+
+    #[test]
+    fn remove_tombstones_and_keeps_ids_stable() {
+        let mut d = ds();
+        assert!(d.remove_graph(0));
+        assert!(!d.remove_graph(0), "double remove is a no-op");
+        assert_eq!(d.len(), 2, "universe does not shrink");
+        assert_eq!(d.live_count(), 1);
+        assert_eq!(d.generation(), 1);
+        assert!(!d.is_live(0));
+        assert!(d.is_live(1));
+        assert_eq!(d.label_freq(), &[0, 2, 1], "removed labels leave the freq table");
+        assert_eq!(d.all_graphs().to_vec(), vec![1]);
+        assert!(d.has_tombstones());
+        assert_eq!(d.ops(), &[DatasetOp::Remove(0)]);
+        // Graph 1's accessors are untouched.
+        assert_eq!(d.summary(1).n, 3);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_removed_from_never_present() {
+        let g0 = graph_from_parts(&[Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let g1 = graph_from_parts(&[Label(1), Label(1), Label(2)], &[(0, 1), (1, 2)]).unwrap();
+        let mut removed = Dataset::new(vec![g0, g1.clone()]);
+        removed.remove_graph(0);
+        let only = Dataset::new(vec![g1]);
+        assert_ne!(removed.content_fingerprint(), only.content_fingerprint());
+    }
+
+    #[test]
+    fn replaying_ops_reproduces_fingerprint() {
+        let mut d = ds();
+        d.insert_graph(graph_from_parts(&[Label(3)], &[]).unwrap());
+        d.remove_graph(1);
+        d.insert_graph(graph_from_parts(&[Label(0), Label(0)], &[(0, 1)]).unwrap());
+        let mut fresh = ds();
+        for op in d.ops().to_vec() {
+            fresh.apply_op(&op);
+        }
+        assert_eq!(fresh.generation(), d.generation());
+        assert_eq!(fresh.content_fingerprint(), d.content_fingerprint());
+        assert_eq!(fresh.label_freq(), d.label_freq());
+        assert_eq!(fresh.all_graphs(), d.all_graphs());
     }
 }

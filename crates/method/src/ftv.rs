@@ -69,6 +69,13 @@ impl Method for FtvMethod {
     fn index_memory_bytes(&self) -> usize {
         self.trie.memory_bytes()
     }
+
+    fn on_insert_graph(&self, _dataset: &Dataset, _gid: gc_graph::GraphId) -> bool {
+        // The arena trie is frozen at build time; the runtime force-includes
+        // inserted graphs as candidates instead (sound, one extra
+        // verification per query until a rebuild).
+        false
+    }
 }
 
 #[cfg(test)]

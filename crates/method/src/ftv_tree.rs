@@ -21,7 +21,11 @@ thread_local! {
 /// speedup-versus-space axis.
 #[derive(Debug)]
 pub struct FtvTreeMethod {
-    index: TreeIndex,
+    /// The posting directory behind [`TreeIndex`] is dynamic
+    /// (insert/remove with tombstoned lazy compaction), so this method
+    /// tracks dataset mutations live; the lock serialises the rare
+    /// maintenance writes against concurrent `filter` reads.
+    index: std::sync::RwLock<TreeIndex>,
     max_edges: usize,
 }
 
@@ -29,7 +33,7 @@ impl FtvTreeMethod {
     /// Build the tree index over `dataset` with subtree size `max_edges`.
     pub fn build(dataset: &Dataset, max_edges: usize) -> Self {
         let index = TreeIndex::build(dataset.graphs(), TreeConfig::with_max_edges(max_edges));
-        FtvTreeMethod { index, max_edges }
+        FtvTreeMethod { index: std::sync::RwLock::new(index), max_edges }
     }
 
     /// The feature size (subtree edges).
@@ -37,9 +41,9 @@ impl FtvTreeMethod {
         self.max_edges
     }
 
-    /// Access the underlying index.
-    pub fn index(&self) -> &TreeIndex {
-        &self.index
+    /// Read access to the underlying index.
+    pub fn index(&self) -> std::sync::RwLockReadGuard<'_, TreeIndex> {
+        self.index.read().expect("tree index lock poisoned")
     }
 }
 
@@ -51,17 +55,27 @@ impl Method for FtvTreeMethod {
     fn filter(&self, _dataset: &Dataset, query: &Graph, kind: QueryKind) -> BitSet {
         FILTER_SCRATCH.with(|scratch| {
             let scratch = &mut *scratch.borrow_mut();
-            let mut out = BitSet::new(self.index.dataset_size());
+            let index = self.index();
+            let mut out = BitSet::new(index.dataset_size());
             match kind {
-                QueryKind::Subgraph => self.index.candidates_into(query, scratch, &mut out),
-                QueryKind::Supergraph => self.index.super_candidates_into(query, scratch, &mut out),
+                QueryKind::Subgraph => index.candidates_into(query, scratch, &mut out),
+                QueryKind::Supergraph => index.super_candidates_into(query, scratch, &mut out),
             }
             out
         })
     }
 
     fn index_memory_bytes(&self) -> usize {
-        self.index.memory_bytes()
+        self.index().memory_bytes()
+    }
+
+    fn on_insert_graph(&self, dataset: &Dataset, gid: gc_graph::GraphId) -> bool {
+        self.index.write().expect("tree index lock poisoned").insert_graph(gid, dataset.graph(gid));
+        true
+    }
+
+    fn on_remove_graph(&self, _dataset: &Dataset, gid: gc_graph::GraphId) {
+        self.index.write().expect("tree index lock poisoned").remove_graph(gid);
     }
 }
 
@@ -123,5 +137,22 @@ mod tests {
         assert_eq!(m.name(), "ftv-tree(T=2)");
         assert!(m.index_memory_bytes() > 0);
         assert_eq!(m.feature_size(), 2);
+    }
+
+    #[test]
+    fn tracks_dataset_mutations() {
+        let mut d = ds();
+        let m = FtvTreeMethod::build(&d, 2);
+        let q = g(&[4, 4], &[(0, 1)]);
+        assert!(m.filter(&d, &q, QueryKind::Subgraph).is_empty());
+        // Insert a graph that matches the query; the hook must index it.
+        let gid = d.insert_graph(g(&[4, 4, 4], &[(0, 1), (1, 2)]));
+        assert!(m.on_insert_graph(&d, gid));
+        let c = m.filter(&d, &q, QueryKind::Subgraph);
+        assert!(c.contains(gid as usize), "inserted graph becomes a candidate");
+        // Remove it again; its postings must drop out.
+        d.remove_graph(gid);
+        m.on_remove_graph(&d, gid);
+        assert!(!m.filter(&d, &q, QueryKind::Subgraph).contains(gid as usize));
     }
 }

@@ -31,7 +31,7 @@ mod si;
 mod sig;
 
 pub use base::{execute_base, BaseRun};
-pub use dataset::{Dataset, DatasetProfiles};
+pub use dataset::{Dataset, DatasetOp, DatasetProfiles};
 pub use engine::{Engine, QueryProfile};
 pub use ftv::FtvMethod;
 pub use ftv_tree::FtvTreeMethod;
@@ -77,9 +77,31 @@ pub trait Method: Send + Sync {
     fn name(&self) -> String;
 
     /// Compute the candidate set `C_M` for a query.
+    ///
+    /// Under a mutated dataset the returned set may be sized to an older
+    /// (smaller) universe and may still contain tombstoned graphs: the
+    /// runtime's filter stage grows it to the current universe and
+    /// intersects it with [`Dataset::live_mask`], so implementations only
+    /// owe soundness over the graphs they have indexed.
     fn filter(&self, dataset: &Dataset, query: &Graph, kind: QueryKind) -> BitSet;
 
     /// Bytes of index memory the method holds (0 for index-free methods).
     /// Experiment II compares this with the cache's footprint.
     fn index_memory_bytes(&self) -> usize;
+
+    /// Notify the method that `gid` was appended to the dataset
+    /// ([`Dataset::insert_graph`]). Return `true` iff this method's
+    /// [`Method::filter`] now accounts for the new graph (dynamic index, or
+    /// no index at all). Returning `false` makes the runtime force-include
+    /// `gid` in every candidate set — sound, at the cost of one extra
+    /// verification per query until the index is rebuilt.
+    fn on_insert_graph(&self, _dataset: &Dataset, _gid: gc_graph::GraphId) -> bool {
+        false
+    }
+
+    /// Notify the method that `gid` was tombstoned
+    /// ([`Dataset::remove_graph`]). Removed graphs are masked out of every
+    /// candidate set by the runtime regardless; this hook only lets dynamic
+    /// indexes drop the graph's postings.
+    fn on_remove_graph(&self, _dataset: &Dataset, _gid: gc_graph::GraphId) {}
 }

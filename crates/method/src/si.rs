@@ -25,6 +25,10 @@ impl Method for SiMethod {
     fn index_memory_bytes(&self) -> usize {
         0
     }
+
+    fn on_insert_graph(&self, _dataset: &Dataset, _gid: gc_graph::GraphId) -> bool {
+        true // no index: `all_graphs()` always reflects the live dataset
+    }
 }
 
 #[cfg(test)]

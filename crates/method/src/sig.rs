@@ -45,6 +45,10 @@ impl Method for SigMethod {
         // itself holds nothing.
         0
     }
+
+    fn on_insert_graph(&self, _dataset: &Dataset, _gid: gc_graph::GraphId) -> bool {
+        true // filters over the dataset's own summaries, always current
+    }
 }
 
 #[cfg(test)]

@@ -17,6 +17,9 @@ pub struct QueryResponse {
     pub kind: String,
     /// `true` when an exact-match hit served the query outright.
     pub exact_hit: bool,
+    /// `true` when the generation-versioned answer memo served the query
+    /// without running the pipeline (zero probe/verify work).
+    pub memo_hit: bool,
     /// `|C_M|` — base method's candidate count.
     pub cm_size: usize,
     /// `|S|` — definite answers contributed by cache hits.
@@ -40,6 +43,23 @@ pub struct QueryResponse {
     pub deadline_exceeded: bool,
 }
 
+/// `POST /mutate` success response. `op` echoes the applied operation
+/// (`"insert"` or `"remove"`); `applied` is `false` only for a remove of
+/// an already-tombstoned (or never-live) graph id, which is a no-op.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MutateResponse {
+    /// `"insert"` or `"remove"`.
+    pub op: String,
+    /// The inserted graph's id, or the id the remove targeted.
+    pub graph_id: u32,
+    /// Whether the mutation changed the dataset.
+    pub applied: bool,
+    /// Dataset generation after the mutation (one journaled delta each).
+    pub generation: u64,
+    /// Live (non-tombstoned) graphs after the mutation.
+    pub live_graphs: u64,
+}
+
 /// Error response body (`4xx`/`5xx`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorBody {
@@ -59,6 +79,8 @@ pub struct StatsResponse {
     pub hit_queries: u64,
     /// Exact-match hits.
     pub exact_hits: u64,
+    /// Answer-memo hits (pipeline bypassed entirely).
+    pub memo_hits: u64,
     /// Individual sub-case hits.
     pub sub_hits: u64,
     /// Individual super-case hits.
@@ -75,6 +97,10 @@ pub struct StatsResponse {
     pub evicted: u64,
     /// Live cached entries.
     pub entries: usize,
+    /// Dataset generation (total mutations applied since construction).
+    pub dataset_generation: u64,
+    /// Live (non-tombstoned) dataset graphs.
+    pub dataset_live_graphs: u64,
     /// Fraction of queries with at least one hit.
     pub hit_ratio: f64,
     /// SIMD kernel tier the hot loops dispatched to.
@@ -111,6 +137,7 @@ mod tests {
             answer: vec![0, 3, 17],
             kind: "sub".into(),
             exact_hit: true,
+            memo_hit: false,
             cm_size: 75,
             definite: 1,
             verified: 43,
@@ -124,6 +151,20 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: QueryResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn mutate_response_roundtrips() {
+        let m = MutateResponse {
+            op: "insert".into(),
+            graph_id: 120,
+            applied: true,
+            generation: 7,
+            live_graphs: 119,
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: MutateResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
     }
 
     #[test]
@@ -142,6 +183,7 @@ mod tests {
             queries: 100,
             hit_queries: 40,
             exact_hits: 10,
+            memo_hits: 4,
             sub_hits: 5,
             super_hits: 3,
             tests_executed: 900,
@@ -150,6 +192,8 @@ mod tests {
             admitted: 20,
             evicted: 5,
             entries: 15,
+            dataset_generation: 3,
+            dataset_live_graphs: 98,
             hit_ratio: 0.4,
             kernel_dispatch: "avx2".into(),
             persist_health: "healthy".into(),

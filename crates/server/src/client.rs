@@ -83,6 +83,16 @@ impl HttpClient {
     /// Send one request and read the framed response. On any transport
     /// error the connection is dropped (the next call reconnects) and the
     /// error is returned.
+    ///
+    /// **Stale keep-alive handling:** a server is free to close an idle
+    /// keep-alive connection between requests (idle timeout, drain,
+    /// restart). A request written into such a socket fails with a write
+    /// error or a clean close before any response byte — in both cases
+    /// the server never answered this request, so the client reconnects
+    /// and resends **once**, transparently. The retry only fires on a
+    /// *reused* connection with *zero* response bytes received; a failure
+    /// on a fresh connection or after partial response data surfaces as
+    /// an error (resending there could double-execute).
     pub fn request(
         &mut self,
         method: &str,
@@ -90,11 +100,22 @@ impl HttpClient {
         headers: &[(&str, &str)],
         body: &[u8],
     ) -> Result<ClientResponse, String> {
-        let result = self.request_inner(method, path, headers, body);
-        if result.is_err() {
-            self.stream = None;
+        let reused = self.stream.is_some();
+        match self.request_inner(method, path, headers, body) {
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.stream = None;
+                if reused && e.stale_keepalive {
+                    let result = self.request_inner(method, path, headers, body);
+                    if result.is_err() {
+                        self.stream = None;
+                    }
+                    result.map_err(|e| e.msg)
+                } else {
+                    Err(e.msg)
+                }
+            }
         }
-        result
     }
 
     fn request_inner(
@@ -103,15 +124,19 @@ impl HttpClient {
         path: &str,
         headers: &[(&str, &str)],
         body: &[u8],
-    ) -> Result<ClientResponse, String> {
+    ) -> Result<ClientResponse, TransportError> {
         let mut raw = format!("{method} {path} HTTP/1.1\r\nhost: gc\r\n").into_bytes();
         for (k, v) in headers {
             raw.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
         }
         raw.extend_from_slice(format!("content-length: {}\r\n\r\n", body.len()).as_bytes());
         raw.extend_from_slice(body);
-        let stream = self.ensure_connected()?;
-        stream.write_all(&raw).map_err(|e| format!("write: {e}"))?;
+        let stream = self.ensure_connected().map_err(TransportError::fresh)?;
+        // A write error on a reused socket is the stale-keep-alive
+        // signature: the server closed and cannot have seen the request.
+        stream
+            .write_all(&raw)
+            .map_err(|e| TransportError { msg: format!("write: {e}"), stale_keepalive: true })?;
         let response = read_response(stream)?;
         // Honour the server's close decision (shed and error responses
         // close; the next request reconnects).
@@ -122,33 +147,60 @@ impl HttpClient {
     }
 }
 
+/// A transport-level request failure. `stale_keepalive` marks the two
+/// failure shapes where the server provably never answered the request —
+/// a failed write, or a close before the first response byte — which a
+/// reused connection may transparently retry once.
+#[derive(Debug)]
+struct TransportError {
+    msg: String,
+    stale_keepalive: bool,
+}
+
+impl TransportError {
+    fn fresh(msg: String) -> Self {
+        TransportError { msg, stale_keepalive: false }
+    }
+}
+
 /// Read one `Content-Length`-framed response from `stream`.
-fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, String> {
+fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, TransportError> {
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let head_end = loop {
         if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
             break pos + 4;
         }
         if buf.len() > 64 * 1024 {
-            return Err("response head too large".into());
+            return Err(TransportError::fresh("response head too large".into()));
         }
         let mut chunk = [0u8; 4096];
         match stream.read(&mut chunk) {
-            Ok(0) => return Err("connection closed mid-response".into()),
+            // A clean close (or reset) before the first response byte:
+            // the stale-keep-alive signature when the socket was reused.
+            Ok(0) => {
+                return Err(TransportError {
+                    msg: "connection closed mid-response".into(),
+                    stale_keepalive: buf.is_empty(),
+                })
+            }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err(format!("read: {e}")),
+            Err(e) => {
+                return Err(TransportError {
+                    msg: format!("read: {e}"),
+                    stale_keepalive: buf.is_empty(),
+                })
+            }
         }
     };
 
     let head = std::str::from_utf8(&buf[..head_end - 4])
-        .map_err(|_| "response head is not UTF-8".to_string())?;
+        .map_err(|_| TransportError::fresh("response head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or("");
-    let status = status_line
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| format!("malformed status line: {status_line:?}"))?;
+    let status =
+        status_line.split(' ').nth(1).and_then(|s| s.parse::<u16>().ok()).ok_or_else(|| {
+            TransportError::fresh(format!("malformed status line: {status_line:?}"))
+        })?;
     let mut headers = Vec::new();
     let mut content_length = 0usize;
     for line in lines {
@@ -156,7 +208,9 @@ fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, String> {
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim().to_string();
         if name == "content-length" {
-            content_length = value.parse().map_err(|_| format!("bad content-length: {value:?}"))?;
+            content_length = value
+                .parse()
+                .map_err(|_| TransportError::fresh(format!("bad content-length: {value:?}")))?;
         }
         headers.push((name, value));
     }
@@ -165,9 +219,9 @@ fn read_response(stream: &mut TcpStream) -> Result<ClientResponse, String> {
     while body.len() < content_length {
         let mut chunk = [0u8; 4096];
         match stream.read(&mut chunk) {
-            Ok(0) => return Err("connection closed mid-body".into()),
+            Ok(0) => return Err(TransportError::fresh("connection closed mid-body".into())),
             Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err(format!("read body: {e}")),
+            Err(e) => return Err(TransportError::fresh(format!("read body: {e}"))),
         }
     }
     body.truncate(content_length);
@@ -288,10 +342,30 @@ pub fn run_load(addr: SocketAddr, workload: &Workload, spec: &LoadSpec) -> LoadR
                     let mut latencies: Vec<u64> = Vec::new();
                     let mut rng =
                         StdRng::seed_from_u64(spec.seed ^ (t as u64).wrapping_mul(0x9e37));
-                    let Ok(mut client) = HttpClient::connect(addr) else {
-                        report.failed =
-                            workload.queries.iter().skip(t).step_by(n_threads).count() as u64;
-                        return (report, latencies);
+                    // The initial connect gets the same retry + backoff
+                    // budget as any request: a server that is restarting
+                    // (or briefly saturating its accept queue) must not
+                    // fail the thread's whole query slice on the spot.
+                    let mut connect_backoff = Backoff::new(
+                        Duration::from_millis(spec.backoff_base_ms),
+                        Duration::from_millis(spec.backoff_cap_ms),
+                    );
+                    let mut connect_attempts_left = spec.retries + 1;
+                    let mut client = loop {
+                        connect_attempts_left -= 1;
+                        match HttpClient::connect(addr) {
+                            Ok(client) => break client,
+                            Err(_) if connect_attempts_left > 0 => {
+                                report.retries += 1;
+                                std::thread::sleep(connect_backoff.next_delay(&mut rng));
+                            }
+                            Err(_) => {
+                                report.failed =
+                                    workload.queries.iter().skip(t).step_by(n_threads).count()
+                                        as u64;
+                                return (report, latencies);
+                            }
+                        }
                     };
                     for wq in workload.queries.iter().skip(t).step_by(n_threads) {
                         let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&wq.graph));

@@ -451,6 +451,7 @@ fn route(req: &Request, queue_wait: Duration, parse_time: Duration, shared: &Sha
     shared.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/query") => handle_query(req, queue_wait, parse_time, shared),
+        ("POST", "/mutate") => handle_mutate(req, shared),
         ("GET", "/stats") => handle_stats(shared),
         ("GET", "/metrics") => {
             let text = shared.metrics.render_prometheus(&shared.cache.stats(), shared.cache.len());
@@ -458,7 +459,7 @@ fn route(req: &Request, queue_wait: Duration, parse_time: Duration, shared: &Sha
         }
         ("GET", "/healthz") => Response::text(200, "ok"),
         ("GET", "/readyz") => handle_readyz(shared),
-        (_, "/query" | "/stats" | "/metrics" | "/healthz" | "/readyz") => {
+        (_, "/query" | "/mutate" | "/stats" | "/metrics" | "/healthz" | "/readyz") => {
             error_response(405, format!("method {} not allowed for {}", req.method, req.path))
         }
         _ => error_response(404, format!("no such endpoint: {}", req.path)),
@@ -523,6 +524,7 @@ fn handle_query(
         answer: report.answer.to_vec(),
         kind: kind.as_str().into(),
         exact_hit: report.exact_hit,
+        memo_hit: report.memo_hit,
         cm_size: report.cm_size,
         definite: report.definite,
         verified: report.verified,
@@ -539,12 +541,66 @@ fn handle_query(
     }
 }
 
+/// `POST /mutate?op=insert` (t/v/e body, exactly one graph) or
+/// `POST /mutate?op=remove&id=N`. Mutations are serialized by the cache's
+/// dataset lock, repair every cached answer set, invalidate the answer
+/// memo via the generation bump, and journal one dataset delta each.
+fn handle_mutate(req: &Request, shared: &Shared) -> Response {
+    match req.query_param("op") {
+        Some("insert") => {
+            let text = match std::str::from_utf8(&req.body) {
+                Ok(t) => t,
+                Err(_) => return error_response(400, "mutate body is not UTF-8".into()),
+            };
+            let graphs = match gc_graph::io::parse_dataset(text) {
+                Ok(g) => g,
+                Err(e) => return error_response(400, format!("mutate body is not t/v/e: {e}")),
+            };
+            let [graph] = graphs.as_slice() else {
+                return error_response(
+                    400,
+                    format!("mutate body must contain exactly one graph, got {}", graphs.len()),
+                );
+            };
+            let gid = shared.cache.insert_graph(graph.clone());
+            mutate_response("insert", gid, true, shared)
+        }
+        Some("remove") => {
+            let Some(gid) = req.query_param("id").and_then(|v| v.parse::<u32>().ok()) else {
+                return error_response(400, "op=remove needs an id=N query parameter".into());
+            };
+            if (gid as usize) >= shared.cache.dataset().len() {
+                return error_response(404, format!("graph id {gid} is out of range"));
+            }
+            let applied = shared.cache.remove_graph(gid);
+            mutate_response("remove", gid, applied, shared)
+        }
+        other => error_response(400, format!("unknown op {other:?} (want insert|remove)")),
+    }
+}
+
+fn mutate_response(op: &str, gid: u32, applied: bool, shared: &Shared) -> Response {
+    let dataset = shared.cache.dataset();
+    let resp = crate::api::MutateResponse {
+        op: op.into(),
+        graph_id: gid,
+        applied,
+        generation: dataset.generation(),
+        live_graphs: dataset.live_count() as u64,
+    };
+    match serde_json::to_string(&resp) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => error_response(500, format!("mutate serialization failed: {e}")),
+    }
+}
+
 fn handle_stats(shared: &Shared) -> Response {
     let s = serving_stats(shared);
     let resp = StatsResponse {
         queries: s.queries,
         hit_queries: s.hit_queries,
         exact_hits: s.exact_hits,
+        memo_hits: s.memo_hits,
         sub_hits: s.sub_hits,
         super_hits: s.super_hits,
         tests_executed: s.tests_executed,
@@ -553,6 +609,8 @@ fn handle_stats(shared: &Shared) -> Response {
         admitted: s.admitted,
         evicted: s.evicted,
         entries: shared.cache.len(),
+        dataset_generation: s.dataset_generation,
+        dataset_live_graphs: s.dataset_live_graphs,
         hit_ratio: s.hit_ratio(),
         kernel_dispatch: s.kernel_dispatch.into(),
         persist_health: s.persist_health.into(),
@@ -720,6 +778,137 @@ mod tests {
         assert!(!report.forced);
         assert_eq!(report.workers_finished, report.workers_total);
         assert_eq!(report.snapshot_generation, None, "no store attached");
+    }
+
+    #[test]
+    fn mutate_endpoint_inserts_and_removes_live() {
+        let (server, dataset) = start_server(quick_config());
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+
+        // Warm a query whose answer the mutations must repair.
+        let query = dataset.graphs()[0].clone();
+        let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&query));
+        let before: QueryResponse = serde_json::from_str(
+            &client.post("/query?kind=sub", body.as_bytes()).unwrap().body_text(),
+        )
+        .unwrap();
+
+        // Insert a duplicate of graph 0: it must join the answer set.
+        let resp = client.post("/mutate?op=insert", body.as_bytes()).unwrap();
+        assert_eq!(resp.status, 200);
+        let ins: crate::api::MutateResponse = serde_json::from_str(&resp.body_text()).unwrap();
+        assert!(ins.applied);
+        assert_eq!(ins.op, "insert");
+        assert_eq!(ins.generation, 1);
+        assert_eq!(ins.graph_id as usize, dataset.len());
+
+        let after: QueryResponse = serde_json::from_str(
+            &client.post("/query?kind=sub", body.as_bytes()).unwrap().body_text(),
+        )
+        .unwrap();
+        assert!(after.answer.contains(&(ins.graph_id as usize)));
+
+        // Remove it again: answer returns to the original set; a second
+        // remove of the same id is a no-op.
+        let resp = client.post(&format!("/mutate?op=remove&id={}", ins.graph_id), &[]).unwrap();
+        assert_eq!(resp.status, 200);
+        let rm: crate::api::MutateResponse = serde_json::from_str(&resp.body_text()).unwrap();
+        assert!(rm.applied);
+        assert_eq!(rm.generation, 2);
+        let resp = client.post(&format!("/mutate?op=remove&id={}", ins.graph_id), &[]).unwrap();
+        let rm2: crate::api::MutateResponse = serde_json::from_str(&resp.body_text()).unwrap();
+        assert!(!rm2.applied, "double remove must be a no-op");
+
+        let restored: QueryResponse = serde_json::from_str(
+            &client.post("/query?kind=sub", body.as_bytes()).unwrap().body_text(),
+        )
+        .unwrap();
+        assert_eq!(restored.answer, before.answer);
+
+        // Bad requests are rejected cleanly.
+        assert_eq!(client.post("/mutate?op=remove&id=999999", &[]).unwrap().status, 404);
+        assert_eq!(client.post("/mutate?op=teleport", &[]).unwrap().status, 400);
+        assert_eq!(client.post("/mutate?op=insert", b"not t/v/e").unwrap().status, 400);
+
+        // /stats surfaces the mutation gauges.
+        let stats: StatsResponse =
+            serde_json::from_str(&client.get("/stats").unwrap().body_text()).unwrap();
+        assert_eq!(stats.dataset_generation, 2, "the no-op remove must not bump the generation");
+        assert_eq!(stats.dataset_live_graphs, dataset.len() as u64);
+        server.drain();
+    }
+
+    /// Satellite: a keep-alive socket the server closed between requests
+    /// (here: idle timeout; a restart behaves identically) must be
+    /// transparently re-established — the next `post` succeeds without
+    /// the caller seeing an error or reconnecting by hand.
+    #[test]
+    fn stale_keepalive_socket_reconnects_transparently() {
+        let mut cfg = quick_config();
+        cfg.read_timeout = Duration::from_millis(100);
+        let (server, dataset) = start_server(cfg);
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&dataset.graphs()[0]));
+
+        let first = client.post("/query?kind=sub", body.as_bytes()).unwrap();
+        assert_eq!(first.status, 200);
+
+        // Let the server's idle keep-alive timeout close the connection
+        // under the client's feet.
+        std::thread::sleep(Duration::from_millis(400));
+
+        let second = client.post("/query?kind=sub", body.as_bytes()).unwrap();
+        assert_eq!(second.status, 200, "stale keep-alive must retry once, not surface an error");
+        let a: QueryResponse = serde_json::from_str(&first.body_text()).unwrap();
+        let b: QueryResponse = serde_json::from_str(&second.body_text()).unwrap();
+        assert_eq!(a.answer, b.answer);
+        server.drain();
+    }
+
+    /// Satellite: `run_load` must give the *initial* connect the same
+    /// retry + backoff budget as any request, instead of failing the
+    /// thread's whole query slice when the server is not up yet.
+    #[test]
+    fn run_load_retries_initial_connect_until_server_is_up() {
+        use gc_workload::{Workload, WorkloadKind, WorkloadSpec};
+
+        // Reserve a port, then start the server on it only after a delay —
+        // the load generator's first connects land on a closed port.
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap()
+        };
+        let starter = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            let (server, _) =
+                start_server(ServerConfig { addr: addr.to_string(), ..quick_config() });
+            server
+        });
+
+        let graphs = molecule_dataset(24, 42);
+        let spec = WorkloadSpec {
+            n_queries: 8,
+            pool_size: 8,
+            kind: WorkloadKind::Uniform,
+            seed: 3,
+            ..WorkloadSpec::default()
+        };
+        let workload = Workload::generate(&graphs, &spec);
+        let report = crate::client::run_load(
+            addr,
+            &workload,
+            &crate::client::LoadSpec {
+                connections: 2,
+                retries: 20,
+                backoff_base_ms: 40,
+                backoff_cap_ms: 120,
+                seed: 1,
+            },
+        );
+        assert_eq!(report.failed, 0, "connect retries must ride out the late server start");
+        assert_eq!(report.ok, 8);
+        assert!(report.retries > 0, "the initial connects must have been retried");
+        starter.join().unwrap().drain();
     }
 
     #[test]

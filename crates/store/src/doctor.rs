@@ -51,6 +51,8 @@ pub struct JournalFileReport {
     pub admits: usize,
     /// Evictions among them.
     pub evicts: usize,
+    /// Dataset deltas (insert/remove mutations) among them.
+    pub deltas: usize,
     /// Bytes of an incomplete trailing frame (crash mid-append).
     pub torn_tail_bytes: usize,
     /// True when this journal does not pair with the snapshot's
@@ -130,8 +132,8 @@ impl DoctorReport {
                 Some(e) => format!("INVALID — {e}"),
                 None => {
                     let mut s = format!(
-                        "ok — {} records ({} admits, {} evicts)",
-                        j.records, j.admits, j.evicts
+                        "ok — {} records ({} admits, {} evicts, {} deltas)",
+                        j.records, j.admits, j.evicts, j.deltas
                     );
                     if j.torn_tail_bytes > 0 {
                         s.push_str(&format!(", torn tail {} bytes", j.torn_tail_bytes));
@@ -174,6 +176,7 @@ fn inspect_journal(path: &Path, name: &str, name_generation: u64) -> JournalFile
         records: 0,
         admits: 0,
         evicts: 0,
+        deltas: 0,
         torn_tail_bytes: 0,
         stale: false,
         error: None,
@@ -195,6 +198,7 @@ fn inspect_journal(path: &Path, name: &str, name_generation: u64) -> JournalFile
                 match rec {
                     JournalRecord::Admit { .. } => report.admits += 1,
                     JournalRecord::Evict { .. } => report.evicts += 1,
+                    JournalRecord::DatasetDelta { .. } => report.deltas += 1,
                 }
             }
             if header.generation != name_generation {

@@ -29,10 +29,13 @@
 //! even that. The journal never risks a wrong answer — at worst it costs
 //! warmth.
 
-use crate::snapshot::{get_answer, get_graph, get_kind, put_answer, put_graph, put_kind};
+use crate::snapshot::{
+    get_answer, get_dataset_op, get_graph, get_kind, put_answer, put_dataset_op, put_graph,
+    put_kind,
+};
 use crate::wire::{crc64, ByteReader, ByteWriter, WireError, WireResult};
 use gc_graph::Graph;
-use gc_method::QueryKind;
+use gc_method::{DatasetOp, QueryKind};
 
 /// Magic prefix of journal files.
 pub const JOURNAL_MAGIC: &[u8; 8] = b"GCJRNL01";
@@ -76,6 +79,19 @@ pub enum JournalOp<'a> {
         /// Logical eviction time.
         now: u64,
     },
+    /// The dataset itself mutated (live insert/remove of a data graph).
+    /// Replay applies the op to the base dataset and validates the
+    /// resulting fingerprint, so a journal can never mutate the wrong
+    /// dataset state. An `Insert` grows the running answer universe for
+    /// all later records in the file.
+    DatasetDelta {
+        /// Dataset generation *after* this mutation.
+        generation: u64,
+        /// `Dataset::content_fingerprint()` after this mutation.
+        resulting_fingerprint: u64,
+        /// The mutation.
+        op: &'a DatasetOp,
+    },
 }
 
 /// An owned, decoded journal record.
@@ -105,10 +121,20 @@ pub enum JournalRecord {
         /// Logical eviction time.
         now: u64,
     },
+    /// The dataset itself mutated (see [`JournalOp::DatasetDelta`]).
+    DatasetDelta {
+        /// Dataset generation *after* this mutation.
+        generation: u64,
+        /// `Dataset::content_fingerprint()` after this mutation.
+        resulting_fingerprint: u64,
+        /// The mutation.
+        op: DatasetOp,
+    },
 }
 
 const TAG_ADMIT: u8 = 1;
 const TAG_EVICT: u8 = 2;
+const TAG_DELTA: u8 = 3;
 
 /// Encode the journal file header.
 pub fn encode_header(h: &JournalHeader) -> Vec<u8> {
@@ -145,6 +171,12 @@ pub fn encode_record(op: &JournalOp<'_>) -> Vec<u8> {
             payload.put_u32(orig_id);
             payload.put_u64(now);
         }
+        JournalOp::DatasetDelta { generation, resulting_fingerprint, op } => {
+            payload.put_u8(TAG_DELTA);
+            payload.put_u64(generation);
+            payload.put_u64(resulting_fingerprint);
+            put_dataset_op(&mut payload, op);
+        }
     }
     let mut frame = ByteWriter::new();
     frame.put_u32(payload.len() as u32);
@@ -167,6 +199,12 @@ fn decode_payload(payload: &[u8], universe: u64) -> WireResult<JournalRecord> {
             JournalRecord::Admit { orig_id, now, kind, base_tests, base_cost, graph, answer }
         }
         TAG_EVICT => JournalRecord::Evict { orig_id: r.get_u32()?, now: r.get_u64()? },
+        TAG_DELTA => {
+            let generation = r.get_u64()?;
+            let resulting_fingerprint = r.get_u64()?;
+            let op = get_dataset_op(&mut r, universe)?;
+            JournalRecord::DatasetDelta { generation, resulting_fingerprint, op }
+        }
         other => return Err(WireError::new(format!("unknown journal record tag {other}"))),
     };
     r.expect_end()?;
@@ -196,6 +234,12 @@ fn walk_journal(
     }
 
     let mut records = Vec::new();
+    // The answer universe *runs* across the file: a dataset-delta insert
+    // grows the dataset, so admissions appended after it may legitimately
+    // carry answer indices beyond the header's (rotation-time) universe.
+    // Validating each record against the universe as of its position keeps
+    // the bound exact in both directions.
+    let mut universe = header.universe;
     while r.remaining() != 0 {
         if r.remaining() < 12 {
             if tolerate_tail {
@@ -228,7 +272,11 @@ fn walk_journal(
                 records.len()
             )));
         }
-        records.push(decode_payload(payload, header.universe)?);
+        let rec = decode_payload(payload, universe)?;
+        if let JournalRecord::DatasetDelta { op: DatasetOp::Insert(_), .. } = &rec {
+            universe += 1;
+        }
+        records.push(rec);
     }
     Ok((header, records, 0))
 }
@@ -303,6 +351,86 @@ mod tests {
             JournalRecord::Evict { orig_id, now } => assert_eq!((*orig_id, *now), (1, 12)),
             other => panic!("expected evict, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn dataset_delta_roundtrip_and_running_universe() {
+        // Header universe 6; an Insert delta grows the running universe to
+        // 7, so a later Admit whose answer includes index 6 (the inserted
+        // graph) must decode — and a Remove delta naming that id validates
+        // against the *running* universe, not the header's.
+        let g = graph_from_parts(&[Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let new_graph = graph_from_parts(&[Label(9)], &[]).unwrap();
+        let ins = DatasetOp::Insert(new_graph.clone());
+        let rem = DatasetOp::Remove(6);
+        let mut bytes = encode_header(&header());
+        bytes.extend(encode_record(&JournalOp::DatasetDelta {
+            generation: 1,
+            resulting_fingerprint: 0xABCD,
+            op: &ins,
+        }));
+        bytes.extend(encode_record(&JournalOp::Admit {
+            orig_id: 7,
+            now: 20,
+            kind: QueryKind::Subgraph,
+            base_tests: 5,
+            base_cost: 50,
+            graph: &g,
+            answer: &[1, 6],
+        }));
+        bytes.extend(encode_record(&JournalOp::DatasetDelta {
+            generation: 2,
+            resulting_fingerprint: 0xDCBA,
+            op: &rem,
+        }));
+        let (h, records) = decode_journal(&bytes).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(records.len(), 3);
+        match &records[0] {
+            JournalRecord::DatasetDelta { generation, resulting_fingerprint, op } => {
+                assert_eq!((*generation, *resulting_fingerprint), (1, 0xABCD));
+                assert_eq!(op, &DatasetOp::Insert(new_graph));
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+        match &records[1] {
+            JournalRecord::Admit { answer, .. } => assert_eq!(answer, &[1, 6]),
+            other => panic!("expected admit, got {other:?}"),
+        }
+        match &records[2] {
+            JournalRecord::DatasetDelta { op, .. } => assert_eq!(op, &DatasetOp::Remove(6)),
+            other => panic!("expected delta, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admit_beyond_running_universe_rejected() {
+        // Without a preceding Insert delta, an answer index equal to the
+        // header universe is out of bounds and must reject the journal.
+        let g = graph_from_parts(&[Label(0), Label(1)], &[(0, 1)]).unwrap();
+        let mut bytes = encode_header(&header());
+        bytes.extend(encode_record(&JournalOp::Admit {
+            orig_id: 7,
+            now: 20,
+            kind: QueryKind::Subgraph,
+            base_tests: 5,
+            base_cost: 50,
+            graph: &g,
+            answer: &[6],
+        }));
+        assert!(decode_journal(&bytes).is_err());
+    }
+
+    #[test]
+    fn remove_delta_beyond_running_universe_rejected() {
+        let rem = DatasetOp::Remove(6);
+        let mut bytes = encode_header(&header());
+        bytes.extend(encode_record(&JournalOp::DatasetDelta {
+            generation: 1,
+            resulting_fingerprint: 0,
+            op: &rem,
+        }));
+        assert!(decode_journal(&bytes).is_err());
     }
 
     #[test]

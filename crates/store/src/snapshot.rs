@@ -28,13 +28,15 @@
 
 use crate::wire::{crc64, ByteReader, ByteWriter, WireError, WireResult};
 use gc_graph::{graph_from_parts, Graph, Label};
-use gc_method::QueryKind;
+use gc_method::{DatasetOp, QueryKind};
 
 /// Magic prefix of snapshot files.
 pub const SNAPSHOT_MAGIC: &[u8; 8] = b"GCSNAP01";
 
 /// Current on-disk format version (bumped on incompatible layout changes).
-pub const FORMAT_VERSION: u32 = 1;
+/// Version 2 added dynamic-dataset state: the base dataset fingerprint, the
+/// dataset generation counter and the mutation op log.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Longest accepted counter/policy name (corruption guard).
 const MAX_NAME: usize = 256;
@@ -85,10 +87,22 @@ pub struct EntryRecord {
 /// The decoded contents of a snapshot file.
 #[derive(Debug, Clone, Default)]
 pub struct SnapshotDoc {
-    /// Content fingerprint of the dataset the cache served — a snapshot is
-    /// only restored over the identical dataset.
+    /// Content fingerprint of the dataset the cache served **at snapshot
+    /// time** (after all logged mutations) — a snapshot is only restored
+    /// over the identical dataset state.
     pub dataset_fingerprint: u64,
-    /// Dataset size (answer-set universe).
+    /// Content fingerprint of the dataset *as loaded* (generation 0).
+    /// Restore starts from the base dataset, replays
+    /// [`SnapshotDoc::dataset_ops`], and then requires the result to match
+    /// [`SnapshotDoc::dataset_fingerprint`].
+    pub base_fingerprint: u64,
+    /// Dataset generation (mutation count) at snapshot time.
+    pub dataset_generation: u64,
+    /// The dataset mutation log since load, in application order. Length
+    /// must equal [`SnapshotDoc::dataset_generation`].
+    pub dataset_ops: Vec<DatasetOp>,
+    /// Dataset size (answer-set universe) at snapshot time, i.e. after the
+    /// op log.
     pub universe: u64,
     /// Logical clock (query sequence number) at snapshot time.
     pub clock: u64,
@@ -178,6 +192,40 @@ pub(crate) fn get_answer(r: &mut ByteReader<'_>, universe: u64) -> WireResult<Ve
     Ok(out)
 }
 
+const OP_INSERT: u8 = 0;
+const OP_REMOVE: u8 = 1;
+
+pub(crate) fn put_dataset_op(w: &mut ByteWriter, op: &DatasetOp) {
+    match op {
+        DatasetOp::Insert(g) => {
+            w.put_u8(OP_INSERT);
+            put_graph(w, g);
+        }
+        DatasetOp::Remove(gid) => {
+            w.put_u8(OP_REMOVE);
+            w.put_u32(*gid);
+        }
+    }
+}
+
+/// Read one dataset mutation. `universe` bounds remove ids: the universe
+/// only ever grows, so a removed id is always below the final slot count.
+pub(crate) fn get_dataset_op(r: &mut ByteReader<'_>, universe: u64) -> WireResult<DatasetOp> {
+    match r.get_u8()? {
+        OP_INSERT => Ok(DatasetOp::Insert(get_graph(r)?)),
+        OP_REMOVE => {
+            let gid = r.get_u32()?;
+            if u64::from(gid) >= universe {
+                return Err(WireError::new(format!(
+                    "removed graph id {gid} outside universe {universe}"
+                )));
+            }
+            Ok(DatasetOp::Remove(gid))
+        }
+        other => Err(WireError::new(format!("unknown dataset op tag {other}"))),
+    }
+}
+
 fn put_entry(w: &mut ByteWriter, e: &EntryRecord) {
     w.put_u32(e.orig_id);
     put_kind(w, e.kind);
@@ -219,10 +267,16 @@ fn get_entry(r: &mut ByteReader<'_>, universe: u64) -> WireResult<EntryRecord> {
 pub fn encode_snapshot(doc: &SnapshotDoc, generation: u64) -> Vec<u8> {
     let mut body = ByteWriter::new();
     body.put_u64(doc.dataset_fingerprint);
+    body.put_u64(doc.base_fingerprint);
+    body.put_u64(doc.dataset_generation);
     body.put_u64(doc.universe);
     body.put_u64(doc.clock);
     body.put_u32(doc.window_pending);
     body.put_str(&doc.policy_name);
+    body.put_u32(doc.dataset_ops.len() as u32);
+    for op in &doc.dataset_ops {
+        put_dataset_op(&mut body, op);
+    }
     body.put_u32(doc.stats.len() as u32);
     for (name, value) in &doc.stats {
         body.put_str(name);
@@ -277,12 +331,24 @@ pub fn decode_snapshot(bytes: &[u8]) -> WireResult<(SnapshotDoc, u64)> {
 
     let mut doc = SnapshotDoc {
         dataset_fingerprint: r.get_u64()?,
+        base_fingerprint: r.get_u64()?,
+        dataset_generation: r.get_u64()?,
         universe: r.get_u64()?,
         clock: r.get_u64()?,
         window_pending: r.get_u32()?,
         policy_name: r.get_str(MAX_NAME)?,
         ..SnapshotDoc::default()
     };
+    let n_ops = r.get_count(5)?;
+    if n_ops as u64 != doc.dataset_generation {
+        return Err(WireError::new(format!(
+            "dataset op log length {n_ops} does not match generation {}",
+            doc.dataset_generation
+        )));
+    }
+    for _ in 0..n_ops {
+        doc.dataset_ops.push(get_dataset_op(&mut r, doc.universe)?);
+    }
     let n_stats = r.get_count(12)?;
     for _ in 0..n_stats {
         let name = r.get_str(MAX_NAME)?;
@@ -327,6 +393,12 @@ mod tests {
         let g = graph_from_parts(&[Label(0), Label(1), Label(2)], &[(0, 1), (1, 2)]).unwrap();
         SnapshotDoc {
             dataset_fingerprint: 0xABCD,
+            base_fingerprint: 0xBA5E,
+            dataset_generation: 2,
+            dataset_ops: vec![
+                DatasetOp::Insert(graph_from_parts(&[Label(7)], &[]).unwrap()),
+                DatasetOp::Remove(3),
+            ],
             universe: 10,
             clock: 42,
             window_pending: 3,
@@ -360,6 +432,9 @@ mod tests {
         let (back, generation) = decode_snapshot(&bytes).unwrap();
         assert_eq!(generation, 9);
         assert_eq!(back.dataset_fingerprint, doc.dataset_fingerprint);
+        assert_eq!(back.base_fingerprint, doc.base_fingerprint);
+        assert_eq!(back.dataset_generation, doc.dataset_generation);
+        assert_eq!(back.dataset_ops, doc.dataset_ops);
         assert_eq!(back.universe, doc.universe);
         assert_eq!(back.clock, doc.clock);
         assert_eq!(back.window_pending, doc.window_pending);
@@ -417,6 +492,18 @@ mod tests {
         doc.cost.pop();
         let bytes = encode_snapshot(&doc, 1);
         assert!(decode_snapshot(&bytes).is_err());
+    }
+
+    #[test]
+    fn dataset_ops_validated() {
+        // Op count must match the generation counter.
+        let mut doc = sample_doc();
+        doc.dataset_generation = 3;
+        assert!(decode_snapshot(&encode_snapshot(&doc, 1)).is_err());
+        // A removed id outside the universe is rejected.
+        let mut doc = sample_doc();
+        doc.dataset_ops[1] = DatasetOp::Remove(10);
+        assert!(decode_snapshot(&encode_snapshot(&doc, 1)).is_err());
     }
 
     #[test]

@@ -68,6 +68,9 @@ fn arb_doc() -> impl Strategy<Value = SnapshotDoc> {
     (proptest::collection::vec(arb_entry(), 0..6), 0u64..1000, 0u64..u64::MAX).prop_map(
         |(entries, clock, fp)| SnapshotDoc {
             dataset_fingerprint: fp,
+            base_fingerprint: fp,
+            dataset_generation: 0,
+            dataset_ops: Vec::new(),
             universe: UNIVERSE,
             clock,
             window_pending: (clock % 10) as u32,
