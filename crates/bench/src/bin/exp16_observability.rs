@@ -1,0 +1,275 @@
+//! Experiment XVI: pipeline telemetry — overhead and correctness gates.
+//!
+//! The observability tier must be (a) nearly free at the default sample
+//! rate and (b) truthful. This harness gates both:
+//!
+//! 1. **Overhead ablation**: the same Zipf workload through three
+//!    otherwise-identical `SharedGraphCache`s — tracing *off*
+//!    (`trace_sample_rate: 0` + unreachable slow threshold), *sampled*
+//!    (the default 1%), and *always-on* (rate 1.0) — with the reps
+//!    interleaved so machine drift hits all variants equally. The gate:
+//!    median sampled throughput ≥ 98% of median tracing-off throughput.
+//! 2. **Conservation**: on the always-on run, every captured trace must
+//!    satisfy the pipeline's accounting identities — stage spans sum to
+//!    at most the end-to-end time, `answer == definite + survivors`,
+//!    `survivors ≤ to_verify ≤ cm_size` — and the sampler must have
+//!    captured every query.
+//! 3. **Slow-query capture**: with a zero threshold every query is slow
+//!    (counter equals the query count, ring holds the most recent);
+//!    with an unreachable threshold none are.
+//!
+//! Any violation exits nonzero. Writes
+//! `bench_results/exp16_observability.json` and `BENCH_obs.json` (both
+//! smoke and full — the ablation numbers are the artifact). `--smoke`
+//! shrinks everything for CI.
+
+use gc_bench::{print_table, write_artifact};
+use gc_core::{CacheConfig, PolicyKind, SharedGraphCache};
+use gc_method::{Dataset, FtvMethod};
+use gc_workload::{molecule_dataset, Workload, WorkloadKind, WorkloadSpec};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct Exp16Artifact {
+    smoke: bool,
+    dataset_size: usize,
+    queries: usize,
+    reps: usize,
+    /// Median throughput with tracing fully off, queries/s.
+    off_median_qps: f64,
+    /// Median throughput at the default 1% sample rate, queries/s.
+    sampled_median_qps: f64,
+    /// Median throughput with every query traced, queries/s.
+    on_median_qps: f64,
+    /// `1 - sampled/off` (negative means sampled was faster — noise).
+    sampled_overhead_pct: f64,
+    /// `1 - on/off`.
+    on_overhead_pct: f64,
+    /// Traces that passed the conservation identities.
+    traces_checked: usize,
+    /// Traces served by the exact/memo fast paths (zero pipeline counts).
+    fast_path_traces: usize,
+    /// Queries captured as slow under a zero threshold.
+    slow_captured: u64,
+    /// Slow-ring traces retrievable after the zero-threshold run.
+    slow_ring_len: usize,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("exp16 FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN throughput"));
+    xs[xs.len() / 2]
+}
+
+/// One fresh cache with the given telemetry knobs, the whole workload
+/// through it, throughput out.
+fn run_once(
+    dataset: &Arc<Dataset>,
+    workload: &Workload,
+    rate: f64,
+    threshold: Duration,
+) -> (f64, SharedGraphCache) {
+    let gc = SharedGraphCache::with_policy(
+        dataset.clone(),
+        Box::new(FtvMethod::build(dataset, 2)),
+        PolicyKind::Hd,
+        CacheConfig {
+            capacity: 24,
+            window_size: 3,
+            trace_sample_rate: rate,
+            slow_query_threshold: threshold,
+            ..CacheConfig::default()
+        },
+    )
+    .expect("valid config");
+    let t0 = Instant::now();
+    for wq in &workload.queries {
+        gc.query(&wq.graph, wq.kind);
+    }
+    let qps = workload.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    (qps, gc)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let ds_size = if smoke { 24 } else { 60 };
+    let n_queries = if smoke { 120 } else { 600 };
+    let reps = if smoke { 3 } else { 5 };
+    let never = Duration::from_secs(3600);
+
+    let dataset = Arc::new(Dataset::new(molecule_dataset(ds_size, 1600)));
+    let spec = WorkloadSpec {
+        n_queries,
+        pool_size: 50,
+        kind: WorkloadKind::Zipf { skew: 1.2 },
+        seed: 16,
+        ..WorkloadSpec::default()
+    };
+    let workload = Workload::generate(dataset.graphs(), &spec);
+
+    // ---- phase 1: interleaved overhead ablation --------------------------
+    // Default rate comes from CacheConfig::default() so the gate measures
+    // what users actually get out of the box.
+    let default_rate = CacheConfig::default().trace_sample_rate;
+    let (mut off, mut sampled, mut on) = (Vec::new(), Vec::new(), Vec::new());
+    for _ in 0..reps {
+        off.push(run_once(&dataset, &workload, 0.0, never).0);
+        sampled.push(run_once(&dataset, &workload, default_rate, never).0);
+        on.push(run_once(&dataset, &workload, 1.0, never).0);
+    }
+    let off_median_qps = median(off);
+    let sampled_median_qps = median(sampled);
+    let on_median_qps = median(on);
+    if sampled_median_qps < off_median_qps * 0.98 {
+        fail(&format!(
+            "default sampling costs more than 2%: {sampled_median_qps:.0} qps sampled vs \
+             {off_median_qps:.0} qps off"
+        ));
+    }
+
+    // ---- phase 2: conservation on an always-on run -----------------------
+    let (_, traced) = run_once(&dataset, &workload, 1.0, never);
+    let telemetry = traced.telemetry();
+    if telemetry.sampled_count() != n_queries as u64 {
+        fail(&format!(
+            "rate 1.0 must sample every query: {} of {n_queries}",
+            telemetry.sampled_count()
+        ));
+    }
+    if telemetry.total().count() != n_queries as u64 {
+        fail("total histogram must see every query");
+    }
+    let traces = telemetry.recent_traces(n_queries);
+    if traces.is_empty() {
+        fail("always-on run produced no retrievable traces");
+    }
+    let mut fast_path_traces = 0usize;
+    for t in &traces {
+        // Span floors lose <1 µs each; the spans all close before the
+        // end-to-end clock is read, so the sum may never exceed total by
+        // more than that truncation slack.
+        if t.stage_sum_us() > t.total_us + 2 {
+            fail(&format!(
+                "trace seq {}: stage sum {} µs exceeds total {} µs",
+                t.seq,
+                t.stage_sum_us(),
+                t.total_us
+            ));
+        }
+        match t.outcome.as_str() {
+            "pipeline" => {
+                if t.answer != t.definite + t.survivors {
+                    fail(&format!(
+                        "trace seq {}: answer {} != definite {} + survivors {}",
+                        t.seq, t.answer, t.definite, t.survivors
+                    ));
+                }
+                if t.survivors > t.to_verify {
+                    fail(&format!("trace seq {}: more survivors than candidates verified", t.seq));
+                }
+                if t.to_verify > t.cm_size {
+                    fail(&format!("trace seq {}: to_verify exceeds the candidate set", t.seq));
+                }
+            }
+            "exact" | "memo" => {
+                // Fast paths bypass the pipeline: no stage counts at all.
+                if t.cm_size != 0 || t.to_verify != 0 || t.verify_steps != 0 {
+                    fail(&format!(
+                        "trace seq {}: {} fast path did pipeline work",
+                        t.seq, t.outcome
+                    ));
+                }
+                fast_path_traces += 1;
+            }
+            other => fail(&format!("trace seq {}: unknown outcome {other:?}", t.seq)),
+        }
+    }
+    if fast_path_traces == 0 {
+        fail("Zipf workload must produce exact/memo fast-path traces");
+    }
+
+    // ---- phase 3: slow-query capture -------------------------------------
+    let (_, all_slow) = run_once(&dataset, &workload, 0.0, Duration::ZERO);
+    let slow_captured = all_slow.telemetry().slow_count();
+    if slow_captured != n_queries as u64 {
+        fail(&format!("zero threshold must flag every query slow: {slow_captured} of {n_queries}"));
+    }
+    let slow_ring = all_slow.telemetry().recent_slow(n_queries);
+    let slow_ring_len = slow_ring.len();
+    if slow_ring_len == 0 || !slow_ring.iter().all(|t| t.slow) {
+        fail("slow ring must hold the most recent slow traces, all flagged slow");
+    }
+    // The "off" ablation caches used an unreachable threshold; re-check on
+    // a fresh run that nothing is spuriously slow.
+    let (_, none_slow) = run_once(&dataset, &workload, 0.0, never);
+    if none_slow.telemetry().slow_count() != 0 {
+        fail("unreachable threshold must capture no slow queries");
+    }
+
+    // ---- report ----------------------------------------------------------
+    let sampled_overhead_pct = 100.0 * (1.0 - sampled_median_qps / off_median_qps);
+    let on_overhead_pct = 100.0 * (1.0 - on_median_qps / off_median_qps);
+    println!(
+        "=== Experiment XVI: pipeline telemetry ({ds_size} graphs, {n_queries} Zipf queries, \
+         {reps} interleaved reps) ===\n"
+    );
+    let rows = vec![
+        vec!["tracing off".to_owned(), format!("{off_median_qps:.0} qps"), "baseline".to_owned()],
+        vec![
+            format!("sampled ({:.0}%)", default_rate * 100.0),
+            format!("{sampled_median_qps:.0} qps"),
+            format!("{sampled_overhead_pct:+.2}% (gate: <= 2%)"),
+        ],
+        vec![
+            "always-on".to_owned(),
+            format!("{on_median_qps:.0} qps"),
+            format!("{on_overhead_pct:+.2}%"),
+        ],
+        vec![
+            "conservation".to_owned(),
+            format!("{} traces checked", traces.len()),
+            format!("{fast_path_traces} fast-path"),
+        ],
+        vec![
+            "slow capture".to_owned(),
+            format!("{slow_captured} flagged"),
+            format!("{slow_ring_len} in ring"),
+        ],
+    ];
+    print_table(&["variant", "median throughput", "notes"], &rows);
+
+    let artifact = Exp16Artifact {
+        smoke,
+        dataset_size: ds_size,
+        queries: n_queries,
+        reps,
+        off_median_qps,
+        sampled_median_qps,
+        on_median_qps,
+        sampled_overhead_pct,
+        on_overhead_pct,
+        traces_checked: traces.len(),
+        fast_path_traces,
+        slow_captured,
+        slow_ring_len,
+    };
+    match write_artifact("exp16_observability", &artifact) {
+        Ok(p) => println!("artifact: {}", p.display()),
+        Err(e) => eprintln!("artifact write failed: {e}"),
+    }
+    // Unlike most experiments this baseline is written on smoke too: the
+    // ablation percentages are the deliverable, and CI should refresh them.
+    match serde_json::to_string_pretty(&artifact) {
+        Ok(json) => match std::fs::write("BENCH_obs.json", json) {
+            Ok(()) => println!("baseline: BENCH_obs.json"),
+            Err(e) => eprintln!("baseline write failed: {e}"),
+        },
+        Err(e) => eprintln!("baseline serialization failed: {e}"),
+    }
+}

@@ -86,6 +86,14 @@ pub struct CacheConfig {
     /// hash, versioned by the dataset generation) and served without
     /// touching the filter/probe/verify pipeline. 0 disables the memo.
     pub memo_capacity: usize,
+    /// Telemetry: fraction of queries whose full [`crate::QueryTrace`] is
+    /// captured into the trace ring (rounded to an every-Nth-query
+    /// sampler). 0 disables sampling entirely — the query path then does
+    /// no trace allocation at all. Must be in `0.0..=1.0` and finite.
+    pub trace_sample_rate: f64,
+    /// Telemetry: queries at least this slow are *always* traced into the
+    /// separate slow-query ring, regardless of `trace_sample_rate`.
+    pub slow_query_threshold: std::time::Duration,
 }
 
 impl Default for CacheConfig {
@@ -110,6 +118,8 @@ impl Default for CacheConfig {
             persist_retries: 3,
             persist_max_probes: 16,
             memo_capacity: 1024,
+            trace_sample_rate: 0.01,
+            slow_query_threshold: std::time::Duration::from_millis(100),
         }
     }
 }
@@ -155,6 +165,9 @@ impl CacheConfig {
         }
         if self.persist_max_probes == 0 {
             return Err("persist_max_probes must be > 0".into());
+        }
+        if !self.trace_sample_rate.is_finite() || !(0.0..=1.0).contains(&self.trace_sample_rate) {
+            return Err("trace_sample_rate must be finite and in 0.0..=1.0".into());
         }
         self.index_tuning.validate()?;
         Ok(())
@@ -203,6 +216,21 @@ mod tests {
         assert!(CacheConfig { persist_max_probes: 0, ..CacheConfig::default() }
             .validate()
             .is_err());
+        assert!(CacheConfig { trace_sample_rate: -0.1, ..CacheConfig::default() }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { trace_sample_rate: 1.5, ..CacheConfig::default() }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { trace_sample_rate: f64::NAN, ..CacheConfig::default() }
+            .validate()
+            .is_err());
+        assert!(CacheConfig { trace_sample_rate: 0.0, ..CacheConfig::default() }
+            .validate()
+            .is_ok());
+        assert!(CacheConfig { trace_sample_rate: 1.0, ..CacheConfig::default() }
+            .validate()
+            .is_ok());
         let bad_tuning = IndexTuning { gallop_cutoff: 0, ..IndexTuning::default() };
         assert!(CacheConfig { index_tuning: bad_tuning, ..CacheConfig::default() }
             .validate()

@@ -63,6 +63,7 @@ pub mod policy_ext;
 mod report;
 mod shared;
 mod stats;
+pub mod telemetry;
 pub mod window;
 
 pub use cost::CostModel;
@@ -81,6 +82,9 @@ pub use policy::{HitCredit, HitKind, Policy, PolicyKind, ReplacementPolicy};
 pub use report::{IndexHealth, QueryReport};
 pub use shared::SharedGraphCache;
 pub use stats::{GlobalStats, StatsMonitor};
+pub use telemetry::{
+    Histogram, HistogramSnapshot, PipelineStage, QueryTiming, QueryTrace, Telemetry,
+};
 
 mod runtime;
 pub use runtime::GraphCache;

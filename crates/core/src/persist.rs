@@ -992,6 +992,10 @@ mod tests {
             uptime_secs: 5,
             dataset_generation: 7, // dataset gauges: recomputed, must not be persisted
             dataset_live_graphs: 70,
+            pipeline_p50_us: 64, // telemetry gauges: per-run, must not be persisted
+            pipeline_p99_us: 512,
+            traces_sampled: 3,
+            slow_queries: 1,
         };
         let back = stats_from_records(&stats_to_records(&s));
         assert_eq!(back.queries, 10);
@@ -1014,6 +1018,10 @@ mod tests {
             uptime_secs: 0,
             dataset_generation: 0,
             dataset_live_graphs: 0,
+            pipeline_p50_us: 0,
+            pipeline_p99_us: 0,
+            traces_sampled: 0,
+            slow_queries: 0,
             ..s
         };
         assert_eq!(back, expected);

@@ -19,6 +19,7 @@ use crate::pipeline::{self, filter, probe, prune, verify, PipelineCtx};
 use crate::policy::ReplacementPolicy;
 use crate::report::{IndexHealth, QueryReport};
 use crate::stats::{GlobalStats, StatsMonitor};
+use crate::telemetry::{PipelineStage, QueryTiming, QueryTrace, Telemetry};
 use crate::window::WindowManager;
 use crate::PolicyKind;
 use gc_graph::{BitSet, Graph, GraphId};
@@ -83,6 +84,9 @@ pub struct GraphCache {
     /// Attached persistence store (admissions/evictions journaled,
     /// auto-snapshots per the config's persistence knobs).
     store: Option<StoreState>,
+    /// Pipeline telemetry: stage histograms, the trace sampler, and the
+    /// slow-query ring.
+    telemetry: Telemetry,
 }
 
 impl GraphCache {
@@ -96,6 +100,7 @@ impl GraphCache {
     ) -> Result<Self, String> {
         config.validate()?;
         let pool = (config.threads > 1).then(|| crate::parallel::VerifyPool::new(config.threads));
+        let telemetry = Telemetry::from_config(&config);
         Ok(GraphCache {
             cache: CacheManager::with_tuning(config.feature_config, config.index_tuning),
             window: WindowManager::new(config.window_size),
@@ -111,6 +116,7 @@ impl GraphCache {
             probe_scratch: ProbeScratch::new(),
             clock: 0,
             store: None,
+            telemetry,
         })
     }
 
@@ -130,13 +136,41 @@ impl GraphCache {
     /// Thin sequential composition of the pipeline stages; see
     /// [`crate::pipeline`] for what each stage does.
     pub fn query(&mut self, query: &Graph, kind: QueryKind) -> QueryReport {
+        self.query_traced(query, kind, None)
+    }
+
+    /// [`Self::query`] with an optional request id (propagated from the
+    /// serving edge's `X-Request-Id` header) attached to any captured
+    /// [`QueryTrace`]. The id is only materialized when the query is
+    /// actually sampled or slow.
+    pub fn query_traced(
+        &mut self,
+        query: &Graph,
+        kind: QueryKind,
+        request_id: Option<&str>,
+    ) -> QueryReport {
         let start = Instant::now();
         self.clock += 1;
         let now = self.clock;
+        let seq = self.telemetry.begin_query();
+        let mut timing = QueryTiming::default();
+        let generation = self.dataset.generation();
 
         // ---- exact-match fast path (traditional cache hit) ---------------
         if let Some(id) = probe::find_exact(&self.cache, query, kind) {
             let report = self.serve_exact(id, kind, now, start);
+            finish_fast_path(
+                &self.telemetry,
+                seq,
+                start.elapsed(),
+                &timing,
+                request_id,
+                kind,
+                "exact",
+                0,
+                generation,
+                report.answer.count() as u64,
+            );
             // Exact hits skip the journal hooks (nothing mutated), so an
             // exact-hit-only workload must still drive recovery probes.
             self.maybe_probe_persistence();
@@ -144,9 +178,26 @@ impl GraphCache {
         }
 
         // ---- answer-memo fast path (generation-versioned) -----------------
-        if let Some(hit) = self.memo.lookup(query, kind, self.dataset.generation()) {
+        let memo_hit = {
+            let _span = self.telemetry.span(PipelineStage::Memo, &mut timing);
+            self.memo.lookup(query, kind, generation)
+        };
+        if let Some(hit) = memo_hit {
             let elapsed = start.elapsed();
             self.stats.add(&pipeline::memo_stats_delta(hit.base_tests, elapsed));
+            let answer_count = hit.answer.count() as u64;
+            finish_fast_path(
+                &self.telemetry,
+                seq,
+                elapsed,
+                &timing,
+                request_id,
+                kind,
+                "memo",
+                0,
+                generation,
+                answer_count,
+            );
             self.maybe_probe_persistence();
             return pipeline::memo_report(hit.answer, kind, hit.base_tests, elapsed);
         }
@@ -155,12 +206,25 @@ impl GraphCache {
         // Lend the runtime's warm probe buffers to this query's context
         // (returned before the context is consumed below).
         std::mem::swap(&mut ctx.probe_scratch, &mut self.probe_scratch);
-        filter::run(&mut ctx, self.method.as_ref(), &self.dataset, &self.overlay);
-        probe::run(&mut ctx, &self.cache, &self.config);
-        prune::run(&mut ctx);
-        verify::run(&mut ctx, &self.dataset, &self.config, self.pool.as_ref());
+        {
+            let _span = self.telemetry.span(PipelineStage::Filter, &mut timing);
+            filter::run(&mut ctx, self.method.as_ref(), &self.dataset, &self.overlay);
+        }
+        {
+            let _span = self.telemetry.span(PipelineStage::Probe, &mut timing);
+            probe::run(&mut ctx, &self.cache, &self.config);
+        }
+        {
+            let _span = self.telemetry.span(PipelineStage::Prune, &mut timing);
+            prune::run(&mut ctx);
+        }
+        {
+            let _span = self.telemetry.span(PipelineStage::Verify, &mut timing);
+            verify::run(&mut ctx, &self.dataset, &self.config, self.pool.as_ref());
+        }
         verify::observe_costs(&ctx, &self.cost);
 
+        let admit_span = self.telemetry.span(PipelineStage::Admit, &mut timing);
         admit::credit_hits(
             &mut self.cache,
             self.policy.as_mut(),
@@ -186,12 +250,18 @@ impl GraphCache {
             ctx.verify_steps,
             now,
         );
+        let (base_tests, base_cost) = (ctx.pruned.cm_size as u64, ctx.verify_steps);
+        self.memo.store(query, kind, &answer, base_tests, generation);
+        drop(admit_span);
 
         let elapsed = start.elapsed();
         self.stats.add(&ctx.stats_delta(&outcome, elapsed));
         std::mem::swap(&mut ctx.probe_scratch, &mut self.probe_scratch);
-        let (base_tests, base_cost) = (ctx.pruned.cm_size as u64, ctx.verify_steps);
-        self.memo.store(query, kind, &answer, base_tests, self.dataset.generation());
+        self.telemetry.finish_query(seq, elapsed, |slow| {
+            pipeline_trace(
+                seq, elapsed, &timing, request_id, kind, 0, generation, &ctx, &answer, slow,
+            )
+        });
         let report = ctx.into_report(answer, outcome, elapsed);
         self.journal_mutations(query, kind, base_tests, base_cost, now, &report);
         report
@@ -655,7 +725,17 @@ impl GraphCache {
             s.persist_errors = st.health.errors();
             s.journal_records_buffered = st.health.buffered();
         }
+        s.pipeline_p50_us = self.telemetry.total().percentile_us(50.0);
+        s.pipeline_p99_us = self.telemetry.total().percentile_us(99.0);
+        s.traces_sampled = self.telemetry.sampled_count();
+        s.slow_queries = self.telemetry.slow_count();
         s
+    }
+
+    /// The pipeline telemetry hub: stage histograms, sampled traces, and
+    /// the slow-query ring.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Point-in-time health gauges of the containment index's posting
@@ -721,6 +801,94 @@ impl GraphCache {
     /// Method M's index footprint, for Experiment II.
     pub fn method_index_bytes(&self) -> usize {
         self.method.index_memory_bytes()
+    }
+}
+
+/// `"sub"` / `"super"` trace label for a query kind.
+pub(crate) fn kind_label(kind: QueryKind) -> &'static str {
+    match kind {
+        QueryKind::Subgraph => "sub",
+        QueryKind::Supergraph => "super",
+    }
+}
+
+/// Observe a fast-path (exact/memo) query into the telemetry hub; the
+/// trace, when sampled or slow, carries the answer size and any memo-span
+/// time but no pipeline-stage counts (those stages never ran).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finish_fast_path(
+    telemetry: &Telemetry,
+    seq: u64,
+    elapsed: std::time::Duration,
+    timing: &QueryTiming,
+    request_id: Option<&str>,
+    kind: QueryKind,
+    outcome: &'static str,
+    shard: u32,
+    generation: u64,
+    answer: u64,
+) {
+    telemetry.finish_query(seq, elapsed, |slow| QueryTrace {
+        seq,
+        request_id: request_id.map(str::to_owned),
+        kind: kind_label(kind).to_owned(),
+        outcome: outcome.to_owned(),
+        shard,
+        generation,
+        total_us: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+        filter_us: timing.stage_us[0],
+        probe_us: timing.stage_us[1],
+        prune_us: timing.stage_us[2],
+        verify_us: timing.stage_us[3],
+        admit_us: timing.stage_us[4],
+        memo_us: timing.stage_us[5],
+        cm_size: 0,
+        definite: 0,
+        to_verify: 0,
+        survivors: 0,
+        answer,
+        probe_tests: 0,
+        verify_steps: 0,
+        slow,
+    });
+}
+
+/// Assemble a full-pipeline [`QueryTrace`] from the query's context.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pipeline_trace(
+    seq: u64,
+    elapsed: std::time::Duration,
+    timing: &QueryTiming,
+    request_id: Option<&str>,
+    kind: QueryKind,
+    shard: u32,
+    generation: u64,
+    ctx: &PipelineCtx<'_>,
+    answer: &BitSet,
+    slow: bool,
+) -> QueryTrace {
+    QueryTrace {
+        seq,
+        request_id: request_id.map(str::to_owned),
+        kind: kind_label(kind).to_owned(),
+        outcome: "pipeline".to_owned(),
+        shard,
+        generation,
+        total_us: elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+        filter_us: timing.stage_us[0],
+        probe_us: timing.stage_us[1],
+        prune_us: timing.stage_us[2],
+        verify_us: timing.stage_us[3],
+        admit_us: timing.stage_us[4],
+        memo_us: timing.stage_us[5],
+        cm_size: ctx.pruned.cm_size as u64,
+        definite: ctx.pruned.definite.count() as u64,
+        to_verify: ctx.pruned.to_verify.count() as u64,
+        survivors: ctx.survivors.count() as u64,
+        answer: answer.count() as u64,
+        probe_tests: ctx.hits.probe_tests,
+        verify_steps: ctx.verify_steps,
+        slow,
     }
 }
 

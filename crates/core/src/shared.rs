@@ -53,7 +53,9 @@ use crate::pipeline::probe::{CacheHits, ProbeScratch};
 use crate::pipeline::{self, filter, probe, prune, verify, PipelineCtx};
 use crate::policy::ReplacementPolicy;
 use crate::report::{IndexHealth, QueryReport};
+use crate::runtime::{finish_fast_path, pipeline_trace};
 use crate::stats::{GlobalStats, StatsMonitor};
+use crate::telemetry::{PipelineStage, QueryTiming, Telemetry};
 use crate::window::WindowManager;
 use crate::PolicyKind;
 use gc_graph::{BitSet, Graph, GraphId};
@@ -214,6 +216,9 @@ pub struct SharedGraphCache {
     /// Persistence circuit breaker (degraded-mode state + gauges); only
     /// meaningful while a store is attached.
     health: Arc<StoreHealth>,
+    /// Pipeline telemetry: stage histograms, the trace sampler, and the
+    /// slow-query ring (all lock-free on the query path).
+    telemetry: Telemetry,
 }
 
 impl SharedGraphCache {
@@ -250,6 +255,7 @@ impl SharedGraphCache {
                 max_bytes: config.max_bytes.map(|b| (b / config.shards).max(1)),
             })
             .collect();
+        let telemetry = Telemetry::from_config(&config);
         Ok(SharedGraphCache {
             cost: CostModel::new(&dataset),
             stats: StatsMonitor::new(),
@@ -258,6 +264,7 @@ impl SharedGraphCache {
             data: RwLock::new(DataState { overlay: BitSet::new(dataset.len()), dataset }),
             method,
             config,
+            telemetry,
             shards: Arc::new(shards),
             limits,
             policy_name,
@@ -282,16 +289,32 @@ impl SharedGraphCache {
     /// number of threads concurrently. Returns the exact answer set plus
     /// the Query-Journey anatomy, like the sequential runtime.
     pub fn query(&self, query: &Graph, kind: QueryKind) -> QueryReport {
+        self.query_traced(query, kind, None)
+    }
+
+    /// [`Self::query`] with an optional request id (propagated from the
+    /// serving edge's `X-Request-Id` header) attached to any captured
+    /// [`crate::QueryTrace`]. The id is only materialized when the query
+    /// is actually sampled or slow.
+    pub fn query_traced(
+        &self,
+        query: &Graph,
+        kind: QueryKind,
+        request_id: Option<&str>,
+    ) -> QueryReport {
         let start = Instant::now();
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let fp = gc_graph::hash::fingerprint(query);
         let home = (fp % self.shards.len() as u64) as usize;
+        let seq = self.telemetry.begin_query();
+        let mut timing = QueryTiming::default();
 
         // Pin the dataset for the query's duration: mutations take this
         // lock exclusively, so everything below sees one generation. The
         // guard is dropped before any path that may snapshot (snapshots
         // re-acquire the read lock; parking_lot locks are not reentrant).
         let data = self.data.read();
+        let generation = data.dataset.generation();
 
         // ---- exact-match fast path: home shard only -----------------------
         // Cheap read-locked check first; only a hit pays for the write lock
@@ -302,6 +325,18 @@ impl SharedGraphCache {
         if maybe_exact {
             if let Some(report) = self.serve_exact(home, query, kind, now, start) {
                 drop(data);
+                finish_fast_path(
+                    &self.telemetry,
+                    seq,
+                    start.elapsed(),
+                    &timing,
+                    request_id,
+                    kind,
+                    "exact",
+                    home as u32,
+                    generation,
+                    report.answer.count() as u64,
+                );
                 // Exact hits skip the journal hooks (nothing mutated), so
                 // an exact-hit-only workload must still drive recovery
                 // probes.
@@ -311,11 +346,27 @@ impl SharedGraphCache {
         }
 
         // ---- answer-memo fast path (generation-versioned) -----------------
-        let memo_hit = self.memo.lock().lookup(query, kind, data.dataset.generation());
+        let memo_hit = {
+            let _span = self.telemetry.span(PipelineStage::Memo, &mut timing);
+            self.memo.lock().lookup(query, kind, generation)
+        };
         if let Some(hit) = memo_hit {
             drop(data);
             let elapsed = start.elapsed();
             self.stats.add(&pipeline::memo_stats_delta(hit.base_tests, elapsed));
+            let answer_count = hit.answer.count() as u64;
+            finish_fast_path(
+                &self.telemetry,
+                seq,
+                elapsed,
+                &timing,
+                request_id,
+                kind,
+                "memo",
+                home as u32,
+                generation,
+                answer_count,
+            );
             self.maybe_probe_persistence();
             return pipeline::memo_report(hit.answer, kind, hit.base_tests, elapsed);
         }
@@ -325,7 +376,10 @@ impl SharedGraphCache {
         // Borrow this thread's warm probe buffers for the query's lifetime
         // (returned before the context is consumed below).
         PROBE_SCRATCH.with(|s| std::mem::swap(&mut ctx.probe_scratch, &mut s.borrow_mut()));
-        filter::run(&mut ctx, self.method.as_ref(), &data.dataset, &data.overlay);
+        {
+            let _span = self.telemetry.span(PipelineStage::Filter, &mut timing);
+            filter::run(&mut ctx, self.method.as_ref(), &data.dataset, &data.overlay);
+        }
 
         // The query's features and verification profile are computed once
         // here — every shard's sub/super probe shares them (and admission
@@ -344,39 +398,49 @@ impl SharedGraphCache {
         // results are merged back *in shard order*, so the context — and
         // therefore the answer — is identical to the sequential walk.
         let mut per_shard: Vec<ShardProbe> = Vec::new();
-        if self.config.threads > 1 && self.shards.len() > 1 {
-            self.probe_shards_parallel(query, kind, &q_profile, &mut ctx, &mut per_shard);
-        } else {
-            for (si, shard) in self.shards.iter().enumerate() {
-                let state = shard.state.read();
-                let qf = ctx.features.as_ref().expect("just set");
-                let hits = probe::probe_cases(
-                    &state.cache,
-                    &self.config,
-                    query,
-                    kind,
-                    qf,
-                    q_profile.as_ref(),
-                    &mut ctx.probe_scratch,
-                );
-                if hits.count() == 0 {
-                    ctx.hits.probe_tests += hits.probe_tests;
-                    ctx.hits.probe_steps += hits.probe_steps;
-                    continue;
+        {
+            let _span = self.telemetry.span(PipelineStage::Probe, &mut timing);
+            if self.config.threads > 1 && self.shards.len() > 1 {
+                self.probe_shards_parallel(query, kind, &q_profile, &mut ctx, &mut per_shard);
+            } else {
+                for (si, shard) in self.shards.iter().enumerate() {
+                    let state = shard.state.read();
+                    let qf = ctx.features.as_ref().expect("just set");
+                    let hits = probe::probe_cases(
+                        &state.cache,
+                        &self.config,
+                        query,
+                        kind,
+                        qf,
+                        q_profile.as_ref(),
+                        &mut ctx.probe_scratch,
+                    );
+                    if hits.count() == 0 {
+                        ctx.hits.probe_tests += hits.probe_tests;
+                        ctx.hits.probe_steps += hits.probe_steps;
+                        continue;
+                    }
+                    let range_start = ctx.hit_answers.len();
+                    ctx.hit_answers.extend(probe::snapshot_answers(&state.cache, &hits));
+                    drop(state);
+                    ctx.hits.merge(encode_hits(si, &hits));
+                    per_shard.push((si, hits, range_start..ctx.hit_answers.len()));
                 }
-                let range_start = ctx.hit_answers.len();
-                ctx.hit_answers.extend(probe::snapshot_answers(&state.cache, &hits));
-                drop(state);
-                ctx.hits.merge(encode_hits(si, &hits));
-                per_shard.push((si, hits, range_start..ctx.hit_answers.len()));
             }
         }
 
-        prune::run(&mut ctx);
+        {
+            let _span = self.telemetry.span(PipelineStage::Prune, &mut timing);
+            prune::run(&mut ctx);
+        }
         let pool = (self.config.threads > 1).then(crate::parallel::global_pool);
-        verify::run(&mut ctx, &data.dataset, &self.config, pool);
+        {
+            let _span = self.telemetry.span(PipelineStage::Verify, &mut timing);
+            verify::run(&mut ctx, &data.dataset, &self.config, pool);
+        }
         verify::observe_costs(&ctx, &self.cost);
 
+        let admit_span = self.telemetry.span(PipelineStage::Admit, &mut timing);
         // ---- crediting: short write section per shard with hits -----------
         for (si, hits, range) in &per_shard {
             let shard = &self.shards[*si];
@@ -427,16 +491,25 @@ impl SharedGraphCache {
                 outcome
             }
         };
+        self.memo.lock().store(query, kind, &answer, ctx.pruned.cm_size as u64, generation);
+        drop(admit_span);
 
         let elapsed = start.elapsed();
         self.stats.add(&ctx.stats_delta(&outcome, elapsed));
-        self.memo.lock().store(
-            query,
-            kind,
-            &answer,
-            ctx.pruned.cm_size as u64,
-            data.dataset.generation(),
-        );
+        self.telemetry.finish_query(seq, elapsed, |slow| {
+            pipeline_trace(
+                seq,
+                elapsed,
+                &timing,
+                request_id,
+                kind,
+                home as u32,
+                generation,
+                &ctx,
+                &answer,
+                slow,
+            )
+        });
         // Release the dataset before journaling: a due rotation snapshots,
         // and snapshots re-acquire the data read lock.
         drop(data);
@@ -993,7 +1066,17 @@ impl SharedGraphCache {
             s.persist_errors = self.health.errors();
             s.journal_records_buffered = self.health.buffered();
         }
+        s.pipeline_p50_us = self.telemetry.total().percentile_us(50.0);
+        s.pipeline_p99_us = self.telemetry.total().percentile_us(99.0);
+        s.traces_sampled = self.telemetry.sampled_count();
+        s.slow_queries = self.telemetry.slow_count();
         s
+    }
+
+    /// The pipeline telemetry hub: stage histograms, sampled traces, and
+    /// the slow-query ring.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Point-in-time index-health gauges, summed across shards (each shard

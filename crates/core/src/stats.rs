@@ -107,6 +107,20 @@ pub struct GlobalStats {
     /// Dataset *gauge*: live (non-tombstoned) graphs in the dataset. Same
     /// snapshot-time semantics.
     pub dataset_live_graphs: u64,
+    /// Telemetry *gauge*: estimated median end-to-end query latency in
+    /// microseconds, from the pipeline's log2 histogram (upper bucket
+    /// bound — within 2× of the true median). Populated at snapshot time
+    /// like the other gauges; ignored by [`StatsMonitor::add`].
+    pub pipeline_p50_us: u64,
+    /// Telemetry *gauge*: estimated p99 end-to-end query latency,
+    /// microseconds. Same snapshot-time semantics.
+    pub pipeline_p99_us: u64,
+    /// Telemetry *gauge*: query traces captured by the sampler so far.
+    /// Same snapshot-time semantics.
+    pub traces_sampled: u64,
+    /// Telemetry *gauge*: queries that exceeded the slow-query threshold.
+    /// Same snapshot-time semantics.
+    pub slow_queries: u64,
 }
 
 impl GlobalStats {
@@ -322,6 +336,10 @@ mod tests {
             uptime_secs: 0,
             dataset_generation: 0,
             dataset_live_graphs: 0,
+            pipeline_p50_us: 0,
+            pipeline_p99_us: 0,
+            traces_sampled: 0,
+            slow_queries: 0,
         };
         m.add(&delta);
         assert_eq!(m.snapshot(), delta);
@@ -344,6 +362,10 @@ mod tests {
             uptime_secs: 60,
             dataset_generation: 4,
             dataset_live_graphs: 40,
+            pipeline_p50_us: 128,
+            pipeline_p99_us: 4096,
+            traces_sampled: 9,
+            slow_queries: 1,
             ..Default::default()
         };
         assert!((s.tombstone_ratio() - 0.25).abs() < 1e-12);
@@ -363,6 +385,10 @@ mod tests {
         assert_eq!(m.snapshot().uptime_secs, 0);
         assert_eq!(m.snapshot().dataset_generation, 0);
         assert_eq!(m.snapshot().dataset_live_graphs, 0);
+        assert_eq!(m.snapshot().pipeline_p50_us, 0);
+        assert_eq!(m.snapshot().pipeline_p99_us, 0);
+        assert_eq!(m.snapshot().traces_sampled, 0);
+        assert_eq!(m.snapshot().slow_queries, 0);
     }
 
     #[test]

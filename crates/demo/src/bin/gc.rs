@@ -19,6 +19,7 @@
 //!             [--check] [--server 127.0.0.1:7411]   # live dataset demo
 //! gc journey  --dataset ds.tve [--seed 7]
 //! gc compare  --dataset ds.tve [--queries 300] [--workload zipf]
+//! gc top      [--server 127.0.0.1:7411] [--interval-ms 1000] [--iterations N]
 //! ```
 //!
 //! With `--snapshot-dir`, `run` restores the cache from the directory's
@@ -357,7 +358,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         },
     )?;
     println!("gc-server listening on http://{}", server.addr());
-    println!("  POST /query?kind=sub|super (t/v/e body)  GET /stats /metrics /healthz /readyz");
+    println!(
+        "  POST /query?kind=sub|super (t/v/e body)  GET /stats /metrics /healthz /readyz \
+         /debug/traces /debug/slow"
+    );
     match flags.get("duration-secs").and_then(|v| v.parse::<u64>().ok()) {
         Some(secs) => {
             println!("serving for {secs}s, then draining");
@@ -626,6 +630,99 @@ fn mutate_against_server(
     Ok(())
 }
 
+/// `gc top`: live terminal dashboard over a running `gc serve` — polls
+/// `/stats` and `/debug/slow` every `--interval-ms` and redraws in place
+/// (ANSI clear), showing throughput, the per-stage pipeline latency
+/// table, and the most recent slow queries. `--iterations N` bounds the
+/// refresh loop (0, the default, runs until killed).
+fn cmd_top(flags: &HashMap<String, String>) -> Result<(), String> {
+    let addr = flags.get("server").cloned().unwrap_or_else(|| "127.0.0.1:7411".into());
+    let addr = addr.trim_start_matches("http://");
+    let addr: std::net::SocketAddr = addr.parse().map_err(|e| format!("--server {addr}: {e}"))?;
+    let interval = std::time::Duration::from_millis(get(flags, "interval-ms", 1000));
+    let iterations: u64 = get(flags, "iterations", 0);
+    let mut client = HttpClient::connect(addr)?;
+    let mut tick = 0u64;
+    loop {
+        let stats = client.get("/stats")?;
+        if stats.status != 200 {
+            return Err(format!("/stats: HTTP {}", stats.status));
+        }
+        let s: gc_server::StatsResponse = serde_json::from_str(&stats.body_text())
+            .map_err(|e| format!("bad /stats response: {e}"))?;
+        let slow = client.get("/debug/slow?n=5")?;
+        let slow: gc_server::TracesResponse = serde_json::from_str(&slow.body_text())
+            .map_err(|e| format!("bad /debug/slow response: {e}"))?;
+
+        let mut frame = String::with_capacity(2048);
+        frame.push_str(&format!(
+            "gc top — http://{addr}  (refresh {} ms)\n\n",
+            interval.as_millis()
+        ));
+        frame.push_str(&format!(
+            "queries {}  hit ratio {:.1}%  entries {}  generation {}  up {}s{}\n",
+            s.queries,
+            100.0 * s.hit_ratio,
+            s.entries,
+            s.dataset_generation,
+            s.uptime_secs,
+            if s.draining { "  DRAINING" } else { "" }
+        ));
+        frame.push_str(&format!(
+            "requests {}  shed {}  timed out {}  traces sampled {}  slow {}\n",
+            s.requests_total,
+            s.requests_shed,
+            s.requests_timed_out,
+            s.traces_sampled,
+            s.slow_queries
+        ));
+        frame.push_str(&format!(
+            "latency  p50 {} us  p90 {} us  p99 {} us  (bucket upper bounds)\n\n",
+            s.pipeline_p50_us, s.pipeline_p90_us, s.pipeline_p99_us
+        ));
+        frame.push_str(&format!(
+            "{:<8} {:>10} {:>9} {:>9} {:>9}\n",
+            "stage", "count", "p50_us", "p90_us", "p99_us"
+        ));
+        for st in &s.stages {
+            frame.push_str(&format!(
+                "{:<8} {:>10} {:>9} {:>9} {:>9}\n",
+                st.stage, st.count, st.p50_us, st.p90_us, st.p99_us
+            ));
+        }
+        frame.push('\n');
+        if slow.traces.is_empty() {
+            frame.push_str("slow queries: none\n");
+        } else {
+            frame.push_str("slow queries (newest first):\n");
+            for t in &slow.traces {
+                frame.push_str(&format!(
+                    "  seq {:<7} {:<5} {:<8} total {:>8} us  verify {:>8} us  cm {:>5}  \
+                     answer {:>4}  rid {}\n",
+                    t.seq,
+                    t.kind,
+                    t.outcome,
+                    t.total_us,
+                    t.verify_us,
+                    t.cm_size,
+                    t.answer,
+                    t.request_id.as_deref().unwrap_or("-")
+                ));
+            }
+        }
+        // Clear + home, then the whole frame in one write (no flicker).
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+
+        tick += 1;
+        if iterations != 0 && tick >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 fn cmd_journey(flags: &HashMap<String, String>) -> Result<(), String> {
     let dataset = load_dataset(flags)?;
     let mut gc = build_cache(&dataset, flags)?;
@@ -673,7 +770,7 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 const USAGE: &str =
-    "usage: gc <generate|run|serve|save|load|doctor|mutate|journey|compare> [--flag value]...
+    "usage: gc <generate|run|serve|save|load|doctor|mutate|journey|compare|top> [--flag value]...
   gc generate --out ds.tve [--count N] [--seed S] [--model molecules|er|ba]
   gc run      --dataset ds.tve [--queries N] [--workload zipf|uniform|drift]
               [--policy LRU|POP|PIN|PINC|HD] [--capacity N] [--feature-size L] [--dev]
@@ -699,7 +796,11 @@ const USAGE: &str =
               [--server HOST:PORT]  (POST mutations to a running `gc serve`
                via /mutate instead of mutating locally)
   gc journey  --dataset ds.tve [--seed S]
-  gc compare  --dataset ds.tve [--queries N] [--workload ...] [--capacity N]";
+  gc compare  --dataset ds.tve [--queries N] [--workload ...] [--capacity N]
+  gc top      [--server HOST:PORT] [--interval-ms M] [--iterations N]
+              (live dashboard over a running `gc serve`: throughput,
+               per-stage pipeline latency, recent slow queries; N=0 runs
+               until killed)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -732,6 +833,7 @@ fn main() -> ExitCode {
         "mutate" => cmd_mutate(&flags),
         "journey" => cmd_journey(&flags),
         "compare" => cmd_compare(&flags),
+        "top" => cmd_top(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

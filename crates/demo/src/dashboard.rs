@@ -109,6 +109,10 @@ pub fn render_end_user_monitor(info: &DeploymentInfo, s: &GlobalStats) -> String
         "  kernel dispatch        : {} (bitset/merge hot loops)\n",
         s.kernel_dispatch
     ));
+    out.push_str(&format!(
+        "  pipeline latency       : p50 {} us, p99 {} us ({} traces sampled, {} slow)\n",
+        s.pipeline_p50_us, s.pipeline_p99_us, s.traces_sampled, s.slow_queries
+    ));
     if s.persist_health.is_empty() {
         out.push_str("  persistence            : detached (memory-only)\n");
     } else {
@@ -234,6 +238,25 @@ mod tests {
         );
         // Not served: the serving gauge line says so.
         assert!(txt.contains("serving                : not serving"), "{txt}");
+        // Telemetry gauges: a warmed cache has pipeline percentiles.
+        assert!(txt.contains("pipeline latency       : p50 "), "{txt}");
+    }
+
+    #[test]
+    fn pipeline_latency_line_renders_telemetry_gauges() {
+        let gc = warmed();
+        let mut s = gc.stats();
+        s.pipeline_p50_us = 128;
+        s.pipeline_p99_us = 4096;
+        s.traces_sampled = 3;
+        s.slow_queries = 1;
+        let txt = render_end_user_monitor(&DeploymentInfo::of(&gc), &s);
+        assert!(
+            txt.contains(
+                "pipeline latency       : p50 128 us, p99 4096 us (3 traces sampled, 1 slow)"
+            ),
+            "{txt}"
+        );
     }
 
     #[test]

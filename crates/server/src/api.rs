@@ -125,6 +125,43 @@ pub struct StatsResponse {
     pub workers: usize,
     /// Admission-queue depth (connections beyond this are shed).
     pub queue_depth: usize,
+    /// Bucket-estimated p50 end-to-end query latency, microseconds
+    /// (upper bound, within one log2 bucket of the true value).
+    pub pipeline_p50_us: u64,
+    /// Bucket-estimated p90 end-to-end query latency, microseconds.
+    pub pipeline_p90_us: u64,
+    /// Bucket-estimated p99 end-to-end query latency, microseconds.
+    pub pipeline_p99_us: u64,
+    /// Query traces captured by the sampler.
+    pub traces_sampled: u64,
+    /// Queries over the slow-query threshold (always traced).
+    pub slow_queries: u64,
+    /// Per-stage latency summaries for the cache pipeline.
+    pub stages: Vec<StageSummary>,
+}
+
+/// Latency summary for one cache pipeline stage (from the stage's
+/// log2-µs histogram; percentiles are bucket upper bounds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Stage label: `filter`/`probe`/`prune`/`verify`/`admit`/`memo`.
+    pub stage: String,
+    /// Observations recorded for this stage.
+    pub count: u64,
+    /// Bucket-estimated p50, microseconds.
+    pub p50_us: u64,
+    /// Bucket-estimated p90, microseconds.
+    pub p90_us: u64,
+    /// Bucket-estimated p99, microseconds.
+    pub p99_us: u64,
+}
+
+/// `GET /debug/traces` / `GET /debug/slow` response: recent query traces,
+/// newest first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TracesResponse {
+    /// The traces, newest first.
+    pub traces: Vec<gc_core::QueryTrace>,
 }
 
 #[cfg(test)]
@@ -206,9 +243,45 @@ mod tests {
             draining: false,
             workers: 4,
             queue_depth: 64,
+            pipeline_p50_us: 128,
+            pipeline_p90_us: 1024,
+            pipeline_p99_us: 4096,
+            traces_sampled: 2,
+            slow_queries: 1,
+            stages: vec![StageSummary {
+                stage: "verify".into(),
+                count: 90,
+                p50_us: 64,
+                p90_us: 256,
+                p99_us: 2048,
+            }],
         };
         let json = serde_json::to_string(&s).unwrap();
         let back: StatsResponse = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn traces_response_roundtrips() {
+        let t = TracesResponse {
+            traces: vec![gc_core::QueryTrace {
+                seq: 42,
+                request_id: Some("req-7".into()),
+                kind: "sub".into(),
+                outcome: "pipeline".into(),
+                total_us: 900,
+                verify_us: 700,
+                cm_size: 40,
+                to_verify: 12,
+                survivors: 9,
+                definite: 3,
+                answer: 12,
+                slow: true,
+                ..Default::default()
+            }],
+        };
+        let json = serde_json::to_string(&t).unwrap();
+        let back: TracesResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
     }
 }

@@ -9,6 +9,7 @@
 //! (it backs off when told `503`, rather than hammering).
 
 use crate::api::QueryResponse;
+use gc_core::telemetry::{Histogram, HistogramSnapshot};
 use gc_method::QueryKind;
 use gc_workload::Workload;
 use rand::rngs::StdRng;
@@ -303,12 +304,18 @@ pub struct LoadReport {
     /// Retries performed.
     pub retries: u64,
     /// p50 end-to-end latency, microseconds (successful requests).
+    ///
+    /// Percentiles come from a shared log2-µs [`Histogram`] per thread
+    /// (merged at the end) rather than buffering every raw latency: the
+    /// estimate is a bucket *upper bound*, at most 2× the true value —
+    /// one bucket of error — in exchange for O(1) memory per thread.
     pub p50_us: u64,
-    /// p90 end-to-end latency, microseconds.
+    /// p90 end-to-end latency, microseconds (same one-bucket bound).
     pub p90_us: u64,
-    /// p99 end-to-end latency, microseconds.
+    /// p99 end-to-end latency, microseconds (same one-bucket bound).
     pub p99_us: u64,
-    /// Max end-to-end latency, microseconds.
+    /// Max end-to-end latency, microseconds (exact — the histogram
+    /// tracks the true maximum).
     pub max_us: u64,
     /// Wall-clock duration of the whole run, microseconds.
     pub elapsed_us: u64,
@@ -333,13 +340,13 @@ pub fn percentile(sorted: &[u64], p: f64) -> u64 {
 pub fn run_load(addr: SocketAddr, workload: &Workload, spec: &LoadSpec) -> LoadReport {
     let t0 = Instant::now();
     let n_threads = spec.connections.max(1);
-    let results: Vec<(LoadReport, Vec<u64>)> = std::thread::scope(|scope| {
+    let results: Vec<(LoadReport, HistogramSnapshot)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
             .map(|t| {
                 let spec = spec.clone();
                 scope.spawn(move || {
                     let mut report = LoadReport::default();
-                    let mut latencies: Vec<u64> = Vec::new();
+                    let latencies = Histogram::new();
                     let mut rng =
                         StdRng::seed_from_u64(spec.seed ^ (t as u64).wrapping_mul(0x9e37));
                     // The initial connect gets the same retry + backoff
@@ -363,7 +370,7 @@ pub fn run_load(addr: SocketAddr, workload: &Workload, spec: &LoadSpec) -> LoadR
                                 report.failed =
                                     workload.queries.iter().skip(t).step_by(n_threads).count()
                                         as u64;
-                                return (report, latencies);
+                                return (report, latencies.snapshot());
                             }
                         }
                     };
@@ -408,12 +415,12 @@ pub fn run_load(addr: SocketAddr, workload: &Workload, spec: &LoadSpec) -> LoadR
                         };
                         if ok {
                             report.ok += 1;
-                            latencies.push(started.elapsed().as_micros() as u64);
+                            latencies.observe(started.elapsed());
                         } else {
                             report.failed += 1;
                         }
                     }
-                    (report, latencies)
+                    (report, latencies.snapshot())
                 })
             })
             .collect();
@@ -421,7 +428,7 @@ pub fn run_load(addr: SocketAddr, workload: &Workload, spec: &LoadSpec) -> LoadR
     });
 
     let mut merged = LoadReport::default();
-    let mut latencies: Vec<u64> = Vec::new();
+    let mut latencies = HistogramSnapshot::default();
     for (r, l) in results {
         merged.sent += r.sent;
         merged.ok += r.ok;
@@ -429,13 +436,12 @@ pub fn run_load(addr: SocketAddr, workload: &Workload, spec: &LoadSpec) -> LoadR
         merged.timed_out += r.timed_out;
         merged.failed += r.failed;
         merged.retries += r.retries;
-        latencies.extend(l);
+        latencies.merge(&l);
     }
-    latencies.sort_unstable();
-    merged.p50_us = percentile(&latencies, 50.0);
-    merged.p90_us = percentile(&latencies, 90.0);
-    merged.p99_us = percentile(&latencies, 99.0);
-    merged.max_us = latencies.last().copied().unwrap_or(0);
+    merged.p50_us = latencies.percentile_us(50.0);
+    merged.p90_us = latencies.percentile_us(90.0);
+    merged.p99_us = latencies.percentile_us(99.0);
+    merged.max_us = latencies.max_us;
     let elapsed = t0.elapsed();
     merged.elapsed_us = elapsed.as_micros() as u64;
     merged.throughput_rps =

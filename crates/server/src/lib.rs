@@ -40,7 +40,9 @@ pub mod http;
 pub mod metrics;
 pub mod server;
 
-pub use api::{ErrorBody, MutateResponse, QueryResponse, StatsResponse};
+pub use api::{
+    ErrorBody, MutateResponse, QueryResponse, StageSummary, StatsResponse, TracesResponse,
+};
 pub use client::{percentile, run_load, Backoff, ClientResponse, HttpClient, LoadReport, LoadSpec};
 pub use http::{parse_request, HttpLimits, Parse, ParseError, Request, Response};
 pub use metrics::{Histogram, ServerMetrics, Stage};

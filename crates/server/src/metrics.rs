@@ -37,63 +37,12 @@ impl Stage {
     }
 }
 
-/// Number of finite histogram buckets: bucket `i` counts observations
-/// `< 2^i` µs, so the finite range spans 1 µs .. ~1 s (2^20 µs); larger
-/// observations land in the implicit `+Inf` bucket.
-const BUCKETS: usize = 21;
-
-/// A log2-microsecond latency histogram with atomic buckets.
-#[derive(Debug, Default)]
-pub struct Histogram {
-    buckets: [AtomicU64; BUCKETS],
-    inf: AtomicU64,
-    sum_us: AtomicU64,
-    count: AtomicU64,
-}
-
-impl Histogram {
-    /// Record one observation.
-    pub fn observe(&self, d: Duration) {
-        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
-        // Index of the first bucket whose bound 2^i exceeds `us`:
-        // us == 0 → bucket 0 (< 1 µs); us in [2^(i-1), 2^i) → bucket i.
-        let idx = (u64::BITS - us.leading_zeros()) as usize;
-        if idx < BUCKETS {
-            self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.inf.fetch_add(1, Ordering::Relaxed);
-        }
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Sum of all observations, microseconds.
-    pub fn sum_us(&self) -> u64 {
-        self.sum_us.load(Ordering::Relaxed)
-    }
-
-    /// Render Prometheus `_bucket`/`_sum`/`_count` lines for this
-    /// histogram under `name` with a `stage` label.
-    fn render(&self, out: &mut String, name: &str, stage: &str) {
-        let mut cumulative = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            cumulative += b.load(Ordering::Relaxed);
-            let bound = 1u64 << i;
-            out.push_str(&format!(
-                "{name}_bucket{{stage=\"{stage}\",le=\"{bound}\"}} {cumulative}\n"
-            ));
-        }
-        cumulative += self.inf.load(Ordering::Relaxed);
-        out.push_str(&format!("{name}_bucket{{stage=\"{stage}\",le=\"+Inf\"}} {cumulative}\n"));
-        out.push_str(&format!("{name}_sum{{stage=\"{stage}\"}} {}\n", self.sum_us()));
-        out.push_str(&format!("{name}_count{{stage=\"{stage}\"}} {}\n", self.count()));
-    }
-}
+/// The log2-microsecond latency histogram, shared with the cache pipeline.
+///
+/// The server timed its request stages with a private histogram until the
+/// cache grew per-stage telemetry; both now use the single property-tested
+/// implementation in [`gc_core::telemetry`].
+pub use gc_core::telemetry::Histogram;
 
 /// All server-side counters and histograms, shared across workers.
 #[derive(Debug)]
@@ -161,8 +110,14 @@ impl ServerMetrics {
     }
 
     /// Render the full Prometheus text exposition: server counters, stage
-    /// histograms, and the cache-level counters from `cache_stats`.
-    pub fn render_prometheus(&self, cache_stats: &gc_core::GlobalStats, entries: usize) -> String {
+    /// histograms, cache pipeline telemetry, and the cache-level counters
+    /// from `cache_stats`.
+    pub fn render_prometheus(
+        &self,
+        cache_stats: &gc_core::GlobalStats,
+        entries: usize,
+        telemetry: &gc_core::Telemetry,
+    ) -> String {
         let mut out = String::with_capacity(4096);
         let counter = |out: &mut String, name: &str, help: &str, v: u64| {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"));
@@ -208,8 +163,53 @@ impl ServerMetrics {
             "# TYPE gc_request_stage_microseconds histogram\n"
         ));
         for stage in Stage::ALL {
-            self.stage(stage).render(&mut out, "gc_request_stage_microseconds", stage.label());
+            self.stage(stage).render_prometheus(
+                &mut out,
+                "gc_request_stage_microseconds",
+                &format!("stage=\"{}\"", stage.label()),
+            );
         }
+
+        // Cache pipeline telemetry: per-stage spans plus the end-to-end
+        // query histogram and its bucket-estimated percentiles.
+        out.push_str(concat!(
+            "# HELP gc_pipeline_stage_microseconds Cache pipeline latency by stage.\n",
+            "# TYPE gc_pipeline_stage_microseconds histogram\n"
+        ));
+        for stage in gc_core::PipelineStage::ALL {
+            telemetry.stage(stage).render_prometheus(
+                &mut out,
+                "gc_pipeline_stage_microseconds",
+                &format!("stage=\"{}\"", stage.label()),
+            );
+        }
+        out.push_str(concat!(
+            "# HELP gc_query_microseconds End-to-end cache query latency.\n",
+            "# TYPE gc_query_microseconds histogram\n"
+        ));
+        telemetry.total().render_prometheus(&mut out, "gc_query_microseconds", "");
+        for (p, name) in [(50.0, "gc_query_p50_microseconds"), (99.0, "gc_query_p99_microseconds")]
+        {
+            gauge(
+                &mut out,
+                name,
+                "Bucket-estimated query latency percentile (upper bound, \
+                 within one log2 bucket of the true value).",
+                telemetry.total().percentile_us(p),
+            );
+        }
+        counter(
+            &mut out,
+            "gc_traces_sampled_total",
+            "Query traces captured by the sampler.",
+            telemetry.sampled_count(),
+        );
+        counter(
+            &mut out,
+            "gc_slow_queries_total",
+            "Queries over the slow-query threshold (always traced).",
+            telemetry.slow_count(),
+        );
 
         // Cache-level counters (the Statistics Monitor, exported).
         counter(&mut out, "gc_cache_queries_total", "Queries processed.", cache_stats.queries);
@@ -258,7 +258,7 @@ mod tests {
         h.observe(Duration::from_secs(10)); // +Inf (> 2^20 µs)
         assert_eq!(h.count(), 4);
         let mut out = String::new();
-        h.render(&mut out, "m", "s");
+        h.render_prometheus(&mut out, "m", "stage=\"s\"");
         assert!(out.contains("m_bucket{stage=\"s\",le=\"1\"} 1\n"));
         assert!(out.contains("m_bucket{stage=\"s\",le=\"2\"} 2\n"));
         assert!(out.contains("m_bucket{stage=\"s\",le=\"4\"} 3\n"));
@@ -273,7 +273,7 @@ mod tests {
             h.observe(Duration::from_micros(us));
         }
         let mut out = String::new();
-        h.render(&mut out, "m", "s");
+        h.render_prometheus(&mut out, "m", "stage=\"s\"");
         // The +Inf bucket equals the total count.
         assert!(out.contains(&format!("le=\"+Inf\"}} {}\n", h.count())));
         assert_eq!(h.sum_us(), 101_031);
@@ -287,12 +287,42 @@ mod tests {
         m.requests_shed.fetch_add(1, Ordering::Relaxed);
         m.observe(Stage::Execute, Duration::from_micros(42));
         let stats = gc_core::GlobalStats { queries: 3, ..Default::default() };
-        let text = m.render_prometheus(&stats, 7);
+        let telemetry = gc_core::Telemetry::from_config(&gc_core::CacheConfig::default());
+        let text = m.render_prometheus(&stats, 7, &telemetry);
         assert!(text.contains("gc_requests_total 3\n"));
         assert!(text.contains("gc_requests_shed_total 2\n"), "both shed points sum");
         assert!(text.contains("stage=\"execute\""));
         assert!(text.contains("gc_cache_queries_total 3\n"));
         assert!(text.contains("gc_cache_entries 7\n"));
         assert!(text.contains("# TYPE gc_request_stage_microseconds histogram\n"));
+    }
+
+    #[test]
+    fn prometheus_exposition_contains_pipeline_telemetry() {
+        let m = ServerMetrics::new();
+        let telemetry = gc_core::Telemetry::from_config(&gc_core::CacheConfig::default());
+        let seq = telemetry.begin_query();
+        let mut timing = gc_core::QueryTiming::default();
+        {
+            let _span = telemetry.span(gc_core::PipelineStage::Verify, &mut timing);
+        }
+        telemetry.finish_query(seq, Duration::from_micros(900), |slow| gc_core::QueryTrace {
+            slow,
+            ..Default::default()
+        });
+        let stats = gc_core::GlobalStats::default();
+        let text = m.render_prometheus(&stats, 0, &telemetry);
+        assert!(text.contains("# TYPE gc_pipeline_stage_microseconds histogram\n"));
+        assert!(text.contains("gc_pipeline_stage_microseconds_count{stage=\"verify\"} 1\n"));
+        assert!(text.contains("gc_pipeline_stage_microseconds_count{stage=\"filter\"} 0\n"));
+        assert!(text.contains("# TYPE gc_query_microseconds histogram\n"));
+        assert!(text.contains("gc_query_microseconds_count{} 1\n"));
+        assert!(text.contains("# TYPE gc_query_p50_microseconds gauge\n"));
+        assert!(text.contains("# TYPE gc_query_p99_microseconds gauge\n"));
+        // 900 µs lands in the (512, 1024] bucket; the estimate reports the
+        // upper bound.
+        assert!(text.contains("gc_query_p50_microseconds 1024\n"));
+        assert!(text.contains("gc_traces_sampled_total 1\n"), "seq 0 sampled at default rate");
+        assert!(text.contains("gc_slow_queries_total 0\n"));
     }
 }

@@ -33,7 +33,7 @@
 //! attached — so a subsequent warm restart serves exact answers
 //! immediately.
 
-use crate::api::{ErrorBody, QueryResponse, StatsResponse};
+use crate::api::{ErrorBody, QueryResponse, StageSummary, StatsResponse, TracesResponse};
 use crate::http::{parse_request, HttpLimits, Parse, Request, Response};
 use crate::metrics::{ServerMetrics, Stage};
 use gc_core::persist::PersistHealth;
@@ -43,7 +43,7 @@ use gc_store::faults::FaultPlan;
 use parking_lot::Mutex;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -276,6 +276,25 @@ impl Server {
     }
 }
 
+/// Process-wide sequence for generated request ids.
+static REQUEST_ID_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Generate a request id for a request that arrived without one:
+/// `gc-<pid>-<seq>` — unique within the process, greppable across a
+/// restart (the pid changes).
+fn generate_request_id() -> String {
+    let seq = REQUEST_ID_SEQ.fetch_add(1, Ordering::Relaxed);
+    format!("gc-{:x}-{seq:x}", std::process::id())
+}
+
+/// The id to echo back: the client's `X-Request-Id` when present, a
+/// generated one otherwise. Every response carries one — including shed
+/// `503`s and timeout `408`/`504`s — so any observed failure can be
+/// joined against the slow-query log.
+fn request_id_for(req: &Request) -> String {
+    req.header("x-request-id").map(str::to_owned).unwrap_or_else(generate_request_id)
+}
+
 /// Cache stats + serving gauges (shared by `/stats` and the handle).
 fn serving_stats(shared: &Shared) -> GlobalStats {
     let mut s = shared.cache.stats();
@@ -328,7 +347,8 @@ fn shed_connection(mut stream: TcpStream, shared: &Shared) {
         retry_after_secs: Some(retry),
     };
     let resp = Response::json(503, serde_json::to_string(&body).unwrap_or_default())
-        .with_header("retry-after", retry.to_string());
+        .with_header("retry-after", retry.to_string())
+        .with_header("x-request-id", generate_request_id());
     let _ = stream.write_all(&resp.encode(false));
 }
 
@@ -358,7 +378,8 @@ fn shed_queued(mut stream: TcpStream, shared: &Shared) {
     let body =
         ErrorBody { error: "shed: queued past deadline".into(), retry_after_secs: Some(retry) };
     let resp = Response::json(503, serde_json::to_string(&body).unwrap_or_default())
-        .with_header("retry-after", retry.to_string());
+        .with_header("retry-after", retry.to_string())
+        .with_header("x-request-id", generate_request_id());
     let _ = stream.write_all(&resp.encode(false));
 }
 
@@ -382,7 +403,8 @@ fn handle_connection(mut stream: TcpStream, mut queue_wait: Duration, shared: &S
                 // Queue wait counts against the *first* request only;
                 // later keep-alive requests never sat in the queue.
                 let waited = std::mem::take(&mut queue_wait);
-                let response = route(&request, waited, parse_time, shared);
+                let response = route(&request, waited, parse_time, shared)
+                    .with_header("x-request-id", request_id_for(&request));
                 let keep = request.keep_alive() && !shared.draining.load(Ordering::Relaxed);
                 let t0 = Instant::now();
                 if stream.write_all(&response.encode(keep)).is_err() {
@@ -400,7 +422,8 @@ fn handle_connection(mut stream: TcpStream, mut queue_wait: Duration, shared: &S
                 shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
                 let body = ErrorBody { error: e.describe().into(), retry_after_secs: None };
                 let resp =
-                    Response::json(e.status(), serde_json::to_string(&body).unwrap_or_default());
+                    Response::json(e.status(), serde_json::to_string(&body).unwrap_or_default())
+                        .with_header("x-request-id", generate_request_id());
                 let _ = stream.write_all(&resp.encode(false));
                 return;
             }
@@ -441,7 +464,8 @@ fn handle_connection(mut stream: TcpStream, mut queue_wait: Duration, shared: &S
 fn answer_timeout(stream: &mut TcpStream, shared: &Shared) {
     shared.metrics.requests_timed_out.fetch_add(1, Ordering::Relaxed);
     let body = ErrorBody { error: "request timed out".into(), retry_after_secs: None };
-    let resp = Response::json(408, serde_json::to_string(&body).unwrap_or_default());
+    let resp = Response::json(408, serde_json::to_string(&body).unwrap_or_default())
+        .with_header("x-request-id", generate_request_id());
     let _ = stream.write_all(&resp.encode(false));
 }
 
@@ -454,14 +478,22 @@ fn route(req: &Request, queue_wait: Duration, parse_time: Duration, shared: &Sha
         ("POST", "/mutate") => handle_mutate(req, shared),
         ("GET", "/stats") => handle_stats(shared),
         ("GET", "/metrics") => {
-            let text = shared.metrics.render_prometheus(&shared.cache.stats(), shared.cache.len());
+            let text = shared.metrics.render_prometheus(
+                &shared.cache.stats(),
+                shared.cache.len(),
+                shared.cache.telemetry(),
+            );
             Response::text(200, text)
         }
+        ("GET", "/debug/traces") => handle_traces(req, shared, false),
+        ("GET", "/debug/slow") => handle_traces(req, shared, true),
         ("GET", "/healthz") => Response::text(200, "ok"),
         ("GET", "/readyz") => handle_readyz(shared),
-        (_, "/query" | "/mutate" | "/stats" | "/metrics" | "/healthz" | "/readyz") => {
-            error_response(405, format!("method {} not allowed for {}", req.method, req.path))
-        }
+        (
+            _,
+            "/query" | "/mutate" | "/stats" | "/metrics" | "/debug/traces" | "/debug/slow"
+            | "/healthz" | "/readyz",
+        ) => error_response(405, format!("method {} not allowed for {}", req.method, req.path)),
         _ => error_response(404, format!("no such endpoint: {}", req.path)),
     }
 }
@@ -512,7 +544,7 @@ fn handle_query(
     };
 
     let t0 = Instant::now();
-    let report = shared.cache.query(query, kind);
+    let report = shared.cache.query_traced(query, kind, req.header("x-request-id"));
     let execute = t0.elapsed();
     shared.metrics.observe(Stage::Execute, execute);
     let deadline_exceeded = consumed + execute > deadline;
@@ -596,6 +628,7 @@ fn mutate_response(op: &str, gid: u32, applied: bool, shared: &Shared) -> Respon
 
 fn handle_stats(shared: &Shared) -> Response {
     let s = serving_stats(shared);
+    let telemetry = shared.cache.telemetry();
     let resp = StatsResponse {
         queries: s.queries,
         hit_queries: s.hit_queries,
@@ -623,10 +656,40 @@ fn handle_stats(shared: &Shared) -> Response {
         draining: shared.draining.load(Ordering::Relaxed),
         workers: shared.config.workers,
         queue_depth: shared.config.queue_depth,
+        pipeline_p50_us: s.pipeline_p50_us,
+        pipeline_p90_us: telemetry.total().percentile_us(90.0),
+        pipeline_p99_us: s.pipeline_p99_us,
+        traces_sampled: s.traces_sampled,
+        slow_queries: s.slow_queries,
+        stages: gc_core::PipelineStage::ALL
+            .iter()
+            .map(|&stage| {
+                let h = telemetry.stage(stage);
+                StageSummary {
+                    stage: stage.label().into(),
+                    count: h.count(),
+                    p50_us: h.percentile_us(50.0),
+                    p90_us: h.percentile_us(90.0),
+                    p99_us: h.percentile_us(99.0),
+                }
+            })
+            .collect(),
     };
     match serde_json::to_string(&resp) {
         Ok(json) => Response::json(200, json),
         Err(e) => error_response(500, format!("stats serialization failed: {e}")),
+    }
+}
+
+/// `GET /debug/traces?n=` (sampled ring) / `GET /debug/slow?n=` (slow
+/// ring): the most recent `n` traces (default 20), newest first.
+fn handle_traces(req: &Request, shared: &Shared, slow: bool) -> Response {
+    let n = req.query_param("n").and_then(|v| v.parse::<usize>().ok()).unwrap_or(20);
+    let telemetry = shared.cache.telemetry();
+    let traces = if slow { telemetry.recent_slow(n) } else { telemetry.recent_traces(n) };
+    match serde_json::to_string(&TracesResponse { traces }) {
+        Ok(json) => Response::json(200, json),
+        Err(e) => error_response(500, format!("trace serialization failed: {e}")),
     }
 }
 
@@ -727,6 +790,103 @@ mod tests {
         assert_eq!(metrics.status, 200);
         assert!(metrics.body_text().contains("gc_requests_total"));
         assert!(metrics.body_text().contains("gc_request_stage_microseconds_bucket"));
+        server.drain();
+    }
+
+    #[test]
+    fn request_id_echoed_or_generated_on_every_response() {
+        let (server, dataset) = start_server(quick_config());
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&dataset.graphs()[0]));
+
+        // Client-provided id: echoed verbatim.
+        let resp = client
+            .request("POST", "/query?kind=sub", &[("x-request-id", "trace-me-7")], body.as_bytes())
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-request-id"), Some("trace-me-7"));
+
+        // No id: the server generates one.
+        let resp = client.get("/stats").unwrap();
+        let rid = resp.header("x-request-id").expect("generated id");
+        assert!(rid.starts_with("gc-"), "generated id format: {rid}");
+
+        // Error responses carry one too.
+        let resp = client.get("/nope").unwrap();
+        assert_eq!(resp.status, 404);
+        assert!(resp.header("x-request-id").is_some());
+
+        // Deadline 504s carry one.
+        let resp = client
+            .request(
+                "POST",
+                "/query",
+                &[("x-deadline-ms", "0"), ("x-request-id", "late-1")],
+                body.as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 504);
+        assert_eq!(resp.header("x-request-id"), Some("late-1"));
+        server.drain();
+    }
+
+    #[test]
+    fn debug_trace_endpoints_serve_sampled_and_slow_queries() {
+        let graphs = molecule_dataset(24, 42);
+        let dataset = Arc::new(Dataset::new(graphs));
+        let cache = SharedGraphCache::with_policy(
+            Arc::clone(&dataset),
+            Box::new(SiMethod),
+            PolicyKind::Hd,
+            CacheConfig {
+                capacity: 16,
+                window_size: 4,
+                trace_sample_rate: 1.0,               // trace everything
+                slow_query_threshold: Duration::ZERO, // ...and everything is "slow"
+                ..CacheConfig::default()
+            },
+        )
+        .unwrap();
+        let server = Server::start(Arc::new(cache), quick_config()).unwrap();
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        let body = gc_graph::io::dataset_to_string(std::slice::from_ref(&dataset.graphs()[0]));
+        for _ in 0..3 {
+            let resp = client
+                .request("POST", "/query?kind=sub", &[("x-request-id", "dbg-1")], body.as_bytes())
+                .unwrap();
+            assert_eq!(resp.status, 200);
+        }
+
+        let resp = client.get("/debug/traces?n=2").unwrap();
+        assert_eq!(resp.status, 200);
+        let parsed: crate::api::TracesResponse = serde_json::from_str(&resp.body_text()).unwrap();
+        assert_eq!(parsed.traces.len(), 2, "n caps the returned traces");
+        // Newest first: the later query has the higher seq.
+        assert!(parsed.traces[0].seq > parsed.traces[1].seq);
+        assert_eq!(parsed.traces[0].request_id.as_deref(), Some("dbg-1"));
+        assert_eq!(parsed.traces[0].kind, "sub");
+
+        let resp = client.get("/debug/slow").unwrap();
+        assert_eq!(resp.status, 200);
+        let slow: crate::api::TracesResponse = serde_json::from_str(&resp.body_text()).unwrap();
+        assert_eq!(slow.traces.len(), 3, "zero threshold captures every query as slow");
+        assert!(slow.traces.iter().all(|t| t.slow));
+
+        // /stats surfaces the telemetry gauges and stage summaries.
+        let stats: StatsResponse =
+            serde_json::from_str(&client.get("/stats").unwrap().body_text()).unwrap();
+        assert_eq!(stats.slow_queries, 3);
+        assert!(stats.traces_sampled >= 3);
+        assert_eq!(stats.stages.len(), 6);
+        assert!(stats.stages.iter().any(|s| s.stage == "filter" && s.count > 0));
+
+        // /metrics exposes the pipeline histograms.
+        let metrics = client.get("/metrics").unwrap().body_text();
+        assert!(metrics.contains("gc_pipeline_stage_microseconds_bucket"));
+        assert!(metrics.contains("gc_query_microseconds_count"));
+
+        // Wrong method: still part of the routed surface.
+        assert_eq!(client.post("/debug/traces", &[]).unwrap().status, 405);
         server.drain();
     }
 
@@ -936,6 +1096,10 @@ mod tests {
             let text = String::from_utf8_lossy(&out);
             if text.starts_with("HTTP/1.1 503") {
                 assert!(text.to_ascii_lowercase().contains("retry-after:"));
+                assert!(
+                    text.to_ascii_lowercase().contains("x-request-id:"),
+                    "shed 503 must carry a request id"
+                );
                 shed_seen = true;
                 break;
             }
